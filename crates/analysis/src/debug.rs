@@ -1,0 +1,249 @@
+//! Application ii (paper §3): debug workflow executions — "identify the
+//! processes that are responsible for workflow failure and detect the
+//! steps in the workflow that were affected".
+//!
+//! Failure markers differ per system (that asymmetry is part of what the
+//! corpus teaches): Taverna attaches `tavernaprov:errorMessage` to the
+//! failed process run; Wings stamps `opmw:hasStatus "FAILURE"` on the
+//! failed step and the account. Affected (never-executed) steps are
+//! reconstructed by diffing the workflow description against the process
+//! runs actually present in the trace.
+
+use provbench_core::{Corpus, TraceRecord};
+use provbench_rdf::{Graph, Iri, Literal, Subject, Term};
+use provbench_vocab::{opmw, wfdesc, wfprov};
+use provbench_workflow::System;
+
+/// IRI of `tavernaprov:errorMessage` (defined in `provbench-taverna`;
+/// duplicated here to keep `analysis` independent of the engine crates).
+fn taverna_error_message() -> Iri {
+    Iri::new_unchecked("http://ns.taverna.org.uk/2012/tavernaprov/errorMessage")
+}
+
+/// Diagnosis of one failed run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FailureReport {
+    /// The failed run's id.
+    pub run_id: String,
+    /// The failing process run IRI.
+    pub failed_process: Iri,
+    /// The recorded cause.
+    pub cause: String,
+    /// Template steps that never executed because of the failure.
+    pub affected_steps: Vec<Iri>,
+}
+
+/// Diagnose one trace graph (trace + its workflow description merged).
+/// Returns `None` when the trace shows no failure.
+pub fn diagnose_graph(graph: &Graph, system: System, run_id: &str) -> Option<FailureReport> {
+    let (failed_process, cause) = match system {
+        System::Taverna => {
+            let t = graph
+                .triples_matching(None, Some(&taverna_error_message()), None)
+                .next()?;
+            let Subject::Iri(p) = t.subject else { return None };
+            let cause = t
+                .object
+                .as_literal()
+                .map(|l| l.lexical().to_owned())
+                .unwrap_or_default();
+            (p, cause)
+        }
+        System::Wings => {
+            let failure: Term = Literal::simple("FAILURE").into();
+            let t = graph
+                .triples_matching(None, Some(&opmw::has_status()), Some(&failure))
+                .find(|t| {
+                    // The account also carries FAILURE; we want the step.
+                    graph
+                        .triples_matching(
+                            Some(&t.subject),
+                            Some(&provbench_vocab::rdf_type()),
+                            Some(&opmw::workflow_execution_process().into()),
+                        )
+                        .next()
+                        .is_some()
+                })?;
+            let Subject::Iri(p) = t.subject else { return None };
+            let cause = graph
+                .object(&Subject::Iri(p.clone()), &provbench_vocab::rdfs::comment())
+                .and_then(|o| o.as_literal().map(|l| l.lexical().to_owned()))
+                .unwrap_or_else(|| "FAILURE".to_owned());
+            (p, cause)
+        }
+    };
+
+    // Affected steps: template steps with no corresponding process run.
+    let (described_pred, executed_pred) = match system {
+        System::Taverna => (wfdesc::has_sub_process(), wfprov::described_by_process()),
+        System::Wings => {
+            (opmw::corresponds_to_template(), opmw::corresponds_to_template_process())
+        }
+    };
+    let described: Vec<Iri> = match system {
+        System::Taverna => graph
+            .triples_matching(None, Some(&described_pred), None)
+            .filter_map(|t| t.object.as_iri().cloned())
+            // Sub-workflow references are wfdesc:Workflow, not Process.
+            .filter(|p| {
+                graph
+                    .triples_matching(
+                        Some(&Subject::Iri(p.clone())),
+                        Some(&provbench_vocab::rdf_type()),
+                        Some(&wfdesc::process().into()),
+                    )
+                    .next()
+                    .is_some()
+            })
+            .collect(),
+        System::Wings => graph
+            .triples_matching(None, Some(&described_pred), None)
+            .filter_map(|t| match (&t.subject, ()) {
+                (Subject::Iri(s), ()) => Some(s.clone()),
+                _ => None,
+            })
+            .filter(|s| {
+                graph
+                    .triples_matching(
+                        Some(&Subject::Iri(s.clone())),
+                        Some(&provbench_vocab::rdf_type()),
+                        Some(&opmw::workflow_template_process().into()),
+                    )
+                    .next()
+                    .is_some()
+            })
+            .collect(),
+    };
+    let mut affected_steps: Vec<Iri> = described
+        .into_iter()
+        .filter(|step| {
+            graph
+                .triples_matching(None, Some(&executed_pred), Some(&step.clone().into()))
+                .next()
+                .is_none()
+        })
+        .collect();
+    affected_steps.sort();
+    affected_steps.dedup();
+
+    Some(FailureReport {
+        run_id: run_id.to_owned(),
+        failed_process,
+        cause,
+        affected_steps,
+    })
+}
+
+fn trace_with_description(corpus: &Corpus, trace: &TraceRecord) -> Graph {
+    let mut g = trace.union_graph();
+    if let Some(idx) = corpus
+        .templates
+        .iter()
+        .position(|(_, t)| t.name == trace.template_name)
+    {
+        g.extend_from_graph(&corpus.descriptions[idx]);
+    }
+    g
+}
+
+/// Diagnose every failed run in a corpus.
+pub fn diagnose_corpus(corpus: &Corpus) -> Vec<FailureReport> {
+    corpus
+        .traces
+        .iter()
+        .filter(|t| t.failed())
+        .filter_map(|t| {
+            diagnose_graph(&trace_with_description(corpus, t), t.system, &t.run_id)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use provbench_core::CorpusSpec;
+
+    fn corpus() -> Corpus {
+        Corpus::generate(&CorpusSpec {
+            total_runs: 130,
+            failed_runs: 12,
+            ..CorpusSpec::default()
+        })
+    }
+
+    #[test]
+    fn every_failed_run_is_diagnosable() {
+        let c = corpus();
+        let reports = diagnose_corpus(&c);
+        assert_eq!(reports.len(), c.failed_count());
+        for r in &reports {
+            assert!(!r.cause.is_empty(), "{} has no cause", r.run_id);
+        }
+    }
+
+    #[test]
+    fn diagnosis_finds_injected_failure() {
+        let c = corpus();
+        let reports = diagnose_corpus(&c);
+        for report in &reports {
+            let trace = c.traces.iter().find(|t| t.run_id == report.run_id).unwrap();
+            let failed = trace.run.failed_process().expect("run failed");
+            assert!(
+                report.failed_process.as_str().contains(&failed.name),
+                "report {:?} does not name failed step {}",
+                report.failed_process,
+                failed.name
+            );
+            // Skipped steps must be reported as affected — including the
+            // steps of a nested sub-workflow whose host never ran (or
+            // failed before spawning it).
+            let template = &c
+                .templates
+                .iter()
+                .find(|(_, t)| t.name == trace.template_name)
+                .unwrap()
+                .1;
+            let expected: usize = trace
+                .run
+                .processes
+                .iter()
+                .map(|p| {
+                    let never_ran = p.started_ms.is_none();
+                    let nested_unspawned = p.sub_run.is_none()
+                        && template.processors[p.processor].sub_workflow.is_some();
+                    let nested_steps = template.processors[p.processor]
+                        .sub_workflow
+                        .map(|ni| template.nested[ni].processors.len())
+                        .unwrap_or(0);
+                    usize::from(never_ran)
+                        + if nested_unspawned { nested_steps } else { 0 }
+                })
+                .sum();
+            assert_eq!(
+                report.affected_steps.len(),
+                expected,
+                "affected mismatch for {}",
+                report.run_id
+            );
+        }
+    }
+
+    #[test]
+    fn successful_runs_yield_no_report() {
+        let c = corpus();
+        let ok = c.traces.iter().find(|t| !t.failed()).unwrap();
+        let g = trace_with_description(&c, ok);
+        assert!(diagnose_graph(&g, ok.system, &ok.run_id).is_none());
+    }
+
+    #[test]
+    fn both_systems_are_diagnosable() {
+        let c = corpus();
+        let reports = diagnose_corpus(&c);
+        let sys_of = |run_id: &str| {
+            c.traces.iter().find(|t| t.run_id == run_id).unwrap().system
+        };
+        assert!(reports.iter().any(|r| sys_of(&r.run_id) == System::Taverna));
+        assert!(reports.iter().any(|r| sys_of(&r.run_id) == System::Wings));
+    }
+}

@@ -1,0 +1,249 @@
+//! Interoperability analysis — the paper's §6: "we also intend to
+//! investigate further interoperable queries to retrieve provenance
+//! results from both workflows systems".
+//!
+//! A *capability* is something a provenance consumer wants to ask
+//! (list runs, get process times, find services, …). Each capability
+//! needs certain terms per system; this module derives, from the actual
+//! trace graphs, which systems can answer it and whether a cross-system
+//! query must UNION two different graph shapes — exactly the situation
+//! the six exemplar queries of §4 illustrate.
+
+use provbench_core::Corpus;
+use provbench_prov::stats::TermStats;
+use provbench_rdf::Iri;
+use provbench_vocab::{opmw, prov, wfprov};
+use provbench_workflow::System;
+use std::fmt;
+
+/// A question a provenance consumer may ask of the corpus.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Capability {
+    /// List workflow runs (Q1's core).
+    RunListing,
+    /// Run-level start/end times (Q1's times).
+    RunTimes,
+    /// Link runs to their workflow template (Q2/Q3).
+    TemplateAssociation,
+    /// Workflow-level inputs/outputs (Q3).
+    RunInputsOutputs,
+    /// Process-level start/end times (Q4's note: Taverna-only).
+    ProcessTimes,
+    /// Who executed a run (Q5).
+    Executor,
+    /// Services/components invoked (Q6's note: Wings-only).
+    Services,
+    /// Provenance of staged inputs (primary sources).
+    PrimarySources,
+    /// Links between nested sub-workflow runs.
+    SubWorkflowLinks,
+}
+
+impl Capability {
+    /// All capabilities, in report order.
+    pub const ALL: [Capability; 9] = [
+        Capability::RunListing,
+        Capability::RunTimes,
+        Capability::TemplateAssociation,
+        Capability::RunInputsOutputs,
+        Capability::ProcessTimes,
+        Capability::Executor,
+        Capability::Services,
+        Capability::PrimarySources,
+        Capability::SubWorkflowLinks,
+    ];
+
+    /// Human description.
+    pub fn description(&self) -> &'static str {
+        match self {
+            Capability::RunListing => "list workflow runs",
+            Capability::RunTimes => "run start/end times",
+            Capability::TemplateAssociation => "associate runs with templates",
+            Capability::RunInputsOutputs => "workflow-level inputs/outputs",
+            Capability::ProcessTimes => "process start/end times",
+            Capability::Executor => "who executed a run",
+            Capability::Services => "services executed",
+            Capability::PrimarySources => "primary sources of inputs",
+            Capability::SubWorkflowLinks => "sub-workflow connections",
+        }
+    }
+
+    /// The terms whose assertion makes a system answer this capability:
+    /// `(taverna terms, wings terms)` — any-of semantics within a list,
+    /// all-of across the tuple entries that are non-empty.
+    fn requirements(&self) -> (Vec<Iri>, Vec<Iri>) {
+        match self {
+            Capability::RunListing => {
+                (vec![wfprov::workflow_run()], vec![opmw::workflow_execution_account()])
+            }
+            Capability::RunTimes => (
+                vec![prov::started_at_time(), prov::ended_at_time()],
+                vec![opmw::overall_start_time(), opmw::overall_end_time()],
+            ),
+            Capability::TemplateAssociation => (
+                vec![wfprov::described_by_workflow()],
+                vec![opmw::corresponds_to_template()],
+            ),
+            Capability::RunInputsOutputs => (
+                vec![prov::used(), prov::was_generated_by()],
+                vec![opmw::is_input_of(), opmw::is_output_of()],
+            ),
+            Capability::ProcessTimes => (
+                vec![prov::started_at_time(), prov::ended_at_time()],
+                // Wings never records per-activity times under any term.
+                vec![],
+            ),
+            Capability::Executor => {
+                (vec![prov::was_associated_with()], vec![prov::was_attributed_to()])
+            }
+            Capability::Services => (vec![], vec![opmw::has_executable_component()]),
+            Capability::PrimarySources => (vec![], vec![prov::had_primary_source()]),
+            Capability::SubWorkflowLinks => (vec![prov::was_informed_by()], vec![]),
+        }
+    }
+}
+
+/// How each system supports a capability, measured from the traces.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InteropRow {
+    /// The capability.
+    pub capability: Capability,
+    /// Whether Taverna traces can answer it.
+    pub taverna: bool,
+    /// Whether Wings traces can answer it.
+    pub wings: bool,
+    /// Whether a cross-system query needs a UNION of different graph
+    /// shapes (true when both can answer but via different vocabularies).
+    pub needs_union: bool,
+}
+
+impl InteropRow {
+    /// Whether the capability is answerable corpus-wide.
+    pub fn interoperable(&self) -> bool {
+        self.taverna && self.wings
+    }
+}
+
+/// The full interoperability report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InteropReport {
+    /// One row per capability.
+    pub rows: Vec<InteropRow>,
+}
+
+impl fmt::Display for InteropReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:34} {:8} {:6} cross-system", "capability", "Taverna", "Wings")?;
+        for row in &self.rows {
+            let cross = if row.interoperable() {
+                if row.needs_union {
+                    "UNION of two shapes"
+                } else {
+                    "single shape"
+                }
+            } else if row.taverna {
+                "Taverna only"
+            } else if row.wings {
+                "Wings only"
+            } else {
+                "unanswerable"
+            };
+            writeln!(
+                f,
+                "{:34} {:8} {:6} {}",
+                row.capability.description(),
+                if row.taverna { "yes" } else { "-" },
+                if row.wings { "yes" } else { "-" },
+                cross
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Derive the report from a corpus by scanning each system's traces.
+pub fn interop_report(corpus: &Corpus) -> InteropReport {
+    let taverna = TermStats::of_graph(&corpus.system_graph(System::Taverna));
+    let wings = TermStats::of_graph(&corpus.system_graph(System::Wings));
+    // A term "answers" whether asserted as predicate or class.
+    let supports = |stats: &TermStats, terms: &[Iri]| {
+        !terms.is_empty()
+            && terms
+                .iter()
+                .all(|t| stats.uses_property(t) || stats.uses_class(t))
+    };
+    let rows = Capability::ALL
+        .iter()
+        .map(|&capability| {
+            let (tav_terms, wgs_terms) = capability.requirements();
+            let taverna_ok = supports(&taverna, &tav_terms);
+            let wings_ok = supports(&wings, &wgs_terms);
+            // A union is needed when the two systems answer via
+            // different term sets.
+            let needs_union = taverna_ok && wings_ok && tav_terms != wgs_terms;
+            InteropRow { capability, taverna: taverna_ok, wings: wings_ok, needs_union }
+        })
+        .collect();
+    InteropReport { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use provbench_core::CorpusSpec;
+
+    fn report() -> InteropReport {
+        let corpus = Corpus::generate(&CorpusSpec {
+            total_runs: 130,
+            failed_runs: 8,
+            ..CorpusSpec::default()
+        });
+        interop_report(&corpus)
+    }
+
+    fn row(r: &InteropReport, c: Capability) -> InteropRow {
+        r.rows.iter().find(|x| x.capability == c).cloned().unwrap()
+    }
+
+    #[test]
+    fn matches_the_papers_availability_notes() {
+        let r = report();
+        // Q4's note: process times only in Taverna logs.
+        let pt = row(&r, Capability::ProcessTimes);
+        assert!(pt.taverna && !pt.wings);
+        // Q6's note: services only in Wings logs.
+        let sv = row(&r, Capability::Services);
+        assert!(!sv.taverna && sv.wings);
+        // Primary sources and sub-workflow links are single-system too.
+        assert!(!row(&r, Capability::PrimarySources).taverna);
+        assert!(row(&r, Capability::PrimarySources).wings);
+        assert!(row(&r, Capability::SubWorkflowLinks).taverna);
+        assert!(!row(&r, Capability::SubWorkflowLinks).wings);
+    }
+
+    #[test]
+    fn core_capabilities_are_interoperable_via_union() {
+        let r = report();
+        for c in [
+            Capability::RunListing,
+            Capability::RunTimes,
+            Capability::TemplateAssociation,
+            Capability::RunInputsOutputs,
+            Capability::Executor,
+        ] {
+            let row = row(&r, c);
+            assert!(row.interoperable(), "{c:?} should be answerable on both");
+            assert!(row.needs_union, "{c:?} needs a UNION of two shapes");
+        }
+    }
+
+    #[test]
+    fn report_covers_all_capabilities_and_prints() {
+        let r = report();
+        assert_eq!(r.rows.len(), Capability::ALL.len());
+        let text = r.to_string();
+        assert!(text.contains("services executed"));
+        assert!(text.contains("Wings only"));
+        assert!(text.contains("UNION of two shapes"));
+    }
+}

@@ -1,0 +1,209 @@
+//! Application i (paper §3): identification of dependencies between data
+//! products and processes.
+//!
+//! Works at the RDF level over any trace graph (Taverna or Wings):
+//! `prov:wasGeneratedBy` identifies the producing process of a data
+//! product, and chaining generation with `prov:used` yields the
+//! data-dependency closure the paper describes ("how it was derived from
+//! other data products").
+
+use provbench_rdf::{Graph, Iri, Subject, Term};
+use provbench_vocab::prov;
+use std::collections::BTreeSet;
+
+/// The activities that generated an entity (normally exactly one).
+pub fn producers_of(graph: &Graph, entity: &Iri) -> Vec<Iri> {
+    graph
+        .objects(&Subject::Iri(entity.clone()), &prov::was_generated_by())
+        .filter_map(|t| t.as_iri().cloned())
+        .collect()
+}
+
+/// Direct data dependencies of `entity`: the inputs of its producer(s).
+pub fn direct_dependencies(graph: &Graph, entity: &Iri) -> Vec<Iri> {
+    let mut out = Vec::new();
+    for producer in producers_of(graph, entity) {
+        for used in graph.objects(&Subject::Iri(producer), &prov::used()) {
+            if let Some(iri) = used.as_iri() {
+                if !out.contains(iri) {
+                    out.push(iri.clone());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// All entities `entity` transitively depends on.
+pub fn upstream_entities(graph: &Graph, entity: &Iri) -> Vec<Iri> {
+    let mut seen: BTreeSet<Iri> = BTreeSet::new();
+    let mut stack = vec![entity.clone()];
+    while let Some(e) = stack.pop() {
+        for dep in direct_dependencies(graph, &e) {
+            if seen.insert(dep.clone()) {
+                stack.push(dep);
+            }
+        }
+    }
+    seen.into_iter().collect()
+}
+
+/// A materialized data-dependency graph.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LineageGraph {
+    /// `(derived entity, source entity, via process)` edges.
+    pub edges: Vec<(Iri, Iri, Iri)>,
+}
+
+impl LineageGraph {
+    /// Entities with no outgoing dependency edge (the original inputs).
+    pub fn sources(&self) -> Vec<Iri> {
+        let derived: BTreeSet<&Iri> = self.edges.iter().map(|(d, _, _)| d).collect();
+        let mut out: Vec<Iri> = self
+            .edges
+            .iter()
+            .map(|(_, s, _)| s.clone())
+            .filter(|s| !derived.contains(s))
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Number of dependency edges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether there are no edges.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+}
+
+/// Compute every `(derived, source, process)` dependency edge in a trace:
+/// for each generation `e2 wasGeneratedBy a` and each usage `a used e1`,
+/// `e2` depends on `e1` via `a`.
+pub fn dependency_edges(graph: &Graph) -> LineageGraph {
+    let mut edges = Vec::new();
+    for gen in graph.triples_matching(None, Some(&prov::was_generated_by()), None) {
+        let (Subject::Iri(derived), Term::Iri(process)) = (&gen.subject, &gen.object) else {
+            continue;
+        };
+        for used in
+            graph.triples_matching(Some(&Subject::Iri(process.clone())), Some(&prov::used()), None)
+        {
+            if let Term::Iri(source) = &used.object {
+                if source != derived {
+                    edges.push((derived.clone(), source.clone(), process.clone()));
+                }
+            }
+        }
+    }
+    edges.sort();
+    edges.dedup();
+    LineageGraph { edges }
+}
+
+impl LineageGraph {
+    /// Render the dependency graph in Graphviz DOT syntax: entities as
+    /// boxes, dependency edges labelled with the mediating process.
+    pub fn to_dot(&self) -> String {
+        fn short(iri: &Iri) -> String {
+            iri.as_str()
+                .rsplit(['/', '#'])
+                .next()
+                .unwrap_or(iri.as_str())
+                .replace('"', "'")
+        }
+        let mut out = String::from("digraph lineage {\n  rankdir=BT;\n  node [shape=box];\n");
+        let mut nodes: BTreeSet<&Iri> = BTreeSet::new();
+        for (d, s, _) in &self.edges {
+            nodes.insert(d);
+            nodes.insert(s);
+        }
+        for n in nodes {
+            out.push_str(&format!("  \"{}\" [label=\"{}\"];\n", n.as_str(), short(n)));
+        }
+        for (derived, source, process) in &self.edges {
+            out.push_str(&format!(
+                "  \"{}\" -> \"{}\" [label=\"{}\"];\n",
+                source.as_str(),
+                derived.as_str(),
+                short(process)
+            ));
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use provbench_rdf::Triple;
+
+    fn iri(s: &str) -> Iri {
+        Iri::new(s).unwrap()
+    }
+
+    /// in → [p1] → mid → [p2] → out; p2 also uses in2.
+    fn chain() -> Graph {
+        let mut g = Graph::new();
+        let used = prov::used();
+        let gen = prov::was_generated_by();
+        g.insert(Triple::new(iri("http://e/p1"), used.clone(), iri("http://e/in")));
+        g.insert(Triple::new(iri("http://e/mid"), gen.clone(), iri("http://e/p1")));
+        g.insert(Triple::new(iri("http://e/p2"), used.clone(), iri("http://e/mid")));
+        g.insert(Triple::new(iri("http://e/p2"), used, iri("http://e/in2")));
+        g.insert(Triple::new(iri("http://e/out"), gen, iri("http://e/p2")));
+        g
+    }
+
+    #[test]
+    fn producer_identification() {
+        let g = chain();
+        assert_eq!(producers_of(&g, &iri("http://e/out")), vec![iri("http://e/p2")]);
+        assert!(producers_of(&g, &iri("http://e/in")).is_empty());
+    }
+
+    #[test]
+    fn direct_and_transitive_dependencies() {
+        let g = chain();
+        assert_eq!(
+            direct_dependencies(&g, &iri("http://e/out")),
+            vec![iri("http://e/mid"), iri("http://e/in2")]
+        );
+        let up = upstream_entities(&g, &iri("http://e/out"));
+        assert_eq!(
+            up,
+            vec![iri("http://e/in"), iri("http://e/in2"), iri("http://e/mid")]
+        );
+    }
+
+    #[test]
+    fn dependency_edge_materialization() {
+        let lg = dependency_edges(&chain());
+        assert_eq!(lg.len(), 3);
+        assert!(!lg.is_empty());
+        assert_eq!(lg.sources(), vec![iri("http://e/in"), iri("http://e/in2")]);
+    }
+
+    #[test]
+    fn dot_export_lists_nodes_and_edges() {
+        let lg = dependency_edges(&chain());
+        let dot = lg.to_dot();
+        assert!(dot.starts_with("digraph lineage {"));
+        assert!(dot.ends_with("}\n"));
+        // 4 entity nodes, 3 labelled edges.
+        assert_eq!(dot.matches("[label=").count(), 4 + 3);
+        assert!(dot.contains("\"http://e/in\" -> \"http://e/mid\" [label=\"p1\"]"));
+    }
+
+    #[test]
+    fn empty_graph_has_no_lineage() {
+        let lg = dependency_edges(&Graph::new());
+        assert!(lg.is_empty());
+        assert!(lg.sources().is_empty());
+    }
+}

@@ -1,0 +1,247 @@
+//! Trace linting — corpus QA for the paper's §6 maintenance story
+//! ("maintaining the corpus… improve the corpus in the light of
+//! community feedback").
+//!
+//! Beyond generic PROV constraints (`provbench-prov::constraints`), each
+//! system's traces must follow its own profile conventions; the linter
+//! checks the structural rules a corpus curator would enforce before
+//! accepting a new trace into the collection.
+
+use provbench_core::TraceRecord;
+use provbench_prov::inference::any_use_of;
+use provbench_rdf::{Graph, Iri, Subject, Term};
+use provbench_vocab::{self as vocab, opmw, prov, wfprov};
+use provbench_workflow::System;
+use std::fmt;
+
+/// One lint finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LintFinding {
+    /// The rule that fired.
+    pub rule: &'static str,
+    /// The offending node, when the rule points at one.
+    pub node: Option<Iri>,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl fmt::Display for LintFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.node {
+            Some(n) => write!(f, "[{}] {} ({})", self.rule, self.detail, n),
+            None => write!(f, "[{}] {}", self.rule, self.detail),
+        }
+    }
+}
+
+fn finding(rule: &'static str, node: Option<Iri>, detail: impl Into<String>) -> LintFinding {
+    LintFinding { rule, node, detail: detail.into() }
+}
+
+fn instances<'a>(g: &'a Graph, class: &Iri) -> impl Iterator<Item = Iri> + 'a {
+    let class: Term = class.clone().into();
+    g.triples_matching(None, Some(&vocab::rdf_type()), Some(&class))
+        .filter_map(|t| match t.subject {
+            Subject::Iri(i) => Some(i),
+            Subject::Blank(_) => None,
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+}
+
+fn lint_taverna(g: &Graph, out: &mut Vec<LintFinding>) {
+    // Every process run belongs to exactly one workflow run and has times.
+    for p in instances(g, &wfprov::process_run()) {
+        let s = Subject::Iri(p.clone());
+        let parents = g.objects(&s, &wfprov::was_part_of_workflow_run()).count();
+        if parents != 1 {
+            out.push(finding(
+                "taverna/process-run-parent",
+                Some(p.clone()),
+                format!("process run has {parents} wasPartOfWorkflowRun links (want 1)"),
+            ));
+        }
+        for time in [prov::started_at_time(), prov::ended_at_time()] {
+            if g.object(&s, &time).is_none() {
+                out.push(finding(
+                    "taverna/process-run-times",
+                    Some(p.clone()),
+                    format!("missing {}", time.as_str()),
+                ));
+            }
+        }
+        if g.object(&s, &wfprov::described_by_process()).is_none() {
+            out.push(finding(
+                "taverna/process-run-description",
+                Some(p.clone()),
+                "missing describedByProcess",
+            ));
+        }
+    }
+    // Every workflow run names its workflow and both times.
+    for r in instances(g, &wfprov::workflow_run()) {
+        let s = Subject::Iri(r.clone());
+        if g.object(&s, &wfprov::described_by_workflow()).is_none() {
+            out.push(finding(
+                "taverna/run-description",
+                Some(r.clone()),
+                "missing describedByWorkflow",
+            ));
+        }
+    }
+    // Artifacts carry values.
+    for a in instances(g, &wfprov::artifact()) {
+        if g.object(&Subject::Iri(a.clone()), &prov::value()).is_none() {
+            out.push(finding("taverna/artifact-value", Some(a), "missing prov:value"));
+        }
+    }
+    // The Taverna profile never asserts these (Tables 2–3).
+    for p in [prov::was_attributed_to(), prov::at_location(), prov::had_primary_source()] {
+        if any_use_of(g, &p) {
+            out.push(finding(
+                "taverna/profile-purity",
+                None,
+                format!("Taverna trace asserts {}", p.as_str()),
+            ));
+        }
+    }
+}
+
+fn lint_wings(g: &Graph, out: &mut Vec<LintFinding>) {
+    for p in instances(g, &opmw::workflow_execution_process()) {
+        let s = Subject::Iri(p.clone());
+        if g.object(&s, &opmw::belongs_to_account()).is_none() {
+            out.push(finding(
+                "wings/process-account",
+                Some(p.clone()),
+                "missing belongsToAccount",
+            ));
+        }
+        if g.object(&s, &opmw::has_executable_component()).is_none() {
+            out.push(finding(
+                "wings/process-component",
+                Some(p.clone()),
+                "missing hasExecutableComponent",
+            ));
+        }
+        if g.object(&s, &opmw::has_status()).is_none() {
+            out.push(finding("wings/process-status", Some(p.clone()), "missing hasStatus"));
+        }
+    }
+    for a in instances(g, &opmw::workflow_execution_artifact()) {
+        let s = Subject::Iri(a.clone());
+        if g.object(&s, &prov::at_location()).is_none() {
+            out.push(finding("wings/artifact-location", Some(a.clone()), "missing atLocation"));
+        }
+        if g.object(&s, &opmw::belongs_to_account()).is_none() {
+            out.push(finding("wings/artifact-account", Some(a), "missing belongsToAccount"));
+        }
+    }
+    // The Wings profile never asserts per-activity times (Table 2).
+    for p in [prov::started_at_time(), prov::ended_at_time(), prov::was_informed_by()] {
+        if any_use_of(g, &p) {
+            out.push(finding(
+                "wings/profile-purity",
+                None,
+                format!("Wings trace asserts {}", p.as_str()),
+            ));
+        }
+    }
+}
+
+/// Lint one trace (its union graph) against its system profile.
+pub fn lint_trace(trace: &TraceRecord) -> Vec<LintFinding> {
+    let g = trace.union_graph();
+    let mut out = Vec::new();
+    match trace.system {
+        System::Taverna => lint_taverna(&g, &mut out),
+        System::Wings => lint_wings(&g, &mut out),
+    }
+    out
+}
+
+/// Lint every trace of a corpus; returns `(run id, findings)` for runs
+/// with at least one finding.
+pub fn lint_corpus(corpus: &provbench_core::Corpus) -> Vec<(String, Vec<LintFinding>)> {
+    corpus
+        .traces
+        .iter()
+        .filter_map(|t| {
+            let findings = lint_trace(t);
+            (!findings.is_empty()).then(|| (t.run_id.clone(), findings))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use provbench_core::{Corpus, CorpusSpec};
+    use provbench_rdf::Triple;
+
+    fn corpus() -> Corpus {
+        Corpus::generate(&CorpusSpec {
+            max_workflows: Some(70),
+            total_runs: 80,
+            failed_runs: 5,
+            ..CorpusSpec::default()
+        })
+    }
+
+    #[test]
+    fn generated_corpus_is_lint_clean() {
+        let c = corpus();
+        let dirty = lint_corpus(&c);
+        assert!(
+            dirty.is_empty(),
+            "generated traces must pass their own profile lint: {:?}",
+            dirty.first()
+        );
+    }
+
+    #[test]
+    fn profile_violations_are_caught() {
+        let c = corpus();
+        // Corrupt a Taverna trace with a Wings-only assertion.
+        let mut trace = c
+            .traces
+            .iter()
+            .find(|t| t.system == System::Taverna)
+            .unwrap()
+            .clone();
+        trace.dataset.default_graph_mut().insert(Triple::new(
+            Iri::new_unchecked("http://e/x"),
+            prov::was_attributed_to(),
+            Iri::new_unchecked("http://e/agent"),
+        ));
+        let findings = lint_trace(&trace);
+        assert!(findings.iter().any(|f| f.rule == "taverna/profile-purity"));
+        assert!(findings[0].to_string().contains("taverna/"));
+    }
+
+    #[test]
+    fn missing_structure_is_caught() {
+        let c = corpus();
+        let mut trace = c
+            .traces
+            .iter()
+            .find(|t| t.system == System::Wings)
+            .unwrap()
+            .clone();
+        // Declare an execution process with no account/component/status.
+        let account = provbench_wings::account_iri(&trace.run_id);
+        trace
+            .dataset
+            .named_graph_mut(account.into())
+            .insert(Triple::new(
+                Iri::new_unchecked("http://e/orphan"),
+                vocab::rdf_type(),
+                opmw::workflow_execution_process(),
+            ));
+        let findings = lint_trace(&trace);
+        let rules: Vec<&str> = findings.iter().map(|f| f.rule).collect();
+        assert!(rules.contains(&"wings/process-account"));
+        assert!(rules.contains(&"wings/process-component"));
+        assert!(rules.contains(&"wings/process-status"));
+    }
+}

@@ -1,0 +1,228 @@
+//! Run timeline reconstruction and critical-path analysis.
+//!
+//! Q4 already retrieves per-process times (Taverna); this module goes a
+//! step further, answering the operational questions a workflow engineer
+//! asks of provenance: *where did the time go*, and *which chain of
+//! steps determined the run's makespan* (the critical path through the
+//! usage/generation dependency graph).
+//!
+//! Works purely at the RDF level: intervals from
+//! `prov:startedAtTime`/`endedAtTime`, dependencies from
+//! `prov:used`/`prov:wasGeneratedBy`. Wings traces have no activity
+//! times, so timelines are a Taverna-only capability — the same
+//! asymmetry the paper's Q4 notes.
+
+use provbench_rdf::{DateTime, Graph, Iri, Subject, Term};
+use provbench_vocab::{prov, wfprov};
+use std::collections::BTreeMap;
+
+/// One process interval of a run's timeline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TimelineEntry {
+    /// The process run.
+    pub process: Iri,
+    /// Start time.
+    pub started: DateTime,
+    /// End time.
+    pub ended: DateTime,
+    /// Duration in milliseconds.
+    pub duration_ms: i64,
+    /// Direct upstream dependencies (processes whose outputs it used).
+    pub depends_on: Vec<Iri>,
+}
+
+/// The reconstructed timeline of one workflow run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Timeline {
+    /// The workflow run.
+    pub run: Iri,
+    /// Entries ordered by start time.
+    pub entries: Vec<TimelineEntry>,
+    /// The run's makespan in milliseconds (max end − min start).
+    pub makespan_ms: i64,
+    /// The critical path: the dependency chain with the largest total
+    /// duration, from first process to last, ordered by time.
+    pub critical_path: Vec<Iri>,
+}
+
+impl Timeline {
+    /// Sum of all process durations (total work, ignoring overlap).
+    pub fn total_work_ms(&self) -> i64 {
+        self.entries.iter().map(|e| e.duration_ms).sum()
+    }
+
+    /// Parallelism ratio: total work / makespan (1.0 = fully serial).
+    pub fn parallelism(&self) -> f64 {
+        if self.makespan_ms == 0 {
+            1.0
+        } else {
+            self.total_work_ms() as f64 / self.makespan_ms as f64
+        }
+    }
+}
+
+fn time_of(g: &Graph, s: &Subject, p: &Iri) -> Option<DateTime> {
+    g.object(s, p)?.as_literal()?.as_date_time()
+}
+
+/// Reconstruct the timeline of `run` from its trace graph. Returns
+/// `None` when the run has no timed process runs (e.g. a Wings account).
+pub fn timeline_of(graph: &Graph, run: &Iri) -> Option<Timeline> {
+    // Processes of the run (Taverna shape).
+    let run_term: Term = run.clone().into();
+    let processes: Vec<Iri> = graph
+        .triples_matching(None, Some(&wfprov::was_part_of_workflow_run()), Some(&run_term))
+        .filter_map(|t| match t.subject {
+            Subject::Iri(i) => Some(i),
+            Subject::Blank(_) => None,
+        })
+        .collect();
+
+    // Producer map: artifact → producing process (within this run).
+    let mut producer: BTreeMap<Iri, Iri> = BTreeMap::new();
+    for p in &processes {
+        for out in graph.subjects_with(&prov::was_generated_by(), &p.clone().into()) {
+            if let Subject::Iri(artifact) = out {
+                producer.insert(artifact, p.clone());
+            }
+        }
+    }
+
+    let mut entries = Vec::new();
+    for p in &processes {
+        let s = Subject::Iri(p.clone());
+        let (Some(started), Some(ended)) = (
+            time_of(graph, &s, &prov::started_at_time()),
+            time_of(graph, &s, &prov::ended_at_time()),
+        ) else {
+            continue;
+        };
+        let mut depends_on: Vec<Iri> = graph
+            .objects(&s, &prov::used())
+            .filter_map(|o| o.as_iri().and_then(|a| producer.get(a)).cloned())
+            .filter(|d| d != p)
+            .collect();
+        depends_on.sort();
+        depends_on.dedup();
+        entries.push(TimelineEntry {
+            process: p.clone(),
+            duration_ms: ended.millis_since(&started),
+            started,
+            ended,
+            depends_on,
+        });
+    }
+    if entries.is_empty() {
+        return None;
+    }
+    entries.sort_by_key(|e| (e.started, e.process.clone()));
+
+    let first = entries.iter().map(|e| e.started).min().expect("non-empty");
+    let last = entries.iter().map(|e| e.ended).max().expect("non-empty");
+
+    // Critical path by longest-path DP over the dependency DAG (entries
+    // are start-time ordered, and dependencies always start earlier).
+    let index: BTreeMap<&Iri, usize> =
+        entries.iter().enumerate().map(|(i, e)| (&e.process, i)).collect();
+    let mut best: Vec<(i64, Option<usize>)> = vec![(0, None); entries.len()];
+    for i in 0..entries.len() {
+        let mut cost = entries[i].duration_ms;
+        let mut from = None;
+        for dep in &entries[i].depends_on {
+            if let Some(&j) = index.get(dep) {
+                if j < i && best[j].0 + entries[i].duration_ms > cost {
+                    cost = best[j].0 + entries[i].duration_ms;
+                    from = Some(j);
+                }
+            }
+        }
+        best[i] = (cost, from);
+    }
+    let mut at = (0..entries.len()).max_by_key(|&i| best[i].0).expect("non-empty");
+    let mut critical_path = vec![entries[at].process.clone()];
+    while let Some(prev) = best[at].1 {
+        critical_path.push(entries[prev].process.clone());
+        at = prev;
+    }
+    critical_path.reverse();
+
+    Some(Timeline {
+        run: run.clone(),
+        makespan_ms: last.millis_since(&first),
+        entries,
+        critical_path,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use provbench_core::{Corpus, CorpusSpec};
+    use provbench_workflow::System;
+
+    fn corpus() -> Corpus {
+        Corpus::generate(&CorpusSpec {
+            max_workflows: Some(70),
+            total_runs: 75,
+            failed_runs: 0,
+            ..CorpusSpec::default()
+        })
+    }
+
+    fn run_iri(run_id: &str) -> Iri {
+        Iri::new_unchecked(format!("{}workflow-run", provbench_taverna::run_base_iri(run_id)))
+    }
+
+    #[test]
+    fn taverna_runs_have_timelines() {
+        let c = corpus();
+        let trace = c.traces_of(System::Taverna).next().unwrap();
+        let tl = timeline_of(&trace.union_graph(), &run_iri(&trace.run_id)).unwrap();
+        let executed =
+            trace.run.processes.iter().filter(|p| p.started_ms.is_some()).count();
+        assert_eq!(tl.entries.len(), executed);
+        assert!(tl.makespan_ms > 0);
+        assert!(tl.total_work_ms() >= tl.makespan_ms || tl.entries.len() == 1);
+        assert!(tl.parallelism() >= 1.0);
+        // Entries are time-ordered and durations are consistent.
+        for e in &tl.entries {
+            assert_eq!(e.duration_ms, e.ended.millis_since(&e.started));
+            assert!(e.duration_ms >= 0);
+        }
+        assert!(tl.entries.windows(2).all(|w| w[0].started <= w[1].started));
+    }
+
+    #[test]
+    fn critical_path_is_a_dependency_chain_bounding_the_makespan() {
+        let c = corpus();
+        for trace in c.traces_of(System::Taverna).take(10) {
+            let g = trace.union_graph();
+            let tl = timeline_of(&g, &run_iri(&trace.run_id)).unwrap();
+            assert!(!tl.critical_path.is_empty());
+            // Consecutive path elements are true dependencies.
+            let entry = |p: &Iri| tl.entries.iter().find(|e| &e.process == p).unwrap();
+            for w in tl.critical_path.windows(2) {
+                assert!(
+                    entry(&w[1]).depends_on.contains(&w[0]),
+                    "critical path edge missing in {}",
+                    trace.run_id
+                );
+            }
+            // Path duration is ≤ makespan and dominates any single entry.
+            let path_work: i64 =
+                tl.critical_path.iter().map(|p| entry(p).duration_ms).sum();
+            assert!(path_work <= tl.makespan_ms);
+            let longest_single =
+                tl.entries.iter().map(|e| e.duration_ms).max().unwrap();
+            assert!(path_work >= longest_single);
+        }
+    }
+
+    #[test]
+    fn wings_accounts_have_no_timeline() {
+        let c = corpus();
+        let trace = c.traces_of(System::Wings).next().unwrap();
+        let account = provbench_wings::account_iri(&trace.run_id);
+        assert!(timeline_of(&trace.union_graph(), &account).is_none());
+    }
+}

@@ -1,0 +1,33 @@
+//! Figure 1 — domains of workflows. Benchmarks the domain-histogram
+//! computation and prints the figure as ASCII bars.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use provbench_bench::full_corpus;
+use provbench_core::stats::CorpusStats;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let corpus = full_corpus();
+    let mut group = c.benchmark_group("figure1");
+    group.sample_size(10);
+    group.bench_function("domain_histogram_full_corpus", |b| {
+        b.iter(|| black_box(CorpusStats::compute(corpus).domain_histogram))
+    });
+    group.finish();
+
+    let stats = CorpusStats::compute(corpus);
+    println!("\n--- Figure 1: Domains of workflows (W = Wings, T = Taverna) ---");
+    for row in &stats.domain_histogram {
+        println!(
+            "{:26} {}{} ({} + {})",
+            row.name,
+            "T".repeat(row.taverna),
+            "W".repeat(row.wings),
+            row.taverna,
+            row.wings
+        );
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Ablation — PROV-O inference cost by rule set and trace-graph size.
+//! `schema_only` is what Table 3's starred entries need; `all` adds the
+//! communication/derivation/attribution rules (the paper's §5 "ongoing
+//! work" derivations).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use provbench_bench::bench_corpus;
+use provbench_prov::inference::{apply_inference, InferenceRules};
+use provbench_rdf::Graph;
+use provbench_workflow::System;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let corpus = bench_corpus();
+    // Merged trace graphs of increasing size.
+    let sizes = [5usize, 20, 60];
+    let graphs: Vec<(usize, Graph)> = sizes
+        .iter()
+        .map(|&k| {
+            let mut g = Graph::new();
+            for t in corpus.traces.iter().take(k) {
+                g.extend_from_graph(&t.union_graph());
+            }
+            (g.len(), g)
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("inference");
+    group.sample_size(10);
+    for (triples, g) in &graphs {
+        group.bench_with_input(
+            BenchmarkId::new("schema_only", triples),
+            g,
+            |b, g| b.iter(|| black_box(apply_inference(g, &InferenceRules::schema_only()))),
+        );
+        group.bench_with_input(BenchmarkId::new("all_rules", triples), g, |b, g| {
+            b.iter(|| black_box(apply_inference(g, &InferenceRules::all())))
+        });
+    }
+    // Per-system cost at coverage-analysis scale.
+    let taverna = corpus.system_graph(System::Taverna);
+    group.bench_function("coverage_pass_taverna", |b| {
+        b.iter(|| black_box(apply_inference(&taverna, &InferenceRules::schema_only())))
+    });
+    group.finish();
+
+    for (triples, g) in &graphs {
+        let inferred = apply_inference(g, &InferenceRules::all());
+        println!(
+            "inference closure: {triples} asserted → {} materialized (+{:.0}%)",
+            inferred.len(),
+            100.0 * (inferred.len() - g.len()) as f64 / g.len() as f64
+        );
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

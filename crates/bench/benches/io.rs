@@ -1,0 +1,46 @@
+//! Ablation — corpus I/O: on-disk save (per-run Turtle/TriG layout),
+//! directory load, and bulk N-Quads export/parse.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use provbench_bench::bench_corpus;
+use provbench_core::store;
+use provbench_rdf::parse_nquads;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let corpus = bench_corpus();
+    let dir = std::env::temp_dir().join(format!("provbench-io-bench-{}", std::process::id()));
+    let nquads = store::export_nquads(corpus);
+
+    let mut group = c.benchmark_group("io");
+    group.sample_size(10);
+    group.bench_function("save_corpus_dir", |b| {
+        b.iter(|| {
+            let _ = std::fs::remove_dir_all(&dir);
+            black_box(store::save(corpus, &dir).unwrap())
+        })
+    });
+    // Ensure a populated directory for the load bench.
+    let _ = std::fs::remove_dir_all(&dir);
+    store::save(corpus, &dir).unwrap();
+    group.bench_function("load_corpus_dir", |b| {
+        b.iter(|| black_box(store::load(&dir).unwrap()))
+    });
+    group.bench_function("export_nquads", |b| {
+        b.iter(|| black_box(store::export_nquads(corpus)))
+    });
+    group.bench_function("parse_nquads_bulk", |b| {
+        b.iter(|| black_box(parse_nquads(&nquads).unwrap()))
+    });
+    group.finish();
+
+    let _ = std::fs::remove_dir_all(&dir);
+    println!(
+        "\n--- io corpus: {} traces, {} B as N-Quads ---",
+        corpus.traces.len(),
+        nquads.len()
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Ablation — BGP join ordering: greedy selectivity-based reordering vs
+//! evaluating patterns in written order, on adversarially-written
+//! queries over the corpus graph.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use provbench_bench::bench_corpus;
+use provbench_query::{execute_with_options, parse_query, EvalOptions};
+use std::hint::black_box;
+
+/// The same query, written selectively-first vs wildcard-first. The
+/// planner should make both run alike; without it the second explodes.
+const GOOD_ORDER: &str = "
+PREFIX prov: <http://www.w3.org/ns/prov#>
+PREFIX wfprov: <http://purl.org/wf4ever/wfprov#>
+SELECT ?run ?p ?o WHERE {
+  ?run a wfprov:WorkflowRun .
+  ?run prov:used ?data .
+  ?data ?p ?o .
+}";
+
+const BAD_ORDER: &str = "
+PREFIX prov: <http://www.w3.org/ns/prov#>
+PREFIX wfprov: <http://purl.org/wf4ever/wfprov#>
+SELECT ?run ?p ?o WHERE {
+  ?data ?p ?o .
+  ?run prov:used ?data .
+  ?run a wfprov:WorkflowRun .
+}";
+
+fn bench(c: &mut Criterion) {
+    let corpus = bench_corpus();
+    let graph = corpus.combined_graph();
+    let good = parse_query(GOOD_ORDER).expect("query parses");
+    let bad = parse_query(BAD_ORDER).expect("query parses");
+    let on = EvalOptions { reorder_patterns: true };
+    let off = EvalOptions { reorder_patterns: false };
+
+    // Sanity: all four configurations agree on the row count.
+    let expected = execute_with_options(&graph, &good, &on).unwrap().len();
+    for (q, o) in [(&good, &off), (&bad, &on), (&bad, &off)] {
+        assert_eq!(execute_with_options(&graph, q, o).unwrap().len(), expected);
+    }
+
+    let mut group = c.benchmark_group("planner");
+    group.sample_size(10);
+    group.bench_function("good_order_planner_on", |b| {
+        b.iter(|| black_box(execute_with_options(&graph, &good, &on).unwrap()))
+    });
+    group.bench_function("good_order_planner_off", |b| {
+        b.iter(|| black_box(execute_with_options(&graph, &good, &off).unwrap()))
+    });
+    group.bench_function("bad_order_planner_on", |b| {
+        b.iter(|| black_box(execute_with_options(&graph, &bad, &on).unwrap()))
+    });
+    group.bench_function("bad_order_planner_off", |b| {
+        b.iter(|| black_box(execute_with_options(&graph, &bad, &off).unwrap()))
+    });
+    group.finish();
+
+    println!("\n--- planner ablation: {expected} result rows over {} triples ---", graph.len());
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

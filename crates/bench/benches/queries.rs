@@ -1,0 +1,55 @@
+//! §4 — the six exemplar queries, benchmarked against the corpus graph.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use provbench_bench::bench_corpus;
+use provbench_query::exemplar::{
+    q1_runs, q2_template_runs, q3_template_run_io, q4_process_runs, q5_executor, q6_services,
+};
+use provbench_wings::account_iri;
+use provbench_workflow::System;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let corpus = bench_corpus();
+    let graph = corpus.combined_graph();
+    let template = corpus.templates[0].1.name.clone();
+    let tav_trace = corpus.traces_of(System::Taverna).next().unwrap();
+    let tav_run = provbench_rdf::Iri::new_unchecked(format!(
+        "{}workflow-run",
+        provbench_taverna::run_base_iri(&tav_trace.run_id)
+    ));
+    let wings_trace = corpus.traces_of(System::Wings).next().unwrap();
+    let account = account_iri(&wings_trace.run_id);
+
+    let mut group = c.benchmark_group("queries");
+    group.sample_size(10);
+    group.bench_function("q1_all_runs", |b| b.iter(|| black_box(q1_runs(&graph))));
+    group.bench_function("q2_template_runs", |b| {
+        b.iter(|| black_box(q2_template_runs(&graph, &template)))
+    });
+    group.bench_function("q3_run_io", |b| {
+        b.iter(|| black_box(q3_template_run_io(&graph, &template)))
+    });
+    group.bench_function("q4_process_runs", |b| {
+        b.iter(|| black_box(q4_process_runs(&graph, &tav_run)))
+    });
+    group.bench_function("q5_executor", |b| {
+        b.iter(|| black_box(q5_executor(&graph, &tav_run)))
+    });
+    group.bench_function("q6_services", |b| {
+        b.iter(|| black_box(q6_services(&graph, &account)))
+    });
+    group.finish();
+
+    println!("\n--- §4 exemplar query answers (bench corpus, {} triples) ---", graph.len());
+    println!("Q1: {} runs", q1_runs(&graph).len());
+    let t = q2_template_runs(&graph, &template);
+    println!("Q2: template {} → {} runs, {} failed", template, t.runs.len(), t.failed);
+    println!("Q3: {} run-I/O rows", q3_template_run_io(&graph, &template).len());
+    println!("Q4: {} process runs for {}", q4_process_runs(&graph, &tav_run).len(), tav_trace.run_id);
+    println!("Q5: executed by {:?}", q5_executor(&graph, &tav_run));
+    println!("Q6: {} services for {}", q6_services(&graph, &account).len(), wings_trace.run_id);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

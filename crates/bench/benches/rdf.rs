@@ -1,0 +1,64 @@
+//! Ablation — RDF serialization/parsing throughput on real corpus files
+//! (the formats the corpus ships in: Turtle for Taverna, TriG for Wings,
+//! plus N-Triples as the baseline line-oriented format).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use provbench_bench::bench_corpus;
+use provbench_core::store::serialize_trace;
+use provbench_rdf::{parse_ntriples, parse_trig, parse_turtle, write_ntriples, PrefixMap};
+use provbench_workflow::System;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let corpus = bench_corpus();
+    // Concatenate a batch of each system's traces into one document.
+    let turtle: String = corpus
+        .traces_of(System::Taverna)
+        .take(20)
+        .map(serialize_trace)
+        .collect::<Vec<_>>()
+        .join("\n");
+    let trig: String = corpus
+        .traces_of(System::Wings)
+        .take(20)
+        .map(serialize_trace)
+        .collect::<Vec<_>>()
+        .join("\n");
+    let (turtle_graph, _) = parse_turtle(&turtle).expect("bench turtle parses");
+    let ntriples = write_ntriples(&turtle_graph);
+    let prefixes = PrefixMap::common();
+
+    let mut group = c.benchmark_group("rdf");
+    group.sample_size(10);
+
+    group.throughput(Throughput::Bytes(turtle.len() as u64));
+    group.bench_function("parse_turtle", |b| {
+        b.iter(|| black_box(parse_turtle(black_box(&turtle)).unwrap()))
+    });
+    group.throughput(Throughput::Bytes(trig.len() as u64));
+    group.bench_function("parse_trig", |b| {
+        b.iter(|| black_box(parse_trig(black_box(&trig)).unwrap()))
+    });
+    group.throughput(Throughput::Bytes(ntriples.len() as u64));
+    group.bench_function("parse_ntriples", |b| {
+        b.iter(|| black_box(parse_ntriples(black_box(&ntriples)).unwrap()))
+    });
+    group.throughput(Throughput::Elements(turtle_graph.len() as u64));
+    group.bench_function("write_turtle", |b| {
+        b.iter(|| black_box(provbench_rdf::write_turtle(&turtle_graph, &prefixes)))
+    });
+    group.bench_function("write_ntriples", |b| {
+        b.iter(|| black_box(write_ntriples(&turtle_graph)))
+    });
+    group.finish();
+
+    println!(
+        "\n--- RDF ablation corpus: {} B Turtle, {} B TriG, {} triples ---",
+        turtle.len(),
+        trig.len(),
+        turtle_graph.len()
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

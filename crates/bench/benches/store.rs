@@ -1,0 +1,60 @@
+//! Ablation — the graph store's index design: every pattern shape should
+//! be a range scan, so bound-pattern matching must beat the full-scan
+//! alternative by orders of magnitude as graphs grow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use provbench_rdf::{Graph, Iri, Subject, Term, Triple};
+use std::hint::black_box;
+
+fn synthetic_graph(n: usize) -> Graph {
+    let mut g = Graph::new();
+    let preds: Vec<Iri> = (0..16)
+        .map(|i| Iri::new_unchecked(format!("http://bench/p{i}")))
+        .collect();
+    for i in 0..n {
+        g.insert(Triple::new(
+            Iri::new_unchecked(format!("http://bench/s{}", i % (n / 8 + 1))),
+            preds[i % preds.len()].clone(),
+            Iri::new_unchecked(format!("http://bench/o{i}")),
+        ));
+    }
+    g
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store");
+    group.sample_size(10);
+
+    for n in [1_000usize, 10_000, 100_000] {
+        let g = synthetic_graph(n);
+        let s: Subject = Iri::new_unchecked("http://bench/s1").into();
+        let p = Iri::new_unchecked("http://bench/p3");
+
+        group.bench_with_input(BenchmarkId::new("insert", n), &n, |b, &n| {
+            b.iter(|| black_box(synthetic_graph(n)))
+        });
+        group.bench_with_input(BenchmarkId::new("indexed_sp_match", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(g.triples_matching(Some(&s), Some(&p), None).count())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("full_scan_sp_match", n), &n, |b, _| {
+            b.iter(|| {
+                // The naive alternative the indexes replace.
+                black_box(
+                    g.iter()
+                        .filter(|t| t.subject == s && t.predicate == p)
+                        .count(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("indexed_o_match", n), &n, |b, _| {
+            let o: Term = Iri::new_unchecked("http://bench/o42").into();
+            b.iter(|| black_box(g.triples_matching(None, None, Some(&o)).count()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

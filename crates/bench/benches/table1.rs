@@ -1,0 +1,54 @@
+//! Table 1 — corpus metadata. Benchmarks the full pipeline that
+//! produces it: catalog generation, run-plan construction, corpus
+//! generation, and statistics/serialized-size computation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use provbench_bench::bench_corpus;
+use provbench_core::{stats::CorpusStats, stats::Table1, Corpus, CorpusSpec};
+use provbench_workflow::generate::generate_catalog;
+use std::hint::black_box;
+
+fn spec(workflows: usize, runs: usize) -> CorpusSpec {
+    CorpusSpec {
+        max_workflows: Some(workflows),
+        total_runs: runs,
+        failed_runs: runs / 8,
+        ..CorpusSpec::default()
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+
+    group.bench_function("catalog_120_workflows", |b| {
+        b.iter(|| black_box(generate_catalog(42)))
+    });
+
+    for (workflows, runs) in [(12usize, 20usize), (40, 60), (70, 90)] {
+        group.bench_function(format!("corpus_gen_{workflows}wf_{runs}runs"), |b| {
+            b.iter_batched(
+                || spec(workflows, runs),
+                |s| black_box(Corpus::generate(&s)),
+                BatchSize::PerIteration,
+            )
+        });
+    }
+
+    let corpus = bench_corpus();
+    group.bench_function("stats_and_table1", |b| {
+        b.iter(|| {
+            let stats = CorpusStats::compute(black_box(corpus));
+            black_box(Table1::from_stats(&stats))
+        })
+    });
+    group.finish();
+
+    // Print the exhibit once so bench logs double as evidence.
+    let stats = CorpusStats::compute(corpus);
+    println!("\n--- Table 1 (from the {}-run bench corpus) ---", stats.runs);
+    println!("{}", Table1::from_stats(&stats));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

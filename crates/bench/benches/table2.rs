@@ -1,0 +1,37 @@
+//! Table 2 — coverage of starting-point PROV terms. Benchmarks the
+//! assertion-level coverage scan over each system's merged trace graph.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use provbench_analysis::analyze_coverage;
+use provbench_bench::bench_corpus;
+use provbench_prov::stats::TermStats;
+use provbench_workflow::System;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let corpus = bench_corpus();
+    let taverna = corpus.system_graph(System::Taverna);
+    let wings = corpus.system_graph(System::Wings);
+
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    group.bench_function("term_stats_taverna", |b| {
+        b.iter(|| black_box(TermStats::of_graph(&taverna)))
+    });
+    group.bench_function("term_stats_wings", |b| {
+        b.iter(|| black_box(TermStats::of_graph(&wings)))
+    });
+    group.bench_function("full_coverage_analysis", |b| {
+        b.iter(|| black_box(analyze_coverage(&taverna, &wings)))
+    });
+    group.finish();
+
+    let tables = analyze_coverage(&taverna, &wings);
+    println!("\n--- Table 2: Coverage of Starting-point PROV Terms ---");
+    for row in &tables.starting_point {
+        println!("{:26} {}", row.term.name, row.support_cell());
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Table 3 — coverage of additional PROV terms, including the starred
+//! (inferred-only) entries. The dominant cost is the PROV-O schema
+//! inference pass that detects inferability; this bench measures it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use provbench_analysis::analyze_coverage;
+use provbench_bench::bench_corpus;
+use provbench_prov::inference::{apply_inference, InferenceRules};
+use provbench_workflow::System;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let corpus = bench_corpus();
+    let taverna = corpus.system_graph(System::Taverna);
+    let wings = corpus.system_graph(System::Wings);
+    let rules = InferenceRules::schema_only();
+
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(10);
+    group.bench_function("schema_inference_taverna", |b| {
+        b.iter(|| black_box(apply_inference(&taverna, &rules)))
+    });
+    group.bench_function("schema_inference_wings", |b| {
+        b.iter(|| black_box(apply_inference(&wings, &rules)))
+    });
+    group.finish();
+
+    let tables = analyze_coverage(&taverna, &wings);
+    println!("\n--- Table 3: Coverage of Additional PROV Terms (* = inferred) ---");
+    for row in &tables.additional {
+        println!("{:26} {}", row.term.name, row.support_cell());
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! # provbench-core
+//!
+//! The PROV-corpus itself — the paper's contribution. This crate
+//! orchestrates the two engine simulators to re-create the corpus's
+//! *shape*: 120 workflows over 12 domains, 198 runs of which 30 failed,
+//! one RDF file per run (Turtle for Taverna, TriG for Wings) plus one
+//! workflow-description file per template, and the statistics behind the
+//! paper's Table 1 and Figure 1.
+//!
+//! * [`spec`] — the corpus specification and the deterministic run plan;
+//! * [`generate`] — in-memory corpus generation;
+//! * [`store`] — the on-disk layout (save/load round-trip);
+//! * [`stats`] — Table 1 / Figure 1 statistics.
+//!
+//! ## Example
+//!
+//! ```
+//! use provbench_core::{Corpus, CorpusSpec};
+//!
+//! // A miniature corpus for the doctest (the real one uses `default()`).
+//! let spec = CorpusSpec { max_workflows: Some(4), total_runs: 7, failed_runs: 2, ..CorpusSpec::default() };
+//! let corpus = Corpus::generate(&spec);
+//! assert_eq!(corpus.traces.len(), 7);
+//! assert_eq!(corpus.traces.iter().filter(|t| t.failed()).count(), 2);
+//! ```
+
+pub mod generate;
+pub mod ro;
+pub mod spec;
+pub mod stats;
+pub mod store;
+
+pub use generate::{Corpus, TraceRecord};
+pub use ro::{corpus_research_objects, research_object_for};
+pub use spec::{CorpusSpec, PlannedRun, RunPlan};
+pub use stats::{CorpusStats, DomainRow, Table1};

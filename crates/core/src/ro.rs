@@ -1,0 +1,157 @@
+//! Research Object packaging (the paper's reference \[1\] and §6).
+//!
+//! The original corpus was published as Wf4Ever research objects: each
+//! workflow's template description and run traces are aggregated into an
+//! `ro:ResearchObject` with annotations tying traces back to the
+//! workflow they describe. This module regenerates those manifests.
+
+use crate::generate::Corpus;
+use provbench_rdf::{Graph, Iri, Literal, Triple};
+use provbench_vocab::{self as vocab, dcterms, ro};
+use provbench_workflow::System;
+
+/// The research-object IRI for a workflow.
+pub fn research_object_iri(template_name: &str) -> Iri {
+    Iri::new_unchecked(format!(
+        "http://www.wf4ever-project.org/ro/provbench/{template_name}"
+    ))
+}
+
+/// The aggregated resource IRI of one run's trace.
+pub fn trace_resource_iri(system: System, run_id: &str) -> Iri {
+    match system {
+        System::Taverna => Iri::new_unchecked(format!(
+            "{}graph",
+            provbench_taverna::run_base_iri(run_id)
+        )),
+        System::Wings => provbench_wings::account_iri(run_id),
+    }
+}
+
+/// Build the RO manifest graph for one workflow: the research object
+/// aggregates the workflow description and every run trace, with an
+/// annotation per trace naming the workflow it annotates.
+pub fn research_object_for(corpus: &Corpus, template_name: &str) -> Option<Graph> {
+    let (system, template) = corpus
+        .templates
+        .iter()
+        .find(|(_, t)| t.name == template_name)?;
+    let mut g = Graph::new();
+    let ro_iri = research_object_iri(template_name);
+    g.insert(Triple::new(ro_iri.clone(), vocab::rdf_type(), ro::research_object()));
+    g.insert(Triple::new(
+        ro_iri.clone(),
+        dcterms::title(),
+        Literal::simple(format!("Research object of {}", template.title)),
+    ));
+    g.insert(Triple::new(
+        ro_iri.clone(),
+        dcterms::subject(),
+        Literal::simple(&template.domain),
+    ));
+    g.insert(Triple::new(
+        ro_iri.clone(),
+        dcterms::license(),
+        Iri::new_unchecked("http://creativecommons.org/licenses/by/3.0/"),
+    ));
+
+    // The workflow description resource.
+    let wf = match system {
+        System::Taverna => provbench_taverna::export::template_iri(template_name),
+        System::Wings => provbench_wings::template_iri(template_name),
+    };
+    g.insert(Triple::new(ro_iri.clone(), ro::aggregates(), wf.clone()));
+    g.insert(Triple::new(wf.clone(), vocab::rdf_type(), ro::resource()));
+
+    // Every run trace, with an annotation pointing back at the workflow.
+    for (i, trace) in corpus.runs_of_template(template_name).iter().enumerate() {
+        let resource = trace_resource_iri(trace.system, &trace.run_id);
+        g.insert(Triple::new(ro_iri.clone(), ro::aggregates(), resource.clone()));
+        g.insert(Triple::new(resource.clone(), vocab::rdf_type(), ro::resource()));
+        let ann = Iri::new_unchecked(format!("{}/annotation/{}", ro_iri.as_str(), i));
+        g.insert(Triple::new(ann.clone(), vocab::rdf_type(), ro::aggregated_annotation()));
+        g.insert(Triple::new(
+            ann.clone(),
+            ro::annotates_aggregated_resource(),
+            resource,
+        ));
+        g.insert(Triple::new(ann, vocab::rdfs::see_also(), wf.clone()));
+    }
+    Some(g)
+}
+
+/// RO manifests for every workflow of the corpus.
+pub fn corpus_research_objects(corpus: &Corpus) -> Vec<(String, Graph)> {
+    corpus
+        .templates
+        .iter()
+        .filter_map(|(_, t)| {
+            research_object_for(corpus, &t.name).map(|g| (t.name.clone(), g))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::CorpusSpec;
+    use provbench_rdf::Term;
+
+    fn corpus() -> Corpus {
+        Corpus::generate(&CorpusSpec {
+            max_workflows: Some(70),
+            total_runs: 75,
+            failed_runs: 3,
+            ..CorpusSpec::default()
+        })
+    }
+
+    #[test]
+    fn manifest_aggregates_description_and_traces() {
+        let c = corpus();
+        let name = &c.templates[0].1.name;
+        let g = research_object_for(&c, name).unwrap();
+        let ro_subject = research_object_iri(name).into();
+        let aggregated = g
+            .triples_matching(Some(&ro_subject), Some(&ro::aggregates()), None)
+            .count();
+        // 1 workflow description + one resource per run.
+        assert_eq!(aggregated, 1 + c.runs_of_template(name).len());
+        // Annotations link each trace to the workflow.
+        let anns: Term = ro::aggregated_annotation().into();
+        assert_eq!(
+            g.triples_matching(None, Some(&vocab::rdf_type()), Some(&anns)).count(),
+            c.runs_of_template(name).len()
+        );
+    }
+
+    #[test]
+    fn every_workflow_gets_a_manifest() {
+        let c = corpus();
+        let manifests = corpus_research_objects(&c);
+        assert_eq!(manifests.len(), c.templates.len());
+        for (_, g) in &manifests {
+            assert!(!g.is_empty());
+        }
+    }
+
+    #[test]
+    fn wings_manifests_point_at_accounts() {
+        let c = corpus();
+        let wings = c
+            .traces_of(System::Wings)
+            .next()
+            .expect("corpus spans both systems");
+        let g = research_object_for(&c, &wings.template_name).unwrap();
+        let account: Term = provbench_wings::account_iri(&wings.run_id).into();
+        assert!(g
+            .triples_matching(None, Some(&ro::aggregates()), Some(&account))
+            .next()
+            .is_some());
+    }
+
+    #[test]
+    fn unknown_template_yields_none() {
+        assert!(research_object_for(&corpus(), "nope").is_none());
+    }
+}

@@ -1,0 +1,257 @@
+//! Corpus specification and the deterministic run plan.
+
+use provbench_rdf::DateTime;
+use provbench_workflow::{FailureKind, FailureSpec, System, WorkflowTemplate};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Everything that parameterizes corpus generation. The default value
+/// reproduces the paper's headline numbers.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CorpusSpec {
+    /// Master seed; the corpus is a pure function of this spec.
+    pub seed: u64,
+    /// Total workflow runs (the paper's 198).
+    pub total_runs: usize,
+    /// How many of them fail (the paper's 30).
+    pub failed_runs: usize,
+    /// Virtual time of the first run.
+    pub corpus_start_ms: i64,
+    /// Extra filler bytes per artifact value, to scale the corpus towards
+    /// the paper's 360 MB when desired (0 keeps tests fast).
+    pub value_payload: usize,
+    /// Generate only the first N workflows of the catalog (testing knob;
+    /// `None` = all 120).
+    pub max_workflows: Option<usize>,
+}
+
+impl Default for CorpusSpec {
+    fn default() -> Self {
+        CorpusSpec {
+            seed: 42,
+            total_runs: 198,
+            failed_runs: 30,
+            // 2013-01-15T09:00:00Z — the corpus was published early 2013.
+            corpus_start_ms: DateTime::from_ymd_hms(2013, 1, 15, 9, 0, 0).unix_millis(),
+            value_payload: 0,
+            max_workflows: None,
+        }
+    }
+}
+
+/// Pool of user names runs are attributed to (the paper's Q5 needs a
+/// "who executed this run" answer for every run).
+pub const USERS: &[&str] = &[
+    "alice", "bob", "carol", "dana", "erin", "frank", "grace", "heidi",
+];
+
+/// One planned run of one workflow.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlannedRun {
+    /// Index into the template catalog.
+    pub template_index: usize,
+    /// Which system executes it.
+    pub system: System,
+    /// 1-based run number within the template (drives decay epochs).
+    pub run_number: usize,
+    /// Virtual start time.
+    pub started_at_ms: i64,
+    /// Jitter seed for the executor (unique per run).
+    pub seed: u64,
+    /// Input-value seed (shared by all runs of the template, so the
+    /// longitudinal series consumes identical inputs).
+    pub input_seed: u64,
+    /// External-world epoch (differs between runs of the same template,
+    /// so volatile steps drift — the decay signal).
+    pub environment_epoch: u64,
+    /// Injected failure, if this run is one of the failed ones.
+    pub failure: Option<FailureSpec>,
+    /// Who launched it.
+    pub user: String,
+    /// The stable run identifier used in IRIs and file names.
+    pub run_id: String,
+}
+
+/// The full plan: which workflow runs when, and which runs fail.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunPlan {
+    /// All planned runs, in global order.
+    pub runs: Vec<PlannedRun>,
+}
+
+impl RunPlan {
+    /// Build the deterministic plan for a template catalog.
+    ///
+    /// Every workflow runs at least once ("All workflows were executed at
+    /// least one time"); the remaining budget is skewed so that some
+    /// templates accumulate 3–4 runs (the longitudinal series decay
+    /// detection needs). Failures are spread evenly over the global run
+    /// sequence and round-robin over [`FailureKind::ALL`].
+    pub fn build(spec: &CorpusSpec, catalog: &[(System, WorkflowTemplate)]) -> RunPlan {
+        let w = catalog.len();
+        assert!(w > 0, "empty catalog");
+        assert!(
+            spec.total_runs >= w,
+            "total_runs ({}) must cover one run per workflow ({w})",
+            spec.total_runs
+        );
+        let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x9e37_79b9_7f4a_7c15);
+
+        // Runs per template: start at 1 each, then hand the surplus out
+        // in passes of +1 starting from the front; templates earlier in
+        // the catalog end up with the longest run series.
+        let mut per_template = vec![1usize; w];
+        let mut surplus = spec.total_runs - w;
+        let mut i = 0usize;
+        while surplus > 0 {
+            per_template[i % w] += 1;
+            i += 1;
+            surplus -= 1;
+        }
+
+        // Failed run selection: spread over the global sequence.
+        let stride = spec.total_runs.max(1) / spec.failed_runs.max(1);
+        let failed_global: Vec<usize> = (0..spec.failed_runs)
+            .map(|k| (k * stride + stride / 2).min(spec.total_runs - 1))
+            .collect();
+
+        let mut runs = Vec::with_capacity(spec.total_runs);
+        let mut global = 0usize;
+        let mut failure_ordinal = 0usize;
+        for (ti, (system, template)) in catalog.iter().enumerate() {
+            for j in 0..per_template[ti] {
+                let run_number = j + 1;
+                // Runs of the same template are spaced ~5 weeks apart
+                // (a longitudinal series); templates are staggered ~3h.
+                let started_at_ms = spec.corpus_start_ms
+                    + ti as i64 * 3 * 3_600_000
+                    + j as i64 * 35 * 86_400_000
+                    + rng.gen_range(0..3_600_000);
+                let failure = if failed_global.contains(&global) {
+                    let kind = FailureKind::ALL[failure_ordinal % FailureKind::ALL.len()];
+                    failure_ordinal += 1;
+                    let processor = rng.gen_range(0..template.processors.len());
+                    Some(FailureSpec { processor, kind })
+                } else {
+                    None
+                };
+                runs.push(PlannedRun {
+                    template_index: ti,
+                    system: *system,
+                    run_number,
+                    started_at_ms,
+                    seed: spec
+                        .seed
+                        .wrapping_mul(0x100_0000_01b3)
+                        .wrapping_add(global as u64),
+                    input_seed: spec.seed.wrapping_add(ti as u64),
+                    environment_epoch: j as u64,
+                    failure,
+                    user: USERS[(ti + j) % USERS.len()].to_owned(),
+                    run_id: format!("{}-run-{}", template.name, run_number),
+                });
+                global += 1;
+            }
+        }
+        RunPlan { runs }
+    }
+
+    /// Number of planned failures.
+    pub fn failed_count(&self) -> usize {
+        self.runs.iter().filter(|r| r.failure.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use provbench_workflow::generate::generate_catalog;
+
+    fn default_plan() -> (CorpusSpec, RunPlan) {
+        let spec = CorpusSpec::default();
+        let catalog = generate_catalog(spec.seed);
+        let plan = RunPlan::build(&spec, &catalog);
+        (spec, plan)
+    }
+
+    #[test]
+    fn plan_matches_paper_headline_numbers() {
+        let (_, plan) = default_plan();
+        assert_eq!(plan.runs.len(), 198);
+        assert_eq!(plan.failed_count(), 30);
+    }
+
+    #[test]
+    fn every_workflow_runs_at_least_once() {
+        let (_, plan) = default_plan();
+        let mut seen = [false; 120];
+        for r in &plan.runs {
+            seen[r.template_index] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn some_templates_have_longitudinal_series() {
+        let (_, plan) = default_plan();
+        let mut counts = vec![0usize; 120];
+        for r in &plan.runs {
+            counts[r.template_index] += 1;
+        }
+        assert!(counts.iter().any(|&c| c >= 2));
+        // Series runs are strictly time-ordered.
+        for ti in 0..120 {
+            let times: Vec<i64> = plan
+                .runs
+                .iter()
+                .filter(|r| r.template_index == ti)
+                .map(|r| r.started_at_ms)
+                .collect();
+            assert!(times.windows(2).all(|w| w[0] < w[1]), "template {ti} unordered");
+        }
+    }
+
+    #[test]
+    fn failures_hit_both_systems_and_all_kinds() {
+        let (_, plan) = default_plan();
+        let failed: Vec<_> = plan.runs.iter().filter(|r| r.failure.is_some()).collect();
+        assert!(failed.iter().any(|r| r.system == System::Taverna));
+        assert!(failed.iter().any(|r| r.system == System::Wings));
+        for kind in FailureKind::ALL {
+            assert!(
+                failed.iter().any(|r| r.failure.unwrap().kind == kind),
+                "kind {kind:?} unused"
+            );
+        }
+    }
+
+    #[test]
+    fn plan_is_deterministic() {
+        let (_, a) = default_plan();
+        let (_, b) = default_plan();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn run_ids_are_unique() {
+        let (_, plan) = default_plan();
+        let mut ids: Vec<_> = plan.runs.iter().map(|r| r.run_id.clone()).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 198);
+    }
+
+    #[test]
+    fn every_run_has_a_user() {
+        let (_, plan) = default_plan();
+        assert!(plan.runs.iter().all(|r| !r.user.is_empty()));
+    }
+
+    #[test]
+    #[should_panic(expected = "must cover")]
+    fn too_few_runs_panics() {
+        let spec = CorpusSpec { total_runs: 5, ..CorpusSpec::default() };
+        let catalog = generate_catalog(spec.seed);
+        RunPlan::build(&spec, &catalog);
+    }
+}

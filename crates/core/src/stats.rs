@@ -1,0 +1,294 @@
+//! Corpus statistics: the data behind the paper's Table 1 and Figure 1.
+
+use crate::generate::Corpus;
+use crate::store::{serialize_description, serialize_trace};
+use provbench_workflow::domains::DOMAINS;
+use provbench_workflow::System;
+use std::fmt;
+
+/// One bar pair of Figure 1: a domain and its workflow counts per system.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DomainRow {
+    /// Domain name.
+    pub name: String,
+    /// Taverna workflows in the domain.
+    pub taverna: usize,
+    /// Wings workflows in the domain.
+    pub wings: usize,
+}
+
+/// Aggregate statistics of a generated corpus.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CorpusStats {
+    /// Number of workflows.
+    pub workflows: usize,
+    /// Workflows designed in Taverna.
+    pub taverna_workflows: usize,
+    /// Workflows designed in Wings.
+    pub wings_workflows: usize,
+    /// Total runs.
+    pub runs: usize,
+    /// Failed runs.
+    pub failed_runs: usize,
+    /// Total process runs recorded across all traces.
+    pub process_runs: usize,
+    /// Total RDF triples/quads across traces and descriptions.
+    pub triples: usize,
+    /// Total serialized size in bytes (Turtle + TriG), as it would be
+    /// written to disk.
+    pub serialized_bytes: u64,
+    /// Figure 1: domain × system histogram.
+    pub domain_histogram: Vec<DomainRow>,
+}
+
+impl CorpusStats {
+    /// Compute statistics for a corpus.
+    pub fn compute(corpus: &Corpus) -> CorpusStats {
+        let mut serialized_bytes = 0u64;
+        let mut triples = 0usize;
+        for trace in &corpus.traces {
+            serialized_bytes += serialize_trace(trace).len() as u64;
+            triples += trace.dataset.len();
+        }
+        for description in &corpus.descriptions {
+            serialized_bytes += serialize_description(description).len() as u64;
+            triples += description.len();
+        }
+        let process_runs = corpus
+            .traces
+            .iter()
+            .map(|t| {
+                t.run
+                    .processes
+                    .iter()
+                    .filter(|p| p.started_ms.is_some())
+                    .count()
+            })
+            .sum();
+
+        let mut domain_histogram: Vec<DomainRow> = DOMAINS
+            .iter()
+            .map(|d| DomainRow { name: d.name.to_owned(), taverna: 0, wings: 0 })
+            .collect();
+        for (system, template) in &corpus.templates {
+            if let Some(row) =
+                domain_histogram.iter_mut().find(|r| r.name == template.domain)
+            {
+                match system {
+                    System::Taverna => row.taverna += 1,
+                    System::Wings => row.wings += 1,
+                }
+            }
+        }
+        // Keep only domains present in this (possibly truncated) corpus.
+        domain_histogram.retain(|r| r.taverna + r.wings > 0);
+
+        CorpusStats {
+            workflows: corpus.templates.len(),
+            taverna_workflows: corpus
+                .templates
+                .iter()
+                .filter(|(s, _)| *s == System::Taverna)
+                .count(),
+            wings_workflows: corpus
+                .templates
+                .iter()
+                .filter(|(s, _)| *s == System::Wings)
+                .count(),
+            runs: corpus.traces.len(),
+            failed_runs: corpus.failed_count(),
+            process_runs,
+            triples,
+            serialized_bytes,
+            domain_histogram,
+        }
+    }
+}
+
+/// The paper's Table 1, regenerated from a corpus.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Table1 {
+    /// `(row label, value)` pairs in the paper's order.
+    pub rows: Vec<(String, String)>,
+}
+
+impl Table1 {
+    /// Build Table 1 from corpus statistics.
+    pub fn from_stats(stats: &CorpusStats) -> Table1 {
+        let size_mb = stats.serialized_bytes as f64 / (1024.0 * 1024.0);
+        Table1 {
+            rows: vec![
+                ("Data format".to_owned(), "RDF".to_owned()),
+                ("Data model".to_owned(), "PROV-O".to_owned()),
+                ("Size".to_owned(), format!("{size_mb:.1} Megabytes")),
+                (
+                    "Tools used for generating provenance".to_owned(),
+                    "Taverna and Wings provenance plug-ins".to_owned(),
+                ),
+                (
+                    "Domain".to_owned(),
+                    format!("{} domains (see Figure 1)", stats.domain_histogram.len()),
+                ),
+                ("Submission group".to_owned(), "Wf4Ever-Wings".to_owned()),
+                (
+                    "License".to_owned(),
+                    "Creative Commons Attribution 3.0 Unported".to_owned(),
+                ),
+            ],
+        }
+    }
+}
+
+impl fmt::Display for Table1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let width = self.rows.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+        for (k, v) in &self.rows {
+            writeln!(f, "{k:width$}  {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The corpus's Table 1 metadata as a VoID dataset description —
+/// how ProvBench datasets were actually published on the web of data.
+pub fn void_description(stats: &CorpusStats) -> provbench_rdf::Graph {
+    use provbench_rdf::{Graph, Iri, Literal, Triple};
+    use provbench_vocab::{self as vocab, dcterms, void};
+
+    let mut g = Graph::new();
+    let ds = Iri::new_unchecked("http://purl.org/provbench/wf4ever-prov");
+    let t = |s: Iri, p: Iri, o: provbench_rdf::Term| {
+        // local helper to keep the triples readable
+        Triple::new(s, p, o)
+    };
+    g.insert(t(ds.clone(), vocab::rdf_type(), void::dataset().into()));
+    g.insert(t(
+        ds.clone(),
+        dcterms::title(),
+        Literal::simple("A Workflow PROV-Corpus based on Taverna and Wings").into(),
+    ));
+    g.insert(t(
+        ds.clone(),
+        dcterms::license(),
+        Iri::new_unchecked("http://creativecommons.org/licenses/by/3.0/").into(),
+    ));
+    g.insert(t(ds.clone(), void::triples(), Literal::integer(stats.triples as i64).into()));
+    g.insert(t(
+        ds.clone(),
+        void::entities(),
+        Literal::integer((stats.runs + stats.workflows) as i64).into(),
+    ));
+    g.insert(t(
+        ds.clone(),
+        void::data_dump(),
+        Iri::new_unchecked("https://github.com/provbench/Wf4Ever-PROV").into(),
+    ));
+    for vocabulary in [
+        provbench_vocab::prov::NS,
+        provbench_vocab::wfprov::NS,
+        provbench_vocab::wfdesc::NS,
+        provbench_vocab::opmw::NS,
+        provbench_vocab::ro::NS,
+    ] {
+        g.insert(t(ds.clone(), void::vocabulary(), Iri::new_unchecked(vocabulary).into()));
+    }
+    // Subsets: one per system.
+    for (name, runs) in [
+        ("taverna", stats.taverna_workflows),
+        ("wings", stats.wings_workflows),
+    ] {
+        let sub = Iri::new_unchecked(format!("http://purl.org/provbench/wf4ever-prov/{name}"));
+        g.insert(t(ds.clone(), void::subset(), sub.clone().into()));
+        g.insert(t(sub.clone(), vocab::rdf_type(), void::dataset().into()));
+        g.insert(t(
+            sub,
+            dcterms::description(),
+            Literal::simple(format!("{runs} workflows designed in {name}")).into(),
+        ));
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::CorpusSpec;
+
+    fn small_corpus() -> Corpus {
+        Corpus::generate(&CorpusSpec {
+            max_workflows: Some(8),
+            total_runs: 12,
+            failed_runs: 2,
+            ..CorpusSpec::default()
+        })
+    }
+
+    #[test]
+    fn stats_reflect_the_corpus() {
+        let c = small_corpus();
+        let s = CorpusStats::compute(&c);
+        assert_eq!(s.workflows, 8);
+        assert_eq!(s.runs, 12);
+        assert_eq!(s.failed_runs, 2);
+        assert!(s.triples > 0);
+        assert!(s.serialized_bytes > 0);
+        assert!(s.process_runs > 0);
+        assert_eq!(s.taverna_workflows + s.wings_workflows, 8);
+    }
+
+    #[test]
+    fn histogram_covers_only_present_domains() {
+        let c = small_corpus();
+        let s = CorpusStats::compute(&c);
+        // 8 genomics workflows → exactly one histogram row.
+        assert_eq!(s.domain_histogram.len(), 1);
+        assert_eq!(s.domain_histogram[0].name, "Genomics");
+        assert_eq!(s.domain_histogram[0].taverna, 8);
+    }
+
+    #[test]
+    fn table1_has_paper_shape() {
+        let c = small_corpus();
+        let t1 = Table1::from_stats(&CorpusStats::compute(&c));
+        assert_eq!(t1.rows.len(), 7);
+        assert_eq!(t1.rows[0], ("Data format".to_owned(), "RDF".to_owned()));
+        assert_eq!(t1.rows[1].1, "PROV-O");
+        assert!(t1.rows[2].1.contains("Megabytes"));
+        assert!(t1.to_string().contains("Creative Commons"));
+    }
+
+    #[test]
+    fn void_description_is_well_formed() {
+        let c = small_corpus();
+        let stats = CorpusStats::compute(&c);
+        let g = void_description(&stats);
+        use provbench_vocab::{dcterms, void};
+        let ds: provbench_rdf::Subject =
+            provbench_rdf::Iri::new_unchecked("http://purl.org/provbench/wf4ever-prov").into();
+        assert!(g.object(&ds, &dcterms::title()).is_some());
+        assert_eq!(g.objects(&ds, &void::vocabulary()).count(), 5);
+        assert_eq!(g.objects(&ds, &void::subset()).count(), 2);
+        let triples = g
+            .object(&ds, &void::triples())
+            .and_then(|t| t.as_literal().and_then(|l| l.as_integer()))
+            .unwrap();
+        assert_eq!(triples as usize, stats.triples);
+        // And it serializes as Turtle.
+        let ttl = provbench_rdf::write_turtle(&g, &provbench_rdf::PrefixMap::common());
+        assert!(provbench_rdf::parse_turtle(&ttl).is_ok());
+    }
+
+    #[test]
+    fn payload_scales_size() {
+        let mut spec = CorpusSpec {
+            max_workflows: Some(2),
+            total_runs: 2,
+            failed_runs: 0,
+            ..CorpusSpec::default()
+        };
+        let small = CorpusStats::compute(&Corpus::generate(&spec)).serialized_bytes;
+        spec.value_payload = 10_000;
+        let big = CorpusStats::compute(&Corpus::generate(&spec)).serialized_bytes;
+        assert!(big > small * 5, "payload must dominate size ({small} -> {big})");
+    }
+}

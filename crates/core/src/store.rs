@@ -1,0 +1,309 @@
+//! The corpus on disk: one RDF file per run plus one description per
+//! workflow, mirroring the layout of the published Wf4Ever-PROV corpus
+//! repository (a directory per system, a directory per workflow).
+
+use crate::generate::{Corpus, TraceRecord};
+use provbench_rdf::{parse_trig, parse_turtle, write_trig, write_turtle, Dataset, Graph, PrefixMap};
+use provbench_workflow::System;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Serialize one trace in its system's native format: Turtle for Taverna
+/// (flat graph), TriG for Wings (account bundle as a named graph).
+pub fn serialize_trace(trace: &TraceRecord) -> String {
+    let prefixes = PrefixMap::common();
+    match trace.system {
+        System::Taverna => write_turtle(trace.dataset.default_graph(), &prefixes),
+        System::Wings => write_trig(&trace.dataset, &prefixes),
+    }
+}
+
+/// File extension for a trace of the given system.
+pub fn trace_extension(system: System) -> &'static str {
+    match system {
+        System::Taverna => "prov.ttl",
+        System::Wings => "prov.trig",
+    }
+}
+
+/// Serialize a workflow-description graph (always Turtle).
+pub fn serialize_description(description: &Graph) -> String {
+    write_turtle(description, &PrefixMap::common())
+}
+
+/// Description file name for the given system.
+pub fn description_file(system: System) -> &'static str {
+    match system {
+        System::Taverna => "workflow.wfdesc.ttl",
+        System::Wings => "workflow.opmw.ttl",
+    }
+}
+
+/// Export the entire corpus (descriptions + every trace) as a single
+/// N-Quads stream — one file for bulk interchange, complementing the
+/// per-run Turtle/TriG layout.
+pub fn export_nquads(corpus: &Corpus) -> String {
+    provbench_rdf::write_nquads(&corpus.combined_dataset())
+}
+
+/// Summary of a completed save.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SavedCorpus {
+    /// Number of files written.
+    pub files: usize,
+    /// Total bytes written.
+    pub bytes: u64,
+}
+
+/// Write the corpus under `dir` (created if absent).
+pub fn save(corpus: &Corpus, dir: &Path) -> io::Result<SavedCorpus> {
+    let mut files = 0usize;
+    let mut bytes = 0u64;
+    let mut write = |path: PathBuf, content: String| -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        bytes += content.len() as u64;
+        files += 1;
+        fs::write(path, content)
+    };
+
+    // Manifest: one line per run.
+    let mut manifest = String::from("# run_id\tsystem\ttemplate\tdomain\trun_number\tstatus\n");
+    for t in &corpus.traces {
+        manifest.push_str(&format!(
+            "{}\t{}\t{}\t{}\t{}\t{}\n",
+            t.run_id,
+            t.system.name(),
+            t.template_name,
+            t.domain,
+            t.run_number,
+            if t.failed() { "FAILED" } else { "OK" }
+        ));
+    }
+    write(dir.join("manifest.tsv"), manifest)?;
+
+    // The dataset's VoID description (Table 1 as RDF).
+    let stats = crate::stats::CorpusStats::compute(corpus);
+    let mut prefixes = PrefixMap::common();
+    prefixes.insert("void", "http://rdfs.org/ns/void#");
+    write(
+        dir.join("void.ttl"),
+        write_turtle(&crate::stats::void_description(&stats), &prefixes),
+    )?;
+
+    for ((system, template), description) in
+        corpus.templates.iter().zip(&corpus.descriptions)
+    {
+        let sysdir = dir.join(system.name().to_ascii_lowercase()).join(&template.name);
+        write(sysdir.join(description_file(*system)), serialize_description(description))?;
+    }
+    for trace in &corpus.traces {
+        let sysdir = dir
+            .join(trace.system.name().to_ascii_lowercase())
+            .join(&trace.template_name);
+        let file = format!("{}.{}", trace.run_id, trace_extension(trace.system));
+        write(sysdir.join(file), serialize_trace(trace))?;
+    }
+    Ok(SavedCorpus { files, bytes })
+}
+
+/// One trace loaded back from disk.
+#[derive(Clone, Debug)]
+pub struct LoadedTrace {
+    /// Run id (file stem).
+    pub run_id: String,
+    /// Producing system (from the directory layout).
+    pub system: System,
+    /// Template name (from the directory layout).
+    pub template_name: String,
+    /// The parsed dataset.
+    pub dataset: Dataset,
+}
+
+/// A corpus loaded back from disk (RDF level only — the raw
+/// [`provbench_workflow::WorkflowRun`] records exist only in memory).
+#[derive(Clone, Debug, Default)]
+pub struct LoadedCorpus {
+    /// All traces found.
+    pub traces: Vec<LoadedTrace>,
+    /// All workflow-description graphs found.
+    pub descriptions: Vec<Graph>,
+}
+
+impl LoadedCorpus {
+    /// Merge everything into one dataset (same shape as
+    /// [`Corpus::combined_dataset`]).
+    pub fn combined_dataset(&self) -> Dataset {
+        let mut ds = Dataset::new();
+        for d in &self.descriptions {
+            ds.default_graph_mut().extend_from_graph(d);
+        }
+        for (i, t) in self.traces.iter().enumerate() {
+            match t.system {
+                System::Taverna => {
+                    let name = provbench_rdf::Iri::new_unchecked(format!(
+                        "{}graph",
+                        provbench_taverna::run_base_iri(&t.run_id)
+                    ));
+                    ds.insert_graph(name.into(), t.dataset.default_graph());
+                }
+                System::Wings => ds.merge(&t.dataset),
+            }
+            let _ = i;
+        }
+        ds
+    }
+}
+
+fn parse_error(path: &Path, e: impl std::fmt::Display) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("{}: {e}", path.display()))
+}
+
+/// Load a corpus directory written by [`save`].
+pub fn load(dir: &Path) -> io::Result<LoadedCorpus> {
+    let mut out = LoadedCorpus::default();
+    for system in [System::Taverna, System::Wings] {
+        let sysdir = dir.join(system.name().to_ascii_lowercase());
+        if !sysdir.exists() {
+            continue;
+        }
+        let mut template_dirs: Vec<PathBuf> = fs::read_dir(&sysdir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        template_dirs.sort();
+        for tdir in template_dirs {
+            let template_name =
+                tdir.file_name().and_then(|n| n.to_str()).unwrap_or_default().to_owned();
+            let mut entries: Vec<PathBuf> = fs::read_dir(&tdir)?
+                .filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| p.is_file())
+                .collect();
+            entries.sort();
+            for path in entries {
+                let name = path.file_name().and_then(|n| n.to_str()).unwrap_or_default();
+                let content = fs::read_to_string(&path)?;
+                if name == description_file(system) {
+                    let (g, _) =
+                        parse_turtle(&content).map_err(|e| parse_error(&path, e))?;
+                    out.descriptions.push(g);
+                } else if name.ends_with(".prov.ttl") {
+                    let (g, _) =
+                        parse_turtle(&content).map_err(|e| parse_error(&path, e))?;
+                    let mut ds = Dataset::new();
+                    *ds.default_graph_mut() = g;
+                    out.traces.push(LoadedTrace {
+                        run_id: name.trim_end_matches(".prov.ttl").to_owned(),
+                        system,
+                        template_name: template_name.clone(),
+                        dataset: ds,
+                    });
+                } else if name.ends_with(".prov.trig") {
+                    let (ds, _) =
+                        parse_trig(&content).map_err(|e| parse_error(&path, e))?;
+                    out.traces.push(LoadedTrace {
+                        run_id: name.trim_end_matches(".prov.trig").to_owned(),
+                        system,
+                        template_name: template_name.clone(),
+                        dataset: ds,
+                    });
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::CorpusSpec;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("provbench-store-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn small_corpus() -> Corpus {
+        // Include a Wings workflow: workflow #68+ are Wings in catalog
+        // order, too deep for a small corpus — so take enough templates.
+        let spec = CorpusSpec {
+            max_workflows: Some(70),
+            total_runs: 72,
+            failed_runs: 3,
+            ..CorpusSpec::default()
+        };
+        Corpus::generate(&spec)
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let corpus = small_corpus();
+        let dir = tmpdir("roundtrip");
+        let saved = save(&corpus, &dir).unwrap();
+        // manifest + void.ttl + 70 descriptions + 72 traces.
+        assert_eq!(saved.files, 2 + 70 + 72);
+        assert!(saved.bytes > 0);
+
+        let loaded = load(&dir).unwrap();
+        assert_eq!(loaded.traces.len(), 72);
+        assert_eq!(loaded.descriptions.len(), 70);
+        // Each loaded trace must match its in-memory counterpart exactly.
+        for lt in &loaded.traces {
+            let original = corpus
+                .traces
+                .iter()
+                .find(|t| t.run_id == lt.run_id)
+                .unwrap_or_else(|| panic!("unknown run {}", lt.run_id));
+            assert_eq!(lt.system, original.system);
+            assert_eq!(lt.dataset, original.dataset, "mismatch for {}", lt.run_id);
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wings_traces_are_trig_with_bundles() {
+        let corpus = small_corpus();
+        let wings_trace = corpus
+            .traces
+            .iter()
+            .find(|t| t.system == System::Wings)
+            .expect("a Wings trace in the corpus");
+        let serialized = serialize_trace(wings_trace);
+        assert!(serialized.contains('{'), "TriG graph block expected");
+        assert_eq!(trace_extension(System::Wings), "prov.trig");
+        assert_eq!(trace_extension(System::Taverna), "prov.ttl");
+    }
+
+    #[test]
+    fn nquads_export_roundtrips() {
+        let corpus = small_corpus();
+        let nq = export_nquads(&corpus);
+        let ds = provbench_rdf::parse_nquads(&nq).unwrap();
+        assert_eq!(ds, corpus.combined_dataset());
+    }
+
+    #[test]
+    fn load_missing_dir_is_empty() {
+        let loaded = load(Path::new("/nonexistent/provbench")).unwrap();
+        assert!(loaded.traces.is_empty());
+    }
+
+    #[test]
+    fn combined_dataset_from_disk_matches_memory() {
+        let corpus = small_corpus();
+        let dir = tmpdir("combined");
+        save(&corpus, &dir).unwrap();
+        let loaded = load(&dir).unwrap();
+        let mem = corpus.combined_dataset();
+        let disk = loaded.combined_dataset();
+        assert_eq!(mem.len(), disk.len());
+        assert_eq!(mem.default_graph(), disk.default_graph());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,90 @@
+//! The on-disk corpus layout is part of the contract: downstream users
+//! clone the directory and navigate it by convention. Pin the layout.
+
+use provbench_core::{store, Corpus, CorpusSpec};
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::PathBuf;
+
+fn corpus() -> Corpus {
+    Corpus::generate(&CorpusSpec {
+        max_workflows: Some(70),
+        total_runs: 74,
+        failed_runs: 4,
+        ..CorpusSpec::default()
+    })
+}
+
+fn tmpdir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("provbench-layout-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn directory_layout_follows_the_published_convention() {
+    let c = corpus();
+    let dir = tmpdir();
+    store::save(&c, &dir).unwrap();
+
+    // Top level: manifest, VoID description, one directory per system.
+    let top: BTreeSet<String> = fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    assert_eq!(
+        top,
+        ["manifest.tsv", "void.ttl", "taverna", "wings"]
+            .into_iter()
+            .map(str::to_owned)
+            .collect()
+    );
+
+    // Each system directory holds one directory per workflow, each with
+    // a description and one trace file per run in the native syntax.
+    for (system, desc_name, ext) in [
+        ("taverna", "workflow.wfdesc.ttl", ".prov.ttl"),
+        ("wings", "workflow.opmw.ttl", ".prov.trig"),
+    ] {
+        for wf_dir in fs::read_dir(dir.join(system)).unwrap() {
+            let wf_dir = wf_dir.unwrap().path();
+            let files: Vec<String> = fs::read_dir(&wf_dir)
+                .unwrap()
+                .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+                .collect();
+            assert!(
+                files.iter().any(|f| f == desc_name),
+                "{} missing {desc_name}",
+                wf_dir.display()
+            );
+            assert!(
+                files.iter().filter(|f| f.ends_with(ext)).count() >= 1,
+                "{} has no {ext} traces",
+                wf_dir.display()
+            );
+            // Nothing else sneaks in.
+            for f in &files {
+                assert!(
+                    f == desc_name || f.ends_with(ext),
+                    "unexpected file {f} in {}",
+                    wf_dir.display()
+                );
+            }
+        }
+    }
+
+    // The manifest names every run and carries the failure column.
+    let manifest = fs::read_to_string(dir.join("manifest.tsv")).unwrap();
+    assert_eq!(manifest.lines().count(), 1 + c.traces.len());
+    assert_eq!(
+        manifest.matches("\tFAILED").count(),
+        c.failed_count(),
+        "manifest failure column disagrees"
+    );
+    // The VoID file parses and mentions the corpus title.
+    let void = fs::read_to_string(dir.join("void.ttl")).unwrap();
+    assert!(provbench_rdf::parse_turtle(&void).is_ok());
+    assert!(void.contains("Workflow PROV-Corpus"));
+
+    fs::remove_dir_all(&dir).unwrap();
+}

@@ -1,0 +1,40 @@
+//! Serve a generated corpus over HTTP.
+//!
+//! ```sh
+//! cargo run -p provbench-endpoint --release --bin endpoint -- --addr 127.0.0.1:3030
+//! curl 'http://127.0.0.1:3030/sparql?format=tsv&query=SELECT+%3Fr+WHERE+%7B+%3Fr+a+%3Chttp%3A%2F%2Fpurl.org%2Fwf4ever%2Fwfprov%23WorkflowRun%3E+%7D+LIMIT+3'
+//! ```
+
+use provbench_core::{Corpus, CorpusSpec};
+use provbench_endpoint::Endpoint;
+
+fn main() {
+    let mut addr = "127.0.0.1:3030".to_owned();
+    let mut workflows: Option<usize> = Some(40);
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => addr = it.next().unwrap_or(addr),
+            "--full" => workflows = None,
+            other => {
+                eprintln!("unknown option {other:?} (use --addr HOST:PORT, --full)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let spec = match workflows {
+        Some(n) => CorpusSpec {
+            max_workflows: Some(n),
+            total_runs: n + n / 2,
+            failed_runs: n / 10,
+            ..CorpusSpec::default()
+        },
+        None => CorpusSpec::default(),
+    };
+    eprintln!("generating corpus…");
+    let corpus = Corpus::generate(&spec);
+    let graph = corpus.combined_graph();
+    eprintln!("serving {} triples on http://{addr}/ (Ctrl-C to stop)", graph.len());
+    Endpoint::new(graph).serve(&addr).expect("serve");
+}

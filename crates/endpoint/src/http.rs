@@ -1,0 +1,235 @@
+//! A deliberately small HTTP/1.1 request parser and response writer —
+//! just enough for the SPARQL protocol endpoints, with no external
+//! dependencies.
+
+use std::collections::BTreeMap;
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+/// A parsed HTTP request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// `GET`, `POST`, …
+    pub method: String,
+    /// Path without the query string, e.g. `/sparql`.
+    pub path: String,
+    /// Decoded query parameters.
+    pub query: BTreeMap<String, String>,
+    /// Lower-cased header map.
+    pub headers: BTreeMap<String, String>,
+    /// Request body (POST).
+    pub body: String,
+}
+
+impl Request {
+    /// The first query parameter with this name.
+    pub fn param(&self, name: &str) -> Option<&str> {
+        self.query.get(name).map(String::as_str)
+    }
+
+    /// Whether the client asked for the given content type.
+    pub fn accepts(&self, content_type: &str) -> bool {
+        self.headers
+            .get("accept")
+            .is_some_and(|a| a.contains(content_type))
+    }
+}
+
+/// Percent-decode a URL component (also turning `+` into a space).
+pub fn url_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' if i + 2 < bytes.len() => {
+                let hex = &s[i + 1..i + 3];
+                match u8::from_str_radix(hex, 16) {
+                    Ok(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    Err(_) => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Percent-encode a URL component.
+pub fn url_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            b' ' => out.push('+'),
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+fn parse_query_string(qs: &str) -> BTreeMap<String, String> {
+    qs.split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (url_decode(k), url_decode(v)),
+            None => (url_decode(kv), String::new()),
+        })
+        .collect()
+}
+
+/// Read and parse one request from a stream.
+pub fn parse_request(stream: &mut impl Read) -> io::Result<Request> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty request line"))?
+        .to_owned();
+    let target = parts
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing request target"))?;
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_owned(), parse_query_string(q)),
+        None => (target.to_owned(), BTreeMap::new()),
+    };
+
+    let mut headers = BTreeMap::new();
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header)?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = header.split_once(':') {
+            headers.insert(k.trim().to_ascii_lowercase(), v.trim().to_owned());
+        }
+    }
+
+    let mut body = String::new();
+    if let Some(len) = headers.get("content-length").and_then(|v| v.parse::<usize>().ok()) {
+        let mut buf = vec![0u8; len];
+        reader.read_exact(&mut buf)?;
+        body = String::from_utf8_lossy(&buf).into_owned();
+    }
+
+    Ok(Request { method, path, query, headers, body })
+}
+
+/// An HTTP response under construction.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Content type.
+    pub content_type: String,
+    /// Body.
+    pub body: String,
+}
+
+impl Response {
+    /// 200 with the given content type.
+    pub fn ok(content_type: &str, body: impl Into<String>) -> Self {
+        Response { status: 200, content_type: content_type.to_owned(), body: body.into() }
+    }
+
+    /// 400 with a plain-text message.
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        Response { status: 400, content_type: "text/plain".to_owned(), body: message.into() }
+    }
+
+    /// 404 with a plain-text message.
+    pub fn not_found() -> Self {
+        Response { status: 404, content_type: "text/plain".to_owned(), body: "not found".into() }
+    }
+
+    fn status_text(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            _ => "Internal Server Error",
+        }
+    }
+
+    /// Write the response to a stream.
+    pub fn write_to(&self, stream: &mut impl Write) -> io::Result<()> {
+        write!(
+            stream,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            self.status,
+            self.status_text(),
+            self.content_type,
+            self.body.len(),
+            self.body
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn url_codec_roundtrip() {
+        let original = "SELECT ?x WHERE { ?x a <http://e/Type> } # 100%";
+        let encoded = url_encode(original);
+        assert!(!encoded.contains(' '));
+        assert_eq!(url_decode(&encoded), original);
+        assert_eq!(url_decode("a+b%20c"), "a b c");
+        assert_eq!(url_decode("%ZZ"), "%ZZ"); // invalid escapes pass through
+    }
+
+    #[test]
+    fn parses_get_with_query() {
+        let raw = "GET /sparql?query=SELECT+%3Fx&format=json HTTP/1.1\r\nHost: x\r\nAccept: application/sparql-results+json\r\n\r\n";
+        let req = parse_request(&mut raw.as_bytes()).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/sparql");
+        assert_eq!(req.param("query"), Some("SELECT ?x"));
+        assert_eq!(req.param("format"), Some("json"));
+        assert!(req.accepts("application/sparql-results+json"));
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let body = "query=SELECT+%2A+WHERE+%7B+%3Fs+%3Fp+%3Fo+%7D";
+        let raw = format!(
+            "POST /sparql HTTP/1.1\r\nContent-Type: application/x-www-form-urlencoded\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        );
+        let req = parse_request(&mut raw.as_bytes()).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, body);
+    }
+
+    #[test]
+    fn response_serialization() {
+        let mut out = Vec::new();
+        Response::ok("text/plain", "hi").write_to(&mut out).unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(s.contains("Content-Length: 2"));
+        assert!(s.ends_with("hi"));
+        assert_eq!(Response::not_found().status, 404);
+        assert_eq!(Response::bad_request("x").status, 400);
+    }
+}

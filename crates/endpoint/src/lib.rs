@@ -1,0 +1,30 @@
+//! # provbench-endpoint
+//!
+//! The paper's §6 future work, implemented: "providing access to the
+//! corpus via a SPARQL endpoint and web interfaces".
+//!
+//! A dependency-free HTTP/1.1 server exposing a corpus graph:
+//!
+//! * `GET /` — a small HTML web interface with a query form;
+//! * `GET /sparql?query=…` and `POST /sparql` — the SPARQL protocol
+//!   endpoint, returning SPARQL 1.1 JSON results
+//!   (`application/sparql-results+json`) or, on request, tab-separated
+//!   text;
+//! * `GET /stats` — corpus statistics as JSON.
+//!
+//! ```no_run
+//! use provbench_core::{Corpus, CorpusSpec};
+//! use provbench_endpoint::Endpoint;
+//!
+//! let corpus = Corpus::generate(&CorpusSpec::default());
+//! let endpoint = Endpoint::new(corpus.combined_graph());
+//! endpoint.serve("127.0.0.1:3030").unwrap(); // blocks
+//! ```
+
+mod http;
+pub mod results;
+mod server;
+
+pub use http::{parse_request, url_decode, url_encode, Request, Response};
+pub use results::{solutions_to_json, solutions_to_tsv};
+pub use server::Endpoint;

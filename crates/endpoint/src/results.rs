@@ -1,0 +1,176 @@
+//! SPARQL 1.1 Query Results serialization: the standard JSON format and
+//! a tab-separated text format for command-line use.
+
+use provbench_query::Solutions;
+use provbench_rdf::Term;
+
+/// Escape a string for inclusion in a JSON string literal.
+fn json_escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+fn term_to_json(term: &Term, out: &mut String) {
+    out.push('{');
+    match term {
+        Term::Iri(i) => {
+            out.push_str("\"type\":\"uri\",\"value\":\"");
+            json_escape(i.as_str(), out);
+            out.push('"');
+        }
+        Term::Blank(b) => {
+            out.push_str("\"type\":\"bnode\",\"value\":\"");
+            json_escape(b.label(), out);
+            out.push('"');
+        }
+        Term::Literal(l) => {
+            out.push_str("\"type\":\"literal\",\"value\":\"");
+            json_escape(l.lexical(), out);
+            out.push('"');
+            if let Some(lang) = l.language() {
+                out.push_str(",\"xml:lang\":\"");
+                json_escape(lang, out);
+                out.push('"');
+            } else if !l.is_simple() {
+                out.push_str(",\"datatype\":\"");
+                json_escape(l.datatype().as_str(), out);
+                out.push('"');
+            }
+        }
+    }
+    out.push('}');
+}
+
+/// Serialize solutions as `application/sparql-results+json`.
+pub fn solutions_to_json(solutions: &Solutions) -> String {
+    let mut out = String::from("{\"head\":{\"vars\":[");
+    for (i, v) in solutions.variables.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        json_escape(v, &mut out);
+        out.push('"');
+    }
+    out.push_str("]},\"results\":{\"bindings\":[");
+    for (ri, row) in solutions.rows.iter().enumerate() {
+        if ri > 0 {
+            out.push(',');
+        }
+        out.push('{');
+        let mut first = true;
+        for v in &solutions.variables {
+            if let Some(term) = row.get(v) {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push('"');
+                json_escape(v, &mut out);
+                out.push_str("\":");
+                term_to_json(term, &mut out);
+            }
+        }
+        out.push('}');
+    }
+    out.push_str("]}}");
+    out
+}
+
+/// Serialize solutions as a tab-separated table (header + rows).
+pub fn solutions_to_tsv(solutions: &Solutions) -> String {
+    let mut out = solutions.variables.join("\t");
+    out.push('\n');
+    for row in &solutions.rows {
+        let cells: Vec<String> = solutions
+            .variables
+            .iter()
+            .map(|v| row.get(v).map_or(String::new(), |t| t.to_string()))
+            .collect();
+        out.push_str(&cells.join("\t"));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use provbench_query::execute_query;
+    use provbench_rdf::parse_turtle;
+
+    fn solutions() -> Solutions {
+        let (g, _) = parse_turtle(
+            r#"@prefix e: <http://e/> .
+               e:s e:p "va\"l" ; e:q "fr"@fr ; e:r 42 ."#,
+        )
+        .unwrap();
+        execute_query(&g, "PREFIX e: <http://e/> SELECT ?p ?o WHERE { ?s ?p ?o } ORDER BY ?p")
+            .unwrap()
+    }
+
+    #[test]
+    fn json_has_head_and_bindings() {
+        let json = solutions_to_json(&solutions());
+        assert!(json.starts_with("{\"head\":{\"vars\":[\"p\",\"o\"]}"));
+        assert!(json.contains("\"type\":\"uri\""));
+        assert!(json.contains("\"type\":\"literal\""));
+        assert!(json.contains("\\\"")); // escaped quote in va"l
+        assert!(json.contains("\"xml:lang\":\"fr\""));
+        assert!(json.contains("XMLSchema#integer"));
+    }
+
+    #[test]
+    fn json_is_structurally_balanced() {
+        let json = solutions_to_json(&solutions());
+        // Rough structural check without a JSON parser: balanced braces
+        // and brackets outside strings.
+        let mut depth = 0i32;
+        let mut in_str = false;
+        let mut escaped = false;
+        for c in json.chars() {
+            if in_str {
+                if escaped {
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == '"' {
+                    in_str = false;
+                }
+                continue;
+            }
+            match c {
+                '"' => in_str = true,
+                '{' | '[' => depth += 1,
+                '}' | ']' => depth -= 1,
+                _ => {}
+            }
+        }
+        assert_eq!(depth, 0);
+        assert!(!in_str);
+    }
+
+    #[test]
+    fn tsv_rows_match() {
+        let s = solutions();
+        let tsv = solutions_to_tsv(&s);
+        assert_eq!(tsv.lines().count(), 1 + s.len());
+        assert!(tsv.starts_with("p\to\n"));
+    }
+
+    #[test]
+    fn empty_solutions() {
+        let s = Solutions { variables: vec!["x".into()], rows: vec![] };
+        assert_eq!(solutions_to_json(&s), "{\"head\":{\"vars\":[\"x\"]},\"results\":{\"bindings\":[]}}");
+        assert_eq!(solutions_to_tsv(&s), "x\n");
+    }
+}

@@ -1,0 +1,237 @@
+//! The endpoint itself: route dispatch and the serving loop.
+
+use crate::http::{parse_request, Request, Response};
+use crate::results::{solutions_to_json, solutions_to_tsv};
+use provbench_query::execute_query;
+use provbench_rdf::Graph;
+use std::io;
+use std::net::{TcpListener, ToSocketAddrs};
+use std::sync::Arc;
+
+/// A SPARQL endpoint over one corpus graph.
+#[derive(Clone)]
+pub struct Endpoint {
+    graph: Arc<Graph>,
+}
+
+impl Endpoint {
+    /// An endpoint serving the given graph.
+    pub fn new(graph: Graph) -> Self {
+        Endpoint { graph: Arc::new(graph) }
+    }
+
+    /// Handle one parsed request (exposed for tests).
+    pub fn handle(&self, request: &Request) -> Response {
+        match (request.method.as_str(), request.path.as_str()) {
+            ("GET", "/") => Response::ok("text/html", self.index_page()),
+            ("GET", "/sparql") | ("POST", "/sparql") => self.sparql(request),
+            ("GET", "/stats") => Response::ok(
+                "application/json",
+                format!(
+                    "{{\"triples\":{},\"terms\":{}}}",
+                    self.graph.len(),
+                    self.graph.term_count()
+                ),
+            ),
+            _ => Response::not_found(),
+        }
+    }
+
+    fn sparql(&self, request: &Request) -> Response {
+        // SPARQL protocol: GET ?query=… or POST with a form-encoded or
+        // raw query body.
+        let query = request
+            .param("query")
+            .map(str::to_owned)
+            .or_else(|| {
+                if request.method == "POST" {
+                    let body = request.body.trim();
+                    if let Some(rest) = body.strip_prefix("query=") {
+                        Some(crate::http::url_decode(rest))
+                    } else if !body.is_empty() {
+                        Some(body.to_owned())
+                    } else {
+                        None
+                    }
+                } else {
+                    None
+                }
+            });
+        let Some(query) = query else {
+            return Response::bad_request("missing `query` parameter");
+        };
+        match execute_query(&self.graph, &query) {
+            Ok(solutions) => {
+                let want_tsv = request.param("format") == Some("tsv")
+                    || request.accepts("text/tab-separated-values");
+                if want_tsv {
+                    Response::ok("text/tab-separated-values", solutions_to_tsv(&solutions))
+                } else {
+                    Response::ok(
+                        "application/sparql-results+json",
+                        solutions_to_json(&solutions),
+                    )
+                }
+            }
+            Err(e) => Response::bad_request(format!("query error: {e}")),
+        }
+    }
+
+    fn index_page(&self) -> String {
+        format!(
+            r#"<!doctype html>
+<html><head><title>ProvBench SPARQL endpoint</title></head>
+<body>
+<h1>ProvBench corpus SPARQL endpoint</h1>
+<p>{} triples loaded. POST or GET <code>/sparql</code> with a
+<code>query</code> parameter; results are SPARQL JSON
+(<code>?format=tsv</code> for text).</p>
+<form method="get" action="/sparql">
+<textarea name="query" rows="10" cols="80">
+PREFIX prov: &lt;http://www.w3.org/ns/prov#&gt;
+PREFIX wfprov: &lt;http://purl.org/wf4ever/wfprov#&gt;
+SELECT ?run ?start WHERE {{
+  ?run a wfprov:WorkflowRun .
+  OPTIONAL {{ ?run prov:startedAtTime ?start }}
+}} LIMIT 10
+</textarea><br>
+<input type="hidden" name="format" value="tsv">
+<input type="submit" value="Run query">
+</form>
+</body></html>"#,
+            self.graph.len()
+        )
+    }
+
+    /// Serve forever on the given address (one thread per connection).
+    pub fn serve(&self, addr: impl ToSocketAddrs) -> io::Result<()> {
+        let listener = TcpListener::bind(addr)?;
+        self.serve_on(listener)
+    }
+
+    /// Serve forever on an existing listener.
+    pub fn serve_on(&self, listener: TcpListener) -> io::Result<()> {
+        for stream in listener.incoming() {
+            let mut stream = stream?;
+            let endpoint = self.clone();
+            std::thread::spawn(move || {
+                if let Ok(request) = parse_request(&mut stream) {
+                    let response = endpoint.handle(&request);
+                    let _ = response.write_to(&mut stream);
+                }
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use provbench_rdf::parse_turtle;
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+
+    fn endpoint() -> Endpoint {
+        let (g, _) = parse_turtle(
+            r#"@prefix wfprov: <http://purl.org/wf4ever/wfprov#> .
+               @prefix e: <http://e/> .
+               e:r1 a wfprov:WorkflowRun . e:r2 a wfprov:WorkflowRun ."#,
+        )
+        .unwrap();
+        Endpoint::new(g)
+    }
+
+    fn request(raw: &str) -> Request {
+        parse_request(&mut raw.as_bytes()).unwrap()
+    }
+
+    #[test]
+    fn index_and_stats() {
+        let ep = endpoint();
+        let r = ep.handle(&request("GET / HTTP/1.1\r\n\r\n"));
+        assert_eq!(r.status, 200);
+        assert!(r.body.contains("SPARQL endpoint"));
+        let r = ep.handle(&request("GET /stats HTTP/1.1\r\n\r\n"));
+        assert!(r.body.contains("\"triples\":2"));
+        let r = ep.handle(&request("GET /nope HTTP/1.1\r\n\r\n"));
+        assert_eq!(r.status, 404);
+    }
+
+    #[test]
+    fn get_query_json() {
+        let ep = endpoint();
+        let q = crate::http::url_encode(
+            "PREFIX wfprov: <http://purl.org/wf4ever/wfprov#> SELECT ?r WHERE { ?r a wfprov:WorkflowRun }",
+        );
+        let r = ep.handle(&request(&format!("GET /sparql?query={q} HTTP/1.1\r\n\r\n")));
+        assert_eq!(r.status, 200, "{}", r.body);
+        assert_eq!(r.content_type, "application/sparql-results+json");
+        assert!(r.body.contains("http://e/r1"));
+    }
+
+    #[test]
+    fn post_raw_query_tsv() {
+        let ep = endpoint();
+        let body = "PREFIX wfprov: <http://purl.org/wf4ever/wfprov#> SELECT ?r WHERE { ?r a wfprov:WorkflowRun } ORDER BY ?r";
+        let raw = format!(
+            "POST /sparql?format=tsv HTTP/1.1\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        );
+        let r = ep.handle(&request(&raw));
+        assert_eq!(r.status, 200);
+        assert_eq!(r.body.lines().count(), 3);
+    }
+
+    #[test]
+    fn bad_query_is_400() {
+        let ep = endpoint();
+        let r = ep.handle(&request("GET /sparql?query=NOT+SPARQL HTTP/1.1\r\n\r\n"));
+        assert_eq!(r.status, 400);
+        let r = ep.handle(&request("GET /sparql HTTP/1.1\r\n\r\n"));
+        assert_eq!(r.status, 400);
+    }
+
+    #[test]
+    fn serves_concurrent_clients() {
+        let ep = endpoint();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            let _ = ep.serve_on(listener);
+        });
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let mut stream = TcpStream::connect(addr).unwrap();
+                    write!(stream, "GET /stats HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+                    let mut response = String::new();
+                    stream.read_to_string(&mut response).unwrap();
+                    assert!(response.contains("\"triples\":2"), "{response}");
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn serves_over_real_tcp() {
+        let ep = endpoint();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            let _ = ep.serve_on(listener);
+        });
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let q = crate::http::url_encode("SELECT ?r WHERE { ?r a <http://purl.org/wf4ever/wfprov#WorkflowRun> }");
+        write!(stream, "GET /sparql?query={q} HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        assert!(response.contains("http://e/r2"));
+    }
+}

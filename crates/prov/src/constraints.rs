@@ -1,0 +1,361 @@
+//! A PROV-CONSTRAINTS-subset validator over PROV-O graphs.
+//!
+//! The corpus deliberately includes traces of **failed** runs, which makes
+//! consistency checking of the exported RDF non-trivial; this validator
+//! implements the constraints that matter for workflow provenance:
+//! activity interval sanity, generation-before-use ordering, uniqueness
+//! of generation, and acyclicity/irreflexivity of derivation and
+//! communication.
+
+use provbench_rdf::{Graph, Iri, Subject, Term};
+use provbench_vocab::prov;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A constraint violation found in a trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// `prov:endedAtTime` precedes `prov:startedAtTime`.
+    ActivityEndsBeforeStart {
+        /// The offending activity.
+        activity: Iri,
+    },
+    /// An activity that used the entity ended before the activity that
+    /// generated it started — usage cannot precede generation.
+    UsageBeforeGeneration {
+        /// The entity.
+        entity: Iri,
+        /// The generating activity.
+        generator: Iri,
+        /// The premature user.
+        user: Iri,
+    },
+    /// The entity has more than one generating activity.
+    MultipleGeneration {
+        /// The entity.
+        entity: Iri,
+        /// All generating activities.
+        generators: Vec<Iri>,
+    },
+    /// `prov:wasDerivedFrom` contains a cycle through this entity.
+    DerivationCycle {
+        /// An entity on the cycle.
+        entity: Iri,
+    },
+    /// An activity `prov:wasInformedBy` itself.
+    SelfCommunication {
+        /// The activity.
+        activity: Iri,
+    },
+    /// An entity `prov:wasDerivedFrom` itself.
+    SelfDerivation {
+        /// The entity.
+        entity: Iri,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::ActivityEndsBeforeStart { activity } => {
+                write!(f, "activity {activity} ends before it starts")
+            }
+            Violation::UsageBeforeGeneration { entity, generator, user } => write!(
+                f,
+                "entity {entity} is used by {user} before its generation by {generator}"
+            ),
+            Violation::MultipleGeneration { entity, generators } => write!(
+                f,
+                "entity {entity} has {} generating activities",
+                generators.len()
+            ),
+            Violation::DerivationCycle { entity } => {
+                write!(f, "derivation cycle through {entity}")
+            }
+            Violation::SelfCommunication { activity } => {
+                write!(f, "activity {activity} informed by itself")
+            }
+            Violation::SelfDerivation { entity } => {
+                write!(f, "entity {entity} derived from itself")
+            }
+        }
+    }
+}
+
+fn activity_times(g: &Graph) -> BTreeMap<Iri, (Option<i64>, Option<i64>)> {
+    let mut out: BTreeMap<Iri, (Option<i64>, Option<i64>)> = BTreeMap::new();
+    for t in g.triples_matching(None, Some(&prov::started_at_time()), None) {
+        if let (Subject::Iri(a), Term::Literal(l)) = (&t.subject, &t.object) {
+            if let Some(dt) = l.as_date_time() {
+                out.entry(a.clone()).or_default().0 = Some(dt.unix_millis());
+            }
+        }
+    }
+    for t in g.triples_matching(None, Some(&prov::ended_at_time()), None) {
+        if let (Subject::Iri(a), Term::Literal(l)) = (&t.subject, &t.object) {
+            if let Some(dt) = l.as_date_time() {
+                out.entry(a.clone()).or_default().1 = Some(dt.unix_millis());
+            }
+        }
+    }
+    out
+}
+
+/// Validate a PROV-O graph; an empty vector means no violation detected.
+pub fn validate(graph: &Graph) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let times = activity_times(graph);
+
+    // 1. start ≤ end per activity.
+    for (activity, (start, end)) in &times {
+        if let (Some(s), Some(e)) = (start, end) {
+            if e < s {
+                out.push(Violation::ActivityEndsBeforeStart { activity: activity.clone() });
+            }
+        }
+    }
+
+    // 2. Generation relations: uniqueness + temporal ordering vs usage.
+    //
+    // Workflow provenance routinely asserts that an output was generated
+    // both by its producing process run and by the enclosing workflow
+    // run (taverna-prov does exactly this); those two "generations" are
+    // the same event seen at two granularities. We therefore tolerate
+    // multiple generators when they are related by
+    // `wfprov:wasPartOfWorkflowRun` (directly, either direction).
+    let part_of = Iri::new_unchecked("http://purl.org/wf4ever/wfprov#wasPartOfWorkflowRun");
+    let is_part = |a: &Iri, b: &Iri| {
+        graph
+            .triples_matching(
+                Some(&Subject::Iri(a.clone())),
+                Some(&part_of),
+                Some(&Term::Iri(b.clone())),
+            )
+            .next()
+            .is_some()
+    };
+    let mut generators: BTreeMap<Iri, Vec<Iri>> = BTreeMap::new();
+    for t in graph.triples_matching(None, Some(&prov::was_generated_by()), None) {
+        if let (Subject::Iri(e), Term::Iri(a)) = (&t.subject, &t.object) {
+            generators.entry(e.clone()).or_default().push(a.clone());
+        }
+    }
+    for (entity, gens) in &generators {
+        let mut distinct = gens.clone();
+        distinct.sort();
+        distinct.dedup();
+        let independent = distinct.iter().enumerate().any(|(i, a)| {
+            distinct[i + 1..].iter().any(|b| !is_part(a, b) && !is_part(b, a))
+        });
+        if distinct.len() > 1 && independent {
+            out.push(Violation::MultipleGeneration {
+                entity: entity.clone(),
+                generators: distinct,
+            });
+        }
+    }
+    for t in graph.triples_matching(None, Some(&prov::used()), None) {
+        let (Subject::Iri(user), Term::Iri(entity)) = (&t.subject, &t.object) else {
+            continue;
+        };
+        let Some(gens) = generators.get(entity) else { continue };
+        let Some((_, Some(user_end))) = times.get(user) else { continue };
+        for generator in gens {
+            if let Some((Some(gen_start), _)) = times.get(generator) {
+                if user_end < gen_start {
+                    out.push(Violation::UsageBeforeGeneration {
+                        entity: entity.clone(),
+                        generator: generator.clone(),
+                        user: user.clone(),
+                    });
+                }
+            }
+        }
+    }
+
+    // 3. Derivation: irreflexive + acyclic.
+    let mut derivation: BTreeMap<Iri, Vec<Iri>> = BTreeMap::new();
+    for t in graph.triples_matching(None, Some(&prov::was_derived_from()), None) {
+        if let (Subject::Iri(d), Term::Iri(s)) = (&t.subject, &t.object) {
+            if d == s {
+                out.push(Violation::SelfDerivation { entity: d.clone() });
+            } else {
+                derivation.entry(d.clone()).or_default().push(s.clone());
+            }
+        }
+    }
+    for entity in cycle_roots(&derivation) {
+        out.push(Violation::DerivationCycle { entity });
+    }
+
+    // 4. Communication: irreflexive.
+    for t in graph.triples_matching(None, Some(&prov::was_informed_by()), None) {
+        if let (Subject::Iri(a), Term::Iri(b)) = (&t.subject, &t.object) {
+            if a == b {
+                out.push(Violation::SelfCommunication { activity: a.clone() });
+            }
+        }
+    }
+
+    out
+}
+
+/// One representative node per cycle in the edge map (iterative DFS
+/// three-colouring).
+fn cycle_roots(edges: &BTreeMap<Iri, Vec<Iri>>) -> Vec<Iri> {
+    #[derive(PartialEq, Clone, Copy)]
+    enum Color {
+        White,
+        Grey,
+        Black,
+    }
+    let mut color: BTreeMap<&Iri, Color> = BTreeMap::new();
+    let mut cycles: BTreeSet<Iri> = BTreeSet::new();
+    for start in edges.keys() {
+        if color.get(start).copied().unwrap_or(Color::White) != Color::White {
+            continue;
+        }
+        // Stack of (node, next-child-index).
+        let mut stack: Vec<(&Iri, usize)> = vec![(start, 0)];
+        color.insert(start, Color::Grey);
+        while let Some((node, idx)) = stack.pop() {
+            let children = edges.get(node).map(Vec::as_slice).unwrap_or(&[]);
+            if idx < children.len() {
+                stack.push((node, idx + 1));
+                let child = &children[idx];
+                match color.get(child).copied().unwrap_or(Color::White) {
+                    Color::White => {
+                        if edges.contains_key(child) {
+                            color.insert(child, Color::Grey);
+                            stack.push((child, 0));
+                        } else {
+                            color.insert(child, Color::Black);
+                        }
+                    }
+                    Color::Grey => {
+                        cycles.insert(child.clone());
+                    }
+                    Color::Black => {}
+                }
+            } else {
+                color.insert(node, Color::Black);
+            }
+        }
+    }
+    cycles.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use provbench_rdf::{Literal, Triple};
+    use provbench_vocab as vocab;
+
+    fn iri(s: &str) -> Iri {
+        Iri::new(s).unwrap()
+    }
+
+    fn time(ms: i64) -> Literal {
+        Literal::date_time(&provbench_rdf::DateTime::from_unix_millis(ms))
+    }
+
+    #[test]
+    fn clean_trace_validates() {
+        let mut g = Graph::new();
+        g.insert(Triple::new(iri("http://e/a"), prov::started_at_time(), time(0)));
+        g.insert(Triple::new(iri("http://e/a"), prov::ended_at_time(), time(100)));
+        g.insert(Triple::new(iri("http://e/out"), prov::was_generated_by(), iri("http://e/a")));
+        g.insert(Triple::new(iri("http://e/a"), prov::used(), iri("http://e/in")));
+        assert!(validate(&g).is_empty());
+    }
+
+    #[test]
+    fn backwards_interval_detected() {
+        let mut g = Graph::new();
+        g.insert(Triple::new(iri("http://e/a"), prov::started_at_time(), time(100)));
+        g.insert(Triple::new(iri("http://e/a"), prov::ended_at_time(), time(0)));
+        assert_eq!(
+            validate(&g),
+            vec![Violation::ActivityEndsBeforeStart { activity: iri("http://e/a") }]
+        );
+    }
+
+    #[test]
+    fn usage_before_generation_detected() {
+        let mut g = Graph::new();
+        // user ran 0..100; generator ran 200..300 — impossible ordering.
+        g.insert(Triple::new(iri("http://e/user"), prov::started_at_time(), time(0)));
+        g.insert(Triple::new(iri("http://e/user"), prov::ended_at_time(), time(100)));
+        g.insert(Triple::new(iri("http://e/gen"), prov::started_at_time(), time(200)));
+        g.insert(Triple::new(iri("http://e/gen"), prov::ended_at_time(), time(300)));
+        g.insert(Triple::new(iri("http://e/d"), prov::was_generated_by(), iri("http://e/gen")));
+        g.insert(Triple::new(iri("http://e/user"), prov::used(), iri("http://e/d")));
+        let vs = validate(&g);
+        assert!(vs.iter().any(|v| matches!(v, Violation::UsageBeforeGeneration { .. })));
+    }
+
+    #[test]
+    fn multiple_generation_detected() {
+        let mut g = Graph::new();
+        g.insert(Triple::new(iri("http://e/d"), prov::was_generated_by(), iri("http://e/a1")));
+        g.insert(Triple::new(iri("http://e/d"), prov::was_generated_by(), iri("http://e/a2")));
+        let vs = validate(&g);
+        assert!(matches!(&vs[..], [Violation::MultipleGeneration { generators, .. }] if generators.len() == 2));
+    }
+
+    #[test]
+    fn sub_activity_double_generation_is_tolerated() {
+        let mut g = Graph::new();
+        let part_of =
+            Iri::new_unchecked("http://purl.org/wf4ever/wfprov#wasPartOfWorkflowRun");
+        g.insert(Triple::new(iri("http://e/out"), prov::was_generated_by(), iri("http://e/proc")));
+        g.insert(Triple::new(iri("http://e/out"), prov::was_generated_by(), iri("http://e/run")));
+        g.insert(Triple::new(iri("http://e/proc"), part_of, iri("http://e/run")));
+        assert!(validate(&g).is_empty());
+    }
+
+    #[test]
+    fn duplicate_generation_by_same_activity_is_fine() {
+        let mut g = Graph::new();
+        g.insert(Triple::new(iri("http://e/d"), prov::was_generated_by(), iri("http://e/a1")));
+        // An RDF graph is a set, so re-inserting is invisible anyway.
+        g.insert(Triple::new(iri("http://e/d"), prov::was_generated_by(), iri("http://e/a1")));
+        assert!(validate(&g).is_empty());
+    }
+
+    #[test]
+    fn derivation_cycle_detected() {
+        let mut g = Graph::new();
+        g.insert(Triple::new(iri("http://e/a"), prov::was_derived_from(), iri("http://e/b")));
+        g.insert(Triple::new(iri("http://e/b"), prov::was_derived_from(), iri("http://e/c")));
+        g.insert(Triple::new(iri("http://e/c"), prov::was_derived_from(), iri("http://e/a")));
+        let vs = validate(&g);
+        assert!(vs.iter().any(|v| matches!(v, Violation::DerivationCycle { .. })));
+    }
+
+    #[test]
+    fn derivation_dag_is_fine() {
+        let mut g = Graph::new();
+        g.insert(Triple::new(iri("http://e/c"), prov::was_derived_from(), iri("http://e/a")));
+        g.insert(Triple::new(iri("http://e/c"), prov::was_derived_from(), iri("http://e/b")));
+        g.insert(Triple::new(iri("http://e/d"), prov::was_derived_from(), iri("http://e/c")));
+        assert!(validate(&g).is_empty());
+    }
+
+    #[test]
+    fn reflexive_relations_detected() {
+        let mut g = Graph::new();
+        g.insert(Triple::new(iri("http://e/a"), prov::was_informed_by(), iri("http://e/a")));
+        g.insert(Triple::new(iri("http://e/d"), prov::was_derived_from(), iri("http://e/d")));
+        let vs = validate(&g);
+        assert!(vs.contains(&Violation::SelfCommunication { activity: iri("http://e/a") }));
+        assert!(vs.contains(&Violation::SelfDerivation { entity: iri("http://e/d") }));
+    }
+
+    #[test]
+    fn violations_display() {
+        let v = Violation::ActivityEndsBeforeStart { activity: iri("http://e/a") };
+        assert!(v.to_string().contains("ends before"));
+        let _ = vocab::rdf_type(); // silence unused import in cfg(test)
+    }
+}

@@ -1,0 +1,307 @@
+//! Recovering a PROV [`Document`] from a PROV-O graph.
+//!
+//! This is the inverse of [`crate::to_rdf`] up to the qualified-pattern
+//! sugar: qualified associations/usages/generations are folded back into
+//! the corresponding direct relations (plans and times re-attached), and
+//! the helper blank nodes disappear. Triples that fit no PROV idiom are
+//! preserved as node attributes (when their subject is a declared node)
+//! or as [`Relation::Other`].
+
+use crate::model::{Activity, Agent, AgentKind, Document, Entity, Relation};
+use provbench_rdf::{Graph, Iri, Subject, Term};
+use provbench_vocab::{self as vocab, foaf, prov, rdfs};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Recover a document from a PROV-O graph.
+pub fn graph_to_document(graph: &Graph) -> Document {
+    let rdf_type = vocab::rdf_type();
+    // 1. Type table for named subjects.
+    let mut types: BTreeMap<Iri, Vec<Iri>> = BTreeMap::new();
+    for t in graph.triples_matching(None, Some(&rdf_type), None) {
+        if let (Subject::Iri(s), Term::Iri(o)) = (&t.subject, &t.object) {
+            types.entry(s.clone()).or_default().push(o.clone());
+        }
+    }
+
+    let is = |ts: &[Iri], class: &Iri| ts.iter().any(|t| t == class);
+
+    let mut doc = Document::new();
+    // 2. Classify nodes. Agent beats Activity beats Entity when a node is
+    //    (unusually) multi-typed across categories.
+    for (id, ts) in &types {
+        if is(ts, &prov::agent())
+            || is(ts, &prov::person())
+            || is(ts, &prov::software_agent())
+            || is(ts, &prov::organization())
+        {
+            let kind = if is(ts, &prov::person()) {
+                AgentKind::Person
+            } else if is(ts, &prov::software_agent()) {
+                AgentKind::Software
+            } else if is(ts, &prov::organization()) {
+                AgentKind::Organization
+            } else {
+                AgentKind::Plain
+            };
+            let mut agent = Agent::new(id.clone(), kind);
+            agent.types = ts
+                .iter()
+                .filter(|t| {
+                    **t != prov::agent()
+                        && **t != prov::person()
+                        && **t != prov::software_agent()
+                        && **t != prov::organization()
+                })
+                .cloned()
+                .collect();
+            doc.add_agent(agent);
+        } else if is(ts, &prov::activity()) {
+            let mut act = Activity::new(id.clone());
+            act.types = ts.iter().filter(|t| **t != prov::activity()).cloned().collect();
+            doc.add_activity(act);
+        } else if is(ts, &prov::entity()) || is(ts, &prov::plan()) || is(ts, &prov::bundle()) {
+            let mut ent = Entity::new(id.clone());
+            ent.types = ts.iter().filter(|t| **t != prov::entity()).cloned().collect();
+            doc.add_entity(ent);
+        }
+    }
+
+    // 3. Blank helper nodes of qualified patterns, to be skipped later.
+    let mut helper_blanks: BTreeSet<Subject> = BTreeSet::new();
+    for p in [prov::qualified_association(), prov::qualified_usage(), prov::qualified_generation()]
+    {
+        for t in graph.triples_matching(None, Some(&p), None) {
+            if let Term::Blank(b) = &t.object {
+                helper_blanks.insert(Subject::Blank(b.clone()));
+            }
+        }
+    }
+
+    // 4. Qualified associations → (activity, agent) → plan.
+    let mut assoc_plans: BTreeMap<(Iri, Iri), Iri> = BTreeMap::new();
+    for t in graph.triples_matching(None, Some(&prov::qualified_association()), None) {
+        let Subject::Iri(activity) = &t.subject else { continue };
+        let Some(q) = t.object.as_subject() else { continue };
+        let agent = graph.object(&q, &prov::agent_prop()).and_then(|o| o.as_iri().cloned());
+        let plan = graph.object(&q, &prov::had_plan()).and_then(|o| o.as_iri().cloned());
+        if let (Some(agent), Some(plan)) = (agent, plan) {
+            assoc_plans.insert((activity.clone(), agent), plan);
+        }
+    }
+
+    // 5. Direct relations.
+    let rel_preds = [
+        prov::used(),
+        prov::was_generated_by(),
+        prov::was_associated_with(),
+        prov::was_attributed_to(),
+        prov::acted_on_behalf_of(),
+        prov::was_derived_from(),
+        prov::had_primary_source(),
+        prov::was_informed_by(),
+        prov::was_influenced_by(),
+    ];
+    for t in graph.iter() {
+        let Subject::Iri(s) = &t.subject else { continue };
+        let Some(o) = t.object.as_iri() else { continue };
+        let p = &t.predicate;
+        let rel = if *p == prov::used() {
+            Some(Relation::Used { activity: s.clone(), entity: o.clone(), time: None })
+        } else if *p == prov::was_generated_by() {
+            Some(Relation::WasGeneratedBy { entity: s.clone(), activity: o.clone(), time: None })
+        } else if *p == prov::was_associated_with() {
+            Some(Relation::WasAssociatedWith {
+                activity: s.clone(),
+                agent: o.clone(),
+                plan: assoc_plans.get(&(s.clone(), o.clone())).cloned(),
+            })
+        } else if *p == prov::was_attributed_to() {
+            Some(Relation::WasAttributedTo { entity: s.clone(), agent: o.clone() })
+        } else if *p == prov::acted_on_behalf_of() {
+            Some(Relation::ActedOnBehalfOf { delegate: s.clone(), responsible: o.clone() })
+        } else if *p == prov::was_derived_from() {
+            Some(Relation::WasDerivedFrom { generated: s.clone(), used: o.clone() })
+        } else if *p == prov::had_primary_source() {
+            Some(Relation::HadPrimarySource { derived: s.clone(), source: o.clone() })
+        } else if *p == prov::was_informed_by() {
+            Some(Relation::WasInformedBy { informed: s.clone(), informant: o.clone() })
+        } else if *p == prov::was_influenced_by() {
+            Some(Relation::WasInfluencedBy { influencee: s.clone(), influencer: o.clone() })
+        } else {
+            None
+        };
+        if let Some(rel) = rel {
+            doc.add_relation(rel);
+        }
+    }
+
+    // 6. Node detail + leftover attributes.
+    let known_node_preds = [
+        rdfs::label(),
+        prov::value(),
+        prov::at_location(),
+        prov::generated_at_time(),
+        prov::started_at_time(),
+        prov::ended_at_time(),
+        foaf::name(),
+        prov::qualified_association(),
+        prov::qualified_usage(),
+        prov::qualified_generation(),
+    ];
+    for t in graph.iter() {
+        if helper_blanks.contains(&t.subject) {
+            continue; // qualified-pattern internals
+        }
+        let Subject::Iri(s) = &t.subject else { continue };
+        let p = &t.predicate;
+        if *p == rdf_type || rel_preds.contains(p) {
+            continue;
+        }
+        if *p == rdfs::label() {
+            if let Some(l) = t.object.as_literal() {
+                if let Some(e) = doc.entities.get_mut(s) {
+                    e.label = Some(l.lexical().to_owned());
+                } else if let Some(a) = doc.activities.get_mut(s) {
+                    a.label = Some(l.lexical().to_owned());
+                }
+            }
+            continue;
+        }
+        if *p == prov::value() {
+            if let (Some(l), Some(e)) = (t.object.as_literal(), doc.entities.get_mut(s)) {
+                e.value = Some(l.clone());
+            }
+            continue;
+        }
+        if *p == prov::at_location() {
+            if let Some(loc) = t.object.as_iri() {
+                if let Some(e) = doc.entities.get_mut(s) {
+                    e.location = Some(loc.clone());
+                } else if let Some(a) = doc.activities.get_mut(s) {
+                    a.location = Some(loc.clone());
+                }
+            }
+            continue;
+        }
+        if *p == prov::generated_at_time() {
+            if let (Some(l), Some(e)) = (t.object.as_literal(), doc.entities.get_mut(s)) {
+                e.generated_at = l.as_date_time();
+            }
+            continue;
+        }
+        if *p == prov::started_at_time() {
+            if let (Some(l), Some(a)) = (t.object.as_literal(), doc.activities.get_mut(s)) {
+                a.started = l.as_date_time();
+            }
+            continue;
+        }
+        if *p == prov::ended_at_time() {
+            if let (Some(l), Some(a)) = (t.object.as_literal(), doc.activities.get_mut(s)) {
+                a.ended = l.as_date_time();
+            }
+            continue;
+        }
+        if *p == foaf::name() {
+            if let (Some(l), Some(a)) = (t.object.as_literal(), doc.agents.get_mut(s)) {
+                a.name = Some(l.lexical().to_owned());
+            }
+            continue;
+        }
+        if known_node_preds.contains(p) {
+            continue;
+        }
+        // Unknown predicate: attribute on a declared node, else Other.
+        if let Some(e) = doc.entities.get_mut(s) {
+            e.attributes.push((p.clone(), t.object.clone()));
+        } else if let Some(a) = doc.activities.get_mut(s) {
+            a.attributes.push((p.clone(), t.object.clone()));
+        } else if let Some(a) = doc.agents.get_mut(s) {
+            a.attributes.push((p.clone(), t.object.clone()));
+        } else {
+            doc.add_relation(Relation::Other {
+                subject: s.clone(),
+                predicate: p.clone(),
+                object: t.object.clone(),
+            });
+        }
+    }
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DocumentBuilder;
+    use crate::to_rdf::{document_to_graph, ProfileOptions};
+    use provbench_rdf::DateTime;
+
+    fn sample() -> Document {
+        let mut b = DocumentBuilder::new("http://e/run/");
+        let data = b.entity("data").label("in").id();
+        let out = b.entity("out").id();
+        let template = b.entity("template").id();
+        let act = b
+            .activity("step")
+            .label("alignment")
+            .started(DateTime::from_unix_millis(0))
+            .ended(DateTime::from_unix_millis(1000))
+            .id();
+        let engine = b.agent("engine", AgentKind::Software).name("sim").id();
+        b.used(&act, &data, None);
+        b.generated(&out, &act, None);
+        b.associated(&act, &engine, Some(&template));
+        b.derived(&out, &data);
+        b.build()
+    }
+
+    #[test]
+    fn roundtrip_recovers_structure_taverna_profile() {
+        let doc = sample();
+        let g = document_to_graph(&doc, ProfileOptions::taverna());
+        let back = graph_to_document(&g);
+        assert_eq!(back.entities.len(), 3);
+        assert_eq!(back.activities.len(), 1);
+        assert_eq!(back.agents.len(), 1);
+        // used, wasGeneratedBy, wasAssociatedWith, wasDerivedFrom.
+        assert_eq!(back.relations.len(), 4);
+        let id = |s: &str| Iri::new(format!("http://e/run/{s}")).unwrap();
+        let act = &back.activities[&id("step")];
+        assert_eq!(act.label.as_deref(), Some("alignment"));
+        assert_eq!(act.started, Some(DateTime::from_unix_millis(0)));
+        assert_eq!(act.ended, Some(DateTime::from_unix_millis(1000)));
+        let agent = &back.agents[&id("engine")];
+        assert_eq!(agent.kind, AgentKind::Software);
+        assert_eq!(agent.name.as_deref(), Some("sim"));
+        // Plan recovered from the qualified association.
+        assert!(back.relations.iter().any(|r| matches!(
+            r,
+            Relation::WasAssociatedWith { plan: Some(p), .. } if *p == id("template")
+        )));
+    }
+
+    #[test]
+    fn roundtrip_recovers_plan_typing_wings_profile() {
+        let doc = sample();
+        let g = document_to_graph(&doc, ProfileOptions::wings());
+        let back = graph_to_document(&g);
+        // Under the Wings profile the plan is an entity typed prov:Plan;
+        // the association has no qualified pattern, so no plan linkage.
+        let template = Iri::new("http://e/run/template").unwrap();
+        assert!(back.entities[&template].types.contains(&prov::plan()));
+    }
+
+    #[test]
+    fn unknown_predicates_become_attributes() {
+        let mut b = DocumentBuilder::new("http://e/");
+        let d = b.entity("d").id();
+        b.other(&d, Iri::new("http://custom/pred").unwrap(), Iri::new("http://custom/obj").unwrap());
+        let g = document_to_graph(&b.build(), ProfileOptions::taverna());
+        let back = graph_to_document(&g);
+        assert_eq!(back.entities[&d].attributes.len(), 1);
+    }
+
+    #[test]
+    fn empty_graph_is_empty_document() {
+        assert!(graph_to_document(&Graph::new()).is_empty());
+    }
+}

@@ -1,0 +1,391 @@
+//! PROV-O inference over RDF graphs.
+//!
+//! The paper's Table 3 marks some terms with a star: "the PROV statement
+//! is not directly asserted in the traces, but it can be inferred". The
+//! coverage analyzer reproduces those stars by running this engine and
+//! checking which tracked terms appear only after inference:
+//!
+//! * `prov:wasInfluencedBy` for Taverna — derived from its asserted
+//!   sub-properties (`prov:used`, `prov:wasGeneratedBy`, …);
+//! * `prov:Plan` for Taverna — derived from `prov:hadPlan`'s range.
+//!
+//! The engine also implements communication and derivation inference;
+//! the latter is the paper's §5 "ongoing work" (deriving
+//! `prov:wasDerivedFrom` from usage/generation chains).
+
+use provbench_rdf::{Graph, Term, Triple};
+use provbench_vocab::{self as vocab, prov};
+
+/// Which inference rules to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InferenceRules {
+    /// Propagate assertions up the PROV sub-property lattice
+    /// (`used ⊑ wasInfluencedBy`, `hadPrimarySource ⊑ wasDerivedFrom`, …).
+    pub subproperty_closure: bool,
+    /// `_ prov:hadPlan p ⟹ p a prov:Plan` (range of `hadPlan`), and
+    /// `q prov:agent a` on a qualified association ⟹ direct
+    /// `wasAssociatedWith`.
+    pub plans_and_associations: bool,
+    /// `a2 prov:used e ∧ e prov:wasGeneratedBy a1 ⟹ a2 prov:wasInformedBy a1`.
+    pub communication: bool,
+    /// `act prov:used e1 ∧ e2 prov:wasGeneratedBy act ⟹ e2 prov:wasDerivedFrom e1`.
+    ///
+    /// This is the paper's "ongoing work": it over-approximates (it
+    /// assumes every output of an activity depends on every input), which
+    /// is exactly why the corpus does not assert it — see §5.
+    pub derivation: bool,
+    /// `e prov:wasGeneratedBy a ∧ a prov:wasAssociatedWith ag ⟹
+    /// e prov:wasAttributedTo ag`.
+    pub attribution: bool,
+    /// Domain/range typing (`s prov:used o ⟹ s a prov:Activity, o a
+    /// prov:Entity`, agent subclasses, `Bundle ⊑ Entity`, `Plan ⊑ Entity`).
+    pub typing: bool,
+}
+
+impl InferenceRules {
+    /// Every rule on.
+    pub fn all() -> Self {
+        InferenceRules {
+            subproperty_closure: true,
+            plans_and_associations: true,
+            communication: true,
+            derivation: true,
+            attribution: true,
+            typing: true,
+        }
+    }
+
+    /// Only the schema-level rules the coverage analysis needs (no
+    /// derivation/attribution/communication guessing).
+    pub fn schema_only() -> Self {
+        InferenceRules {
+            subproperty_closure: true,
+            plans_and_associations: true,
+            communication: false,
+            derivation: false,
+            attribution: false,
+            typing: true,
+        }
+    }
+
+    /// Everything off (useful as a baseline in tests and benches).
+    pub fn none() -> Self {
+        InferenceRules {
+            subproperty_closure: false,
+            plans_and_associations: false,
+            communication: false,
+            derivation: false,
+            attribution: false,
+            typing: false,
+        }
+    }
+}
+
+/// Apply the selected rules to a copy of `graph` until fixpoint and
+/// return the materialized graph (which always contains the input).
+pub fn apply_inference(graph: &Graph, rules: &InferenceRules) -> Graph {
+    let mut g = graph.clone();
+    loop {
+        let mut new: Vec<Triple> = Vec::new();
+        if rules.subproperty_closure {
+            infer_subproperties(&g, &mut new);
+        }
+        if rules.plans_and_associations {
+            infer_plans_and_associations(&g, &mut new);
+        }
+        if rules.communication {
+            infer_communication(&g, &mut new);
+        }
+        if rules.derivation {
+            infer_derivation(&g, &mut new);
+        }
+        if rules.attribution {
+            infer_attribution(&g, &mut new);
+        }
+        if rules.typing {
+            infer_typing(&g, &mut new);
+        }
+        let mut changed = false;
+        for t in new {
+            changed |= g.insert(t);
+        }
+        if !changed {
+            return g;
+        }
+    }
+}
+
+fn infer_subproperties(g: &Graph, out: &mut Vec<Triple>) {
+    for (sub, sup) in prov::SUBPROPERTY_OF {
+        let sub = provbench_rdf::Iri::new_unchecked(*sub);
+        let sup = provbench_rdf::Iri::new_unchecked(*sup);
+        for t in g.triples_matching(None, Some(&sub), None) {
+            out.push(Triple::new(t.subject, sup.clone(), t.object));
+        }
+    }
+}
+
+fn infer_plans_and_associations(g: &Graph, out: &mut Vec<Triple>) {
+    // Range of hadPlan: the object is a Plan (hence also an Entity via
+    // the typing rule).
+    for t in g.triples_matching(None, Some(&prov::had_plan()), None) {
+        if let Some(plan) = t.object.as_subject() {
+            out.push(Triple::new(plan, vocab::rdf_type(), prov::plan()));
+        }
+    }
+    // Qualified association ⟹ direct association.
+    for t in g.triples_matching(None, Some(&prov::qualified_association()), None) {
+        let Some(q) = t.object.as_subject() else { continue };
+        for agent in g.objects(&q, &prov::agent_prop()) {
+            out.push(Triple::new(
+                t.subject.clone(),
+                prov::was_associated_with(),
+                agent,
+            ));
+        }
+    }
+}
+
+fn infer_communication(g: &Graph, out: &mut Vec<Triple>) {
+    for used in g.triples_matching(None, Some(&prov::used()), None) {
+        let Some(entity) = used.object.as_subject() else { continue };
+        for gen in
+            g.triples_matching(Some(&entity), Some(&prov::was_generated_by()), None)
+        {
+            // `used.subject` was informed by the generator of the entity,
+            // unless they are the same activity.
+            if Term::from(used.subject.clone()) != gen.object {
+                out.push(Triple::new(
+                    used.subject.clone(),
+                    prov::was_informed_by(),
+                    gen.object,
+                ));
+            }
+        }
+    }
+}
+
+fn infer_derivation(g: &Graph, out: &mut Vec<Triple>) {
+    for gen in g.triples_matching(None, Some(&prov::was_generated_by()), None) {
+        let Some(activity) = gen.object.as_subject() else { continue };
+        for used in g.triples_matching(Some(&activity), Some(&prov::used()), None) {
+            if Term::from(gen.subject.clone()) != used.object {
+                out.push(Triple::new(
+                    gen.subject.clone(),
+                    prov::was_derived_from(),
+                    used.object,
+                ));
+            }
+        }
+    }
+}
+
+fn infer_attribution(g: &Graph, out: &mut Vec<Triple>) {
+    for gen in g.triples_matching(None, Some(&prov::was_generated_by()), None) {
+        let Some(activity) = gen.object.as_subject() else { continue };
+        for assoc in
+            g.triples_matching(Some(&activity), Some(&prov::was_associated_with()), None)
+        {
+            out.push(Triple::new(
+                gen.subject.clone(),
+                prov::was_attributed_to(),
+                assoc.object,
+            ));
+        }
+    }
+}
+
+fn type_both(
+    g: &Graph,
+    p: &provbench_rdf::Iri,
+    s_class: Option<&provbench_rdf::Iri>,
+    o_class: Option<&provbench_rdf::Iri>,
+    out: &mut Vec<Triple>,
+) {
+    for t in g.triples_matching(None, Some(p), None) {
+        if let Some(c) = s_class {
+            out.push(Triple::new(t.subject.clone(), vocab::rdf_type(), c.clone()));
+        }
+        if let (Some(c), Some(o)) = (o_class, t.object.as_subject()) {
+            out.push(Triple::new(o, vocab::rdf_type(), c.clone()));
+        }
+    }
+}
+
+fn infer_typing(g: &Graph, out: &mut Vec<Triple>) {
+    let entity = prov::entity();
+    let activity = prov::activity();
+    let agent = prov::agent();
+    type_both(g, &prov::used(), Some(&activity), Some(&entity), out);
+    type_both(g, &prov::was_generated_by(), Some(&entity), Some(&activity), out);
+    type_both(g, &prov::was_associated_with(), Some(&activity), Some(&agent), out);
+    type_both(g, &prov::was_attributed_to(), Some(&entity), Some(&agent), out);
+    type_both(g, &prov::was_informed_by(), Some(&activity), Some(&activity), out);
+    type_both(g, &prov::was_derived_from(), Some(&entity), Some(&entity), out);
+    type_both(g, &prov::had_primary_source(), Some(&entity), Some(&entity), out);
+    type_both(g, &prov::acted_on_behalf_of(), Some(&agent), Some(&agent), out);
+    // Subclass axioms.
+    for (sub, sup) in [
+        (prov::person(), agent.clone()),
+        (prov::software_agent(), agent.clone()),
+        (prov::organization(), agent),
+        (prov::bundle(), entity.clone()),
+        (prov::plan(), entity),
+    ] {
+        let sub_term: Term = sub.into();
+        for t in g.triples_matching(None, Some(&vocab::rdf_type()), Some(&sub_term)) {
+            out.push(Triple::new(t.subject, vocab::rdf_type(), sup.clone()));
+        }
+    }
+}
+
+/// Convenience: whether `graph` asserts class membership for any subject.
+pub fn any_instance_of(graph: &Graph, class: &provbench_rdf::Iri) -> bool {
+    let term: Term = class.clone().into();
+    graph
+        .triples_matching(None, Some(&vocab::rdf_type()), Some(&term))
+        .next()
+        .is_some()
+}
+
+/// Convenience: whether `graph` asserts any triple with this predicate.
+pub fn any_use_of(graph: &Graph, property: &provbench_rdf::Iri) -> bool {
+    graph.triples_matching(None, Some(property), None).next().is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use provbench_rdf::{BlankNode, Iri};
+
+    fn iri(s: &str) -> Iri {
+        Iri::new(s).unwrap()
+    }
+
+    fn g_with(triples: &[(&str, Iri, &str)]) -> Graph {
+        triples
+            .iter()
+            .map(|(s, p, o)| Triple::new(iri(s), p.clone(), iri(o)))
+            .collect()
+    }
+
+    #[test]
+    fn subproperty_closure_reaches_influence() {
+        let g = g_with(&[("http://e/act", prov::used(), "http://e/data")]);
+        let inf = apply_inference(&g, &InferenceRules::schema_only());
+        assert!(inf.contains(&Triple::new(
+            iri("http://e/act"),
+            prov::was_influenced_by(),
+            iri("http://e/data")
+        )));
+    }
+
+    #[test]
+    fn primary_source_is_transitively_closed() {
+        let g = g_with(&[("http://e/d", prov::had_primary_source(), "http://e/s")]);
+        let inf = apply_inference(&g, &InferenceRules::schema_only());
+        assert!(any_use_of(&inf, &prov::was_derived_from()));
+        assert!(any_use_of(&inf, &prov::was_influenced_by()));
+    }
+
+    #[test]
+    fn had_plan_types_the_plan() {
+        let mut g = Graph::new();
+        let q = BlankNode::new("q0").unwrap();
+        g.insert(Triple::new(iri("http://e/act"), prov::qualified_association(), q.clone()));
+        g.insert(Triple::new(q.clone(), prov::agent_prop(), iri("http://e/engine")));
+        g.insert(Triple::new(q, prov::had_plan(), iri("http://e/wf")));
+        let inf = apply_inference(&g, &InferenceRules::schema_only());
+        assert!(any_instance_of(&inf, &prov::plan()));
+        // Qualified → direct association.
+        assert!(inf.contains(&Triple::new(
+            iri("http://e/act"),
+            prov::was_associated_with(),
+            iri("http://e/engine")
+        )));
+        // Plan ⊑ Entity typing follows.
+        assert!(inf.contains(&Triple::new(iri("http://e/wf"), vocab::rdf_type(), prov::entity())));
+    }
+
+    #[test]
+    fn communication_inference() {
+        let g = g_with(&[
+            ("http://e/out", prov::was_generated_by(), "http://e/a1"),
+            ("http://e/a2", prov::used(), "http://e/out"),
+        ]);
+        let inf = apply_inference(&g, &InferenceRules::all());
+        assert!(inf.contains(&Triple::new(
+            iri("http://e/a2"),
+            prov::was_informed_by(),
+            iri("http://e/a1")
+        )));
+        // Not reflexive.
+        assert!(!inf.contains(&Triple::new(
+            iri("http://e/a1"),
+            prov::was_informed_by(),
+            iri("http://e/a1")
+        )));
+    }
+
+    #[test]
+    fn derivation_inference_connects_io() {
+        let g = g_with(&[
+            ("http://e/act", prov::used(), "http://e/in"),
+            ("http://e/out", prov::was_generated_by(), "http://e/act"),
+        ]);
+        let inf = apply_inference(&g, &InferenceRules::all());
+        assert!(inf.contains(&Triple::new(
+            iri("http://e/out"),
+            prov::was_derived_from(),
+            iri("http://e/in")
+        )));
+        // Derivation is not inferred under schema_only rules.
+        let schema = apply_inference(&g, &InferenceRules::schema_only());
+        assert!(!any_use_of(&schema, &prov::was_derived_from()));
+    }
+
+    #[test]
+    fn attribution_inference() {
+        let g = g_with(&[
+            ("http://e/out", prov::was_generated_by(), "http://e/act"),
+            ("http://e/act", prov::was_associated_with(), "http://e/engine"),
+        ]);
+        let inf = apply_inference(&g, &InferenceRules::all());
+        assert!(inf.contains(&Triple::new(
+            iri("http://e/out"),
+            prov::was_attributed_to(),
+            iri("http://e/engine")
+        )));
+    }
+
+    #[test]
+    fn typing_rules_assign_domains_and_ranges() {
+        let g = g_with(&[("http://e/act", prov::used(), "http://e/data")]);
+        let inf = apply_inference(&g, &InferenceRules::schema_only());
+        assert!(inf.contains(&Triple::new(iri("http://e/act"), vocab::rdf_type(), prov::activity())));
+        assert!(inf.contains(&Triple::new(iri("http://e/data"), vocab::rdf_type(), prov::entity())));
+    }
+
+    #[test]
+    fn inference_is_monotone_and_idempotent() {
+        let g = g_with(&[
+            ("http://e/act", prov::used(), "http://e/in"),
+            ("http://e/out", prov::was_generated_by(), "http://e/act"),
+            ("http://e/act", prov::was_associated_with(), "http://e/agent"),
+        ]);
+        let once = apply_inference(&g, &InferenceRules::all());
+        // Monotone: the input is contained.
+        for t in g.iter() {
+            assert!(once.contains(&t));
+        }
+        // Idempotent: a second application adds nothing.
+        let twice = apply_inference(&once, &InferenceRules::all());
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn none_rules_is_identity() {
+        let g = g_with(&[("http://e/act", prov::used(), "http://e/in")]);
+        assert_eq!(apply_inference(&g, &InferenceRules::none()), g);
+    }
+}

@@ -1,0 +1,50 @@
+//! # provbench-prov
+//!
+//! A PROV toolkit: the PROV data model ([`model`]), an ergonomic builder
+//! ([`builder`]), the PROV-O mapping in both directions ([`to_rdf`],
+//! [`from_rdf`]), PROV-O inference ([`inference`]) and a
+//! PROV-CONSTRAINTS-subset validator ([`constraints`]).
+//!
+//! The paper's corpus expresses provenance "mostly using the PROV-O
+//! ontology"; the two workflow-system exporters in `provbench-taverna`
+//! and `provbench-wings` build [`model::Document`]s through this crate
+//! and serialize them with profile-specific options
+//! ([`to_rdf::ProfileOptions`]) that reproduce each system's PROV term
+//! coverage exactly as reported in the paper's Tables 2 and 3.
+//!
+//! ## Example
+//!
+//! ```
+//! use provbench_prov::builder::DocumentBuilder;
+//! use provbench_rdf::DateTime;
+//!
+//! let mut b = DocumentBuilder::new("http://example.org/run1/");
+//! let data = b.entity("data").label("input sequence").id();
+//! let step = b
+//!     .activity("step")
+//!     .started(DateTime::from_unix_millis(0))
+//!     .ended(DateTime::from_unix_millis(60_000))
+//!     .id();
+//! b.used(&step, &data, None);
+//! let doc = b.build();
+//! assert_eq!(doc.entities.len(), 1);
+//! assert_eq!(doc.activities.len(), 1);
+//! ```
+
+pub mod builder;
+pub mod constraints;
+pub mod from_rdf;
+pub mod inference;
+pub mod model;
+pub mod provjson;
+pub mod provn;
+pub mod stats;
+pub mod to_rdf;
+
+pub use builder::DocumentBuilder;
+pub use constraints::{validate, Violation};
+pub use inference::{apply_inference, InferenceRules};
+pub use model::{Activity, Agent, AgentKind, Document, Entity, Relation};
+pub use provjson::write_provjson;
+pub use provn::write_provn;
+pub use to_rdf::{document_to_graph, ProfileOptions};

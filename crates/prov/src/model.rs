@@ -1,0 +1,412 @@
+//! The PROV data model: entities, activities, agents and the relations
+//! between them, grouped into documents.
+//!
+//! The model is deliberately close to PROV-DM: a [`Document`] holds the
+//! three node kinds keyed by identifier plus an ordered list of
+//! [`Relation`]s. Extra RDF types (e.g. `wfprov:WorkflowRun`) and
+//! arbitrary attribute triples ride along on each node so the two
+//! workflow-system exporters can decorate traces without widening the
+//! core model.
+
+use provbench_rdf::{DateTime, Iri, Literal, Term};
+use std::collections::BTreeMap;
+
+/// One PROV entity (a data item, plan, or other thing with provenance).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Entity {
+    /// Identifier.
+    pub id: Iri,
+    /// Extra `rdf:type`s beyond `prov:Entity` (e.g. `wfprov:Artifact`).
+    pub types: Vec<Iri>,
+    /// Human-readable label (`rdfs:label`).
+    pub label: Option<String>,
+    /// Inline value (`prov:value`).
+    pub value: Option<Literal>,
+    /// `prov:atLocation`, when the system records one (Wings does).
+    pub location: Option<Iri>,
+    /// `prov:generatedAtTime`, when recorded.
+    pub generated_at: Option<DateTime>,
+    /// Arbitrary additional attribute triples `(predicate, object)`.
+    pub attributes: Vec<(Iri, Term)>,
+}
+
+impl Entity {
+    /// A bare entity with the given identifier.
+    pub fn new(id: Iri) -> Self {
+        Entity {
+            id,
+            types: Vec::new(),
+            label: None,
+            value: None,
+            location: None,
+            generated_at: None,
+            attributes: Vec::new(),
+        }
+    }
+}
+
+/// One PROV activity (something that happened over time).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Activity {
+    /// Identifier.
+    pub id: Iri,
+    /// Extra `rdf:type`s beyond `prov:Activity` (e.g. `wfprov:ProcessRun`).
+    pub types: Vec<Iri>,
+    /// Human-readable label.
+    pub label: Option<String>,
+    /// `prov:startedAtTime` — recorded by Taverna, not by Wings.
+    pub started: Option<DateTime>,
+    /// `prov:endedAtTime` — recorded by Taverna, not by Wings.
+    pub ended: Option<DateTime>,
+    /// `prov:atLocation`, when recorded.
+    pub location: Option<Iri>,
+    /// Arbitrary additional attribute triples.
+    pub attributes: Vec<(Iri, Term)>,
+}
+
+impl Activity {
+    /// A bare activity with the given identifier.
+    pub fn new(id: Iri) -> Self {
+        Activity {
+            id,
+            types: Vec::new(),
+            label: None,
+            started: None,
+            ended: None,
+            location: None,
+            attributes: Vec::new(),
+        }
+    }
+}
+
+/// The specific agent class, mapped to PROV-O subclasses of `prov:Agent`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AgentKind {
+    /// `prov:Person` — e.g. the scientist who launched the run.
+    Person,
+    /// `prov:SoftwareAgent` — e.g. the workflow engine.
+    Software,
+    /// `prov:Organization`.
+    Organization,
+    /// Just `prov:Agent`.
+    Plain,
+}
+
+/// One PROV agent.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Agent {
+    /// Identifier.
+    pub id: Iri,
+    /// Which subclass of `prov:Agent` to assert.
+    pub kind: AgentKind,
+    /// Extra `rdf:type`s (e.g. `wfprov:WorkflowEngine`).
+    pub types: Vec<Iri>,
+    /// `foaf:name`, when known.
+    pub name: Option<String>,
+    /// Arbitrary additional attribute triples.
+    pub attributes: Vec<(Iri, Term)>,
+}
+
+impl Agent {
+    /// A bare agent of the given kind.
+    pub fn new(id: Iri, kind: AgentKind) -> Self {
+        Agent { id, kind, types: Vec::new(), name: None, attributes: Vec::new() }
+    }
+}
+
+/// A PROV relation between identified nodes.
+///
+/// Variants mirror PROV-DM relation names. Identifiers are kept as plain
+/// [`Iri`]s; a document is well-formed when every referenced identifier is
+/// declared in it (checked by [`Document::undeclared_references`]).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Relation {
+    /// `activity prov:used entity`, optionally at a time.
+    Used {
+        /// The consuming activity.
+        activity: Iri,
+        /// The consumed entity.
+        entity: Iri,
+        /// Usage time, when recorded.
+        time: Option<DateTime>,
+    },
+    /// `entity prov:wasGeneratedBy activity`, optionally at a time.
+    WasGeneratedBy {
+        /// The generated entity.
+        entity: Iri,
+        /// The generating activity.
+        activity: Iri,
+        /// Generation time, when recorded.
+        time: Option<DateTime>,
+    },
+    /// `activity prov:wasAssociatedWith agent`, optionally with a plan.
+    WasAssociatedWith {
+        /// The activity.
+        activity: Iri,
+        /// The responsible agent.
+        agent: Iri,
+        /// The plan the agent followed (the workflow template).
+        plan: Option<Iri>,
+    },
+    /// `entity prov:wasAttributedTo agent`.
+    WasAttributedTo {
+        /// The entity.
+        entity: Iri,
+        /// The agent it is ascribed to.
+        agent: Iri,
+    },
+    /// `delegate prov:actedOnBehalfOf responsible`.
+    ActedOnBehalfOf {
+        /// The delegate agent.
+        delegate: Iri,
+        /// The responsible agent.
+        responsible: Iri,
+    },
+    /// `generated prov:wasDerivedFrom used`.
+    WasDerivedFrom {
+        /// The derived entity.
+        generated: Iri,
+        /// The source entity.
+        used: Iri,
+    },
+    /// `derived prov:hadPrimarySource source`.
+    HadPrimarySource {
+        /// The derived entity.
+        derived: Iri,
+        /// Its primary source.
+        source: Iri,
+    },
+    /// `informed prov:wasInformedBy informant` (activity → activity).
+    WasInformedBy {
+        /// The downstream activity.
+        informed: Iri,
+        /// The upstream activity.
+        informant: Iri,
+    },
+    /// `influencee prov:wasInfluencedBy influencer` (generic influence).
+    WasInfluencedBy {
+        /// The influenced node.
+        influencee: Iri,
+        /// The influencing node.
+        influencer: Iri,
+    },
+    /// An arbitrary extension-vocabulary relation (wfprov, OPMW, …).
+    Other {
+        /// Subject identifier.
+        subject: Iri,
+        /// Predicate IRI.
+        predicate: Iri,
+        /// Object term.
+        object: Term,
+    },
+}
+
+impl Relation {
+    /// The subject identifier of this relation.
+    pub fn subject(&self) -> &Iri {
+        match self {
+            Relation::Used { activity, .. } => activity,
+            Relation::WasGeneratedBy { entity, .. } => entity,
+            Relation::WasAssociatedWith { activity, .. } => activity,
+            Relation::WasAttributedTo { entity, .. } => entity,
+            Relation::ActedOnBehalfOf { delegate, .. } => delegate,
+            Relation::WasDerivedFrom { generated, .. } => generated,
+            Relation::HadPrimarySource { derived, .. } => derived,
+            Relation::WasInformedBy { informed, .. } => informed,
+            Relation::WasInfluencedBy { influencee, .. } => influencee,
+            Relation::Other { subject, .. } => subject,
+        }
+    }
+
+    /// The object identifier, when the object is an identified node.
+    pub fn object_id(&self) -> Option<&Iri> {
+        match self {
+            Relation::Used { entity, .. } => Some(entity),
+            Relation::WasGeneratedBy { activity, .. } => Some(activity),
+            Relation::WasAssociatedWith { agent, .. } => Some(agent),
+            Relation::WasAttributedTo { agent, .. } => Some(agent),
+            Relation::ActedOnBehalfOf { responsible, .. } => Some(responsible),
+            Relation::WasDerivedFrom { used, .. } => Some(used),
+            Relation::HadPrimarySource { source, .. } => Some(source),
+            Relation::WasInformedBy { informant, .. } => Some(informant),
+            Relation::WasInfluencedBy { influencer, .. } => Some(influencer),
+            Relation::Other { object, .. } => object.as_iri(),
+        }
+    }
+}
+
+/// A PROV document: node tables plus relations, possibly with named
+/// sub-bundles (Wings wraps each run account in a `prov:Bundle`).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Document {
+    /// Entities keyed by identifier.
+    pub entities: BTreeMap<Iri, Entity>,
+    /// Activities keyed by identifier.
+    pub activities: BTreeMap<Iri, Activity>,
+    /// Agents keyed by identifier.
+    pub agents: BTreeMap<Iri, Agent>,
+    /// Relations, in assertion order.
+    pub relations: Vec<Relation>,
+    /// Named bundles: `(bundle id, contents)`.
+    pub bundles: Vec<(Iri, Document)>,
+}
+
+impl Document {
+    /// An empty document.
+    pub fn new() -> Self {
+        Document::default()
+    }
+
+    /// Insert (or replace) an entity.
+    pub fn add_entity(&mut self, entity: Entity) {
+        self.entities.insert(entity.id.clone(), entity);
+    }
+
+    /// Insert (or replace) an activity.
+    pub fn add_activity(&mut self, activity: Activity) {
+        self.activities.insert(activity.id.clone(), activity);
+    }
+
+    /// Insert (or replace) an agent.
+    pub fn add_agent(&mut self, agent: Agent) {
+        self.agents.insert(agent.id.clone(), agent);
+    }
+
+    /// Append a relation.
+    pub fn add_relation(&mut self, relation: Relation) {
+        self.relations.push(relation);
+    }
+
+    /// Whether any node table or relation list is non-empty.
+    pub fn is_empty(&self) -> bool {
+        self.entities.is_empty()
+            && self.activities.is_empty()
+            && self.agents.is_empty()
+            && self.relations.is_empty()
+            && self.bundles.is_empty()
+    }
+
+    /// Total node count (entities + activities + agents), excluding bundles.
+    pub fn node_count(&self) -> usize {
+        self.entities.len() + self.activities.len() + self.agents.len()
+    }
+
+    /// Whether `id` names a declared node of any kind.
+    pub fn declares(&self, id: &Iri) -> bool {
+        self.entities.contains_key(id)
+            || self.activities.contains_key(id)
+            || self.agents.contains_key(id)
+    }
+
+    /// Identifiers referenced by relations but not declared as nodes.
+    ///
+    /// `Other` relations are exempt: extension vocabularies may point at
+    /// external resources (templates, services) by design.
+    pub fn undeclared_references(&self) -> Vec<Iri> {
+        let mut out = Vec::new();
+        for rel in &self.relations {
+            if matches!(rel, Relation::Other { .. }) {
+                continue;
+            }
+            for id in [Some(rel.subject()), rel.object_id()].into_iter().flatten() {
+                if !self.declares(id) && !out.contains(id) {
+                    out.push(id.clone());
+                }
+            }
+            if let Relation::WasAssociatedWith { plan: Some(p), .. } = rel {
+                if !self.declares(p) && !out.contains(p) {
+                    out.push(p.clone());
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iri(s: &str) -> Iri {
+        Iri::new(s).unwrap()
+    }
+
+    #[test]
+    fn empty_document() {
+        let d = Document::new();
+        assert!(d.is_empty());
+        assert_eq!(d.node_count(), 0);
+        assert!(d.undeclared_references().is_empty());
+    }
+
+    #[test]
+    fn add_and_declare() {
+        let mut d = Document::new();
+        d.add_entity(Entity::new(iri("http://e/data")));
+        d.add_activity(Activity::new(iri("http://e/act")));
+        d.add_agent(Agent::new(iri("http://e/alice"), AgentKind::Person));
+        assert_eq!(d.node_count(), 3);
+        assert!(d.declares(&iri("http://e/data")));
+        assert!(!d.declares(&iri("http://e/ghost")));
+    }
+
+    #[test]
+    fn undeclared_references_found() {
+        let mut d = Document::new();
+        d.add_activity(Activity::new(iri("http://e/act")));
+        d.add_relation(Relation::Used {
+            activity: iri("http://e/act"),
+            entity: iri("http://e/missing"),
+            time: None,
+        });
+        assert_eq!(d.undeclared_references(), vec![iri("http://e/missing")]);
+    }
+
+    #[test]
+    fn plan_reference_is_checked() {
+        let mut d = Document::new();
+        d.add_activity(Activity::new(iri("http://e/act")));
+        d.add_agent(Agent::new(iri("http://e/engine"), AgentKind::Software));
+        d.add_relation(Relation::WasAssociatedWith {
+            activity: iri("http://e/act"),
+            agent: iri("http://e/engine"),
+            plan: Some(iri("http://e/template")),
+        });
+        assert_eq!(d.undeclared_references(), vec![iri("http://e/template")]);
+    }
+
+    #[test]
+    fn other_relations_are_exempt_from_declaration() {
+        let mut d = Document::new();
+        d.add_relation(Relation::Other {
+            subject: iri("http://e/x"),
+            predicate: iri("http://e/p"),
+            object: iri("http://e/external").into(),
+        });
+        assert!(d.undeclared_references().is_empty());
+    }
+
+    #[test]
+    fn relation_accessors() {
+        let r = Relation::WasGeneratedBy {
+            entity: iri("http://e/out"),
+            activity: iri("http://e/act"),
+            time: None,
+        };
+        assert_eq!(r.subject(), &iri("http://e/out"));
+        assert_eq!(r.object_id(), Some(&iri("http://e/act")));
+    }
+
+    #[test]
+    fn replace_semantics() {
+        let mut d = Document::new();
+        let mut e = Entity::new(iri("http://e/data"));
+        e.label = Some("v1".into());
+        d.add_entity(e);
+        let mut e2 = Entity::new(iri("http://e/data"));
+        e2.label = Some("v2".into());
+        d.add_entity(e2);
+        assert_eq!(d.entities.len(), 1);
+        assert_eq!(d.entities[&iri("http://e/data")].label.as_deref(), Some("v2"));
+    }
+}

@@ -1,0 +1,369 @@
+//! PROV-JSON serialization of [`Document`]s (the W3C member submission
+//! format) — the third serialization of the PROV family this toolkit
+//! speaks, alongside PROV-O/RDF and PROV-N.
+
+use crate::model::{AgentKind, Document, Relation};
+use crate::provn::Namer;
+use provbench_rdf::Literal;
+use std::fmt::Write;
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn literal_json(l: &Literal, namer: &mut Namer) -> String {
+    if let Some(lang) = l.language() {
+        format!(
+            "{{\"$\":\"{}\",\"lang\":\"{lang}\"}}",
+            json_escape(l.lexical())
+        )
+    } else if l.is_simple() {
+        format!("{{\"$\":\"{}\"}}", json_escape(l.lexical()))
+    } else {
+        format!(
+            "{{\"$\":\"{}\",\"type\":\"{}\"}}",
+            json_escape(l.lexical()),
+            namer.qname(&l.datatype())
+        )
+    }
+}
+
+/// Render one `"name": { ...attrs }` record block.
+fn record(pairs: &[(String, String)]) -> String {
+    let inner: Vec<String> =
+        pairs.iter().map(|(k, v)| format!("\"{k}\":{v}")).collect();
+    format!("{{{}}}", inner.join(","))
+}
+
+fn section(name: &str, members: Vec<(String, String)>, out: &mut Vec<String>) {
+    if members.is_empty() {
+        return;
+    }
+    let inner: Vec<String> =
+        members.iter().map(|(id, body)| format!("\"{id}\":{body}")).collect();
+    out.push(format!("\"{name}\":{{{}}}", inner.join(",")));
+}
+
+fn body_sections(doc: &Document, namer: &mut Namer) -> Vec<String> {
+    let mut sections = Vec::new();
+
+    let entities: Vec<(String, String)> = doc
+        .entities
+        .values()
+        .map(|e| {
+            let mut attrs = Vec::new();
+            for ty in &e.types {
+                attrs.push((
+                    "prov:type".to_owned(),
+                    format!("{{\"$\":\"{}\",\"type\":\"prov:QUALIFIED_NAME\"}}", namer.qname(ty)),
+                ));
+            }
+            if let Some(label) = &e.label {
+                attrs.push(("prov:label".to_owned(), format!("\"{}\"", json_escape(label))));
+            }
+            if let Some(value) = &e.value {
+                attrs.push(("prov:value".to_owned(), literal_json(value, namer)));
+            }
+            if let Some(loc) = &e.location {
+                attrs.push((
+                    "prov:atLocation".to_owned(),
+                    format!("\"{}\"", namer.qname(loc)),
+                ));
+            }
+            (namer.qname(&e.id), record(&attrs))
+        })
+        .collect();
+    section("entity", entities, &mut sections);
+
+    let activities: Vec<(String, String)> = doc
+        .activities
+        .values()
+        .map(|a| {
+            let mut attrs = Vec::new();
+            if let Some(t) = &a.started {
+                attrs.push(("prov:startTime".to_owned(), format!("\"{t}\"")));
+            }
+            if let Some(t) = &a.ended {
+                attrs.push(("prov:endTime".to_owned(), format!("\"{t}\"")));
+            }
+            for ty in &a.types {
+                attrs.push((
+                    "prov:type".to_owned(),
+                    format!("{{\"$\":\"{}\",\"type\":\"prov:QUALIFIED_NAME\"}}", namer.qname(ty)),
+                ));
+            }
+            if let Some(label) = &a.label {
+                attrs.push(("prov:label".to_owned(), format!("\"{}\"", json_escape(label))));
+            }
+            (namer.qname(&a.id), record(&attrs))
+        })
+        .collect();
+    section("activity", activities, &mut sections);
+
+    let agents: Vec<(String, String)> = doc
+        .agents
+        .values()
+        .map(|a| {
+            let mut attrs = Vec::new();
+            let kind = match a.kind {
+                AgentKind::Person => Some("prov:Person"),
+                AgentKind::Software => Some("prov:SoftwareAgent"),
+                AgentKind::Organization => Some("prov:Organization"),
+                AgentKind::Plain => None,
+            };
+            if let Some(k) = kind {
+                attrs.push((
+                    "prov:type".to_owned(),
+                    format!("{{\"$\":\"{k}\",\"type\":\"prov:QUALIFIED_NAME\"}}"),
+                ));
+            }
+            if let Some(name) = &a.name {
+                attrs.push(("foaf:name".to_owned(), format!("\"{}\"", json_escape(name))));
+            }
+            (namer.qname(&a.id), record(&attrs))
+        })
+        .collect();
+    section("agent", agents, &mut sections);
+
+    // Relations, grouped by PROV-JSON section name, with generated ids.
+    let mut grouped: std::collections::BTreeMap<&str, Vec<(String, String)>> =
+        std::collections::BTreeMap::new();
+    for (i, r) in doc.relations.iter().enumerate() {
+        let id = format!("_:r{i}");
+        let (name, attrs): (&str, Vec<(String, String)>) = match r {
+            Relation::Used { activity, entity, time } => {
+                let mut a = vec![
+                    ("prov:activity".to_owned(), format!("\"{}\"", namer.qname(activity))),
+                    ("prov:entity".to_owned(), format!("\"{}\"", namer.qname(entity))),
+                ];
+                if let Some(t) = time {
+                    a.push(("prov:time".to_owned(), format!("\"{t}\"")));
+                }
+                ("used", a)
+            }
+            Relation::WasGeneratedBy { entity, activity, time } => {
+                let mut a = vec![
+                    ("prov:entity".to_owned(), format!("\"{}\"", namer.qname(entity))),
+                    ("prov:activity".to_owned(), format!("\"{}\"", namer.qname(activity))),
+                ];
+                if let Some(t) = time {
+                    a.push(("prov:time".to_owned(), format!("\"{t}\"")));
+                }
+                ("wasGeneratedBy", a)
+            }
+            Relation::WasAssociatedWith { activity, agent, plan } => {
+                let mut a = vec![
+                    ("prov:activity".to_owned(), format!("\"{}\"", namer.qname(activity))),
+                    ("prov:agent".to_owned(), format!("\"{}\"", namer.qname(agent))),
+                ];
+                if let Some(p) = plan {
+                    a.push(("prov:plan".to_owned(), format!("\"{}\"", namer.qname(p))));
+                }
+                ("wasAssociatedWith", a)
+            }
+            Relation::WasAttributedTo { entity, agent } => (
+                "wasAttributedTo",
+                vec![
+                    ("prov:entity".to_owned(), format!("\"{}\"", namer.qname(entity))),
+                    ("prov:agent".to_owned(), format!("\"{}\"", namer.qname(agent))),
+                ],
+            ),
+            Relation::ActedOnBehalfOf { delegate, responsible } => (
+                "actedOnBehalfOf",
+                vec![
+                    ("prov:delegate".to_owned(), format!("\"{}\"", namer.qname(delegate))),
+                    (
+                        "prov:responsible".to_owned(),
+                        format!("\"{}\"", namer.qname(responsible)),
+                    ),
+                ],
+            ),
+            Relation::WasDerivedFrom { generated, used } => (
+                "wasDerivedFrom",
+                vec![
+                    (
+                        "prov:generatedEntity".to_owned(),
+                        format!("\"{}\"", namer.qname(generated)),
+                    ),
+                    ("prov:usedEntity".to_owned(), format!("\"{}\"", namer.qname(used))),
+                ],
+            ),
+            Relation::HadPrimarySource { derived, source } => (
+                "wasDerivedFrom",
+                vec![
+                    (
+                        "prov:generatedEntity".to_owned(),
+                        format!("\"{}\"", namer.qname(derived)),
+                    ),
+                    ("prov:usedEntity".to_owned(), format!("\"{}\"", namer.qname(source))),
+                    (
+                        "prov:type".to_owned(),
+                        "{\"$\":\"prov:PrimarySource\",\"type\":\"prov:QUALIFIED_NAME\"}"
+                            .to_owned(),
+                    ),
+                ],
+            ),
+            Relation::WasInformedBy { informed, informant } => (
+                "wasInformedBy",
+                vec![
+                    ("prov:informed".to_owned(), format!("\"{}\"", namer.qname(informed))),
+                    ("prov:informant".to_owned(), format!("\"{}\"", namer.qname(informant))),
+                ],
+            ),
+            Relation::WasInfluencedBy { influencee, influencer } => (
+                "wasInfluencedBy",
+                vec![
+                    ("prov:influencee".to_owned(), format!("\"{}\"", namer.qname(influencee))),
+                    ("prov:influencer".to_owned(), format!("\"{}\"", namer.qname(influencer))),
+                ],
+            ),
+            Relation::Other { .. } => continue, // extension statements stay in RDF
+        };
+        grouped.entry(name).or_default().push((id, record(&attrs)));
+    }
+    for (name, members) in grouped {
+        section(name, members, &mut sections);
+    }
+    sections
+}
+
+/// Serialize a document (including bundles) as PROV-JSON.
+pub fn write_provjson(doc: &Document) -> String {
+    let mut namer = Namer::new();
+    let mut sections = body_sections(doc, &mut namer);
+
+    if !doc.bundles.is_empty() {
+        let bundles: Vec<(String, String)> = doc
+            .bundles
+            .iter()
+            .map(|(id, contents)| {
+                let inner = body_sections(contents, &mut namer).join(",");
+                (namer.qname(id), format!("{{{inner}}}"))
+            })
+            .collect();
+        section("bundle", bundles, &mut sections);
+    }
+
+    // Prefix table (collected while naming, so rendered last).
+    let prefix_inner: Vec<String> = namer
+        .prefix_table()
+        .into_iter()
+        .map(|(p, ns)| format!("\"{p}\":\"{ns}\""))
+        .collect();
+    let mut all = vec![format!("\"prefix\":{{{}}}", prefix_inner.join(","))];
+    all.extend(sections);
+    format!("{{{}}}", all.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DocumentBuilder;
+    use provbench_rdf::DateTime;
+
+    fn sample() -> Document {
+        let mut b = DocumentBuilder::new("http://example.org/run/");
+        let data = b.entity("data").label("in").value(Literal::integer(7)).id();
+        let out = b.entity("out").id();
+        let act = b
+            .activity("step")
+            .started(DateTime::from_unix_millis(0))
+            .ended(DateTime::from_unix_millis(1_000))
+            .id();
+        let who = b.agent("alice", AgentKind::Person).name("alice").id();
+        b.used(&act, &data, None);
+        b.generated(&out, &act, None);
+        b.associated(&act, &who, None);
+        b.primary_source(&out, &data);
+        b.build()
+    }
+
+    fn balanced(json: &str) -> bool {
+        let (mut depth, mut in_str, mut esc) = (0i32, false, false);
+        for c in json.chars() {
+            if in_str {
+                if esc {
+                    esc = false;
+                } else if c == '\\' {
+                    esc = true;
+                } else if c == '"' {
+                    in_str = false;
+                }
+                continue;
+            }
+            match c {
+                '"' => in_str = true,
+                '{' | '[' => depth += 1,
+                '}' | ']' => depth -= 1,
+                _ => {}
+            }
+            if depth < 0 {
+                return false;
+            }
+        }
+        depth == 0 && !in_str
+    }
+
+    #[test]
+    fn renders_all_sections() {
+        let json = write_provjson(&sample());
+        assert!(balanced(&json), "unbalanced: {json}");
+        for key in [
+            "\"prefix\":",
+            "\"entity\":",
+            "\"activity\":",
+            "\"agent\":",
+            "\"used\":",
+            "\"wasGeneratedBy\":",
+            "\"wasAssociatedWith\":",
+            "\"wasDerivedFrom\":",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!(json.contains("\"prov:startTime\":\"1970-01-01T00:00:00Z\""));
+        assert!(json.contains("prov:PrimarySource"));
+        assert!(json.contains("\"foaf:name\":\"alice\""));
+    }
+
+    #[test]
+    fn bundles_nest_as_sections() {
+        let mut outer = DocumentBuilder::new("http://example.org/");
+        let id = outer.mint("account1");
+        outer.bundle(id, sample());
+        let json = write_provjson(&outer.build());
+        assert!(balanced(&json));
+        assert!(json.contains("\"bundle\":"));
+        assert!(json.contains("account1"));
+    }
+
+    #[test]
+    fn is_deterministic_and_escapes() {
+        assert_eq!(write_provjson(&sample()), write_provjson(&sample()));
+        let mut b = DocumentBuilder::new("http://example.org/");
+        b.entity("e").label("a\"b\nc");
+        let json = write_provjson(&b.build());
+        assert!(json.contains("a\\\"b\\nc"));
+        assert!(balanced(&json));
+    }
+
+    #[test]
+    fn empty_document() {
+        let json = write_provjson(&Document::new());
+        assert!(balanced(&json));
+        assert!(json.starts_with("{\"prefix\":{"));
+    }
+}

@@ -1,0 +1,361 @@
+//! PROV-N (the W3C PROV notation) serialization of [`Document`]s.
+//!
+//! The corpus itself is RDF, but PROV-N is the human-readable notation
+//! the PROV family specifies; exporting it makes traces easy to eyeball
+//! and diff. Writer only — the corpus never needs to parse PROV-N.
+
+use crate::model::{Activity, Agent, AgentKind, Document, Entity, Relation};
+use provbench_rdf::{Iri, Literal, Term};
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+/// Assigns qualified names to IRIs, inventing `ns1:`, `ns2:`… prefixes
+/// for namespaces not predeclared.
+pub(crate) struct Namer {
+    by_ns: BTreeMap<String, String>,
+    counter: usize,
+}
+
+impl Namer {
+    pub(crate) fn new() -> Self {
+        let mut by_ns = BTreeMap::new();
+        for (prefix, ns) in [
+            ("prov", "http://www.w3.org/ns/prov#"),
+            ("rdfs", "http://www.w3.org/2000/01/rdf-schema#"),
+            ("xsd", "http://www.w3.org/2001/XMLSchema#"),
+            ("wfprov", "http://purl.org/wf4ever/wfprov#"),
+            ("wfdesc", "http://purl.org/wf4ever/wfdesc#"),
+            ("opmw", "http://www.opmw.org/ontology/"),
+            ("foaf", "http://xmlns.com/foaf/0.1/"),
+            ("tavernaprov", "http://ns.taverna.org.uk/2012/tavernaprov/"),
+        ] {
+            by_ns.insert(ns.to_owned(), prefix.to_owned());
+        }
+        Namer { by_ns, counter: 0 }
+    }
+
+    /// Split an IRI at the last `#` or `/` into (namespace, local).
+    fn split(iri: &str) -> (String, String) {
+        match iri.rfind(['#', '/']) {
+            Some(i) if i + 1 < iri.len() => (iri[..=i].to_owned(), iri[i + 1..].to_owned()),
+            _ => (iri.to_owned(), String::new()),
+        }
+    }
+
+    pub(crate) fn qname(&mut self, iri: &Iri) -> String {
+        let (ns, local) = Self::split(iri.as_str());
+        let safe_local = local
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.'));
+        if local.is_empty() || !safe_local {
+            // Fall back to a whole-IRI prefix binding.
+            let prefix = self.prefix_for(iri.as_str());
+            return format!("{prefix}:resource");
+        }
+        let prefix = self.prefix_for(&ns);
+        format!("{prefix}:{local}")
+    }
+
+    fn prefix_for(&mut self, ns: &str) -> String {
+        if let Some(p) = self.by_ns.get(ns) {
+            return p.clone();
+        }
+        self.counter += 1;
+        let p = format!("ns{}", self.counter);
+        self.by_ns.insert(ns.to_owned(), p.clone());
+        p
+    }
+
+    /// The accumulated `(prefix, namespace)` table, prefix-sorted.
+    pub(crate) fn prefix_table(&self) -> Vec<(String, String)> {
+        let mut pairs: Vec<(String, String)> = self
+            .by_ns
+            .iter()
+            .map(|(ns, p)| (p.clone(), ns.clone()))
+            .collect();
+        pairs.sort();
+        pairs
+    }
+
+    pub(crate) fn declarations(&self) -> String {
+        let mut out = String::new();
+        let mut pairs: Vec<(&String, &String)> =
+            self.by_ns.iter().map(|(ns, p)| (p, ns)).collect();
+        pairs.sort();
+        for (p, ns) in pairs {
+            let _ = writeln!(out, "  prefix {p} <{ns}>");
+        }
+        out
+    }
+}
+
+fn escape(value: &str) -> String {
+    value.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+fn literal_str(l: &Literal, namer: &mut Namer) -> String {
+    if let Some(tag) = l.language() {
+        format!("\"{}\"@{tag}", escape(l.lexical()))
+    } else if l.is_simple() {
+        format!("\"{}\"", escape(l.lexical()))
+    } else {
+        format!("\"{}\" %% {}", escape(l.lexical()), namer.qname(&l.datatype()))
+    }
+}
+
+fn attr_list(pairs: &[(String, String)]) -> String {
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        let inner: Vec<String> =
+            pairs.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        format!(", [{}]", inner.join(", "))
+    }
+}
+
+fn entity_line(e: &Entity, namer: &mut Namer, out: &mut String) {
+    let mut attrs = Vec::new();
+    for ty in &e.types {
+        attrs.push(("prov:type".to_owned(), format!("'{}'", namer.qname(ty))));
+    }
+    if let Some(label) = &e.label {
+        attrs.push(("rdfs:label".to_owned(), format!("\"{}\"", escape(label))));
+    }
+    if let Some(value) = &e.value {
+        attrs.push(("prov:value".to_owned(), literal_str(value, namer)));
+    }
+    if let Some(loc) = &e.location {
+        attrs.push(("prov:atLocation".to_owned(), format!("'{}'", namer.qname(loc))));
+    }
+    let id = namer.qname(&e.id);
+    let _ = writeln!(out, "  entity({id}{})", attr_list(&attrs));
+}
+
+fn activity_line(a: &Activity, namer: &mut Namer, out: &mut String) {
+    let mut attrs = Vec::new();
+    for ty in &a.types {
+        attrs.push(("prov:type".to_owned(), format!("'{}'", namer.qname(ty))));
+    }
+    if let Some(label) = &a.label {
+        attrs.push(("rdfs:label".to_owned(), format!("\"{}\"", escape(label))));
+    }
+    let id = namer.qname(&a.id);
+    let time = |t: &Option<provbench_rdf::DateTime>| {
+        t.map_or("-".to_owned(), |d| d.to_string())
+    };
+    let _ = writeln!(
+        out,
+        "  activity({id}, {}, {}{})",
+        time(&a.started),
+        time(&a.ended),
+        attr_list(&attrs)
+    );
+}
+
+fn agent_line(a: &Agent, namer: &mut Namer, out: &mut String) {
+    let mut attrs = Vec::new();
+    let kind = match a.kind {
+        AgentKind::Person => Some("prov:Person"),
+        AgentKind::Software => Some("prov:SoftwareAgent"),
+        AgentKind::Organization => Some("prov:Organization"),
+        AgentKind::Plain => None,
+    };
+    if let Some(k) = kind {
+        attrs.push(("prov:type".to_owned(), format!("'{k}'")));
+    }
+    if let Some(name) = &a.name {
+        attrs.push(("foaf:name".to_owned(), format!("\"{}\"", escape(name))));
+    }
+    let id = namer.qname(&a.id);
+    let _ = writeln!(out, "  agent({id}{})", attr_list(&attrs));
+}
+
+fn relation_line(r: &Relation, namer: &mut Namer, out: &mut String) {
+    let q = |iri: &Iri, namer: &mut Namer| namer.qname(iri);
+    match r {
+        Relation::Used { activity, entity, time } => {
+            let t = time.map_or("-".to_owned(), |d| d.to_string());
+            let (a, e) = (q(activity, namer), q(entity, namer));
+            let _ = writeln!(out, "  used({a}, {e}, {t})");
+        }
+        Relation::WasGeneratedBy { entity, activity, time } => {
+            let t = time.map_or("-".to_owned(), |d| d.to_string());
+            let (e, a) = (q(entity, namer), q(activity, namer));
+            let _ = writeln!(out, "  wasGeneratedBy({e}, {a}, {t})");
+        }
+        Relation::WasAssociatedWith { activity, agent, plan } => {
+            let p = plan.as_ref().map_or("-".to_owned(), |p| q(p, namer));
+            let (a, g) = (q(activity, namer), q(agent, namer));
+            let _ = writeln!(out, "  wasAssociatedWith({a}, {g}, {p})");
+        }
+        Relation::WasAttributedTo { entity, agent } => {
+            let (e, g) = (q(entity, namer), q(agent, namer));
+            let _ = writeln!(out, "  wasAttributedTo({e}, {g})");
+        }
+        Relation::ActedOnBehalfOf { delegate, responsible } => {
+            let (d, rr) = (q(delegate, namer), q(responsible, namer));
+            let _ = writeln!(out, "  actedOnBehalfOf({d}, {rr})");
+        }
+        Relation::WasDerivedFrom { generated, used } => {
+            let (g, u) = (q(generated, namer), q(used, namer));
+            let _ = writeln!(out, "  wasDerivedFrom({g}, {u})");
+        }
+        Relation::HadPrimarySource { derived, source } => {
+            let (d, s) = (q(derived, namer), q(source, namer));
+            let _ = writeln!(
+                out,
+                "  wasDerivedFrom({d}, {s}, -, -, -, [prov:type='prov:PrimarySource'])"
+            );
+        }
+        Relation::WasInformedBy { informed, informant } => {
+            let (a, b) = (q(informed, namer), q(informant, namer));
+            let _ = writeln!(out, "  wasInformedBy({a}, {b})");
+        }
+        Relation::WasInfluencedBy { influencee, influencer } => {
+            let (a, b) = (q(influencee, namer), q(influencer, namer));
+            let _ = writeln!(out, "  wasInfluencedBy({a}, {b})");
+        }
+        Relation::Other { subject, predicate, object } => {
+            // PROV-N has no general triples; record as a comment so the
+            // document stays information-complete for a human reader.
+            let s = q(subject, namer);
+            let p = q(predicate, namer);
+            let o = match object {
+                Term::Iri(i) => q(i, namer),
+                Term::Blank(b) => format!("_:{}", b.label()),
+                Term::Literal(l) => literal_str(l, namer),
+            };
+            let _ = writeln!(out, "  // {s} {p} {o}");
+        }
+    }
+}
+
+fn body(doc: &Document, namer: &mut Namer, out: &mut String) {
+    for e in doc.entities.values() {
+        entity_line(e, namer, out);
+    }
+    for a in doc.activities.values() {
+        activity_line(a, namer, out);
+    }
+    for a in doc.agents.values() {
+        agent_line(a, namer, out);
+    }
+    for r in &doc.relations {
+        relation_line(r, namer, out);
+    }
+}
+
+/// Serialize a document (including bundles) as PROV-N.
+pub fn write_provn(doc: &Document) -> String {
+    let mut namer = Namer::new();
+    let mut content = String::new();
+    body(doc, &mut namer, &mut content);
+    for (id, bundle) in &doc.bundles {
+        let name = namer.qname(id);
+        let _ = writeln!(content, "  bundle {name}");
+        let mut inner = String::new();
+        body(bundle, &mut namer, &mut inner);
+        for line in inner.lines() {
+            let _ = writeln!(content, "  {line}");
+        }
+        let _ = writeln!(content, "  endBundle");
+    }
+    // Prefixes are collected while rendering, so declare them last but
+    // print them first.
+    format!("document\n{}{content}endDocument\n", namer.declarations())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DocumentBuilder;
+    use provbench_rdf::DateTime;
+
+    fn sample() -> Document {
+        let mut b = DocumentBuilder::new("http://example.org/run/");
+        let data = b.entity("data").label("input").value(Literal::integer(5)).id();
+        let out = b.entity("out").id();
+        let act = b
+            .activity("step")
+            .started(DateTime::from_unix_millis(0))
+            .ended(DateTime::from_unix_millis(1_000))
+            .id();
+        let engine = b.agent("engine", AgentKind::Software).name("sim").id();
+        b.used(&act, &data, None);
+        b.generated(&out, &act, Some(DateTime::from_unix_millis(900)));
+        b.associated(&act, &engine, Some(&data));
+        b.primary_source(&out, &data);
+        b.build()
+    }
+
+    #[test]
+    fn renders_a_document() {
+        let provn = write_provn(&sample());
+        assert!(provn.starts_with("document\n"));
+        assert!(provn.ends_with("endDocument\n"));
+        assert!(provn.contains("prefix prov <http://www.w3.org/ns/prov#>"));
+        assert!(provn.contains("entity(ns1:data, [rdfs:label=\"input\""));
+        assert!(provn.contains(
+            "activity(ns1:step, 1970-01-01T00:00:00Z, 1970-01-01T00:00:01Z"
+        ));
+        assert!(provn.contains("agent(ns1:engine, [prov:type='prov:SoftwareAgent'"));
+        assert!(provn.contains("used(ns1:step, ns1:data, -)"));
+        assert!(provn.contains("wasGeneratedBy(ns1:out, ns1:step, 1970-01-01T00:00:00.900Z)"));
+        assert!(provn.contains("wasAssociatedWith(ns1:step, ns1:engine, ns1:data)"));
+        assert!(provn.contains("[prov:type='prov:PrimarySource']"));
+    }
+
+    #[test]
+    fn bundles_nest() {
+        let mut outer = DocumentBuilder::new("http://example.org/");
+        let inner = sample();
+        let id = outer.mint("account1");
+        outer.bundle(id, inner);
+        let provn = write_provn(&outer.build());
+        assert!(provn.contains("bundle ns1:account1"));
+        assert!(provn.contains("endBundle"));
+        // The inner content is indented inside the bundle block.
+        assert!(provn.contains("    entity("));
+    }
+
+    #[test]
+    fn is_deterministic() {
+        assert_eq!(write_provn(&sample()), write_provn(&sample()));
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let mut b = DocumentBuilder::new("http://example.org/");
+        b.entity("e").label("line1\n\"quoted\"");
+        let provn = write_provn(&b.build());
+        assert!(provn.contains("\\n"));
+        assert!(provn.contains("\\\"quoted\\\""));
+    }
+
+    #[test]
+    fn namer_handles_degenerate_iris() {
+        let mut namer = Namer::new();
+        // Known namespace.
+        assert_eq!(
+            namer.qname(&Iri::new_unchecked("http://www.w3.org/ns/prov#Entity")),
+            "prov:Entity"
+        );
+        // Unknown namespaces get sequential prefixes, stably.
+        let a = namer.qname(&Iri::new_unchecked("http://x.example/thing"));
+        let b = namer.qname(&Iri::new_unchecked("http://x.example/other"));
+        assert_eq!(a.split(':').next(), b.split(':').next());
+        // Trailing-slash IRIs (empty local) fall back to a whole-IRI bind.
+        let c = namer.qname(&Iri::new_unchecked("http://y.example/path/"));
+        assert!(c.ends_with(":resource"));
+        // Unsafe locals (percent signs) too.
+        let d = namer.qname(&Iri::new_unchecked("http://z.example/a%20b"));
+        assert!(d.ends_with(":resource"));
+    }
+
+    #[test]
+    fn empty_document_is_wellformed() {
+        let provn = write_provn(&Document::new());
+        assert!(provn.starts_with("document\n"));
+        assert!(provn.ends_with("endDocument\n"));
+    }
+}

@@ -1,0 +1,130 @@
+//! Term-usage statistics over PROV-O graphs — the raw material for the
+//! paper's Tables 2 and 3 (computed in `provbench-analysis`).
+
+use provbench_rdf::{Graph, Iri, Term};
+use provbench_vocab as vocab;
+use std::collections::BTreeMap;
+
+/// Counts of predicate uses and class instantiations in one or more graphs.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TermStats {
+    /// Predicate IRI → number of triples asserting it.
+    pub predicate_counts: BTreeMap<Iri, usize>,
+    /// Class IRI → number of `rdf:type` triples targeting it.
+    pub class_counts: BTreeMap<Iri, usize>,
+    /// Total triples scanned.
+    pub triple_count: usize,
+}
+
+impl TermStats {
+    /// Statistics of a single graph.
+    pub fn of_graph(graph: &Graph) -> Self {
+        let mut stats = TermStats::default();
+        stats.add_graph(graph);
+        stats
+    }
+
+    /// Accumulate a graph into these statistics.
+    pub fn add_graph(&mut self, graph: &Graph) {
+        let rdf_type = vocab::rdf_type();
+        for t in graph.iter() {
+            self.triple_count += 1;
+            if t.predicate == rdf_type {
+                if let Term::Iri(class) = &t.object {
+                    *self.class_counts.entry(class.clone()).or_default() += 1;
+                }
+            }
+            *self.predicate_counts.entry(t.predicate.clone()).or_default() += 1;
+        }
+    }
+
+    /// Merge another statistics object into this one.
+    pub fn merge(&mut self, other: &TermStats) {
+        for (k, v) in &other.predicate_counts {
+            *self.predicate_counts.entry(k.clone()).or_default() += v;
+        }
+        for (k, v) in &other.class_counts {
+            *self.class_counts.entry(k.clone()).or_default() += v;
+        }
+        self.triple_count += other.triple_count;
+    }
+
+    /// Whether any triple asserts this predicate.
+    pub fn uses_property(&self, property: &Iri) -> bool {
+        self.predicate_counts.get(property).copied().unwrap_or(0) > 0
+    }
+
+    /// Whether any subject is typed with this class.
+    pub fn uses_class(&self, class: &Iri) -> bool {
+        self.class_counts.get(class).copied().unwrap_or(0) > 0
+    }
+
+    /// Whether the term (class or property, per `kind`) is used.
+    pub fn uses_term(&self, info: &vocab::ProvTermInfo) -> bool {
+        match info.kind {
+            vocab::TermKind::Class => self.uses_class(&info.to_iri()),
+            vocab::TermKind::Property => self.uses_property(&info.to_iri()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use provbench_rdf::Triple;
+    use provbench_vocab::prov;
+
+    fn iri(s: &str) -> Iri {
+        Iri::new(s).unwrap()
+    }
+
+    fn sample() -> Graph {
+        let mut g = Graph::new();
+        g.insert(Triple::new(iri("http://e/a"), vocab::rdf_type(), prov::activity()));
+        g.insert(Triple::new(iri("http://e/a"), prov::used(), iri("http://e/d")));
+        g.insert(Triple::new(iri("http://e/a"), prov::used(), iri("http://e/d2")));
+        g
+    }
+
+    #[test]
+    fn counts_predicates_and_classes() {
+        let s = TermStats::of_graph(&sample());
+        assert_eq!(s.triple_count, 3);
+        assert_eq!(s.predicate_counts[&prov::used()], 2);
+        assert_eq!(s.class_counts[&prov::activity()], 1);
+        assert!(s.uses_property(&prov::used()));
+        assert!(s.uses_class(&prov::activity()));
+        assert!(!s.uses_property(&prov::was_generated_by()));
+        assert!(!s.uses_class(&prov::entity()));
+    }
+
+    #[test]
+    fn uses_term_dispatches_on_kind() {
+        let s = TermStats::of_graph(&sample());
+        let activity_info = vocab::prov::STARTING_POINT_TERMS
+            .iter()
+            .find(|t| t.name == "prov:Activity")
+            .unwrap();
+        let used_info = vocab::prov::STARTING_POINT_TERMS
+            .iter()
+            .find(|t| t.name == "prov:used")
+            .unwrap();
+        let derived_info = vocab::prov::STARTING_POINT_TERMS
+            .iter()
+            .find(|t| t.name == "prov:wasDerivedFrom")
+            .unwrap();
+        assert!(s.uses_term(activity_info));
+        assert!(s.uses_term(used_info));
+        assert!(!s.uses_term(derived_info));
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = TermStats::of_graph(&sample());
+        let b = TermStats::of_graph(&sample());
+        a.merge(&b);
+        assert_eq!(a.triple_count, 6);
+        assert_eq!(a.predicate_counts[&prov::used()], 4);
+        assert_eq!(a.class_counts[&prov::activity()], 2);
+    }
+}

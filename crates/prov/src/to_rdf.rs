@@ -1,0 +1,358 @@
+//! Mapping PROV [`Document`]s to RDF graphs/datasets (PROV-O).
+//!
+//! The mapping is uniform except for one profile choice that reproduces
+//! the asymmetry the paper reports in Table 3: how plans are expressed.
+//! Taverna's export attaches the workflow template through a qualified
+//! association carrying `prov:hadPlan` (and never types it `prov:Plan`),
+//! while Wings types the template `prov:Plan` directly.
+
+use crate::model::{Activity, Agent, AgentKind, Document, Entity, Relation};
+use provbench_rdf::{BlankNode, Dataset, Graph, Iri, Literal, Subject, Term, Triple};
+use provbench_vocab::{self as vocab, foaf, prov, rdfs};
+
+/// How `prov:wasAssociatedWith` plans are serialized.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlanStyle {
+    /// Taverna style: qualified association with `prov:hadPlan`; the plan
+    /// is **not** typed `prov:Plan` (Table 3's starred entry).
+    QualifiedHadPlan,
+    /// Wings style: the plan is typed `prov:Plan` directly.
+    TypedPlan,
+}
+
+/// Serialization profile options.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProfileOptions {
+    /// Plan expression style.
+    pub plan_style: PlanStyle,
+    /// Discriminator mixed into generated blank-node labels so that
+    /// traces from different runs can be merged into one dataset without
+    /// conflating their qualified-pattern helper nodes. `0` keeps the
+    /// plain `_:qN` labels.
+    pub blank_discriminator: u64,
+}
+
+impl ProfileOptions {
+    /// The Taverna plugin profile.
+    pub fn taverna() -> Self {
+        ProfileOptions { plan_style: PlanStyle::QualifiedHadPlan, blank_discriminator: 0 }
+    }
+
+    /// The Wings/OPMW publisher profile.
+    pub fn wings() -> Self {
+        ProfileOptions { plan_style: PlanStyle::TypedPlan, blank_discriminator: 0 }
+    }
+
+    /// Set the blank-node label discriminator.
+    pub fn with_blank_discriminator(mut self, discriminator: u64) -> Self {
+        self.blank_discriminator = discriminator;
+        self
+    }
+}
+
+struct Emitter<'a> {
+    graph: &'a mut Graph,
+    opts: ProfileOptions,
+    blank_counter: u64,
+}
+
+impl Emitter<'_> {
+    fn triple(&mut self, s: impl Into<Subject>, p: Iri, o: impl Into<Term>) {
+        self.graph.insert(Triple::new(s, p, o));
+    }
+
+    fn fresh_blank(&mut self) -> BlankNode {
+        let label = if self.opts.blank_discriminator == 0 {
+            format!("q{}", self.blank_counter)
+        } else {
+            format!("q{:08x}x{}", self.opts.blank_discriminator, self.blank_counter)
+        };
+        let b = BlankNode::new(label).expect("valid label");
+        self.blank_counter += 1;
+        b
+    }
+
+    fn entity(&mut self, e: &Entity) {
+        self.triple(e.id.clone(), vocab::rdf_type(), prov::entity());
+        for ty in &e.types {
+            self.triple(e.id.clone(), vocab::rdf_type(), ty.clone());
+        }
+        if let Some(label) = &e.label {
+            self.triple(e.id.clone(), rdfs::label(), Literal::simple(label));
+        }
+        if let Some(value) = &e.value {
+            self.triple(e.id.clone(), prov::value(), value.clone());
+        }
+        if let Some(location) = &e.location {
+            self.triple(e.id.clone(), prov::at_location(), location.clone());
+        }
+        if let Some(at) = &e.generated_at {
+            self.triple(e.id.clone(), prov::generated_at_time(), Literal::date_time(at));
+        }
+        for (p, o) in &e.attributes {
+            self.triple(e.id.clone(), p.clone(), o.clone());
+        }
+    }
+
+    fn activity(&mut self, a: &Activity) {
+        self.triple(a.id.clone(), vocab::rdf_type(), prov::activity());
+        for ty in &a.types {
+            self.triple(a.id.clone(), vocab::rdf_type(), ty.clone());
+        }
+        if let Some(label) = &a.label {
+            self.triple(a.id.clone(), rdfs::label(), Literal::simple(label));
+        }
+        if let Some(at) = &a.started {
+            self.triple(a.id.clone(), prov::started_at_time(), Literal::date_time(at));
+        }
+        if let Some(at) = &a.ended {
+            self.triple(a.id.clone(), prov::ended_at_time(), Literal::date_time(at));
+        }
+        if let Some(location) = &a.location {
+            self.triple(a.id.clone(), prov::at_location(), location.clone());
+        }
+        for (p, o) in &a.attributes {
+            self.triple(a.id.clone(), p.clone(), o.clone());
+        }
+    }
+
+    fn agent(&mut self, a: &Agent) {
+        self.triple(a.id.clone(), vocab::rdf_type(), prov::agent());
+        let subclass = match a.kind {
+            AgentKind::Person => Some(prov::person()),
+            AgentKind::Software => Some(prov::software_agent()),
+            AgentKind::Organization => Some(prov::organization()),
+            AgentKind::Plain => None,
+        };
+        if let Some(c) = subclass {
+            self.triple(a.id.clone(), vocab::rdf_type(), c);
+        }
+        for ty in &a.types {
+            self.triple(a.id.clone(), vocab::rdf_type(), ty.clone());
+        }
+        if let Some(name) = &a.name {
+            self.triple(a.id.clone(), foaf::name(), Literal::simple(name));
+        }
+        for (p, o) in &a.attributes {
+            self.triple(a.id.clone(), p.clone(), o.clone());
+        }
+    }
+
+    fn relation(&mut self, r: &Relation) {
+        match r {
+            Relation::Used { activity, entity, time } => {
+                self.triple(activity.clone(), prov::used(), entity.clone());
+                if let Some(t) = time {
+                    let q = self.fresh_blank();
+                    self.triple(activity.clone(), prov::qualified_usage(), q.clone());
+                    self.triple(q.clone(), vocab::rdf_type(), prov::usage());
+                    self.triple(q.clone(), prov::entity_prop(), entity.clone());
+                    self.triple(q, prov::at_time(), Literal::date_time(t));
+                }
+            }
+            Relation::WasGeneratedBy { entity, activity, time } => {
+                self.triple(entity.clone(), prov::was_generated_by(), activity.clone());
+                if let Some(t) = time {
+                    let q = self.fresh_blank();
+                    self.triple(entity.clone(), prov::qualified_generation(), q.clone());
+                    self.triple(q.clone(), vocab::rdf_type(), prov::generation());
+                    self.triple(q.clone(), prov::activity_prop(), activity.clone());
+                    self.triple(q, prov::at_time(), Literal::date_time(t));
+                }
+            }
+            Relation::WasAssociatedWith { activity, agent, plan } => {
+                self.triple(activity.clone(), prov::was_associated_with(), agent.clone());
+                if let Some(plan) = plan {
+                    match self.opts.plan_style {
+                        PlanStyle::QualifiedHadPlan => {
+                            let q = self.fresh_blank();
+                            self.triple(
+                                activity.clone(),
+                                prov::qualified_association(),
+                                q.clone(),
+                            );
+                            self.triple(q.clone(), vocab::rdf_type(), prov::association());
+                            self.triple(q.clone(), prov::agent_prop(), agent.clone());
+                            self.triple(q, prov::had_plan(), plan.clone());
+                        }
+                        PlanStyle::TypedPlan => {
+                            self.triple(plan.clone(), vocab::rdf_type(), prov::plan());
+                        }
+                    }
+                }
+            }
+            Relation::WasAttributedTo { entity, agent } => {
+                self.triple(entity.clone(), prov::was_attributed_to(), agent.clone());
+            }
+            Relation::ActedOnBehalfOf { delegate, responsible } => {
+                self.triple(delegate.clone(), prov::acted_on_behalf_of(), responsible.clone());
+            }
+            Relation::WasDerivedFrom { generated, used } => {
+                self.triple(generated.clone(), prov::was_derived_from(), used.clone());
+            }
+            Relation::HadPrimarySource { derived, source } => {
+                self.triple(derived.clone(), prov::had_primary_source(), source.clone());
+            }
+            Relation::WasInformedBy { informed, informant } => {
+                self.triple(informed.clone(), prov::was_informed_by(), informant.clone());
+            }
+            Relation::WasInfluencedBy { influencee, influencer } => {
+                self.triple(influencee.clone(), prov::was_influenced_by(), influencer.clone());
+            }
+            Relation::Other { subject, predicate, object } => {
+                self.triple(subject.clone(), predicate.clone(), object.clone());
+            }
+        }
+    }
+
+    fn document(&mut self, doc: &Document) {
+        for e in doc.entities.values() {
+            self.entity(e);
+        }
+        for a in doc.activities.values() {
+            self.activity(a);
+        }
+        for a in doc.agents.values() {
+            self.agent(a);
+        }
+        for r in &doc.relations {
+            self.relation(r);
+        }
+    }
+}
+
+/// Map a document (ignoring bundles) to a single graph.
+pub fn document_to_graph(doc: &Document, opts: ProfileOptions) -> Graph {
+    let mut graph = Graph::new();
+    let mut em = Emitter { graph: &mut graph, opts, blank_counter: 0 };
+    em.document(doc);
+    graph
+}
+
+/// Map a document to a dataset: top-level statements go to the default
+/// graph; each bundle becomes a named graph whose name is typed
+/// `prov:Bundle` (and `prov:Entity`) in the default graph.
+pub fn document_to_dataset(doc: &Document, opts: ProfileOptions) -> Dataset {
+    let mut ds = Dataset::new();
+    {
+        let mut em =
+            Emitter { graph: ds.default_graph_mut(), opts, blank_counter: 0 };
+        em.document(doc);
+    }
+    for (i, (bundle_id, contents)) in doc.bundles.iter().enumerate() {
+        ds.default_graph_mut().insert(Triple::new(
+            bundle_id.clone(),
+            vocab::rdf_type(),
+            prov::bundle(),
+        ));
+        ds.default_graph_mut().insert(Triple::new(
+            bundle_id.clone(),
+            vocab::rdf_type(),
+            prov::entity(),
+        ));
+        let graph = ds.named_graph_mut(Subject::Iri(bundle_id.clone()));
+        let mut em = Emitter {
+            graph,
+            opts,
+            // Offset keeps qualified-pattern blank labels unique per bundle.
+            blank_counter: (i as u64 + 1) * 1_000_000,
+        };
+        em.document(contents);
+    }
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DocumentBuilder;
+    use provbench_rdf::DateTime;
+
+    fn sample(plan: bool) -> Document {
+        let mut b = DocumentBuilder::new("http://e/run/");
+        let data = b.entity("data").label("in").id();
+        let out = b.entity("out").id();
+        let act = b
+            .activity("step")
+            .started(DateTime::from_unix_millis(0))
+            .ended(DateTime::from_unix_millis(1000))
+            .id();
+        let engine = b.agent("engine", AgentKind::Software).name("sim").id();
+        let template = if plan { Some(b.entity("template").id()) } else { None };
+        b.used(&act, &data, None);
+        b.generated(&out, &act, None);
+        b.associated(&act, &engine, template.as_ref());
+        b.build()
+    }
+
+    fn has(g: &Graph, p: &Iri) -> bool {
+        g.triples_matching(None, Some(p), None).next().is_some()
+    }
+
+    fn has_type(g: &Graph, ty: &Iri) -> bool {
+        g.triples_matching(None, Some(&vocab::rdf_type()), Some(&ty.clone().into()))
+            .next()
+            .is_some()
+    }
+
+    #[test]
+    fn uniform_parts_of_the_mapping() {
+        let g = document_to_graph(&sample(false), ProfileOptions::taverna());
+        assert!(has_type(&g, &prov::entity()));
+        assert!(has_type(&g, &prov::activity()));
+        assert!(has_type(&g, &prov::agent()));
+        assert!(has_type(&g, &prov::software_agent()));
+        assert!(has(&g, &prov::used()));
+        assert!(has(&g, &prov::was_generated_by()));
+        assert!(has(&g, &prov::was_associated_with()));
+        assert!(has(&g, &prov::started_at_time()));
+        assert!(has(&g, &prov::ended_at_time()));
+        assert!(has(&g, &foaf::name()));
+        assert!(has(&g, &rdfs::label()));
+    }
+
+    #[test]
+    fn taverna_plan_style_uses_had_plan_without_plan_typing() {
+        let g = document_to_graph(&sample(true), ProfileOptions::taverna());
+        assert!(has(&g, &prov::had_plan()));
+        assert!(has(&g, &prov::qualified_association()));
+        assert!(!has_type(&g, &prov::plan()));
+    }
+
+    #[test]
+    fn wings_plan_style_types_the_plan() {
+        let g = document_to_graph(&sample(true), ProfileOptions::wings());
+        assert!(!has(&g, &prov::had_plan()));
+        assert!(has_type(&g, &prov::plan()));
+    }
+
+    #[test]
+    fn qualified_usage_carries_time() {
+        let mut b = DocumentBuilder::new("http://e/");
+        let d = b.entity("d").id();
+        let a = b.activity("a").id();
+        b.used(&a, &d, Some(DateTime::from_unix_millis(42_000)));
+        let g = document_to_graph(&b.build(), ProfileOptions::taverna());
+        assert!(has(&g, &prov::qualified_usage()));
+        assert!(has(&g, &prov::at_time()));
+    }
+
+    #[test]
+    fn bundles_become_named_graphs() {
+        let mut inner = DocumentBuilder::new("http://e/inner/");
+        inner.entity("x");
+        let mut b = DocumentBuilder::new("http://e/");
+        let bid = b.mint("account1");
+        b.bundle(bid.clone(), inner.build());
+        let ds = document_to_dataset(&b.build(), ProfileOptions::wings());
+        assert!(has_type(ds.default_graph(), &prov::bundle()));
+        let g = ds.named_graph(&Subject::Iri(bid)).unwrap();
+        assert!(has_type(g, &prov::entity()));
+    }
+
+    #[test]
+    fn empty_document_maps_to_empty_graph() {
+        let g = document_to_graph(&Document::new(), ProfileOptions::taverna());
+        assert!(g.is_empty());
+    }
+}

@@ -1,0 +1,145 @@
+//! Property tests for the PROV toolkit: document → RDF → document
+//! structural recovery, inference monotonicity/idempotence on random
+//! PROV graphs, and validator sanity.
+
+use proptest::prelude::*;
+use provbench_prov::builder::DocumentBuilder;
+use provbench_prov::from_rdf::graph_to_document;
+use provbench_prov::inference::{apply_inference, InferenceRules};
+use provbench_prov::model::{AgentKind, Document};
+use provbench_prov::to_rdf::{document_to_graph, ProfileOptions};
+use provbench_prov::validate;
+use provbench_rdf::{DateTime, Graph, Iri, Triple};
+use provbench_vocab::prov;
+
+/// A random but well-formed PROV document: entities, activities with
+/// ordered intervals, agents, and relations among declared nodes.
+fn arb_document() -> impl Strategy<Value = Document> {
+    (
+        1usize..6,               // entities
+        1usize..4,               // activities
+        1usize..3,               // agents
+        proptest::collection::vec((0usize..6, 0usize..4), 0..8), // used edges
+        proptest::collection::vec((0usize..6, 0usize..4), 0..8), // generated edges
+        any::<u64>(),
+    )
+        .prop_map(|(ne, na, nag, used, generated, salt)| {
+            let mut b = DocumentBuilder::new(format!("http://prop.test/{salt}/"));
+            let entities: Vec<Iri> =
+                (0..ne).map(|i| b.entity(&format!("e{i}")).id()).collect();
+            let activities: Vec<Iri> = (0..na)
+                .map(|i| {
+                    b.activity(&format!("a{i}"))
+                        .started(DateTime::from_unix_millis(i as i64 * 1000))
+                        .ended(DateTime::from_unix_millis(i as i64 * 1000 + 500))
+                        .id()
+                })
+                .collect();
+            let agents: Vec<Iri> = (0..nag)
+                .map(|i| b.agent(&format!("g{i}"), AgentKind::Software).id())
+                .collect();
+            for (e, a) in used {
+                // Usage must not precede the entity's generation: the
+                // generator of entity k is activity k % na, and activity
+                // intervals increase with index, so only later-or-equal
+                // activities may consume it.
+                let (ei, ai) = (e % ne, a % na);
+                if ai >= ei % na {
+                    b.used(&activities[ai], &entities[ei], None);
+                }
+            }
+            for (e, a) in generated {
+                // One generator per entity to respect unique generation:
+                // the activity is a function of the *entity* index only.
+                let _ = a;
+                let entity_idx = e % ne;
+                b.generated(&entities[entity_idx], &activities[entity_idx % na], None);
+            }
+            for (i, a) in activities.iter().enumerate() {
+                b.associated(a, &agents[i % nag], None);
+            }
+            b.build()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn document_rdf_roundtrip_preserves_nodes(doc in arb_document()) {
+        for opts in [ProfileOptions::taverna(), ProfileOptions::wings()] {
+            let g = document_to_graph(&doc, opts);
+            let back = graph_to_document(&g);
+            prop_assert_eq!(back.entities.len(), doc.entities.len());
+            prop_assert_eq!(back.activities.len(), doc.activities.len());
+            prop_assert_eq!(back.agents.len(), doc.agents.len());
+            // Times survive.
+            for (id, a) in &doc.activities {
+                let r = &back.activities[id];
+                prop_assert_eq!(r.started, a.started);
+                prop_assert_eq!(r.ended, a.ended);
+            }
+            // Relation multiset sizes match: RDF is a set, so duplicate
+            // relations collapse — compare deduplicated counts.
+            let mut rels: Vec<String> = doc.relations.iter().map(|r| format!("{r:?}")).collect();
+            rels.sort();
+            rels.dedup();
+            prop_assert_eq!(back.relations.len(), rels.len());
+        }
+    }
+
+    #[test]
+    fn inference_is_monotone_and_idempotent(doc in arb_document()) {
+        let g = document_to_graph(&doc, ProfileOptions::taverna());
+        for rules in [InferenceRules::schema_only(), InferenceRules::all()] {
+            let once = apply_inference(&g, &rules);
+            for t in g.iter() {
+                prop_assert!(once.contains(&t));
+            }
+            let twice = apply_inference(&once, &rules);
+            prop_assert_eq!(&once, &twice);
+        }
+    }
+
+    #[test]
+    fn subproperty_closure_is_complete(doc in arb_document()) {
+        let g = document_to_graph(&doc, ProfileOptions::taverna());
+        let inf = apply_inference(&g, &InferenceRules::schema_only());
+        // Every asserted sub-property triple has its super-property
+        // counterpart in the closure.
+        for (sub, sup) in prov::SUBPROPERTY_OF {
+            let sub = Iri::new_unchecked(*sub);
+            let sup = Iri::new_unchecked(*sup);
+            for t in g.triples_matching(None, Some(&sub), None) {
+                prop_assert!(inf.contains(&Triple::new(t.subject, sup.clone(), t.object)));
+            }
+        }
+    }
+
+    #[test]
+    fn well_formed_documents_validate(doc in arb_document()) {
+        let g = document_to_graph(&doc, ProfileOptions::taverna());
+        let violations = validate(&g);
+        prop_assert!(violations.is_empty(), "unexpected violations: {violations:?}");
+    }
+
+    #[test]
+    fn empty_rules_are_identity(doc in arb_document()) {
+        let g = document_to_graph(&doc, ProfileOptions::wings());
+        prop_assert_eq!(apply_inference(&g, &InferenceRules::none()), g);
+    }
+}
+
+#[test]
+fn graph_to_document_tolerates_arbitrary_rdf() {
+    // Non-PROV graphs produce empty-but-sane documents.
+    let mut g = Graph::new();
+    g.insert(Triple::new(
+        Iri::new("http://x/a").unwrap(),
+        Iri::new("http://x/p").unwrap(),
+        Iri::new("http://x/b").unwrap(),
+    ));
+    let doc = graph_to_document(&g);
+    assert!(doc.entities.is_empty());
+    assert_eq!(doc.relations.len(), 1); // preserved as Other
+}

@@ -1,0 +1,485 @@
+//! The paper's six exemplar provenance queries (§4), as SPARQL text and
+//! as typed convenience APIs over a corpus graph.
+//!
+//! The corpus mixes two trace dialects, so every query that must span
+//! systems is a `UNION` of a Taverna-shaped branch (wfprov +
+//! `prov:startedAtTime`/`endedAtTime`) and a Wings-shaped branch (OPMW
+//! accounts with `opmw:overallStartTime`/`EndTime`). Q4's process times
+//! only bind on Taverna traces and Q6 only answers on Wings traces —
+//! exactly the availability notes the paper attaches to those queries.
+
+use crate::execute_query;
+use provbench_rdf::{DateTime, Graph, Iri, Term};
+
+/// Shared prefix header for the exemplar queries.
+pub const PREFIXES: &str = r#"
+PREFIX prov: <http://www.w3.org/ns/prov#>
+PREFIX wfprov: <http://purl.org/wf4ever/wfprov#>
+PREFIX wfdesc: <http://purl.org/wf4ever/wfdesc#>
+PREFIX opmw: <http://www.opmw.org/ontology/>
+PREFIX tavernaprov: <http://ns.taverna.org.uk/2012/tavernaprov/>
+PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>
+"#;
+
+/// The Taverna-side description IRI of a template (myExperiment style).
+pub fn taverna_template_iri(template_name: &str) -> Iri {
+    Iri::new_unchecked(format!("http://www.myexperiment.org/workflows/{template_name}"))
+}
+
+/// The Wings-side template IRI (OPMW export style).
+pub fn wings_template_iri(template_name: &str) -> Iri {
+    Iri::new_unchecked(format!(
+        "http://www.opmw.org/export/resource/WorkflowTemplate/{template_name}"
+    ))
+}
+
+fn iri_of(term: &Term) -> Option<Iri> {
+    term.as_iri().cloned()
+}
+
+fn datetime_of(term: &Term) -> Option<DateTime> {
+    term.as_literal().and_then(|l| l.as_date_time())
+}
+
+// ---------------------------------------------------------------- Q1 --
+
+/// One row of Q1.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunSummary {
+    /// The run (Taverna workflow-run activity or Wings account).
+    pub run: Iri,
+    /// Start time, when the system records one.
+    pub started: Option<DateTime>,
+    /// End time, when the system records one.
+    pub ended: Option<DateTime>,
+}
+
+/// Q1 SPARQL: "What are the workflow runs available, and what is their
+/// start and end time?"
+pub fn q1_sparql() -> String {
+    format!(
+        "{PREFIXES}
+SELECT ?run ?start ?end WHERE {{
+  {{ ?run a wfprov:WorkflowRun .
+     OPTIONAL {{ ?run prov:startedAtTime ?start }}
+     OPTIONAL {{ ?run prov:endedAtTime ?end }} }}
+  UNION
+  {{ ?run a opmw:WorkflowExecutionAccount .
+     OPTIONAL {{ ?run opmw:overallStartTime ?start }}
+     OPTIONAL {{ ?run opmw:overallEndTime ?end }} }}
+}} ORDER BY ?run"
+    )
+}
+
+/// Q1, typed.
+pub fn q1_runs(graph: &Graph) -> Vec<RunSummary> {
+    let solutions = execute_query(graph, &q1_sparql()).expect("Q1 is well-formed");
+    solutions
+        .rows
+        .iter()
+        .filter_map(|row| {
+            Some(RunSummary {
+                run: iri_of(row.get("run")?)?,
+                started: row.get("start").and_then(datetime_of),
+                ended: row.get("end").and_then(datetime_of),
+            })
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- Q2 --
+
+/// Q2 result: the runs of a template and how many of them failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TemplateRuns {
+    /// All runs of the template.
+    pub runs: Vec<Iri>,
+    /// How many of them failed.
+    pub failed: usize,
+}
+
+/// Q2 SPARQL (runs part): "What are the workflow runs associated with a
+/// given workflow template…"
+pub fn q2_runs_sparql(template_name: &str) -> String {
+    let tav = taverna_template_iri(template_name);
+    let wgs = wings_template_iri(template_name);
+    format!(
+        "{PREFIXES}
+SELECT DISTINCT ?run WHERE {{
+  {{ ?run wfprov:describedByWorkflow {tav} }}
+  UNION
+  {{ ?run a opmw:WorkflowExecutionAccount . ?run opmw:correspondsToTemplate {wgs} }}
+}} ORDER BY ?run"
+    )
+}
+
+/// Q2 SPARQL (failure part): "…and how many of them failed?"
+pub fn q2_failed_sparql(template_name: &str) -> String {
+    let tav = taverna_template_iri(template_name);
+    let wgs = wings_template_iri(template_name);
+    format!(
+        "{PREFIXES}
+SELECT (COUNT(DISTINCT ?run) AS ?failed) WHERE {{
+  {{ ?run wfprov:describedByWorkflow {tav} .
+     ?p wfprov:wasPartOfWorkflowRun ?run .
+     ?p tavernaprov:errorMessage ?msg }}
+  UNION
+  {{ ?run a opmw:WorkflowExecutionAccount .
+     ?run opmw:correspondsToTemplate {wgs} .
+     ?run opmw:hasStatus \"FAILURE\" }}
+}}"
+    )
+}
+
+/// Q2, typed.
+pub fn q2_template_runs(graph: &Graph, template_name: &str) -> TemplateRuns {
+    let runs = execute_query(graph, &q2_runs_sparql(template_name))
+        .expect("Q2 is well-formed")
+        .rows
+        .iter()
+        .filter_map(|r| iri_of(r.get("run")?))
+        .collect();
+    let failed = execute_query(graph, &q2_failed_sparql(template_name))
+        .expect("Q2 is well-formed")
+        .get(0, "failed")
+        .and_then(|t| t.as_literal())
+        .and_then(|l| l.as_integer())
+        .unwrap_or(0) as usize;
+    TemplateRuns { runs, failed }
+}
+
+// ---------------------------------------------------------------- Q3 --
+
+/// Q3 result row: one run with its workflow-level inputs and outputs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunIo {
+    /// The run.
+    pub run: Iri,
+    /// Workflow-level inputs it used.
+    pub inputs: Vec<Iri>,
+    /// Workflow-level outputs it generated (empty for failed runs that
+    /// never produced them).
+    pub outputs: Vec<Iri>,
+}
+
+/// Q3 SPARQL (per-run inputs): Taverna runs `prov:used` their inputs,
+/// Wings marks them `opmw:isInputOf` the account.
+pub fn q3_inputs_sparql(template_name: &str) -> String {
+    let tav = taverna_template_iri(template_name);
+    let wgs = wings_template_iri(template_name);
+    format!(
+        "{PREFIXES}
+SELECT ?run ?input WHERE {{
+  {{ ?run wfprov:describedByWorkflow {tav} . ?run prov:used ?input }}
+  UNION
+  {{ ?run a opmw:WorkflowExecutionAccount .
+     ?run opmw:correspondsToTemplate {wgs} . ?input opmw:isInputOf ?run }}
+}} ORDER BY ?run ?input"
+    )
+}
+
+/// Q3 SPARQL (per-run outputs).
+pub fn q3_outputs_sparql(template_name: &str) -> String {
+    let tav = taverna_template_iri(template_name);
+    let wgs = wings_template_iri(template_name);
+    format!(
+        "{PREFIXES}
+SELECT ?run ?output WHERE {{
+  {{ ?run wfprov:describedByWorkflow {tav} . ?output prov:wasGeneratedBy ?run }}
+  UNION
+  {{ ?run a opmw:WorkflowExecutionAccount .
+     ?run opmw:correspondsToTemplate {wgs} . ?output opmw:isOutputOf ?run }}
+}} ORDER BY ?run ?output"
+    )
+}
+
+/// Q3, typed: "What are the workflow runs of a given workflow template,
+/// and what are the inputs they used and the outputs they generated?"
+pub fn q3_template_run_io(graph: &Graph, template_name: &str) -> Vec<RunIo> {
+    let mut by_run: std::collections::BTreeMap<Iri, RunIo> = std::collections::BTreeMap::new();
+    for run in q2_template_runs(graph, template_name).runs {
+        by_run.insert(run.clone(), RunIo { run, inputs: Vec::new(), outputs: Vec::new() });
+    }
+    let inputs = execute_query(graph, &q3_inputs_sparql(template_name)).expect("Q3 inputs");
+    for row in &inputs.rows {
+        if let (Some(run), Some(input)) =
+            (row.get("run").and_then(iri_of), row.get("input").and_then(iri_of))
+        {
+            if let Some(io) = by_run.get_mut(&run) {
+                io.inputs.push(input);
+            }
+        }
+    }
+    let outputs = execute_query(graph, &q3_outputs_sparql(template_name)).expect("Q3 outputs");
+    for row in &outputs.rows {
+        if let (Some(run), Some(output)) =
+            (row.get("run").and_then(iri_of), row.get("output").and_then(iri_of))
+        {
+            if let Some(io) = by_run.get_mut(&run) {
+                io.outputs.push(output);
+            }
+        }
+    }
+    by_run.into_values().collect()
+}
+
+// ---------------------------------------------------------------- Q4 --
+
+/// Q4 result row: one process run of a workflow run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProcessRunInfo {
+    /// The process run.
+    pub process: Iri,
+    /// Start time ("only available in Taverna provenance logs").
+    pub started: Option<DateTime>,
+    /// End time (idem).
+    pub ended: Option<DateTime>,
+    /// Inputs used.
+    pub inputs: Vec<Iri>,
+    /// Outputs generated.
+    pub outputs: Vec<Iri>,
+}
+
+/// Q4 SPARQL (processes with optional times).
+pub fn q4_sparql(run: &Iri) -> String {
+    format!(
+        "{PREFIXES}
+SELECT DISTINCT ?p ?start ?end WHERE {{
+  {{ ?p wfprov:wasPartOfWorkflowRun {run} }}
+  UNION
+  {{ ?p a opmw:WorkflowExecutionProcess . ?p opmw:belongsToAccount {run} }}
+  OPTIONAL {{ ?p prov:startedAtTime ?start }}
+  OPTIONAL {{ ?p prov:endedAtTime ?end }}
+}} ORDER BY ?p"
+    )
+}
+
+/// Q4, typed: "How many process runs are associated with a given workflow
+/// run, what is the start and end time of each one of them (only
+/// available in Taverna provenance logs), and what are the inputs they
+/// used and the outputs they generated?"
+pub fn q4_process_runs(graph: &Graph, run: &Iri) -> Vec<ProcessRunInfo> {
+    let base = execute_query(graph, &q4_sparql(run)).expect("Q4 is well-formed");
+    base.rows
+        .iter()
+        .filter_map(|row| {
+            let process = iri_of(row.get("p")?)?;
+            let io_q = format!(
+                "{PREFIXES}
+SELECT ?in ?out WHERE {{
+  {{ {process} prov:used ?in }} UNION {{ ?out prov:wasGeneratedBy {process} }}
+}} ORDER BY ?in ?out"
+            );
+            let io = execute_query(graph, &io_q).expect("Q4 io is well-formed");
+            let mut inputs = Vec::new();
+            let mut outputs = Vec::new();
+            for r in &io.rows {
+                if let Some(i) = r.get("in").and_then(iri_of) {
+                    if !inputs.contains(&i) {
+                        inputs.push(i);
+                    }
+                }
+                if let Some(o) = r.get("out").and_then(iri_of) {
+                    if !outputs.contains(&o) {
+                        outputs.push(o);
+                    }
+                }
+            }
+            Some(ProcessRunInfo {
+                process,
+                started: row.get("start").and_then(datetime_of),
+                ended: row.get("end").and_then(datetime_of),
+                inputs,
+                outputs,
+            })
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- Q5 --
+
+/// Q5 SPARQL: "Who executed a given workflow run?"
+pub fn q5_sparql(run: &Iri) -> String {
+    format!(
+        "{PREFIXES}
+SELECT DISTINCT ?agent ?name WHERE {{
+  {{ {run} prov:wasAssociatedWith ?agent . ?agent a prov:Person }}
+  UNION
+  {{ {run} prov:wasAttributedTo ?agent . ?agent a prov:Person }}
+  OPTIONAL {{ ?agent foaf:name ?name }}
+}} ORDER BY ?agent"
+    )
+}
+
+/// Q5, typed: the person agents behind a run, with names when recorded.
+pub fn q5_executor(graph: &Graph, run: &Iri) -> Vec<(Iri, Option<String>)> {
+    execute_query(graph, &q5_sparql(run))
+        .expect("Q5 is well-formed")
+        .rows
+        .iter()
+        .filter_map(|row| {
+            Some((
+                iri_of(row.get("agent")?)?,
+                row.get("name")
+                    .and_then(|t| t.as_literal())
+                    .map(|l| l.lexical().to_owned()),
+            ))
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- Q6 --
+
+/// Q6 SPARQL: "What are the services executed as a result of the
+/// execution of a given workflow run? (only available in Wings
+/// provenance logs)."
+pub fn q6_sparql(run: &Iri) -> String {
+    format!(
+        "{PREFIXES}
+SELECT DISTINCT ?service WHERE {{
+  ?p opmw:belongsToAccount {run} .
+  ?p opmw:hasExecutableComponent ?service
+}} ORDER BY ?service"
+    )
+}
+
+/// Q6, typed.
+pub fn q6_services(graph: &Graph, run: &Iri) -> Vec<Iri> {
+    execute_query(graph, &q6_sparql(run))
+        .expect("Q6 is well-formed")
+        .rows
+        .iter()
+        .filter_map(|row| iri_of(row.get("service")?))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use provbench_rdf::parse_turtle;
+
+    /// A hand-written miniature corpus graph: one Taverna run of template
+    /// `t1` (with one failed process) and one Wings account of `t2`.
+    fn mini_corpus() -> Graph {
+        let (g, _) = parse_turtle(
+            r#"
+@prefix prov: <http://www.w3.org/ns/prov#> .
+@prefix wfprov: <http://purl.org/wf4ever/wfprov#> .
+@prefix opmw: <http://www.opmw.org/ontology/> .
+@prefix tavernaprov: <http://ns.taverna.org.uk/2012/tavernaprov/> .
+@prefix foaf: <http://xmlns.com/foaf/0.1/> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+@prefix ex: <http://example.org/> .
+
+# --- Taverna run of t1 ---
+ex:trun a wfprov:WorkflowRun, prov:Activity ;
+    prov:startedAtTime "2013-01-15T09:00:00Z"^^xsd:dateTime ;
+    prov:endedAtTime "2013-01-15T09:10:00Z"^^xsd:dateTime ;
+    wfprov:describedByWorkflow <http://www.myexperiment.org/workflows/t1> ;
+    prov:used ex:in1 ;
+    prov:wasAssociatedWith ex:alice .
+ex:out1 prov:wasGeneratedBy ex:trun .
+ex:alice a prov:Agent, prov:Person ; foaf:name "alice" .
+ex:p1 a wfprov:ProcessRun, prov:Activity ;
+    wfprov:wasPartOfWorkflowRun ex:trun ;
+    prov:startedAtTime "2013-01-15T09:01:00Z"^^xsd:dateTime ;
+    prov:endedAtTime "2013-01-15T09:02:00Z"^^xsd:dateTime ;
+    prov:used ex:in1 ;
+    tavernaprov:errorMessage "unavailability of third party resources" .
+ex:mid1 prov:wasGeneratedBy ex:p1 .
+
+# --- Wings account of t2 ---
+ex:wacct a opmw:WorkflowExecutionAccount, prov:Entity ;
+    opmw:overallStartTime "2013-02-01T12:00:00Z"^^xsd:dateTime ;
+    opmw:overallEndTime "2013-02-01T12:30:00Z"^^xsd:dateTime ;
+    opmw:correspondsToTemplate <http://www.opmw.org/export/resource/WorkflowTemplate/t2> ;
+    opmw:hasStatus "SUCCESS" ;
+    prov:wasAttributedTo ex:dana .
+ex:dana a prov:Agent, prov:Person ; foaf:name "dana" .
+ex:win opmw:isInputOf ex:wacct .
+ex:wout opmw:isOutputOf ex:wacct .
+ex:wp1 a opmw:WorkflowExecutionProcess, prov:Activity ;
+    opmw:belongsToAccount ex:wacct ;
+    opmw:hasExecutableComponent <http://components.wings-components.org/x/align> ;
+    prov:used ex:win .
+ex:wout prov:wasGeneratedBy ex:wp1 .
+"#,
+        )
+        .unwrap();
+        g
+    }
+
+    fn iri(s: &str) -> Iri {
+        Iri::new(s).unwrap()
+    }
+
+    #[test]
+    fn q1_finds_both_dialects() {
+        let runs = q1_runs(&mini_corpus());
+        assert_eq!(runs.len(), 2);
+        let tav = runs.iter().find(|r| r.run.as_str().ends_with("trun")).unwrap();
+        assert!(tav.started.is_some() && tav.ended.is_some());
+        let wgs = runs.iter().find(|r| r.run.as_str().ends_with("wacct")).unwrap();
+        assert!(wgs.started.is_some() && wgs.ended.is_some());
+    }
+
+    #[test]
+    fn q2_counts_runs_and_failures() {
+        let g = mini_corpus();
+        let t1 = q2_template_runs(&g, "t1");
+        assert_eq!(t1.runs.len(), 1);
+        assert_eq!(t1.failed, 1); // the errorMessage marks trun as failed
+        let t2 = q2_template_runs(&g, "t2");
+        assert_eq!(t2.runs.len(), 1);
+        assert_eq!(t2.failed, 0);
+        let none = q2_template_runs(&g, "t3");
+        assert!(none.runs.is_empty());
+    }
+
+    #[test]
+    fn q3_collects_io_per_run() {
+        let g = mini_corpus();
+        let io = q3_template_run_io(&g, "t1");
+        assert_eq!(io.len(), 1);
+        assert_eq!(io[0].inputs, vec![iri("http://example.org/in1")]);
+        assert_eq!(io[0].outputs, vec![iri("http://example.org/out1")]);
+        let io2 = q3_template_run_io(&g, "t2");
+        assert_eq!(io2[0].inputs, vec![iri("http://example.org/win")]);
+        assert_eq!(io2[0].outputs, vec![iri("http://example.org/wout")]);
+    }
+
+    #[test]
+    fn q4_times_only_for_taverna() {
+        let g = mini_corpus();
+        let tav = q4_process_runs(&g, &iri("http://example.org/trun"));
+        assert_eq!(tav.len(), 1);
+        assert!(tav[0].started.is_some());
+        assert_eq!(tav[0].inputs.len(), 1);
+        assert_eq!(tav[0].outputs.len(), 1);
+        let wgs = q4_process_runs(&g, &iri("http://example.org/wacct"));
+        assert_eq!(wgs.len(), 1);
+        assert!(wgs[0].started.is_none(), "Wings records no activity times");
+        assert_eq!(wgs[0].outputs, vec![iri("http://example.org/wout")]);
+    }
+
+    #[test]
+    fn q5_finds_the_person() {
+        let g = mini_corpus();
+        let tav = q5_executor(&g, &iri("http://example.org/trun"));
+        assert_eq!(tav.len(), 1);
+        assert_eq!(tav[0].1.as_deref(), Some("alice"));
+        let wgs = q5_executor(&g, &iri("http://example.org/wacct"));
+        assert_eq!(wgs[0].1.as_deref(), Some("dana"));
+    }
+
+    #[test]
+    fn q6_only_answers_on_wings() {
+        let g = mini_corpus();
+        let wgs = q6_services(&g, &iri("http://example.org/wacct"));
+        assert_eq!(wgs.len(), 1);
+        assert!(wgs[0].as_str().contains("align"));
+        let tav = q6_services(&g, &iri("http://example.org/trun"));
+        assert!(tav.is_empty(), "services are only available in Wings logs");
+    }
+}

@@ -1,0 +1,54 @@
+//! # provbench-query
+//!
+//! A SPARQL-subset query engine over `provbench-rdf` graphs, plus the
+//! paper's six exemplar provenance queries ([`exemplar`]).
+//!
+//! ## Supported SPARQL surface
+//!
+//! `PREFIX`, `SELECT` (variables, `*`, `DISTINCT`, aggregate projections
+//! `(COUNT(?x) AS ?n)` / `COUNT(*)` / `MIN` / `MAX`), basic graph
+//! patterns with `a` and `;`/`,` abbreviations, `OPTIONAL`, `UNION`,
+//! `FILTER` with comparisons, logical operators, `BOUND`, `REGEX` and
+//! `STR`, `GROUP BY`, `ORDER BY` (with `ASC`/`DESC`), `LIMIT` and
+//! `OFFSET`.
+//!
+//! ## Example
+//!
+//! ```
+//! use provbench_query::execute_query;
+//! use provbench_rdf::{parse_turtle};
+//!
+//! let (graph, _) = parse_turtle(r#"
+//!   @prefix prov: <http://www.w3.org/ns/prov#> .
+//!   <http://e/r1> a prov:Activity .
+//!   <http://e/r2> a prov:Activity .
+//! "#).unwrap();
+//! let results = execute_query(&graph, r#"
+//!   PREFIX prov: <http://www.w3.org/ns/prov#>
+//!   SELECT ?r WHERE { ?r a prov:Activity } ORDER BY ?r
+//! "#).unwrap();
+//! assert_eq!(results.len(), 2);
+//! ```
+
+pub mod exemplar;
+pub mod sparql;
+
+pub use sparql::eval::{
+    execute, execute_ask, execute_with_options, explain, Bindings, EvalOptions, QueryError,
+    Solutions,
+};
+pub use sparql::parser::parse_query;
+
+use provbench_rdf::Graph;
+
+/// Parse and execute a SPARQL query over a graph.
+pub fn execute_query(graph: &Graph, query: &str) -> Result<Solutions, QueryError> {
+    let q = parse_query(query).map_err(QueryError::Parse)?;
+    execute(graph, &q)
+}
+
+/// Parse and execute an `ASK` query, returning its boolean answer.
+pub fn ask_query(graph: &Graph, query: &str) -> Result<bool, QueryError> {
+    let q = parse_query(query).map_err(QueryError::Parse)?;
+    execute_ask(graph, &q)
+}

@@ -1,0 +1,184 @@
+//! Abstract syntax of the supported SPARQL subset.
+
+use provbench_rdf::{Iri, Term};
+
+/// A variable name, without the leading `?`.
+pub type Var = String;
+
+/// Subject/object position of a triple pattern.
+#[derive(Clone, Debug, PartialEq)]
+pub enum VarOrTerm {
+    /// A variable.
+    Var(Var),
+    /// A ground term.
+    Term(Term),
+}
+
+/// Predicate position of a triple pattern.
+#[derive(Clone, Debug, PartialEq)]
+pub enum VarOrIri {
+    /// A variable.
+    Var(Var),
+    /// A ground IRI.
+    Iri(Iri),
+}
+
+/// One triple pattern.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TriplePattern {
+    /// Subject.
+    pub subject: VarOrTerm,
+    /// Predicate.
+    pub predicate: VarOrIri,
+    /// Object.
+    pub object: VarOrTerm,
+}
+
+/// A graph pattern.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GraphPattern {
+    /// A basic graph pattern: a conjunction of triple patterns.
+    Basic(Vec<TriplePattern>),
+    /// Sequential composition (join) of sub-patterns.
+    Group(Vec<GraphPattern>),
+    /// Left join: solutions extended by the inner pattern when possible.
+    Optional(Box<GraphPattern>),
+    /// Set union of two patterns.
+    Union(Box<GraphPattern>, Box<GraphPattern>),
+    /// A filter constraining the enclosing group.
+    Filter(Expression),
+}
+
+/// Comparison operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CompareOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Filter expressions.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expression {
+    /// A variable reference.
+    Var(Var),
+    /// A constant term (literal or IRI).
+    Constant(Term),
+    /// Binary comparison.
+    Compare(CompareOp, Box<Expression>, Box<Expression>),
+    /// Logical conjunction.
+    And(Box<Expression>, Box<Expression>),
+    /// Logical disjunction.
+    Or(Box<Expression>, Box<Expression>),
+    /// Logical negation.
+    Not(Box<Expression>),
+    /// `BOUND(?v)`.
+    Bound(Var),
+    /// `CONTAINS(haystack, needle)` (string containment).
+    Contains(Box<Expression>, Box<Expression>),
+    /// `STRSTARTS(s, prefix)`.
+    StrStarts(Box<Expression>, Box<Expression>),
+    /// `STRENDS(s, suffix)`.
+    StrEnds(Box<Expression>, Box<Expression>),
+    /// `LANG(?v)` — the language tag ("" when none).
+    Lang(Box<Expression>),
+    /// `DATATYPE(?v)` — the datatype IRI of a literal.
+    Datatype(Box<Expression>),
+    /// `isIRI(?v)`.
+    IsIri(Box<Expression>),
+    /// `isLiteral(?v)`.
+    IsLiteral(Box<Expression>),
+    /// `isBlank(?v)`.
+    IsBlank(Box<Expression>),
+    /// `REGEX(expr, "pattern" [, "i"])` — substring match with optional
+    /// `^`/`$` anchors and the case-insensitivity flag.
+    Regex(Box<Expression>, String, bool),
+    /// `STR(expr)` — the lexical form / IRI string of a term.
+    Str(Box<Expression>),
+}
+
+/// Aggregate functions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AggregateFn {
+    /// `COUNT(?v)` or `COUNT(*)` (when the inner var is `None`).
+    Count,
+    /// `COUNT(DISTINCT ?v)`.
+    CountDistinct,
+    /// `MIN(?v)`.
+    Min,
+    /// `MAX(?v)`.
+    Max,
+}
+
+/// One projected column.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Projection {
+    /// A plain variable.
+    Var(Var),
+    /// An aggregate: `(COUNT(?x) AS ?alias)`.
+    Aggregate {
+        /// The function.
+        function: AggregateFn,
+        /// The aggregated variable; `None` for `COUNT(*)`.
+        var: Option<Var>,
+        /// The output variable name.
+        alias: Var,
+    },
+}
+
+/// An `ORDER BY` key.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OrderKey {
+    /// The sort variable.
+    pub var: Var,
+    /// Descending when true.
+    pub descending: bool,
+}
+
+/// The query form.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryForm {
+    /// `SELECT …` — returns solution rows.
+    Select,
+    /// `ASK { … }` — returns whether any solution exists.
+    Ask,
+}
+
+/// A parsed `SELECT` or `ASK` query.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Query {
+    /// The query form.
+    pub form: QueryForm,
+    /// Projected columns; empty means `SELECT *`.
+    pub projections: Vec<Projection>,
+    /// Whether `DISTINCT` was given.
+    pub distinct: bool,
+    /// The `WHERE` pattern.
+    pub pattern: GraphPattern,
+    /// `GROUP BY` variables.
+    pub group_by: Vec<Var>,
+    /// `ORDER BY` keys.
+    pub order_by: Vec<OrderKey>,
+    /// `LIMIT`.
+    pub limit: Option<usize>,
+    /// `OFFSET`.
+    pub offset: usize,
+}
+
+impl Query {
+    /// Whether the query uses aggregates.
+    pub fn has_aggregates(&self) -> bool {
+        self.projections
+            .iter()
+            .any(|p| matches!(p, Projection::Aggregate { .. }))
+    }
+}

@@ -1,0 +1,1035 @@
+//! Evaluation of parsed queries over a [`Graph`].
+
+use super::ast::*;
+use super::parser::QueryParseError;
+use provbench_rdf::{Graph, Iri, Subject, Term, Triple};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// One solution row: variable → bound term.
+pub type Bindings = BTreeMap<String, Term>;
+
+/// A query result: projected variables plus solution rows.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Solutions {
+    /// Projected variable names, in projection order.
+    pub variables: Vec<String>,
+    /// Solution rows.
+    pub rows: Vec<Bindings>,
+}
+
+impl Solutions {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The binding of `var` in row `row`, if any.
+    pub fn get(&self, row: usize, var: &str) -> Option<&Term> {
+        self.rows.get(row).and_then(|b| b.get(var))
+    }
+}
+
+/// Why a query failed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum QueryError {
+    /// The query text failed to parse.
+    Parse(QueryParseError),
+    /// The query was structurally invalid for evaluation.
+    Eval(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Parse(e) => write!(f, "parse error: {e}"),
+            QueryError::Eval(m) => write!(f, "evaluation error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+fn term_as_subject(term: &Term) -> Option<Subject> {
+    term.as_subject()
+}
+
+/// Substitute bindings into a pattern position.
+fn resolve_term(pos: &VarOrTerm, b: &Bindings) -> Option<Term> {
+    match pos {
+        VarOrTerm::Term(t) => Some(t.clone()),
+        VarOrTerm::Var(v) => b.get(v).cloned(),
+    }
+}
+
+fn resolve_iri(pos: &VarOrIri, b: &Bindings) -> Option<Option<Iri>> {
+    // Outer None = bound to a non-IRI (no match possible);
+    // inner None = unbound (wildcard).
+    match pos {
+        VarOrIri::Iri(i) => Some(Some(i.clone())),
+        VarOrIri::Var(v) => match b.get(v) {
+            None => Some(None),
+            Some(Term::Iri(i)) => Some(Some(i.clone())),
+            Some(_) => None,
+        },
+    }
+}
+
+/// Extend `b` by unifying a pattern position with a concrete term.
+fn unify(pos: &VarOrTerm, term: Term, b: &mut Bindings) -> bool {
+    match pos {
+        VarOrTerm::Term(t) => *t == term,
+        VarOrTerm::Var(v) => match b.get(v) {
+            Some(existing) => *existing == term,
+            None => {
+                b.insert(v.clone(), term);
+                true
+            }
+        },
+    }
+}
+
+fn unify_iri(pos: &VarOrIri, iri: Iri, b: &mut Bindings) -> bool {
+    match pos {
+        VarOrIri::Iri(i) => *i == iri,
+        VarOrIri::Var(v) => match b.get(v) {
+            Some(existing) => *existing == Term::Iri(iri),
+            None => {
+                b.insert(v.clone(), Term::Iri(iri));
+                true
+            }
+        },
+    }
+}
+
+fn join_triple_pattern(graph: &Graph, tp: &TriplePattern, input: Vec<Bindings>) -> Vec<Bindings> {
+    let mut out = Vec::new();
+    for b in input {
+        // Ground what we can.
+        let s_term = resolve_term(&tp.subject, &b);
+        let s_subj = match &s_term {
+            Some(t) => match term_as_subject(t) {
+                Some(s) => Some(s),
+                None => continue, // bound to a literal: no subject match
+            },
+            None => None,
+        };
+        let p_iri = match resolve_iri(&tp.predicate, &b) {
+            Some(p) => p,
+            None => continue,
+        };
+        let o_term = resolve_term(&tp.object, &b);
+        for t in graph.triples_matching(s_subj.as_ref(), p_iri.as_ref(), o_term.as_ref()) {
+            let mut nb = b.clone();
+            let Triple { subject, predicate, object } = t;
+            if unify(&tp.subject, Term::from(subject), &mut nb)
+                && unify_iri(&tp.predicate, predicate, &mut nb)
+                && unify(&tp.object, object, &mut nb)
+            {
+                out.push(nb);
+            }
+        }
+    }
+    out
+}
+
+/// Evaluation options.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EvalOptions {
+    /// Greedily reorder the triple patterns of each BGP so that the most
+    /// selective (most bound) pattern runs first and joins stay bound —
+    /// the classic join-ordering heuristic. On by default; turn off for
+    /// the planner ablation bench.
+    pub reorder_patterns: bool,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions { reorder_patterns: true }
+    }
+}
+
+/// Selectivity score of a pattern given already-bound variables: bound
+/// positions (constants or join variables) score high; a constant
+/// predicate breaks ties (predicates are the most selective constants in
+/// PROV data).
+fn pattern_score(tp: &TriplePattern, bound: &BTreeSet<&str>) -> (usize, usize) {
+    let position = |is_const: bool, var: Option<&str>| {
+        if is_const || var.is_some_and(|v| bound.contains(v)) {
+            2usize
+        } else {
+            0
+        }
+    };
+    let s = position(matches!(tp.subject, VarOrTerm::Term(_)), match &tp.subject {
+        VarOrTerm::Var(v) => Some(v),
+        VarOrTerm::Term(_) => None,
+    });
+    let p = position(matches!(tp.predicate, VarOrIri::Iri(_)), match &tp.predicate {
+        VarOrIri::Var(v) => Some(v),
+        VarOrIri::Iri(_) => None,
+    });
+    let o = position(matches!(tp.object, VarOrTerm::Term(_)), match &tp.object {
+        VarOrTerm::Var(v) => Some(v),
+        VarOrTerm::Term(_) => None,
+    });
+    (s + p + o, usize::from(matches!(tp.predicate, VarOrIri::Iri(_))))
+}
+
+/// Greedy join ordering: repeatedly pick the highest-scoring remaining
+/// pattern, then treat its variables as bound.
+fn reorder_bgp(tps: &[TriplePattern]) -> Vec<&TriplePattern> {
+    let mut remaining: Vec<&TriplePattern> = tps.iter().collect();
+    let mut bound: BTreeSet<&str> = BTreeSet::new();
+    let mut out = Vec::with_capacity(tps.len());
+    while !remaining.is_empty() {
+        let (best, _) = remaining
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, tp)| pattern_score(tp, &bound))
+            .expect("remaining is non-empty");
+        let tp = remaining.remove(best);
+        if let VarOrTerm::Var(v) = &tp.subject {
+            bound.insert(v);
+        }
+        if let VarOrIri::Var(v) = &tp.predicate {
+            bound.insert(v);
+        }
+        if let VarOrTerm::Var(v) = &tp.object {
+            bound.insert(v);
+        }
+        out.push(tp);
+    }
+    out
+}
+
+fn render_position_s(p: &VarOrTerm) -> String {
+    match p {
+        VarOrTerm::Var(v) => format!("?{v}"),
+        VarOrTerm::Term(t) => t.to_string(),
+    }
+}
+
+fn render_position_p(p: &VarOrIri) -> String {
+    match p {
+        VarOrIri::Var(v) => format!("?{v}"),
+        VarOrIri::Iri(i) => i.to_string(),
+    }
+}
+
+/// Explain the evaluation plan of a query as indented text: the pattern
+/// tree with BGPs shown in planner-chosen join order.
+pub fn explain(query: &Query, opts: &EvalOptions) -> String {
+    fn walk(p: &GraphPattern, depth: usize, opts: &EvalOptions, out: &mut String) {
+        let pad = "  ".repeat(depth);
+        match p {
+            GraphPattern::Basic(tps) => {
+                let ordered: Vec<&TriplePattern> = if opts.reorder_patterns {
+                    reorder_bgp(tps)
+                } else {
+                    tps.iter().collect()
+                };
+                out.push_str(&format!("{pad}BGP ({} patterns)\n", ordered.len()));
+                for tp in ordered {
+                    out.push_str(&format!(
+                        "{pad}  {} {} {}\n",
+                        render_position_s(&tp.subject),
+                        render_position_p(&tp.predicate),
+                        render_position_s(&tp.object),
+                    ));
+                }
+            }
+            GraphPattern::Group(elems) => {
+                out.push_str(&format!("{pad}Join\n"));
+                for e in elems {
+                    walk(e, depth + 1, opts, out);
+                }
+            }
+            GraphPattern::Optional(inner) => {
+                out.push_str(&format!("{pad}LeftJoin (OPTIONAL)\n"));
+                walk(inner, depth + 1, opts, out);
+            }
+            GraphPattern::Union(l, r) => {
+                out.push_str(&format!("{pad}Union\n"));
+                walk(l, depth + 1, opts, out);
+                walk(r, depth + 1, opts, out);
+            }
+            GraphPattern::Filter(_) => {
+                out.push_str(&format!("{pad}Filter\n"));
+            }
+        }
+    }
+    let mut out = String::new();
+    let form = match query.form {
+        QueryForm::Select => "SELECT",
+        QueryForm::Ask => "ASK",
+    };
+    out.push_str(&format!(
+        "{form} plan (planner {}):\n",
+        if opts.reorder_patterns { "on" } else { "off" }
+    ));
+    walk(&query.pattern, 1, opts, &mut out);
+    if !query.group_by.is_empty() {
+        out.push_str(&format!("  GroupBy {:?}\n", query.group_by));
+    }
+    if !query.order_by.is_empty() {
+        out.push_str(&format!(
+            "  OrderBy {:?}\n",
+            query.order_by.iter().map(|k| &k.var).collect::<Vec<_>>()
+        ));
+    }
+    if let Some(l) = query.limit {
+        out.push_str(&format!("  Limit {l}\n"));
+    }
+    out
+}
+
+fn eval_pattern(
+    graph: &Graph,
+    pattern: &GraphPattern,
+    input: Vec<Bindings>,
+    opts: &EvalOptions,
+) -> Vec<Bindings> {
+    match pattern {
+        GraphPattern::Basic(tps) => {
+            let ordered: Vec<&TriplePattern> = if opts.reorder_patterns {
+                reorder_bgp(tps)
+            } else {
+                tps.iter().collect()
+            };
+            let mut current = input;
+            for tp in ordered {
+                current = join_triple_pattern(graph, tp, current);
+                if current.is_empty() {
+                    break;
+                }
+            }
+            current
+        }
+        GraphPattern::Group(elems) => {
+            let mut current = input;
+            for e in elems {
+                current = eval_pattern(graph, e, current, opts);
+                if current.is_empty() && !matches!(e, GraphPattern::Optional(_)) {
+                    break;
+                }
+            }
+            current
+        }
+        GraphPattern::Optional(inner) => {
+            let mut out = Vec::new();
+            for b in input {
+                let extended = eval_pattern(graph, inner, vec![b.clone()], opts);
+                if extended.is_empty() {
+                    out.push(b);
+                } else {
+                    out.extend(extended);
+                }
+            }
+            out
+        }
+        GraphPattern::Union(left, right) => {
+            let mut out = eval_pattern(graph, left, input.clone(), opts);
+            out.extend(eval_pattern(graph, right, input, opts));
+            out
+        }
+        GraphPattern::Filter(expr) => input
+            .into_iter()
+            .filter(|b| {
+                eval_expr(expr, b).and_then(|v| effective_boolean(&v)).unwrap_or(false)
+            })
+            .collect(),
+    }
+}
+
+/// A computed expression value.
+#[derive(Clone, Debug, PartialEq)]
+enum Value {
+    Term(Term),
+    Bool(bool),
+}
+
+fn eval_expr(expr: &Expression, b: &Bindings) -> Option<Value> {
+    match expr {
+        Expression::Var(v) => b.get(v).cloned().map(Value::Term),
+        Expression::Constant(t) => Some(Value::Term(t.clone())),
+        Expression::Bound(v) => Some(Value::Bool(b.contains_key(v))),
+        Expression::Not(inner) => {
+            let v = eval_expr(inner, b)?;
+            Some(Value::Bool(!effective_boolean(&v)?))
+        }
+        Expression::And(l, r) => {
+            let lv = eval_expr(l, b).and_then(|v| effective_boolean(&v));
+            let rv = eval_expr(r, b).and_then(|v| effective_boolean(&v));
+            match (lv, rv) {
+                (Some(false), _) | (_, Some(false)) => Some(Value::Bool(false)),
+                (Some(true), Some(true)) => Some(Value::Bool(true)),
+                _ => None,
+            }
+        }
+        Expression::Or(l, r) => {
+            let lv = eval_expr(l, b).and_then(|v| effective_boolean(&v));
+            let rv = eval_expr(r, b).and_then(|v| effective_boolean(&v));
+            match (lv, rv) {
+                (Some(true), _) | (_, Some(true)) => Some(Value::Bool(true)),
+                (Some(false), Some(false)) => Some(Value::Bool(false)),
+                _ => None,
+            }
+        }
+        Expression::Compare(op, l, r) => {
+            let lt = match eval_expr(l, b)? {
+                Value::Term(t) => t,
+                Value::Bool(x) => Term::Literal(provbench_rdf::Literal::boolean(x)),
+            };
+            let rt = match eval_expr(r, b)? {
+                Value::Term(t) => t,
+                Value::Bool(x) => Term::Literal(provbench_rdf::Literal::boolean(x)),
+            };
+            match op {
+                CompareOp::Eq => Some(Value::Bool(lt == rt)),
+                CompareOp::Ne => Some(Value::Bool(lt != rt)),
+                _ => {
+                    let ord = compare_terms(&lt, &rt)?;
+                    Some(Value::Bool(match op {
+                        CompareOp::Lt => ord.is_lt(),
+                        CompareOp::Le => ord.is_le(),
+                        CompareOp::Gt => ord.is_gt(),
+                        CompareOp::Ge => ord.is_ge(),
+                        CompareOp::Eq | CompareOp::Ne => unreachable!(),
+                    }))
+                }
+            }
+        }
+        Expression::Str(inner) => {
+            let v = eval_expr(inner, b)?;
+            let s = match v {
+                Value::Term(Term::Iri(i)) => i.as_str().to_owned(),
+                Value::Term(Term::Literal(l)) => l.lexical().to_owned(),
+                Value::Term(Term::Blank(bl)) => bl.label().to_owned(),
+                Value::Bool(x) => x.to_string(),
+            };
+            Some(Value::Term(Term::Literal(provbench_rdf::Literal::simple(s))))
+        }
+        Expression::Contains(h, n) | Expression::StrStarts(h, n) | Expression::StrEnds(h, n) => {
+            let hay = string_of(eval_expr(h, b)?)?;
+            let needle = string_of(eval_expr(n, b)?)?;
+            Some(Value::Bool(match expr {
+                Expression::Contains(..) => hay.contains(&needle),
+                Expression::StrStarts(..) => hay.starts_with(&needle),
+                _ => hay.ends_with(&needle),
+            }))
+        }
+        Expression::Lang(inner) => {
+            let Value::Term(Term::Literal(l)) = eval_expr(inner, b)? else {
+                return None;
+            };
+            Some(Value::Term(Term::Literal(provbench_rdf::Literal::simple(
+                l.language().unwrap_or(""),
+            ))))
+        }
+        Expression::Datatype(inner) => {
+            let Value::Term(Term::Literal(l)) = eval_expr(inner, b)? else {
+                return None;
+            };
+            Some(Value::Term(Term::Iri(l.datatype())))
+        }
+        Expression::IsIri(inner) => {
+            let v = eval_expr(inner, b)?;
+            Some(Value::Bool(matches!(v, Value::Term(Term::Iri(_)))))
+        }
+        Expression::IsLiteral(inner) => {
+            let v = eval_expr(inner, b)?;
+            Some(Value::Bool(matches!(v, Value::Term(Term::Literal(_)))))
+        }
+        Expression::IsBlank(inner) => {
+            let v = eval_expr(inner, b)?;
+            Some(Value::Bool(matches!(v, Value::Term(Term::Blank(_)))))
+        }
+        Expression::Regex(inner, pattern, ci) => {
+            let Value::Term(t) = eval_expr(inner, b)? else {
+                return None;
+            };
+            let text = match &t {
+                Term::Literal(l) => l.lexical().to_owned(),
+                Term::Iri(i) => i.as_str().to_owned(),
+                Term::Blank(_) => return None,
+            };
+            Some(Value::Bool(simple_regex_match(&text, pattern, *ci)))
+        }
+    }
+}
+
+/// The string form of a value (for the string builtins).
+fn string_of(v: Value) -> Option<String> {
+    match v {
+        Value::Term(Term::Literal(l)) => Some(l.lexical().to_owned()),
+        Value::Term(Term::Iri(i)) => Some(i.as_str().to_owned()),
+        Value::Term(Term::Blank(_)) => None,
+        Value::Bool(b) => Some(b.to_string()),
+    }
+}
+
+/// Anchored-substring matching: `^` and `$` anchors are honoured; any
+/// other metacharacters are treated literally (documented subset).
+fn simple_regex_match(text: &str, pattern: &str, case_insensitive: bool) -> bool {
+    let (text, pattern) = if case_insensitive {
+        (text.to_ascii_lowercase(), pattern.to_ascii_lowercase())
+    } else {
+        (text.to_owned(), pattern.to_owned())
+    };
+    let starts = pattern.starts_with('^');
+    let ends = pattern.ends_with('$') && pattern.len() > usize::from(starts);
+    let core = &pattern[usize::from(starts)..pattern.len() - usize::from(ends)];
+    match (starts, ends) {
+        (true, true) => text == core,
+        (true, false) => text.starts_with(core),
+        (false, true) => text.ends_with(core),
+        (false, false) => text.contains(core),
+    }
+}
+
+fn effective_boolean(v: &Value) -> Option<bool> {
+    match v {
+        Value::Bool(b) => Some(*b),
+        Value::Term(Term::Literal(l)) => {
+            if let Some(b) = l.as_boolean() {
+                return Some(b);
+            }
+            if let Some(i) = l.as_integer() {
+                return Some(i != 0);
+            }
+            Some(!l.lexical().is_empty())
+        }
+        Value::Term(_) => None,
+    }
+}
+
+/// SPARQL-ish ordering: numbers numerically, dateTimes chronologically,
+/// other literals lexically, IRIs by string; mixed kinds by kind.
+pub(crate) fn compare_terms(a: &Term, b: &Term) -> Option<std::cmp::Ordering> {
+    
+    match (a, b) {
+        (Term::Literal(la), Term::Literal(lb)) => {
+            if let (Some(x), Some(y)) = (la.as_integer(), lb.as_integer()) {
+                return Some(x.cmp(&y));
+            }
+            if let (Ok(x), Ok(y)) =
+                (la.lexical().parse::<f64>(), lb.lexical().parse::<f64>())
+            {
+                if is_numeric(la) && is_numeric(lb) {
+                    return x.partial_cmp(&y);
+                }
+            }
+            if let (Some(x), Some(y)) = (la.as_date_time(), lb.as_date_time()) {
+                return Some(x.cmp(&y));
+            }
+            Some(la.lexical().cmp(lb.lexical()))
+        }
+        (Term::Iri(x), Term::Iri(y)) => Some(x.as_str().cmp(y.as_str())),
+        (Term::Blank(x), Term::Blank(y)) => Some(x.label().cmp(y.label())),
+        // Mixed kinds: blank < IRI < literal (SPARQL's total order spirit).
+        _ => Some(kind_rank(a).cmp(&kind_rank(b))),
+    }
+}
+
+fn is_numeric(l: &provbench_rdf::Literal) -> bool {
+    matches!(
+        l.datatype().as_str(),
+        provbench_rdf::xsd::INTEGER
+            | provbench_rdf::xsd::DECIMAL
+            | provbench_rdf::xsd::DOUBLE
+            | provbench_rdf::xsd::LONG
+            | provbench_rdf::xsd::INT
+    )
+}
+
+fn kind_rank(t: &Term) -> u8 {
+    match t {
+        Term::Blank(_) => 0,
+        Term::Iri(_) => 1,
+        Term::Literal(_) => 2,
+    }
+}
+
+fn apply_aggregates(query: &Query, rows: Vec<Bindings>) -> Result<Vec<Bindings>, QueryError> {
+    // Group rows by the GROUP BY key.
+    let mut groups: BTreeMap<Vec<Option<Term>>, Vec<Bindings>> = BTreeMap::new();
+    for row in rows {
+        let key: Vec<Option<Term>> =
+            query.group_by.iter().map(|v| row.get(v).cloned()).collect();
+        groups.entry(key).or_default().push(row);
+    }
+    // With no GROUP BY but aggregates present, everything is one group —
+    // but zero input rows still produce one row of zero counts.
+    if groups.is_empty() && query.group_by.is_empty() {
+        groups.insert(Vec::new(), Vec::new());
+    }
+
+    let mut out = Vec::new();
+    for (key, members) in groups {
+        let mut row = Bindings::new();
+        for (var, term) in query.group_by.iter().zip(key) {
+            if let Some(t) = term {
+                row.insert(var.clone(), t);
+            }
+        }
+        for p in &query.projections {
+            let Projection::Aggregate { function, var, alias } = p else {
+                continue;
+            };
+            let value = match (function, var) {
+                (AggregateFn::Count, None) => {
+                    Term::Literal(provbench_rdf::Literal::integer(members.len() as i64))
+                }
+                (AggregateFn::Count, Some(v)) => Term::Literal(
+                    provbench_rdf::Literal::integer(
+                        members.iter().filter(|m| m.contains_key(v)).count() as i64,
+                    ),
+                ),
+                (AggregateFn::CountDistinct, Some(v)) => {
+                    let distinct: BTreeSet<&Term> =
+                        members.iter().filter_map(|m| m.get(v)).collect();
+                    Term::Literal(provbench_rdf::Literal::integer(distinct.len() as i64))
+                }
+                (AggregateFn::CountDistinct, None) => {
+                    return Err(QueryError::Eval("COUNT(DISTINCT *) unsupported".into()))
+                }
+                (AggregateFn::Min | AggregateFn::Max, Some(v)) => {
+                    let mut best: Option<Term> = None;
+                    for m in &members {
+                        if let Some(t) = m.get(v) {
+                            let better = match &best {
+                                None => true,
+                                Some(cur) => {
+                                    let ord = compare_terms(t, cur)
+                                        .unwrap_or(std::cmp::Ordering::Equal);
+                                    if *function == AggregateFn::Min {
+                                        ord.is_lt()
+                                    } else {
+                                        ord.is_gt()
+                                    }
+                                }
+                            };
+                            if better {
+                                best = Some(t.clone());
+                            }
+                        }
+                    }
+                    match best {
+                        Some(t) => t,
+                        None => continue, // no values: leave alias unbound
+                    }
+                }
+                (f, None) => {
+                    return Err(QueryError::Eval(format!("{f:?} needs a variable")))
+                }
+            };
+            row.insert(alias.clone(), value);
+        }
+        out.push(row);
+    }
+    Ok(out)
+}
+
+/// Execute a parsed query over a graph with default options.
+pub fn execute(graph: &Graph, query: &Query) -> Result<Solutions, QueryError> {
+    execute_with_options(graph, query, &EvalOptions::default())
+}
+
+/// Execute a parsed query over a graph with explicit options.
+pub fn execute_with_options(
+    graph: &Graph,
+    query: &Query,
+    opts: &EvalOptions,
+) -> Result<Solutions, QueryError> {
+    let mut rows = eval_pattern(graph, &query.pattern, vec![Bindings::new()], opts);
+
+    if query.has_aggregates() || !query.group_by.is_empty() {
+        rows = apply_aggregates(query, rows)?;
+    }
+
+    // Projection.
+    let variables: Vec<String> = if query.projections.is_empty() {
+        let mut vars: BTreeSet<String> = BTreeSet::new();
+        for r in &rows {
+            vars.extend(r.keys().cloned());
+        }
+        vars.into_iter().collect()
+    } else {
+        query
+            .projections
+            .iter()
+            .map(|p| match p {
+                Projection::Var(v) => v.clone(),
+                Projection::Aggregate { alias, .. } => alias.clone(),
+            })
+            .collect()
+    };
+    for row in &mut rows {
+        row.retain(|k, _| variables.contains(k));
+    }
+
+    if query.distinct {
+        let mut seen = BTreeSet::new();
+        rows.retain(|r| seen.insert(r.clone()));
+    }
+
+    if !query.order_by.is_empty() {
+        rows.sort_by(|a, b| {
+            for key in &query.order_by {
+                let (x, y) = (a.get(&key.var), b.get(&key.var));
+                let ord = match (x, y) {
+                    (None, None) => std::cmp::Ordering::Equal,
+                    (None, Some(_)) => std::cmp::Ordering::Less,
+                    (Some(_), None) => std::cmp::Ordering::Greater,
+                    (Some(x), Some(y)) => {
+                        compare_terms(x, y).unwrap_or(std::cmp::Ordering::Equal)
+                    }
+                };
+                let ord = if key.descending { ord.reverse() } else { ord };
+                if !ord.is_eq() {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+
+    let rows: Vec<Bindings> = rows
+        .into_iter()
+        .skip(query.offset)
+        .take(query.limit.unwrap_or(usize::MAX))
+        .collect();
+
+    if query.form == QueryForm::Ask {
+        // ASK: boolean result; keep the Solutions shape (one empty row =
+        // true, no rows = false) so callers share one code path.
+        return Ok(Solutions {
+            variables: Vec::new(),
+            rows: if rows.is_empty() { Vec::new() } else { vec![Bindings::new()] },
+        });
+    }
+
+    Ok(Solutions { variables, rows })
+}
+
+/// Execute an `ASK` (or any) query as a boolean: true iff any solution.
+pub fn execute_ask(graph: &Graph, query: &Query) -> Result<bool, QueryError> {
+    Ok(!execute(graph, query)?.is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::parser::parse_query;
+    use super::*;
+    use provbench_rdf::{parse_turtle, Literal};
+
+    fn graph() -> Graph {
+        let (g, _) = parse_turtle(
+            r#"
+            @prefix e: <http://e/> .
+            @prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+            e:r1 a e:Run ; e:start "2013-01-01T00:00:00Z"^^xsd:dateTime ; e:by e:alice ; e:size 5 .
+            e:r2 a e:Run ; e:start "2013-02-01T00:00:00Z"^^xsd:dateTime ; e:by e:bob ; e:size 9 .
+            e:r3 a e:Run ; e:by e:alice ; e:size 2 .
+            e:t1 a e:Template .
+            e:r1 e:of e:t1 . e:r2 e:of e:t1 .
+            "#,
+        )
+        .unwrap();
+        g
+    }
+
+    fn run(q: &str) -> Solutions {
+        let query = parse_query(q).unwrap();
+        execute(&graph(), &query).unwrap()
+    }
+
+    #[test]
+    fn basic_bgp() {
+        let s = run("PREFIX e: <http://e/> SELECT ?r WHERE { ?r a e:Run }");
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.variables, vec!["r"]);
+    }
+
+    #[test]
+    fn join_across_patterns() {
+        let s = run(
+            "PREFIX e: <http://e/> SELECT ?r ?who WHERE { ?r a e:Run . ?r e:by ?who . ?r e:of e:t1 }",
+        );
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn optional_keeps_unmatched() {
+        let s = run(
+            "PREFIX e: <http://e/> SELECT ?r ?start WHERE { ?r a e:Run OPTIONAL { ?r e:start ?start } } ORDER BY ?r",
+        );
+        assert_eq!(s.len(), 3);
+        assert!(s.get(0, "start").is_some()); // r1
+        assert!(s.get(2, "start").is_none()); // r3
+    }
+
+    #[test]
+    fn union_combines() {
+        let s = run(
+            "PREFIX e: <http://e/> SELECT ?x WHERE { { ?x a e:Run } UNION { ?x a e:Template } }",
+        );
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn filter_comparisons() {
+        let s = run("PREFIX e: <http://e/> SELECT ?r WHERE { ?r e:size ?s FILTER (?s > 4) }");
+        assert_eq!(s.len(), 2);
+        let s = run(
+            "PREFIX e: <http://e/> SELECT ?r WHERE { ?r e:size ?s FILTER (?s >= 2 && ?s != 9) }",
+        );
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn filter_on_datetime() {
+        let s = run(
+            r#"PREFIX e: <http://e/> PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>
+               SELECT ?r WHERE { ?r e:start ?t FILTER (?t < "2013-01-15T00:00:00Z"^^xsd:dateTime) }"#,
+        );
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn filter_bound_and_not() {
+        let s = run(
+            "PREFIX e: <http://e/> SELECT ?r WHERE { ?r a e:Run OPTIONAL { ?r e:start ?t } FILTER (!BOUND(?t)) }",
+        );
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn regex_and_str_filters() {
+        let s = run(
+            r#"PREFIX e: <http://e/> SELECT ?r WHERE { ?r a e:Run FILTER REGEX(STR(?r), "r[0-9]") }"#,
+        );
+        // Our regex subset is literal: "r[0-9]" matches nothing.
+        assert_eq!(s.len(), 0);
+        let s = run(
+            r#"PREFIX e: <http://e/> SELECT ?r WHERE { ?r a e:Run FILTER REGEX(STR(?r), "^http://e/r") }"#,
+        );
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn order_limit_offset() {
+        let s = run(
+            "PREFIX e: <http://e/> SELECT ?r ?s WHERE { ?r e:size ?s } ORDER BY DESC(?s) LIMIT 2",
+        );
+        assert_eq!(s.len(), 2);
+        assert_eq!(
+            s.get(0, "s").unwrap(),
+            &Term::Literal(Literal::integer(9))
+        );
+        let s2 = run(
+            "PREFIX e: <http://e/> SELECT ?r ?s WHERE { ?r e:size ?s } ORDER BY ?s OFFSET 1",
+        );
+        assert_eq!(s2.len(), 2);
+        assert_eq!(s2.get(0, "s").unwrap(), &Term::Literal(Literal::integer(5)));
+    }
+
+    #[test]
+    fn group_by_count() {
+        let s = run(
+            "PREFIX e: <http://e/> SELECT ?who (COUNT(?r) AS ?n) WHERE { ?r e:by ?who } GROUP BY ?who ORDER BY ?who",
+        );
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(0, "n").unwrap(), &Term::Literal(Literal::integer(2))); // alice
+        assert_eq!(s.get(1, "n").unwrap(), &Term::Literal(Literal::integer(1))); // bob
+    }
+
+    #[test]
+    fn count_star_on_empty_is_zero() {
+        let s = run(
+            "PREFIX e: <http://e/> SELECT (COUNT(*) AS ?n) WHERE { ?r a e:Nothing }",
+        );
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(0, "n").unwrap(), &Term::Literal(Literal::integer(0)));
+    }
+
+    #[test]
+    fn min_max_aggregates() {
+        let s = run(
+            "PREFIX e: <http://e/> SELECT (MIN(?s) AS ?lo) (MAX(?s) AS ?hi) WHERE { ?r e:size ?s }",
+        );
+        assert_eq!(s.get(0, "lo").unwrap(), &Term::Literal(Literal::integer(2)));
+        assert_eq!(s.get(0, "hi").unwrap(), &Term::Literal(Literal::integer(9)));
+    }
+
+    #[test]
+    fn distinct_dedups() {
+        let s = run("PREFIX e: <http://e/> SELECT DISTINCT ?who WHERE { ?r e:by ?who }");
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn repeated_variable_join_consistency() {
+        // ?x e:of ?x never matches (no self loops).
+        let s = run("PREFIX e: <http://e/> SELECT ?x WHERE { ?x e:of ?x }");
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn select_star_projects_all_vars() {
+        let s = run("PREFIX e: <http://e/> SELECT * WHERE { ?r e:by ?who }");
+        assert_eq!(s.variables, vec!["r", "who"]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn ground_triple_check() {
+        let s = run("PREFIX e: <http://e/> SELECT (COUNT(*) AS ?n) WHERE { e:r1 e:by e:alice }");
+        assert_eq!(s.get(0, "n").unwrap(), &Term::Literal(Literal::integer(1)));
+    }
+
+    #[test]
+    fn explain_shows_planned_order() {
+        let q = parse_query(
+            "PREFIX e: <http://e/> SELECT ?r WHERE { ?x ?p ?o . ?r a e:Run } ORDER BY ?r LIMIT 2",
+        )
+        .unwrap();
+        let on = explain(&q, &EvalOptions { reorder_patterns: true });
+        // The typed pattern must come first under the planner.
+        let typed_pos = on.find("?r <http").unwrap();
+        let wildcard_pos = on.find("?x ?p ?o").unwrap();
+        assert!(typed_pos < wildcard_pos, "{on}");
+        assert!(on.contains("planner on"));
+        assert!(on.contains("OrderBy"));
+        assert!(on.contains("Limit 2"));
+        let off = explain(&q, &EvalOptions { reorder_patterns: false });
+        let typed_pos = off.find("?r <http").unwrap();
+        let wildcard_pos = off.find("?x ?p ?o").unwrap();
+        assert!(wildcard_pos < typed_pos, "{off}");
+        // Composite patterns render their algebra nodes.
+        let q2 = parse_query(
+            "SELECT ?x WHERE { { ?x ?p ?o } UNION { ?x ?q ?z } OPTIONAL { ?x ?r ?w } FILTER (1=1) }",
+        )
+        .unwrap();
+        let plan = explain(&q2, &EvalOptions::default());
+        for node in ["Join", "Union", "LeftJoin (OPTIONAL)", "Filter"] {
+            assert!(plan.contains(node), "missing {node} in {plan}");
+        }
+    }
+
+    #[test]
+    fn ask_queries() {
+        let g = graph();
+        let q = parse_query("PREFIX e: <http://e/> ASK { ?r a e:Run }").unwrap();
+        assert_eq!(q.form, QueryForm::Ask);
+        assert!(execute_ask(&g, &q).unwrap());
+        let s = execute(&g, &q).unwrap();
+        assert_eq!(s.len(), 1);
+        assert!(s.variables.is_empty());
+        let q = parse_query("PREFIX e: <http://e/> ASK { ?r a e:Nothing }").unwrap();
+        assert!(!execute_ask(&g, &q).unwrap());
+        // WHERE keyword also allowed.
+        assert!(parse_query("ASK WHERE { ?s ?p ?o }").is_ok());
+        // No modifiers after ASK.
+        assert!(parse_query("ASK { ?s ?p ?o } LIMIT 3").is_err());
+    }
+
+    #[test]
+    fn string_builtins() {
+        let n = |q: &str| run(q).len();
+        assert_eq!(
+            n("PREFIX e: <http://e/> SELECT ?r WHERE { ?r a e:Run FILTER CONTAINS(STR(?r), \"r2\") }"),
+            1
+        );
+        assert_eq!(
+            n("PREFIX e: <http://e/> SELECT ?r WHERE { ?r a e:Run FILTER STRSTARTS(STR(?r), \"http://e/\") }"),
+            3
+        );
+        assert_eq!(
+            n("PREFIX e: <http://e/> SELECT ?r WHERE { ?r a e:Run FILTER STRENDS(STR(?r), \"3\") }"),
+            1
+        );
+    }
+
+    #[test]
+    fn term_introspection_builtins() {
+        let g = graph();
+        let _ = &g;
+        // isIRI/isLiteral partition objects.
+        let iris = run("PREFIX e: <http://e/> SELECT ?o WHERE { ?s e:by ?o FILTER ISIRI(?o) }");
+        assert_eq!(iris.len(), 3);
+        let lits =
+            run("PREFIX e: <http://e/> SELECT ?o WHERE { ?s e:size ?o FILTER ISLITERAL(?o) }");
+        assert_eq!(lits.len(), 3);
+        let blanks = run("SELECT ?o WHERE { ?s ?p ?o FILTER ISBLANK(?o) }");
+        assert!(blanks.is_empty());
+        // DATATYPE of the sizes is xsd:integer.
+        let typed = run(
+            "PREFIX e: <http://e/> PREFIX xsd: <http://www.w3.org/2001/XMLSchema#> \
+             SELECT ?o WHERE { ?s e:size ?o FILTER (DATATYPE(?o) = xsd:integer) }",
+        );
+        assert_eq!(typed.len(), 3);
+        // LANG of a plain literal is "".
+        let lang = run(
+            "PREFIX e: <http://e/> SELECT ?s WHERE { ?s e:size ?o FILTER (LANG(?o) = \"\") }",
+        );
+        assert_eq!(lang.len(), 3);
+    }
+
+    #[test]
+    fn planner_reordering_is_semantically_transparent() {
+        // A deliberately bad written order: unbound wildcard first.
+        let q = parse_query(
+            "PREFIX e: <http://e/> SELECT ?r ?who WHERE { ?r ?p ?x . ?r e:by ?who . ?r a e:Run }",
+        )
+        .unwrap();
+        let with = execute_with_options(&graph(), &q, &EvalOptions { reorder_patterns: true })
+            .unwrap();
+        let without =
+            execute_with_options(&graph(), &q, &EvalOptions { reorder_patterns: false })
+                .unwrap();
+        let norm = |s: &Solutions| {
+            let mut v: Vec<String> = s.rows.iter().map(|r| format!("{r:?}")).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(norm(&with), norm(&without));
+    }
+
+    #[test]
+    fn planner_prefers_bound_patterns() {
+        use super::super::ast::{TriplePattern, VarOrIri, VarOrTerm};
+        let wildcard = TriplePattern {
+            subject: VarOrTerm::Var("s".into()),
+            predicate: VarOrIri::Var("p".into()),
+            object: VarOrTerm::Var("o".into()),
+        };
+        let typed = TriplePattern {
+            subject: VarOrTerm::Var("s".into()),
+            predicate: VarOrIri::Iri(iri_of("http://e/q")),
+            object: VarOrTerm::Term(Term::Iri(iri_of("http://e/T"))),
+        };
+        let patterns = [wildcard.clone(), typed.clone()];
+        let ordered = reorder_bgp(&patterns);
+        assert_eq!(ordered[0], &typed);
+        assert_eq!(ordered[1], &wildcard);
+    }
+
+    fn iri_of(s: &str) -> provbench_rdf::Iri {
+        provbench_rdf::Iri::new(s).unwrap()
+    }
+
+    #[test]
+    fn count_distinct() {
+        let s = run(
+            "PREFIX e: <http://e/> SELECT (COUNT(DISTINCT ?who) AS ?n) WHERE { ?r e:by ?who }",
+        );
+        assert_eq!(s.get(0, "n").unwrap(), &Term::Literal(Literal::integer(2)));
+    }
+}

@@ -1,0 +1,432 @@
+//! Tokenizer for the SPARQL subset.
+
+use std::fmt;
+
+/// A lexical error with position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub column: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.column, self.message)
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Tok {
+    Keyword(String), // uppercased
+    Var(String),     // without '?'
+    IriRef(String),
+    PName(String, String),
+    String(String),
+    Integer(i64),
+    Decimal(String),
+    A,
+    Star,
+    Dot,
+    Semicolon,
+    Comma,
+    OpenBrace,
+    CloseBrace,
+    OpenParen,
+    CloseParen,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    AndAnd,
+    OrOr,
+    Bang,
+    DoubleCaret,
+    Eof,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct SpannedTok {
+    pub tok: Tok,
+    pub line: usize,
+    pub column: usize,
+}
+
+const KEYWORDS: &[&str] = &[
+    "SELECT", "WHERE", "PREFIX", "FILTER", "OPTIONAL", "UNION", "ORDER", "BY", "ASC",
+    "DESC", "LIMIT", "OFFSET", "DISTINCT", "GROUP", "COUNT", "MIN", "MAX", "AS",
+    "BOUND", "REGEX", "STR", "TRUE", "FALSE", "ASK", "CONTAINS", "STRSTARTS",
+    "STRENDS", "LANG", "DATATYPE", "ISIRI", "ISLITERAL", "ISBLANK",
+];
+
+pub(crate) fn tokenize(input: &str) -> Result<Vec<SpannedTok>, LexError> {
+    let chars: Vec<char> = input.chars().collect();
+    let mut out = Vec::new();
+    let (mut i, mut line, mut col) = (0usize, 1usize, 1usize);
+    let err = |line: usize, col: usize, m: String| LexError { line, column: col, message: m };
+
+    macro_rules! push {
+        ($tok:expr, $l:expr, $c:expr) => {
+            out.push(SpannedTok { tok: $tok, line: $l, column: $c })
+        };
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let (tl, tc) = (line, col);
+        let adv = |n: usize, i: &mut usize, line: &mut usize, col: &mut usize| {
+            for _ in 0..n {
+                if chars[*i] == '\n' {
+                    *line += 1;
+                    *col = 1;
+                } else {
+                    *col += 1;
+                }
+                *i += 1;
+            }
+        };
+        match c {
+            c if c.is_whitespace() => adv(1, &mut i, &mut line, &mut col),
+            '#' => {
+                while i < chars.len() && chars[i] != '\n' {
+                    adv(1, &mut i, &mut line, &mut col);
+                }
+            }
+            '?' | '$' => {
+                adv(1, &mut i, &mut line, &mut col);
+                let start = i;
+                while i < chars.len()
+                    && (chars[i].is_ascii_alphanumeric() || chars[i] == '_')
+                {
+                    adv(1, &mut i, &mut line, &mut col);
+                }
+                if i == start {
+                    return Err(err(tl, tc, "empty variable name".into()));
+                }
+                push!(Tok::Var(chars[start..i].iter().collect()), tl, tc);
+            }
+            '<' => {
+                // IRIREF or comparison. An IRIREF has no whitespace before '>'.
+                let close = chars[i + 1..]
+                    .iter()
+                    .position(|&c| c == '>' || c.is_whitespace() || c == '<');
+                match close {
+                    Some(n) if chars[i + 1 + n] == '>' => {
+                        let iri: String = chars[i + 1..i + 1 + n].iter().collect();
+                        adv(n + 2, &mut i, &mut line, &mut col);
+                        push!(Tok::IriRef(iri), tl, tc);
+                    }
+                    _ => {
+                        adv(1, &mut i, &mut line, &mut col);
+                        if i < chars.len() && chars[i] == '=' {
+                            adv(1, &mut i, &mut line, &mut col);
+                            push!(Tok::Le, tl, tc);
+                        } else {
+                            push!(Tok::Lt, tl, tc);
+                        }
+                    }
+                }
+            }
+            '>' => {
+                adv(1, &mut i, &mut line, &mut col);
+                if i < chars.len() && chars[i] == '=' {
+                    adv(1, &mut i, &mut line, &mut col);
+                    push!(Tok::Ge, tl, tc);
+                } else {
+                    push!(Tok::Gt, tl, tc);
+                }
+            }
+            '"' | '\'' => {
+                let quote = c;
+                adv(1, &mut i, &mut line, &mut col);
+                let mut s = String::new();
+                loop {
+                    if i >= chars.len() {
+                        return Err(err(tl, tc, "unterminated string".into()));
+                    }
+                    let ch = chars[i];
+                    adv(1, &mut i, &mut line, &mut col);
+                    if ch == quote {
+                        break;
+                    }
+                    if ch == '\\' {
+                        if i >= chars.len() {
+                            return Err(err(tl, tc, "truncated escape".into()));
+                        }
+                        let e = chars[i];
+                        adv(1, &mut i, &mut line, &mut col);
+                        s.push(match e {
+                            'n' => '\n',
+                            't' => '\t',
+                            'r' => '\r',
+                            '"' => '"',
+                            '\'' => '\'',
+                            '\\' => '\\',
+                            other => {
+                                return Err(err(tl, tc, format!("bad escape \\{other}")))
+                            }
+                        });
+                    } else {
+                        s.push(ch);
+                    }
+                }
+                push!(Tok::String(s), tl, tc);
+            }
+            '0'..='9' | '-' | '+' => {
+                let start = i;
+                if c == '-' || c == '+' {
+                    adv(1, &mut i, &mut line, &mut col);
+                }
+                let mut saw_dot = false;
+                while i < chars.len()
+                    && (chars[i].is_ascii_digit() || (chars[i] == '.' && !saw_dot))
+                {
+                    if chars[i] == '.' {
+                        // A trailing dot is the statement terminator.
+                        if !chars.get(i + 1).is_some_and(|c| c.is_ascii_digit()) {
+                            break;
+                        }
+                        saw_dot = true;
+                    }
+                    adv(1, &mut i, &mut line, &mut col);
+                }
+                let text: String = chars[start..i].iter().collect();
+                if text == "-" || text == "+" || text.is_empty() {
+                    return Err(err(tl, tc, "malformed number".into()));
+                }
+                if saw_dot {
+                    push!(Tok::Decimal(text), tl, tc);
+                } else {
+                    let v = text
+                        .parse()
+                        .map_err(|_| err(tl, tc, format!("bad integer {text}")))?;
+                    push!(Tok::Integer(v), tl, tc);
+                }
+            }
+            '*' => {
+                adv(1, &mut i, &mut line, &mut col);
+                push!(Tok::Star, tl, tc);
+            }
+            '.' => {
+                adv(1, &mut i, &mut line, &mut col);
+                push!(Tok::Dot, tl, tc);
+            }
+            ';' => {
+                adv(1, &mut i, &mut line, &mut col);
+                push!(Tok::Semicolon, tl, tc);
+            }
+            ',' => {
+                adv(1, &mut i, &mut line, &mut col);
+                push!(Tok::Comma, tl, tc);
+            }
+            '{' => {
+                adv(1, &mut i, &mut line, &mut col);
+                push!(Tok::OpenBrace, tl, tc);
+            }
+            '}' => {
+                adv(1, &mut i, &mut line, &mut col);
+                push!(Tok::CloseBrace, tl, tc);
+            }
+            '(' => {
+                adv(1, &mut i, &mut line, &mut col);
+                push!(Tok::OpenParen, tl, tc);
+            }
+            ')' => {
+                adv(1, &mut i, &mut line, &mut col);
+                push!(Tok::CloseParen, tl, tc);
+            }
+            '=' => {
+                adv(1, &mut i, &mut line, &mut col);
+                push!(Tok::Eq, tl, tc);
+            }
+            '!' => {
+                adv(1, &mut i, &mut line, &mut col);
+                if i < chars.len() && chars[i] == '=' {
+                    adv(1, &mut i, &mut line, &mut col);
+                    push!(Tok::Ne, tl, tc);
+                } else {
+                    push!(Tok::Bang, tl, tc);
+                }
+            }
+            '&' => {
+                adv(1, &mut i, &mut line, &mut col);
+                if i < chars.len() && chars[i] == '&' {
+                    adv(1, &mut i, &mut line, &mut col);
+                    push!(Tok::AndAnd, tl, tc);
+                } else {
+                    return Err(err(tl, tc, "expected `&&`".into()));
+                }
+            }
+            '|' => {
+                adv(1, &mut i, &mut line, &mut col);
+                if i < chars.len() && chars[i] == '|' {
+                    adv(1, &mut i, &mut line, &mut col);
+                    push!(Tok::OrOr, tl, tc);
+                } else {
+                    return Err(err(tl, tc, "expected `||`".into()));
+                }
+            }
+            '^' => {
+                adv(1, &mut i, &mut line, &mut col);
+                if i < chars.len() && chars[i] == '^' {
+                    adv(1, &mut i, &mut line, &mut col);
+                    push!(Tok::DoubleCaret, tl, tc);
+                } else {
+                    return Err(err(tl, tc, "expected `^^`".into()));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len()
+                    && (chars[i].is_ascii_alphanumeric() || matches!(chars[i], '_' | '-'))
+                {
+                    adv(1, &mut i, &mut line, &mut col);
+                }
+                let word: String = chars[start..i].iter().collect();
+                if i < chars.len() && chars[i] == ':' {
+                    adv(1, &mut i, &mut line, &mut col);
+                    let lstart = i;
+                    while i < chars.len()
+                        && (chars[i].is_ascii_alphanumeric()
+                            || matches!(chars[i], '_' | '-')
+                            || (chars[i] == '.'
+                                && chars
+                                    .get(i + 1)
+                                    .is_some_and(|c| c.is_ascii_alphanumeric())))
+                    {
+                        adv(1, &mut i, &mut line, &mut col);
+                    }
+                    push!(
+                        Tok::PName(word, chars[lstart..i].iter().collect()),
+                        tl,
+                        tc
+                    );
+                } else if word == "a" {
+                    push!(Tok::A, tl, tc);
+                } else {
+                    let upper = word.to_ascii_uppercase();
+                    if KEYWORDS.contains(&upper.as_str()) {
+                        push!(Tok::Keyword(upper), tl, tc);
+                    } else {
+                        return Err(err(tl, tc, format!("unexpected word {word:?}")));
+                    }
+                }
+            }
+            ':' => {
+                // Default-prefix pname `:local`.
+                adv(1, &mut i, &mut line, &mut col);
+                let lstart = i;
+                while i < chars.len()
+                    && (chars[i].is_ascii_alphanumeric() || matches!(chars[i], '_' | '-'))
+                {
+                    adv(1, &mut i, &mut line, &mut col);
+                }
+                push!(
+                    Tok::PName(String::new(), chars[lstart..i].iter().collect()),
+                    tl,
+                    tc
+                );
+            }
+            other => return Err(err(tl, tc, format!("unexpected character {other:?}"))),
+        }
+    }
+    out.push(SpannedTok { tok: Tok::Eof, line, column: col });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<Tok> {
+        tokenize(s).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn basic_query_tokens() {
+        let ts = toks("SELECT ?r WHERE { ?r a prov:Activity . }");
+        assert_eq!(
+            ts,
+            vec![
+                Tok::Keyword("SELECT".into()),
+                Tok::Var("r".into()),
+                Tok::Keyword("WHERE".into()),
+                Tok::OpenBrace,
+                Tok::Var("r".into()),
+                Tok::A,
+                Tok::PName("prov".into(), "Activity".into()),
+                Tok::Dot,
+                Tok::CloseBrace,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comparisons_and_iris() {
+        let ts = toks("<http://e/x> < <= > >= = != && || !");
+        assert_eq!(
+            ts,
+            vec![
+                Tok::IriRef("http://e/x".into()),
+                Tok::Lt,
+                Tok::Le,
+                Tok::Gt,
+                Tok::Ge,
+                Tok::Eq,
+                Tok::Ne,
+                Tok::AndAnd,
+                Tok::OrOr,
+                Tok::Bang,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_numbers_and_keywords_case() {
+        let ts = toks("filter(\"a\\\"b\" 42 -7 3.5) order by desc");
+        assert_eq!(
+            ts,
+            vec![
+                Tok::Keyword("FILTER".into()),
+                Tok::OpenParen,
+                Tok::String("a\"b".into()),
+                Tok::Integer(42),
+                Tok::Integer(-7),
+                Tok::Decimal("3.5".into()),
+                Tok::CloseParen,
+                Tok::Keyword("ORDER".into()),
+                Tok::Keyword("BY".into()),
+                Tok::Keyword("DESC".into()),
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn trailing_dot_is_not_a_decimal() {
+        let ts = toks("?x prov:used 5 .");
+        assert!(ts.contains(&Tok::Integer(5)));
+        assert!(ts.contains(&Tok::Dot));
+    }
+
+    #[test]
+    fn errors_have_positions() {
+        let e = tokenize("SELECT @").unwrap_err();
+        assert_eq!((e.line, e.column), (1, 8));
+        assert!(tokenize("\"open").is_err());
+        assert!(tokenize("nonkeyword ?x").is_err());
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let ts = toks("SELECT # comment\n?x");
+        assert_eq!(ts.len(), 3);
+    }
+}

@@ -1,0 +1,6 @@
+//! The SPARQL-subset engine: lexer, AST, parser and evaluator.
+
+pub mod ast;
+pub mod eval;
+mod lexer;
+pub mod parser;

@@ -1,0 +1,736 @@
+//! Recursive-descent parser for the SPARQL subset.
+
+use super::ast::*;
+use super::lexer::{tokenize, LexError, SpannedTok, Tok};
+use provbench_rdf::{Iri, Literal, PrefixMap, Term};
+use std::fmt;
+
+/// A parse error with position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryParseError {
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub column: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for QueryParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.column, self.message)
+    }
+}
+
+impl std::error::Error for QueryParseError {}
+
+impl From<LexError> for QueryParseError {
+    fn from(e: LexError) -> Self {
+        QueryParseError { line: e.line, column: e.column, message: e.message }
+    }
+}
+
+struct Parser {
+    toks: Vec<SpannedTok>,
+    pos: usize,
+    prefixes: PrefixMap,
+}
+
+type PResult<T> = Result<T, QueryParseError>;
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> PResult<T> {
+        let t = &self.toks[self.pos];
+        Err(QueryParseError { line: t.line, column: t.column, message: message.into() })
+    }
+
+    fn expect(&mut self, tok: &Tok, what: &str) -> PResult<()> {
+        if self.peek() == tok {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected {what}, found {:?}", self.peek()))
+        }
+    }
+
+    fn keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Tok::Keyword(k) if k == kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> PResult<()> {
+        if self.keyword(kw) {
+            Ok(())
+        } else {
+            self.err(format!("expected {kw}, found {:?}", self.peek()))
+        }
+    }
+
+    fn expand(&self, prefix: &str, local: &str) -> PResult<Iri> {
+        match self.prefixes.get(prefix) {
+            Some(ns) => Iri::new(format!("{ns}{local}"))
+                .map_err(|_| QueryParseError {
+                    line: self.toks[self.pos].line,
+                    column: self.toks[self.pos].column,
+                    message: format!("CURIE {prefix}:{local} expands to an invalid IRI"),
+                }),
+            None => {
+                let t = &self.toks[self.pos];
+                Err(QueryParseError {
+                    line: t.line,
+                    column: t.column,
+                    message: format!("unbound prefix {prefix:?}"),
+                })
+            }
+        }
+    }
+
+    fn parse_query(&mut self) -> PResult<Query> {
+        // Prologue.
+        while self.keyword("PREFIX") {
+            let (p, l) = match self.bump() {
+                Tok::PName(p, l) => (p, l),
+                other => return self.err(format!("expected prefix name, found {other:?}")),
+            };
+            if !l.is_empty() {
+                return self.err("prefix declaration must end with a bare `:`");
+            }
+            let iri = match self.bump() {
+                Tok::IriRef(i) => i,
+                other => return self.err(format!("expected IRI, found {other:?}")),
+            };
+            self.prefixes.insert(p, iri);
+        }
+
+        // ASK { pattern } — no projections or solution modifiers.
+        if self.keyword("ASK") {
+            let _ = self.keyword("WHERE");
+            let pattern = self.parse_group_graph_pattern()?;
+            if !matches!(self.peek(), Tok::Eof) {
+                return self.err(format!("unexpected trailing {:?}", self.peek()));
+            }
+            return Ok(Query {
+                form: QueryForm::Ask,
+                projections: Vec::new(),
+                distinct: false,
+                pattern,
+                group_by: Vec::new(),
+                order_by: Vec::new(),
+                limit: Some(1),
+                offset: 0,
+            });
+        }
+
+        self.expect_keyword("SELECT")?;
+        let distinct = self.keyword("DISTINCT");
+        let mut projections = Vec::new();
+        if matches!(self.peek(), Tok::Star) {
+            self.bump();
+        } else {
+            loop {
+                match self.peek().clone() {
+                    Tok::Var(v) => {
+                        self.bump();
+                        projections.push(Projection::Var(v));
+                    }
+                    Tok::OpenParen => {
+                        self.bump();
+                        projections.push(self.parse_aggregate_projection()?);
+                    }
+                    _ => break,
+                }
+            }
+            if projections.is_empty() {
+                return self.err("SELECT needs at least one projection or `*`");
+            }
+        }
+
+        // WHERE is optional in SPARQL.
+        let _ = self.keyword("WHERE");
+        let pattern = self.parse_group_graph_pattern()?;
+
+        let mut group_by = Vec::new();
+        if self.keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            while let Tok::Var(v) = self.peek().clone() {
+                self.bump();
+                group_by.push(v);
+            }
+            if group_by.is_empty() {
+                return self.err("GROUP BY needs at least one variable");
+            }
+        }
+
+        let mut order_by = Vec::new();
+        if self.keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            loop {
+                match self.peek().clone() {
+                    Tok::Var(v) => {
+                        self.bump();
+                        order_by.push(OrderKey { var: v, descending: false });
+                    }
+                    Tok::Keyword(k) if k == "ASC" || k == "DESC" => {
+                        self.bump();
+                        self.expect(&Tok::OpenParen, "`(`")?;
+                        let v = match self.bump() {
+                            Tok::Var(v) => v,
+                            other => {
+                                return self.err(format!("expected variable, found {other:?}"))
+                            }
+                        };
+                        self.expect(&Tok::CloseParen, "`)`")?;
+                        order_by.push(OrderKey { var: v, descending: k == "DESC" });
+                    }
+                    _ => break,
+                }
+            }
+            if order_by.is_empty() {
+                return self.err("ORDER BY needs at least one key");
+            }
+        }
+
+        let mut limit = None;
+        let mut offset = 0usize;
+        loop {
+            if self.keyword("LIMIT") {
+                match self.bump() {
+                    Tok::Integer(n) if n >= 0 => limit = Some(n as usize),
+                    other => return self.err(format!("expected limit count, found {other:?}")),
+                }
+            } else if self.keyword("OFFSET") {
+                match self.bump() {
+                    Tok::Integer(n) if n >= 0 => offset = n as usize,
+                    other => return self.err(format!("expected offset, found {other:?}")),
+                }
+            } else {
+                break;
+            }
+        }
+
+        if !matches!(self.peek(), Tok::Eof) {
+            return self.err(format!("unexpected trailing {:?}", self.peek()));
+        }
+
+        Ok(Query {
+            form: QueryForm::Select,
+            projections,
+            distinct,
+            pattern,
+            group_by,
+            order_by,
+            limit,
+            offset,
+        })
+    }
+
+    /// After the opening `(` of `(COUNT(?x) AS ?alias)`.
+    fn parse_aggregate_projection(&mut self) -> PResult<Projection> {
+        let func_kw = match self.bump() {
+            Tok::Keyword(k) if matches!(k.as_str(), "COUNT" | "MIN" | "MAX") => k,
+            other => return self.err(format!("expected aggregate function, found {other:?}")),
+        };
+        self.expect(&Tok::OpenParen, "`(`")?;
+        let (function, var) = match func_kw.as_str() {
+            "COUNT" => {
+                if matches!(self.peek(), Tok::Star) {
+                    self.bump();
+                    (AggregateFn::Count, None)
+                } else {
+                    let distinct = self.keyword("DISTINCT");
+                    let v = match self.bump() {
+                        Tok::Var(v) => v,
+                        other => {
+                            return self.err(format!("expected variable, found {other:?}"))
+                        }
+                    };
+                    (
+                        if distinct { AggregateFn::CountDistinct } else { AggregateFn::Count },
+                        Some(v),
+                    )
+                }
+            }
+            "MIN" | "MAX" => {
+                let v = match self.bump() {
+                    Tok::Var(v) => v,
+                    other => return self.err(format!("expected variable, found {other:?}")),
+                };
+                (
+                    if func_kw == "MIN" { AggregateFn::Min } else { AggregateFn::Max },
+                    Some(v),
+                )
+            }
+            _ => unreachable!(),
+        };
+        self.expect(&Tok::CloseParen, "`)`")?;
+        self.expect_keyword("AS")?;
+        let alias = match self.bump() {
+            Tok::Var(v) => v,
+            other => return self.err(format!("expected alias variable, found {other:?}")),
+        };
+        self.expect(&Tok::CloseParen, "`)`")?;
+        Ok(Projection::Aggregate { function, var, alias })
+    }
+
+    fn parse_group_graph_pattern(&mut self) -> PResult<GraphPattern> {
+        self.expect(&Tok::OpenBrace, "`{`")?;
+        let mut elements: Vec<GraphPattern> = Vec::new();
+        loop {
+            match self.peek().clone() {
+                Tok::CloseBrace => {
+                    self.bump();
+                    break;
+                }
+                Tok::Eof => return self.err("unterminated group pattern"),
+                Tok::Keyword(k) if k == "OPTIONAL" => {
+                    self.bump();
+                    let inner = self.parse_group_graph_pattern()?;
+                    elements.push(GraphPattern::Optional(Box::new(inner)));
+                }
+                Tok::Keyword(k) if k == "FILTER" => {
+                    self.bump();
+                    let e = self.parse_constraint()?;
+                    elements.push(GraphPattern::Filter(e));
+                }
+                Tok::OpenBrace => {
+                    let mut left = self.parse_group_graph_pattern()?;
+                    while self.keyword("UNION") {
+                        let right = self.parse_group_graph_pattern()?;
+                        left = GraphPattern::Union(Box::new(left), Box::new(right));
+                    }
+                    elements.push(left);
+                }
+                Tok::Dot => {
+                    self.bump();
+                }
+                _ => {
+                    let triples = self.parse_triples_block()?;
+                    elements.push(GraphPattern::Basic(triples));
+                }
+            }
+        }
+        Ok(if elements.len() == 1 {
+            elements.pop().expect("len checked")
+        } else {
+            GraphPattern::Group(elements)
+        })
+    }
+
+    fn parse_triples_block(&mut self) -> PResult<Vec<TriplePattern>> {
+        let mut out = Vec::new();
+        loop {
+            let subject = self.parse_var_or_term()?;
+            loop {
+                let predicate = self.parse_var_or_iri()?;
+                loop {
+                    let object = self.parse_var_or_term()?;
+                    out.push(TriplePattern {
+                        subject: subject.clone(),
+                        predicate: predicate.clone(),
+                        object,
+                    });
+                    if matches!(self.peek(), Tok::Comma) {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                if matches!(self.peek(), Tok::Semicolon) {
+                    self.bump();
+                    // A dangling `;` before `.`/`}` is tolerated.
+                    if matches!(self.peek(), Tok::Dot | Tok::CloseBrace) {
+                        break;
+                    }
+                } else {
+                    break;
+                }
+            }
+            if matches!(self.peek(), Tok::Dot) {
+                self.bump();
+                // Another triples row may follow unless the block ends.
+                if matches!(
+                    self.peek(),
+                    Tok::CloseBrace | Tok::Eof | Tok::Keyword(_) | Tok::OpenBrace
+                ) {
+                    break;
+                }
+            } else {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    fn parse_var_or_term(&mut self) -> PResult<VarOrTerm> {
+        match self.bump() {
+            Tok::Var(v) => Ok(VarOrTerm::Var(v)),
+            Tok::IriRef(i) => Ok(VarOrTerm::Term(Term::Iri(self.iri_from(&i)?))),
+            Tok::PName(p, l) => Ok(VarOrTerm::Term(Term::Iri(self.expand(&p, &l)?))),
+            Tok::String(s) => {
+                // Optional ^^datatype.
+                if matches!(self.peek(), Tok::DoubleCaret) {
+                    self.bump();
+                    let dt = match self.bump() {
+                        Tok::IriRef(i) => self.iri_from(&i)?,
+                        Tok::PName(p, l) => self.expand(&p, &l)?,
+                        other => {
+                            return self.err(format!("expected datatype, found {other:?}"))
+                        }
+                    };
+                    Ok(VarOrTerm::Term(Term::Literal(Literal::typed(s, dt))))
+                } else {
+                    Ok(VarOrTerm::Term(Term::Literal(Literal::simple(s))))
+                }
+            }
+            Tok::Integer(n) => Ok(VarOrTerm::Term(Term::Literal(Literal::integer(n)))),
+            Tok::Decimal(d) => Ok(VarOrTerm::Term(Term::Literal(Literal::typed(
+                d,
+                Iri::new_unchecked(provbench_rdf::xsd::DECIMAL),
+            )))),
+            Tok::Keyword(k) if k == "TRUE" => {
+                Ok(VarOrTerm::Term(Term::Literal(Literal::boolean(true))))
+            }
+            Tok::Keyword(k) if k == "FALSE" => {
+                Ok(VarOrTerm::Term(Term::Literal(Literal::boolean(false))))
+            }
+            other => self.err(format!("expected term or variable, found {other:?}")),
+        }
+    }
+
+    fn iri_from(&self, raw: &str) -> PResult<Iri> {
+        Iri::new(raw).map_err(|_| {
+            let t = &self.toks[self.pos];
+            QueryParseError {
+                line: t.line,
+                column: t.column,
+                message: format!("invalid IRI <{raw}>"),
+            }
+        })
+    }
+
+    fn parse_var_or_iri(&mut self) -> PResult<VarOrIri> {
+        match self.bump() {
+            Tok::Var(v) => Ok(VarOrIri::Var(v)),
+            Tok::A => Ok(VarOrIri::Iri(Iri::new_unchecked(
+                "http://www.w3.org/1999/02/22-rdf-syntax-ns#type",
+            ))),
+            Tok::IriRef(i) => Ok(VarOrIri::Iri(self.iri_from(&i)?)),
+            Tok::PName(p, l) => Ok(VarOrIri::Iri(self.expand(&p, &l)?)),
+            other => self.err(format!("expected predicate, found {other:?}")),
+        }
+    }
+
+    fn parse_constraint(&mut self) -> PResult<Expression> {
+        // FILTER (expr) or FILTER builtin(...).
+        if matches!(self.peek(), Tok::OpenParen) {
+            self.bump();
+            let e = self.parse_expression()?;
+            self.expect(&Tok::CloseParen, "`)`")?;
+            Ok(e)
+        } else {
+            self.parse_primary_expression()
+        }
+    }
+
+    fn parse_expression(&mut self) -> PResult<Expression> {
+        let mut left = self.parse_and_expression()?;
+        while matches!(self.peek(), Tok::OrOr) {
+            self.bump();
+            let right = self.parse_and_expression()?;
+            left = Expression::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_and_expression(&mut self) -> PResult<Expression> {
+        let mut left = self.parse_relational_expression()?;
+        while matches!(self.peek(), Tok::AndAnd) {
+            self.bump();
+            let right = self.parse_relational_expression()?;
+            left = Expression::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_relational_expression(&mut self) -> PResult<Expression> {
+        let left = self.parse_unary_expression()?;
+        let op = match self.peek() {
+            Tok::Eq => CompareOp::Eq,
+            Tok::Ne => CompareOp::Ne,
+            Tok::Lt => CompareOp::Lt,
+            Tok::Le => CompareOp::Le,
+            Tok::Gt => CompareOp::Gt,
+            Tok::Ge => CompareOp::Ge,
+            _ => return Ok(left),
+        };
+        self.bump();
+        let right = self.parse_unary_expression()?;
+        Ok(Expression::Compare(op, Box::new(left), Box::new(right)))
+    }
+
+    fn parse_unary_expression(&mut self) -> PResult<Expression> {
+        if matches!(self.peek(), Tok::Bang) {
+            self.bump();
+            let inner = self.parse_unary_expression()?;
+            return Ok(Expression::Not(Box::new(inner)));
+        }
+        self.parse_primary_expression()
+    }
+
+    fn parse_primary_expression(&mut self) -> PResult<Expression> {
+        match self.bump() {
+            Tok::OpenParen => {
+                let e = self.parse_expression()?;
+                self.expect(&Tok::CloseParen, "`)`")?;
+                Ok(e)
+            }
+            Tok::Var(v) => Ok(Expression::Var(v)),
+            Tok::String(s) => {
+                if matches!(self.peek(), Tok::DoubleCaret) {
+                    self.bump();
+                    let dt = match self.bump() {
+                        Tok::IriRef(i) => self.iri_from(&i)?,
+                        Tok::PName(p, l) => self.expand(&p, &l)?,
+                        other => {
+                            return self.err(format!("expected datatype, found {other:?}"))
+                        }
+                    };
+                    Ok(Expression::Constant(Term::Literal(Literal::typed(s, dt))))
+                } else {
+                    Ok(Expression::Constant(Term::Literal(Literal::simple(s))))
+                }
+            }
+            Tok::Integer(n) => Ok(Expression::Constant(Term::Literal(Literal::integer(n)))),
+            Tok::Decimal(d) => Ok(Expression::Constant(Term::Literal(Literal::typed(
+                d,
+                Iri::new_unchecked(provbench_rdf::xsd::DECIMAL),
+            )))),
+            Tok::IriRef(i) => Ok(Expression::Constant(Term::Iri(self.iri_from(&i)?))),
+            Tok::PName(p, l) => Ok(Expression::Constant(Term::Iri(self.expand(&p, &l)?))),
+            Tok::Keyword(k) if k == "TRUE" => {
+                Ok(Expression::Constant(Term::Literal(Literal::boolean(true))))
+            }
+            Tok::Keyword(k) if k == "FALSE" => {
+                Ok(Expression::Constant(Term::Literal(Literal::boolean(false))))
+            }
+            Tok::Keyword(k) if k == "BOUND" => {
+                self.expect(&Tok::OpenParen, "`(`")?;
+                let v = match self.bump() {
+                    Tok::Var(v) => v,
+                    other => return self.err(format!("expected variable, found {other:?}")),
+                };
+                self.expect(&Tok::CloseParen, "`)`")?;
+                Ok(Expression::Bound(v))
+            }
+            Tok::Keyword(k) if k == "STR" => {
+                self.expect(&Tok::OpenParen, "`(`")?;
+                let e = self.parse_expression()?;
+                self.expect(&Tok::CloseParen, "`)`")?;
+                Ok(Expression::Str(Box::new(e)))
+            }
+            Tok::Keyword(k) if matches!(k.as_str(), "CONTAINS" | "STRSTARTS" | "STRENDS") => {
+                self.expect(&Tok::OpenParen, "`(`")?;
+                let a = self.parse_expression()?;
+                self.expect(&Tok::Comma, "`,`")?;
+                let b = self.parse_expression()?;
+                self.expect(&Tok::CloseParen, "`)`")?;
+                Ok(match k.as_str() {
+                    "CONTAINS" => Expression::Contains(Box::new(a), Box::new(b)),
+                    "STRSTARTS" => Expression::StrStarts(Box::new(a), Box::new(b)),
+                    _ => Expression::StrEnds(Box::new(a), Box::new(b)),
+                })
+            }
+            Tok::Keyword(k)
+                if matches!(
+                    k.as_str(),
+                    "LANG" | "DATATYPE" | "ISIRI" | "ISLITERAL" | "ISBLANK"
+                ) =>
+            {
+                self.expect(&Tok::OpenParen, "`(`")?;
+                let e = Box::new(self.parse_expression()?);
+                self.expect(&Tok::CloseParen, "`)`")?;
+                Ok(match k.as_str() {
+                    "LANG" => Expression::Lang(e),
+                    "DATATYPE" => Expression::Datatype(e),
+                    "ISIRI" => Expression::IsIri(e),
+                    "ISLITERAL" => Expression::IsLiteral(e),
+                    _ => Expression::IsBlank(e),
+                })
+            }
+            Tok::Keyword(k) if k == "REGEX" => {
+                self.expect(&Tok::OpenParen, "`(`")?;
+                let e = self.parse_expression()?;
+                self.expect(&Tok::Comma, "`,`")?;
+                let pattern = match self.bump() {
+                    Tok::String(s) => s,
+                    other => {
+                        return self.err(format!("expected pattern string, found {other:?}"))
+                    }
+                };
+                let mut case_insensitive = false;
+                if matches!(self.peek(), Tok::Comma) {
+                    self.bump();
+                    match self.bump() {
+                        Tok::String(f) => case_insensitive = f.contains('i'),
+                        other => {
+                            return self.err(format!("expected flags string, found {other:?}"))
+                        }
+                    }
+                }
+                self.expect(&Tok::CloseParen, "`)`")?;
+                Ok(Expression::Regex(Box::new(e), pattern, case_insensitive))
+            }
+            other => self.err(format!("expected expression, found {other:?}")),
+        }
+    }
+}
+
+/// Parse a SPARQL query string.
+pub fn parse_query(input: &str) -> Result<Query, QueryParseError> {
+    let toks = tokenize(input)?;
+    let mut p = Parser { toks, pos: 0, prefixes: PrefixMap::common() };
+    p.parse_query()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_select() {
+        let q = parse_query("SELECT ?x WHERE { ?x a prov:Activity }").unwrap();
+        assert_eq!(q.projections, vec![Projection::Var("x".into())]);
+        assert!(!q.distinct);
+        match &q.pattern {
+            GraphPattern::Basic(ps) => {
+                assert_eq!(ps.len(), 1);
+                assert!(matches!(&ps[0].object, VarOrTerm::Term(Term::Iri(i))
+                    if i.as_str().ends_with("#Activity")));
+            }
+            other => panic!("unexpected pattern {other:?}"),
+        }
+    }
+
+    #[test]
+    fn semicolon_and_comma_abbreviations() {
+        let q = parse_query(
+            "SELECT * WHERE { ?r a prov:Activity ; prov:used ?a, ?b . ?a a prov:Entity }",
+        )
+        .unwrap();
+        match &q.pattern {
+            GraphPattern::Basic(ps) => assert_eq!(ps.len(), 4),
+            other => panic!("unexpected pattern {other:?}"),
+        }
+    }
+
+    #[test]
+    fn optional_union_filter() {
+        let q = parse_query(
+            r#"PREFIX e: <http://e/>
+            SELECT ?x ?t WHERE {
+              { ?x a e:A } UNION { ?x a e:B }
+              OPTIONAL { ?x e:time ?t }
+              FILTER (BOUND(?t) && ?t > 3)
+            }"#,
+        )
+        .unwrap();
+        match &q.pattern {
+            GraphPattern::Group(elems) => {
+                assert_eq!(elems.len(), 3);
+                assert!(matches!(elems[0], GraphPattern::Union(..)));
+                assert!(matches!(elems[1], GraphPattern::Optional(..)));
+                assert!(matches!(elems[2], GraphPattern::Filter(..)));
+            }
+            other => panic!("unexpected pattern {other:?}"),
+        }
+    }
+
+    #[test]
+    fn aggregates_and_modifiers() {
+        let q = parse_query(
+            "SELECT ?t (COUNT(?r) AS ?n) (MIN(?s) AS ?first) WHERE { ?r ?p ?t . ?r ?q ?s } \
+             GROUP BY ?t ORDER BY DESC(?n) ?t LIMIT 10 OFFSET 5",
+        )
+        .unwrap();
+        assert!(q.has_aggregates());
+        assert_eq!(q.group_by, vec!["t".to_owned()]);
+        assert_eq!(q.order_by.len(), 2);
+        assert!(q.order_by[0].descending);
+        assert_eq!(q.limit, Some(10));
+        assert_eq!(q.offset, 5);
+    }
+
+    #[test]
+    fn count_star_and_distinct() {
+        let q = parse_query(
+            "SELECT DISTINCT (COUNT(*) AS ?n) (COUNT(DISTINCT ?x) AS ?m) WHERE { ?x ?p ?o }",
+        )
+        .unwrap();
+        assert!(q.distinct);
+        assert!(matches!(
+            &q.projections[0],
+            Projection::Aggregate { function: AggregateFn::Count, var: None, .. }
+        ));
+        assert!(matches!(
+            &q.projections[1],
+            Projection::Aggregate { function: AggregateFn::CountDistinct, var: Some(_), .. }
+        ));
+    }
+
+    #[test]
+    fn regex_and_str() {
+        let q = parse_query(
+            r#"SELECT ?x WHERE { ?x ?p ?o FILTER REGEX(STR(?x), "^http", "i") }"#,
+        )
+        .unwrap();
+        let GraphPattern::Group(elems) = &q.pattern else {
+            panic!("expected group")
+        };
+        assert!(matches!(
+            &elems[1],
+            GraphPattern::Filter(Expression::Regex(_, p, true)) if p == "^http"
+        ));
+    }
+
+    #[test]
+    fn typed_literals_in_patterns() {
+        let q = parse_query(
+            r#"SELECT ?x WHERE { ?x ?p "2013-01-15T10:30:00Z"^^xsd:dateTime }"#,
+        )
+        .unwrap();
+        let GraphPattern::Basic(ps) = &q.pattern else { panic!() };
+        let VarOrTerm::Term(Term::Literal(l)) = &ps[0].object else { panic!() };
+        assert!(l.as_date_time().is_some());
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_query("SELECT").is_err());
+        assert!(parse_query("SELECT ?x").is_err());
+        assert!(parse_query("SELECT ?x WHERE { ?x ?p }").is_err());
+        assert!(parse_query("SELECT ?x WHERE { ?x nope:y ?z }").is_err());
+        assert!(parse_query("SELECT ?x WHERE { ?x ?p ?o } trailing").is_err());
+        assert!(parse_query("SELECT ?x WHERE { ?x ?p ?o } LIMIT ?x").is_err());
+    }
+
+    #[test]
+    fn where_keyword_is_optional() {
+        assert!(parse_query("SELECT * { ?x ?p ?o }").is_ok());
+    }
+}

@@ -1,0 +1,162 @@
+//! Property tests for the SPARQL engine: algebraic invariants that must
+//! hold on arbitrary graphs — pattern-order independence of BGP joins,
+//! OPTIONAL never losing rows, UNION cardinality, FILTER monotonicity,
+//! DISTINCT/LIMIT sanity.
+
+use proptest::prelude::*;
+use provbench_query::{execute_query, Solutions};
+use provbench_rdf::{Graph, Iri, Literal, Triple};
+use std::collections::BTreeSet;
+
+/// Small random graphs over a closed vocabulary so patterns actually join.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    proptest::collection::vec(
+        (0usize..8, 0usize..4, 0usize..10, any::<bool>()),
+        1..40,
+    )
+    .prop_map(|triples| {
+        triples
+            .into_iter()
+            .map(|(s, p, o, lit)| {
+                let subject = Iri::new_unchecked(format!("http://t/s{s}"));
+                let predicate = Iri::new_unchecked(format!("http://t/p{p}"));
+                if lit {
+                    Triple::new(subject, predicate, Literal::integer(o as i64))
+                } else {
+                    Triple::new(subject, predicate, Iri::new_unchecked(format!("http://t/o{o}")))
+                }
+            })
+            .collect()
+    })
+}
+
+fn rows(s: &Solutions) -> BTreeSet<String> {
+    s.rows.iter().map(|r| format!("{r:?}")).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn bgp_pattern_order_is_irrelevant(g in arb_graph()) {
+        let a = execute_query(&g, "SELECT ?x ?y ?z WHERE { ?x <http://t/p0> ?y . ?x <http://t/p1> ?z }").unwrap();
+        let b = execute_query(&g, "SELECT ?x ?y ?z WHERE { ?x <http://t/p1> ?z . ?x <http://t/p0> ?y }").unwrap();
+        prop_assert_eq!(rows(&a), rows(&b));
+    }
+
+    #[test]
+    fn wildcard_bgp_counts_triples(g in arb_graph()) {
+        let s = execute_query(&g, "SELECT ?s ?p ?o WHERE { ?s ?p ?o }").unwrap();
+        prop_assert_eq!(s.len(), g.len());
+    }
+
+    #[test]
+    fn optional_preserves_left_cardinality_lower_bound(g in arb_graph()) {
+        let base = execute_query(&g, "SELECT ?x WHERE { ?x <http://t/p0> ?y }").unwrap();
+        let opt = execute_query(
+            &g,
+            "SELECT ?x WHERE { ?x <http://t/p0> ?y OPTIONAL { ?x <http://t/p2> ?z } }",
+        )
+        .unwrap();
+        // Left join can multiply rows but never drop a left row's subject.
+        let base_subjects: BTreeSet<_> =
+            base.rows.iter().filter_map(|r| r.get("x").cloned()).collect();
+        let opt_subjects: BTreeSet<_> =
+            opt.rows.iter().filter_map(|r| r.get("x").cloned()).collect();
+        prop_assert_eq!(base_subjects, opt_subjects);
+        prop_assert!(opt.len() >= base.len());
+    }
+
+    #[test]
+    fn union_is_row_concatenation(g in arb_graph()) {
+        let left = execute_query(&g, "SELECT ?x WHERE { ?x <http://t/p0> ?y }").unwrap();
+        let right = execute_query(&g, "SELECT ?x WHERE { ?x <http://t/p1> ?y }").unwrap();
+        let both = execute_query(
+            &g,
+            "SELECT ?x WHERE { { ?x <http://t/p0> ?y } UNION { ?x <http://t/p1> ?y } }",
+        )
+        .unwrap();
+        prop_assert_eq!(both.len(), left.len() + right.len());
+    }
+
+    #[test]
+    fn filter_is_a_subset_and_true_is_identity(g in arb_graph()) {
+        let all = execute_query(&g, "SELECT ?s ?o WHERE { ?s <http://t/p0> ?o }").unwrap();
+        let trues = execute_query(
+            &g,
+            "SELECT ?s ?o WHERE { ?s <http://t/p0> ?o FILTER (1 = 1) }",
+        )
+        .unwrap();
+        prop_assert_eq!(rows(&all), rows(&trues));
+        let some = execute_query(
+            &g,
+            "SELECT ?s ?o WHERE { ?s <http://t/p0> ?o FILTER (?o >= 5) }",
+        )
+        .unwrap();
+        prop_assert!(rows(&some).is_subset(&rows(&all)));
+        let none = execute_query(
+            &g,
+            "SELECT ?s ?o WHERE { ?s <http://t/p0> ?o FILTER (1 = 2) }",
+        )
+        .unwrap();
+        prop_assert!(none.is_empty());
+    }
+
+    #[test]
+    fn distinct_and_limit_sanity(g in arb_graph(), limit in 0usize..10) {
+        let distinct = execute_query(&g, "SELECT DISTINCT ?s WHERE { ?s ?p ?o }").unwrap();
+        let subjects: BTreeSet<_> = g.subjects().into_iter().collect();
+        prop_assert_eq!(distinct.len(), subjects.len());
+
+        let limited = execute_query(
+            &g,
+            &format!("SELECT ?s WHERE {{ ?s ?p ?o }} LIMIT {limit}"),
+        )
+        .unwrap();
+        prop_assert_eq!(limited.len(), limit.min(g.len()));
+    }
+
+    #[test]
+    fn count_matches_row_count(g in arb_graph()) {
+        let rows_q = execute_query(&g, "SELECT ?s WHERE { ?s <http://t/p0> ?o }").unwrap();
+        let count_q =
+            execute_query(&g, "SELECT (COUNT(*) AS ?n) WHERE { ?s <http://t/p0> ?o }").unwrap();
+        let n = count_q
+            .get(0, "n")
+            .and_then(|t| t.as_literal())
+            .and_then(|l| l.as_integer())
+            .unwrap();
+        prop_assert_eq!(n as usize, rows_q.len());
+    }
+
+    #[test]
+    fn order_by_sorts(g in arb_graph()) {
+        let s = execute_query(
+            &g,
+            "SELECT ?o WHERE { ?s <http://t/p0> ?o FILTER (?o >= 0) } ORDER BY ?o",
+        )
+        .unwrap();
+        let values: Vec<i64> = s
+            .rows
+            .iter()
+            .filter_map(|r| r.get("o").and_then(|t| t.as_literal()).and_then(|l| l.as_integer()))
+            .collect();
+        prop_assert!(values.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn group_by_partitions_rows(g in arb_graph()) {
+        let total = execute_query(&g, "SELECT ?s WHERE { ?s ?p ?o }").unwrap();
+        let grouped = execute_query(
+            &g,
+            "SELECT ?s (COUNT(*) AS ?n) WHERE { ?s ?p ?o } GROUP BY ?s",
+        )
+        .unwrap();
+        let sum: i64 = grouped
+            .rows
+            .iter()
+            .filter_map(|r| r.get("n").and_then(|t| t.as_literal()).and_then(|l| l.as_integer()))
+            .sum();
+        prop_assert_eq!(sum as usize, total.len());
+    }
+}

@@ -1,0 +1,189 @@
+//! Datasets: a default graph plus zero or more named graphs.
+//!
+//! Wings serializes each workflow-run account as a `prov:Bundle`, i.e. a
+//! named graph in a TriG document, so the corpus store and query engine
+//! operate over datasets rather than single graphs.
+
+use crate::graph::Graph;
+use crate::term::{Iri, Subject, Term};
+use crate::triple::{Quad, Triple};
+use std::collections::BTreeMap;
+
+/// The name of a graph within a dataset.
+pub type GraphName = Subject;
+
+/// A default graph plus named graphs.
+#[derive(Default, Clone, Debug, PartialEq, Eq)]
+pub struct Dataset {
+    default: Graph,
+    named: BTreeMap<GraphName, Graph>,
+}
+
+impl Dataset {
+    /// An empty dataset.
+    pub fn new() -> Self {
+        Dataset::default()
+    }
+
+    /// The default graph.
+    pub fn default_graph(&self) -> &Graph {
+        &self.default
+    }
+
+    /// Mutable access to the default graph.
+    pub fn default_graph_mut(&mut self) -> &mut Graph {
+        &mut self.default
+    }
+
+    /// The named graph with the given name, if present.
+    pub fn named_graph(&self, name: &GraphName) -> Option<&Graph> {
+        self.named.get(name)
+    }
+
+    /// Mutable access to the named graph, creating it if absent.
+    pub fn named_graph_mut(&mut self, name: GraphName) -> &mut Graph {
+        self.named.entry(name).or_default()
+    }
+
+    /// Iterate over `(name, graph)` pairs in name order.
+    pub fn named_graphs(&self) -> impl Iterator<Item = (&GraphName, &Graph)> {
+        self.named.iter()
+    }
+
+    /// Names of all named graphs.
+    pub fn graph_names(&self) -> impl Iterator<Item = &GraphName> {
+        self.named.keys()
+    }
+
+    /// Total number of quads across all graphs.
+    pub fn len(&self) -> usize {
+        self.default.len() + self.named.values().map(Graph::len).sum::<usize>()
+    }
+
+    /// Whether no graph holds any triple.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Insert a quad into the appropriate graph.
+    pub fn insert(&mut self, quad: Quad) -> bool {
+        match quad.graph {
+            None => self.default.insert(quad.triple),
+            Some(name) => self.named_graph_mut(name).insert(quad.triple),
+        }
+    }
+
+    /// Insert a whole graph as a named graph (merging if it exists).
+    pub fn insert_graph(&mut self, name: GraphName, graph: &Graph) {
+        self.named_graph_mut(name).extend_from_graph(graph);
+    }
+
+    /// Merge another dataset into this one.
+    pub fn merge(&mut self, other: &Dataset) {
+        self.default.extend_from_graph(&other.default);
+        for (name, g) in other.named_graphs() {
+            self.insert_graph(name.clone(), g);
+        }
+    }
+
+    /// Iterate over every quad (default graph first, then named graphs).
+    pub fn quads(&self) -> impl Iterator<Item = Quad> + '_ {
+        let default = self.default.iter().map(Quad::in_default);
+        let named = self.named.iter().flat_map(|(name, g)| {
+            g.iter().map(move |t| Quad::in_graph(t, name.clone()))
+        });
+        default.chain(named)
+    }
+
+    /// The union of the default graph and every named graph, as one graph.
+    ///
+    /// Exemplar queries in the paper span both Taverna traces (plain
+    /// graphs) and Wings traces (bundles); they run over this view.
+    pub fn union_graph(&self) -> Graph {
+        let mut g = self.default.clone();
+        for other in self.named.values() {
+            g.extend_from_graph(other);
+        }
+        g
+    }
+
+    /// Match a triple pattern across the default and all named graphs.
+    pub fn triples_matching<'a>(
+        &'a self,
+        s: Option<&'a Subject>,
+        p: Option<&'a Iri>,
+        o: Option<&'a Term>,
+    ) -> impl Iterator<Item = Triple> + 'a {
+        self.default.triples_matching(s, p, o).chain(
+            self.named
+                .values()
+                .flat_map(move |g| g.triples_matching(s, p, o)),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Iri;
+
+    fn iri(s: &str) -> Iri {
+        Iri::new(s).unwrap()
+    }
+
+    fn t(s: &str, o: &str) -> Triple {
+        Triple::new(iri(s), iri("http://e/p"), iri(o))
+    }
+
+    #[test]
+    fn default_and_named_are_disjoint() {
+        let mut d = Dataset::new();
+        d.insert(Quad::in_default(t("http://e/a", "http://e/b")));
+        d.insert(Quad::in_graph(t("http://e/a", "http://e/b"), iri("http://e/g")));
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.default_graph().len(), 1);
+        assert_eq!(d.named_graph(&iri("http://e/g").into()).unwrap().len(), 1);
+        assert!(d.named_graph(&iri("http://e/other").into()).is_none());
+    }
+
+    #[test]
+    fn union_graph_deduplicates() {
+        let mut d = Dataset::new();
+        d.insert(Quad::in_default(t("http://e/a", "http://e/b")));
+        d.insert(Quad::in_graph(t("http://e/a", "http://e/b"), iri("http://e/g")));
+        d.insert(Quad::in_graph(t("http://e/c", "http://e/d"), iri("http://e/g")));
+        let u = d.union_graph();
+        assert_eq!(u.len(), 2);
+    }
+
+    #[test]
+    fn quads_iteration_covers_everything() {
+        let mut d = Dataset::new();
+        d.insert(Quad::in_default(t("http://e/a", "http://e/b")));
+        d.insert(Quad::in_graph(t("http://e/c", "http://e/d"), iri("http://e/g1")));
+        d.insert(Quad::in_graph(t("http://e/e", "http://e/f"), iri("http://e/g2")));
+        let quads: Vec<_> = d.quads().collect();
+        assert_eq!(quads.len(), 3);
+        assert_eq!(quads.iter().filter(|q| q.graph.is_none()).count(), 1);
+        assert_eq!(d.graph_names().count(), 2);
+    }
+
+    #[test]
+    fn merge_combines_datasets() {
+        let mut a = Dataset::new();
+        a.insert(Quad::in_default(t("http://e/1", "http://e/2")));
+        let mut b = Dataset::new();
+        b.insert(Quad::in_graph(t("http://e/3", "http://e/4"), iri("http://e/g")));
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn pattern_matching_spans_graphs() {
+        let mut d = Dataset::new();
+        d.insert(Quad::in_default(t("http://e/a", "http://e/x")));
+        d.insert(Quad::in_graph(t("http://e/a", "http://e/y"), iri("http://e/g")));
+        let s: Subject = iri("http://e/a").into();
+        assert_eq!(d.triples_matching(Some(&s), None, None).count(), 2);
+    }
+}

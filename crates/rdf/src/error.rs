@@ -1,0 +1,100 @@
+//! Error types shared across the crate.
+
+use std::fmt;
+
+/// Top-level error for RDF operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RdfError {
+    /// An IRI failed the (deliberately light) well-formedness check.
+    InvalidIri(String),
+    /// A blank-node label contained characters outside `[A-Za-z0-9_-]`.
+    InvalidBlankNodeLabel(String),
+    /// A language tag failed BCP-47-ish validation (`[a-zA-Z]+(-[a-zA-Z0-9]+)*`).
+    InvalidLanguageTag(String),
+    /// A concrete-syntax document failed to parse.
+    Parse(ParseError),
+    /// A typed literal's lexical form did not match its datatype.
+    InvalidLexicalForm {
+        /// The offending lexical form.
+        lexical: String,
+        /// The datatype IRI it was supposed to conform to.
+        datatype: String,
+    },
+}
+
+impl fmt::Display for RdfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RdfError::InvalidIri(iri) => write!(f, "invalid IRI: {iri:?}"),
+            RdfError::InvalidBlankNodeLabel(l) => write!(f, "invalid blank node label: {l:?}"),
+            RdfError::InvalidLanguageTag(t) => write!(f, "invalid language tag: {t:?}"),
+            RdfError::Parse(e) => write!(f, "parse error: {e}"),
+            RdfError::InvalidLexicalForm { lexical, datatype } => {
+                write!(f, "lexical form {lexical:?} is not valid for datatype <{datatype}>")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RdfError {}
+
+impl From<ParseError> for RdfError {
+    fn from(e: ParseError) -> Self {
+        RdfError::Parse(e)
+    }
+}
+
+/// A syntax error while parsing Turtle, TriG or N-Triples, with position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the offending token.
+    pub line: usize,
+    /// 1-based column of the offending token.
+    pub column: usize,
+    /// Human-readable description of what went wrong.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Create a parse error at the given 1-based position.
+    pub fn new(line: usize, column: usize, message: impl Into<String>) -> Self {
+        ParseError { line, column, message: message.into() }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.column, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_position() {
+        let e = ParseError::new(3, 7, "unexpected token");
+        assert_eq!(e.to_string(), "3:7: unexpected token");
+        let r: RdfError = e.into();
+        assert_eq!(r.to_string(), "parse error: 3:7: unexpected token");
+    }
+
+    #[test]
+    fn display_invalid_iri() {
+        let e = RdfError::InvalidIri("a b".into());
+        assert!(e.to_string().contains("a b"));
+    }
+
+    #[test]
+    fn display_invalid_lexical_form() {
+        let e = RdfError::InvalidLexicalForm {
+            lexical: "notadate".into(),
+            datatype: "http://www.w3.org/2001/XMLSchema#dateTime".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("notadate") && s.contains("dateTime"));
+    }
+}

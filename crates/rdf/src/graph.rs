@@ -1,0 +1,403 @@
+//! An indexed, in-memory RDF graph.
+//!
+//! Triples are interned into `(u32, u32, u32)` keys and stored in three
+//! B-tree indexes (SPO, POS, OSP) so that every triple-pattern shape maps
+//! to a contiguous range scan over integers.
+
+use crate::interner::{Interner, TermId};
+use crate::term::{Iri, Subject, Term};
+use crate::triple::Triple;
+use std::collections::BTreeSet;
+
+type Key = (TermId, TermId, TermId);
+
+const MIN: TermId = TermId(0);
+const MAX: TermId = TermId(u32::MAX);
+
+/// An in-memory set of triples with SPO/POS/OSP indexes.
+#[derive(Default, Clone, Debug)]
+pub struct Graph {
+    interner: Interner,
+    spo: BTreeSet<Key>,
+    pos: BTreeSet<Key>,
+    osp: BTreeSet<Key>,
+}
+
+impl Graph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Number of triples.
+    pub fn len(&self) -> usize {
+        self.spo.len()
+    }
+
+    /// Whether the graph holds no triples.
+    pub fn is_empty(&self) -> bool {
+        self.spo.is_empty()
+    }
+
+    /// Number of distinct terms appearing in any position.
+    pub fn term_count(&self) -> usize {
+        self.interner.len()
+    }
+
+    /// Insert a triple; returns `true` if it was not already present.
+    pub fn insert(&mut self, triple: Triple) -> bool {
+        let s = self.interner.intern(&Term::from(triple.subject));
+        let p = self.interner.intern(&Term::Iri(triple.predicate));
+        let o = self.interner.intern(&triple.object);
+        let added = self.spo.insert((s, p, o));
+        if added {
+            self.pos.insert((p, o, s));
+            self.osp.insert((o, s, p));
+        }
+        added
+    }
+
+    /// Remove a triple; returns `true` if it was present.
+    pub fn remove(&mut self, triple: &Triple) -> bool {
+        let (Some(s), Some(p), Some(o)) = (
+            self.interner.get(&Term::from(triple.subject.clone())),
+            self.interner.get(&Term::Iri(triple.predicate.clone())),
+            self.interner.get(&triple.object),
+        ) else {
+            return false;
+        };
+        let removed = self.spo.remove(&(s, p, o));
+        if removed {
+            self.pos.remove(&(p, o, s));
+            self.osp.remove(&(o, s, p));
+        }
+        removed
+    }
+
+    /// Whether the graph contains the triple.
+    pub fn contains(&self, triple: &Triple) -> bool {
+        let (Some(s), Some(p), Some(o)) = (
+            self.interner.get(&Term::from(triple.subject.clone())),
+            self.interner.get(&Term::Iri(triple.predicate.clone())),
+            self.interner.get(&triple.object),
+        ) else {
+            return false;
+        };
+        self.spo.contains(&(s, p, o))
+    }
+
+    /// Insert every triple of `other`.
+    pub fn extend_from_graph(&mut self, other: &Graph) {
+        for t in other.iter() {
+            self.insert(t);
+        }
+    }
+
+    /// Triples of `self` not present in `other`.
+    pub fn difference(&self, other: &Graph) -> Graph {
+        self.iter().filter(|t| !other.contains(t)).collect()
+    }
+
+    /// Triples present in both graphs.
+    pub fn intersection(&self, other: &Graph) -> Graph {
+        self.iter().filter(|t| other.contains(t)).collect()
+    }
+
+    fn decode(&self, (s, p, o): Key) -> Triple {
+        let subject = match self.interner.resolve(s) {
+            Term::Iri(i) => Subject::Iri(i.clone()),
+            Term::Blank(b) => Subject::Blank(b.clone()),
+            Term::Literal(_) => unreachable!("literal interned in subject position"),
+        };
+        let predicate = match self.interner.resolve(p) {
+            Term::Iri(i) => i.clone(),
+            _ => unreachable!("non-IRI interned in predicate position"),
+        };
+        Triple { subject, predicate, object: self.interner.resolve(o).clone() }
+    }
+
+    /// Iterate over every triple (in SPO index order).
+    pub fn iter(&self) -> impl Iterator<Item = Triple> + '_ {
+        self.spo.iter().map(move |&k| self.decode(k))
+    }
+
+    /// Iterate over triples matching the pattern; `None` is a wildcard.
+    ///
+    /// Every pattern shape is answered by a single range scan over one of
+    /// the three indexes (or a point lookup when fully bound).
+    pub fn triples_matching<'a>(
+        &'a self,
+        s: Option<&Subject>,
+        p: Option<&Iri>,
+        o: Option<&Term>,
+    ) -> Box<dyn Iterator<Item = Triple> + 'a> {
+        let sid = match s {
+            Some(s) => match self.interner.get(&Term::from(s.clone())) {
+                Some(id) => Some(id),
+                None => return Box::new(std::iter::empty()),
+            },
+            None => None,
+        };
+        let pid = match p {
+            Some(p) => match self.interner.get(&Term::Iri(p.clone())) {
+                Some(id) => Some(id),
+                None => return Box::new(std::iter::empty()),
+            },
+            None => None,
+        };
+        let oid = match o {
+            Some(o) => match self.interner.get(o) {
+                Some(id) => Some(id),
+                None => return Box::new(std::iter::empty()),
+            },
+            None => None,
+        };
+        match (sid, pid, oid) {
+            (Some(s), Some(p), Some(o)) => {
+                let hit = self.spo.contains(&(s, p, o));
+                Box::new(hit.then(|| self.decode((s, p, o))).into_iter())
+            }
+            (Some(s), Some(p), None) => Box::new(
+                self.spo.range((s, p, MIN)..=(s, p, MAX)).map(move |&k| self.decode(k)),
+            ),
+            (Some(s), None, None) => Box::new(
+                self.spo.range((s, MIN, MIN)..=(s, MAX, MAX)).map(move |&k| self.decode(k)),
+            ),
+            (None, Some(p), Some(o)) => Box::new(
+                self.pos
+                    .range((p, o, MIN)..=(p, o, MAX))
+                    .map(move |&(p, o, s)| self.decode((s, p, o))),
+            ),
+            (None, Some(p), None) => Box::new(
+                self.pos
+                    .range((p, MIN, MIN)..=(p, MAX, MAX))
+                    .map(move |&(p, o, s)| self.decode((s, p, o))),
+            ),
+            (None, None, Some(o)) => Box::new(
+                self.osp
+                    .range((o, MIN, MIN)..=(o, MAX, MAX))
+                    .map(move |&(o, s, p)| self.decode((s, p, o))),
+            ),
+            (Some(s), None, Some(o)) => Box::new(
+                self.osp
+                    .range((o, s, MIN)..=(o, s, MAX))
+                    .map(move |&(o, s, p)| self.decode((s, p, o))),
+            ),
+            (None, None, None) => Box::new(self.iter()),
+        }
+    }
+
+    /// Objects of triples `(s, p, ?)` — the most common navigation step.
+    pub fn objects(&self, s: &Subject, p: &Iri) -> impl Iterator<Item = Term> + '_ {
+        self.triples_matching(Some(s), Some(p), None).map(|t| t.object)
+    }
+
+    /// First object of `(s, p, ?)`, if any.
+    pub fn object(&self, s: &Subject, p: &Iri) -> Option<Term> {
+        self.objects(s, p).next()
+    }
+
+    /// Subjects of triples `(?, p, o)`.
+    pub fn subjects_with(&self, p: &Iri, o: &Term) -> impl Iterator<Item = Subject> + '_ {
+        self.triples_matching(None, Some(p), Some(o)).map(|t| t.subject)
+    }
+
+    /// Distinct subjects of the whole graph (in index order).
+    pub fn subjects(&self) -> Vec<Subject> {
+        let mut out = Vec::new();
+        let mut last: Option<TermId> = None;
+        for &(s, _, _) in &self.spo {
+            if last != Some(s) {
+                last = Some(s);
+                match self.interner.resolve(s) {
+                    Term::Iri(i) => out.push(Subject::Iri(i.clone())),
+                    Term::Blank(b) => out.push(Subject::Blank(b.clone())),
+                    Term::Literal(_) => unreachable!(),
+                }
+            }
+        }
+        out
+    }
+
+    /// Distinct predicates of the whole graph.
+    pub fn predicates(&self) -> Vec<Iri> {
+        let mut out: Vec<Iri> = Vec::new();
+        let mut last: Option<TermId> = None;
+        for &(p, _, _) in &self.pos {
+            if last != Some(p) {
+                last = Some(p);
+                if let Term::Iri(i) = self.interner.resolve(p) {
+                    out.push(i.clone());
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Extend<Triple> for Graph {
+    fn extend<T: IntoIterator<Item = Triple>>(&mut self, iter: T) {
+        for t in iter {
+            self.insert(t);
+        }
+    }
+}
+
+impl FromIterator<Triple> for Graph {
+    fn from_iter<T: IntoIterator<Item = Triple>>(iter: T) -> Self {
+        let mut g = Graph::new();
+        g.extend(iter);
+        g
+    }
+}
+
+impl PartialEq for Graph {
+    /// Two graphs are equal when they contain the same triple set
+    /// (ground comparison; blank nodes compare by label).
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().all(|t| other.contains(&t))
+    }
+}
+
+impl Eq for Graph {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::{BlankNode, Literal};
+
+    fn iri(s: &str) -> Iri {
+        Iri::new(s).unwrap()
+    }
+
+    fn t(s: &str, p: &str, o: &str) -> Triple {
+        Triple::new(iri(s), iri(p), iri(o))
+    }
+
+    #[test]
+    fn insert_is_set_semantics() {
+        let mut g = Graph::new();
+        assert!(g.insert(t("http://e/s", "http://e/p", "http://e/o")));
+        assert!(!g.insert(t("http://e/s", "http://e/p", "http://e/o")));
+        assert_eq!(g.len(), 1);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn remove_and_contains() {
+        let mut g = Graph::new();
+        let tr = t("http://e/s", "http://e/p", "http://e/o");
+        g.insert(tr.clone());
+        assert!(g.contains(&tr));
+        assert!(g.remove(&tr));
+        assert!(!g.contains(&tr));
+        assert!(!g.remove(&tr));
+        assert!(g.is_empty());
+        // Removing a triple whose terms were never interned is a no-op.
+        assert!(!g.remove(&t("http://e/x", "http://e/y", "http://e/z")));
+    }
+
+    #[test]
+    fn all_eight_pattern_shapes() {
+        let mut g = Graph::new();
+        g.insert(t("http://e/s1", "http://e/p1", "http://e/o1"));
+        g.insert(t("http://e/s1", "http://e/p1", "http://e/o2"));
+        g.insert(t("http://e/s1", "http://e/p2", "http://e/o1"));
+        g.insert(t("http://e/s2", "http://e/p1", "http://e/o1"));
+
+        let s1: Subject = iri("http://e/s1").into();
+        let p1 = iri("http://e/p1");
+        let o1: Term = iri("http://e/o1").into();
+
+        let count = |s: Option<&Subject>, p: Option<&Iri>, o: Option<&Term>| {
+            g.triples_matching(s, p, o).count()
+        };
+        assert_eq!(count(None, None, None), 4);
+        assert_eq!(count(Some(&s1), None, None), 3);
+        assert_eq!(count(None, Some(&p1), None), 3);
+        assert_eq!(count(None, None, Some(&o1)), 3);
+        assert_eq!(count(Some(&s1), Some(&p1), None), 2);
+        assert_eq!(count(Some(&s1), None, Some(&o1)), 2);
+        assert_eq!(count(None, Some(&p1), Some(&o1)), 2);
+        assert_eq!(count(Some(&s1), Some(&p1), Some(&o1)), 1);
+    }
+
+    #[test]
+    fn unknown_terms_match_nothing() {
+        let mut g = Graph::new();
+        g.insert(t("http://e/s", "http://e/p", "http://e/o"));
+        let unknown: Subject = iri("http://e/nope").into();
+        assert_eq!(g.triples_matching(Some(&unknown), None, None).count(), 0);
+    }
+
+    #[test]
+    fn blank_nodes_and_literals() {
+        let mut g = Graph::new();
+        let b = BlankNode::new("b0").unwrap();
+        g.insert(Triple::new(b.clone(), iri("http://e/p"), Literal::simple("v")));
+        let found: Vec<_> =
+            g.triples_matching(Some(&b.clone().into()), None, None).collect();
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].object.as_literal().unwrap().lexical(), "v");
+    }
+
+    #[test]
+    fn navigation_helpers() {
+        let mut g = Graph::new();
+        g.insert(t("http://e/s", "http://e/p", "http://e/o1"));
+        g.insert(t("http://e/s", "http://e/p", "http://e/o2"));
+        let s: Subject = iri("http://e/s").into();
+        let p = iri("http://e/p");
+        assert_eq!(g.objects(&s, &p).count(), 2);
+        assert!(g.object(&s, &p).is_some());
+        let o: Term = iri("http://e/o1").into();
+        assert_eq!(g.subjects_with(&p, &o).count(), 1);
+        assert_eq!(g.subjects().len(), 1);
+        assert_eq!(g.predicates().len(), 1);
+    }
+
+    #[test]
+    fn graph_equality_ignores_insertion_order() {
+        let mut a = Graph::new();
+        let mut b = Graph::new();
+        a.insert(t("http://e/1", "http://e/p", "http://e/2"));
+        a.insert(t("http://e/3", "http://e/p", "http://e/4"));
+        b.insert(t("http://e/3", "http://e/p", "http://e/4"));
+        b.insert(t("http://e/1", "http://e/p", "http://e/2"));
+        assert_eq!(a, b);
+        b.insert(t("http://e/5", "http://e/p", "http://e/6"));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn set_operations() {
+        let mut a = Graph::new();
+        a.insert(t("http://e/1", "http://e/p", "http://e/2"));
+        a.insert(t("http://e/3", "http://e/p", "http://e/4"));
+        let mut b = Graph::new();
+        b.insert(t("http://e/3", "http://e/p", "http://e/4"));
+        b.insert(t("http://e/5", "http://e/p", "http://e/6"));
+
+        let diff = a.difference(&b);
+        assert_eq!(diff.len(), 1);
+        assert!(diff.contains(&t("http://e/1", "http://e/p", "http://e/2")));
+        let inter = a.intersection(&b);
+        assert_eq!(inter.len(), 1);
+        assert!(inter.contains(&t("http://e/3", "http://e/p", "http://e/4")));
+        // a = (a − b) ∪ (a ∩ b).
+        let mut rebuilt = diff;
+        rebuilt.extend_from_graph(&inter);
+        assert_eq!(rebuilt, a);
+    }
+
+    #[test]
+    fn extend_and_from_iterator() {
+        let triples =
+            vec![t("http://e/a", "http://e/p", "http://e/b"), t("http://e/c", "http://e/p", "http://e/d")];
+        let g: Graph = triples.clone().into_iter().collect();
+        assert_eq!(g.len(), 2);
+        let mut g2 = Graph::new();
+        g2.extend_from_graph(&g);
+        assert_eq!(g, g2);
+    }
+}

@@ -1,0 +1,86 @@
+//! Term interning: maps terms to dense `u32` symbols so that the graph
+//! indexes operate on integers instead of strings.
+
+use crate::term::Term;
+use std::collections::HashMap;
+
+/// A dense symbol for an interned [`Term`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub(crate) struct TermId(pub u32);
+
+/// Bidirectional `Term` ↔ `TermId` map owned by each [`crate::Graph`].
+#[derive(Default, Clone, Debug)]
+pub(crate) struct Interner {
+    to_id: HashMap<Term, TermId>,
+    to_term: Vec<Term>,
+}
+
+impl Interner {
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn new() -> Self {
+        Interner::default()
+    }
+
+    /// Intern a term, returning its stable id.
+    pub fn intern(&mut self, term: &Term) -> TermId {
+        if let Some(&id) = self.to_id.get(term) {
+            return id;
+        }
+        let id = TermId(u32::try_from(self.to_term.len()).expect("interner overflow"));
+        self.to_id.insert(term.clone(), id);
+        self.to_term.push(term.clone());
+        id
+    }
+
+    /// Look up an id without interning; `None` if never seen.
+    pub fn get(&self, term: &Term) -> Option<TermId> {
+        self.to_id.get(term).copied()
+    }
+
+    /// Resolve an id back to its term. Ids are never removed, so any id
+    /// produced by this interner resolves.
+    pub fn resolve(&self, id: TermId) -> &Term {
+        &self.to_term[id.0 as usize]
+    }
+
+    /// Number of distinct interned terms.
+    pub fn len(&self) -> usize {
+        self.to_term.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::{Iri, Literal};
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let t: Term = Iri::new("http://ex.org/a").unwrap().into();
+        let a = i.intern(&t);
+        let b = i.intern(&t);
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+        assert_eq!(i.resolve(a), &t);
+    }
+
+    #[test]
+    fn distinct_terms_distinct_ids() {
+        let mut i = Interner::new();
+        let a = i.intern(&Term::Literal(Literal::simple("x")));
+        let b = i.intern(&Term::Literal(Literal::lang("x", "en").unwrap()));
+        let c = i.intern(&Term::Iri(Iri::new("http://ex.org/x").unwrap()));
+        assert!(a != b && b != c && a != c);
+        assert_eq!(i.len(), 3);
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut i = Interner::new();
+        let t: Term = Literal::simple("y").into();
+        assert!(i.get(&t).is_none());
+        let id = i.intern(&t);
+        assert_eq!(i.get(&t), Some(id));
+    }
+}

@@ -1,0 +1,67 @@
+//! # provbench-rdf
+//!
+//! A self-contained RDF 1.1 substrate used by the ProvBench reproduction.
+//!
+//! The Wf4Ever PROV-corpus is distributed as RDF (Turtle and TriG files);
+//! this crate provides everything required to create, store, query, parse
+//! and serialize such data without external RDF tooling:
+//!
+//! * [`term`] — IRIs, blank nodes and literals ([`Iri`], [`BlankNode`],
+//!   [`Literal`], [`Term`]);
+//! * [`triple`] — [`Triple`]s and [`Quad`]s;
+//! * [`graph`] — an indexed triple store ([`Graph`]) with pattern matching
+//!   over SPO/POS/OSP B-tree indexes;
+//! * [`dataset`] — named-graph datasets ([`Dataset`]) as needed for
+//!   `prov:Bundle`s serialized as TriG graphs;
+//! * [`namespace`] — prefix management and CURIE compaction;
+//! * [`turtle`], [`ntriples`], [`trig`] — readers and writers for the three
+//!   concrete syntaxes the corpus uses;
+//! * [`xsd`] — `xsd:dateTime` parsing/formatting and other typed-literal
+//!   helpers (no external date/time crate).
+//!
+//! ## Example
+//!
+//! ```
+//! use provbench_rdf::{Graph, Iri, Literal, Term, Triple};
+//!
+//! let mut g = Graph::new();
+//! let run = Iri::new("http://example.org/run/1").unwrap();
+//! let p = Iri::new("http://www.w3.org/ns/prov#startedAtTime").unwrap();
+//! g.insert(Triple::new(
+//!     run.clone(),
+//!     p.clone(),
+//!     Term::Literal(Literal::typed(
+//!         "2013-01-15T10:30:00Z",
+//!         Iri::new("http://www.w3.org/2001/XMLSchema#dateTime").unwrap(),
+//!     )),
+//! ));
+//! assert_eq!(g.len(), 1);
+//! assert_eq!(g.triples_matching(Some(&run.into()), Some(&p), None).count(), 1);
+//! ```
+
+pub mod canon;
+pub mod dataset;
+pub mod error;
+pub mod graph;
+mod interner;
+pub mod namespace;
+pub mod nquads;
+pub mod ntriples;
+pub mod term;
+pub mod trig;
+pub mod triple;
+pub mod turtle;
+pub mod xsd;
+
+pub use canon::{canonicalize, isomorphic};
+pub use dataset::{Dataset, GraphName};
+pub use nquads::{parse_nquads, write_nquads};
+pub use ntriples::{parse_ntriples, write_ntriples};
+pub use trig::{parse_trig, write_trig};
+pub use turtle::{parse_turtle, write_turtle};
+pub use error::{ParseError, RdfError};
+pub use graph::Graph;
+pub use namespace::PrefixMap;
+pub use term::{BlankNode, Iri, Literal, Subject, Term};
+pub use triple::{Quad, Triple};
+pub use xsd::DateTime;

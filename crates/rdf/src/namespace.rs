@@ -1,0 +1,161 @@
+//! Prefix management: CURIE expansion and IRI compaction.
+
+use crate::error::RdfError;
+use crate::term::Iri;
+use std::collections::BTreeMap;
+
+/// An ordered prefix → namespace map.
+#[derive(Default, Clone, Debug, PartialEq, Eq)]
+pub struct PrefixMap {
+    prefixes: BTreeMap<String, String>,
+}
+
+impl PrefixMap {
+    /// An empty prefix map.
+    pub fn new() -> Self {
+        PrefixMap::default()
+    }
+
+    /// A prefix map preloaded with the namespaces the corpus uses.
+    pub fn common() -> Self {
+        let mut m = PrefixMap::new();
+        for (p, ns) in [
+            ("rdf", "http://www.w3.org/1999/02/22-rdf-syntax-ns#"),
+            ("rdfs", "http://www.w3.org/2000/01/rdf-schema#"),
+            ("xsd", "http://www.w3.org/2001/XMLSchema#"),
+            ("prov", "http://www.w3.org/ns/prov#"),
+            ("wfprov", "http://purl.org/wf4ever/wfprov#"),
+            ("wfdesc", "http://purl.org/wf4ever/wfdesc#"),
+            ("opmw", "http://www.opmw.org/ontology/"),
+            ("ro", "http://purl.org/wf4ever/ro#"),
+            ("dcterms", "http://purl.org/dc/terms/"),
+            ("foaf", "http://xmlns.com/foaf/0.1/"),
+        ] {
+            m.insert(p, ns);
+        }
+        m
+    }
+
+    /// Bind `prefix` to `namespace` (replacing any previous binding).
+    pub fn insert(&mut self, prefix: impl Into<String>, namespace: impl Into<String>) {
+        self.prefixes.insert(prefix.into(), namespace.into());
+    }
+
+    /// The namespace bound to `prefix`, if any.
+    pub fn get(&self, prefix: &str) -> Option<&str> {
+        self.prefixes.get(prefix).map(String::as_str)
+    }
+
+    /// Iterate `(prefix, namespace)` in prefix order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.prefixes.iter().map(|(p, n)| (p.as_str(), n.as_str()))
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.prefixes.len()
+    }
+
+    /// Whether no prefix is bound.
+    pub fn is_empty(&self) -> bool {
+        self.prefixes.is_empty()
+    }
+
+    /// Expand a CURIE like `prov:Entity` into a full IRI.
+    pub fn expand(&self, curie: &str) -> Result<Iri, RdfError> {
+        let (prefix, local) = curie
+            .split_once(':')
+            .ok_or_else(|| RdfError::InvalidIri(format!("not a CURIE: {curie}")))?;
+        let ns = self
+            .get(prefix)
+            .ok_or_else(|| RdfError::InvalidIri(format!("unbound prefix: {prefix}")))?;
+        Iri::new(format!("{ns}{local}"))
+    }
+
+    /// Compact an IRI to `prefix:local` if a bound namespace is a prefix of
+    /// it and the remainder is a safe local name. Longest namespace wins.
+    pub fn compact(&self, iri: &Iri) -> Option<String> {
+        let s = iri.as_str();
+        let mut best: Option<(&str, &str)> = None;
+        for (prefix, ns) in self.iter() {
+            if let Some(local) = s.strip_prefix(ns) {
+                if is_safe_local(local)
+                    && best.is_none_or(|(_, b)| ns.len() > self.get(b).map_or(0, str::len))
+                {
+                    best = Some((local, prefix));
+                }
+            }
+        }
+        best.map(|(local, prefix)| format!("{prefix}:{local}"))
+    }
+}
+
+/// Local names we are willing to emit in Turtle without escaping:
+/// `[A-Za-z0-9_][A-Za-z0-9_.-]*` not ending with `.`, or empty.
+fn is_safe_local(s: &str) -> bool {
+    if s.is_empty() {
+        return true;
+    }
+    let mut chars = s.chars();
+    let first_ok = chars
+        .next()
+        .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_');
+    first_ok
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.'))
+        && !s.ends_with('.')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expand_common_prefixes() {
+        let m = PrefixMap::common();
+        assert_eq!(
+            m.expand("prov:Entity").unwrap().as_str(),
+            "http://www.w3.org/ns/prov#Entity"
+        );
+        assert_eq!(
+            m.expand("wfprov:WorkflowRun").unwrap().as_str(),
+            "http://purl.org/wf4ever/wfprov#WorkflowRun"
+        );
+        assert!(m.expand("nope:X").is_err());
+        assert!(m.expand("nocolon").is_err());
+    }
+
+    #[test]
+    fn compact_picks_longest_namespace() {
+        let mut m = PrefixMap::new();
+        m.insert("e", "http://example.org/");
+        m.insert("ev", "http://example.org/vocab/");
+        let iri = Iri::new("http://example.org/vocab/Thing").unwrap();
+        assert_eq!(m.compact(&iri), Some("ev:Thing".to_owned()));
+    }
+
+    #[test]
+    fn compact_rejects_unsafe_locals() {
+        let m = PrefixMap::common();
+        let iri = Iri::new("http://www.w3.org/ns/prov#a/b").unwrap();
+        assert_eq!(m.compact(&iri), None);
+        let trailing_dot = Iri::new("http://www.w3.org/ns/prov#x.").unwrap();
+        assert_eq!(m.compact(&trailing_dot), None);
+    }
+
+    #[test]
+    fn compact_unknown_namespace_is_none() {
+        let m = PrefixMap::common();
+        let iri = Iri::new("http://nowhere.example/thing").unwrap();
+        assert_eq!(m.compact(&iri), None);
+    }
+
+    #[test]
+    fn rebinding_replaces() {
+        let mut m = PrefixMap::new();
+        m.insert("p", "http://a/");
+        m.insert("p", "http://b/");
+        assert_eq!(m.get("p"), Some("http://b/"));
+        assert_eq!(m.len(), 1);
+        assert!(!m.is_empty());
+    }
+}

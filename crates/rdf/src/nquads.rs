@@ -1,0 +1,283 @@
+//! N-Quads reading and writing: the line-oriented dataset format, useful
+//! for shipping the whole corpus (default graph + every bundle) as one
+//! stream.
+
+use crate::dataset::Dataset;
+use crate::error::ParseError;
+use crate::term::{BlankNode, Iri, Literal, Subject, Term};
+use crate::triple::{Quad, Triple};
+
+/// Serialize a dataset as N-Quads, one statement per line.
+pub fn write_nquads(dataset: &Dataset) -> String {
+    let mut out = String::new();
+    for quad in dataset.quads() {
+        out.push_str(&quad.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+struct LineParser<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line_no: usize,
+    line: &'a str,
+}
+
+impl<'a> LineParser<'a> {
+    fn new(line: &'a str, line_no: usize) -> Self {
+        LineParser { chars: line.chars().collect(), pos: 0, line_no, line }
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError::new(self.line_no, self.pos + 1, format!("{} in {:?}", message.into(), self.line))
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.chars.len() && self.chars[self.pos].is_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        Some(c)
+    }
+
+    fn parse_iriref(&mut self) -> Result<Iri, ParseError> {
+        let opening = self.bump();
+        debug_assert_eq!(opening, Some('<'));
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated IRI")),
+                Some('>') => break,
+                Some('\\') => match self.bump() {
+                    Some('u') => s.push(self.hex_escape(4)?),
+                    Some('U') => s.push(self.hex_escape(8)?),
+                    other => return Err(self.err(format!("bad IRI escape {other:?}"))),
+                },
+                Some(c) => s.push(c),
+            }
+        }
+        Iri::new(&s).map_err(|_| self.err(format!("invalid IRI <{s}>")))
+    }
+
+    fn hex_escape(&mut self, n: usize) -> Result<char, ParseError> {
+        let mut v = 0u32;
+        for _ in 0..n {
+            let c = self.bump().ok_or_else(|| self.err("truncated escape"))?;
+            v = v * 16 + c.to_digit(16).ok_or_else(|| self.err("bad hex digit"))?;
+        }
+        char::from_u32(v).ok_or_else(|| self.err("invalid code point"))
+    }
+
+    fn parse_blank(&mut self) -> Result<BlankNode, ParseError> {
+        let opening = self.bump();
+        debug_assert_eq!(opening, Some('_'));
+        if self.bump() != Some(':') {
+            return Err(self.err("expected `:` after `_`"));
+        }
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.'))
+        {
+            self.pos += 1;
+        }
+        // A trailing dot is the statement terminator.
+        let mut end = self.pos;
+        while end > start && self.chars[end - 1] == '.' {
+            end -= 1;
+        }
+        self.pos = end;
+        let label: String = self.chars[start..end].iter().collect();
+        BlankNode::new(&label).map_err(|_| self.err(format!("invalid blank label {label:?}")))
+    }
+
+    fn parse_literal(&mut self) -> Result<Literal, ParseError> {
+        let opening = self.bump();
+        debug_assert_eq!(opening, Some('"'));
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated literal")),
+                Some('"') => break,
+                Some('\\') => match self.bump() {
+                    Some('t') => s.push('\t'),
+                    Some('b') => s.push('\u{08}'),
+                    Some('n') => s.push('\n'),
+                    Some('r') => s.push('\r'),
+                    Some('f') => s.push('\u{0C}'),
+                    Some('"') => s.push('"'),
+                    Some('\'') => s.push('\''),
+                    Some('\\') => s.push('\\'),
+                    Some('u') => s.push(self.hex_escape(4)?),
+                    Some('U') => s.push(self.hex_escape(8)?),
+                    other => return Err(self.err(format!("bad string escape {other:?}"))),
+                },
+                Some(c) => s.push(c),
+            }
+        }
+        match self.peek() {
+            Some('@') => {
+                self.pos += 1;
+                let start = self.pos;
+                while self
+                    .peek()
+                    .is_some_and(|c| c.is_ascii_alphanumeric() || c == '-')
+                {
+                    self.pos += 1;
+                }
+                let tag: String = self.chars[start..self.pos].iter().collect();
+                Literal::lang(&s, &tag).map_err(|_| self.err(format!("bad language tag {tag:?}")))
+            }
+            Some('^') => {
+                self.pos += 1;
+                if self.bump() != Some('^') {
+                    return Err(self.err("expected `^^`"));
+                }
+                if self.peek() != Some('<') {
+                    return Err(self.err("expected datatype IRI"));
+                }
+                let dt = self.parse_iriref()?;
+                Ok(Literal::typed(&s, dt))
+            }
+            _ => Ok(Literal::simple(&s)),
+        }
+    }
+
+    fn parse_subject(&mut self) -> Result<Subject, ParseError> {
+        match self.peek() {
+            Some('<') => Ok(Subject::Iri(self.parse_iriref()?)),
+            Some('_') => Ok(Subject::Blank(self.parse_blank()?)),
+            other => Err(self.err(format!("expected subject, found {other:?}"))),
+        }
+    }
+
+    fn parse_term(&mut self) -> Result<Term, ParseError> {
+        match self.peek() {
+            Some('<') => Ok(Term::Iri(self.parse_iriref()?)),
+            Some('_') => Ok(Term::Blank(self.parse_blank()?)),
+            Some('"') => Ok(Term::Literal(self.parse_literal()?)),
+            other => Err(self.err(format!("expected term, found {other:?}"))),
+        }
+    }
+
+    fn parse_quad(&mut self) -> Result<Quad, ParseError> {
+        self.skip_ws();
+        let subject = self.parse_subject()?;
+        self.skip_ws();
+        if self.peek() != Some('<') {
+            return Err(self.err("expected predicate IRI"));
+        }
+        let predicate = self.parse_iriref()?;
+        self.skip_ws();
+        let object = self.parse_term()?;
+        self.skip_ws();
+        let graph = match self.peek() {
+            Some('.') => None,
+            Some('<') => Some(Subject::Iri(self.parse_iriref()?)),
+            Some('_') => Some(Subject::Blank(self.parse_blank()?)),
+            other => return Err(self.err(format!("expected graph label or `.`, found {other:?}"))),
+        };
+        self.skip_ws();
+        if self.bump() != Some('.') {
+            return Err(self.err("expected terminating `.`"));
+        }
+        self.skip_ws();
+        if let Some(c) = self.peek() {
+            if c != '#' {
+                return Err(self.err("trailing content after `.`"));
+            }
+        }
+        Ok(Quad { triple: Triple { subject, predicate, object }, graph })
+    }
+}
+
+/// Parse an N-Quads document into a dataset.
+pub fn parse_nquads(input: &str) -> Result<Dataset, ParseError> {
+    let mut ds = Dataset::new();
+    for (i, line) in input.lines().enumerate() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let quad = LineParser::new(trimmed, i + 1).parse_quad()?;
+        ds.insert(quad);
+    }
+    Ok(ds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iri(s: &str) -> Iri {
+        Iri::new(s).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_mixed_dataset() {
+        let mut ds = Dataset::new();
+        ds.insert(Quad::in_default(Triple::new(
+            iri("http://e/s"),
+            iri("http://e/p"),
+            Literal::lang("héllo\n", "en-GB").unwrap(),
+        )));
+        ds.insert(Quad::in_graph(
+            Triple::new(
+                BlankNode::new("b0").unwrap(),
+                iri("http://e/p"),
+                Literal::typed("5", iri(crate::xsd::INTEGER)),
+            ),
+            iri("http://e/g"),
+        ));
+        let nq = write_nquads(&ds);
+        let back = parse_nquads(&nq).unwrap();
+        assert_eq!(back, ds);
+    }
+
+    #[test]
+    fn parses_hand_written_lines() {
+        let doc = r#"
+# a comment
+<http://e/s> <http://e/p> "v" .
+<http://e/s> <http://e/p> <http://e/o> <http://e/g> .
+_:b <http://e/p> "x"^^<http://www.w3.org/2001/XMLSchema#integer> _:g .
+"#;
+        let ds = parse_nquads(doc).unwrap();
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds.default_graph().len(), 1);
+        assert_eq!(ds.named_graphs().count(), 2);
+    }
+
+    #[test]
+    fn error_positions_are_line_accurate() {
+        let doc = "<http://e/s> <http://e/p> \"v\" .\nnot a quad\n";
+        let err = parse_nquads(doc).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(parse_nquads("<http://e/s> <http://e/p> .").is_err());
+        assert!(parse_nquads("<http://e/s> <http://e/p> \"v\"").is_err());
+        assert!(parse_nquads("<http://e/s> <http://e/p> \"v\" . junk").is_err());
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        let doc = r#"<http://e/s> <http://e/p> "é\U0001F600" ."#;
+        let ds = parse_nquads(doc).unwrap();
+        let t = ds.default_graph().iter().next().unwrap();
+        assert_eq!(t.object.as_literal().unwrap().lexical(), "é😀");
+    }
+
+    #[test]
+    fn empty_document() {
+        assert!(parse_nquads("").unwrap().is_empty());
+        assert_eq!(write_nquads(&Dataset::new()), "");
+    }
+}

@@ -1,0 +1,66 @@
+//! N-Triples reading and writing.
+//!
+//! N-Triples is a line-oriented subset of Turtle; parsing reuses the
+//! Turtle parser (which accepts every valid N-Triples document), while the
+//! writer emits one canonical absolute-IRI statement per line.
+
+use crate::error::ParseError;
+use crate::graph::Graph;
+
+/// Parse an N-Triples document. Any valid N-Triples document is also valid
+/// Turtle, so this delegates to the Turtle parser; documents that use
+/// Turtle-only sugar are *also* accepted (we are liberal in what we accept).
+pub fn parse_ntriples(input: &str) -> Result<Graph, ParseError> {
+    let (graph, _) = crate::turtle::parse_turtle(input)?;
+    Ok(graph)
+}
+
+/// Serialize a graph as N-Triples, one statement per line, in index order.
+pub fn write_ntriples(graph: &Graph) -> String {
+    let mut out = String::new();
+    for t in graph.iter() {
+        out.push_str(&t.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::{Iri, Literal};
+    use crate::triple::Triple;
+
+    #[test]
+    fn roundtrip() {
+        let mut g = Graph::new();
+        g.insert(Triple::new(
+            Iri::new("http://e/s").unwrap(),
+            Iri::new("http://e/p").unwrap(),
+            Literal::lang("été\nnouveau", "fr").unwrap(),
+        ));
+        g.insert(Triple::new(
+            Iri::new("http://e/s").unwrap(),
+            Iri::new("http://e/q").unwrap(),
+            Iri::new("http://e/o").unwrap(),
+        ));
+        let nt = write_ntriples(&g);
+        assert_eq!(nt.lines().count(), 2);
+        let g2 = parse_ntriples(&nt).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn empty_graph_is_empty_document() {
+        assert_eq!(write_ntriples(&Graph::new()), "");
+        assert!(parse_ntriples("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn line_per_statement() {
+        let nt = "<http://e/s> <http://e/p> \"v\" .\n<http://e/s> <http://e/p> \"w\" .\n";
+        let g = parse_ntriples(nt).unwrap();
+        assert_eq!(g.len(), 2);
+        assert_eq!(write_ntriples(&g), nt);
+    }
+}

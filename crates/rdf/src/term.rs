@@ -1,0 +1,491 @@
+//! RDF terms: IRIs, blank nodes and literals.
+//!
+//! Terms use [`std::sync::Arc`]`<str>` internally so that cloning a term —
+//! which happens constantly when building triples — is a reference-count
+//! bump rather than a heap allocation.
+
+use crate::error::RdfError;
+use std::fmt;
+use std::sync::Arc;
+
+/// An IRI (we do not distinguish IRIs from URIs; the corpus uses ASCII IRIs).
+///
+/// Validation is deliberately light: an IRI must be non-empty, contain a
+/// scheme delimiter (`:`), and contain no whitespace, `<`, `>`, `"`, `{`,
+/// `}`, `|`, `^`, or backslash — the characters that would break the
+/// N-Triples/Turtle serializations the corpus relies on.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Iri(Arc<str>);
+
+impl Iri {
+    /// Parse and validate an IRI.
+    pub fn new(iri: impl AsRef<str>) -> Result<Self, RdfError> {
+        let s = iri.as_ref();
+        if Self::is_valid(s) {
+            Ok(Iri(Arc::from(s)))
+        } else {
+            Err(RdfError::InvalidIri(s.to_owned()))
+        }
+    }
+
+    /// Construct without validation. Intended for static, known-good
+    /// vocabulary constants; panics in debug builds on invalid input.
+    pub fn new_unchecked(iri: impl AsRef<str>) -> Self {
+        let s = iri.as_ref();
+        debug_assert!(Self::is_valid(s), "invalid IRI passed to new_unchecked: {s:?}");
+        Iri(Arc::from(s))
+    }
+
+    fn is_valid(s: &str) -> bool {
+        !s.is_empty()
+            && s.contains(':')
+            && !s.chars().any(|c| {
+                c.is_whitespace() || matches!(c, '<' | '>' | '"' | '{' | '}' | '|' | '^' | '`' | '\\')
+            })
+    }
+
+    /// The IRI as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Append a suffix to this IRI, e.g. to mint identifiers under a base.
+    pub fn join(&self, suffix: &str) -> Result<Self, RdfError> {
+        Self::new(format!("{}{}", self.0, suffix))
+    }
+}
+
+impl fmt::Debug for Iri {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Iri(<{}>)", self.0)
+    }
+}
+
+impl fmt::Display for Iri {
+    /// Displays in N-Triples syntax: `<iri>`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{}>", self.0)
+    }
+}
+
+impl AsRef<str> for Iri {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+/// A blank node with an explicit label.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlankNode(Arc<str>);
+
+impl BlankNode {
+    /// Create a blank node; labels must match `[A-Za-z0-9][A-Za-z0-9_.-]*`
+    /// with no trailing `.` (the portable intersection of the Turtle and
+    /// N-Triples grammars).
+    pub fn new(label: impl AsRef<str>) -> Result<Self, RdfError> {
+        let s = label.as_ref();
+        let ok = !s.is_empty()
+            && s.chars().next().is_some_and(|c| c.is_ascii_alphanumeric())
+            && s.chars().all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.'))
+            && !s.ends_with('.');
+        if ok {
+            Ok(BlankNode(Arc::from(s)))
+        } else {
+            Err(RdfError::InvalidBlankNodeLabel(s.to_owned()))
+        }
+    }
+
+    /// The label, without the `_:` prefix.
+    pub fn label(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Debug for BlankNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BlankNode(_:{})", self.0)
+    }
+}
+
+impl fmt::Display for BlankNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "_:{}", self.0)
+    }
+}
+
+/// The three kinds of RDF 1.1 literals.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+enum LiteralKind {
+    /// A simple literal (implicitly `xsd:string`).
+    Simple,
+    /// A language-tagged string.
+    Lang(Arc<str>),
+    /// A literal with an explicit datatype IRI.
+    Typed(Iri),
+}
+
+/// An RDF literal: a lexical form plus either a language tag or a datatype.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Literal {
+    lexical: Arc<str>,
+    kind: LiteralKind,
+}
+
+impl Literal {
+    /// A simple (plain, `xsd:string`) literal.
+    pub fn simple(lexical: impl AsRef<str>) -> Self {
+        Literal { lexical: Arc::from(lexical.as_ref()), kind: LiteralKind::Simple }
+    }
+
+    /// A language-tagged string; the tag must match `[a-zA-Z]+(-[a-zA-Z0-9]+)*`.
+    pub fn lang(lexical: impl AsRef<str>, tag: impl AsRef<str>) -> Result<Self, RdfError> {
+        let tag = tag.as_ref();
+        let mut parts = tag.split('-');
+        let head_ok = parts
+            .next()
+            .is_some_and(|h| !h.is_empty() && h.chars().all(|c| c.is_ascii_alphabetic()));
+        let rest_ok =
+            parts.all(|p| !p.is_empty() && p.chars().all(|c| c.is_ascii_alphanumeric()));
+        if head_ok && rest_ok {
+            Ok(Literal {
+                lexical: Arc::from(lexical.as_ref()),
+                kind: LiteralKind::Lang(Arc::from(tag.to_ascii_lowercase().as_str())),
+            })
+        } else {
+            Err(RdfError::InvalidLanguageTag(tag.to_owned()))
+        }
+    }
+
+    /// A typed literal with the given datatype IRI.
+    pub fn typed(lexical: impl AsRef<str>, datatype: Iri) -> Self {
+        if datatype.as_str() == crate::xsd::STRING {
+            return Literal::simple(lexical);
+        }
+        Literal { lexical: Arc::from(lexical.as_ref()), kind: LiteralKind::Typed(datatype) }
+    }
+
+    /// An `xsd:integer` literal.
+    pub fn integer(value: i64) -> Self {
+        Literal::typed(value.to_string(), Iri::new_unchecked(crate::xsd::INTEGER))
+    }
+
+    /// An `xsd:boolean` literal.
+    pub fn boolean(value: bool) -> Self {
+        Literal::typed(value.to_string(), Iri::new_unchecked(crate::xsd::BOOLEAN))
+    }
+
+    /// An `xsd:decimal` literal (from a float, rendered with full precision).
+    pub fn decimal(value: f64) -> Self {
+        Literal::typed(format!("{value}"), Iri::new_unchecked(crate::xsd::DECIMAL))
+    }
+
+    /// An `xsd:dateTime` literal from a [`crate::xsd::DateTime`].
+    pub fn date_time(value: &crate::xsd::DateTime) -> Self {
+        Literal::typed(value.to_string(), Iri::new_unchecked(crate::xsd::DATE_TIME))
+    }
+
+    /// The lexical form.
+    pub fn lexical(&self) -> &str {
+        &self.lexical
+    }
+
+    /// The language tag, if this is a language-tagged string.
+    pub fn language(&self) -> Option<&str> {
+        match &self.kind {
+            LiteralKind::Lang(tag) => Some(tag),
+            _ => None,
+        }
+    }
+
+    /// The datatype IRI. Simple literals report `xsd:string`, language
+    /// strings report `rdf:langString`, per RDF 1.1.
+    pub fn datatype(&self) -> Iri {
+        match &self.kind {
+            LiteralKind::Simple => Iri::new_unchecked(crate::xsd::STRING),
+            LiteralKind::Lang(_) => {
+                Iri::new_unchecked("http://www.w3.org/1999/02/22-rdf-syntax-ns#langString")
+            }
+            LiteralKind::Typed(dt) => dt.clone(),
+        }
+    }
+
+    /// Whether this literal is a simple (plain) literal.
+    pub fn is_simple(&self) -> bool {
+        matches!(self.kind, LiteralKind::Simple)
+    }
+
+    /// Parse as `i64` if the datatype is a numeric XSD type.
+    pub fn as_integer(&self) -> Option<i64> {
+        match &self.kind {
+            LiteralKind::Typed(dt)
+                if matches!(
+                    dt.as_str(),
+                    crate::xsd::INTEGER | crate::xsd::LONG | crate::xsd::INT
+                ) =>
+            {
+                self.lexical.parse().ok()
+            }
+            _ => None,
+        }
+    }
+
+    /// Parse as [`crate::xsd::DateTime`] if this is an `xsd:dateTime`.
+    pub fn as_date_time(&self) -> Option<crate::xsd::DateTime> {
+        match &self.kind {
+            LiteralKind::Typed(dt) if dt.as_str() == crate::xsd::DATE_TIME => {
+                crate::xsd::DateTime::parse(&self.lexical).ok()
+            }
+            _ => None,
+        }
+    }
+
+    /// Parse as `bool` if this is an `xsd:boolean`.
+    pub fn as_boolean(&self) -> Option<bool> {
+        match &self.kind {
+            LiteralKind::Typed(dt) if dt.as_str() == crate::xsd::BOOLEAN => {
+                match self.lexical.as_ref() {
+                    "true" | "1" => Some(true),
+                    "false" | "0" => Some(false),
+                    _ => None,
+                }
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Escape a string for inclusion between double quotes in N-Triples/Turtle.
+pub(crate) fn escape_literal(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            _ => out.push(c),
+        }
+    }
+}
+
+impl fmt::Debug for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Literal({self})")
+    }
+}
+
+impl fmt::Display for Literal {
+    /// Displays in N-Triples syntax.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut buf = String::with_capacity(self.lexical.len() + 2);
+        escape_literal(&self.lexical, &mut buf);
+        write!(f, "\"{buf}\"")?;
+        match &self.kind {
+            LiteralKind::Simple => Ok(()),
+            LiteralKind::Lang(tag) => write!(f, "@{tag}"),
+            LiteralKind::Typed(dt) => write!(f, "^^{dt}"),
+        }
+    }
+}
+
+/// A subject position term: IRI or blank node.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum Subject {
+    /// A named node.
+    Iri(Iri),
+    /// An anonymous node.
+    Blank(BlankNode),
+}
+
+impl Subject {
+    /// The IRI, if this subject is named.
+    pub fn as_iri(&self) -> Option<&Iri> {
+        match self {
+            Subject::Iri(i) => Some(i),
+            Subject::Blank(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Subject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Subject::Iri(i) => i.fmt(f),
+            Subject::Blank(b) => b.fmt(f),
+        }
+    }
+}
+
+impl From<Iri> for Subject {
+    fn from(i: Iri) -> Self {
+        Subject::Iri(i)
+    }
+}
+
+impl From<BlankNode> for Subject {
+    fn from(b: BlankNode) -> Self {
+        Subject::Blank(b)
+    }
+}
+
+/// Any RDF term: IRI, blank node or literal.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum Term {
+    /// A named node.
+    Iri(Iri),
+    /// An anonymous node.
+    Blank(BlankNode),
+    /// A literal value.
+    Literal(Literal),
+}
+
+impl Term {
+    /// The IRI, if this term is one.
+    pub fn as_iri(&self) -> Option<&Iri> {
+        match self {
+            Term::Iri(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// The literal, if this term is one.
+    pub fn as_literal(&self) -> Option<&Literal> {
+        match self {
+            Term::Literal(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// Convert to a [`Subject`] if this term may appear in subject position.
+    pub fn as_subject(&self) -> Option<Subject> {
+        match self {
+            Term::Iri(i) => Some(Subject::Iri(i.clone())),
+            Term::Blank(b) => Some(Subject::Blank(b.clone())),
+            Term::Literal(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Iri(i) => i.fmt(f),
+            Term::Blank(b) => b.fmt(f),
+            Term::Literal(l) => l.fmt(f),
+        }
+    }
+}
+
+impl From<Iri> for Term {
+    fn from(i: Iri) -> Self {
+        Term::Iri(i)
+    }
+}
+
+impl From<BlankNode> for Term {
+    fn from(b: BlankNode) -> Self {
+        Term::Blank(b)
+    }
+}
+
+impl From<Literal> for Term {
+    fn from(l: Literal) -> Self {
+        Term::Literal(l)
+    }
+}
+
+impl From<Subject> for Term {
+    fn from(s: Subject) -> Self {
+        match s {
+            Subject::Iri(i) => Term::Iri(i),
+            Subject::Blank(b) => Term::Blank(b),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iri_validation() {
+        assert!(Iri::new("http://example.org/a").is_ok());
+        assert!(Iri::new("urn:uuid:1234").is_ok());
+        assert!(Iri::new("").is_err());
+        assert!(Iri::new("no-scheme").is_err());
+        assert!(Iri::new("http://example.org/a b").is_err());
+        assert!(Iri::new("http://example.org/<x>").is_err());
+    }
+
+    #[test]
+    fn iri_display_and_join() {
+        let base = Iri::new("http://example.org/run/").unwrap();
+        assert_eq!(base.to_string(), "<http://example.org/run/>");
+        let joined = base.join("42").unwrap();
+        assert_eq!(joined.as_str(), "http://example.org/run/42");
+    }
+
+    #[test]
+    fn blank_node_validation() {
+        assert!(BlankNode::new("b0").is_ok());
+        assert!(BlankNode::new("node-1.a").is_ok());
+        assert!(BlankNode::new("").is_err());
+        assert!(BlankNode::new("-lead").is_err());
+        assert!(BlankNode::new("trail.").is_err());
+        assert!(BlankNode::new("sp ace").is_err());
+        assert_eq!(BlankNode::new("b1").unwrap().to_string(), "_:b1");
+    }
+
+    #[test]
+    fn literal_kinds_and_accessors() {
+        let s = Literal::simple("hello");
+        assert!(s.is_simple());
+        assert_eq!(s.datatype().as_str(), crate::xsd::STRING);
+
+        let l = Literal::lang("bonjour", "FR").unwrap();
+        assert_eq!(l.language(), Some("fr"));
+        assert_eq!(l.to_string(), "\"bonjour\"@fr");
+        assert!(Literal::lang("x", "9nope").is_err());
+        assert!(Literal::lang("x", "en-").is_err());
+
+        let i = Literal::integer(-7);
+        assert_eq!(i.as_integer(), Some(-7));
+        assert_eq!(i.to_string(), format!("\"-7\"^^<{}>", crate::xsd::INTEGER));
+
+        let b = Literal::boolean(true);
+        assert_eq!(b.as_boolean(), Some(true));
+    }
+
+    #[test]
+    fn typed_string_collapses_to_simple() {
+        let t = Literal::typed("x", Iri::new_unchecked(crate::xsd::STRING));
+        assert!(t.is_simple());
+        assert_eq!(t, Literal::simple("x"));
+    }
+
+    #[test]
+    fn literal_escaping() {
+        let l = Literal::simple("line1\nline2\t\"quoted\" \\slash");
+        assert_eq!(l.to_string(), "\"line1\\nline2\\t\\\"quoted\\\" \\\\slash\"");
+    }
+
+    #[test]
+    fn datetime_literal_roundtrip() {
+        let dt = crate::xsd::DateTime::from_unix_millis(1_358_245_800_000);
+        let lit = Literal::date_time(&dt);
+        assert_eq!(lit.as_date_time(), Some(dt));
+    }
+
+    #[test]
+    fn term_conversions() {
+        let iri = Iri::new("http://example.org/x").unwrap();
+        let t: Term = iri.clone().into();
+        assert_eq!(t.as_iri(), Some(&iri));
+        assert_eq!(t.as_subject(), Some(Subject::Iri(iri.clone())));
+        let lit: Term = Literal::simple("v").into();
+        assert!(lit.as_subject().is_none());
+        assert!(lit.as_literal().is_some());
+    }
+}

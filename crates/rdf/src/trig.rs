@@ -1,0 +1,95 @@
+//! TriG reading and writing (Turtle plus named graphs).
+//!
+//! Wings provenance in the corpus wraps each run account in a
+//! `prov:Bundle`, serialized as a TriG named graph.
+
+use crate::dataset::Dataset;
+use crate::error::ParseError;
+use crate::namespace::PrefixMap;
+use crate::turtle::{render_subject, write_graph_body, Parser};
+
+/// Parse a TriG document into a dataset (plus declared prefixes).
+pub fn parse_trig(input: &str) -> Result<(Dataset, PrefixMap), ParseError> {
+    Parser::new(input, true)?.parse()
+}
+
+/// Serialize a dataset as TriG: the default graph first as plain Turtle,
+/// then each named graph as a `name { ... }` block.
+pub fn write_trig(dataset: &Dataset, prefixes: &PrefixMap) -> String {
+    let mut out = String::new();
+    for (prefix, ns) in prefixes.iter() {
+        out.push_str(&format!("@prefix {prefix}: <{ns}> .\n"));
+    }
+    if !prefixes.is_empty() {
+        out.push('\n');
+    }
+    write_graph_body(dataset.default_graph(), prefixes, "", &mut out);
+    for (name, graph) in dataset.named_graphs() {
+        if !dataset.default_graph().is_empty() || !out.ends_with("\n\n") {
+            out.push('\n');
+        }
+        out.push_str(&render_subject(name, prefixes));
+        out.push_str(" {\n");
+        write_graph_body(graph, prefixes, "    ", &mut out);
+        out.push_str("}\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::{Iri, Subject};
+    use crate::triple::{Quad, Triple};
+
+    fn iri(s: &str) -> Iri {
+        Iri::new(s).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_with_named_graphs() {
+        let mut ds = Dataset::new();
+        ds.insert(Quad::in_default(Triple::new(
+            iri("http://e/s"),
+            iri("http://e/p"),
+            iri("http://e/o"),
+        )));
+        ds.insert(Quad::in_graph(
+            Triple::new(iri("http://e/a"), iri("http://e/p"), iri("http://e/b")),
+            iri("http://e/bundle1"),
+        ));
+        ds.insert(Quad::in_graph(
+            Triple::new(iri("http://e/c"), iri("http://e/p"), iri("http://e/d")),
+            iri("http://e/bundle2"),
+        ));
+        let mut pm = PrefixMap::new();
+        pm.insert("e", "http://e/");
+        let trig = write_trig(&ds, &pm);
+        let (ds2, _) = parse_trig(&trig).unwrap();
+        assert_eq!(ds, ds2);
+    }
+
+    #[test]
+    fn parse_graph_keyword_form() {
+        let (ds, _) = parse_trig(
+            "@prefix e: <http://e/> .\nGRAPH e:g { e:s e:p e:o . }",
+        )
+        .unwrap();
+        let name: Subject = iri("http://e/g").into();
+        assert_eq!(ds.named_graph(&name).unwrap().len(), 1);
+        assert!(ds.default_graph().is_empty());
+    }
+
+    #[test]
+    fn empty_dataset_writes_header_only() {
+        let pm = PrefixMap::new();
+        assert_eq!(write_trig(&Dataset::new(), &pm), "");
+    }
+
+    #[test]
+    fn plain_turtle_is_valid_trig() {
+        let (ds, _) = parse_trig("<http://e/s> <http://e/p> <http://e/o> .").unwrap();
+        assert_eq!(ds.default_graph().len(), 1);
+        assert_eq!(ds.named_graphs().count(), 0);
+    }
+}

@@ -1,0 +1,92 @@
+//! Triples and quads.
+
+use crate::term::{Iri, Subject, Term};
+use std::fmt;
+
+/// An RDF triple.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Triple {
+    /// Subject position.
+    pub subject: Subject,
+    /// Predicate position (always an IRI).
+    pub predicate: Iri,
+    /// Object position.
+    pub object: Term,
+}
+
+impl Triple {
+    /// Build a triple from anything convertible into the three positions.
+    pub fn new(subject: impl Into<Subject>, predicate: Iri, object: impl Into<Term>) -> Self {
+        Triple { subject: subject.into(), predicate, object: object.into() }
+    }
+}
+
+impl fmt::Display for Triple {
+    /// N-Triples statement syntax (terminating ` .` included).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {} .", self.subject, self.predicate, self.object)
+    }
+}
+
+/// A quad: a triple plus an optional named-graph label.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Quad {
+    /// The triple.
+    pub triple: Triple,
+    /// The graph the triple belongs to; `None` means the default graph.
+    pub graph: Option<Subject>,
+}
+
+impl Quad {
+    /// A quad in the default graph.
+    pub fn in_default(triple: Triple) -> Self {
+        Quad { triple, graph: None }
+    }
+
+    /// A quad in the named graph `graph`.
+    pub fn in_graph(triple: Triple, graph: impl Into<Subject>) -> Self {
+        Quad { triple, graph: Some(graph.into()) }
+    }
+}
+
+impl fmt::Display for Quad {
+    /// N-Quads statement syntax.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.graph {
+            None => self.triple.fmt(f),
+            Some(g) => write!(
+                f,
+                "{} {} {} {} .",
+                self.triple.subject, self.triple.predicate, self.triple.object, g
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Literal;
+
+    fn iri(s: &str) -> Iri {
+        Iri::new(s).unwrap()
+    }
+
+    #[test]
+    fn triple_display() {
+        let t = Triple::new(
+            iri("http://ex.org/s"),
+            iri("http://ex.org/p"),
+            Literal::simple("o"),
+        );
+        assert_eq!(t.to_string(), "<http://ex.org/s> <http://ex.org/p> \"o\" .");
+    }
+
+    #[test]
+    fn quad_display() {
+        let t = Triple::new(iri("http://ex.org/s"), iri("http://ex.org/p"), iri("http://ex.org/o"));
+        assert_eq!(Quad::in_default(t.clone()).to_string(), t.to_string());
+        let q = Quad::in_graph(t, iri("http://ex.org/g"));
+        assert!(q.to_string().ends_with("<http://ex.org/g> ."));
+    }
+}

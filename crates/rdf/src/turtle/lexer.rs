@@ -1,0 +1,621 @@
+//! Tokenizer shared by the Turtle and TriG parsers.
+
+use crate::error::ParseError;
+
+/// A lexical token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Token {
+    pub kind: TokenKind,
+    pub line: usize,
+    pub column: usize,
+}
+
+/// Token kinds of the Turtle/TriG grammar subset we support.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum TokenKind {
+    /// `<...>` with escapes resolved.
+    IriRef(String),
+    /// `prefix:local` (either part may be empty).
+    PrefixedName(String, String),
+    /// `_:label`.
+    BlankNodeLabel(String),
+    /// A quoted string with escapes resolved.
+    StringLiteral(String),
+    /// `@lang-tag`.
+    LangTag(String),
+    /// An integer numeric literal (lexical form).
+    Integer(String),
+    /// A decimal numeric literal (lexical form).
+    Decimal(String),
+    /// A double numeric literal (lexical form).
+    Double(String),
+    /// `true` / `false`.
+    Boolean(bool),
+    /// The keyword `a`.
+    A,
+    /// `@prefix` or `PREFIX`.
+    PrefixDirective {
+        /// Whether the SPARQL spelling (no trailing dot) was used.
+        sparql_style: bool,
+    },
+    /// `@base` or `BASE`.
+    BaseDirective {
+        /// Whether the SPARQL spelling (no trailing dot) was used.
+        sparql_style: bool,
+    },
+    /// The TriG `GRAPH` keyword.
+    Graph,
+    /// `.`
+    Dot,
+    /// `;`
+    Semicolon,
+    /// `,`
+    Comma,
+    /// `[`
+    OpenBracket,
+    /// `]`
+    CloseBracket,
+    /// `(`
+    OpenParen,
+    /// `)`
+    CloseParen,
+    /// `{`
+    OpenBrace,
+    /// `}`
+    CloseBrace,
+    /// `^^`
+    DoubleCaret,
+    /// End of input.
+    Eof,
+}
+
+pub(crate) struct Lexer<'a> {
+    input: &'a [u8],
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    column: usize,
+}
+
+impl<'a> Lexer<'a> {
+    pub fn new(input: &'a str) -> Self {
+        Lexer {
+            input: input.as_bytes(),
+            chars: input.chars().collect(),
+            pos: 0,
+            line: 1,
+            column: 1,
+        }
+    }
+
+    /// Tokenize the whole input (ending with an `Eof` token).
+    pub fn tokenize(mut self) -> Result<Vec<Token>, ParseError> {
+        let _ = self.input;
+        let mut out = Vec::new();
+        loop {
+            self.skip_ws_and_comments();
+            let (line, column) = (self.line, self.column);
+            let Some(c) = self.peek() else {
+                out.push(Token { kind: TokenKind::Eof, line, column });
+                return Ok(out);
+            };
+            let kind = match c {
+                '<' => self.lex_iriref()?,
+                '"' | '\'' => self.lex_string(c)?,
+                '@' => self.lex_at_word()?,
+                '_' => self.lex_blank_node()?,
+                '.' => {
+                    // A dot may start a decimal like `.5`.
+                    if self.peek_at(1).is_some_and(|c| c.is_ascii_digit()) {
+                        self.lex_number()?
+                    } else {
+                        self.bump();
+                        TokenKind::Dot
+                    }
+                }
+                ';' => {
+                    self.bump();
+                    TokenKind::Semicolon
+                }
+                ',' => {
+                    self.bump();
+                    TokenKind::Comma
+                }
+                '[' => {
+                    self.bump();
+                    TokenKind::OpenBracket
+                }
+                ']' => {
+                    self.bump();
+                    TokenKind::CloseBracket
+                }
+                '(' => {
+                    self.bump();
+                    TokenKind::OpenParen
+                }
+                ')' => {
+                    self.bump();
+                    TokenKind::CloseParen
+                }
+                '{' => {
+                    self.bump();
+                    TokenKind::OpenBrace
+                }
+                '}' => {
+                    self.bump();
+                    TokenKind::CloseBrace
+                }
+                '^' => {
+                    self.bump();
+                    if self.peek() == Some('^') {
+                        self.bump();
+                        TokenKind::DoubleCaret
+                    } else {
+                        return Err(self.err_at(line, column, "expected `^^`"));
+                    }
+                }
+                c if c.is_ascii_digit() || c == '+' || c == '-' => self.lex_number()?,
+                c if is_pname_start(c) || c == ':' => self.lex_pname_or_keyword()?,
+                other => {
+                    return Err(self.err_at(line, column, format!("unexpected character {other:?}")))
+                }
+            };
+            out.push(Token { kind, line, column });
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<char> {
+        self.chars.get(self.pos + offset).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::new(self.line, self.column, msg)
+    }
+
+    fn err_at(&self, line: usize, column: usize, msg: impl Into<String>) -> ParseError {
+        ParseError::new(line, column, msg)
+    }
+
+    fn skip_ws_and_comments(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('#') => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn lex_iriref(&mut self) -> Result<TokenKind, ParseError> {
+        self.bump(); // '<'
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated IRI reference")),
+                Some('>') => return Ok(TokenKind::IriRef(out)),
+                Some('\\') => out.push(self.lex_uchar()?),
+                Some(c) if c.is_whitespace() || c == '<' => {
+                    return Err(self.err(format!("illegal character {c:?} in IRI reference")))
+                }
+                Some(c) => out.push(c),
+            }
+        }
+    }
+
+    /// Resolve `\uXXXX` / `\UXXXXXXXX` after a backslash has been consumed.
+    fn lex_uchar(&mut self) -> Result<char, ParseError> {
+        let n = match self.bump() {
+            Some('u') => 4,
+            Some('U') => 8,
+            other => return Err(self.err(format!("invalid escape \\{other:?} in IRI"))),
+        };
+        self.lex_hex_escape(n)
+    }
+
+    fn lex_hex_escape(&mut self, n: usize) -> Result<char, ParseError> {
+        let mut v: u32 = 0;
+        for _ in 0..n {
+            let c = self.bump().ok_or_else(|| self.err("truncated unicode escape"))?;
+            let d = c.to_digit(16).ok_or_else(|| self.err("invalid hex digit in escape"))?;
+            v = v * 16 + d;
+        }
+        char::from_u32(v).ok_or_else(|| self.err("escape is not a valid code point"))
+    }
+
+    fn lex_string(&mut self, quote: char) -> Result<TokenKind, ParseError> {
+        self.bump(); // opening quote
+        let long = self.peek() == Some(quote) && self.peek_at(1) == Some(quote);
+        if long {
+            self.bump();
+            self.bump();
+        } else if self.peek() == Some(quote) {
+            // Empty short string: `""`.
+            self.bump();
+            return Ok(TokenKind::StringLiteral(String::new()));
+        }
+        let mut out = String::new();
+        loop {
+            let Some(c) = self.bump() else {
+                return Err(self.err("unterminated string literal"));
+            };
+            match c {
+                '\\' => out.push(self.lex_string_escape()?),
+                c if c == quote => {
+                    if !long {
+                        return Ok(TokenKind::StringLiteral(out));
+                    }
+                    if self.peek() == Some(quote) && self.peek_at(1) == Some(quote) {
+                        self.bump();
+                        self.bump();
+                        return Ok(TokenKind::StringLiteral(out));
+                    }
+                    out.push(c);
+                }
+                '\n' | '\r' if !long => {
+                    return Err(self.err("newline in short string literal"))
+                }
+                c => out.push(c),
+            }
+        }
+    }
+
+    fn lex_string_escape(&mut self) -> Result<char, ParseError> {
+        match self.bump() {
+            Some('t') => Ok('\t'),
+            Some('b') => Ok('\u{08}'),
+            Some('n') => Ok('\n'),
+            Some('r') => Ok('\r'),
+            Some('f') => Ok('\u{0C}'),
+            Some('"') => Ok('"'),
+            Some('\'') => Ok('\''),
+            Some('\\') => Ok('\\'),
+            Some('u') => self.lex_hex_escape(4),
+            Some('U') => self.lex_hex_escape(8),
+            other => Err(self.err(format!("invalid string escape \\{other:?}"))),
+        }
+    }
+
+    fn lex_at_word(&mut self) -> Result<TokenKind, ParseError> {
+        self.bump(); // '@'
+        let mut word = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == '-' {
+                word.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        match word.as_str() {
+            "prefix" => Ok(TokenKind::PrefixDirective { sparql_style: false }),
+            "base" => Ok(TokenKind::BaseDirective { sparql_style: false }),
+            _ if !word.is_empty()
+                && word.split('-').enumerate().all(|(i, p)| {
+                    !p.is_empty()
+                        && p.chars().all(|c| {
+                            if i == 0 {
+                                c.is_ascii_alphabetic()
+                            } else {
+                                c.is_ascii_alphanumeric()
+                            }
+                        })
+                }) =>
+            {
+                Ok(TokenKind::LangTag(word))
+            }
+            _ => Err(self.err(format!("invalid @-word: @{word}"))),
+        }
+    }
+
+    fn lex_blank_node(&mut self) -> Result<TokenKind, ParseError> {
+        self.bump(); // '_'
+        if self.bump() != Some(':') {
+            return Err(self.err("expected `:` after `_` in blank node label"));
+        }
+        let mut label = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '.' {
+                // A dot only belongs to the label if not the statement
+                // terminator; peek one past to decide.
+                if c == '.'
+                    && !self
+                        .peek_at(1)
+                        .is_some_and(|n| n.is_ascii_alphanumeric() || n == '_' || n == '-')
+                {
+                    break;
+                }
+                label.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if label.is_empty() {
+            return Err(self.err("empty blank node label"));
+        }
+        Ok(TokenKind::BlankNodeLabel(label))
+    }
+
+    fn lex_number(&mut self) -> Result<TokenKind, ParseError> {
+        let mut s = String::new();
+        if matches!(self.peek(), Some('+') | Some('-')) {
+            s.push(self.bump().unwrap());
+        }
+        let mut saw_digit = false;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            s.push(self.bump().unwrap());
+            saw_digit = true;
+        }
+        let mut is_decimal = false;
+        if self.peek() == Some('.') && self.peek_at(1).is_some_and(|c| c.is_ascii_digit()) {
+            is_decimal = true;
+            s.push(self.bump().unwrap());
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                s.push(self.bump().unwrap());
+                saw_digit = true;
+            }
+        }
+        if !saw_digit {
+            return Err(self.err("malformed numeric literal"));
+        }
+        if matches!(self.peek(), Some('e') | Some('E')) {
+            s.push(self.bump().unwrap());
+            if matches!(self.peek(), Some('+') | Some('-')) {
+                s.push(self.bump().unwrap());
+            }
+            let mut exp_digits = false;
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                s.push(self.bump().unwrap());
+                exp_digits = true;
+            }
+            if !exp_digits {
+                return Err(self.err("malformed exponent in numeric literal"));
+            }
+            return Ok(TokenKind::Double(s));
+        }
+        if is_decimal {
+            Ok(TokenKind::Decimal(s))
+        } else {
+            Ok(TokenKind::Integer(s))
+        }
+    }
+
+    fn lex_pname_or_keyword(&mut self) -> Result<TokenKind, ParseError> {
+        let mut prefix = String::new();
+        while let Some(c) = self.peek() {
+            if is_pname_char(c) {
+                prefix.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if self.peek() == Some(':') {
+            self.bump();
+            let local = self.lex_pn_local()?;
+            return Ok(TokenKind::PrefixedName(prefix, local));
+        }
+        // Bare word: keyword territory.
+        match prefix.as_str() {
+            "a" => Ok(TokenKind::A),
+            "true" => Ok(TokenKind::Boolean(true)),
+            "false" => Ok(TokenKind::Boolean(false)),
+            w if w.eq_ignore_ascii_case("prefix") => {
+                Ok(TokenKind::PrefixDirective { sparql_style: true })
+            }
+            w if w.eq_ignore_ascii_case("base") => {
+                Ok(TokenKind::BaseDirective { sparql_style: true })
+            }
+            w if w.eq_ignore_ascii_case("graph") => Ok(TokenKind::Graph),
+            other => Err(self.err(format!("unexpected bare word {other:?}"))),
+        }
+    }
+
+    fn lex_pn_local(&mut self) -> Result<String, ParseError> {
+        let mut local = String::new();
+        while let Some(c) = self.peek() {
+            match c {
+                c if c.is_ascii_alphanumeric() || matches!(c, '_' | '-') => {
+                    local.push(c);
+                    self.bump();
+                }
+                '.' => {
+                    // Trailing dot terminates the statement instead.
+                    if self
+                        .peek_at(1)
+                        .is_some_and(|n| n.is_ascii_alphanumeric() || matches!(n, '_' | '-' | '%' | '\\' | ':'))
+                    {
+                        local.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                '%' => {
+                    self.bump();
+                    let h1 = self.bump().ok_or_else(|| self.err("truncated %-escape"))?;
+                    let h2 = self.bump().ok_or_else(|| self.err("truncated %-escape"))?;
+                    if !(h1.is_ascii_hexdigit() && h2.is_ascii_hexdigit()) {
+                        return Err(self.err("invalid %-escape in local name"));
+                    }
+                    local.push('%');
+                    local.push(h1);
+                    local.push(h2);
+                }
+                '\\' => {
+                    self.bump();
+                    let e = self.bump().ok_or_else(|| self.err("truncated \\-escape"))?;
+                    if "_~.-!$&'()*+,;=/?#@%".contains(e) {
+                        local.push(e);
+                    } else {
+                        return Err(self.err(format!("invalid local-name escape \\{e}")));
+                    }
+                }
+                _ => break,
+            }
+        }
+        Ok(local)
+    }
+}
+
+fn is_pname_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c > '\u{7F}'
+}
+
+fn is_pname_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.') || c > '\u{7F}'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lex(input: &str) -> Vec<TokenKind> {
+        Lexer::new(input)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        let toks = lex("<http://e/s> a prov:Entity ; _:b0 .");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::IriRef("http://e/s".into()),
+                TokenKind::A,
+                TokenKind::PrefixedName("prov".into(), "Entity".into()),
+                TokenKind::Semicolon,
+                TokenKind::BlankNodeLabel("b0".into()),
+                TokenKind::Dot,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        let toks = lex(r#""hi \"there\"\n" 'single' """long
+line""" "A""#);
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::StringLiteral("hi \"there\"\n".into()),
+                TokenKind::StringLiteral("single".into()),
+                TokenKind::StringLiteral("long\nline".into()),
+                TokenKind::StringLiteral("A".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        let toks = lex("42 -7 3.14 .5 1e3 -2.5E-2");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Integer("42".into()),
+                TokenKind::Integer("-7".into()),
+                TokenKind::Decimal("3.14".into()),
+                TokenKind::Decimal(".5".into()),
+                TokenKind::Double("1e3".into()),
+                TokenKind::Double("-2.5E-2".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn directives_and_langtags() {
+        let toks = lex("@prefix p: <http://e/> . @base <http://b/> . \"x\"@en-GB PREFIX BASE GRAPH");
+        assert!(matches!(toks[0], TokenKind::PrefixDirective { sparql_style: false }));
+        assert!(matches!(toks[4], TokenKind::BaseDirective { sparql_style: false }));
+        assert_eq!(toks[8], TokenKind::LangTag("en-GB".into()));
+        assert!(matches!(toks[9], TokenKind::PrefixDirective { sparql_style: true }));
+        assert!(matches!(toks[10], TokenKind::BaseDirective { sparql_style: true }));
+        assert_eq!(toks[11], TokenKind::Graph);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = lex("# a comment\n42 # trailing\n");
+        assert_eq!(toks, vec![TokenKind::Integer("42".into()), TokenKind::Eof]);
+    }
+
+    #[test]
+    fn pname_local_with_dots_and_escapes() {
+        let toks = lex(r"ex:run.1 ex:a\%b ex:p%4Aq .");
+        assert_eq!(toks[0], TokenKind::PrefixedName("ex".into(), "run.1".into()));
+        assert_eq!(toks[1], TokenKind::PrefixedName("ex".into(), "a%b".into()));
+        assert_eq!(toks[2], TokenKind::PrefixedName("ex".into(), "p%4Aq".into()));
+        assert_eq!(toks[3], TokenKind::Dot);
+    }
+
+    #[test]
+    fn blank_label_trailing_dot_is_statement_end() {
+        let toks = lex("_:b1.");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::BlankNodeLabel("b1".into()),
+                TokenKind::Dot,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let err = Lexer::new("<http://e/s> \n  ~").tokenize().unwrap_err();
+        assert_eq!((err.line, err.column), (2, 3));
+        assert!(Lexer::new("\"unterminated").tokenize().is_err());
+        assert!(Lexer::new("<http://e/a b>").tokenize().is_err());
+        assert!(Lexer::new("1e").tokenize().is_err());
+        assert!(Lexer::new("@nonsense-9-").tokenize().is_err());
+    }
+
+    #[test]
+    fn empty_short_string() {
+        assert_eq!(
+            lex(r#""""#),
+            vec![TokenKind::StringLiteral(String::new()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn booleans() {
+        assert_eq!(
+            lex("true false"),
+            vec![TokenKind::Boolean(true), TokenKind::Boolean(false), TokenKind::Eof]
+        );
+    }
+}

@@ -1,0 +1,627 @@
+//! Recursive-descent parser for Turtle, reused by TriG (`allow_graphs`).
+
+use super::lexer::{Lexer, Token, TokenKind};
+use crate::dataset::Dataset;
+use crate::error::ParseError;
+use crate::namespace::PrefixMap;
+use crate::term::{BlankNode, Iri, Literal, Subject, Term};
+use crate::triple::Triple;
+use crate::xsd;
+use std::collections::HashSet;
+
+const RDF_FIRST: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#first";
+const RDF_REST: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#rest";
+const RDF_NIL: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#nil";
+const RDF_TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+
+pub(crate) struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    prefixes: PrefixMap,
+    base: Option<String>,
+    anon_counter: u64,
+    used_labels: HashSet<String>,
+    allow_graphs: bool,
+    /// The graph currently being filled (`None` = default graph).
+    current_graph: Option<Subject>,
+}
+
+impl Parser {
+    pub fn new(input: &str, allow_graphs: bool) -> Result<Self, ParseError> {
+        let tokens = Lexer::new(input).tokenize()?;
+        let used_labels = tokens
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokenKind::BlankNodeLabel(l) => Some(l.clone()),
+                _ => None,
+            })
+            .collect();
+        Ok(Parser {
+            tokens,
+            pos: 0,
+            prefixes: PrefixMap::new(),
+            base: None,
+            anon_counter: 0,
+            used_labels,
+            allow_graphs,
+            current_graph: None,
+        })
+    }
+
+    pub fn parse(mut self) -> Result<(Dataset, PrefixMap), ParseError> {
+        let mut dataset = Dataset::new();
+        loop {
+            match self.peek_kind() {
+                TokenKind::Eof => break,
+                TokenKind::PrefixDirective { sparql_style } => {
+                    let sparql = *sparql_style;
+                    self.parse_prefix_directive(sparql)?;
+                }
+                TokenKind::BaseDirective { sparql_style } => {
+                    let sparql = *sparql_style;
+                    self.parse_base_directive(sparql)?;
+                }
+                TokenKind::Graph if self.allow_graphs => {
+                    self.advance();
+                    let name = self.parse_graph_name()?;
+                    self.parse_graph_block(&mut dataset, name)?;
+                }
+                TokenKind::OpenBrace if self.allow_graphs => {
+                    // Anonymous `{ ... }` block contributes to the default graph.
+                    self.parse_graph_block_body(&mut dataset, None)?;
+                }
+                _ => self.parse_triples_or_named_block(&mut dataset)?,
+            }
+        }
+        Ok((dataset, self.prefixes))
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn peek_kind(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek_kind_at(&self, offset: usize) -> &TokenKind {
+        let i = (self.pos + offset).min(self.tokens.len() - 1);
+        &self.tokens[i].kind
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err_here(&self, msg: impl Into<String>) -> ParseError {
+        let t = self.peek();
+        ParseError::new(t.line, t.column, msg)
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<(), ParseError> {
+        if self.peek_kind() == kind {
+            self.advance();
+            Ok(())
+        } else {
+            Err(self.err_here(format!("expected {what}, found {:?}", self.peek_kind())))
+        }
+    }
+
+    fn fresh_blank(&mut self) -> BlankNode {
+        loop {
+            let label = format!("anon{}", self.anon_counter);
+            self.anon_counter += 1;
+            if !self.used_labels.contains(&label) {
+                return BlankNode::new(&label).expect("generated label is valid");
+            }
+        }
+    }
+
+    fn resolve_iri(&self, raw: &str) -> Result<Iri, ParseError> {
+        let full = if raw.contains(':') {
+            raw.to_owned()
+        } else {
+            match &self.base {
+                Some(base) => format!("{base}{raw}"),
+                None => {
+                    return Err(ParseError::new(
+                        self.peek().line,
+                        self.peek().column,
+                        format!("relative IRI {raw:?} without a base"),
+                    ))
+                }
+            }
+        };
+        Iri::new(&full).map_err(|_| {
+            ParseError::new(self.peek().line, self.peek().column, format!("invalid IRI {full:?}"))
+        })
+    }
+
+    fn expand_pname(&self, prefix: &str, local: &str) -> Result<Iri, ParseError> {
+        let ns = self.prefixes.get(prefix).ok_or_else(|| {
+            ParseError::new(
+                self.peek().line,
+                self.peek().column,
+                format!("unbound prefix {prefix:?}"),
+            )
+        })?;
+        Iri::new(format!("{ns}{local}")).map_err(|_| {
+            ParseError::new(
+                self.peek().line,
+                self.peek().column,
+                format!("CURIE {prefix}:{local} expands to an invalid IRI"),
+            )
+        })
+    }
+
+    fn parse_prefix_directive(&mut self, sparql_style: bool) -> Result<(), ParseError> {
+        self.advance(); // the directive token
+        let (prefix, local) = match self.advance().kind {
+            TokenKind::PrefixedName(p, l) => (p, l),
+            other => {
+                return Err(self.err_here(format!("expected prefix name, found {other:?}")))
+            }
+        };
+        if !local.is_empty() {
+            return Err(self.err_here("prefix declaration must end with a bare `:`"));
+        }
+        let iri = match self.advance().kind {
+            TokenKind::IriRef(i) => i,
+            other => return Err(self.err_here(format!("expected IRI, found {other:?}"))),
+        };
+        self.prefixes.insert(prefix, iri);
+        if !sparql_style {
+            self.expect(&TokenKind::Dot, "`.` after @prefix")?;
+        }
+        Ok(())
+    }
+
+    fn parse_base_directive(&mut self, sparql_style: bool) -> Result<(), ParseError> {
+        self.advance();
+        let iri = match self.advance().kind {
+            TokenKind::IriRef(i) => i,
+            other => return Err(self.err_here(format!("expected IRI, found {other:?}"))),
+        };
+        self.base = Some(iri);
+        if !sparql_style {
+            self.expect(&TokenKind::Dot, "`.` after @base")?;
+        }
+        Ok(())
+    }
+
+    fn parse_graph_name(&mut self) -> Result<Subject, ParseError> {
+        match self.advance().kind {
+            TokenKind::IriRef(i) => Ok(Subject::Iri(self.resolve_iri(&i)?)),
+            TokenKind::PrefixedName(p, l) => Ok(Subject::Iri(self.expand_pname(&p, &l)?)),
+            TokenKind::BlankNodeLabel(l) => Ok(Subject::Blank(BlankNode::new(&l).map_err(
+                |_| self.err_here(format!("invalid blank node label {l:?}")),
+            )?)),
+            other => Err(self.err_here(format!("expected graph name, found {other:?}"))),
+        }
+    }
+
+    fn parse_graph_block(
+        &mut self,
+        dataset: &mut Dataset,
+        name: Subject,
+    ) -> Result<(), ParseError> {
+        self.parse_graph_block_body(dataset, Some(name))
+    }
+
+    fn parse_graph_block_body(
+        &mut self,
+        dataset: &mut Dataset,
+        name: Option<Subject>,
+    ) -> Result<(), ParseError> {
+        self.expect(&TokenKind::OpenBrace, "`{`")?;
+        let saved = self.current_graph.take();
+        self.current_graph = name;
+        while self.peek_kind() != &TokenKind::CloseBrace {
+            if self.peek_kind() == &TokenKind::Eof {
+                return Err(self.err_here("unterminated graph block"));
+            }
+            self.parse_triples_statement(dataset)?;
+            // Inside a graph block the final `.` is optional.
+            if self.peek_kind() == &TokenKind::Dot {
+                self.advance();
+            }
+        }
+        self.advance(); // '}'
+        self.current_graph = saved;
+        Ok(())
+    }
+
+    /// In TriG mode, `<name> { ... }` opens a named graph; otherwise this
+    /// is an ordinary triples statement.
+    fn parse_triples_or_named_block(&mut self, dataset: &mut Dataset) -> Result<(), ParseError> {
+        if self.allow_graphs
+            && matches!(
+                self.peek_kind(),
+                TokenKind::IriRef(_) | TokenKind::PrefixedName(..) | TokenKind::BlankNodeLabel(_)
+            )
+            && self.peek_kind_at(1) == &TokenKind::OpenBrace
+        {
+            let name = self.parse_graph_name()?;
+            return self.parse_graph_block(dataset, name);
+        }
+        self.parse_triples_statement(dataset)?;
+        self.expect(&TokenKind::Dot, "`.` at end of statement")?;
+        Ok(())
+    }
+
+    fn emit(&mut self, dataset: &mut Dataset, triple: Triple) {
+        match &self.current_graph {
+            None => {
+                dataset.default_graph_mut().insert(triple);
+            }
+            Some(name) => {
+                dataset.named_graph_mut(name.clone()).insert(triple);
+            }
+        }
+    }
+
+    fn parse_triples_statement(&mut self, dataset: &mut Dataset) -> Result<(), ParseError> {
+        match self.peek_kind().clone() {
+            TokenKind::OpenBracket => {
+                // `[ p o ; ... ]` as subject; predicate-object list optional.
+                let subject = self.parse_blank_node_property_list(dataset)?;
+                if self.peek_kind() != &TokenKind::Dot {
+                    self.parse_predicate_object_list(dataset, &subject)?;
+                }
+                Ok(())
+            }
+            TokenKind::OpenParen => {
+                let subject = self.parse_collection(dataset)?;
+                let subject = subject
+                    .as_subject()
+                    .ok_or_else(|| self.err_here("collection subject cannot be a literal"))?;
+                self.parse_predicate_object_list(dataset, &subject)?;
+                Ok(())
+            }
+            _ => {
+                let subject = self.parse_subject()?;
+                self.parse_predicate_object_list(dataset, &subject)?;
+                Ok(())
+            }
+        }
+    }
+
+    fn parse_subject(&mut self) -> Result<Subject, ParseError> {
+        match self.advance().kind {
+            TokenKind::IriRef(i) => Ok(Subject::Iri(self.resolve_iri(&i)?)),
+            TokenKind::PrefixedName(p, l) => Ok(Subject::Iri(self.expand_pname(&p, &l)?)),
+            TokenKind::BlankNodeLabel(l) => Ok(Subject::Blank(BlankNode::new(&l).map_err(
+                |_| self.err_here(format!("invalid blank node label {l:?}")),
+            )?)),
+            other => Err(self.err_here(format!("expected subject, found {other:?}"))),
+        }
+    }
+
+    fn parse_predicate(&mut self) -> Result<Iri, ParseError> {
+        match self.advance().kind {
+            TokenKind::A => Ok(Iri::new_unchecked(RDF_TYPE)),
+            TokenKind::IriRef(i) => self.resolve_iri(&i),
+            TokenKind::PrefixedName(p, l) => self.expand_pname(&p, &l),
+            other => Err(self.err_here(format!("expected predicate, found {other:?}"))),
+        }
+    }
+
+    fn parse_predicate_object_list(
+        &mut self,
+        dataset: &mut Dataset,
+        subject: &Subject,
+    ) -> Result<(), ParseError> {
+        loop {
+            let predicate = self.parse_predicate()?;
+            loop {
+                let object = self.parse_object(dataset)?;
+                self.emit(dataset, Triple::new(subject.clone(), predicate.clone(), object));
+                if self.peek_kind() == &TokenKind::Comma {
+                    self.advance();
+                } else {
+                    break;
+                }
+            }
+            if self.peek_kind() == &TokenKind::Semicolon {
+                // Consume runs of semicolons; the list may end after them.
+                while self.peek_kind() == &TokenKind::Semicolon {
+                    self.advance();
+                }
+                if matches!(
+                    self.peek_kind(),
+                    TokenKind::Dot | TokenKind::CloseBracket | TokenKind::CloseBrace | TokenKind::Eof
+                ) {
+                    return Ok(());
+                }
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn parse_object(&mut self, dataset: &mut Dataset) -> Result<Term, ParseError> {
+        match self.peek_kind().clone() {
+            TokenKind::OpenBracket => Ok(self.parse_blank_node_property_list(dataset)?.into()),
+            TokenKind::OpenParen => self.parse_collection(dataset),
+            TokenKind::IriRef(i) => {
+                self.advance();
+                Ok(Term::Iri(self.resolve_iri(&i)?))
+            }
+            TokenKind::PrefixedName(p, l) => {
+                self.advance();
+                Ok(Term::Iri(self.expand_pname(&p, &l)?))
+            }
+            TokenKind::BlankNodeLabel(l) => {
+                self.advance();
+                Ok(Term::Blank(BlankNode::new(&l).map_err(|_| {
+                    self.err_here(format!("invalid blank node label {l:?}"))
+                })?))
+            }
+            TokenKind::StringLiteral(s) => {
+                self.advance();
+                match self.peek_kind().clone() {
+                    TokenKind::LangTag(tag) => {
+                        self.advance();
+                        Ok(Term::Literal(Literal::lang(&s, &tag).map_err(|_| {
+                            self.err_here(format!("invalid language tag {tag:?}"))
+                        })?))
+                    }
+                    TokenKind::DoubleCaret => {
+                        self.advance();
+                        let dt = match self.advance().kind {
+                            TokenKind::IriRef(i) => self.resolve_iri(&i)?,
+                            TokenKind::PrefixedName(p, l) => self.expand_pname(&p, &l)?,
+                            other => {
+                                return Err(self
+                                    .err_here(format!("expected datatype IRI, found {other:?}")))
+                            }
+                        };
+                        Ok(Term::Literal(Literal::typed(&s, dt)))
+                    }
+                    _ => Ok(Term::Literal(Literal::simple(&s))),
+                }
+            }
+            TokenKind::Integer(s) => {
+                self.advance();
+                Ok(Term::Literal(Literal::typed(&s, Iri::new_unchecked(xsd::INTEGER))))
+            }
+            TokenKind::Decimal(s) => {
+                self.advance();
+                Ok(Term::Literal(Literal::typed(&s, Iri::new_unchecked(xsd::DECIMAL))))
+            }
+            TokenKind::Double(s) => {
+                self.advance();
+                Ok(Term::Literal(Literal::typed(&s, Iri::new_unchecked(xsd::DOUBLE))))
+            }
+            TokenKind::Boolean(b) => {
+                self.advance();
+                Ok(Term::Literal(Literal::boolean(b)))
+            }
+            other => Err(self.err_here(format!("expected object, found {other:?}"))),
+        }
+    }
+
+    fn parse_blank_node_property_list(
+        &mut self,
+        dataset: &mut Dataset,
+    ) -> Result<Subject, ParseError> {
+        self.expect(&TokenKind::OpenBracket, "`[`")?;
+        let node = Subject::Blank(self.fresh_blank());
+        if self.peek_kind() == &TokenKind::CloseBracket {
+            self.advance();
+            return Ok(node); // `[]` — a bare anonymous node
+        }
+        self.parse_predicate_object_list(dataset, &node)?;
+        self.expect(&TokenKind::CloseBracket, "`]`")?;
+        Ok(node)
+    }
+
+    fn parse_collection(&mut self, dataset: &mut Dataset) -> Result<Term, ParseError> {
+        self.expect(&TokenKind::OpenParen, "`(`")?;
+        let first_pred = Iri::new_unchecked(RDF_FIRST);
+        let rest_pred = Iri::new_unchecked(RDF_REST);
+        let nil = Iri::new_unchecked(RDF_NIL);
+        let mut items = Vec::new();
+        while self.peek_kind() != &TokenKind::CloseParen {
+            if self.peek_kind() == &TokenKind::Eof {
+                return Err(self.err_here("unterminated collection"));
+            }
+            items.push(self.parse_object(dataset)?);
+        }
+        self.advance(); // ')'
+        if items.is_empty() {
+            return Ok(Term::Iri(nil));
+        }
+        let nodes: Vec<Subject> =
+            items.iter().map(|_| Subject::Blank(self.fresh_blank())).collect();
+        for (i, item) in items.into_iter().enumerate() {
+            self.emit(dataset, Triple::new(nodes[i].clone(), first_pred.clone(), item));
+            let rest: Term = if i + 1 < nodes.len() {
+                nodes[i + 1].clone().into()
+            } else {
+                nil.clone().into()
+            };
+            self.emit(dataset, Triple::new(nodes[i].clone(), rest_pred.clone(), rest));
+        }
+        Ok(nodes[0].clone().into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    fn parse(input: &str) -> (Graph, PrefixMap) {
+        let (ds, prefixes) = Parser::new(input, false).unwrap().parse().unwrap();
+        (ds.default_graph().clone(), prefixes)
+    }
+
+    #[test]
+    fn simple_statement() {
+        let (g, _) = parse("<http://e/s> <http://e/p> <http://e/o> .");
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn prefixes_and_a() {
+        let (g, pm) = parse(
+            "@prefix prov: <http://www.w3.org/ns/prov#> .\n\
+             <http://e/r> a prov:Activity .",
+        );
+        assert_eq!(pm.get("prov"), Some("http://www.w3.org/ns/prov#"));
+        let t = g.iter().next().unwrap();
+        assert_eq!(t.predicate.as_str(), RDF_TYPE);
+        assert_eq!(t.object.as_iri().unwrap().as_str(), "http://www.w3.org/ns/prov#Activity");
+    }
+
+    #[test]
+    fn sparql_style_directives() {
+        let (g, pm) = parse(
+            "PREFIX e: <http://e/>\nBASE <http://base/>\ne:s e:p <rel> .",
+        );
+        assert_eq!(pm.get("e"), Some("http://e/"));
+        let t = g.iter().next().unwrap();
+        assert_eq!(t.object.as_iri().unwrap().as_str(), "http://base/rel");
+    }
+
+    #[test]
+    fn semicolons_and_commas() {
+        let (g, _) = parse(
+            "<http://e/s> <http://e/p1> <http://e/a>, <http://e/b> ;\n\
+                           <http://e/p2> \"v\" ;\n.",
+        );
+        assert_eq!(g.len(), 3);
+    }
+
+    #[test]
+    fn literals_all_forms() {
+        let (g, _) = parse(
+            "@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .\n\
+             <http://e/s> <http://e/p> \"plain\", \"fr\"@fr,\n\
+               \"2013-01-15T10:30:00Z\"^^xsd:dateTime, 42, 3.14, 1e3, true .",
+        );
+        assert_eq!(g.len(), 7);
+        let objects: Vec<Literal> =
+            g.iter().filter_map(|t| t.object.as_literal().cloned()).collect();
+        assert_eq!(objects.len(), 7);
+        assert!(objects.iter().any(|l| l.language() == Some("fr")));
+        assert!(objects.iter().any(|l| l.as_date_time().is_some()));
+        assert!(objects.iter().any(|l| l.as_integer() == Some(42)));
+        assert!(objects.iter().any(|l| l.as_boolean() == Some(true)));
+    }
+
+    #[test]
+    fn blank_node_property_lists() {
+        let (g, _) = parse(
+            "<http://e/s> <http://e/p> [ <http://e/q> \"inner\" ; <http://e/r> [] ] .",
+        );
+        // s-p-anon0, anon0-q-inner, anon0-r-anon1
+        assert_eq!(g.len(), 3);
+    }
+
+    #[test]
+    fn bnpl_as_subject() {
+        let (g, _) = parse("[ <http://e/p> <http://e/o> ] <http://e/q> \"x\" .");
+        assert_eq!(g.len(), 2);
+        let (g2, _) = parse("[ <http://e/p> <http://e/o> ] .");
+        assert_eq!(g2.len(), 1);
+    }
+
+    #[test]
+    fn collections_desugar() {
+        let (g, _) = parse("<http://e/s> <http://e/p> (<http://e/a> \"b\" 3) .");
+        // 1 link triple + 3 first + 3 rest
+        assert_eq!(g.len(), 7);
+        let nil: Term = Iri::new_unchecked(RDF_NIL).into();
+        assert_eq!(g.triples_matching(None, None, Some(&nil)).count(), 1);
+        let (g2, _) = parse("<http://e/s> <http://e/p> () .");
+        assert_eq!(g2.len(), 1);
+        assert_eq!(g2.iter().next().unwrap().object.as_iri().unwrap().as_str(), RDF_NIL);
+    }
+
+    #[test]
+    fn anon_labels_avoid_document_labels() {
+        let (g, _) = parse("_:anon0 <http://e/p> [ <http://e/q> \"v\" ] .");
+        let labels: HashSet<String> = g
+            .iter()
+            .flat_map(|t| {
+                let mut v = Vec::new();
+                if let Subject::Blank(b) = &t.subject {
+                    v.push(b.label().to_owned());
+                }
+                if let Term::Blank(b) = &t.object {
+                    v.push(b.label().to_owned());
+                }
+                v
+            })
+            .collect();
+        // The generated node must not collide with the document's _:anon0.
+        assert!(labels.contains("anon0"));
+        assert_eq!(labels.len(), 2);
+    }
+
+    #[test]
+    fn unbound_prefix_is_an_error() {
+        let err = Parser::new("x:y <http://e/p> <http://e/o> .", false)
+            .unwrap()
+            .parse()
+            .unwrap_err();
+        assert!(err.message.contains("unbound prefix"));
+    }
+
+    #[test]
+    fn missing_dot_is_an_error() {
+        assert!(Parser::new("<http://e/s> <http://e/p> <http://e/o>", false)
+            .unwrap()
+            .parse()
+            .is_err());
+    }
+
+    #[test]
+    fn relative_iri_without_base_is_an_error() {
+        assert!(Parser::new("<s> <http://e/p> <http://e/o> .", false)
+            .unwrap()
+            .parse()
+            .is_err());
+    }
+
+    #[test]
+    fn trig_named_graphs() {
+        let (ds, _) = Parser::new(
+            "@prefix e: <http://e/> .\n\
+             e:s e:p e:o .\n\
+             e:g1 { e:a e:p e:b . e:c e:p e:d }\n\
+             GRAPH e:g2 { e:x e:p e:y . }",
+            true,
+        )
+        .unwrap()
+        .parse()
+        .unwrap();
+        assert_eq!(ds.default_graph().len(), 1);
+        let g1: Subject = Iri::new("http://e/g1").unwrap().into();
+        let g2: Subject = Iri::new("http://e/g2").unwrap().into();
+        assert_eq!(ds.named_graph(&g1).unwrap().len(), 2);
+        assert_eq!(ds.named_graph(&g2).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn graphs_rejected_in_plain_turtle() {
+        assert!(Parser::new("<http://e/g> { <http://e/a> <http://e/p> <http://e/b> . }", false)
+            .unwrap()
+            .parse()
+            .is_err());
+    }
+
+    #[test]
+    fn unterminated_graph_block() {
+        assert!(Parser::new("<http://e/g> { <http://e/a> <http://e/p> <http://e/b> .", true)
+            .unwrap()
+            .parse()
+            .is_err());
+    }
+}

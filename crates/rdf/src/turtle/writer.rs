@@ -1,0 +1,213 @@
+//! Pretty Turtle serializer: prefix header, subject grouping,
+//! `;`/`,` abbreviation, numeric and boolean shortcuts.
+
+use crate::graph::Graph;
+use crate::namespace::PrefixMap;
+use crate::term::{escape_literal, Iri, Literal, Subject, Term};
+use crate::xsd;
+
+const RDF_TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+
+/// Render one IRI, compacting through the prefix map when possible.
+pub(crate) fn render_iri(iri: &Iri, prefixes: &PrefixMap) -> String {
+    match prefixes.compact(iri) {
+        Some(curie) => curie,
+        None => format!("<{}>", iri.as_str()),
+    }
+}
+
+/// Render a literal, using bare numeric/boolean forms when the lexical
+/// form is canonical, and compacting datatype IRIs.
+pub(crate) fn render_literal(lit: &Literal, prefixes: &PrefixMap) -> String {
+    let dt = lit.datatype();
+    match dt.as_str() {
+        xsd::INTEGER if lit.lexical().parse::<i64>().is_ok() => return lit.lexical().to_owned(),
+        xsd::BOOLEAN if matches!(lit.lexical(), "true" | "false") => {
+            return lit.lexical().to_owned()
+        }
+        xsd::DECIMAL
+            if lit.lexical().contains('.') && lit.lexical().parse::<f64>().is_ok() =>
+        {
+            return lit.lexical().to_owned()
+        }
+        _ => {}
+    }
+    let mut out = String::with_capacity(lit.lexical().len() + 8);
+    out.push('"');
+    escape_literal(lit.lexical(), &mut out);
+    out.push('"');
+    if let Some(tag) = lit.language() {
+        out.push('@');
+        out.push_str(tag);
+    } else if !lit.is_simple() {
+        out.push_str("^^");
+        out.push_str(&render_iri(&dt, prefixes));
+    }
+    out
+}
+
+pub(crate) fn render_term(term: &Term, prefixes: &PrefixMap) -> String {
+    match term {
+        Term::Iri(i) => render_iri(i, prefixes),
+        Term::Blank(b) => format!("_:{}", b.label()),
+        Term::Literal(l) => render_literal(l, prefixes),
+    }
+}
+
+pub(crate) fn render_subject(subject: &Subject, prefixes: &PrefixMap) -> String {
+    match subject {
+        Subject::Iri(i) => render_iri(i, prefixes),
+        Subject::Blank(b) => format!("_:{}", b.label()),
+    }
+}
+
+fn render_predicate(p: &Iri, prefixes: &PrefixMap) -> String {
+    if p.as_str() == RDF_TYPE {
+        "a".to_owned()
+    } else {
+        render_iri(p, prefixes)
+    }
+}
+
+/// Serialize the body (no prefix header) with the given left indent.
+pub(crate) fn write_graph_body(graph: &Graph, prefixes: &PrefixMap, indent: &str, out: &mut String) {
+    for subject in graph.subjects() {
+        let mut preds: Vec<Iri> = graph
+            .triples_matching(Some(&subject), None, None)
+            .map(|t| t.predicate)
+            .collect();
+        preds.dedup();
+        // rdf:type first — conventional in hand-written Turtle.
+        preds.sort_by_key(|p| (p.as_str() != RDF_TYPE, p.clone()));
+        preds.dedup();
+        out.push_str(indent);
+        out.push_str(&render_subject(&subject, prefixes));
+        for (pi, p) in preds.iter().enumerate() {
+            if pi == 0 {
+                out.push(' ');
+            } else {
+                out.push_str(" ;\n");
+                out.push_str(indent);
+                out.push_str("    ");
+            }
+            out.push_str(&render_predicate(p, prefixes));
+            let objects: Vec<Term> = graph.objects(&subject, p).collect();
+            for (oi, o) in objects.iter().enumerate() {
+                if oi > 0 {
+                    out.push(',');
+                }
+                out.push(' ');
+                out.push_str(&render_term(o, prefixes));
+            }
+        }
+        out.push_str(" .\n");
+    }
+}
+
+/// Serialize a graph as a Turtle document.
+pub fn write_turtle(graph: &Graph, prefixes: &PrefixMap) -> String {
+    let mut out = String::new();
+    for (prefix, ns) in prefixes.iter() {
+        out.push_str(&format!("@prefix {prefix}: <{ns}> .\n"));
+    }
+    if !prefixes.is_empty() {
+        out.push('\n');
+    }
+    write_graph_body(graph, prefixes, "", &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::{BlankNode, Literal};
+    use crate::triple::Triple;
+
+    fn iri(s: &str) -> Iri {
+        Iri::new(s).unwrap()
+    }
+
+    #[test]
+    fn writes_prefix_header_and_groups() {
+        let mut g = Graph::new();
+        let mut pm = PrefixMap::new();
+        pm.insert("e", "http://e/");
+        g.insert(Triple::new(iri("http://e/s"), iri("http://e/p"), iri("http://e/o1")));
+        g.insert(Triple::new(iri("http://e/s"), iri("http://e/p"), iri("http://e/o2")));
+        g.insert(Triple::new(
+            iri("http://e/s"),
+            iri("http://www.w3.org/1999/02/22-rdf-syntax-ns#type"),
+            iri("http://e/T"),
+        ));
+        let ttl = write_turtle(&g, &pm);
+        assert!(ttl.starts_with("@prefix e: <http://e/> .\n"));
+        assert!(ttl.contains("e:s a e:T ;"));
+        assert!(ttl.contains("e:p e:o1, e:o2 ."));
+    }
+
+    #[test]
+    fn numeric_shortcuts() {
+        let mut pm = PrefixMap::new();
+        pm.insert("xsd", "http://www.w3.org/2001/XMLSchema#");
+        assert_eq!(render_literal(&Literal::integer(42), &pm), "42");
+        assert_eq!(render_literal(&Literal::boolean(false), &pm), "false");
+        assert_eq!(render_literal(&Literal::decimal(2.5), &pm), "2.5");
+        let dt = Literal::typed("2013-01-15T10:30:00Z", iri(xsd::DATE_TIME));
+        assert_eq!(
+            render_literal(&dt, &pm),
+            "\"2013-01-15T10:30:00Z\"^^xsd:dateTime"
+        );
+    }
+
+    #[test]
+    fn non_canonical_numbers_stay_quoted() {
+        let pm = PrefixMap::common();
+        let weird = Literal::typed("0x2A", iri(xsd::INTEGER));
+        assert!(render_literal(&weird, &pm).starts_with('"'));
+    }
+
+    #[test]
+    fn blank_nodes_render_with_labels() {
+        let pm = PrefixMap::new();
+        let b = BlankNode::new("b7").unwrap();
+        assert_eq!(render_subject(&b.clone().into(), &pm), "_:b7");
+        assert_eq!(render_term(&b.into(), &pm), "_:b7");
+    }
+
+    #[test]
+    fn unsafe_locals_fall_back_to_angle_brackets_and_reparse() {
+        // Locals a prefix map cannot compact (slashes, trailing dots,
+        // percent signs) must serialize as full IRIs and round-trip.
+        let mut g = Graph::new();
+        let mut pm = PrefixMap::new();
+        pm.insert("e", "http://e/ns#");
+        for suffix in ["a/b", "x.", "p%20q", ""] {
+            if let Ok(subject) = Iri::new(format!("http://e/ns#{suffix}")) {
+                g.insert(Triple::new(subject, iri("http://e/p"), Literal::simple(suffix)));
+            }
+        }
+        assert!(!g.is_empty());
+        let ttl = write_turtle(&g, &pm);
+        let (g2, _) = crate::turtle::parse_turtle(&ttl).unwrap();
+        assert_eq!(g, g2);
+        // The slash local must appear as an IRIREF, not a CURIE.
+        assert!(ttl.contains("<http://e/ns#a/b>"));
+    }
+
+    #[test]
+    fn empty_graph_emits_header_only() {
+        let pm = PrefixMap::common();
+        let ttl = write_turtle(&Graph::new(), &pm);
+        assert!(ttl.trim_end().ends_with('.'));
+        assert!(!ttl.contains(" a "));
+        let (g, _) = crate::turtle::parse_turtle(&ttl).unwrap();
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn lang_literal_rendering() {
+        let pm = PrefixMap::new();
+        let l = Literal::lang("ciao", "it").unwrap();
+        assert_eq!(render_literal(&l, &pm), "\"ciao\"@it");
+    }
+}

@@ -1,0 +1,318 @@
+//! XSD datatype IRIs and an `xsd:dateTime` implementation.
+//!
+//! The corpus relies on `xsd:dateTime` for `prov:startedAtTime` /
+//! `prov:endedAtTime`; we implement a UTC-only proleptic-Gregorian
+//! date-time from scratch (millisecond precision) rather than pulling in a
+//! date/time crate.
+
+use crate::error::RdfError;
+use std::fmt;
+
+/// `xsd:string`.
+pub const STRING: &str = "http://www.w3.org/2001/XMLSchema#string";
+/// `xsd:integer`.
+pub const INTEGER: &str = "http://www.w3.org/2001/XMLSchema#integer";
+/// `xsd:long`.
+pub const LONG: &str = "http://www.w3.org/2001/XMLSchema#long";
+/// `xsd:int`.
+pub const INT: &str = "http://www.w3.org/2001/XMLSchema#int";
+/// `xsd:decimal`.
+pub const DECIMAL: &str = "http://www.w3.org/2001/XMLSchema#decimal";
+/// `xsd:double`.
+pub const DOUBLE: &str = "http://www.w3.org/2001/XMLSchema#double";
+/// `xsd:boolean`.
+pub const BOOLEAN: &str = "http://www.w3.org/2001/XMLSchema#boolean";
+/// `xsd:dateTime`.
+pub const DATE_TIME: &str = "http://www.w3.org/2001/XMLSchema#dateTime";
+/// `xsd:anyURI`.
+pub const ANY_URI: &str = "http://www.w3.org/2001/XMLSchema#anyURI";
+
+/// A UTC instant with millisecond precision, printable as `xsd:dateTime`.
+///
+/// Internally stored as milliseconds since the Unix epoch, which makes
+/// ordering and arithmetic trivial; calendar fields are derived on demand
+/// with the standard days-from-civil algorithm.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DateTime {
+    unix_millis: i64,
+}
+
+impl DateTime {
+    /// From milliseconds since 1970-01-01T00:00:00Z.
+    pub fn from_unix_millis(unix_millis: i64) -> Self {
+        DateTime { unix_millis }
+    }
+
+    /// Milliseconds since the Unix epoch.
+    pub fn unix_millis(&self) -> i64 {
+        self.unix_millis
+    }
+
+    /// Build from calendar components (UTC). Panics on out-of-range fields
+    /// in debug builds; callers in this workspace always pass valid fields.
+    pub fn from_ymd_hms(
+        year: i32,
+        month: u32,
+        day: u32,
+        hour: u32,
+        minute: u32,
+        second: u32,
+    ) -> Self {
+        debug_assert!((1..=12).contains(&month));
+        debug_assert!((1..=31).contains(&day));
+        debug_assert!(hour < 24 && minute < 60 && second < 60);
+        let days = days_from_civil(year, month, day);
+        let secs = days * 86_400 + i64::from(hour) * 3_600 + i64::from(minute) * 60
+            + i64::from(second);
+        DateTime { unix_millis: secs * 1_000 }
+    }
+
+    /// Add a number of milliseconds, returning a new instant.
+    pub fn plus_millis(&self, delta: i64) -> Self {
+        DateTime { unix_millis: self.unix_millis + delta }
+    }
+
+    /// Signed difference `self - other` in milliseconds.
+    pub fn millis_since(&self, other: &DateTime) -> i64 {
+        self.unix_millis - other.unix_millis
+    }
+
+    /// Parse `YYYY-MM-DDThh:mm:ss(.fff)?(Z|+00:00)?`; offsets other than
+    /// UTC are rejected (the corpus is generated in UTC).
+    pub fn parse(s: &str) -> Result<Self, RdfError> {
+        let err = || RdfError::InvalidLexicalForm {
+            lexical: s.to_owned(),
+            datatype: DATE_TIME.to_owned(),
+        };
+        let bytes = s.as_bytes();
+        if bytes.len() < 19 {
+            return Err(err());
+        }
+        // Date part: accept an optional leading '-' for negative years.
+        let (date, rest) = s.split_at(s.find('T').ok_or_else(err)?);
+        let rest = &rest[1..];
+        let mut dparts = date.splitn(3, '-');
+        let (y, m, d) = if let Some(stripped) = date.strip_prefix('-') {
+            let mut p = stripped.splitn(3, '-');
+            let y: i32 = p.next().ok_or_else(err)?.parse().map_err(|_| err())?;
+            (
+                -y,
+                p.next().ok_or_else(err)?.parse().map_err(|_| err())?,
+                p.next().ok_or_else(err)?.parse().map_err(|_| err())?,
+            )
+        } else {
+            (
+                dparts.next().ok_or_else(err)?.parse().map_err(|_| err())?,
+                dparts.next().ok_or_else(err)?.parse().map_err(|_| err())?,
+                dparts.next().ok_or_else(err)?.parse().map_err(|_| err())?,
+            )
+        };
+        if !(1..=12).contains(&m) || d < 1 || d > days_in_month(y, m) {
+            return Err(err());
+        }
+        // Time part: hh:mm:ss[.fraction][Z|+00:00|-00:00]
+        let (time, zone) = match rest.find(['Z', '+']) {
+            Some(i) => rest.split_at(i),
+            None => {
+                // A '-' after position 0 would be a negative offset.
+                match rest.rfind('-') {
+                    Some(i) if i > 7 => rest.split_at(i),
+                    _ => (rest, ""),
+                }
+            }
+        };
+        if !(zone.is_empty() || zone == "Z" || zone == "+00:00" || zone == "-00:00") {
+            return Err(err());
+        }
+        let (hms, frac) = match time.find('.') {
+            Some(i) => (&time[..i], &time[i + 1..]),
+            None => (time, ""),
+        };
+        let mut tparts = hms.splitn(3, ':');
+        let h: u32 = tparts.next().ok_or_else(err)?.parse().map_err(|_| err())?;
+        let mi: u32 = tparts.next().ok_or_else(err)?.parse().map_err(|_| err())?;
+        let sec: u32 = tparts.next().ok_or_else(err)?.parse().map_err(|_| err())?;
+        if h > 23 || mi > 59 || sec > 59 {
+            return Err(err());
+        }
+        let millis: i64 = if frac.is_empty() {
+            0
+        } else {
+            if !frac.chars().all(|c| c.is_ascii_digit()) {
+                return Err(err());
+            }
+            let padded = format!("{frac:0<3}");
+            padded[..3].parse().map_err(|_| err())?
+        };
+        Ok(DateTime::from_ymd_hms(y, m, d, h, mi, sec).plus_millis(millis))
+    }
+
+    /// Calendar components `(year, month, day, hour, minute, second, millis)`.
+    pub fn components(&self) -> (i32, u32, u32, u32, u32, u32, u32) {
+        let millis = self.unix_millis.rem_euclid(1_000) as u32;
+        let total_secs = self.unix_millis.div_euclid(1_000);
+        let days = total_secs.div_euclid(86_400);
+        let secs_of_day = total_secs.rem_euclid(86_400);
+        let (y, m, d) = civil_from_days(days);
+        let h = (secs_of_day / 3_600) as u32;
+        let mi = ((secs_of_day % 3_600) / 60) as u32;
+        let s = (secs_of_day % 60) as u32;
+        (y, m, d, h, mi, s, millis)
+    }
+}
+
+impl fmt::Display for DateTime {
+    /// Canonical `xsd:dateTime` lexical form in UTC; milliseconds are
+    /// printed only when non-zero.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (y, m, d, h, mi, s, ms) = self.components();
+        if ms == 0 {
+            write!(f, "{y:04}-{m:02}-{d:02}T{h:02}:{mi:02}:{s:02}Z")
+        } else {
+            write!(f, "{y:04}-{m:02}-{d:02}T{h:02}:{mi:02}:{s:02}.{ms:03}Z")
+        }
+    }
+}
+
+impl fmt::Debug for DateTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DateTime({self})")
+    }
+}
+
+fn is_leap(y: i32) -> bool {
+    (y % 4 == 0 && y % 100 != 0) || y % 400 == 0
+}
+
+fn days_in_month(y: i32, m: u32) -> u32 {
+    match m {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap(y) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 0,
+    }
+}
+
+/// Days since 1970-01-01 for a proleptic-Gregorian civil date
+/// (Howard Hinnant's `days_from_civil`).
+fn days_from_civil(y: i32, m: u32, d: u32) -> i64 {
+    let y = i64::from(y) - i64::from(m <= 2);
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let m = i64::from(m);
+    let d = i64::from(d);
+    let doy = (153 * (if m > 2 { m - 3 } else { m + 9 }) + 2) / 5 + d - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146_097 + doe - 719_468
+}
+
+/// Inverse of [`days_from_civil`] (Howard Hinnant's `civil_from_days`).
+fn civil_from_days(z: i64) -> (i32, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = (if mp < 10 { mp + 3 } else { mp - 9 }) as u32; // [1, 12]
+    ((y + i64::from(m <= 2)) as i32, m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_zero() {
+        let dt = DateTime::from_ymd_hms(1970, 1, 1, 0, 0, 0);
+        assert_eq!(dt.unix_millis(), 0);
+        assert_eq!(dt.to_string(), "1970-01-01T00:00:00Z");
+    }
+
+    #[test]
+    fn known_instant() {
+        // 2013-01-15T10:30:00Z == 1358245800 (checked against `date -d`).
+        let dt = DateTime::from_ymd_hms(2013, 1, 15, 10, 30, 0);
+        assert_eq!(dt.unix_millis(), 1_358_245_800_000);
+    }
+
+    #[test]
+    fn parse_variants() {
+        for s in [
+            "2013-01-15T10:30:00Z",
+            "2013-01-15T10:30:00",
+            "2013-01-15T10:30:00+00:00",
+            "2013-01-15T10:30:00.000Z",
+        ] {
+            assert_eq!(
+                DateTime::parse(s).unwrap().unix_millis(),
+                1_358_245_800_000,
+                "failed for {s}"
+            );
+        }
+        assert_eq!(
+            DateTime::parse("2013-01-15T10:30:00.250Z").unwrap().unix_millis(),
+            1_358_245_800_250
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for s in [
+            "not a date",
+            "2013-13-01T00:00:00Z",
+            "2013-02-30T00:00:00Z",
+            "2013-01-15T25:00:00Z",
+            "2013-01-15T10:30:00+02:00",
+            "2013-01-15",
+        ] {
+            assert!(DateTime::parse(s).is_err(), "accepted {s}");
+        }
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        for ms in [0i64, 1, -1, 1_358_245_800_123, -86_400_000, 253_402_300_799_000] {
+            let dt = DateTime::from_unix_millis(ms);
+            let back = DateTime::parse(&dt.to_string()).unwrap();
+            assert_eq!(back, dt, "roundtrip failed for {ms}");
+        }
+    }
+
+    #[test]
+    fn leap_year_handling() {
+        assert_eq!(days_in_month(2012, 2), 29);
+        assert_eq!(days_in_month(2013, 2), 28);
+        assert_eq!(days_in_month(2000, 2), 29);
+        assert_eq!(days_in_month(1900, 2), 28);
+        let dt = DateTime::from_ymd_hms(2012, 2, 29, 12, 0, 0);
+        let (y, m, d, ..) = dt.components();
+        assert_eq!((y, m, d), (2012, 2, 29));
+    }
+
+    #[test]
+    fn ordering_and_arithmetic() {
+        let a = DateTime::from_ymd_hms(2013, 1, 15, 10, 0, 0);
+        let b = a.plus_millis(90_000);
+        assert!(a < b);
+        assert_eq!(b.millis_since(&a), 90_000);
+        let (.., mi, s, _) = b.components();
+        assert_eq!((mi, s), (1, 30));
+    }
+
+    #[test]
+    fn civil_days_roundtrip_wide_range() {
+        for days in (-800_000..800_000).step_by(9_973) {
+            let (y, m, d) = civil_from_days(days);
+            assert_eq!(days_from_civil(y, m, d), days);
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Property-based tests for the RDF substrate: serializer/parser
+//! round-trips and graph index consistency under random data.
+
+use proptest::prelude::*;
+use provbench_rdf::{
+    parse_nquads, parse_ntriples, parse_trig, parse_turtle, write_nquads, write_ntriples,
+    write_trig, write_turtle, BlankNode, Dataset, DateTime, Graph, Iri, Literal, PrefixMap,
+    Quad, Subject, Term, Triple,
+};
+
+fn arb_iri() -> impl Strategy<Value = Iri> {
+    // A mix of vocabulary-like and resource-like IRIs.
+    prop_oneof![
+        "[a-z]{1,8}" .prop_map(|l| Iri::new(format!("http://www.w3.org/ns/prov#{l}")).unwrap()),
+        "[a-zA-Z0-9_]{1,12}"
+            .prop_map(|l| Iri::new(format!("http://example.org/resource/{l}")).unwrap()),
+        "[a-z]{1,6}/[a-z0-9]{1,6}"
+            .prop_map(|l| Iri::new(format!("urn:test:{l}")).unwrap()),
+    ]
+}
+
+fn arb_blank() -> impl Strategy<Value = BlankNode> {
+    "[a-zA-Z0-9][a-zA-Z0-9_-]{0,10}".prop_map(|l| BlankNode::new(l).unwrap())
+}
+
+fn arb_literal() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        // Simple strings including every escape-worthy character.
+        "[ -~\\n\\t\"\\\\àé中]{0,24}".prop_map(Literal::simple),
+        ("[ -~]{0,12}", "[a-z]{2,3}")
+            .prop_map(|(s, t)| Literal::lang(s, t).unwrap()),
+        any::<i64>().prop_map(Literal::integer),
+        any::<bool>().prop_map(Literal::boolean),
+        (-4_000_000_000_000i64..4_000_000_000_000i64)
+            .prop_map(|ms| Literal::date_time(&DateTime::from_unix_millis(ms))),
+    ]
+}
+
+fn arb_subject() -> impl Strategy<Value = Subject> {
+    prop_oneof![
+        arb_iri().prop_map(Subject::Iri),
+        arb_blank().prop_map(Subject::Blank),
+    ]
+}
+
+fn arb_term() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        arb_iri().prop_map(Term::Iri),
+        arb_blank().prop_map(Term::Blank),
+        arb_literal().prop_map(Term::Literal),
+    ]
+}
+
+fn arb_triple() -> impl Strategy<Value = Triple> {
+    (arb_subject(), arb_iri(), arb_term())
+        .prop_map(|(s, p, o)| Triple::new(s, p, o))
+}
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    prop::collection::vec(arb_triple(), 0..40).prop_map(Graph::from_iter)
+}
+
+fn arb_dataset() -> impl Strategy<Value = Dataset> {
+    (
+        prop::collection::vec(arb_triple(), 0..15),
+        prop::collection::vec((arb_iri(), prop::collection::vec(arb_triple(), 1..10)), 0..4),
+    )
+        .prop_map(|(default, named)| {
+            let mut ds = Dataset::new();
+            for t in default {
+                ds.insert(Quad::in_default(t));
+            }
+            for (name, triples) in named {
+                for t in triples {
+                    ds.insert(Quad::in_graph(t, name.clone()));
+                }
+            }
+            ds
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn ntriples_roundtrip(g in arb_graph()) {
+        let nt = write_ntriples(&g);
+        let g2 = parse_ntriples(&nt).unwrap();
+        prop_assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn turtle_roundtrip(g in arb_graph()) {
+        let pm = PrefixMap::common();
+        let ttl = write_turtle(&g, &pm);
+        let (g2, _) = parse_turtle(&ttl).unwrap();
+        prop_assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn trig_roundtrip(ds in arb_dataset()) {
+        let pm = PrefixMap::common();
+        let doc = write_trig(&ds, &pm);
+        let (ds2, _) = parse_trig(&doc).unwrap();
+        prop_assert_eq!(ds, ds2);
+    }
+
+    #[test]
+    fn blank_relabeling_preserves_isomorphism(g in arb_graph(), salt in any::<u64>()) {
+        use provbench_rdf::isomorphic;
+        // Rename every blank label injectively.
+        let rename = |b: &BlankNode| {
+            BlankNode::new(format!("r{salt:x}x{}", b.label())).unwrap()
+        };
+        let relabeled: Graph = g
+            .iter()
+            .map(|t| {
+                let subject = match &t.subject {
+                    Subject::Blank(b) => Subject::Blank(rename(b)),
+                    s => s.clone(),
+                };
+                let object = match &t.object {
+                    Term::Blank(b) => Term::Blank(rename(b)),
+                    o => o.clone(),
+                };
+                Triple { subject, predicate: t.predicate.clone(), object }
+            })
+            .collect();
+        prop_assert!(isomorphic(&g, &relabeled));
+        // And isomorphism is blind to the direction of comparison.
+        prop_assert!(isomorphic(&relabeled, &g));
+    }
+
+    #[test]
+    fn nquads_roundtrip(ds in arb_dataset()) {
+        let doc = write_nquads(&ds);
+        let ds2 = parse_nquads(&doc).unwrap();
+        prop_assert_eq!(ds, ds2);
+    }
+
+    #[test]
+    fn parsers_never_panic_on_arbitrary_input(input in "\\PC{0,200}") {
+        // Any result is fine; panics and hangs are not.
+        let _ = parse_turtle(&input);
+        let _ = parse_trig(&input);
+        let _ = parse_ntriples(&input);
+        let _ = parse_nquads(&input);
+    }
+
+    #[test]
+    fn parsers_never_panic_on_rdfish_garbage(
+        input in "[<>\"'@a-z0-9:/#.^{}\\\\ \\n_-]{0,160}",
+    ) {
+        let _ = parse_turtle(&input);
+        let _ = parse_trig(&input);
+        let _ = parse_nquads(&input);
+    }
+
+    #[test]
+    fn index_consistency(triples in prop::collection::vec(arb_triple(), 0..60)) {
+        // Whatever the insertion order and duplicates, every pattern shape
+        // must agree with a naive scan.
+        let g: Graph = triples.iter().cloned().collect();
+        for t in &triples {
+            prop_assert!(g.contains(t));
+            // Fully-bound, and each singly-bound pattern, must find t.
+            prop_assert!(g
+                .triples_matching(Some(&t.subject), Some(&t.predicate), Some(&t.object))
+                .any(|x| &x == t));
+            prop_assert!(g.triples_matching(Some(&t.subject), None, None).any(|x| &x == t));
+            prop_assert!(g.triples_matching(None, Some(&t.predicate), None).any(|x| &x == t));
+            prop_assert!(g.triples_matching(None, None, Some(&t.object)).any(|x| &x == t));
+        }
+        // The wildcard scan yields exactly the deduplicated set.
+        let mut uniq = triples.clone();
+        uniq.sort();
+        uniq.dedup();
+        prop_assert_eq!(g.len(), uniq.len());
+    }
+
+    #[test]
+    fn removal_restores_absence(triples in prop::collection::vec(arb_triple(), 1..30)) {
+        let mut g: Graph = triples.iter().cloned().collect();
+        for t in &triples {
+            g.remove(t);
+            prop_assert!(!g.contains(t));
+        }
+        prop_assert!(g.is_empty());
+    }
+
+    #[test]
+    fn datetime_roundtrip(ms in -10_000_000_000_000i64..10_000_000_000_000i64) {
+        let dt = DateTime::from_unix_millis(ms);
+        let parsed = DateTime::parse(&dt.to_string()).unwrap();
+        prop_assert_eq!(parsed, dt);
+    }
+
+    #[test]
+    fn datetime_ordering_matches_millis(a in any::<i32>(), b in any::<i32>()) {
+        let (a, b) = (i64::from(a) * 1000, i64::from(b) * 1000);
+        let (da, db) = (DateTime::from_unix_millis(a), DateTime::from_unix_millis(b));
+        prop_assert_eq!(a.cmp(&b), da.cmp(&db));
+    }
+
+    #[test]
+    fn union_graph_size_bounds(ds in arb_dataset()) {
+        let u = ds.union_graph();
+        prop_assert!(u.len() <= ds.len());
+        for q in ds.quads() {
+            prop_assert!(u.contains(&q.triple));
+        }
+    }
+}

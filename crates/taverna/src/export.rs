@@ -1,0 +1,505 @@
+//! The PROV export: [`WorkflowRun`] → PROV-O graph, Taverna profile.
+
+use crate::vocab as tavernaprov;
+use provbench_prov::builder::DocumentBuilder;
+use provbench_prov::model::{AgentKind, Document};
+use provbench_prov::to_rdf::{document_to_graph, ProfileOptions};
+use provbench_rdf::{DateTime, Graph, Iri, Literal, Triple};
+use provbench_vocab::{self as vocab, dcterms, rdfs, wfdesc, wfprov};
+use provbench_workflow::{ExecutedProcess, ProcessStatus, WorkflowRun, WorkflowTemplate};
+
+/// Base IRI under which a run's resources are minted.
+pub fn run_base_iri(run_id: &str) -> String {
+    format!("http://ns.taverna.org.uk/2011/run/{run_id}/")
+}
+
+/// IRI of the myExperiment-style workflow description.
+pub fn template_iri(template_name: &str) -> Iri {
+    Iri::new_unchecked(format!("http://www.myexperiment.org/workflows/{template_name}"))
+}
+
+fn template_process_iri(template_name: &str, process_name: &str) -> Iri {
+    Iri::new_unchecked(format!(
+        "http://www.myexperiment.org/workflows/{template_name}#process/{process_name}"
+    ))
+}
+
+fn user_iri(user: &str) -> Iri {
+    Iri::new_unchecked(format!("http://www.myexperiment.org/users/{user}"))
+}
+
+/// The wfdesc description of a template (one graph per workflow, shared
+/// by all of its runs).
+pub fn template_description(template: &WorkflowTemplate) -> Graph {
+    let mut g = Graph::new();
+    let wf = template_iri(&template.name);
+    g.insert(Triple::new(wf.clone(), vocab::rdf_type(), wfdesc::workflow()));
+    g.insert(Triple::new(wf.clone(), rdfs::label(), Literal::simple(&template.title)));
+    g.insert(Triple::new(wf.clone(), dcterms::subject(), Literal::simple(&template.domain)));
+    for port in &template.inputs {
+        let p = Iri::new_unchecked(format!("{}#input/{}", wf.as_str(), port.name));
+        g.insert(Triple::new(p.clone(), vocab::rdf_type(), wfdesc::input()));
+        g.insert(Triple::new(wf.clone(), wfdesc::has_input(), p));
+    }
+    for port in &template.outputs {
+        let p = Iri::new_unchecked(format!("{}#output/{}", wf.as_str(), port.name));
+        g.insert(Triple::new(p.clone(), vocab::rdf_type(), wfdesc::output()));
+        g.insert(Triple::new(wf.clone(), wfdesc::has_output(), p));
+    }
+    for proc in &template.processors {
+        let p = template_process_iri(&template.name, &proc.name);
+        g.insert(Triple::new(p.clone(), vocab::rdf_type(), wfdesc::process()));
+        g.insert(Triple::new(p.clone(), rdfs::label(), Literal::simple(&proc.name)));
+        g.insert(Triple::new(wf.clone(), wfdesc::has_sub_process(), p.clone()));
+        for port in &proc.inputs {
+            let port_iri =
+                Iri::new_unchecked(format!("{}/in/{}", p.as_str(), port.name));
+            g.insert(Triple::new(port_iri.clone(), vocab::rdf_type(), wfdesc::input()));
+            g.insert(Triple::new(p.clone(), wfdesc::has_input(), port_iri));
+        }
+        for port in &proc.outputs {
+            let port_iri =
+                Iri::new_unchecked(format!("{}/out/{}", p.as_str(), port.name));
+            g.insert(Triple::new(port_iri.clone(), vocab::rdf_type(), wfdesc::output()));
+            g.insert(Triple::new(p.clone(), wfdesc::has_output(), port_iri));
+        }
+    }
+    // The dataflow edges as wfdesc:DataLinks with source/sink ports.
+    let port_ref_iri = |r: &provbench_workflow::PortRef| -> Iri {
+        use provbench_workflow::PortRef;
+        match *r {
+            PortRef::WorkflowInput(i) => Iri::new_unchecked(format!(
+                "{}#input/{}",
+                wf.as_str(),
+                template.inputs[i].name
+            )),
+            PortRef::WorkflowOutput(i) => Iri::new_unchecked(format!(
+                "{}#output/{}",
+                wf.as_str(),
+                template.outputs[i].name
+            )),
+            PortRef::ProcessorInput { processor, port } => Iri::new_unchecked(format!(
+                "{}/in/{}",
+                template_process_iri(&template.name, &template.processors[processor].name)
+                    .as_str(),
+                template.processors[processor].inputs[port].name
+            )),
+            PortRef::ProcessorOutput { processor, port } => Iri::new_unchecked(format!(
+                "{}/out/{}",
+                template_process_iri(&template.name, &template.processors[processor].name)
+                    .as_str(),
+                template.processors[processor].outputs[port].name
+            )),
+        }
+    };
+    for (i, link) in template.links.iter().enumerate() {
+        let link_iri = Iri::new_unchecked(format!("{}#link/{}", wf.as_str(), i));
+        g.insert(Triple::new(link_iri.clone(), vocab::rdf_type(), wfdesc::data_link()));
+        g.insert(Triple::new(wf.clone(), wfdesc::has_data_link(), link_iri.clone()));
+        g.insert(Triple::new(link_iri.clone(), wfdesc::has_source(), port_ref_iri(&link.source)));
+        g.insert(Triple::new(link_iri, wfdesc::has_sink(), port_ref_iri(&link.sink)));
+    }
+    for nested in &template.nested {
+        let sub = template_iri(&nested.name);
+        g.insert(Triple::new(wf.clone(), wfdesc::has_sub_process(), sub));
+        g.extend_from_graph(&template_description(nested));
+    }
+    g
+}
+
+/// Build the PROV [`Document`] for one run (exposed for model-level tests;
+/// most callers want [`export_run`]).
+pub fn export_run_document(
+    template: &WorkflowTemplate,
+    run: &WorkflowRun,
+    run_id: &str,
+    engine_version: &str,
+) -> Document {
+    let mut b = DocumentBuilder::new(run_base_iri(run_id));
+    build_run(&mut b, template, run, run_id, engine_version, None);
+    b.build()
+}
+
+/// Export one run as a Taverna-profile PROV-O graph.
+///
+/// Blank-node labels are made unique per `run_id` so that traces can be
+/// merged into one corpus dataset without conflating helper nodes.
+pub fn export_run(
+    template: &WorkflowTemplate,
+    run: &WorkflowRun,
+    run_id: &str,
+    engine_version: &str,
+) -> Graph {
+    let doc = export_run_document(template, run, run_id, engine_version);
+    let disc = provbench_workflow::execution::fnv1a(run_id.as_bytes());
+    document_to_graph(
+        &doc,
+        ProfileOptions::taverna().with_blank_discriminator(disc | 1),
+    )
+}
+
+/// Recursive worker: fills `b` with one run, returning the run IRI.
+/// `informed_by` carries the host process-run of a nested workflow.
+fn build_run(
+    b: &mut DocumentBuilder,
+    template: &WorkflowTemplate,
+    run: &WorkflowRun,
+    run_id: &str,
+    engine_version: &str,
+    informed_by: Option<&Iri>,
+) -> Iri {
+    let wf = template_iri(&template.name);
+
+    // The workflow run activity.
+    let run_iri = b
+        .activity("workflow-run")
+        .typed(wfprov::workflow_run())
+        .label(format!("Run of {}", template.title))
+        .started(DateTime::from_unix_millis(run.started_ms))
+        .ended(DateTime::from_unix_millis(run.ended_ms))
+        .id();
+    b.other(&run_iri, wfprov::described_by_workflow(), wf.clone());
+
+    // Agents: the engine and the user. Taverna records no delegation and
+    // no attribution (Table 2), so those relations never appear.
+    let engine = b
+        .agent_iri(tavernaprov::engine_iri(engine_version), AgentKind::Software)
+        .typed(wfprov::workflow_engine())
+        .name(format!("Taverna {engine_version}"))
+        .id();
+    let user = b.agent_iri(user_iri(&run.user), AgentKind::Person).name(run.user.clone()).id();
+    // The template is declared as an entity (typed by wfdesc, not
+    // prov:Plan — Taverna points at it via prov:hadPlan only).
+    b.entity_iri(wf.clone()).typed(wfdesc::workflow());
+    b.associated(&run_iri, &engine, Some(&wf));
+    b.associated(&run_iri, &user, None);
+    b.other(&run_iri, wfprov::was_enacted_by(), engine.clone());
+
+    if let Some(host) = informed_by {
+        // The paper: wasInformedBy is "used to express the connection
+        // between sub-workflows".
+        b.informed(&run_iri, host);
+    }
+
+    // Artifacts.
+    let artifact_iri: Vec<Iri> = run
+        .artifacts
+        .iter()
+        .map(|a| {
+            let iri = b
+                .entity(&format!("data/{}", a.id))
+                .typed(wfprov::artifact())
+                .label(a.name.clone())
+                .value(Literal::simple(&a.value))
+                .attribute(tavernaprov::checksum(), Literal::simple(format!("{:016x}", a.checksum)))
+                .attribute(tavernaprov::byte_count(), Literal::integer(a.size_bytes as i64))
+                .id();
+            iri
+        })
+        .collect();
+
+    // Workflow-level usage/generation.
+    for &aid in &run.inputs {
+        b.used(&run_iri, &artifact_iri[aid], None);
+    }
+    for &aid in &run.outputs {
+        b.generated(&artifact_iri[aid], &run_iri, None);
+    }
+
+    // Process runs. Skipped processes never happened, so they leave no
+    // trace — the debugging application reconstructs them from wfdesc.
+    for process in &run.processes {
+        if process.status == ProcessStatus::Skipped {
+            continue;
+        }
+        let p_iri = build_process_run(
+            b,
+            template,
+            process,
+            &run_iri,
+            &engine,
+            &artifact_iri,
+        );
+        // Nested sub-workflow run, recursively exported in the same doc.
+        if let Some(sub_run) = &process.sub_run {
+            let nested_template = template
+                .processors
+                .get(process.processor)
+                .and_then(|p| p.sub_workflow)
+                .and_then(|ni| template.nested.get(ni));
+            if let Some(nested_template) = nested_template {
+                let mut nested_builder = DocumentBuilder::new(format!(
+                    "{}nested/{}/",
+                    run_base_iri(run_id),
+                    process.name
+                ));
+                build_run(
+                    &mut nested_builder,
+                    nested_template,
+                    sub_run,
+                    run_id,
+                    engine_version,
+                    Some(&p_iri),
+                );
+                let nested_doc = nested_builder.build();
+                merge_documents(b, nested_doc);
+            }
+        }
+    }
+    run_iri
+}
+
+/// Merge `other` into the builder's document (same graph, no bundling —
+/// Taverna exports one flat graph per run).
+fn merge_documents(b: &mut DocumentBuilder, other: Document) {
+    for (_, e) in other.entities {
+        let mut eb = b.entity_iri(e.id.clone());
+        for t in e.types {
+            eb = eb.typed(t);
+        }
+        if let Some(l) = e.label {
+            eb = eb.label(l);
+        }
+        if let Some(v) = e.value {
+            eb = eb.value(v);
+        }
+        for (p, o) in e.attributes {
+            eb = eb.attribute(p, o);
+        }
+        let _ = eb;
+    }
+    for (_, a) in other.activities {
+        let mut ab = b.activity_iri(a.id.clone());
+        for t in a.types {
+            ab = ab.typed(t);
+        }
+        if let Some(l) = a.label {
+            ab = ab.label(l);
+        }
+        if let Some(s) = a.started {
+            ab = ab.started(s);
+        }
+        if let Some(e) = a.ended {
+            ab = ab.ended(e);
+        }
+        for (p, o) in a.attributes {
+            ab = ab.attribute(p, o);
+        }
+        let _ = ab;
+    }
+    for (_, ag) in other.agents {
+        let mut gb = b.agent_iri(ag.id.clone(), ag.kind);
+        for t in ag.types {
+            gb = gb.typed(t);
+        }
+        if let Some(n) = ag.name {
+            gb = gb.name(n);
+        }
+        let _ = gb;
+    }
+    for r in other.relations {
+        b.relation(r);
+    }
+}
+
+fn build_process_run(
+    b: &mut DocumentBuilder,
+    template: &WorkflowTemplate,
+    process: &ExecutedProcess,
+    run_iri: &Iri,
+    engine: &Iri,
+    artifact_iri: &[Iri],
+) -> Iri {
+    let mut ab = b
+        .activity(&format!("process/{}", process.name))
+        .typed(wfprov::process_run())
+        .label(process.name.clone());
+    if let Some(s) = process.started_ms {
+        ab = ab.started(DateTime::from_unix_millis(s));
+    }
+    if let Some(e) = process.ended_ms {
+        ab = ab.ended(DateTime::from_unix_millis(e));
+    }
+    if let ProcessStatus::Failed(kind) = process.status {
+        ab = ab.attribute(
+            tavernaprov::error_message(),
+            Literal::simple(kind.description()),
+        );
+    }
+    let p_iri = ab.id();
+    b.other(&p_iri, wfprov::was_part_of_workflow_run(), run_iri.clone());
+    b.other(
+        &p_iri,
+        wfprov::described_by_process(),
+        template_process_iri(&template.name, &process.name),
+    );
+    b.associated(&p_iri, engine, None);
+    for &aid in &process.inputs {
+        b.used(&p_iri, &artifact_iri[aid], None);
+        b.other(&p_iri, wfprov::used_input(), artifact_iri[aid].clone());
+    }
+    for &aid in &process.outputs {
+        b.generated(&artifact_iri[aid], &p_iri, None);
+        b.other(&artifact_iri[aid], wfprov::was_output_from(), p_iri.clone());
+    }
+    p_iri
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use provbench_prov::inference::{any_instance_of, any_use_of};
+    use provbench_vocab::prov;
+    use provbench_workflow::domains::example_template;
+    use provbench_workflow::execution::{execute, ExecutionConfig, FailureKind, FailureSpec};
+
+    fn run_graph(failure: Option<FailureSpec>) -> Graph {
+        let t = example_template();
+        let mut c = ExecutionConfig::new(1_358_245_800_000, 7, "alice");
+        c.failure = failure;
+        let run = execute(&t, &c);
+        export_run(&t, &run, "example-1", "2.4.0")
+    }
+
+    #[test]
+    fn asserts_the_taverna_profile() {
+        let g = run_graph(None);
+        for class in [prov::entity(), prov::activity(), prov::agent()] {
+            assert!(any_instance_of(&g, &class), "missing class {class:?}");
+        }
+        for p in [
+            prov::started_at_time(),
+            prov::ended_at_time(),
+            prov::used(),
+            prov::was_generated_by(),
+            prov::was_associated_with(),
+            prov::had_plan(),
+        ] {
+            assert!(any_use_of(&g, &p), "missing property {p:?}");
+        }
+    }
+
+    #[test]
+    fn never_asserts_the_excluded_terms() {
+        let g = run_graph(None);
+        for p in [
+            prov::was_attributed_to(),
+            prov::acted_on_behalf_of(),
+            prov::was_derived_from(),
+            prov::was_influenced_by(),
+            prov::had_primary_source(),
+            prov::at_location(),
+        ] {
+            assert!(!any_use_of(&g, &p), "Taverna must not assert {p:?}");
+        }
+        for c in [prov::plan(), prov::bundle()] {
+            assert!(!any_instance_of(&g, &c), "Taverna must not type {c:?}");
+        }
+    }
+
+    #[test]
+    fn failed_run_is_a_partial_trace() {
+        let ok = run_graph(None);
+        let failed = run_graph(Some(FailureSpec {
+            processor: 1,
+            kind: FailureKind::ServiceUnavailable,
+        }));
+        // Fewer process runs and no workflow output generation.
+        assert!(failed.len() < ok.len());
+        assert!(any_use_of(&failed, &tavernaprov::error_message()));
+        let run_iri = Iri::new_unchecked(format!("{}workflow-run", run_base_iri("example-1")));
+        assert_eq!(
+            failed
+                .triples_matching(None, Some(&prov::was_generated_by()), Some(&run_iri.into()))
+                .count(),
+            0
+        );
+    }
+
+    #[test]
+    fn every_failure_kind_is_recorded_with_its_cause() {
+        let t = example_template();
+        for (i, kind) in FailureKind::ALL.into_iter().enumerate() {
+            let mut c = ExecutionConfig::new(0, 7, "alice");
+            c.failure = Some(FailureSpec { processor: i % t.processors.len(), kind });
+            let run = execute(&t, &c);
+            let g = export_run(&t, &run, &format!("fk-{i}"), "2.4.0");
+            let msg: provbench_rdf::Term =
+                provbench_rdf::Literal::simple(kind.description()).into();
+            assert!(
+                g.triples_matching(None, Some(&tavernaprov::error_message()), Some(&msg))
+                    .next()
+                    .is_some(),
+                "cause {kind:?} not recorded"
+            );
+        }
+    }
+
+    #[test]
+    fn nested_runs_are_connected_by_was_informed_by() {
+        let mut t = example_template();
+        t.nested.push(example_template());
+        t.processors[1].sub_workflow = Some(0);
+        let c = ExecutionConfig::new(0, 7, "bob");
+        let run = execute(&t, &c);
+        let g = export_run(&t, &run, "nested-1", "2.4.0");
+        assert!(any_use_of(&g, &prov::was_informed_by()));
+    }
+
+    #[test]
+    fn no_was_informed_by_without_nesting() {
+        let g = run_graph(None);
+        assert!(!any_use_of(&g, &prov::was_informed_by()));
+    }
+
+    #[test]
+    fn template_description_covers_structure() {
+        let t = example_template();
+        let g = template_description(&t);
+        assert!(any_instance_of(&g, &wfdesc::workflow()));
+        assert!(any_instance_of(&g, &wfdesc::process()));
+        assert!(any_instance_of(&g, &wfdesc::input()));
+        assert!(any_instance_of(&g, &wfdesc::output()));
+        assert_eq!(
+            g.triples_matching(None, Some(&wfdesc::has_sub_process()), None).count(),
+            3
+        );
+    }
+
+    #[test]
+    fn template_description_includes_data_links() {
+        let t = example_template();
+        let g = template_description(&t);
+        assert_eq!(
+            g.triples_matching(None, Some(&wfdesc::has_data_link()), None).count(),
+            t.links.len()
+        );
+        assert_eq!(
+            g.triples_matching(None, Some(&wfdesc::has_source()), None).count(),
+            t.links.len()
+        );
+        assert_eq!(
+            g.triples_matching(None, Some(&wfdesc::has_sink()), None).count(),
+            t.links.len()
+        );
+        // Processor ports are typed and attached.
+        assert!(g.triples_matching(None, Some(&wfdesc::has_input()), None).count() >= 3);
+        assert!(g.triples_matching(None, Some(&wfdesc::has_output()), None).count() >= 3);
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let a = run_graph(None);
+        let b = run_graph(None);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn artifacts_carry_values_and_checksums() {
+        let g = run_graph(None);
+        assert!(any_use_of(&g, &prov::value()));
+        assert!(any_use_of(&g, &tavernaprov::checksum()));
+        assert!(any_use_of(&g, &tavernaprov::byte_count()));
+        assert!(any_instance_of(&g, &wfprov::artifact()));
+    }
+}

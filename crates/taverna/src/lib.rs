@@ -1,0 +1,27 @@
+//! # provbench-taverna
+//!
+//! A Taverna-style workflow engine simulator with a PROV export plugin
+//! (the stand-in for `taverna-prov`, see DESIGN.md §2).
+//!
+//! The exporter reproduces the PROV term profile the paper reports for
+//! Taverna in Tables 2 and 3:
+//!
+//! * **asserted**: `prov:Entity`/`Activity`/`Agent` typing,
+//!   `prov:startedAtTime`/`endedAtTime` on activities, `prov:used`,
+//!   `prov:wasGeneratedBy`, `prov:wasAssociatedWith`,
+//!   `prov:wasInformedBy` (connecting nested sub-workflow runs), and
+//!   `prov:hadPlan` inside qualified associations;
+//! * **never asserted**: `prov:wasAttributedTo` ("no direct attribution
+//!   is recorded in Taverna provenance traces"), `prov:actedOnBehalfOf`,
+//!   `prov:wasDerivedFrom`, `prov:wasInfluencedBy`, `prov:Plan` typing,
+//!   `prov:Bundle`, `prov:hadPrimarySource`, `prov:atLocation`.
+//!
+//! Traces are additionally decorated with wfprov/wfdesc (Research Object
+//! model) terms, mirroring the real plugin.
+
+pub mod engine;
+pub mod export;
+pub mod vocab;
+
+pub use engine::TavernaEngine;
+pub use export::{export_run, export_run_document, template_description, run_base_iri};

@@ -1,0 +1,41 @@
+//! Taverna-specific namespace and terms (the `tavernaprov` extension the
+//! real plugin ships for error and content annotations).
+
+use provbench_rdf::Iri;
+
+/// The tavernaprov namespace.
+pub const NS: &str = "http://ns.taverna.org.uk/2012/tavernaprov/";
+
+/// `tavernaprov:errorMessage` — attached to failed process runs.
+pub fn error_message() -> Iri {
+    Iri::new_unchecked(concat!(
+        "http://ns.taverna.org.uk/2012/tavernaprov/",
+        "errorMessage"
+    ))
+}
+
+/// `tavernaprov:checksum` — FNV content checksum of an artifact.
+pub fn checksum() -> Iri {
+    Iri::new_unchecked(concat!("http://ns.taverna.org.uk/2012/tavernaprov/", "checksum"))
+}
+
+/// `tavernaprov:byteCount` — artifact size.
+pub fn byte_count() -> Iri {
+    Iri::new_unchecked(concat!("http://ns.taverna.org.uk/2012/tavernaprov/", "byteCount"))
+}
+
+/// The engine software agent IRI for a given Taverna version.
+pub fn engine_iri(version: &str) -> Iri {
+    Iri::new_unchecked(format!("http://ns.taverna.org.uk/2011/software/taverna-{version}"))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn terms_are_namespaced() {
+        assert!(super::error_message().as_str().starts_with(super::NS));
+        assert!(super::checksum().as_str().starts_with(super::NS));
+        assert!(super::byte_count().as_str().starts_with(super::NS));
+        assert!(super::engine_iri("2.4.0").as_str().contains("taverna-2.4.0"));
+    }
+}

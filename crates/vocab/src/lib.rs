@@ -1,0 +1,122 @@
+//! # provbench-vocab
+//!
+//! Vocabulary term tables for the ProvBench corpus: PROV-O plus the
+//! extension ontologies the paper layers on top of it (wfprov, wfdesc,
+//! OPMW, Research Object), and the supporting namespaces (rdf, rdfs, xsd,
+//! dcterms, foaf).
+//!
+//! Every term is exposed as a zero-argument function returning a cached
+//! [`Iri`]; each module also exposes its namespace as `NS`. The [`prov`]
+//! module additionally carries the metadata the paper's Tables 2 and 3
+//! are built from: which terms are *starting-point* vs *additional*, and
+//! the sub-property lattice used to infer `prov:wasInfluencedBy`.
+
+pub mod opmw;
+pub mod prov;
+pub mod rdf;
+pub mod rdfs;
+pub mod ro;
+pub mod void_vocab;
+pub mod wfdesc;
+pub mod wfprov;
+
+/// VoID under its conventional name.
+pub use void_vocab as void;
+
+pub use prov::{ProvTermInfo, TermCategory, TermKind};
+
+use provbench_rdf::Iri;
+use std::sync::OnceLock;
+
+/// Define cached term accessors under a namespace.
+macro_rules! terms {
+    ($ns:literal => $( $(#[$doc:meta])* $name:ident = $local:literal ),+ $(,)?) => {
+        /// The namespace IRI of this vocabulary.
+        pub const NS: &str = $ns;
+        $(
+            $(#[$doc])*
+            pub fn $name() -> $crate::Iri {
+                static CELL: std::sync::OnceLock<$crate::Iri> = std::sync::OnceLock::new();
+                CELL.get_or_init(|| $crate::Iri::new_unchecked(concat!($ns, $local))).clone()
+            }
+        )+
+    };
+}
+pub(crate) use terms;
+
+/// Dublin Core terms used for corpus metadata.
+pub mod dcterms {
+    super::terms! { "http://purl.org/dc/terms/" =>
+        /// `dcterms:title`.
+        title = "title",
+        /// `dcterms:description`.
+        description = "description",
+        /// `dcterms:creator`.
+        creator = "creator",
+        /// `dcterms:created`.
+        created = "created",
+        /// `dcterms:subject` — we use it for the application domain.
+        subject = "subject",
+        /// `dcterms:license`.
+        license = "license",
+    }
+}
+
+/// FOAF terms used for agent descriptions.
+pub mod foaf {
+    super::terms! { "http://xmlns.com/foaf/0.1/" =>
+        /// `foaf:name`.
+        name = "name",
+        /// `foaf:mbox`.
+        mbox = "mbox",
+    }
+}
+
+/// The `rdf:type` shortcut, used pervasively.
+pub fn rdf_type() -> Iri {
+    static CELL: OnceLock<Iri> = OnceLock::new();
+    CELL.get_or_init(|| Iri::new_unchecked("http://www.w3.org/1999/02/22-rdf-syntax-ns#type"))
+        .clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn namespaces_are_distinct_and_well_formed() {
+        let all = [
+            prov::NS,
+            wfprov::NS,
+            wfdesc::NS,
+            opmw::NS,
+            ro::NS,
+            rdf::NS,
+            rdfs::NS,
+            dcterms::NS,
+            foaf::NS,
+        ];
+        for ns in all {
+            assert!(Iri::new(ns).is_ok(), "bad namespace {ns}");
+        }
+        let mut dedup = all.to_vec();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), all.len());
+    }
+
+    #[test]
+    fn terms_live_in_their_namespace() {
+        assert!(prov::entity().as_str().starts_with(prov::NS));
+        assert!(wfprov::workflow_run().as_str().starts_with(wfprov::NS));
+        assert!(opmw::workflow_execution_account().as_str().starts_with(opmw::NS));
+        assert!(dcterms::title().as_str().starts_with(dcterms::NS));
+        assert!(foaf::name().as_str().starts_with(foaf::NS));
+    }
+
+    #[test]
+    fn term_functions_are_cached_and_stable() {
+        assert_eq!(prov::used(), prov::used());
+        assert_eq!(rdf_type().as_str(), "http://www.w3.org/1999/02/22-rdf-syntax-ns#type");
+    }
+}

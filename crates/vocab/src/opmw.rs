@@ -1,0 +1,54 @@
+//! The OPMW ontology (Open Provenance Model for Workflows), used by the
+//! Wings export to tie execution accounts to workflow templates and the
+//! executable components (services) that ran.
+
+super::terms! { "http://www.opmw.org/ontology/" =>
+    /// `opmw:WorkflowExecutionAccount` — one Wings run account (a bundle).
+    workflow_execution_account = "WorkflowExecutionAccount",
+    /// `opmw:WorkflowExecutionProcess` — an executed step.
+    workflow_execution_process = "WorkflowExecutionProcess",
+    /// `opmw:WorkflowExecutionArtifact` — a data item of an execution.
+    workflow_execution_artifact = "WorkflowExecutionArtifact",
+    /// `opmw:WorkflowTemplate` — the abstract Wings template.
+    workflow_template = "WorkflowTemplate",
+    /// `opmw:WorkflowTemplateProcess` — a step of the template.
+    workflow_template_process = "WorkflowTemplateProcess",
+    /// `opmw:WorkflowTemplateArtifact` — a data variable of the template.
+    workflow_template_artifact = "WorkflowTemplateArtifact",
+    /// `opmw:executedInWorkflowSystem` — account → the Wings engine.
+    executed_in_workflow_system = "executedInWorkflowSystem",
+    /// `opmw:correspondsToTemplate` — account → template.
+    corresponds_to_template = "correspondsToTemplate",
+    /// `opmw:correspondsToTemplateProcess` — executed step → template step.
+    corresponds_to_template_process = "correspondsToTemplateProcess",
+    /// `opmw:correspondsToTemplateArtifact` — artifact → template variable.
+    corresponds_to_template_artifact = "correspondsToTemplateArtifact",
+    /// `opmw:hasExecutableComponent` — executed step → the concrete
+    /// component/service invoked (queried by the paper's Q6).
+    has_executable_component = "hasExecutableComponent",
+    /// `opmw:overallStartTime` — account-level start (Wings records run
+    /// times only at account granularity, not per activity).
+    overall_start_time = "overallStartTime",
+    /// `opmw:overallEndTime`.
+    overall_end_time = "overallEndTime",
+    /// `opmw:hasStatus` — account status (`SUCCESS` / `FAILURE`).
+    has_status = "hasStatus",
+    /// `opmw:belongsToAccount` — step/artifact → its execution account.
+    belongs_to_account = "belongsToAccount",
+    /// `opmw:isInputOf` — artifact → the account it is a workflow input of.
+    is_input_of = "isInputOf",
+    /// `opmw:isOutputOf` — artifact → the account it is a workflow output of.
+    is_output_of = "isOutputOf",
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn terms_are_namespaced() {
+        assert_eq!(
+            super::workflow_execution_account().as_str(),
+            "http://www.opmw.org/ontology/WorkflowExecutionAccount"
+        );
+        assert!(super::has_executable_component().as_str().starts_with(super::NS));
+    }
+}

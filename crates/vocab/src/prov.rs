@@ -1,0 +1,250 @@
+//! The PROV-O vocabulary, with the term classification behind the paper's
+//! Tables 2 and 3 and the sub-property lattice used for inference.
+
+use provbench_rdf::Iri;
+
+super::terms! { "http://www.w3.org/ns/prov#" =>
+    // --- Starting-point classes (Table 2) ---
+    /// `prov:Entity`.
+    entity = "Entity",
+    /// `prov:Activity`.
+    activity = "Activity",
+    /// `prov:Agent`.
+    agent = "Agent",
+    // --- Starting-point properties (Table 2) ---
+    /// `prov:wasGeneratedBy`.
+    was_generated_by = "wasGeneratedBy",
+    /// `prov:wasDerivedFrom`.
+    was_derived_from = "wasDerivedFrom",
+    /// `prov:wasAttributedTo`.
+    was_attributed_to = "wasAttributedTo",
+    /// `prov:startedAtTime`.
+    started_at_time = "startedAtTime",
+    /// `prov:used`.
+    used = "used",
+    /// `prov:wasInformedBy`.
+    was_informed_by = "wasInformedBy",
+    /// `prov:endedAtTime`.
+    ended_at_time = "endedAtTime",
+    /// `prov:wasAssociatedWith`.
+    was_associated_with = "wasAssociatedWith",
+    /// `prov:actedOnBehalfOf`.
+    acted_on_behalf_of = "actedOnBehalfOf",
+    // --- Additional terms (Table 3) ---
+    /// `prov:Bundle`.
+    bundle = "Bundle",
+    /// `prov:Plan`.
+    plan = "Plan",
+    /// `prov:wasInfluencedBy`.
+    was_influenced_by = "wasInfluencedBy",
+    /// `prov:hadPrimarySource`.
+    had_primary_source = "hadPrimarySource",
+    /// `prov:atLocation`.
+    at_location = "atLocation",
+    // --- Expanded / qualified terms the exporters also use ---
+    /// `prov:SoftwareAgent`.
+    software_agent = "SoftwareAgent",
+    /// `prov:Person`.
+    person = "Person",
+    /// `prov:Location`.
+    location = "Location",
+    /// `prov:Association` (qualified association class).
+    association = "Association",
+    /// `prov:qualifiedAssociation`.
+    qualified_association = "qualifiedAssociation",
+    /// `prov:hadPlan` — Taverna asserts this *instead of* typing plans
+    /// with `prov:Plan` (Table 3's starred entry).
+    had_plan = "hadPlan",
+    /// `prov:agent` (the qualified-association agent property).
+    agent_prop = "agent",
+    /// `prov:Organization`.
+    organization = "Organization",
+    /// `prov:Usage` (qualified usage class).
+    usage = "Usage",
+    /// `prov:Generation` (qualified generation class).
+    generation = "Generation",
+    /// `prov:qualifiedUsage`.
+    qualified_usage = "qualifiedUsage",
+    /// `prov:qualifiedGeneration` .
+    qualified_generation = "qualifiedGeneration",
+    /// `prov:atTime` (time of a qualified influence).
+    at_time = "atTime",
+    /// `prov:entity` (the qualified-usage entity property).
+    entity_prop = "entity",
+    /// `prov:activity` (the qualified-generation activity property).
+    activity_prop = "activity",
+    /// `prov:generatedAtTime`.
+    generated_at_time = "generatedAtTime",
+    /// `prov:value`.
+    value = "value",
+    /// `prov:wasStartedBy`.
+    was_started_by = "wasStartedBy",
+    /// `prov:wasEndedBy`.
+    was_ended_by = "wasEndedBy",
+    /// `prov:specializationOf`.
+    specialization_of = "specializationOf",
+    /// `prov:alternateOf`.
+    alternate_of = "alternateOf",
+    /// `prov:invalidatedAtTime`.
+    invalidated_at_time = "invalidatedAtTime",
+}
+
+/// Whether a PROV term belongs to the starting-point set (Table 2) or the
+/// additional set reported in Table 3.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum TermCategory {
+    /// One of the 12 starting-point terms of Table 2.
+    StartingPoint,
+    /// One of the 5 additional terms of Table 3.
+    Additional,
+}
+
+/// Whether a PROV term is a class or a property.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum TermKind {
+    /// An `owl:Class` — coverage means "an instance is typed with it".
+    Class,
+    /// A property — coverage means "a triple asserts it".
+    Property,
+}
+
+/// Static description of one PROV term tracked by the coverage analysis.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProvTermInfo {
+    /// Display name as the paper spells it, e.g. `prov:wasGeneratedBy`.
+    pub name: &'static str,
+    /// Full IRI.
+    pub iri: &'static str,
+    /// Starting-point (Table 2) or additional (Table 3).
+    pub category: TermCategory,
+    /// Class or property.
+    pub kind: TermKind,
+}
+
+impl ProvTermInfo {
+    /// The term IRI as an [`Iri`] value.
+    pub fn to_iri(&self) -> Iri {
+        Iri::new_unchecked(self.iri)
+    }
+}
+
+macro_rules! info {
+    ($name:literal, $local:literal, $cat:ident, $kind:ident) => {
+        ProvTermInfo {
+            name: $name,
+            iri: concat!("http://www.w3.org/ns/prov#", $local),
+            category: TermCategory::$cat,
+            kind: TermKind::$kind,
+        }
+    };
+}
+
+/// The 12 starting-point terms, in the order of the paper's Table 2.
+pub const STARTING_POINT_TERMS: &[ProvTermInfo] = &[
+    info!("prov:Activity", "Activity", StartingPoint, Class),
+    info!("prov:Agent", "Agent", StartingPoint, Class),
+    info!("prov:Entity", "Entity", StartingPoint, Class),
+    info!("prov:actedOnBehalfOf", "actedOnBehalfOf", StartingPoint, Property),
+    info!("prov:endedAtTime", "endedAtTime", StartingPoint, Property),
+    info!("prov:startedAtTime", "startedAtTime", StartingPoint, Property),
+    info!("prov:used", "used", StartingPoint, Property),
+    info!("prov:wasAssociatedWith", "wasAssociatedWith", StartingPoint, Property),
+    info!("prov:wasAttributedTo", "wasAttributedTo", StartingPoint, Property),
+    info!("prov:wasDerivedFrom", "wasDerivedFrom", StartingPoint, Property),
+    info!("prov:wasGeneratedBy", "wasGeneratedBy", StartingPoint, Property),
+    info!("prov:wasInformedBy", "wasInformedBy", StartingPoint, Property),
+];
+
+/// The 5 additional terms, in the order of the paper's Table 3.
+pub const ADDITIONAL_TERMS: &[ProvTermInfo] = &[
+    info!("prov:Bundle", "Bundle", Additional, Class),
+    info!("prov:Plan", "Plan", Additional, Class),
+    info!("prov:wasInfluencedBy", "wasInfluencedBy", Additional, Property),
+    info!("prov:hadPrimarySource", "hadPrimarySource", Additional, Property),
+    info!("prov:atLocation", "atLocation", Additional, Property),
+];
+
+/// Direct sub-property pairs `(sub, super)` of the PROV-O lattice that
+/// matter for the corpus: everything that rolls up to
+/// `prov:wasInfluencedBy`, plus `hadPrimarySource ⊑ wasDerivedFrom`.
+pub const SUBPROPERTY_OF: &[(&str, &str)] = &[
+    ("http://www.w3.org/ns/prov#used", "http://www.w3.org/ns/prov#wasInfluencedBy"),
+    ("http://www.w3.org/ns/prov#wasGeneratedBy", "http://www.w3.org/ns/prov#wasInfluencedBy"),
+    ("http://www.w3.org/ns/prov#wasDerivedFrom", "http://www.w3.org/ns/prov#wasInfluencedBy"),
+    ("http://www.w3.org/ns/prov#wasAttributedTo", "http://www.w3.org/ns/prov#wasInfluencedBy"),
+    ("http://www.w3.org/ns/prov#wasAssociatedWith", "http://www.w3.org/ns/prov#wasInfluencedBy"),
+    ("http://www.w3.org/ns/prov#wasInformedBy", "http://www.w3.org/ns/prov#wasInfluencedBy"),
+    ("http://www.w3.org/ns/prov#actedOnBehalfOf", "http://www.w3.org/ns/prov#wasInfluencedBy"),
+    ("http://www.w3.org/ns/prov#wasStartedBy", "http://www.w3.org/ns/prov#wasInfluencedBy"),
+    ("http://www.w3.org/ns/prov#wasEndedBy", "http://www.w3.org/ns/prov#wasInfluencedBy"),
+    ("http://www.w3.org/ns/prov#hadPrimarySource", "http://www.w3.org/ns/prov#wasDerivedFrom"),
+];
+
+/// All transitive super-properties of `property` within
+/// [`SUBPROPERTY_OF`], excluding the property itself.
+pub fn super_properties(property: &Iri) -> Vec<Iri> {
+    let mut out = Vec::new();
+    let mut frontier = vec![property.as_str().to_owned()];
+    while let Some(p) = frontier.pop() {
+        for (sub, sup) in SUBPROPERTY_OF {
+            if *sub == p && !out.iter().any(|o: &Iri| o.as_str() == *sup) {
+                out.push(Iri::new_unchecked(*sup));
+                frontier.push((*sup).to_owned());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_2_has_exactly_twelve_terms() {
+        assert_eq!(STARTING_POINT_TERMS.len(), 12);
+        assert!(STARTING_POINT_TERMS
+            .iter()
+            .all(|t| t.category == TermCategory::StartingPoint));
+        // 3 classes, 9 properties.
+        assert_eq!(
+            STARTING_POINT_TERMS.iter().filter(|t| t.kind == TermKind::Class).count(),
+            3
+        );
+    }
+
+    #[test]
+    fn table_3_has_exactly_five_terms() {
+        assert_eq!(ADDITIONAL_TERMS.len(), 5);
+        assert!(ADDITIONAL_TERMS.iter().all(|t| t.category == TermCategory::Additional));
+    }
+
+    #[test]
+    fn term_infos_resolve_to_valid_iris() {
+        for t in STARTING_POINT_TERMS.iter().chain(ADDITIONAL_TERMS) {
+            let iri = t.to_iri();
+            assert!(iri.as_str().starts_with(NS));
+            assert!(t.name.starts_with("prov:"));
+        }
+    }
+
+    #[test]
+    fn used_rolls_up_to_influence() {
+        let sups = super_properties(&used());
+        assert_eq!(sups.len(), 1);
+        assert_eq!(sups[0], was_influenced_by());
+    }
+
+    #[test]
+    fn primary_source_rolls_up_transitively() {
+        let sups = super_properties(&had_primary_source());
+        assert!(sups.contains(&was_derived_from()));
+        assert!(sups.contains(&was_influenced_by()));
+        assert_eq!(sups.len(), 2);
+    }
+
+    #[test]
+    fn influence_has_no_super_property() {
+        assert!(super_properties(&was_influenced_by()).is_empty());
+    }
+}

@@ -1,0 +1,23 @@
+//! Core RDF vocabulary terms.
+
+super::terms! { "http://www.w3.org/1999/02/22-rdf-syntax-ns#" =>
+    /// `rdf:type`.
+    type_ = "type",
+    /// `rdf:first` (collections).
+    first = "first",
+    /// `rdf:rest` (collections).
+    rest = "rest",
+    /// `rdf:nil` (collections).
+    nil = "nil",
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn type_iri() {
+        assert_eq!(
+            super::type_().as_str(),
+            "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+        );
+    }
+}

@@ -1,0 +1,20 @@
+//! RDF Schema terms used for labels and comments.
+
+super::terms! { "http://www.w3.org/2000/01/rdf-schema#" =>
+    /// `rdfs:label`.
+    label = "label",
+    /// `rdfs:comment`.
+    comment = "comment",
+    /// `rdfs:seeAlso`.
+    see_also = "seeAlso",
+    /// `rdfs:subPropertyOf`.
+    sub_property_of = "subPropertyOf",
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn label_iri() {
+        assert_eq!(super::label().as_str(), "http://www.w3.org/2000/01/rdf-schema#label");
+    }
+}

@@ -1,0 +1,27 @@
+//! The Research Object core ontology: aggregation of traces and workflow
+//! descriptions into research objects.
+
+super::terms! { "http://purl.org/wf4ever/ro#" =>
+    /// `ro:ResearchObject`.
+    research_object = "ResearchObject",
+    /// `ro:Resource` — an aggregated resource.
+    resource = "Resource",
+    /// `ro:aggregates` — research object → resource.
+    aggregates = "aggregates",
+    /// `ro:AggregatedAnnotation`.
+    aggregated_annotation = "AggregatedAnnotation",
+    /// `ro:annotatesAggregatedResource`.
+    annotates_aggregated_resource = "annotatesAggregatedResource",
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn terms_are_namespaced() {
+        assert_eq!(
+            super::research_object().as_str(),
+            "http://purl.org/wf4ever/ro#ResearchObject"
+        );
+        assert!(super::aggregates().as_str().starts_with(super::NS));
+    }
+}

@@ -1,0 +1,32 @@
+//! The VoID vocabulary (Vocabulary of Interlinked Datasets), used to
+//! publish the corpus's Table 1 metadata as machine-readable RDF.
+
+super::terms! { "http://rdfs.org/ns/void#" =>
+    /// `void:Dataset`.
+    dataset = "Dataset",
+    /// `void:triples` — number of triples in the dataset.
+    triples = "triples",
+    /// `void:entities` — number of described entities.
+    entities = "entities",
+    /// `void:distinctSubjects`.
+    distinct_subjects = "distinctSubjects",
+    /// `void:vocabulary` — a vocabulary the dataset uses.
+    vocabulary = "vocabulary",
+    /// `void:dataDump` — where the serialized dataset lives.
+    data_dump = "dataDump",
+    /// `void:feature` — a technical feature, e.g. the RDF syntax.
+    feature = "feature",
+    /// `void:sparqlEndpoint`.
+    sparql_endpoint = "sparqlEndpoint",
+    /// `void:subset`.
+    subset = "subset",
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn terms_are_namespaced() {
+        assert_eq!(super::dataset().as_str(), "http://rdfs.org/ns/void#Dataset");
+        assert!(super::sparql_endpoint().as_str().starts_with(super::NS));
+    }
+}

@@ -1,0 +1,38 @@
+//! The wfdesc ontology (Research Object model): abstract workflow
+//! descriptions that provenance traces point back to.
+
+super::terms! { "http://purl.org/wf4ever/wfdesc#" =>
+    /// `wfdesc:Workflow` — a workflow template.
+    workflow = "Workflow",
+    /// `wfdesc:Process` — one step of a workflow template.
+    process = "Process",
+    /// `wfdesc:Input` — an input parameter port.
+    input = "Input",
+    /// `wfdesc:Output` — an output port.
+    output = "Output",
+    /// `wfdesc:DataLink` — a dataflow edge.
+    data_link = "DataLink",
+    /// `wfdesc:hasInput`.
+    has_input = "hasInput",
+    /// `wfdesc:hasOutput`.
+    has_output = "hasOutput",
+    /// `wfdesc:hasSubProcess`.
+    has_sub_process = "hasSubProcess",
+    /// `wfdesc:hasDataLink`.
+    has_data_link = "hasDataLink",
+    /// `wfdesc:hasSource` — data link source port.
+    has_source = "hasSource",
+    /// `wfdesc:hasSink` — data link sink port.
+    has_sink = "hasSink",
+    /// `wfdesc:hasWorkflowDefinition`.
+    has_workflow_definition = "hasWorkflowDefinition",
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn terms_are_namespaced() {
+        assert_eq!(super::workflow().as_str(), "http://purl.org/wf4ever/wfdesc#Workflow");
+        assert!(super::has_data_link().as_str().starts_with(super::NS));
+    }
+}

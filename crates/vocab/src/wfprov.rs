@@ -1,0 +1,37 @@
+//! The wfprov ontology (Research Object model): workflow-specific
+//! provenance terms used by the Taverna export.
+
+super::terms! { "http://purl.org/wf4ever/wfprov#" =>
+    /// `wfprov:WorkflowRun` — the run of a whole workflow.
+    workflow_run = "WorkflowRun",
+    /// `wfprov:ProcessRun` — the run of one processor.
+    process_run = "ProcessRun",
+    /// `wfprov:Artifact` — a data item consumed or produced.
+    artifact = "Artifact",
+    /// `wfprov:WorkflowEngine` — the software agent enacting runs.
+    workflow_engine = "WorkflowEngine",
+    /// `wfprov:describedByWorkflow` — run → its workflow description.
+    described_by_workflow = "describedByWorkflow",
+    /// `wfprov:describedByProcess` — process run → its process description.
+    described_by_process = "describedByProcess",
+    /// `wfprov:usedInput` — process run → consumed artifact.
+    used_input = "usedInput",
+    /// `wfprov:wasOutputFrom` — artifact → producing run.
+    was_output_from = "wasOutputFrom",
+    /// `wfprov:wasPartOfWorkflowRun` — process run → enclosing workflow run.
+    was_part_of_workflow_run = "wasPartOfWorkflowRun",
+    /// `wfprov:wasEnactedBy` — run → workflow engine.
+    was_enacted_by = "wasEnactedBy",
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn terms_are_namespaced() {
+        assert_eq!(
+            super::workflow_run().as_str(),
+            "http://purl.org/wf4ever/wfprov#WorkflowRun"
+        );
+        assert!(super::was_part_of_workflow_run().as_str().starts_with(super::NS));
+    }
+}

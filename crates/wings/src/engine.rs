@@ -1,0 +1,76 @@
+//! The engine facade: execute a template and publish its provenance in
+//! one call, like running Wings with the OPMW publisher enabled.
+
+use crate::export::{export_run, template_description};
+use provbench_rdf::{Dataset, Graph};
+use provbench_workflow::execution::execute;
+use provbench_workflow::{ExecutionConfig, WorkflowRun, WorkflowTemplate};
+
+/// A simulated Wings installation.
+#[derive(Clone, Debug)]
+pub struct WingsEngine {
+    /// Engine version, embedded in the engine agent IRI.
+    pub version: String,
+}
+
+impl Default for WingsEngine {
+    fn default() -> Self {
+        WingsEngine { version: "4.0".to_owned() }
+    }
+}
+
+impl WingsEngine {
+    /// A specific engine version.
+    pub fn new(version: impl Into<String>) -> Self {
+        WingsEngine { version: version.into() }
+    }
+
+    /// Execute `template` and publish the run's provenance dataset.
+    pub fn run(
+        &self,
+        template: &WorkflowTemplate,
+        config: &ExecutionConfig,
+        run_id: &str,
+    ) -> (WorkflowRun, Dataset) {
+        let run = execute(template, config);
+        let dataset = export_run(template, &run, run_id, &self.version);
+        (run, dataset)
+    }
+
+    /// The OPMW description of a template (shared across its runs).
+    pub fn describe(&self, template: &WorkflowTemplate) -> Graph {
+        template_description(template)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use provbench_workflow::domains::example_template;
+
+    #[test]
+    fn run_produces_dataset_and_run_record() {
+        let engine = WingsEngine::default();
+        let t = example_template();
+        let config = ExecutionConfig::new(0, 1, "erin");
+        let (run, ds) = engine.run(&t, &config, "r1");
+        assert!(!run.failed());
+        assert!(!ds.is_empty());
+        assert_eq!(ds.named_graphs().count(), 1);
+        assert!(!engine.describe(&t).is_empty());
+    }
+
+    #[test]
+    fn version_flows_into_agent_iri() {
+        let engine = WingsEngine::new("4.2");
+        let t = example_template();
+        let config = ExecutionConfig::new(0, 1, "erin");
+        let (_, ds) = engine.run(&t, &config, "r1");
+        let agent = crate::vocab::engine_iri("4.2");
+        assert!(ds
+            .union_graph()
+            .triples_matching(Some(&agent.into()), None, None)
+            .next()
+            .is_some());
+    }
+}

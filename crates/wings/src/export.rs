@@ -1,0 +1,365 @@
+//! The OPMW/PROV publisher: [`WorkflowRun`] → PROV-O dataset (the run
+//! account as a `prov:Bundle` named graph), Wings profile.
+
+use crate::vocab as wings;
+use provbench_prov::builder::DocumentBuilder;
+use provbench_prov::model::{AgentKind, Document};
+use provbench_prov::to_rdf::{document_to_dataset, ProfileOptions};
+use provbench_rdf::{Dataset, DateTime, Graph, Iri, Literal, Triple};
+use provbench_vocab::{self as vocab, dcterms, opmw, rdfs};
+use provbench_workflow::{ProcessStatus, RunStatus, WorkflowRun, WorkflowTemplate};
+
+/// The execution-account IRI for a run.
+pub fn account_iri(run_id: &str) -> Iri {
+    Iri::new_unchecked(format!("http://www.opmw.org/export/resource/Account/{run_id}"))
+}
+
+/// The OPMW template IRI for a workflow.
+pub fn template_iri(template_name: &str) -> Iri {
+    Iri::new_unchecked(format!(
+        "http://www.opmw.org/export/resource/WorkflowTemplate/{template_name}"
+    ))
+}
+
+fn template_process_iri(template_name: &str, process_name: &str) -> Iri {
+    Iri::new_unchecked(format!(
+        "http://www.opmw.org/export/resource/WorkflowTemplateProcess/{template_name}_{process_name}"
+    ))
+}
+
+fn base(run_id: &str) -> String {
+    format!("http://www.opmw.org/export/resource/Execution/{run_id}/")
+}
+
+/// The OPMW description of a template (shared by all of its runs).
+pub fn template_description(template: &WorkflowTemplate) -> Graph {
+    let mut g = Graph::new();
+    let wf = template_iri(&template.name);
+    g.insert(Triple::new(wf.clone(), vocab::rdf_type(), opmw::workflow_template()));
+    g.insert(Triple::new(wf.clone(), rdfs::label(), Literal::simple(&template.title)));
+    g.insert(Triple::new(wf.clone(), dcterms::subject(), Literal::simple(&template.domain)));
+    g.insert(Triple::new(
+        wf.clone(),
+        vocab::prov::at_location(),
+        Iri::new_unchecked(format!(
+            "http://www.wings-workflows.org/templates/{}.owl",
+            template.name
+        )),
+    ));
+    for proc in &template.processors {
+        let p = template_process_iri(&template.name, &proc.name);
+        g.insert(Triple::new(p.clone(), vocab::rdf_type(), opmw::workflow_template_process()));
+        g.insert(Triple::new(p.clone(), rdfs::label(), Literal::simple(&proc.name)));
+        g.insert(Triple::new(p.clone(), opmw::corresponds_to_template(), wf.clone()));
+    }
+    g
+}
+
+/// Export one run as a Wings-profile PROV-O dataset: account metadata in
+/// the default graph, the trace inside the account's bundle graph.
+pub fn export_run(
+    template: &WorkflowTemplate,
+    run: &WorkflowRun,
+    run_id: &str,
+    engine_version: &str,
+) -> Dataset {
+    let account = account_iri(run_id);
+    let wf = template_iri(&template.name);
+    let engine = wings::engine_iri(engine_version);
+    let user = wings::user_iri(&run.user);
+
+    // --- Account-level (default graph) metadata ------------------------
+    let mut top = DocumentBuilder::new(base(run_id));
+    {
+        let acct = top
+            .entity_iri(account.clone())
+            .typed(opmw::workflow_execution_account())
+            .label(format!("Execution account of {}", template.title))
+            .id();
+        top.agent_iri(user.clone(), AgentKind::Person).name(run.user.clone());
+        top.agent_iri(engine.clone(), AgentKind::Software)
+            .name(format!("Wings {engine_version}"));
+        // Wings records run times only at account granularity, with OPMW
+        // terms — never prov:startedAtTime/endedAtTime (Table 2).
+        top.other(
+            &acct,
+            opmw::overall_start_time(),
+            Literal::date_time(&DateTime::from_unix_millis(run.started_ms)),
+        );
+        top.other(
+            &acct,
+            opmw::overall_end_time(),
+            Literal::date_time(&DateTime::from_unix_millis(run.ended_ms)),
+        );
+        let status = match run.status {
+            RunStatus::Success => "SUCCESS",
+            RunStatus::Failed(_) => "FAILURE",
+        };
+        top.other(&acct, opmw::has_status(), Literal::simple(status));
+        top.other(&acct, opmw::executed_in_workflow_system(), engine.clone());
+        top.other(&acct, opmw::corresponds_to_template(), wf.clone());
+        // Q5: who executed this run — the account is attributed directly.
+        top.attributed(&acct, &user);
+    }
+
+    // --- The trace, inside the bundle ----------------------------------
+    let mut b = DocumentBuilder::new(base(run_id));
+    let template_entity = b
+        .entity_iri(wf.clone())
+        .typed(opmw::workflow_template())
+        .location(Iri::new_unchecked(format!(
+            "http://www.wings-workflows.org/templates/{}.owl",
+            template.name
+        )))
+        .id();
+    let engine_b = b
+        .agent_iri(engine.clone(), AgentKind::Software)
+        .name(format!("Wings {engine_version}"))
+        .id();
+    let user_b = b.agent_iri(user.clone(), AgentKind::Person).name(run.user.clone()).id();
+
+    // Artifacts.
+    let artifact_iri: Vec<Iri> = run
+        .artifacts
+        .iter()
+        .map(|a| {
+            b.entity(&format!("artifact/{}", a.id))
+                .typed(opmw::workflow_execution_artifact())
+                .label(a.name.clone())
+                .value(Literal::simple(&a.value))
+                .location(wings::data_location(run_id, a.id))
+                .id()
+        })
+        .collect();
+    for (iri, a) in artifact_iri.iter().zip(&run.artifacts) {
+        b.other(iri, opmw::belongs_to_account(), account.clone());
+        b.attributed(iri, &user_b);
+        let _ = a;
+    }
+
+    // Workflow inputs were staged from the Wings data catalog — their
+    // primary sources are catalog datasets (Table 3: hadPrimarySource).
+    for &aid in &run.inputs {
+        let source = b
+            .entity_iri(wings::catalog_source(&run.artifacts[aid].name))
+            .location(Iri::new_unchecked(
+                "http://www.wings-workflows.org/catalog",
+            ))
+            .id();
+        b.primary_source(&artifact_iri[aid], &source);
+        b.other(&artifact_iri[aid], opmw::is_input_of(), account.clone());
+    }
+    for &aid in &run.outputs {
+        b.other(&artifact_iri[aid], opmw::is_output_of(), account.clone());
+    }
+
+    // Executed steps. Wings records no per-activity times; failed steps
+    // carry a FAILURE status and a log comment; skipped steps are absent.
+    for process in &run.processes {
+        if process.status == ProcessStatus::Skipped {
+            continue;
+        }
+        let mut ab = b
+            .activity(&format!("process/{}", process.name))
+            .typed(opmw::workflow_execution_process())
+            .label(process.name.clone());
+        match process.status {
+            ProcessStatus::Failed(kind) => {
+                ab = ab
+                    .attribute(opmw::has_status(), Literal::simple("FAILURE"))
+                    .attribute(rdfs::comment(), Literal::simple(kind.description()));
+            }
+            _ => {
+                ab = ab.attribute(opmw::has_status(), Literal::simple("SUCCESS"));
+            }
+        }
+        let p_iri = ab.id();
+        b.other(&p_iri, opmw::belongs_to_account(), account.clone());
+        b.other(
+            &p_iri,
+            opmw::corresponds_to_template_process(),
+            template_process_iri(&template.name, &process.name),
+        );
+        // Q6: the concrete component/service this step invoked.
+        if let Some(service) = &process.service {
+            b.other(
+                &p_iri,
+                opmw::has_executable_component(),
+                Iri::new_unchecked(service.clone()),
+            );
+        }
+        // Association with the engine, with the template as a typed plan.
+        b.associated(&p_iri, &engine_b, Some(&template_entity));
+        for &aid in &process.inputs {
+            b.used(&p_iri, &artifact_iri[aid], None);
+            // Wings asserts explicit influence alongside its subproperties
+            // (Table 3: wasInfluencedBy unstarred for Wings).
+            b.influenced(&p_iri, &artifact_iri[aid]);
+        }
+        for &aid in &process.outputs {
+            b.generated(&artifact_iri[aid], &p_iri, None);
+            b.influenced(&artifact_iri[aid], &p_iri);
+        }
+    }
+
+    let mut doc: Document = top.build();
+    doc.bundles.push((account, b.build()));
+    document_to_dataset(&doc, ProfileOptions::wings())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use provbench_prov::inference::{any_instance_of, any_use_of};
+    use provbench_vocab::prov;
+    use provbench_workflow::domains::example_template;
+    use provbench_workflow::execution::{execute, ExecutionConfig, FailureKind, FailureSpec};
+
+    fn run_dataset(failure: Option<FailureSpec>) -> Dataset {
+        let t = example_template();
+        let mut c = ExecutionConfig::new(1_358_245_800_000, 9, "dana");
+        c.failure = failure;
+        let run = execute(&t, &c);
+        export_run(&t, &run, "example-1", "4.0")
+    }
+
+    #[test]
+    fn account_is_a_bundle_named_graph() {
+        let ds = run_dataset(None);
+        let account = account_iri("example-1");
+        assert!(ds.named_graph(&account.clone().into()).is_some());
+        assert!(any_instance_of(ds.default_graph(), &prov::bundle()));
+    }
+
+    #[test]
+    fn asserts_the_wings_profile() {
+        let ds = run_dataset(None);
+        let union = ds.union_graph();
+        for class in [prov::entity(), prov::activity(), prov::agent(), prov::plan(), prov::bundle()]
+        {
+            assert!(any_instance_of(&union, &class), "missing class {class:?}");
+        }
+        for p in [
+            prov::used(),
+            prov::was_generated_by(),
+            prov::was_associated_with(),
+            prov::was_attributed_to(),
+            prov::was_influenced_by(),
+            prov::had_primary_source(),
+            prov::at_location(),
+        ] {
+            assert!(any_use_of(&union, &p), "missing property {p:?}");
+        }
+    }
+
+    #[test]
+    fn never_asserts_the_excluded_terms() {
+        let ds = run_dataset(None);
+        let union = ds.union_graph();
+        for p in [
+            prov::started_at_time(),
+            prov::ended_at_time(),
+            prov::was_informed_by(),
+            prov::acted_on_behalf_of(),
+            prov::was_derived_from(),
+            prov::had_plan(),
+        ] {
+            assert!(!any_use_of(&union, &p), "Wings must not assert {p:?}");
+        }
+    }
+
+    #[test]
+    fn services_are_recorded_for_q6() {
+        let ds = run_dataset(None);
+        let union = ds.union_graph();
+        assert_eq!(
+            union
+                .triples_matching(None, Some(&opmw::has_executable_component()), None)
+                .count(),
+            3
+        );
+    }
+
+    #[test]
+    fn account_times_use_opmw_terms() {
+        let ds = run_dataset(None);
+        let g = ds.default_graph();
+        assert!(any_use_of(g, &opmw::overall_start_time()));
+        assert!(any_use_of(g, &opmw::overall_end_time()));
+    }
+
+    #[test]
+    fn failure_is_visible_in_status() {
+        let ds = run_dataset(Some(FailureSpec {
+            processor: 0,
+            kind: FailureKind::Timeout,
+        }));
+        let failure_status: provbench_rdf::Term = Literal::simple("FAILURE").into();
+        assert!(ds
+            .default_graph()
+            .triples_matching(None, Some(&opmw::has_status()), Some(&failure_status))
+            .next()
+            .is_some());
+        // Only the failed step is in the bundle (downstream skipped).
+        let union = ds.union_graph();
+        assert_eq!(
+            union
+                .triples_matching(
+                    None,
+                    Some(&vocab::rdf_type()),
+                    Some(&opmw::workflow_execution_process().into())
+                )
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn every_failure_kind_is_recorded_with_its_cause() {
+        let t = example_template();
+        for (i, kind) in FailureKind::ALL.into_iter().enumerate() {
+            let mut c = ExecutionConfig::new(0, 9, "dana");
+            c.failure = Some(FailureSpec { processor: i % t.processors.len(), kind });
+            let run = execute(&t, &c);
+            let ds = export_run(&t, &run, &format!("fk-{i}"), "4.0");
+            let union = ds.union_graph();
+            let msg: provbench_rdf::Term = Literal::simple(kind.description()).into();
+            assert!(
+                union
+                    .triples_matching(
+                        None,
+                        Some(&provbench_vocab::rdfs::comment()),
+                        Some(&msg)
+                    )
+                    .next()
+                    .is_some(),
+                "cause {kind:?} not recorded"
+            );
+        }
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        assert_eq!(run_dataset(None), run_dataset(None));
+    }
+
+    #[test]
+    fn template_description_is_opmw() {
+        let g = template_description(&example_template());
+        assert!(any_instance_of(&g, &opmw::workflow_template()));
+        assert!(any_instance_of(&g, &opmw::workflow_template_process()));
+        assert!(any_use_of(&g, &prov::at_location()));
+    }
+
+    #[test]
+    fn inputs_have_primary_sources() {
+        let ds = run_dataset(None);
+        let union = ds.union_graph();
+        assert_eq!(
+            union.triples_matching(None, Some(&prov::had_primary_source()), None).count(),
+            1
+        );
+        assert!(any_use_of(&union, &opmw::is_input_of()));
+        assert!(any_use_of(&union, &opmw::is_output_of()));
+    }
+}

@@ -1,0 +1,31 @@
+//! # provbench-wings
+//!
+//! A Wings-style workflow engine simulator with an OPMW/PROV publisher
+//! (the stand-in for the Wings provenance export, see DESIGN.md §2).
+//!
+//! The exporter reproduces the PROV term profile the paper reports for
+//! Wings in Tables 2 and 3:
+//!
+//! * **asserted**: `prov:Entity`/`Activity`/`Agent` typing, `prov:used`,
+//!   `prov:wasGeneratedBy`, `prov:wasAssociatedWith`,
+//!   `prov:wasAttributedTo` (accounts and artifacts are attributed to the
+//!   user), `prov:Bundle` (each run account is a bundle / TriG named
+//!   graph), `prov:Plan` (the template is typed directly),
+//!   `prov:wasInfluencedBy` (explicit influence statements),
+//!   `prov:hadPrimarySource` (workflow inputs point at catalog datasets),
+//!   `prov:atLocation` (artifacts and templates carry locations);
+//! * **never asserted**: `prov:startedAtTime`/`endedAtTime` ("activity
+//!   start and end not recorded in Wings provenance traces" — run-level
+//!   times live on the account as `opmw:overallStartTime`/`EndTime`),
+//!   `prov:wasInformedBy`, `prov:actedOnBehalfOf`, `prov:wasDerivedFrom`,
+//!   `prov:hadPlan`.
+//!
+//! Executed steps carry `opmw:hasExecutableComponent` — the services the
+//! paper's Q6 retrieves ("only available in Wings provenance logs").
+
+pub mod engine;
+pub mod export;
+pub mod vocab;
+
+pub use engine::WingsEngine;
+pub use export::{account_iri, export_run, template_description, template_iri};

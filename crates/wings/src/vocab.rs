@@ -1,0 +1,36 @@
+//! Wings-deployment IRI helpers.
+
+use provbench_rdf::Iri;
+
+/// The Wings engine software-agent IRI for a version.
+pub fn engine_iri(version: &str) -> Iri {
+    Iri::new_unchecked(format!("http://www.wings-workflows.org/system/wings-{version}"))
+}
+
+/// A user agent IRI in the OPMW export space.
+pub fn user_iri(user: &str) -> Iri {
+    Iri::new_unchecked(format!("http://www.opmw.org/export/resource/Agent/{user}"))
+}
+
+/// The data-library location of an artifact.
+pub fn data_location(run_id: &str, artifact: usize) -> Iri {
+    Iri::new_unchecked(format!(
+        "http://www.wings-workflows.org/data/{run_id}/file_{artifact}.dat"
+    ))
+}
+
+/// The catalog dataset a workflow input was staged from.
+pub fn catalog_source(name: &str) -> Iri {
+    Iri::new_unchecked(format!("http://www.wings-workflows.org/catalog/dataset/{name}"))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn helpers_build_valid_iris() {
+        assert!(super::engine_iri("4.0").as_str().contains("wings-4.0"));
+        assert!(super::user_iri("dana").as_str().ends_with("/dana"));
+        assert!(super::data_location("r1", 3).as_str().contains("file_3"));
+        assert!(super::catalog_source("corpus").as_str().contains("dataset/corpus"));
+    }
+}

@@ -1,0 +1,591 @@
+//! Deterministic virtual-clock execution of workflow templates with
+//! failure injection.
+//!
+//! The corpus paper reports 198 runs of which 30 failed, with causes like
+//! "unavailability of third party resources, illegal input values, etc.";
+//! the executor reproduces this: a [`FailureSpec`] makes one processor
+//! fail, its downstream closure is skipped, and the run yields a
+//! *partial* trace — exactly what makes failed-run provenance useful for
+//! the debugging and decay applications of the paper's §3.
+
+use crate::model::{PortRef, WorkflowTemplate};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Why a process (and hence its run) failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FailureKind {
+    /// A third-party resource was unavailable (the paper's lead example).
+    ServiceUnavailable,
+    /// An illegal input value was supplied (the paper's second example).
+    IllegalInputValue,
+    /// The step exceeded its time budget.
+    Timeout,
+    /// The step received data it could not parse.
+    DataFormatError,
+}
+
+impl FailureKind {
+    /// All failure kinds, for round-robin assignment.
+    pub const ALL: [FailureKind; 4] = [
+        FailureKind::ServiceUnavailable,
+        FailureKind::IllegalInputValue,
+        FailureKind::Timeout,
+        FailureKind::DataFormatError,
+    ];
+
+    /// Human-readable description, used in trace annotations.
+    pub fn description(&self) -> &'static str {
+        match self {
+            FailureKind::ServiceUnavailable => "unavailability of third party resources",
+            FailureKind::IllegalInputValue => "illegal input values",
+            FailureKind::Timeout => "execution timeout",
+            FailureKind::DataFormatError => "malformed intermediate data",
+        }
+    }
+}
+
+impl fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.description())
+    }
+}
+
+/// Inject a failure into one processor of the run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FailureSpec {
+    /// Index of the processor that fails.
+    pub processor: usize,
+    /// How it fails.
+    pub kind: FailureKind,
+}
+
+/// Everything that parameterizes one run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExecutionConfig {
+    /// Virtual wall-clock start (Unix millis).
+    pub started_at_ms: i64,
+    /// Seed for duration jitter and other per-run randomness.
+    pub seed: u64,
+    /// Seed for the workflow *input* values. Runs of the same template
+    /// that share this seed consume identical inputs — the precondition
+    /// for meaningful decay comparison across a longitudinal series.
+    pub input_seed: u64,
+    /// External-world epoch: volatile processors produce different
+    /// outputs under different epochs, simulating workflow decay.
+    pub environment_epoch: u64,
+    /// Optional injected failure.
+    pub failure: Option<FailureSpec>,
+    /// The person who launched the run (the paper's Q5).
+    pub user: String,
+    /// Extra filler bytes appended to every artifact value, to scale the
+    /// corpus toward the paper's 360 MB when desired.
+    pub value_payload: usize,
+}
+
+impl ExecutionConfig {
+    /// A plain successful-run configuration.
+    pub fn new(started_at_ms: i64, seed: u64, user: impl Into<String>) -> Self {
+        ExecutionConfig {
+            started_at_ms,
+            seed,
+            input_seed: seed,
+            environment_epoch: 0,
+            failure: None,
+            user: user.into(),
+            value_payload: 0,
+        }
+    }
+}
+
+/// Outcome of one executed (or skipped) process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProcessStatus {
+    /// Ran to completion.
+    Completed,
+    /// Failed with the given cause.
+    Failed(FailureKind),
+    /// Never ran because an upstream process failed.
+    Skipped,
+}
+
+/// Outcome of a whole run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunStatus {
+    /// All processes completed.
+    Success,
+    /// Some process failed with the given cause.
+    Failed(FailureKind),
+}
+
+/// A concrete data item consumed or produced during a run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArtifactData {
+    /// Run-local artifact id.
+    pub id: usize,
+    /// Name, derived from the producing port.
+    pub name: String,
+    /// The (simulated) content.
+    pub value: String,
+    /// Content size in bytes.
+    pub size_bytes: usize,
+    /// FNV-1a checksum of the content — what decay detection compares.
+    pub checksum: u64,
+}
+
+/// One process run within a workflow run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExecutedProcess {
+    /// Index into the template's processors.
+    pub processor: usize,
+    /// Processor name (copied for convenience).
+    pub name: String,
+    /// The service/component invoked, if any.
+    pub service: Option<String>,
+    /// Virtual start time (None when skipped).
+    pub started_ms: Option<i64>,
+    /// Virtual end time (None when skipped).
+    pub ended_ms: Option<i64>,
+    /// Consumed artifact ids.
+    pub inputs: Vec<usize>,
+    /// Produced artifact ids (empty when failed/skipped).
+    pub outputs: Vec<usize>,
+    /// Outcome.
+    pub status: ProcessStatus,
+    /// The nested run, when this process hosts a sub-workflow.
+    pub sub_run: Option<Box<WorkflowRun>>,
+}
+
+/// A complete (possibly partial, if failed) workflow run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkflowRun {
+    /// The executed template's name.
+    pub template_name: String,
+    /// Virtual start time.
+    pub started_ms: i64,
+    /// Virtual end time (last process end, or start when nothing ran).
+    pub ended_ms: i64,
+    /// Outcome.
+    pub status: RunStatus,
+    /// Who launched the run.
+    pub user: String,
+    /// Per-process records, in execution order.
+    pub processes: Vec<ExecutedProcess>,
+    /// All artifacts touched by the run, by id.
+    pub artifacts: Vec<ArtifactData>,
+    /// Artifact ids bound to the workflow's input ports.
+    pub inputs: Vec<usize>,
+    /// Artifact ids delivered to workflow output ports (missing outputs
+    /// of failed runs simply don't appear).
+    pub outputs: Vec<usize>,
+}
+
+impl WorkflowRun {
+    /// Whether the run failed.
+    pub fn failed(&self) -> bool {
+        matches!(self.status, RunStatus::Failed(_))
+    }
+
+    /// The failed process record, if any.
+    pub fn failed_process(&self) -> Option<&ExecutedProcess> {
+        self.processes.iter().find(|p| matches!(p.status, ProcessStatus::Failed(_)))
+    }
+}
+
+/// FNV-1a, used for artifact checksums (stable across platforms).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn make_artifact(
+    artifacts: &mut Vec<ArtifactData>,
+    name: String,
+    value: String,
+    payload: usize,
+) -> usize {
+    let id = artifacts.len();
+    let mut value = value;
+    if payload > 0 {
+        // Deterministic filler derived from the value itself.
+        let seed = fnv1a(value.as_bytes());
+        let filler: String = (0..payload)
+            .map(|i| {
+                let x = seed.wrapping_mul(i as u64 + 1).wrapping_add(i as u64);
+                char::from(b'a' + (x % 26) as u8)
+            })
+            .collect();
+        value.push(':');
+        value.push_str(&filler);
+    }
+    let checksum = fnv1a(value.as_bytes());
+    let size_bytes = value.len();
+    artifacts.push(ArtifactData { id, name, value, size_bytes, checksum });
+    id
+}
+
+/// Execute `template` under `config`, producing a deterministic run.
+pub fn execute(template: &WorkflowTemplate, config: &ExecutionConfig) -> WorkflowRun {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut artifacts: Vec<ArtifactData> = Vec::new();
+
+    // Workflow input artifacts. Values depend on template + port +
+    // input_seed so that re-running a template with the same input seed
+    // reuses identical inputs.
+    let mut available: HashMap<PortRef, (usize, i64)> = HashMap::new();
+    let mut wf_inputs = Vec::new();
+    for (i, port) in template.inputs.iter().enumerate() {
+        let value = format!(
+            "{}|{}|seed{}|{:x}",
+            template.name,
+            port.name,
+            config.input_seed,
+            fnv1a(format!("{}{}{}", template.name, port.name, config.input_seed).as_bytes())
+        );
+        let id = make_artifact(&mut artifacts, port.name.clone(), value, config.value_payload);
+        available.insert(PortRef::WorkflowInput(i), (id, config.started_at_ms));
+        wf_inputs.push(id);
+    }
+
+    // Source endpoint per processor-input / workflow-output sink.
+    let source_of: HashMap<PortRef, PortRef> =
+        template.links.iter().map(|l| (l.sink, l.source)).collect();
+
+    let order = template
+        .topological_order()
+        .expect("executor requires a validated, acyclic template");
+    let failed_downstream: Vec<usize> = config
+        .failure
+        .map(|f| template.downstream_of(f.processor))
+        .unwrap_or_default();
+
+    let mut processes: Vec<ExecutedProcess> = Vec::new();
+    let mut run_status = RunStatus::Success;
+
+    for &pi in &order {
+        let proc_def = &template.processors[pi];
+        let failing_here = config.failure.is_some_and(|f| f.processor == pi);
+        let skipped = failed_downstream.contains(&pi);
+
+        // Collect this process's inputs (they exist unless upstream failed).
+        let mut ins: Vec<usize> = Vec::new();
+        let mut ready_at = config.started_at_ms;
+        let mut inputs_ok = true;
+        for port in 0..proc_def.inputs.len() {
+            let sink = PortRef::ProcessorInput { processor: pi, port };
+            match source_of.get(&sink).and_then(|s| available.get(s)) {
+                Some(&(id, at)) => {
+                    ins.push(id);
+                    ready_at = ready_at.max(at);
+                }
+                None => inputs_ok = false,
+            }
+        }
+
+        if skipped || !inputs_ok {
+            processes.push(ExecutedProcess {
+                processor: pi,
+                name: proc_def.name.clone(),
+                service: proc_def.service.clone(),
+                started_ms: None,
+                ended_ms: None,
+                inputs: ins,
+                outputs: Vec::new(),
+                status: ProcessStatus::Skipped,
+                sub_run: None,
+            });
+            continue;
+        }
+
+        let jitter = rng.gen_range(0..=proc_def.mean_duration_ms / 2 + 1) as i64;
+        let duration = proc_def.mean_duration_ms as i64 + jitter;
+        let started = ready_at;
+
+        if failing_here {
+            let kind = config.failure.expect("checked above").kind;
+            // A failing step burns part of its budget then aborts.
+            let ended = started + duration / 3 + 1;
+            processes.push(ExecutedProcess {
+                processor: pi,
+                name: proc_def.name.clone(),
+                service: proc_def.service.clone(),
+                started_ms: Some(started),
+                ended_ms: Some(ended),
+                inputs: ins,
+                outputs: Vec::new(),
+                status: ProcessStatus::Failed(kind),
+                sub_run: None,
+            });
+            run_status = RunStatus::Failed(kind);
+            continue;
+        }
+
+        let ended = started + duration;
+
+        // Nested sub-workflow run (Taverna): executed inside the host step.
+        let sub_run = proc_def.sub_workflow.map(|ni| {
+            let sub_config = ExecutionConfig {
+                started_at_ms: started,
+                seed: config.seed.wrapping_add(1 + pi as u64),
+                input_seed: config.input_seed.wrapping_add(1 + pi as u64),
+                environment_epoch: config.environment_epoch,
+                failure: None,
+                user: config.user.clone(),
+                value_payload: config.value_payload,
+            };
+            Box::new(execute(&template.nested[ni], &sub_config))
+        });
+
+        // Outputs: deterministic function of step, inputs and (for
+        // volatile steps) the environment epoch.
+        let mut outs = Vec::new();
+        let input_digest: u64 = ins
+            .iter()
+            .fold(0u64, |acc, &id| acc ^ artifacts[id].checksum.rotate_left(7));
+        for (oi, oport) in proc_def.outputs.iter().enumerate() {
+            let epoch_part = if proc_def.volatile { config.environment_epoch } else { 0 };
+            let value = format!(
+                "{}.{}|{:x}|epoch{}",
+                proc_def.name,
+                oport.name,
+                input_digest ^ fnv1a(proc_def.name.as_bytes()) ^ (oi as u64),
+                epoch_part
+            );
+            let id = make_artifact(
+                &mut artifacts,
+                format!("{}_{}", proc_def.name, oport.name),
+                value,
+                config.value_payload,
+            );
+            available.insert(PortRef::ProcessorOutput { processor: pi, port: oi }, (id, ended));
+            outs.push(id);
+        }
+
+        processes.push(ExecutedProcess {
+            processor: pi,
+            name: proc_def.name.clone(),
+            service: proc_def.service.clone(),
+            started_ms: Some(started),
+            ended_ms: Some(ended),
+            inputs: ins,
+            outputs: outs,
+            status: ProcessStatus::Completed,
+            sub_run,
+        });
+    }
+
+    // Deliverable workflow outputs.
+    let mut wf_outputs = Vec::new();
+    for oi in 0..template.outputs.len() {
+        let sink = PortRef::WorkflowOutput(oi);
+        if let Some(&(id, _)) = source_of.get(&sink).and_then(|s| available.get(s)) {
+            wf_outputs.push(id);
+        }
+    }
+
+    let ended_ms = processes
+        .iter()
+        .filter_map(|p| p.ended_ms)
+        .max()
+        .unwrap_or(config.started_at_ms);
+
+    WorkflowRun {
+        template_name: template.name.clone(),
+        started_ms: config.started_at_ms,
+        ended_ms,
+        status: run_status,
+        user: config.user.clone(),
+        processes,
+        artifacts,
+        inputs: wf_inputs,
+        outputs: wf_outputs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domains::example_template;
+
+    fn cfg(seed: u64) -> ExecutionConfig {
+        ExecutionConfig::new(1_358_245_800_000, seed, "alice")
+    }
+
+    #[test]
+    fn successful_run_produces_all_outputs() {
+        let t = example_template();
+        let run = execute(&t, &cfg(7));
+        assert_eq!(run.status, RunStatus::Success);
+        assert!(!run.failed());
+        assert_eq!(run.processes.len(), 3);
+        assert!(run.processes.iter().all(|p| p.status == ProcessStatus::Completed));
+        assert_eq!(run.outputs.len(), 1);
+        assert_eq!(run.inputs.len(), 1);
+        assert!(run.ended_ms > run.started_ms);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let t = example_template();
+        assert_eq!(execute(&t, &cfg(7)), execute(&t, &cfg(7)));
+        assert_ne!(execute(&t, &cfg(7)).artifacts, execute(&t, &cfg(8)).artifacts);
+    }
+
+    #[test]
+    fn virtual_clock_orders_processes() {
+        let t = example_template();
+        let run = execute(&t, &cfg(7));
+        for w in run.processes.windows(2) {
+            assert!(w[0].ended_ms.unwrap() <= w[1].started_ms.unwrap());
+        }
+    }
+
+    #[test]
+    fn failure_skips_downstream_and_fails_run() {
+        let t = example_template();
+        let mut c = cfg(7);
+        c.failure = Some(FailureSpec {
+            processor: 1,
+            kind: FailureKind::ServiceUnavailable,
+        });
+        let run = execute(&t, &c);
+        assert_eq!(run.status, RunStatus::Failed(FailureKind::ServiceUnavailable));
+        assert_eq!(run.processes[0].status, ProcessStatus::Completed);
+        assert!(matches!(run.processes[1].status, ProcessStatus::Failed(_)));
+        assert_eq!(run.processes[2].status, ProcessStatus::Skipped);
+        assert!(run.processes[2].started_ms.is_none());
+        // The workflow output was never produced.
+        assert!(run.outputs.is_empty());
+        assert_eq!(run.failed_process().unwrap().processor, 1);
+    }
+
+    #[test]
+    fn failure_at_source_skips_everything_downstream() {
+        let t = example_template();
+        let mut c = cfg(7);
+        c.failure = Some(FailureSpec { processor: 0, kind: FailureKind::IllegalInputValue });
+        let run = execute(&t, &c);
+        assert!(run.failed());
+        assert_eq!(
+            run.processes.iter().filter(|p| p.status == ProcessStatus::Skipped).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn volatile_steps_decay_with_epoch() {
+        let mut t = example_template();
+        t.processors[1].volatile = true;
+        let mut c1 = cfg(7);
+        c1.environment_epoch = 1;
+        let mut c2 = cfg(7);
+        c2.environment_epoch = 2;
+        let (r1, r2) = (execute(&t, &c1), execute(&t, &c2));
+        // Same inputs...
+        assert_eq!(r1.artifacts[r1.inputs[0]], r2.artifacts[r2.inputs[0]]);
+        // ...different final outputs, because a volatile step drifted.
+        let o1 = &r1.artifacts[r1.outputs[0]];
+        let o2 = &r2.artifacts[r2.outputs[0]];
+        assert_ne!(o1.checksum, o2.checksum);
+    }
+
+    #[test]
+    fn non_volatile_runs_reproduce_bit_identical_outputs() {
+        let t = example_template(); // no volatile steps
+        let mut c1 = cfg(7);
+        c1.environment_epoch = 1;
+        let mut c2 = cfg(7);
+        c2.environment_epoch = 99;
+        assert_eq!(
+            execute(&t, &c1).artifacts.last().unwrap().checksum,
+            execute(&t, &c2).artifacts.last().unwrap().checksum
+        );
+    }
+
+    #[test]
+    fn payload_scales_artifact_size() {
+        let t = example_template();
+        let mut c = cfg(7);
+        c.value_payload = 4096;
+        let run = execute(&t, &c);
+        assert!(run.artifacts.iter().all(|a| a.size_bytes > 4096));
+    }
+
+    #[test]
+    fn nested_sub_workflow_runs() {
+        let mut t = example_template();
+        let sub = example_template();
+        t.nested.push(sub);
+        t.processors[1].sub_workflow = Some(0);
+        let run = execute(&t, &cfg(7));
+        let host = &run.processes[1];
+        let sub_run = host.sub_run.as_ref().expect("nested run recorded");
+        assert_eq!(sub_run.status, RunStatus::Success);
+        assert_eq!(sub_run.started_ms, host.started_ms.unwrap());
+    }
+
+    #[test]
+    fn passthrough_template_executes_without_processes() {
+        // A template that wires its input straight to its output.
+        use crate::model::{DataLink, Port, PortRef, WorkflowTemplate};
+        let mut t = WorkflowTemplate::new("pass", "Passthrough", "Testing");
+        t.inputs.push(Port::new("in"));
+        t.outputs.push(Port::new("out"));
+        t.links.push(DataLink {
+            source: PortRef::WorkflowInput(0),
+            sink: PortRef::WorkflowOutput(0),
+        });
+        assert_eq!(t.validate(), Ok(()));
+        let run = execute(&t, &cfg(1));
+        assert_eq!(run.status, RunStatus::Success);
+        assert!(run.processes.is_empty());
+        assert_eq!(run.inputs, run.outputs);
+        assert_eq!(run.ended_ms, run.started_ms);
+    }
+
+    #[test]
+    fn single_processor_template() {
+        use crate::model::{DataLink, Port, PortRef, WorkflowTemplate};
+        let mut t = WorkflowTemplate::new("one", "One step", "Testing");
+        t.inputs.push(Port::new("in"));
+        t.outputs.push(Port::new("out"));
+        let mut p = Processor::new("only");
+        p.inputs.push(Port::new("i"));
+        p.outputs.push(Port::new("o"));
+        t.processors.push(p);
+        t.links = vec![
+            DataLink {
+                source: PortRef::WorkflowInput(0),
+                sink: PortRef::ProcessorInput { processor: 0, port: 0 },
+            },
+            DataLink {
+                source: PortRef::ProcessorOutput { processor: 0, port: 0 },
+                sink: PortRef::WorkflowOutput(0),
+            },
+        ];
+        let run = execute(&t, &cfg(1));
+        assert_eq!(run.processes.len(), 1);
+        assert_eq!(run.outputs.len(), 1);
+        // Failing the only processor leaves nothing delivered.
+        let mut c = cfg(1);
+        c.failure = Some(FailureSpec { processor: 0, kind: FailureKind::Timeout });
+        let failed = execute(&t, &c);
+        assert!(failed.outputs.is_empty());
+        assert!(failed.failed());
+    }
+
+    use crate::model::Processor;
+
+    #[test]
+    fn fnv_is_stable() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), fnv1a(b"a"));
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+    }
+}

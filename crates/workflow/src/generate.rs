@@ -1,0 +1,297 @@
+//! Seeded synthetic workflow-template generation.
+//!
+//! Stands in for the paper's 120 real workflows (see DESIGN.md §2): for
+//! each domain/system pair the generator produces layered dataflow DAGs
+//! with domain-flavoured step and data names, realistic size spread
+//! (3–9 processors), occasional nested sub-workflows for Taverna, and
+//! service bindings for Wings components. Everything is driven by a
+//! `StdRng`, so a given seed always yields the identical corpus.
+
+use crate::domains::{DomainSpec, System, DOMAINS};
+use crate::model::{DataLink, Port, PortRef, Processor, WorkflowTemplate};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Short slug for file and IRI names.
+fn slug(name: &str) -> String {
+    name.to_ascii_lowercase()
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// Pick a step name, de-duplicating with a numeric suffix when the
+/// domain vocabulary is exhausted.
+fn step_name(domain: &DomainSpec, i: usize) -> String {
+    let base = domain.steps[i % domain.steps.len()];
+    if i < domain.steps.len() {
+        base.to_owned()
+    } else {
+        format!("{base}_{}", i / domain.steps.len() + 1)
+    }
+}
+
+fn data_name(domain: &DomainSpec, i: usize) -> String {
+    let base = domain.data[i % domain.data.len()];
+    if i < domain.data.len() {
+        base.to_owned()
+    } else {
+        format!("{base}_{}", i / domain.data.len() + 1)
+    }
+}
+
+/// Generate one template for `domain` on `system`; `index` distinguishes
+/// the domain's workflows and feeds the name.
+pub fn generate_template(
+    domain: &DomainSpec,
+    system: System,
+    index: usize,
+    rng: &mut StdRng,
+) -> WorkflowTemplate {
+    let sys_tag = match system {
+        System::Taverna => "tav",
+        System::Wings => "wgs",
+    };
+    let name = format!("{}_{}_{:03}", slug(domain.name), sys_tag, index);
+    let title = format!(
+        "{} {} workflow #{index}",
+        domain.name,
+        domain.steps[index % domain.steps.len()].replace('_', " ")
+    );
+    let mut t = build_dag(domain, system, name, title, rng, true);
+    debug_assert_eq!(t.validate(), Ok(()), "generator produced invalid template");
+    // Re-check in release builds of the corpus generator too: a broken
+    // template would poison every downstream experiment.
+    if t.validate().is_err() {
+        // Fall back to a minimal pipeline rather than panic in release.
+        t = build_pipeline(domain, system, t.name.clone(), t.title.clone(), 3);
+    }
+    t
+}
+
+/// Layered-DAG construction. `allow_nested` enables Taverna sub-workflows.
+fn build_dag(
+    domain: &DomainSpec,
+    system: System,
+    name: String,
+    title: String,
+    rng: &mut StdRng,
+    allow_nested: bool,
+) -> WorkflowTemplate {
+    let mut t = WorkflowTemplate::new(name, title, domain.name);
+    let n_inputs = rng.gen_range(1..=3usize);
+    for i in 0..n_inputs {
+        t.inputs.push(Port::new(data_name(domain, i)));
+    }
+    let n_procs = rng.gen_range(3..=9usize);
+
+    // Available sources as we sweep in topological construction order.
+    let mut sources: Vec<PortRef> =
+        (0..n_inputs).map(PortRef::WorkflowInput).collect();
+
+    for pi in 0..n_procs {
+        let mut p = Processor::new(step_name(domain, pi));
+        let n_in = rng.gen_range(1..=2usize.min(sources.len()));
+        let n_out = rng.gen_range(1..=2usize);
+        for ii in 0..n_in {
+            p.inputs.push(Port::new(format!("in_{ii}")));
+        }
+        for oi in 0..n_out {
+            p.outputs.push(Port::new(format!("out_{oi}")));
+        }
+        p.mean_duration_ms = rng.gen_range(200..=5_000);
+        p.volatile = rng.gen_bool(0.3);
+        p.service = Some(format!(
+            "http://components.{}.org/{}/{}",
+            match system {
+                System::Taverna => "biocatalogue",
+                System::Wings => "wings-components",
+            },
+            slug(domain.name),
+            p.name,
+        ));
+        t.processors.push(p);
+        // Wire inputs from earlier sources (guarantees acyclicity).
+        for ii in 0..n_in {
+            let src = sources[rng.gen_range(0..sources.len())];
+            t.links.push(DataLink {
+                source: src,
+                sink: PortRef::ProcessorInput { processor: pi, port: ii },
+            });
+        }
+        for oi in 0..n_out {
+            sources.push(PortRef::ProcessorOutput { processor: pi, port: oi });
+        }
+    }
+
+    // Workflow outputs from the last processors' outputs, distinct sinks.
+    let proc_outputs: Vec<PortRef> = sources
+        .iter()
+        .copied()
+        .filter(|s| matches!(s, PortRef::ProcessorOutput { .. }))
+        .collect();
+    let n_outputs = rng.gen_range(1..=2usize.min(proc_outputs.len()));
+    for oi in 0..n_outputs {
+        t.outputs.push(Port::new(data_name(domain, n_inputs + oi)));
+        // Prefer late outputs so the workflow "ends" somewhere sensible.
+        let src = proc_outputs[proc_outputs.len() - 1 - oi];
+        t.links.push(DataLink { source: src, sink: PortRef::WorkflowOutput(oi) });
+    }
+
+    // Taverna workflows occasionally nest a sub-workflow (the paper notes
+    // wasInformedBy expresses exactly this connection).
+    if allow_nested && system == System::Taverna && rng.gen_bool(0.25) {
+        let sub_name = format!("{}_sub", t.name);
+        let sub = build_pipeline(
+            domain,
+            system,
+            sub_name,
+            format!("{} (nested)", t.title),
+            rng.gen_range(2..=3usize),
+        );
+        let host = rng.gen_range(0..t.processors.len());
+        t.processors[host].sub_workflow = Some(0);
+        t.processors[host].service = None;
+        t.nested.push(sub);
+    }
+    t
+}
+
+/// Deterministic minimal pipeline (also the fallback topology).
+fn build_pipeline(
+    domain: &DomainSpec,
+    system: System,
+    name: String,
+    title: String,
+    len: usize,
+) -> WorkflowTemplate {
+    let mut t = WorkflowTemplate::new(name, title, domain.name);
+    t.inputs.push(Port::new(data_name(domain, 0)));
+    t.outputs.push(Port::new(data_name(domain, 1)));
+    for i in 0..len {
+        let mut p = Processor::new(step_name(domain, i));
+        p.inputs.push(Port::new("in_0"));
+        p.outputs.push(Port::new("out_0"));
+        p.mean_duration_ms = 500 + 300 * i as u64;
+        p.service = Some(format!(
+            "http://components.{}.org/{}/{}",
+            match system {
+                System::Taverna => "biocatalogue",
+                System::Wings => "wings-components",
+            },
+            slug(domain.name),
+            p.name
+        ));
+        t.processors.push(p);
+        let source = if i == 0 {
+            PortRef::WorkflowInput(0)
+        } else {
+            PortRef::ProcessorOutput { processor: i - 1, port: 0 }
+        };
+        t.links.push(DataLink {
+            source,
+            sink: PortRef::ProcessorInput { processor: i, port: 0 },
+        });
+    }
+    t.links.push(DataLink {
+        source: PortRef::ProcessorOutput { processor: len - 1, port: 0 },
+        sink: PortRef::WorkflowOutput(0),
+    });
+    t
+}
+
+/// Generate the full 120-workflow catalog, deterministically from `seed`.
+///
+/// Workflows come out grouped by domain in [`DOMAINS`] order, Taverna
+/// before Wings within each domain.
+pub fn generate_catalog(seed: u64) -> Vec<(System, WorkflowTemplate)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(crate::domains::total_workflows());
+    for domain in DOMAINS {
+        for i in 0..domain.taverna_workflows {
+            out.push((System::Taverna, generate_template(domain, System::Taverna, i, &mut rng)));
+        }
+        for i in 0..domain.wings_workflows {
+            out.push((System::Wings, generate_template(domain, System::Wings, i, &mut rng)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_120_valid_workflows() {
+        let catalog = generate_catalog(42);
+        assert_eq!(catalog.len(), 120);
+        for (_, t) in &catalog {
+            assert_eq!(t.validate(), Ok(()), "invalid: {}", t.name);
+        }
+    }
+
+    #[test]
+    fn catalog_is_deterministic() {
+        assert_eq!(generate_catalog(42), generate_catalog(42));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate_catalog(1);
+        let b = generate_catalog(2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn system_split_matches_domains() {
+        let catalog = generate_catalog(42);
+        let tav = catalog.iter().filter(|(s, _)| *s == System::Taverna).count();
+        let wgs = catalog.iter().filter(|(s, _)| *s == System::Wings).count();
+        assert_eq!(tav, 68);
+        assert_eq!(wgs, 52);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let catalog = generate_catalog(42);
+        let mut names: Vec<_> = catalog.iter().map(|(_, t)| t.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 120);
+    }
+
+    #[test]
+    fn only_taverna_nests() {
+        let catalog = generate_catalog(42);
+        for (sys, t) in &catalog {
+            if *sys == System::Wings {
+                assert!(t.nested.is_empty(), "Wings workflow {} nests", t.name);
+            }
+        }
+        // With p=0.25 over 68 Taverna workflows, some nesting must occur.
+        assert!(catalog
+            .iter()
+            .any(|(s, t)| *s == System::Taverna && !t.nested.is_empty()));
+    }
+
+    #[test]
+    fn wings_processors_have_services() {
+        let catalog = generate_catalog(42);
+        for (sys, t) in &catalog {
+            if *sys == System::Wings {
+                for p in &t.processors {
+                    assert!(p.service.is_some(), "{}.{} lacks a service", t.name, p.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_builder_is_valid() {
+        let d = &DOMAINS[0];
+        let t = build_pipeline(d, System::Taverna, "p".into(), "P".into(), 4);
+        assert_eq!(t.validate(), Ok(()));
+        assert_eq!(t.processors.len(), 4);
+    }
+}

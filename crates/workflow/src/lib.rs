@@ -1,0 +1,24 @@
+//! # provbench-workflow
+//!
+//! The workflow substrate of the ProvBench reproduction: dataflow
+//! templates ([`model`]), the paper's 12 application domains and the
+//! seeded template generator that stands in for the 120 real workflows
+//! ([`domains`], [`generate`]), and a deterministic virtual-clock
+//! executor with failure injection ([`execution`]).
+//!
+//! This crate is engine-agnostic: `provbench-taverna` and
+//! `provbench-wings` both execute these templates and differ only in how
+//! they *record* what happened.
+
+pub mod domains;
+pub mod execution;
+pub mod generate;
+pub mod model;
+
+pub use domains::{DomainSpec, System, DOMAINS};
+pub use execution::{
+    ExecutedProcess, ExecutionConfig, FailureKind, FailureSpec, ProcessStatus, RunStatus,
+    WorkflowRun,
+};
+pub use generate::generate_template;
+pub use model::{DataLink, Port, PortRef, Processor, TemplateError, WorkflowTemplate};

@@ -1,0 +1,495 @@
+//! Workflow templates: a dataflow DAG of processors wired by data links,
+//! with optional nested sub-workflows (a Taverna feature the paper calls
+//! out — `prov:wasInformedBy` "is used to express the connection between
+//! sub-workflows").
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// A named input or output port.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Port {
+    /// Port name, unique within its owner.
+    pub name: String,
+}
+
+impl Port {
+    /// A port with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Port { name: name.into() }
+    }
+}
+
+/// One step of a workflow template.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Processor {
+    /// Step name, unique within the template.
+    pub name: String,
+    /// Input ports.
+    pub inputs: Vec<Port>,
+    /// Output ports.
+    pub outputs: Vec<Port>,
+    /// The concrete component/service this step invokes (Wings records
+    /// these; the paper's Q6 retrieves them).
+    pub service: Option<String>,
+    /// Index into [`WorkflowTemplate::nested`] when this step runs a
+    /// sub-workflow (Taverna only).
+    pub sub_workflow: Option<usize>,
+    /// Mean simulated duration in milliseconds.
+    pub mean_duration_ms: u64,
+    /// Whether the step's output depends on volatile external state
+    /// (third-party services); drives workflow-decay simulation.
+    pub volatile: bool,
+}
+
+impl Processor {
+    /// A processor with the given name and no ports.
+    pub fn new(name: impl Into<String>) -> Self {
+        Processor {
+            name: name.into(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            service: None,
+            sub_workflow: None,
+            mean_duration_ms: 1_000,
+            volatile: false,
+        }
+    }
+}
+
+/// One endpoint of a data link.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PortRef {
+    /// The template's `idx`-th workflow input.
+    WorkflowInput(usize),
+    /// The template's `idx`-th workflow output.
+    WorkflowOutput(usize),
+    /// Input port `port` of processor `processor`.
+    ProcessorInput {
+        /// Processor index.
+        processor: usize,
+        /// Port index within the processor's inputs.
+        port: usize,
+    },
+    /// Output port `port` of processor `processor`.
+    ProcessorOutput {
+        /// Processor index.
+        processor: usize,
+        /// Port index within the processor's outputs.
+        port: usize,
+    },
+}
+
+/// A dataflow edge from a producing endpoint to a consuming endpoint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DataLink {
+    /// Where the data comes from (workflow input or processor output).
+    pub source: PortRef,
+    /// Where the data goes (processor input or workflow output).
+    pub sink: PortRef,
+}
+
+/// Why a template failed validation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TemplateError {
+    /// A link endpoint references a missing processor or port.
+    DanglingEndpoint {
+        /// The offending endpoint.
+        endpoint: String,
+    },
+    /// A link's source is a consuming endpoint or vice versa.
+    WrongDirection {
+        /// The offending link, rendered.
+        link: String,
+    },
+    /// A processor input port has no or multiple incoming links.
+    BadFanIn {
+        /// The processor name.
+        processor: String,
+        /// The port name.
+        port: String,
+        /// How many links feed it.
+        count: usize,
+    },
+    /// A workflow output has no or multiple incoming links.
+    UnboundOutput {
+        /// The output port name.
+        output: String,
+        /// How many links feed it.
+        count: usize,
+    },
+    /// The dataflow graph has a cycle.
+    Cycle,
+    /// A processor claims a nested workflow index that does not exist.
+    MissingNested {
+        /// The processor name.
+        processor: String,
+    },
+}
+
+impl fmt::Display for TemplateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TemplateError::DanglingEndpoint { endpoint } => {
+                write!(f, "dangling link endpoint: {endpoint}")
+            }
+            TemplateError::WrongDirection { link } => {
+                write!(f, "link with wrong direction: {link}")
+            }
+            TemplateError::BadFanIn { processor, port, count } => {
+                write!(f, "input {processor}.{port} has {count} incoming links (want 1)")
+            }
+            TemplateError::UnboundOutput { output, count } => {
+                write!(f, "workflow output {output} has {count} incoming links (want 1)")
+            }
+            TemplateError::Cycle => write!(f, "dataflow graph has a cycle"),
+            TemplateError::MissingNested { processor } => {
+                write!(f, "processor {processor} references a missing nested workflow")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TemplateError {}
+
+/// A workflow template: the abstract plan both engines execute.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkflowTemplate {
+    /// Machine name, unique within the corpus (e.g. `genomics_tav_003`).
+    pub name: String,
+    /// Human title (e.g. "BLAST sequence annotation").
+    pub title: String,
+    /// Application domain name (one of the paper's 12).
+    pub domain: String,
+    /// Workflow-level input ports.
+    pub inputs: Vec<Port>,
+    /// Workflow-level output ports.
+    pub outputs: Vec<Port>,
+    /// The steps.
+    pub processors: Vec<Processor>,
+    /// The dataflow edges.
+    pub links: Vec<DataLink>,
+    /// Nested sub-workflows (referenced by processor index).
+    pub nested: Vec<WorkflowTemplate>,
+}
+
+impl WorkflowTemplate {
+    /// An empty template shell.
+    pub fn new(
+        name: impl Into<String>,
+        title: impl Into<String>,
+        domain: impl Into<String>,
+    ) -> Self {
+        WorkflowTemplate {
+            name: name.into(),
+            title: title.into(),
+            domain: domain.into(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            processors: Vec::new(),
+            links: Vec::new(),
+            nested: Vec::new(),
+        }
+    }
+
+    /// Total processor count including nested sub-workflows.
+    pub fn total_processors(&self) -> usize {
+        self.processors.len()
+            + self.nested.iter().map(WorkflowTemplate::total_processors).sum::<usize>()
+    }
+
+    fn endpoint_valid(&self, e: &PortRef, as_source: bool) -> Result<(), TemplateError> {
+        let dangling =
+            |d: String| Err(TemplateError::DanglingEndpoint { endpoint: d });
+        match *e {
+            PortRef::WorkflowInput(i) => {
+                if i >= self.inputs.len() {
+                    return dangling(format!("workflow input #{i}"));
+                }
+                if !as_source {
+                    return Err(TemplateError::WrongDirection {
+                        link: format!("workflow input #{i} used as sink"),
+                    });
+                }
+            }
+            PortRef::WorkflowOutput(i) => {
+                if i >= self.outputs.len() {
+                    return dangling(format!("workflow output #{i}"));
+                }
+                if as_source {
+                    return Err(TemplateError::WrongDirection {
+                        link: format!("workflow output #{i} used as source"),
+                    });
+                }
+            }
+            PortRef::ProcessorInput { processor, port } => {
+                let Some(p) = self.processors.get(processor) else {
+                    return dangling(format!("processor #{processor}"));
+                };
+                if port >= p.inputs.len() {
+                    return dangling(format!("{}.in#{port}", p.name));
+                }
+                if as_source {
+                    return Err(TemplateError::WrongDirection {
+                        link: format!("{}.in#{port} used as source", p.name),
+                    });
+                }
+            }
+            PortRef::ProcessorOutput { processor, port } => {
+                let Some(p) = self.processors.get(processor) else {
+                    return dangling(format!("processor #{processor}"));
+                };
+                if port >= p.outputs.len() {
+                    return dangling(format!("{}.out#{port}", p.name));
+                }
+                if !as_source {
+                    return Err(TemplateError::WrongDirection {
+                        link: format!("{}.out#{port} used as sink", p.name),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Validate structure: endpoints resolve and point the right way,
+    /// every processor input and workflow output is fed by exactly one
+    /// link, the graph is acyclic, and nested references resolve.
+    /// Recurses into nested templates.
+    pub fn validate(&self) -> Result<(), TemplateError> {
+        for link in &self.links {
+            self.endpoint_valid(&link.source, true)?;
+            self.endpoint_valid(&link.sink, false)?;
+        }
+        for (pi, p) in self.processors.iter().enumerate() {
+            for (port_idx, port) in p.inputs.iter().enumerate() {
+                let count = self
+                    .links
+                    .iter()
+                    .filter(|l| {
+                        l.sink == PortRef::ProcessorInput { processor: pi, port: port_idx }
+                    })
+                    .count();
+                if count != 1 {
+                    return Err(TemplateError::BadFanIn {
+                        processor: p.name.clone(),
+                        port: port.name.clone(),
+                        count,
+                    });
+                }
+            }
+            if let Some(n) = p.sub_workflow {
+                if n >= self.nested.len() {
+                    return Err(TemplateError::MissingNested { processor: p.name.clone() });
+                }
+            }
+        }
+        for (oi, out) in self.outputs.iter().enumerate() {
+            let count = self
+                .links
+                .iter()
+                .filter(|l| l.sink == PortRef::WorkflowOutput(oi))
+                .count();
+            if count != 1 {
+                return Err(TemplateError::UnboundOutput {
+                    output: out.name.clone(),
+                    count,
+                });
+            }
+        }
+        self.topological_order().ok_or(TemplateError::Cycle)?;
+        for nested in &self.nested {
+            nested.validate()?;
+        }
+        Ok(())
+    }
+
+    /// Processor dependency edges `(upstream, downstream)` implied by links.
+    pub fn processor_edges(&self) -> Vec<(usize, usize)> {
+        let mut edges = Vec::new();
+        for link in &self.links {
+            if let (
+                PortRef::ProcessorOutput { processor: a, .. },
+                PortRef::ProcessorInput { processor: b, .. },
+            ) = (link.source, link.sink)
+            {
+                if !edges.contains(&(a, b)) {
+                    edges.push((a, b));
+                }
+            }
+        }
+        edges
+    }
+
+    /// Kahn topological order of processors; `None` when cyclic.
+    pub fn topological_order(&self) -> Option<Vec<usize>> {
+        let n = self.processors.len();
+        let mut indeg = vec![0usize; n];
+        let edges = self.processor_edges();
+        for &(_, b) in &edges {
+            indeg[b] += 1;
+        }
+        let mut queue: VecDeque<usize> =
+            (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(i) = queue.pop_front() {
+            order.push(i);
+            for &(a, b) in &edges {
+                if a == i {
+                    indeg[b] -= 1;
+                    if indeg[b] == 0 {
+                        queue.push_back(b);
+                    }
+                }
+            }
+        }
+        (order.len() == n).then_some(order)
+    }
+
+    /// Downstream transitive closure of a processor (everything whose
+    /// input depends, directly or not, on its outputs).
+    pub fn downstream_of(&self, processor: usize) -> Vec<usize> {
+        let edges = self.processor_edges();
+        let mut out = Vec::new();
+        let mut stack = vec![processor];
+        while let Some(i) = stack.pop() {
+            for &(a, b) in &edges {
+                if a == i && !out.contains(&b) {
+                    out.push(b);
+                    stack.push(b);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// in0 → p0 → p1 → out0, with p0 also feeding p2 (dead end).
+    fn small() -> WorkflowTemplate {
+        let mut t = WorkflowTemplate::new("t", "Test", "Testing");
+        t.inputs.push(Port::new("in0"));
+        t.outputs.push(Port::new("out0"));
+        let mut p0 = Processor::new("p0");
+        p0.inputs.push(Port::new("x"));
+        p0.outputs.push(Port::new("y"));
+        let mut p1 = Processor::new("p1");
+        p1.inputs.push(Port::new("x"));
+        p1.outputs.push(Port::new("y"));
+        let mut p2 = Processor::new("p2");
+        p2.inputs.push(Port::new("x"));
+        p2.outputs.push(Port::new("y"));
+        t.processors = vec![p0, p1, p2];
+        t.links = vec![
+            DataLink {
+                source: PortRef::WorkflowInput(0),
+                sink: PortRef::ProcessorInput { processor: 0, port: 0 },
+            },
+            DataLink {
+                source: PortRef::ProcessorOutput { processor: 0, port: 0 },
+                sink: PortRef::ProcessorInput { processor: 1, port: 0 },
+            },
+            DataLink {
+                source: PortRef::ProcessorOutput { processor: 0, port: 0 },
+                sink: PortRef::ProcessorInput { processor: 2, port: 0 },
+            },
+            DataLink {
+                source: PortRef::ProcessorOutput { processor: 1, port: 0 },
+                sink: PortRef::WorkflowOutput(0),
+            },
+        ];
+        t
+    }
+
+    #[test]
+    fn valid_template_validates() {
+        assert_eq!(small().validate(), Ok(()));
+    }
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let t = small();
+        let order = t.topological_order().unwrap();
+        let pos = |i: usize| order.iter().position(|&x| x == i).unwrap();
+        assert!(pos(0) < pos(1));
+        assert!(pos(0) < pos(2));
+        assert_eq!(order.len(), 3);
+    }
+
+    #[test]
+    fn downstream_closure() {
+        let t = small();
+        assert_eq!(t.downstream_of(0), vec![1, 2]);
+        assert!(t.downstream_of(1).is_empty());
+    }
+
+    #[test]
+    fn dangling_endpoint_rejected() {
+        let mut t = small();
+        t.links.push(DataLink {
+            source: PortRef::ProcessorOutput { processor: 9, port: 0 },
+            sink: PortRef::WorkflowOutput(0),
+        });
+        assert!(matches!(t.validate(), Err(TemplateError::DanglingEndpoint { .. })));
+    }
+
+    #[test]
+    fn wrong_direction_rejected() {
+        let mut t = small();
+        t.links.push(DataLink {
+            source: PortRef::WorkflowOutput(0),
+            sink: PortRef::ProcessorInput { processor: 0, port: 0 },
+        });
+        assert!(matches!(t.validate(), Err(TemplateError::WrongDirection { .. })));
+    }
+
+    #[test]
+    fn unfed_input_rejected() {
+        let mut t = small();
+        t.links.remove(0); // p0.x loses its feed
+        assert!(matches!(
+            t.validate(),
+            Err(TemplateError::BadFanIn { count: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn double_fed_output_rejected() {
+        let mut t = small();
+        t.links.push(DataLink {
+            source: PortRef::ProcessorOutput { processor: 2, port: 0 },
+            sink: PortRef::WorkflowOutput(0),
+        });
+        assert!(matches!(
+            t.validate(),
+            Err(TemplateError::UnboundOutput { count: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let mut t = small();
+        // p1 output → p0 input would double-feed p0.x; use a fresh port.
+        t.processors[0].inputs.push(Port::new("x2"));
+        t.links.push(DataLink {
+            source: PortRef::ProcessorOutput { processor: 1, port: 0 },
+            sink: PortRef::ProcessorInput { processor: 0, port: 1 },
+        });
+        assert_eq!(t.validate(), Err(TemplateError::Cycle));
+        assert!(t.topological_order().is_none());
+    }
+
+    #[test]
+    fn missing_nested_rejected() {
+        let mut t = small();
+        t.processors[0].sub_workflow = Some(0);
+        assert!(matches!(t.validate(), Err(TemplateError::MissingNested { .. })));
+        t.nested.push(small());
+        assert_eq!(t.validate(), Ok(()));
+        assert_eq!(t.total_processors(), 6);
+    }
+}

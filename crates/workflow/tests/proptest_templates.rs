@@ -1,0 +1,151 @@
+//! Property tests: the template generator only emits valid DAGs, and the
+//! executor maintains its scheduling/dataflow invariants for any seed,
+//! epoch and failure injection.
+
+use proptest::prelude::*;
+use provbench_workflow::domains::DOMAINS;
+use provbench_workflow::execution::{execute, ExecutionConfig, FailureKind, FailureSpec, ProcessStatus, RunStatus};
+use provbench_workflow::generate::generate_template;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn template_for(seed: u64, domain_idx: usize, taverna: bool) -> provbench_workflow::WorkflowTemplate {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let system = if taverna {
+        provbench_workflow::System::Taverna
+    } else {
+        provbench_workflow::System::Wings
+    };
+    generate_template(&DOMAINS[domain_idx % DOMAINS.len()], system, 0, &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn generated_templates_are_always_valid(
+        seed in any::<u64>(),
+        domain in 0usize..12,
+        taverna in any::<bool>(),
+    ) {
+        let t = template_for(seed, domain, taverna);
+        prop_assert_eq!(t.validate(), Ok(()));
+        let order = t.topological_order().expect("valid templates are acyclic");
+        prop_assert_eq!(order.len(), t.processors.len());
+        // Topological order respects every dependency edge.
+        let pos: Vec<usize> = {
+            let mut pos = vec![0; order.len()];
+            for (i, &p) in order.iter().enumerate() {
+                pos[p] = i;
+            }
+            pos
+        };
+        for (a, b) in t.processor_edges() {
+            prop_assert!(pos[a] < pos[b], "edge {a}->{b} violated");
+        }
+    }
+
+    #[test]
+    fn execution_respects_dataflow_timing(
+        seed in any::<u64>(),
+        domain in 0usize..12,
+        exec_seed in any::<u64>(),
+        epoch in 0u64..5,
+    ) {
+        let t = template_for(seed, domain, true);
+        let mut config = ExecutionConfig::new(0, exec_seed, "prop");
+        config.environment_epoch = epoch;
+        let run = execute(&t, &config);
+        prop_assert_eq!(run.status, RunStatus::Success);
+
+        // Each process starts no earlier than every producer of its
+        // inputs finished; artifact ids are in bounds.
+        let produced_at = |artifact: usize| {
+            run.processes
+                .iter()
+                .find(|p| p.outputs.contains(&artifact))
+                .and_then(|p| p.ended_ms)
+        };
+        for p in &run.processes {
+            prop_assert_eq!(p.status, ProcessStatus::Completed);
+            let started = p.started_ms.expect("completed processes have times");
+            prop_assert!(p.ended_ms.expect("ended") >= started);
+            for &input in &p.inputs {
+                prop_assert!(input < run.artifacts.len());
+                if let Some(at) = produced_at(input) {
+                    prop_assert!(started >= at, "{} consumed input before it existed", p.name);
+                }
+            }
+        }
+        // Run interval covers every process interval.
+        for p in &run.processes {
+            prop_assert!(p.started_ms.unwrap() >= run.started_ms);
+            prop_assert!(p.ended_ms.unwrap() <= run.ended_ms);
+        }
+        // Delivered outputs reference real artifacts.
+        for &o in run.outputs.iter().chain(&run.inputs) {
+            prop_assert!(o < run.artifacts.len());
+        }
+    }
+
+    #[test]
+    fn failure_injection_partitions_processes(
+        seed in any::<u64>(),
+        domain in 0usize..12,
+        failed_proc in 0usize..9,
+        kind_idx in 0usize..4,
+    ) {
+        let t = template_for(seed, domain, false);
+        let failed_proc = failed_proc % t.processors.len();
+        let mut config = ExecutionConfig::new(0, seed, "prop");
+        let kind = FailureKind::ALL[kind_idx];
+        config.failure = Some(FailureSpec { processor: failed_proc, kind });
+        let run = execute(&t, &config);
+        prop_assert_eq!(run.status, RunStatus::Failed(kind));
+
+        let downstream = t.downstream_of(failed_proc);
+        for p in &run.processes {
+            if p.processor == failed_proc {
+                prop_assert_eq!(p.status, ProcessStatus::Failed(kind));
+                prop_assert!(p.outputs.is_empty());
+            } else if downstream.contains(&p.processor) {
+                prop_assert_eq!(p.status, ProcessStatus::Skipped);
+                prop_assert!(p.started_ms.is_none() && p.ended_ms.is_none());
+            } else {
+                prop_assert_eq!(p.status, ProcessStatus::Completed);
+            }
+        }
+    }
+
+    #[test]
+    fn reruns_share_inputs_and_nonvolatile_outputs(
+        seed in any::<u64>(),
+        domain in 0usize..12,
+        epoch_a in 0u64..3,
+        epoch_b in 3u64..6,
+    ) {
+        let mut t = template_for(seed, domain, true);
+        // Force determinism question: clear volatility everywhere.
+        for p in &mut t.processors {
+            p.volatile = false;
+        }
+        let mut ca = ExecutionConfig::new(0, 1, "prop");
+        ca.input_seed = 7;
+        ca.environment_epoch = epoch_a;
+        let mut cb = ExecutionConfig::new(1_000_000, 2, "prop");
+        cb.input_seed = 7;
+        cb.environment_epoch = epoch_b;
+        let (ra, rb) = (execute(&t, &ca), execute(&t, &cb));
+        // Same inputs…
+        let ins = |r: &provbench_workflow::WorkflowRun| -> Vec<u64> {
+            r.inputs.iter().map(|&i| r.artifacts[i].checksum).collect()
+        };
+        prop_assert_eq!(ins(&ra), ins(&rb));
+        // …and with no volatile steps, identical outputs regardless of
+        // epoch and jitter seed.
+        let outs = |r: &provbench_workflow::WorkflowRun| -> Vec<u64> {
+            r.outputs.iter().map(|&i| r.artifacts[i].checksum).collect()
+        };
+        prop_assert_eq!(outs(&ra), outs(&rb));
+    }
+}

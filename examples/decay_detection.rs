@@ -1,0 +1,51 @@
+//! The paper's §3.iii application: workflow decay — compare the results
+//! of repeated runs of the same template over time, and repair failed
+//! runs from previous results.
+//!
+//! ```sh
+//! cargo run --example decay_detection
+//! ```
+
+use provbench::analysis::{decay_summary, repair_candidates};
+use provbench::corpus::{Corpus, CorpusSpec};
+
+fn main() {
+    // The full paper-shaped corpus: templates get up to 2 runs ~5 weeks
+    // apart, and volatile (third-party-service) steps drift between runs.
+    let corpus = Corpus::generate(&CorpusSpec::default());
+
+    let reports = decay_summary(&corpus);
+    let decayed = reports.iter().filter(|r| r.decayed).count();
+    println!(
+        "{} templates have longitudinal series; {} show decay.\n",
+        reports.len(),
+        decayed
+    );
+
+    for report in reports.iter().filter(|r| r.decayed).take(5) {
+        let (a, b) = report.first_change.expect("decayed implies a change point");
+        let (first, second) = (&report.observations[a], &report.observations[b]);
+        println!("template {}:", report.template);
+        println!(
+            "  run {} ({}) vs run {} ({})",
+            first.run_id,
+            if first.failed { "FAILED" } else { "ok" },
+            second.run_id,
+            if second.failed { "FAILED" } else { "ok" },
+        );
+        if second.failed {
+            println!("  decay mode: later run failed outright");
+            let repairs = repair_candidates(&corpus, &second.run_id);
+            for (output, donor, _) in &repairs {
+                println!("  repair: take `{output}` from earlier run {donor}");
+            }
+        } else {
+            println!(
+                "  decay mode: same inputs, different outputs ({} vs {} checksums)",
+                first.output_checksums.len(),
+                second.output_checksums.len()
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,54 @@
+//! Quickstart: generate a small corpus, save it to disk, reload it, and
+//! run the paper's Q1 over it.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use provbench::corpus::{stats::CorpusStats, stats::Table1, store, Corpus, CorpusSpec};
+use provbench::query::exemplar::q1_runs;
+
+fn main() {
+    // A corpus slice: 12 workflows, 20 runs, 3 failures. The full paper
+    // shape (120 workflows / 198 runs / 30 failures) is
+    // `CorpusSpec::default()` — same code, a few seconds longer.
+    let spec = CorpusSpec {
+        max_workflows: Some(12),
+        total_runs: 20,
+        failed_runs: 3,
+        ..CorpusSpec::default()
+    };
+    println!("Generating corpus (seed {}).", spec.seed);
+    let corpus = Corpus::generate(&spec);
+
+    let stats = CorpusStats::compute(&corpus);
+    println!(
+        "{} workflows, {} runs ({} failed), {} triples, {:.2} MiB serialized.",
+        stats.workflows,
+        stats.runs,
+        stats.failed_runs,
+        stats.triples,
+        stats.serialized_bytes as f64 / (1024.0 * 1024.0)
+    );
+    println!("\nTable 1 (regenerated):\n{}", Table1::from_stats(&stats));
+
+    // The corpus on disk, in the published layout.
+    let dir = std::env::temp_dir().join("provbench-quickstart");
+    let saved = store::save(&corpus, &dir).expect("save corpus");
+    println!("Saved {} files ({} bytes) under {}.", saved.files, saved.bytes, dir.display());
+    let loaded = store::load(&dir).expect("load corpus");
+    println!("Reloaded {} traces.", loaded.traces.len());
+
+    // Q1: what runs exist, and when did they start/end?
+    println!("\nQ1 — workflow runs with start/end times:");
+    let graph = corpus.combined_graph();
+    for run in q1_runs(&graph).into_iter().take(8) {
+        println!(
+            "  {}\n    start: {}  end: {}",
+            run.run.as_str(),
+            run.started.map_or("(not recorded)".into(), |t| t.to_string()),
+            run.ended.map_or("(not recorded)".into(), |t| t.to_string()),
+        );
+    }
+    println!("  … (Wings accounts record no prov:startedAtTime — see Table 2)");
+}

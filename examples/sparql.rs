@@ -1,0 +1,67 @@
+//! Ad-hoc SPARQL over a generated corpus: pass a query on the command
+//! line (or pipe it on stdin) and get a table of solutions.
+//!
+//! ```sh
+//! cargo run --example sparql -- \
+//!   'SELECT ?run WHERE { ?run a wfprov:WorkflowRun } LIMIT 5'
+//! ```
+//!
+//! The prefixes of `provbench::query::exemplar::PREFIXES` (prov, wfprov,
+//! wfdesc, opmw, tavernaprov, foaf, xsd) are pre-bound.
+
+use provbench::corpus::{Corpus, CorpusSpec};
+use provbench::query::exemplar::PREFIXES;
+use provbench::query::execute_query;
+use std::io::Read;
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let query_body = match arg {
+        Some(q) => q,
+        None => {
+            let mut buf = String::new();
+            std::io::stdin().read_to_string(&mut buf).expect("read stdin");
+            if buf.trim().is_empty() {
+                // A sensible default: runs per user.
+                "SELECT ?name (COUNT(?run) AS ?n) WHERE { \
+                   ?run prov:wasAssociatedWith ?agent . \
+                   ?agent a prov:Person . ?agent foaf:name ?name \
+                 } GROUP BY ?name ORDER BY DESC(?n)"
+                    .to_owned()
+            } else {
+                buf
+            }
+        }
+    };
+
+    let spec = CorpusSpec {
+        max_workflows: Some(40),
+        total_runs: 60,
+        failed_runs: 6,
+        ..CorpusSpec::default()
+    };
+    eprintln!("generating corpus ({} workflows, {} runs)…", 40, 60);
+    let corpus = Corpus::generate(&spec);
+    let graph = corpus.combined_graph();
+    eprintln!("querying {} triples…\n", graph.len());
+
+    let full_query = format!("{PREFIXES}\n{query_body}");
+    match execute_query(&graph, &full_query) {
+        Ok(solutions) => {
+            println!("{}", solutions.variables.join("\t"));
+            for row in &solutions.rows {
+                let cells: Vec<String> = solutions
+                    .variables
+                    .iter()
+                    .map(|v| row.get(v).map_or("-".to_owned(), |t| t.to_string()))
+                    .collect();
+                println!("{}", cells.join("\t"));
+            }
+            eprintln!("\n{} solutions.", solutions.len());
+        }
+        Err(e) => {
+            eprintln!("query failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,378 @@
+//! The `provbench` command-line tool: generate, inspect, validate,
+//! query and serve the corpus.
+//!
+//! ```text
+//! provbench generate --out DIR [--payload N] [--seed N]   write the corpus to disk
+//! provbench stats [--seed N]                              Table 1 + Figure 1
+//! provbench coverage [--seed N]                           Tables 2 and 3
+//! provbench validate --dir DIR                            PROV-constraint-check a corpus directory
+//! provbench query 'SPARQL' [--dir DIR]                    query a corpus (generated or loaded)
+//! provbench serve [--addr HOST:PORT]                      SPARQL endpoint + web UI
+//! ```
+
+use provbench::analysis::coverage::term_usage;
+use provbench::analysis::{coverage_of_corpus, dependency_edges};
+use provbench::corpus::stats::{CorpusStats, Table1};
+use provbench::corpus::{research_object_for, store, Corpus, CorpusSpec};
+use provbench::endpoint::Endpoint;
+use provbench::prov::from_rdf::graph_to_document;
+use provbench::prov::{validate, write_provn};
+use provbench::query::exemplar::PREFIXES;
+use provbench::query::execute_query;
+use provbench::rdf::Graph;
+use provbench::workflow::System;
+use std::path::Path;
+use std::process::ExitCode;
+
+struct Options {
+    seed: u64,
+    payload: usize,
+    out: Option<String>,
+    dir: Option<String>,
+    addr: String,
+    positional: Vec<String>,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut o = Options {
+        seed: 42,
+        payload: 0,
+        out: None,
+        dir: None,
+        addr: "127.0.0.1:3030".into(),
+        positional: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                o.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--seed needs an integer")?
+            }
+            "--payload" => {
+                o.payload = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--payload needs an integer")?
+            }
+            "--out" => o.out = Some(it.next().ok_or("--out needs a path")?.clone()),
+            "--dir" => o.dir = Some(it.next().ok_or("--dir needs a path")?.clone()),
+            "--addr" => o.addr = it.next().ok_or("--addr needs host:port")?.clone(),
+            other if other.starts_with("--") => {
+                return Err(format!("unknown option {other}"))
+            }
+            other => o.positional.push(other.to_owned()),
+        }
+    }
+    Ok(o)
+}
+
+fn spec_of(o: &Options) -> CorpusSpec {
+    CorpusSpec { seed: o.seed, value_payload: o.payload, ..CorpusSpec::default() }
+}
+
+fn corpus_graph(o: &Options) -> Result<Graph, String> {
+    match &o.dir {
+        Some(dir) => {
+            let loaded =
+                store::load(Path::new(dir)).map_err(|e| format!("load {dir}: {e}"))?;
+            if loaded.traces.is_empty() {
+                return Err(format!("{dir} contains no corpus traces"));
+            }
+            Ok(loaded.combined_dataset().union_graph())
+        }
+        None => Ok(Corpus::generate(&spec_of(o)).combined_graph()),
+    }
+}
+
+fn cmd_generate(o: &Options) -> Result<(), String> {
+    let out = o.out.as_deref().ok_or("generate needs --out DIR")?;
+    let corpus = Corpus::generate(&spec_of(o));
+    let saved =
+        store::save(&corpus, Path::new(out)).map_err(|e| format!("save {out}: {e}"))?;
+    println!(
+        "wrote {} files / {:.1} MB to {out} (seed {}, fingerprint {:016x})",
+        saved.files,
+        saved.bytes as f64 / (1024.0 * 1024.0),
+        o.seed,
+        corpus.fingerprint()
+    );
+    Ok(())
+}
+
+fn cmd_stats(o: &Options) -> Result<(), String> {
+    let corpus = Corpus::generate(&spec_of(o));
+    let stats = CorpusStats::compute(&corpus);
+    println!("{}", Table1::from_stats(&stats));
+    println!(
+        "workflows {} · runs {} · failed {} · process runs {} · triples {}",
+        stats.workflows, stats.runs, stats.failed_runs, stats.process_runs, stats.triples
+    );
+    println!("\nFigure 1 — domains:");
+    for row in &stats.domain_histogram {
+        println!(
+            "  {:26} {}{}",
+            row.name,
+            "T".repeat(row.taverna),
+            "W".repeat(row.wings)
+        );
+    }
+    Ok(())
+}
+
+fn cmd_coverage(o: &Options) -> Result<(), String> {
+    let corpus = Corpus::generate(&spec_of(o));
+    print!("{}", coverage_of_corpus(&corpus));
+    Ok(())
+}
+
+fn cmd_validate(o: &Options) -> Result<(), String> {
+    let dir = o.dir.as_deref().ok_or("validate needs --dir DIR")?;
+    let loaded = store::load(Path::new(dir)).map_err(|e| format!("load {dir}: {e}"))?;
+    if loaded.traces.is_empty() {
+        return Err(format!("{dir} contains no corpus traces (wrong directory?)"));
+    }
+    let mut bad = 0usize;
+    for trace in &loaded.traces {
+        let violations = validate(&trace.dataset.union_graph());
+        if !violations.is_empty() {
+            bad += 1;
+            println!("✗ {}:", trace.run_id);
+            for v in violations {
+                println!("    {v}");
+            }
+        }
+    }
+    println!(
+        "{} traces checked, {} with violations",
+        loaded.traces.len(),
+        bad
+    );
+    if bad > 0 {
+        return Err(format!("{bad} traces violate PROV constraints"));
+    }
+    Ok(())
+}
+
+fn cmd_query(o: &Options) -> Result<(), String> {
+    let q = o.positional.first().ok_or("query needs a SPARQL string")?;
+    let graph = corpus_graph(o)?;
+    let full = format!("{PREFIXES}\n{q}");
+    let solutions = execute_query(&graph, &full).map_err(|e| e.to_string())?;
+    println!("{}", solutions.variables.join("\t"));
+    for row in &solutions.rows {
+        let cells: Vec<String> = solutions
+            .variables
+            .iter()
+            .map(|v| row.get(v).map_or("-".into(), |t| t.to_string()))
+            .collect();
+        println!("{}", cells.join("\t"));
+    }
+    eprintln!("{} solutions over {} triples", solutions.len(), graph.len());
+    Ok(())
+}
+
+fn cmd_serve(o: &Options) -> Result<(), String> {
+    let graph = corpus_graph(o)?;
+    eprintln!("serving {} triples on http://{}/", graph.len(), o.addr);
+    Endpoint::new(graph).serve(&o.addr).map_err(|e| e.to_string())
+}
+
+fn find_trace<'a>(
+    corpus: &'a Corpus,
+    run_id: &str,
+) -> Result<&'a provbench::corpus::TraceRecord, String> {
+    corpus
+        .traces
+        .iter()
+        .find(|t| t.run_id == run_id)
+        .ok_or_else(|| format!("no run {run_id:?} in the corpus (see `provbench stats`)"))
+}
+
+fn cmd_nquads(o: &Options) -> Result<(), String> {
+    let out = o.out.as_deref().ok_or("nquads needs --out FILE")?;
+    let corpus = Corpus::generate(&spec_of(o));
+    let nq = store::export_nquads(&corpus);
+    std::fs::write(out, &nq).map_err(|e| format!("write {out}: {e}"))?;
+    println!("wrote {} bytes of N-Quads to {out}", nq.len());
+    Ok(())
+}
+
+fn cmd_provn(o: &Options) -> Result<(), String> {
+    let run_id = o.positional.first().ok_or("provn needs a RUN_ID")?;
+    let corpus = Corpus::generate(&spec_of(o));
+    let trace = find_trace(&corpus, run_id)?;
+    let doc = graph_to_document(&trace.union_graph());
+    print!("{}", write_provn(&doc));
+    Ok(())
+}
+
+fn cmd_lineage(o: &Options) -> Result<(), String> {
+    let run_id = o.positional.first().ok_or("lineage needs a RUN_ID")?;
+    let corpus = Corpus::generate(&spec_of(o));
+    let trace = find_trace(&corpus, run_id)?;
+    let lineage = dependency_edges(&trace.union_graph());
+    print!("{}", lineage.to_dot());
+    Ok(())
+}
+
+fn cmd_ro(o: &Options) -> Result<(), String> {
+    let template = o.positional.first().ok_or("ro needs a TEMPLATE name")?;
+    let corpus = Corpus::generate(&spec_of(o));
+    let manifest = research_object_for(&corpus, template)
+        .ok_or_else(|| format!("no template {template:?}"))?;
+    print!(
+        "{}",
+        provbench::rdf::write_turtle(&manifest, &provbench::rdf::PrefixMap::common())
+    );
+    Ok(())
+}
+
+fn cmd_provjson(o: &Options) -> Result<(), String> {
+    let run_id = o.positional.first().ok_or("provjson needs a RUN_ID")?;
+    let corpus = Corpus::generate(&spec_of(o));
+    let trace = find_trace(&corpus, run_id)?;
+    let doc = graph_to_document(&trace.union_graph());
+    println!("{}", provbench::prov::write_provjson(&doc));
+    Ok(())
+}
+
+fn cmd_timeline(o: &Options) -> Result<(), String> {
+    let run_id = o.positional.first().ok_or("timeline needs a RUN_ID")?;
+    let corpus = Corpus::generate(&spec_of(o));
+    let trace = find_trace(&corpus, run_id)?;
+    let run_iri = provbench::rdf::Iri::new_unchecked(format!(
+        "{}workflow-run",
+        provbench::taverna::run_base_iri(run_id)
+    ));
+    let tl = provbench::analysis::timeline_of(&trace.union_graph(), &run_iri)
+        .ok_or("no timed process runs (Wings accounts record no activity times)")?;
+    println!(
+        "makespan {} ms · total work {} ms · parallelism {:.2}",
+        tl.makespan_ms,
+        tl.total_work_ms(),
+        tl.parallelism()
+    );
+    let on_path = |p: &provbench::rdf::Iri| tl.critical_path.contains(p);
+    for e in &tl.entries {
+        println!(
+            "{} {:6} ms  {}{}",
+            e.started,
+            e.duration_ms,
+            e.process.as_str().rsplit('/').next().unwrap_or(""),
+            if on_path(&e.process) { "  ← critical path" } else { "" }
+        );
+    }
+    Ok(())
+}
+
+fn cmd_explain(o: &Options) -> Result<(), String> {
+    let q = o.positional.first().ok_or("explain needs a SPARQL string")?;
+    let full = format!("{PREFIXES}\n{q}");
+    let parsed = provbench::query::parse_query(&full).map_err(|e| e.to_string())?;
+    print!(
+        "{}",
+        provbench::query::explain(&parsed, &provbench::query::EvalOptions::default())
+    );
+    Ok(())
+}
+
+fn cmd_interop(o: &Options) -> Result<(), String> {
+    let corpus = Corpus::generate(&spec_of(o));
+    print!("{}", provbench::analysis::interop_report(&corpus));
+    Ok(())
+}
+
+fn cmd_lint(o: &Options) -> Result<(), String> {
+    let corpus = Corpus::generate(&spec_of(o));
+    let dirty = provbench::analysis::lint_corpus(&corpus);
+    if dirty.is_empty() {
+        println!("{} traces linted, all clean", corpus.traces.len());
+        Ok(())
+    } else {
+        for (run, findings) in &dirty {
+            println!("✗ {run}:");
+            for f in findings {
+                println!("    {f}");
+            }
+        }
+        Err(format!("{} traces with lint findings", dirty.len()))
+    }
+}
+
+fn cmd_usage(o: &Options) -> Result<(), String> {
+    let corpus = Corpus::generate(&spec_of(o));
+    let rows = term_usage(
+        &corpus.system_graph(System::Taverna),
+        &corpus.system_graph(System::Wings),
+    );
+    println!("{:26} {:>10} {:>10}", "PROV term", "Taverna", "Wings");
+    for r in rows {
+        println!("{:26} {:>10} {:>10}", r.term, r.taverna_count, r.wings_count);
+    }
+    Ok(())
+}
+
+const USAGE: &str = "usage: provbench <command> [options]
+  generate --out DIR [--seed N] [--payload N]   write the corpus to disk
+  stats    [--seed N]                           Table 1 + Figure 1
+  coverage [--seed N]                           Tables 2 and 3
+  usage    [--seed N]                           per-term assertion counts
+  lint     [--seed N]                           profile-lint every trace
+  validate --dir DIR                            PROV-constraint-check a corpus dir
+  query 'SPARQL' [--dir DIR | --seed N]         run SPARQL over the corpus
+  serve    [--addr HOST:PORT] [--dir DIR]       SPARQL endpoint + web UI
+  nquads   --out FILE [--seed N]                bulk N-Quads export
+  provn    RUN_ID [--seed N]                    one trace as PROV-N
+  provjson RUN_ID [--seed N]                    one trace as PROV-JSON
+  timeline RUN_ID [--seed N]                    run timeline + critical path
+  interop  [--seed N]                           cross-system capability report
+  lineage  RUN_ID [--seed N]                    one trace's lineage as DOT
+  ro       TEMPLATE [--seed N]                  research-object manifest (Turtle)
+  explain 'SPARQL'                              show the evaluation plan";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let options = match parse_options(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match cmd.as_str() {
+        "generate" => cmd_generate(&options),
+        "stats" => cmd_stats(&options),
+        "coverage" => cmd_coverage(&options),
+        "usage" => cmd_usage(&options),
+        "lint" => cmd_lint(&options),
+        "provjson" => cmd_provjson(&options),
+        "timeline" => cmd_timeline(&options),
+        "interop" => cmd_interop(&options),
+        "explain" => cmd_explain(&options),
+        "validate" => cmd_validate(&options),
+        "query" => cmd_query(&options),
+        "serve" => cmd_serve(&options),
+        "nquads" => cmd_nquads(&options),
+        "provn" => cmd_provn(&options),
+        "lineage" => cmd_lineage(&options),
+        "ro" => cmd_ro(&options),
+        other => {
+            eprintln!("unknown command {other:?}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

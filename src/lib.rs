@@ -1,0 +1,46 @@
+//! # provbench
+//!
+//! Facade crate of the ProvBench reproduction — a from-scratch Rust
+//! implementation of the system behind *"A Workflow PROV-Corpus based on
+//! Taverna and Wings"* (Belhajjame et al., EDBT/ICDT Workshops 2013).
+//!
+//! Re-exports every sub-crate under a short module name:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`rdf`] | `provbench-rdf` | RDF terms, graphs, datasets, Turtle/N-Triples/TriG I/O |
+//! | [`vocab`] | `provbench-vocab` | PROV-O, wfprov, wfdesc, OPMW, RO term tables |
+//! | [`prov`] | `provbench-prov` | PROV model, PROV-O mapping, inference, constraints |
+//! | [`workflow`] | `provbench-workflow` | templates, domain catalog, executor |
+//! | [`taverna`] | `provbench-taverna` | Taverna engine simulator + PROV export |
+//! | [`wings`] | `provbench-wings` | Wings engine simulator + OPMW export |
+//! | [`corpus`] | `provbench-core` | corpus spec, generation, store, statistics |
+//! | [`query`] | `provbench-query` | SPARQL-subset engine + the six exemplar queries |
+//! | [`analysis`] | `provbench-analysis` | coverage tables, lineage, debugging, decay |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use provbench::analysis::coverage_of_corpus;
+//! use provbench::corpus::{Corpus, CorpusSpec};
+//! use provbench::query::exemplar::q1_runs;
+//!
+//! // A miniature corpus (the paper's full shape is `CorpusSpec::default()`).
+//! let spec = CorpusSpec { max_workflows: Some(3), total_runs: 5, failed_runs: 1, ..CorpusSpec::default() };
+//! let corpus = Corpus::generate(&spec);
+//! let runs = q1_runs(&corpus.combined_graph());
+//! assert_eq!(runs.len(), 5);
+//! let tables = coverage_of_corpus(&corpus);
+//! assert_eq!(tables.starting_point.len(), 12);
+//! ```
+
+pub use provbench_analysis as analysis;
+pub use provbench_core as corpus;
+pub use provbench_endpoint as endpoint;
+pub use provbench_prov as prov;
+pub use provbench_query as query;
+pub use provbench_rdf as rdf;
+pub use provbench_taverna as taverna;
+pub use provbench_vocab as vocab;
+pub use provbench_wings as wings;
+pub use provbench_workflow as workflow;

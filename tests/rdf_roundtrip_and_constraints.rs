@@ -1,0 +1,110 @@
+//! Cross-crate integration: serialized corpus traces survive the
+//! Turtle/TriG round-trip bit-for-bit at the graph level, traces satisfy
+//! the PROV-CONSTRAINTS validator, and failed traces are *partial* but
+//! still valid RDF.
+
+use provbench::corpus::{store, Corpus, CorpusSpec};
+use provbench::prov::constraints::validate;
+use provbench::prov::from_rdf::graph_to_document;
+use provbench::rdf::{parse_trig, parse_turtle};
+use provbench::workflow::System;
+
+fn corpus() -> Corpus {
+    Corpus::generate(&CorpusSpec {
+        max_workflows: Some(70), // spans both systems
+        total_runs: 90,
+        failed_runs: 8,
+        ..CorpusSpec::default()
+    })
+}
+
+#[test]
+fn every_trace_roundtrips_through_its_native_syntax() {
+    let c = corpus();
+    for trace in &c.traces {
+        let serialized = store::serialize_trace(trace);
+        match trace.system {
+            System::Taverna => {
+                let (g, _) = parse_turtle(&serialized)
+                    .unwrap_or_else(|e| panic!("{}: {e}", trace.run_id));
+                assert_eq!(
+                    &g,
+                    trace.dataset.default_graph(),
+                    "roundtrip mismatch for {}",
+                    trace.run_id
+                );
+            }
+            System::Wings => {
+                let (ds, _) = parse_trig(&serialized)
+                    .unwrap_or_else(|e| panic!("{}: {e}", trace.run_id));
+                assert_eq!(ds, trace.dataset, "roundtrip mismatch for {}", trace.run_id);
+            }
+        }
+    }
+}
+
+#[test]
+fn every_trace_satisfies_prov_constraints() {
+    let c = corpus();
+    for trace in &c.traces {
+        let violations = validate(&trace.union_graph());
+        assert!(
+            violations.is_empty(),
+            "{} violates PROV constraints: {violations:?}",
+            trace.run_id
+        );
+    }
+}
+
+#[test]
+fn descriptions_roundtrip() {
+    let c = corpus();
+    for (i, description) in c.descriptions.iter().enumerate() {
+        let serialized = store::serialize_description(description);
+        let (g, _) = parse_turtle(&serialized).unwrap();
+        assert_eq!(&g, description, "description {i} mismatch");
+    }
+}
+
+#[test]
+fn traces_recover_into_prov_documents() {
+    let c = corpus();
+    for trace in c.traces.iter().take(20) {
+        let doc = graph_to_document(&trace.union_graph());
+        // Every trace declares entities, activities and agents…
+        assert!(!doc.entities.is_empty(), "{} has no entities", trace.run_id);
+        assert!(!doc.activities.is_empty(), "{} has no activities", trace.run_id);
+        assert!(!doc.agents.is_empty(), "{} has no agents", trace.run_id);
+        // …and the relations reference only declared nodes (extension
+        // vocabulary aside).
+        let dangling = doc.undeclared_references();
+        assert!(
+            dangling.is_empty(),
+            "{} has dangling references: {dangling:?}",
+            trace.run_id
+        );
+    }
+}
+
+#[test]
+fn failed_traces_are_smaller_than_successful_ones() {
+    let c = corpus();
+    // Compare runs of the same template where one failed.
+    let mut checked = 0;
+    for failed in c.traces.iter().filter(|t| t.failed()) {
+        if let Some(ok) = c
+            .runs_of_template(&failed.template_name)
+            .into_iter()
+            .find(|t| !t.failed())
+        {
+            assert!(
+                failed.dataset.len() < ok.dataset.len(),
+                "failed {} not smaller than successful {}",
+                failed.run_id,
+                ok.run_id
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked > 0, "no comparable failed/successful pair found");
+}
