@@ -176,9 +176,11 @@ pub fn term_usage(taverna: &Graph, wings: &Graph) -> Vec<TermUsageRow> {
         provbench_vocab::TermKind::Class => {
             stats.class_counts.get(&info.to_iri()).copied().unwrap_or(0)
         }
-        provbench_vocab::TermKind::Property => {
-            stats.predicate_counts.get(&info.to_iri()).copied().unwrap_or(0)
-        }
+        provbench_vocab::TermKind::Property => stats
+            .predicate_counts
+            .get(&info.to_iri())
+            .copied()
+            .unwrap_or(0),
     };
     STARTING_POINT_TERMS
         .iter()
@@ -231,7 +233,10 @@ mod tests {
     fn tables_match_the_paper_exactly() {
         let tables = coverage_of_corpus(&corpus());
         let diffs = diff_against_paper(&tables);
-        assert!(diffs.is_empty(), "coverage deviates from the paper: {diffs:?}");
+        assert!(
+            diffs.is_empty(),
+            "coverage deviates from the paper: {diffs:?}"
+        );
     }
 
     #[test]
@@ -248,7 +253,10 @@ mod tests {
             .zip(tables.starting_point.iter().chain(&tables.additional))
         {
             assert_eq!(row.term, table_row.term.name);
-            assert_eq!(row.taverna_count > 0, table_row.taverna == Support::Asserted);
+            assert_eq!(
+                row.taverna_count > 0,
+                table_row.taverna == Support::Asserted
+            );
             assert_eq!(row.wings_count > 0, table_row.wings == Support::Asserted);
         }
         // The workhorse predicates are heavily used.
@@ -285,6 +293,9 @@ mod tests {
         assert!(s.contains("Table 2"));
         assert!(s.contains("Table 3"));
         // Empty graphs support nothing.
-        assert!(tables.starting_point.iter().all(|r| r.support_cell() == "-"));
+        assert!(tables
+            .starting_point
+            .iter()
+            .all(|r| r.support_cell() == "-"));
     }
 }

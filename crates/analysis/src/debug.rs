@@ -41,7 +41,9 @@ pub fn diagnose_graph(graph: &Graph, system: System, run_id: &str) -> Option<Fai
             let t = graph
                 .triples_matching(None, Some(&taverna_error_message()), None)
                 .next()?;
-            let Subject::Iri(p) = t.subject else { return None };
+            let Subject::Iri(p) = t.subject else {
+                return None;
+            };
             let cause = t
                 .object
                 .as_literal()
@@ -64,7 +66,9 @@ pub fn diagnose_graph(graph: &Graph, system: System, run_id: &str) -> Option<Fai
                         .next()
                         .is_some()
                 })?;
-            let Subject::Iri(p) = t.subject else { return None };
+            let Subject::Iri(p) = t.subject else {
+                return None;
+            };
             let cause = graph
                 .object(&Subject::Iri(p.clone()), &provbench_vocab::rdfs::comment())
                 .and_then(|o| o.as_literal().map(|l| l.lexical().to_owned()))
@@ -76,9 +80,10 @@ pub fn diagnose_graph(graph: &Graph, system: System, run_id: &str) -> Option<Fai
     // Affected steps: template steps with no corresponding process run.
     let (described_pred, executed_pred) = match system {
         System::Taverna => (wfdesc::has_sub_process(), wfprov::described_by_process()),
-        System::Wings => {
-            (opmw::corresponds_to_template(), opmw::corresponds_to_template_process())
-        }
+        System::Wings => (
+            opmw::corresponds_to_template(),
+            opmw::corresponds_to_template_process(),
+        ),
     };
     let described: Vec<Iri> = match system {
         System::Taverna => graph
@@ -152,9 +157,7 @@ pub fn diagnose_corpus(corpus: &Corpus) -> Vec<FailureReport> {
         .traces
         .iter()
         .filter(|t| t.failed())
-        .filter_map(|t| {
-            diagnose_graph(&trace_with_description(corpus, t), t.system, &t.run_id)
-        })
+        .filter_map(|t| diagnose_graph(&trace_with_description(corpus, t), t.system, &t.run_id))
         .collect()
 }
 
@@ -215,8 +218,7 @@ mod tests {
                         .sub_workflow
                         .map(|ni| template.nested[ni].processors.len())
                         .unwrap_or(0);
-                    usize::from(never_ran)
-                        + if nested_unspawned { nested_steps } else { 0 }
+                    usize::from(never_ran) + if nested_unspawned { nested_steps } else { 0 }
                 })
                 .sum();
             assert_eq!(
@@ -240,9 +242,7 @@ mod tests {
     fn both_systems_are_diagnosable() {
         let c = corpus();
         let reports = diagnose_corpus(&c);
-        let sys_of = |run_id: &str| {
-            c.traces.iter().find(|t| t.run_id == run_id).unwrap().system
-        };
+        let sys_of = |run_id: &str| c.traces.iter().find(|t| t.run_id == run_id).unwrap().system;
         assert!(reports.iter().any(|r| sys_of(&r.run_id) == System::Taverna));
         assert!(reports.iter().any(|r| sys_of(&r.run_id) == System::Wings));
     }

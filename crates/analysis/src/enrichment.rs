@@ -112,12 +112,7 @@ impl DerivationQuality {
 /// Measure how well trace-level derivation inference approximates the
 /// engine's ground truth for one trace.
 pub fn derivation_quality(trace: &TraceRecord) -> DerivationQuality {
-    let pair = |t: &Triple| {
-        (
-            t.subject.clone(),
-            t.object.as_iri().cloned(),
-        )
-    };
+    let pair = |t: &Triple| (t.subject.clone(), t.object.as_iri().cloned());
     let inferred_graph = enrich_with_inferred_derivations(&trace.union_graph());
     let inferred: BTreeSet<_> = inferred_graph
         .triples_matching(None, Some(&prov::was_derived_from()), None)
@@ -210,10 +205,18 @@ mod tests {
 
     #[test]
     fn quality_math() {
-        let q = DerivationQuality { inferred: 10, exact: 5, correct: 5 };
+        let q = DerivationQuality {
+            inferred: 10,
+            exact: 5,
+            correct: 5,
+        };
         assert!((q.precision() - 0.5).abs() < f64::EPSILON);
         assert!((q.recall() - 1.0).abs() < f64::EPSILON);
-        let empty = DerivationQuality { inferred: 0, exact: 0, correct: 0 };
+        let empty = DerivationQuality {
+            inferred: 0,
+            exact: 0,
+            correct: 0,
+        };
         assert_eq!(empty.precision(), 1.0);
         assert_eq!(empty.recall(), 1.0);
     }

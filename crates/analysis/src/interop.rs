@@ -73,9 +73,10 @@ impl Capability {
     /// all-of across the tuple entries that are non-empty.
     fn requirements(&self) -> (Vec<Iri>, Vec<Iri>) {
         match self {
-            Capability::RunListing => {
-                (vec![wfprov::workflow_run()], vec![opmw::workflow_execution_account()])
-            }
+            Capability::RunListing => (
+                vec![wfprov::workflow_run()],
+                vec![opmw::workflow_execution_account()],
+            ),
             Capability::RunTimes => (
                 vec![prov::started_at_time(), prov::ended_at_time()],
                 vec![opmw::overall_start_time(), opmw::overall_end_time()],
@@ -93,9 +94,10 @@ impl Capability {
                 // Wings never records per-activity times under any term.
                 vec![],
             ),
-            Capability::Executor => {
-                (vec![prov::was_associated_with()], vec![prov::was_attributed_to()])
-            }
+            Capability::Executor => (
+                vec![prov::was_associated_with()],
+                vec![prov::was_attributed_to()],
+            ),
             Capability::Services => (vec![], vec![opmw::has_executable_component()]),
             Capability::PrimarySources => (vec![], vec![prov::had_primary_source()]),
             Capability::SubWorkflowLinks => (vec![prov::was_informed_by()], vec![]),
@@ -133,7 +135,11 @@ pub struct InteropReport {
 
 impl fmt::Display for InteropReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{:34} {:8} {:6} cross-system", "capability", "Taverna", "Wings")?;
+        writeln!(
+            f,
+            "{:34} {:8} {:6} cross-system",
+            "capability", "Taverna", "Wings"
+        )?;
         for row in &self.rows {
             let cross = if row.interoperable() {
                 if row.needs_union {
@@ -181,7 +187,12 @@ pub fn interop_report(corpus: &Corpus) -> InteropReport {
             // A union is needed when the two systems answer via
             // different term sets.
             let needs_union = taverna_ok && wings_ok && tav_terms != wgs_terms;
-            InteropRow { capability, taverna: taverna_ok, wings: wings_ok, needs_union }
+            InteropRow {
+                capability,
+                taverna: taverna_ok,
+                wings: wings_ok,
+                needs_union,
+            }
         })
         .collect();
     InteropReport { rows }

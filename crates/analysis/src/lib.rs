@@ -21,14 +21,14 @@ pub mod lint;
 pub mod timeline;
 
 pub use coverage::{analyze_coverage, coverage_of_corpus, CoverageRow, CoverageTables, Support};
+pub use debug::{diagnose_corpus, diagnose_graph, FailureReport};
+pub use decay::{
+    decay_summary, detect_decay, rdf_trace_diff, repair_candidates, DecayReport, RunObservation,
+    TraceDiff,
+};
 pub use enrichment::{
     derivation_quality, enrich_with_exact_derivations, enrich_with_inferred_derivations,
     exact_derivations, DerivationQuality,
-};
-pub use debug::{diagnose_corpus, diagnose_graph, FailureReport};
-pub use decay::{
-    decay_summary, detect_decay, rdf_trace_diff, repair_candidates, DecayReport,
-    RunObservation, TraceDiff,
 };
 pub use interop::{interop_report, Capability, InteropReport, InteropRow};
 pub use lineage::{dependency_edges, producers_of, upstream_entities, LineageGraph};

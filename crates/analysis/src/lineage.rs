@@ -90,9 +90,11 @@ pub fn dependency_edges(graph: &Graph) -> LineageGraph {
         let (Subject::Iri(derived), Term::Iri(process)) = (&gen.subject, &gen.object) else {
             continue;
         };
-        for used in
-            graph.triples_matching(Some(&Subject::Iri(process.clone())), Some(&prov::used()), None)
-        {
+        for used in graph.triples_matching(
+            Some(&Subject::Iri(process.clone())),
+            Some(&prov::used()),
+            None,
+        ) {
             if let Term::Iri(source) = &used.object {
                 if source != derived {
                     edges.push((derived.clone(), source.clone(), process.clone()));
@@ -152,9 +154,21 @@ mod tests {
         let mut g = Graph::new();
         let used = prov::used();
         let gen = prov::was_generated_by();
-        g.insert(Triple::new(iri("http://e/p1"), used.clone(), iri("http://e/in")));
-        g.insert(Triple::new(iri("http://e/mid"), gen.clone(), iri("http://e/p1")));
-        g.insert(Triple::new(iri("http://e/p2"), used.clone(), iri("http://e/mid")));
+        g.insert(Triple::new(
+            iri("http://e/p1"),
+            used.clone(),
+            iri("http://e/in"),
+        ));
+        g.insert(Triple::new(
+            iri("http://e/mid"),
+            gen.clone(),
+            iri("http://e/p1"),
+        ));
+        g.insert(Triple::new(
+            iri("http://e/p2"),
+            used.clone(),
+            iri("http://e/mid"),
+        ));
         g.insert(Triple::new(iri("http://e/p2"), used, iri("http://e/in2")));
         g.insert(Triple::new(iri("http://e/out"), gen, iri("http://e/p2")));
         g
@@ -163,7 +177,10 @@ mod tests {
     #[test]
     fn producer_identification() {
         let g = chain();
-        assert_eq!(producers_of(&g, &iri("http://e/out")), vec![iri("http://e/p2")]);
+        assert_eq!(
+            producers_of(&g, &iri("http://e/out")),
+            vec![iri("http://e/p2")]
+        );
         assert!(producers_of(&g, &iri("http://e/in")).is_empty());
     }
 

@@ -2,22 +2,24 @@
 //! ("maintaining the corpus… improve the corpus in the light of
 //! community feedback").
 //!
-//! Beyond generic PROV constraints (`provbench-prov::constraints`), each
-//! system's traces must follow its own profile conventions; the linter
-//! checks the structural rules a corpus curator would enforce before
-//! accepting a new trace into the collection.
+//! The actual checks live in `provbench-diag`'s rule packs
+//! ([`provbench_diag::rules::profile`]); this module is the
+//! corpus-object-level entry point, adapting in-memory [`TraceRecord`]s
+//! to the diag engine and its diagnostics back to the historical
+//! [`LintFinding`] shape (the `rule` field carries the same slugs the
+//! pre-registry linter used, e.g. `taverna/profile-purity`).
 
 use provbench_core::TraceRecord;
-use provbench_prov::inference::any_use_of;
-use provbench_rdf::{Graph, Iri, Subject, Term};
-use provbench_vocab::{self as vocab, opmw, prov, wfprov};
+use provbench_diag::rules::profile::{TavernaProfile, WingsProfile};
+use provbench_diag::{FileContext, Rule};
+use provbench_rdf::{Iri, SpanTable};
 use provbench_workflow::System;
 use std::fmt;
 
 /// One lint finding.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LintFinding {
-    /// The rule that fired.
+    /// The rule that fired (a stable slug such as `taverna/artifact-value`).
     pub rule: &'static str,
     /// The offending node, when the rule points at one.
     pub node: Option<Iri>,
@@ -34,130 +36,29 @@ impl fmt::Display for LintFinding {
     }
 }
 
-fn finding(rule: &'static str, node: Option<Iri>, detail: impl Into<String>) -> LintFinding {
-    LintFinding { rule, node, detail: detail.into() }
-}
-
-fn instances<'a>(g: &'a Graph, class: &Iri) -> impl Iterator<Item = Iri> + 'a {
-    let class: Term = class.clone().into();
-    g.triples_matching(None, Some(&vocab::rdf_type()), Some(&class))
-        .filter_map(|t| match t.subject {
-            Subject::Iri(i) => Some(i),
-            Subject::Blank(_) => None,
-        })
-        .collect::<Vec<_>>()
-        .into_iter()
-}
-
-fn lint_taverna(g: &Graph, out: &mut Vec<LintFinding>) {
-    // Every process run belongs to exactly one workflow run and has times.
-    for p in instances(g, &wfprov::process_run()) {
-        let s = Subject::Iri(p.clone());
-        let parents = g.objects(&s, &wfprov::was_part_of_workflow_run()).count();
-        if parents != 1 {
-            out.push(finding(
-                "taverna/process-run-parent",
-                Some(p.clone()),
-                format!("process run has {parents} wasPartOfWorkflowRun links (want 1)"),
-            ));
-        }
-        for time in [prov::started_at_time(), prov::ended_at_time()] {
-            if g.object(&s, &time).is_none() {
-                out.push(finding(
-                    "taverna/process-run-times",
-                    Some(p.clone()),
-                    format!("missing {}", time.as_str()),
-                ));
-            }
-        }
-        if g.object(&s, &wfprov::described_by_process()).is_none() {
-            out.push(finding(
-                "taverna/process-run-description",
-                Some(p.clone()),
-                "missing describedByProcess",
-            ));
-        }
-    }
-    // Every workflow run names its workflow and both times.
-    for r in instances(g, &wfprov::workflow_run()) {
-        let s = Subject::Iri(r.clone());
-        if g.object(&s, &wfprov::described_by_workflow()).is_none() {
-            out.push(finding(
-                "taverna/run-description",
-                Some(r.clone()),
-                "missing describedByWorkflow",
-            ));
-        }
-    }
-    // Artifacts carry values.
-    for a in instances(g, &wfprov::artifact()) {
-        if g.object(&Subject::Iri(a.clone()), &prov::value()).is_none() {
-            out.push(finding("taverna/artifact-value", Some(a), "missing prov:value"));
-        }
-    }
-    // The Taverna profile never asserts these (Tables 2–3).
-    for p in [prov::was_attributed_to(), prov::at_location(), prov::had_primary_source()] {
-        if any_use_of(g, &p) {
-            out.push(finding(
-                "taverna/profile-purity",
-                None,
-                format!("Taverna trace asserts {}", p.as_str()),
-            ));
-        }
-    }
-}
-
-fn lint_wings(g: &Graph, out: &mut Vec<LintFinding>) {
-    for p in instances(g, &opmw::workflow_execution_process()) {
-        let s = Subject::Iri(p.clone());
-        if g.object(&s, &opmw::belongs_to_account()).is_none() {
-            out.push(finding(
-                "wings/process-account",
-                Some(p.clone()),
-                "missing belongsToAccount",
-            ));
-        }
-        if g.object(&s, &opmw::has_executable_component()).is_none() {
-            out.push(finding(
-                "wings/process-component",
-                Some(p.clone()),
-                "missing hasExecutableComponent",
-            ));
-        }
-        if g.object(&s, &opmw::has_status()).is_none() {
-            out.push(finding("wings/process-status", Some(p.clone()), "missing hasStatus"));
-        }
-    }
-    for a in instances(g, &opmw::workflow_execution_artifact()) {
-        let s = Subject::Iri(a.clone());
-        if g.object(&s, &prov::at_location()).is_none() {
-            out.push(finding("wings/artifact-location", Some(a.clone()), "missing atLocation"));
-        }
-        if g.object(&s, &opmw::belongs_to_account()).is_none() {
-            out.push(finding("wings/artifact-account", Some(a), "missing belongsToAccount"));
-        }
-    }
-    // The Wings profile never asserts per-activity times (Table 2).
-    for p in [prov::started_at_time(), prov::ended_at_time(), prov::was_informed_by()] {
-        if any_use_of(g, &p) {
-            out.push(finding(
-                "wings/profile-purity",
-                None,
-                format!("Wings trace asserts {}", p.as_str()),
-            ));
-        }
-    }
-}
-
 /// Lint one trace (its union graph) against its system profile.
 pub fn lint_trace(trace: &TraceRecord) -> Vec<LintFinding> {
     let g = trace.union_graph();
-    let mut out = Vec::new();
+    let spans = SpanTable::default();
+    let cx = FileContext {
+        path: None,
+        graph: &g,
+        spans: &spans,
+        system: Some(trace.system),
+    };
+    let mut diags = Vec::new();
     match trace.system {
-        System::Taverna => lint_taverna(&g, &mut out),
-        System::Wings => lint_wings(&g, &mut out),
+        System::Taverna => TavernaProfile.check(&cx, &mut diags),
+        System::Wings => WingsProfile.check(&cx, &mut diags),
     }
-    out
+    diags
+        .into_iter()
+        .map(|d| LintFinding {
+            rule: d.rule.slug,
+            node: d.node,
+            detail: d.message,
+        })
+        .collect()
 }
 
 /// Lint every trace of a corpus; returns `(run id, findings)` for runs
@@ -178,6 +79,7 @@ mod tests {
     use super::*;
     use provbench_core::{Corpus, CorpusSpec};
     use provbench_rdf::Triple;
+    use provbench_vocab::{self as vocab, opmw, prov};
 
     fn corpus() -> Corpus {
         Corpus::generate(&CorpusSpec {

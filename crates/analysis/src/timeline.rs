@@ -71,7 +71,11 @@ pub fn timeline_of(graph: &Graph, run: &Iri) -> Option<Timeline> {
     // Processes of the run (Taverna shape).
     let run_term: Term = run.clone().into();
     let processes: Vec<Iri> = graph
-        .triples_matching(None, Some(&wfprov::was_part_of_workflow_run()), Some(&run_term))
+        .triples_matching(
+            None,
+            Some(&wfprov::was_part_of_workflow_run()),
+            Some(&run_term),
+        )
         .filter_map(|t| match t.subject {
             Subject::Iri(i) => Some(i),
             Subject::Blank(_) => None,
@@ -122,8 +126,11 @@ pub fn timeline_of(graph: &Graph, run: &Iri) -> Option<Timeline> {
 
     // Critical path by longest-path DP over the dependency DAG (entries
     // are start-time ordered, and dependencies always start earlier).
-    let index: BTreeMap<&Iri, usize> =
-        entries.iter().enumerate().map(|(i, e)| (&e.process, i)).collect();
+    let index: BTreeMap<&Iri, usize> = entries
+        .iter()
+        .enumerate()
+        .map(|(i, e)| (&e.process, i))
+        .collect();
     let mut best: Vec<(i64, Option<usize>)> = vec![(0, None); entries.len()];
     for i in 0..entries.len() {
         let mut cost = entries[i].duration_ms;
@@ -138,7 +145,9 @@ pub fn timeline_of(graph: &Graph, run: &Iri) -> Option<Timeline> {
         }
         best[i] = (cost, from);
     }
-    let mut at = (0..entries.len()).max_by_key(|&i| best[i].0).expect("non-empty");
+    let mut at = (0..entries.len())
+        .max_by_key(|&i| best[i].0)
+        .expect("non-empty");
     let mut critical_path = vec![entries[at].process.clone()];
     while let Some(prev) = best[at].1 {
         critical_path.push(entries[prev].process.clone());
@@ -170,7 +179,10 @@ mod tests {
     }
 
     fn run_iri(run_id: &str) -> Iri {
-        Iri::new_unchecked(format!("{}workflow-run", provbench_taverna::run_base_iri(run_id)))
+        Iri::new_unchecked(format!(
+            "{}workflow-run",
+            provbench_taverna::run_base_iri(run_id)
+        ))
     }
 
     #[test]
@@ -178,8 +190,12 @@ mod tests {
         let c = corpus();
         let trace = c.traces_of(System::Taverna).next().unwrap();
         let tl = timeline_of(&trace.union_graph(), &run_iri(&trace.run_id)).unwrap();
-        let executed =
-            trace.run.processes.iter().filter(|p| p.started_ms.is_some()).count();
+        let executed = trace
+            .run
+            .processes
+            .iter()
+            .filter(|p| p.started_ms.is_some())
+            .count();
         assert_eq!(tl.entries.len(), executed);
         assert!(tl.makespan_ms > 0);
         assert!(tl.total_work_ms() >= tl.makespan_ms || tl.entries.len() == 1);
@@ -209,11 +225,9 @@ mod tests {
                 );
             }
             // Path duration is ≤ makespan and dominates any single entry.
-            let path_work: i64 =
-                tl.critical_path.iter().map(|p| entry(p).duration_ms).sum();
+            let path_work: i64 = tl.critical_path.iter().map(|p| entry(p).duration_ms).sum();
             assert!(path_work <= tl.makespan_ms);
-            let longest_single =
-                tl.entries.iter().map(|e| e.duration_ms).max().unwrap();
+            let longest_single = tl.entries.iter().map(|e| e.duration_ms).max().unwrap();
             assert!(path_work >= longest_single);
         }
     }

@@ -28,11 +28,9 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("inference");
     group.sample_size(10);
     for (triples, g) in &graphs {
-        group.bench_with_input(
-            BenchmarkId::new("schema_only", triples),
-            g,
-            |b, g| b.iter(|| black_box(apply_inference(g, &InferenceRules::schema_only()))),
-        );
+        group.bench_with_input(BenchmarkId::new("schema_only", triples), g, |b, g| {
+            b.iter(|| black_box(apply_inference(g, &InferenceRules::schema_only())))
+        });
         group.bench_with_input(BenchmarkId::new("all_rules", triples), g, |b, g| {
             b.iter(|| black_box(apply_inference(g, &InferenceRules::all())))
         });

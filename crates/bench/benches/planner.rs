@@ -32,8 +32,12 @@ fn bench(c: &mut Criterion) {
     let graph = corpus.combined_graph();
     let good = parse_query(GOOD_ORDER).expect("query parses");
     let bad = parse_query(BAD_ORDER).expect("query parses");
-    let on = EvalOptions { reorder_patterns: true };
-    let off = EvalOptions { reorder_patterns: false };
+    let on = EvalOptions {
+        reorder_patterns: true,
+    };
+    let off = EvalOptions {
+        reorder_patterns: false,
+    };
 
     // Sanity: all four configurations agree on the row count.
     let expected = execute_with_options(&graph, &good, &on).unwrap().len();
@@ -57,7 +61,10 @@ fn bench(c: &mut Criterion) {
     });
     group.finish();
 
-    println!("\n--- planner ablation: {expected} result rows over {} triples ---", graph.len());
+    println!(
+        "\n--- planner ablation: {expected} result rows over {} triples ---",
+        graph.len()
+    );
 }
 
 criterion_group!(benches, bench);

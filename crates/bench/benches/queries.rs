@@ -41,14 +41,33 @@ fn bench(c: &mut Criterion) {
     });
     group.finish();
 
-    println!("\n--- §4 exemplar query answers (bench corpus, {} triples) ---", graph.len());
+    println!(
+        "\n--- §4 exemplar query answers (bench corpus, {} triples) ---",
+        graph.len()
+    );
     println!("Q1: {} runs", q1_runs(&graph).len());
     let t = q2_template_runs(&graph, &template);
-    println!("Q2: template {} → {} runs, {} failed", template, t.runs.len(), t.failed);
-    println!("Q3: {} run-I/O rows", q3_template_run_io(&graph, &template).len());
-    println!("Q4: {} process runs for {}", q4_process_runs(&graph, &tav_run).len(), tav_trace.run_id);
+    println!(
+        "Q2: template {} → {} runs, {} failed",
+        template,
+        t.runs.len(),
+        t.failed
+    );
+    println!(
+        "Q3: {} run-I/O rows",
+        q3_template_run_io(&graph, &template).len()
+    );
+    println!(
+        "Q4: {} process runs for {}",
+        q4_process_runs(&graph, &tav_run).len(),
+        tav_trace.run_id
+    );
     println!("Q5: executed by {:?}", q5_executor(&graph, &tav_run));
-    println!("Q6: {} services for {}", q6_services(&graph, &account).len(), wings_trace.run_id);
+    println!(
+        "Q6: {} services for {}",
+        q6_services(&graph, &account).len(),
+        wings_trace.run_id
+    );
 }
 
 criterion_group!(benches, bench);

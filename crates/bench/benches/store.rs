@@ -34,9 +34,7 @@ fn bench(c: &mut Criterion) {
             b.iter(|| black_box(synthetic_graph(n)))
         });
         group.bench_with_input(BenchmarkId::new("indexed_sp_match", n), &n, |b, _| {
-            b.iter(|| {
-                black_box(g.triples_matching(Some(&s), Some(&p), None).count())
-            })
+            b.iter(|| black_box(g.triples_matching(Some(&s), Some(&p), None).count()))
         });
         group.bench_with_input(BenchmarkId::new("full_scan_sp_match", n), &n, |b, _| {
             b.iter(|| {

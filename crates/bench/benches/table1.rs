@@ -46,7 +46,10 @@ fn bench(c: &mut Criterion) {
 
     // Print the exhibit once so bench logs double as evidence.
     let stats = CorpusStats::compute(corpus);
-    println!("\n--- Table 1 (from the {}-run bench corpus) ---", stats.runs);
+    println!(
+        "\n--- Table 1 (from the {}-run bench corpus) ---",
+        stats.runs
+    );
     println!("{}", Table1::from_stats(&stats));
 }
 

@@ -31,14 +31,16 @@ struct Args {
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { seed: 42, payload: 0, save: None };
+    let mut args = Args {
+        seed: 42,
+        payload: 0,
+        save: None,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--seed" => args.seed = it.next().and_then(|v| v.parse().ok()).unwrap_or(42),
-            "--payload" => {
-                args.payload = it.next().and_then(|v| v.parse().ok()).unwrap_or(0)
-            }
+            "--payload" => args.payload = it.next().and_then(|v| v.parse().ok()).unwrap_or(0),
             "--save" => args.save = it.next(),
             other => {
                 eprintln!("unknown option {other:?}");
@@ -55,7 +57,11 @@ fn heading(s: &str) {
 
 fn main() {
     let args = parse_args();
-    let spec = CorpusSpec { seed: args.seed, value_payload: args.payload, ..CorpusSpec::default() };
+    let spec = CorpusSpec {
+        seed: args.seed,
+        value_payload: args.payload,
+        ..CorpusSpec::default()
+    };
 
     heading("Corpus generation (§2)");
     let t0 = Instant::now();
@@ -66,7 +72,10 @@ fn main() {
     println!("workflows            120      {}", stats.workflows);
     println!("runs                 198      {}", stats.runs);
     println!("failed runs          30       {}", stats.failed_runs);
-    println!("domains              12       {}", stats.domain_histogram.len());
+    println!(
+        "domains              12       {}",
+        stats.domain_histogram.len()
+    );
     println!(
         "size                 360 MB   {:.1} MB (payload {} B/artifact; shape, not bytes, is the target)",
         stats.serialized_bytes as f64 / (1024.0 * 1024.0),
@@ -107,16 +116,28 @@ fn main() {
     heading("Table 2: Coverage of Starting-point PROV Terms");
     println!("{:26} {:24} {:24}", "PROV Term", "paper", "measured");
     for (row, (_, paper)) in tables.starting_point.iter().zip(PAPER_TABLE_2) {
-        println!("{:26} {:24} {:24}", row.term.name, paper, row.support_cell());
+        println!(
+            "{:26} {:24} {:24}",
+            row.term.name,
+            paper,
+            row.support_cell()
+        );
     }
     heading("Table 3: Coverage of Additional PROV Terms (* = inferred)");
     println!("{:26} {:24} {:24}", "PROV Term", "paper", "measured");
     for (row, (_, paper)) in tables.additional.iter().zip(PAPER_TABLE_3) {
-        println!("{:26} {:24} {:24}", row.term.name, paper, row.support_cell());
+        println!(
+            "{:26} {:24} {:24}",
+            row.term.name,
+            paper,
+            row.support_cell()
+        );
     }
     let diffs = diff_against_paper(&tables);
     if diffs.is_empty() {
-        println!("\n✓ coverage matches the paper on all 17 terms (computed in {coverage_time:.2?})");
+        println!(
+            "\n✓ coverage matches the paper on all 17 terms (computed in {coverage_time:.2?})"
+        );
     } else {
         println!("\n✗ DEVIATIONS: {diffs:?}");
     }
@@ -169,7 +190,10 @@ fn main() {
     let execs = q5_executor(&graph, tav_run);
     println!(
         "Q5  executed by {:?}                        [{:.2?}]",
-        execs.iter().filter_map(|(_, n)| n.clone()).collect::<Vec<_>>(),
+        execs
+            .iter()
+            .filter_map(|(_, n)| n.clone())
+            .collect::<Vec<_>>(),
         t.elapsed()
     );
 

@@ -154,7 +154,13 @@ impl Corpus {
             })
         };
 
-        Corpus { spec: spec.clone(), plan, templates: catalog, descriptions, traces }
+        Corpus {
+            spec: spec.clone(),
+            plan,
+            templates: catalog,
+            descriptions,
+            traces,
+        }
     }
 
     /// All traces of one system.
@@ -164,7 +170,10 @@ impl Corpus {
 
     /// All traces of one template, in run order.
     pub fn runs_of_template(&self, template_name: &str) -> Vec<&TraceRecord> {
-        self.traces.iter().filter(|t| t.template_name == template_name).collect()
+        self.traces
+            .iter()
+            .filter(|t| t.template_name == template_name)
+            .collect()
     }
 
     /// Number of failed runs.
@@ -227,8 +236,13 @@ impl Corpus {
         for planned in &self.plan.runs {
             *per_template.entry(planned.template_index).or_default() += 1;
         }
-        let last_time =
-            self.plan.runs.iter().map(|r| r.started_at_ms).max().unwrap_or(0);
+        let last_time = self
+            .plan
+            .runs
+            .iter()
+            .map(|r| r.started_at_ms)
+            .max()
+            .unwrap_or(0);
         let w = self.templates.len();
         for k in 0..extra {
             let ti = k % w;
@@ -241,9 +255,7 @@ impl Corpus {
                 system: self.templates[ti].0,
                 run_number,
                 // New runs happen strictly after the original corpus.
-                started_at_ms: last_time
-                    + (k as i64 + 1) * 86_400_000
-                    + ti as i64 * 3_600_000,
+                started_at_ms: last_time + (k as i64 + 1) * 86_400_000 + ti as i64 * 3_600_000,
                 seed: self
                     .spec
                     .seed
@@ -330,8 +342,7 @@ mod tests {
             assert_eq!(a, b);
         }
         // New runs continue the per-template series without id clashes.
-        let mut ids: Vec<&str> =
-            extended.traces.iter().map(|t| t.run_id.as_str()).collect();
+        let mut ids: Vec<&str> = extended.traces.iter().map(|t| t.run_id.as_str()).collect();
         ids.sort();
         let before = ids.len();
         ids.dedup();

@@ -20,10 +20,9 @@ pub fn research_object_iri(template_name: &str) -> Iri {
 /// The aggregated resource IRI of one run's trace.
 pub fn trace_resource_iri(system: System, run_id: &str) -> Iri {
     match system {
-        System::Taverna => Iri::new_unchecked(format!(
-            "{}graph",
-            provbench_taverna::run_base_iri(run_id)
-        )),
+        System::Taverna => {
+            Iri::new_unchecked(format!("{}graph", provbench_taverna::run_base_iri(run_id)))
+        }
         System::Wings => provbench_wings::account_iri(run_id),
     }
 }
@@ -38,7 +37,11 @@ pub fn research_object_for(corpus: &Corpus, template_name: &str) -> Option<Graph
         .find(|(_, t)| t.name == template_name)?;
     let mut g = Graph::new();
     let ro_iri = research_object_iri(template_name);
-    g.insert(Triple::new(ro_iri.clone(), vocab::rdf_type(), ro::research_object()));
+    g.insert(Triple::new(
+        ro_iri.clone(),
+        vocab::rdf_type(),
+        ro::research_object(),
+    ));
     g.insert(Triple::new(
         ro_iri.clone(),
         dcterms::title(),
@@ -66,10 +69,22 @@ pub fn research_object_for(corpus: &Corpus, template_name: &str) -> Option<Graph
     // Every run trace, with an annotation pointing back at the workflow.
     for (i, trace) in corpus.runs_of_template(template_name).iter().enumerate() {
         let resource = trace_resource_iri(trace.system, &trace.run_id);
-        g.insert(Triple::new(ro_iri.clone(), ro::aggregates(), resource.clone()));
-        g.insert(Triple::new(resource.clone(), vocab::rdf_type(), ro::resource()));
+        g.insert(Triple::new(
+            ro_iri.clone(),
+            ro::aggregates(),
+            resource.clone(),
+        ));
+        g.insert(Triple::new(
+            resource.clone(),
+            vocab::rdf_type(),
+            ro::resource(),
+        ));
         let ann = Iri::new_unchecked(format!("{}/annotation/{}", ro_iri.as_str(), i));
-        g.insert(Triple::new(ann.clone(), vocab::rdf_type(), ro::aggregated_annotation()));
+        g.insert(Triple::new(
+            ann.clone(),
+            vocab::rdf_type(),
+            ro::aggregated_annotation(),
+        ));
         g.insert(Triple::new(
             ann.clone(),
             ro::annotates_aggregated_resource(),
@@ -85,9 +100,7 @@ pub fn corpus_research_objects(corpus: &Corpus) -> Vec<(String, Graph)> {
     corpus
         .templates
         .iter()
-        .filter_map(|(_, t)| {
-            research_object_for(corpus, &t.name).map(|g| (t.name.clone(), g))
-        })
+        .filter_map(|(_, t)| research_object_for(corpus, &t.name).map(|g| (t.name.clone(), g)))
         .collect()
 }
 
@@ -120,7 +133,8 @@ mod tests {
         // Annotations link each trace to the workflow.
         let anns: Term = ro::aggregated_annotation().into();
         assert_eq!(
-            g.triples_matching(None, Some(&vocab::rdf_type()), Some(&anns)).count(),
+            g.triples_matching(None, Some(&vocab::rdf_type()), Some(&anns))
+                .count(),
             c.runs_of_template(name).len()
         );
     }

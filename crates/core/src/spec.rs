@@ -207,7 +207,10 @@ mod tests {
                 .filter(|r| r.template_index == ti)
                 .map(|r| r.started_at_ms)
                 .collect();
-            assert!(times.windows(2).all(|w| w[0] < w[1]), "template {ti} unordered");
+            assert!(
+                times.windows(2).all(|w| w[0] < w[1]),
+                "template {ti} unordered"
+            );
         }
     }
 
@@ -250,7 +253,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "must cover")]
     fn too_few_runs_panics() {
-        let spec = CorpusSpec { total_runs: 5, ..CorpusSpec::default() };
+        let spec = CorpusSpec {
+            total_runs: 5,
+            ..CorpusSpec::default()
+        };
         let catalog = generate_catalog(spec.seed);
         RunPlan::build(&spec, &catalog);
     }

@@ -68,11 +68,16 @@ impl CorpusStats {
 
         let mut domain_histogram: Vec<DomainRow> = DOMAINS
             .iter()
-            .map(|d| DomainRow { name: d.name.to_owned(), taverna: 0, wings: 0 })
+            .map(|d| DomainRow {
+                name: d.name.to_owned(),
+                taverna: 0,
+                wings: 0,
+            })
             .collect();
         for (system, template) in &corpus.templates {
-            if let Some(row) =
-                domain_histogram.iter_mut().find(|r| r.name == template.domain)
+            if let Some(row) = domain_histogram
+                .iter_mut()
+                .find(|r| r.name == template.domain)
             {
                 match system {
                     System::Taverna => row.taverna += 1,
@@ -172,7 +177,11 @@ pub fn void_description(stats: &CorpusStats) -> provbench_rdf::Graph {
         dcterms::license(),
         Iri::new_unchecked("http://creativecommons.org/licenses/by/3.0/").into(),
     ));
-    g.insert(t(ds.clone(), void::triples(), Literal::integer(stats.triples as i64).into()));
+    g.insert(t(
+        ds.clone(),
+        void::triples(),
+        Literal::integer(stats.triples as i64).into(),
+    ));
     g.insert(t(
         ds.clone(),
         void::entities(),
@@ -190,7 +199,11 @@ pub fn void_description(stats: &CorpusStats) -> provbench_rdf::Graph {
         provbench_vocab::opmw::NS,
         provbench_vocab::ro::NS,
     ] {
-        g.insert(t(ds.clone(), void::vocabulary(), Iri::new_unchecked(vocabulary).into()));
+        g.insert(t(
+            ds.clone(),
+            void::vocabulary(),
+            Iri::new_unchecked(vocabulary).into(),
+        ));
     }
     // Subsets: one per system.
     for (name, runs) in [
@@ -289,6 +302,9 @@ mod tests {
         let small = CorpusStats::compute(&Corpus::generate(&spec)).serialized_bytes;
         spec.value_payload = 10_000;
         let big = CorpusStats::compute(&Corpus::generate(&spec)).serialized_bytes;
-        assert!(big > small * 5, "payload must dominate size ({small} -> {big})");
+        assert!(
+            big > small * 5,
+            "payload must dominate size ({small} -> {big})"
+        );
     }
 }

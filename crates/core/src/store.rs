@@ -3,7 +3,9 @@
 //! repository (a directory per system, a directory per workflow).
 
 use crate::generate::{Corpus, TraceRecord};
-use provbench_rdf::{parse_trig, parse_turtle, write_trig, write_turtle, Dataset, Graph, PrefixMap};
+use provbench_rdf::{
+    parse_trig, parse_turtle, write_trig, write_turtle, Dataset, Graph, PrefixMap,
+};
 use provbench_workflow::System;
 use std::fs;
 use std::io;
@@ -93,11 +95,14 @@ pub fn save(corpus: &Corpus, dir: &Path) -> io::Result<SavedCorpus> {
         write_turtle(&crate::stats::void_description(&stats), &prefixes),
     )?;
 
-    for ((system, template), description) in
-        corpus.templates.iter().zip(&corpus.descriptions)
-    {
-        let sysdir = dir.join(system.name().to_ascii_lowercase()).join(&template.name);
-        write(sysdir.join(description_file(*system)), serialize_description(description))?;
+    for ((system, template), description) in corpus.templates.iter().zip(&corpus.descriptions) {
+        let sysdir = dir
+            .join(system.name().to_ascii_lowercase())
+            .join(&template.name);
+        write(
+            sysdir.join(description_file(*system)),
+            serialize_description(description),
+        )?;
     }
     for trace in &corpus.traces {
         let sysdir = dir
@@ -158,7 +163,10 @@ impl LoadedCorpus {
 }
 
 fn parse_error(path: &Path, e: impl std::fmt::Display) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, format!("{}: {e}", path.display()))
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("{}: {e}", path.display()),
+    )
 }
 
 /// Load a corpus directory written by [`save`].
@@ -176,8 +184,11 @@ pub fn load(dir: &Path) -> io::Result<LoadedCorpus> {
             .collect();
         template_dirs.sort();
         for tdir in template_dirs {
-            let template_name =
-                tdir.file_name().and_then(|n| n.to_str()).unwrap_or_default().to_owned();
+            let template_name = tdir
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or_default()
+                .to_owned();
             let mut entries: Vec<PathBuf> = fs::read_dir(&tdir)?
                 .filter_map(|e| e.ok())
                 .map(|e| e.path())
@@ -185,15 +196,16 @@ pub fn load(dir: &Path) -> io::Result<LoadedCorpus> {
                 .collect();
             entries.sort();
             for path in entries {
-                let name = path.file_name().and_then(|n| n.to_str()).unwrap_or_default();
+                let name = path
+                    .file_name()
+                    .and_then(|n| n.to_str())
+                    .unwrap_or_default();
                 let content = fs::read_to_string(&path)?;
                 if name == description_file(system) {
-                    let (g, _) =
-                        parse_turtle(&content).map_err(|e| parse_error(&path, e))?;
+                    let (g, _) = parse_turtle(&content).map_err(|e| parse_error(&path, e))?;
                     out.descriptions.push(g);
                 } else if name.ends_with(".prov.ttl") {
-                    let (g, _) =
-                        parse_turtle(&content).map_err(|e| parse_error(&path, e))?;
+                    let (g, _) = parse_turtle(&content).map_err(|e| parse_error(&path, e))?;
                     let mut ds = Dataset::new();
                     *ds.default_graph_mut() = g;
                     out.traces.push(LoadedTrace {
@@ -203,8 +215,7 @@ pub fn load(dir: &Path) -> io::Result<LoadedCorpus> {
                         dataset: ds,
                     });
                 } else if name.ends_with(".prov.trig") {
-                    let (ds, _) =
-                        parse_trig(&content).map_err(|e| parse_error(&path, e))?;
+                    let (ds, _) = parse_trig(&content).map_err(|e| parse_error(&path, e))?;
                     out.traces.push(LoadedTrace {
                         run_id: name.trim_end_matches(".prov.trig").to_owned(),
                         system,
@@ -224,7 +235,8 @@ mod tests {
     use crate::spec::CorpusSpec;
 
     fn tmpdir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!("provbench-store-{tag}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("provbench-store-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
     }

@@ -1,0 +1,113 @@
+//! Baseline suppression: a committed list of diagnostic fingerprints that
+//! are accepted for now. Linting subtracts the baseline, so CI fails only
+//! on *new* findings.
+//!
+//! The file format is one fingerprint per line; everything after the
+//! first whitespace is a comment (the writer emits a human-readable
+//! locator there), as are blank lines and lines starting with `#`.
+
+use crate::runner::FileReport;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// Parse baseline text into the set of suppressed fingerprints.
+pub fn parse_baseline(text: &str) -> BTreeSet<String> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .filter_map(|l| l.split_whitespace().next())
+        .map(str::to_owned)
+        .collect()
+}
+
+/// Render a baseline file accepting every current diagnostic, sorted so
+/// regeneration is reproducible.
+pub fn format_baseline(reports: &[FileReport]) -> String {
+    let mut lines: BTreeSet<String> = BTreeSet::new();
+    for report in reports {
+        for d in &report.diagnostics {
+            let mut line = String::new();
+            let _ = write!(line, "{} # {}", d.fingerprint(), d.rule.slug);
+            if let Some(file) = &d.file {
+                let _ = write!(line, " {file}");
+            }
+            lines.insert(line);
+        }
+    }
+    let mut out = String::from(
+        "# provbench lint baseline: one accepted-finding fingerprint per line.\n\
+         # Regenerate with `provbench lint --write-baseline <this file> <path>`.\n",
+    );
+    for line in lines {
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+/// Drop every diagnostic whose fingerprint is in `baseline`; returns how
+/// many were suppressed.
+pub fn apply_baseline(reports: &mut [FileReport], baseline: &BTreeSet<String>) -> usize {
+    let mut suppressed = 0usize;
+    for report in reports {
+        let before = report.diagnostics.len();
+        report
+            .diagnostics
+            .retain(|d| !baseline.contains(&d.fingerprint()));
+        suppressed += before - report.diagnostics.len();
+    }
+    suppressed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostic::{Diagnostic, RuleInfo, Severity};
+
+    static RULE: RuleInfo = RuleInfo {
+        id: "PB9998",
+        slug: "test/baseline",
+        severity: Severity::Error,
+        summary: "test rule",
+    };
+
+    fn report() -> FileReport {
+        FileReport {
+            path: "a.ttl".into(),
+            diagnostics: vec![
+                Diagnostic::new(&RULE, "first").with_file("a.ttl"),
+                Diagnostic::new(&RULE, "second").with_file("a.ttl"),
+            ],
+        }
+    }
+
+    #[test]
+    fn baseline_roundtrip_suppresses_everything() {
+        let reports = vec![report()];
+        let text = format_baseline(&reports);
+        assert!(text.starts_with('#'));
+        let baseline = parse_baseline(&text);
+        assert_eq!(baseline.len(), 2);
+        let mut reports = reports;
+        let suppressed = apply_baseline(&mut reports, &baseline);
+        assert_eq!(suppressed, 2);
+        assert!(reports[0].diagnostics.is_empty());
+    }
+
+    #[test]
+    fn partial_baseline_keeps_new_findings() {
+        let mut reports = vec![report()];
+        let only_first = parse_baseline(&reports[0].diagnostics[0].fingerprint());
+        let suppressed = apply_baseline(&mut reports, &only_first);
+        assert_eq!(suppressed, 1);
+        assert_eq!(reports[0].diagnostics.len(), 1);
+        assert_eq!(reports[0].diagnostics[0].message, "second");
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let baseline = parse_baseline("# comment\n\n  PB0001-abc # trailing words\n");
+        assert!(baseline.contains("PB0001-abc"));
+        assert_eq!(baseline.len(), 1);
+    }
+}

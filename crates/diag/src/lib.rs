@@ -1,0 +1,33 @@
+//! `provbench-diag` — the corpus static-analysis engine ("provlint").
+//!
+//! This crate unifies every check the workbench can run over a corpus
+//! file — W3C PROV-CONSTRAINTS validation, Taverna/Wings profile lints,
+//! and vocabulary coverage — behind one [`Rule`] registry that produces
+//! uniform [`Diagnostic`]s with stable `PB0xxx` rule IDs and, where the
+//! parser recorded them, line/column [`Span`](provbench_rdf::Span)s.
+//!
+//! The pipeline is:
+//!
+//! 1. [`runner`] discovers `.ttl`/`.trig`/`.nt` files, parses each with
+//!    span recording on, and runs the [`Registry`] over a
+//!    [`FileContext`] — in parallel, with deterministic output order.
+//! 2. [`baseline`] subtracts a committed set of accepted-finding
+//!    fingerprints so CI fails only on *new* findings.
+//! 3. [`render`] serializes the surviving reports as human text, JSON
+//!    Lines, or SARIF 2.1.0.
+
+pub mod baseline;
+pub mod diagnostic;
+pub mod json;
+pub mod render;
+pub mod rules;
+pub mod runner;
+
+pub use baseline::{apply_baseline, format_baseline, parse_baseline};
+pub use diagnostic::{Diagnostic, RuleInfo, Severity};
+pub use render::{render_jsonl, render_sarif, render_text};
+pub use rules::{FileContext, Registry, Rule};
+pub use runner::{
+    collect_rdf_files, default_jobs, detect_system, lint_content, lint_files, lint_path,
+    severity_counts, FileReport,
+};

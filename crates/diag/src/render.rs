@@ -1,0 +1,186 @@
+//! Renderers: human-readable text, JSON Lines, and SARIF 2.1.0.
+
+use crate::diagnostic::Diagnostic;
+use crate::json::Json;
+use crate::rules::Registry;
+use crate::runner::FileReport;
+use std::fmt::Write as _;
+
+/// One `file:line:col: severity: message [PBxxxx]` line per diagnostic,
+/// followed by a summary line.
+pub fn render_text(reports: &[FileReport]) -> String {
+    let mut out = String::new();
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    let mut infos = 0usize;
+    for report in reports {
+        for d in &report.diagnostics {
+            match d.severity {
+                crate::Severity::Error => errors += 1,
+                crate::Severity::Warning => warnings += 1,
+                crate::Severity::Info => infos += 1,
+            }
+            let _ = writeln!(out, "{d}");
+        }
+    }
+    let files = reports.len();
+    let _ = writeln!(
+        out,
+        "{files} file{} checked: {errors} error{}, {warnings} warning{}, {infos} info{}",
+        plural(files),
+        plural(errors),
+        plural(warnings),
+        plural(infos),
+    );
+    out
+}
+
+fn plural(n: usize) -> &'static str {
+    if n == 1 {
+        ""
+    } else {
+        "s"
+    }
+}
+
+fn diagnostic_json(d: &Diagnostic) -> Json {
+    let mut members = vec![
+        ("rule".into(), Json::str(d.rule.id)),
+        ("slug".into(), Json::str(d.rule.slug)),
+        ("severity".into(), Json::str(d.severity.name())),
+        ("message".into(), Json::str(&d.message)),
+        ("fingerprint".into(), Json::str(d.fingerprint())),
+    ];
+    if let Some(file) = &d.file {
+        members.push(("file".into(), Json::str(file)));
+    }
+    if let Some(span) = &d.span {
+        members.push(("line".into(), Json::int(span.line)));
+        members.push(("column".into(), Json::int(span.column)));
+        members.push(("endLine".into(), Json::int(span.end_line)));
+        members.push(("endColumn".into(), Json::int(span.end_column)));
+    }
+    if let Some(node) = &d.node {
+        members.push(("node".into(), Json::str(node.as_str())));
+    }
+    Json::Obj(members)
+}
+
+/// One compact JSON object per diagnostic, one per line (JSON Lines).
+pub fn render_jsonl(reports: &[FileReport]) -> String {
+    let mut out = String::new();
+    for report in reports {
+        for d in &report.diagnostics {
+            out.push_str(&diagnostic_json(d).to_compact());
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// The tool version reported in SARIF output.
+const TOOL_VERSION: &str = env!("CARGO_PKG_VERSION");
+
+/// A SARIF 2.1.0 log: one run, the full rule catalog, one result per
+/// diagnostic with a physical location when a span is known.
+pub fn render_sarif(reports: &[FileReport], registry: &Registry) -> String {
+    let infos = registry.rule_infos();
+    let rules: Vec<Json> = infos
+        .iter()
+        .map(|info| {
+            Json::Obj(vec![
+                ("id".into(), Json::str(info.id)),
+                ("name".into(), Json::str(info.slug)),
+                (
+                    "shortDescription".into(),
+                    Json::Obj(vec![("text".into(), Json::str(info.summary))]),
+                ),
+                (
+                    "defaultConfiguration".into(),
+                    Json::Obj(vec![(
+                        "level".into(),
+                        Json::str(info.severity.sarif_level()),
+                    )]),
+                ),
+            ])
+        })
+        .collect();
+    let mut results = Vec::new();
+    for report in reports {
+        for d in &report.diagnostics {
+            let rule_index = infos.iter().position(|i| i.id == d.rule.id).unwrap_or(0);
+            let mut result = vec![
+                ("ruleId".into(), Json::str(d.rule.id)),
+                ("ruleIndex".into(), Json::int(rule_index)),
+                ("level".into(), Json::str(d.severity.sarif_level())),
+                (
+                    "message".into(),
+                    Json::Obj(vec![("text".into(), Json::str(&d.message))]),
+                ),
+            ];
+            let mut physical = vec![(
+                "artifactLocation".into(),
+                Json::Obj(vec![(
+                    "uri".into(),
+                    Json::str(d.file.as_deref().unwrap_or(&report.path)),
+                )]),
+            )];
+            if let Some(span) = &d.span {
+                physical.push((
+                    "region".into(),
+                    Json::Obj(vec![
+                        ("startLine".into(), Json::int(span.line)),
+                        ("startColumn".into(), Json::int(span.column)),
+                        ("endLine".into(), Json::int(span.end_line)),
+                        ("endColumn".into(), Json::int(span.end_column)),
+                    ]),
+                ));
+            }
+            result.push((
+                "locations".into(),
+                Json::Arr(vec![Json::Obj(vec![(
+                    "physicalLocation".into(),
+                    Json::Obj(physical),
+                )])]),
+            ));
+            result.push((
+                "partialFingerprints".into(),
+                Json::Obj(vec![(
+                    "provbenchFingerprint/v1".into(),
+                    Json::str(d.fingerprint()),
+                )]),
+            ));
+            results.push(Json::Obj(result));
+        }
+    }
+    let log = Json::Obj(vec![
+        (
+            "$schema".into(),
+            Json::str("https://json.schemastore.org/sarif-2.1.0.json"),
+        ),
+        ("version".into(), Json::str("2.1.0")),
+        (
+            "runs".into(),
+            Json::Arr(vec![Json::Obj(vec![
+                (
+                    "tool".into(),
+                    Json::Obj(vec![(
+                        "driver".into(),
+                        Json::Obj(vec![
+                            ("name".into(), Json::str("provbench-lint")),
+                            (
+                                "informationUri".into(),
+                                Json::str("https://github.com/provbench/provbench-rs"),
+                            ),
+                            ("version".into(), Json::str(TOOL_VERSION)),
+                            ("rules".into(), Json::Arr(rules)),
+                        ]),
+                    )]),
+                ),
+                ("columnKind".into(), Json::str("utf16CodeUnits")),
+                ("results".into(), Json::Arr(results)),
+            ])]),
+        ),
+    ]);
+    log.to_compact()
+}

@@ -1,0 +1,443 @@
+//! W3C PROV-CONSTRAINTS rules: the existing validator mapped onto stable
+//! rule ids, plus an event-precedence network (PB0107) and the
+//! entity/activity disjointness typing check (PB0108).
+
+use super::{FileContext, Rule};
+use crate::diagnostic::{Diagnostic, RuleInfo, Severity};
+use provbench_prov::constraints::{validate, Violation};
+use provbench_rdf::{Iri, Subject, Term};
+use provbench_vocab::{prov, rdf_type};
+use std::collections::BTreeMap;
+
+/// `PB0101` — `prov:endedAtTime` precedes `prov:startedAtTime`.
+pub static ENDS_BEFORE_START: RuleInfo = RuleInfo {
+    id: "PB0101",
+    slug: "prov/ends-before-start",
+    severity: Severity::Error,
+    summary: "an activity's end time precedes its start time",
+};
+
+/// `PB0102` — an entity is used before it was generated.
+pub static USAGE_BEFORE_GENERATION: RuleInfo = RuleInfo {
+    id: "PB0102",
+    slug: "prov/usage-before-generation",
+    severity: Severity::Error,
+    summary: "an entity is used by an activity that ended before the generating activity started",
+};
+
+/// `PB0103` — more than one independent generating activity.
+pub static MULTIPLE_GENERATION: RuleInfo = RuleInfo {
+    id: "PB0103",
+    slug: "prov/multiple-generation",
+    severity: Severity::Error,
+    summary: "an entity has more than one independent generating activity",
+};
+
+/// `PB0104` — `prov:wasDerivedFrom` cycle.
+pub static DERIVATION_CYCLE: RuleInfo = RuleInfo {
+    id: "PB0104",
+    slug: "prov/derivation-cycle",
+    severity: Severity::Error,
+    summary: "the derivation relation contains a cycle",
+};
+
+/// `PB0105` — an entity derived from itself.
+pub static SELF_DERIVATION: RuleInfo = RuleInfo {
+    id: "PB0105",
+    slug: "prov/self-derivation",
+    severity: Severity::Error,
+    summary: "an entity is prov:wasDerivedFrom itself",
+};
+
+/// `PB0106` — an activity informed by itself.
+pub static SELF_COMMUNICATION: RuleInfo = RuleInfo {
+    id: "PB0106",
+    slug: "prov/self-communication",
+    severity: Severity::Error,
+    summary: "an activity is prov:wasInformedBy itself",
+};
+
+/// `PB0107` — a temporally impossible cycle in the event-precedence
+/// network (mixing derivation with generation/usage/start constraints).
+pub static EVENT_ORDERING_CYCLE: RuleInfo = RuleInfo {
+    id: "PB0107",
+    slug: "prov/event-ordering-cycle",
+    severity: Severity::Error,
+    summary: "generation/usage/start/derivation constraints form a temporally impossible cycle",
+};
+
+/// `PB0108` — a node typed both `prov:Entity` and `prov:Activity`.
+pub static ENTITY_ACTIVITY_DISJOINT: RuleInfo = RuleInfo {
+    id: "PB0108",
+    slug: "prov/entity-activity-disjoint",
+    severity: Severity::Error,
+    summary: "a node is typed both prov:Entity and prov:Activity (disjoint classes)",
+};
+
+/// PB0101–PB0106: the `provbench-prov` PROV-CONSTRAINTS validator,
+/// re-reported with rule ids and source spans.
+pub struct ProvConstraints;
+
+static PROV_CONSTRAINT_RULES: &[&RuleInfo] = &[
+    &ENDS_BEFORE_START,
+    &USAGE_BEFORE_GENERATION,
+    &MULTIPLE_GENERATION,
+    &DERIVATION_CYCLE,
+    &SELF_DERIVATION,
+    &SELF_COMMUNICATION,
+];
+
+impl Rule for ProvConstraints {
+    fn name(&self) -> &'static str {
+        "prov-constraints"
+    }
+
+    fn rules(&self) -> &'static [&'static RuleInfo] {
+        PROV_CONSTRAINT_RULES
+    }
+
+    fn check(&self, cx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
+        for violation in validate(cx.graph) {
+            out.push(match &violation {
+                Violation::ActivityEndsBeforeStart { activity } => cx
+                    .diag(&ENDS_BEFORE_START, violation.to_string())
+                    .with_node(activity.clone())
+                    .with_span(cx.pattern_span(
+                        Some(&Subject::Iri(activity.clone())),
+                        Some(&prov::ended_at_time()),
+                        None,
+                    )),
+                Violation::UsageBeforeGeneration { entity, user, .. } => cx
+                    .diag(&USAGE_BEFORE_GENERATION, violation.to_string())
+                    .with_node(entity.clone())
+                    .with_span(cx.pattern_span(
+                        Some(&Subject::Iri(user.clone())),
+                        Some(&prov::used()),
+                        Some(&Term::Iri(entity.clone())),
+                    )),
+                Violation::MultipleGeneration { entity, .. } => cx
+                    .diag(&MULTIPLE_GENERATION, violation.to_string())
+                    .with_node(entity.clone())
+                    .with_span(cx.pattern_span(
+                        Some(&Subject::Iri(entity.clone())),
+                        Some(&prov::was_generated_by()),
+                        None,
+                    )),
+                Violation::DerivationCycle { entity } => cx
+                    .diag(&DERIVATION_CYCLE, violation.to_string())
+                    .with_node(entity.clone())
+                    .with_span(cx.pattern_span(
+                        Some(&Subject::Iri(entity.clone())),
+                        Some(&prov::was_derived_from()),
+                        None,
+                    )),
+                Violation::SelfDerivation { entity } => cx
+                    .diag(&SELF_DERIVATION, violation.to_string())
+                    .with_node(entity.clone())
+                    .with_span(cx.pattern_span(
+                        Some(&Subject::Iri(entity.clone())),
+                        Some(&prov::was_derived_from()),
+                        Some(&Term::Iri(entity.clone())),
+                    )),
+                Violation::SelfCommunication { activity } => cx
+                    .diag(&SELF_COMMUNICATION, violation.to_string())
+                    .with_node(activity.clone())
+                    .with_span(cx.pattern_span(
+                        Some(&Subject::Iri(activity.clone())),
+                        Some(&prov::was_informed_by()),
+                        Some(&Term::Iri(activity.clone())),
+                    )),
+            });
+        }
+    }
+}
+
+/// PB0107: build the event-precedence network PROV-CONSTRAINTS defines
+/// over generation/usage/start/end events and look for strongly connected
+/// components that contain a *strict* precedence — those are satisfiable
+/// by no timeline. Pure derivation cycles are left to PB0104.
+pub struct EventOrdering;
+
+/// One event in the precedence network.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum Event {
+    /// The start event of an activity.
+    Start(Iri),
+    /// The end event of an activity.
+    End(Iri),
+    /// The (assumed unique) generation event of an entity.
+    Gen(Iri),
+}
+
+struct EventGraph {
+    nodes: Vec<Event>,
+    index: BTreeMap<Event, usize>,
+    /// `(from, to, strict, derivation)` — `strict` means `<` not `≤`.
+    edges: Vec<(usize, usize, bool, bool)>,
+}
+
+impl EventGraph {
+    fn new() -> Self {
+        EventGraph {
+            nodes: Vec::new(),
+            index: BTreeMap::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    fn node(&mut self, e: Event) -> usize {
+        if let Some(&i) = self.index.get(&e) {
+            return i;
+        }
+        let i = self.nodes.len();
+        self.nodes.push(e.clone());
+        self.index.insert(e, i);
+        i
+    }
+
+    fn edge(&mut self, from: Event, to: Event, strict: bool, derivation: bool) {
+        let f = self.node(from);
+        let t = self.node(to);
+        self.edges.push((f, t, strict, derivation));
+    }
+}
+
+fn build_event_graph(cx: &FileContext<'_>) -> EventGraph {
+    let g = cx.graph;
+    let mut eg = EventGraph::new();
+    // wasGeneratedBy(e, a): start(a) ≤ gen(e) ≤ end(a).
+    for t in g.triples_matching(None, Some(&prov::was_generated_by()), None) {
+        if let (Subject::Iri(e), Term::Iri(a)) = (&t.subject, &t.object) {
+            eg.edge(Event::Start(a.clone()), Event::Gen(e.clone()), false, false);
+            eg.edge(Event::Gen(e.clone()), Event::End(a.clone()), false, false);
+        }
+    }
+    // used(a, e): gen(e) ≤ end(a) (generation precedes any usage, and
+    // usage happens within the activity's interval).
+    for t in g.triples_matching(None, Some(&prov::used()), None) {
+        if let (Subject::Iri(a), Term::Iri(e)) = (&t.subject, &t.object) {
+            eg.edge(Event::Gen(e.clone()), Event::End(a.clone()), false, false);
+        }
+    }
+    // wasDerivedFrom(d, s): gen(s) strictly precedes gen(d). Self-loops
+    // are PB0105's business.
+    for t in g.triples_matching(None, Some(&prov::was_derived_from()), None) {
+        if let (Subject::Iri(d), Term::Iri(s)) = (&t.subject, &t.object) {
+            if d != s {
+                eg.edge(Event::Gen(s.clone()), Event::Gen(d.clone()), true, true);
+            }
+        }
+    }
+    // wasInformedBy(b, a): start(a) ≤ end(b).
+    for t in g.triples_matching(None, Some(&prov::was_informed_by()), None) {
+        if let (Subject::Iri(b), Term::Iri(a)) = (&t.subject, &t.object) {
+            if b != a {
+                eg.edge(Event::Start(a.clone()), Event::End(b.clone()), false, false);
+            }
+        }
+    }
+    // wasStartedBy(a, e): the trigger entity exists before the activity
+    // starts — gen(e) ≤ start(a). This is the edge that lets derivation
+    // contradictions surface without an explicit derivation cycle.
+    for t in g.triples_matching(None, Some(&prov::was_started_by()), None) {
+        if let (Subject::Iri(a), Term::Iri(e)) = (&t.subject, &t.object) {
+            eg.edge(Event::Gen(e.clone()), Event::Start(a.clone()), false, false);
+        }
+    }
+    // wasEndedBy(a, e): gen(e) ≤ end(a).
+    for t in g.triples_matching(None, Some(&prov::was_ended_by()), None) {
+        if let (Subject::Iri(a), Term::Iri(e)) = (&t.subject, &t.object) {
+            eg.edge(Event::Gen(e.clone()), Event::End(a.clone()), false, false);
+        }
+    }
+    // Interval sanity: start(a) ≤ end(a) for every activity seen above.
+    let activities: Vec<Iri> = eg
+        .nodes
+        .iter()
+        .filter_map(|n| match n {
+            Event::Start(a) | Event::End(a) => Some(a.clone()),
+            Event::Gen(_) => None,
+        })
+        .collect();
+    for a in activities {
+        eg.edge(Event::Start(a.clone()), Event::End(a), false, false);
+    }
+    eg
+}
+
+/// Strongly connected components by iterative Tarjan; returns the
+/// component id of every node.
+fn scc_ids(n: usize, adjacency: &[Vec<usize>]) -> Vec<usize> {
+    let mut ids = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut num = vec![usize::MAX; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_num = 0usize;
+    let mut next_id = 0usize;
+    for root in 0..n {
+        if num[root] != usize::MAX {
+            continue;
+        }
+        // (node, next child index)
+        let mut call: Vec<(usize, usize)> = vec![(root, 0)];
+        num[root] = next_num;
+        low[root] = next_num;
+        next_num += 1;
+        stack.push(root);
+        on_stack[root] = true;
+        while let Some(frame) = call.last_mut() {
+            let v = frame.0;
+            if frame.1 < adjacency[v].len() {
+                let w = adjacency[v][frame.1];
+                frame.1 += 1;
+                if num[w] == usize::MAX {
+                    num[w] = next_num;
+                    low[w] = next_num;
+                    next_num += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    call.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(num[w]);
+                }
+            } else {
+                call.pop();
+                if let Some(&(parent, _)) = call.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == num[v] {
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        ids[w] = next_id;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    next_id += 1;
+                }
+            }
+        }
+    }
+    ids
+}
+
+impl Rule for EventOrdering {
+    fn name(&self) -> &'static str {
+        "event-ordering"
+    }
+
+    fn rules(&self) -> &'static [&'static RuleInfo] {
+        static RULES: &[&RuleInfo] = &[&EVENT_ORDERING_CYCLE];
+        RULES
+    }
+
+    fn check(&self, cx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
+        let eg = build_event_graph(cx);
+        let n = eg.nodes.len();
+        if n == 0 {
+            return;
+        }
+        let mut adjacency = vec![Vec::new(); n];
+        for &(f, t, _, _) in &eg.edges {
+            adjacency[f].push(t);
+        }
+        let ids = scc_ids(n, &adjacency);
+        // Group internal edges per component.
+        let mut strict_in: BTreeMap<usize, bool> = BTreeMap::new();
+        let mut mixed_in: BTreeMap<usize, bool> = BTreeMap::new();
+        for &(f, t, strict, derivation) in &eg.edges {
+            if ids[f] == ids[t] {
+                *strict_in.entry(ids[f]).or_default() |= strict;
+                *mixed_in.entry(ids[f]).or_default() |= !derivation;
+            }
+        }
+        for (component, strict) in strict_in {
+            // A cycle is impossible only if it contains a strict edge; a
+            // purely-derivational cycle is already PB0104.
+            if !strict || !mixed_in.get(&component).copied().unwrap_or(false) {
+                continue;
+            }
+            // Deterministic representative: smallest entity in the
+            // component, preferring generation events.
+            let representative = eg
+                .nodes
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| ids[*i] == component)
+                .map(|(_, e)| match e {
+                    Event::Gen(x) => (0u8, x.clone()),
+                    Event::Start(x) => (1, x.clone()),
+                    Event::End(x) => (2, x.clone()),
+                })
+                .min()
+                .expect("non-empty component")
+                .1;
+            let members = eg
+                .nodes
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| ids[*i] == component)
+                .count();
+            out.push(
+                cx.diag(
+                    &EVENT_ORDERING_CYCLE,
+                    format!(
+                        "event-ordering constraints around {representative} form an impossible cycle ({members} events involved)"
+                    ),
+                )
+                .with_node(representative.clone())
+                .with_span(cx.node_span(&representative)),
+            );
+        }
+    }
+}
+
+/// PB0108: `prov:Entity` and `prov:Activity` are disjoint classes
+/// (PROV-CONSTRAINTS "entity-activity-disjoint").
+pub struct Typing;
+
+impl Rule for Typing {
+    fn name(&self) -> &'static str {
+        "typing"
+    }
+
+    fn rules(&self) -> &'static [&'static RuleInfo] {
+        static RULES: &[&RuleInfo] = &[&ENTITY_ACTIVITY_DISJOINT];
+        RULES
+    }
+
+    fn check(&self, cx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
+        let entity: Term = prov::entity().into();
+        let activity: Term = prov::activity().into();
+        let rdf_type = rdf_type();
+        for t in cx
+            .graph
+            .triples_matching(None, Some(&rdf_type), Some(&entity))
+        {
+            let Subject::Iri(node) = &t.subject else {
+                continue;
+            };
+            let also_activity = cx
+                .graph
+                .triples_matching(Some(&t.subject), Some(&rdf_type), Some(&activity))
+                .next()
+                .is_some();
+            if also_activity {
+                out.push(
+                    cx.diag(
+                        &ENTITY_ACTIVITY_DISJOINT,
+                        format!("{node} is typed both prov:Entity and prov:Activity"),
+                    )
+                    .with_node(node.clone())
+                    .with_span(cx.pattern_span(
+                        Some(&t.subject),
+                        Some(&rdf_type),
+                        Some(&activity),
+                    )),
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! The rule trait and the registry of every rule pack.
+//!
+//! A *rule pack* scans one parsed file and may emit diagnostics under any
+//! of the [`RuleInfo`]s it declares. The registry owns the default packs
+//! and produces the complete, `PB0xxx`-sorted rule catalog (SARIF wants
+//! the full rule table up front, fired or not).
+
+pub mod constraints;
+pub mod profile;
+pub mod vocabulary;
+
+use crate::diagnostic::{Diagnostic, RuleInfo, Severity};
+use provbench_rdf::{Graph, Iri, Span, SpanTable, Subject, Term};
+use provbench_workflow::System;
+
+/// Everything a rule pack may look at for one file.
+pub struct FileContext<'a> {
+    /// Path of the file being linted (attached to diagnostics), when any.
+    pub path: Option<&'a str>,
+    /// The file's triples — for TriG files, the union over all graphs.
+    pub graph: &'a Graph,
+    /// Span side table (empty when the caller did not record spans).
+    pub spans: &'a SpanTable,
+    /// The workflow system whose profile applies, when detected.
+    pub system: Option<System>,
+}
+
+impl FileContext<'_> {
+    /// Start a diagnostic for `rule`, pre-filled with this file's path.
+    pub fn diag(&self, rule: &'static RuleInfo, message: impl Into<String>) -> Diagnostic {
+        let d = Diagnostic::new(rule, message);
+        match self.path {
+            Some(p) => d.with_file(p),
+            None => d,
+        }
+    }
+
+    /// Span of the first recorded statement about `node` (as subject).
+    pub fn node_span(&self, node: &Iri) -> Option<Span> {
+        self.spans.first_for_subject(&Subject::Iri(node.clone()))
+    }
+
+    /// Span of the first recorded statement matching the given pattern.
+    pub fn pattern_span(
+        &self,
+        subject: Option<&Subject>,
+        predicate: Option<&Iri>,
+        object: Option<&Term>,
+    ) -> Option<Span> {
+        self.spans
+            .iter()
+            .find(|e| {
+                subject.is_none_or(|s| &e.triple.subject == s)
+                    && predicate.is_none_or(|p| &e.triple.predicate == p)
+                    && object.is_none_or(|o| &e.triple.object == o)
+            })
+            .map(|e| e.span)
+    }
+}
+
+/// A pack of related lint rules that scan one file together.
+pub trait Rule: Send + Sync {
+    /// Name of the pack (for `--help` style listings).
+    fn name(&self) -> &'static str;
+
+    /// Every rule this pack can emit.
+    fn rules(&self) -> &'static [&'static RuleInfo];
+
+    /// Scan the file, appending diagnostics.
+    fn check(&self, cx: &FileContext<'_>, out: &mut Vec<Diagnostic>);
+}
+
+/// `PB0001` — the file could not be parsed at all. Emitted by the runner
+/// itself, not by a pack, but part of the catalog.
+pub static PARSE_ERROR: RuleInfo = RuleInfo {
+    id: "PB0001",
+    slug: "parse/error",
+    severity: Severity::Error,
+    summary: "the file is not well-formed Turtle/TriG",
+};
+
+/// The ordered collection of rule packs applied to every file.
+pub struct Registry {
+    packs: Vec<Box<dyn Rule>>,
+}
+
+impl Registry {
+    /// An empty registry (used by tests exercising a single pack).
+    pub fn new() -> Self {
+        Registry { packs: Vec::new() }
+    }
+
+    /// The full default rule set: PROV constraints, event ordering,
+    /// typing, both system profiles and the vocabulary pack.
+    pub fn with_default_rules() -> Self {
+        let mut r = Registry::new();
+        r.register(Box::new(constraints::ProvConstraints));
+        r.register(Box::new(constraints::EventOrdering));
+        r.register(Box::new(constraints::Typing));
+        r.register(Box::new(profile::TavernaProfile));
+        r.register(Box::new(profile::WingsProfile));
+        r.register(Box::new(vocabulary::Vocabulary));
+        r
+    }
+
+    /// Add a pack.
+    pub fn register(&mut self, pack: Box<dyn Rule>) {
+        self.packs.push(pack);
+    }
+
+    /// The registered packs.
+    pub fn packs(&self) -> &[Box<dyn Rule>] {
+        &self.packs
+    }
+
+    /// The complete rule catalog (including [`PARSE_ERROR`]), sorted by
+    /// rule id — the order SARIF's `tool.driver.rules` array uses.
+    pub fn rule_infos(&self) -> Vec<&'static RuleInfo> {
+        let mut infos: Vec<&'static RuleInfo> = vec![&PARSE_ERROR];
+        for pack in &self.packs {
+            infos.extend_from_slice(pack.rules());
+        }
+        infos.sort_by_key(|i| i.id);
+        infos.dedup_by_key(|i| i.id);
+        infos
+    }
+
+    /// Run every pack over one file and return its diagnostics in
+    /// deterministic order.
+    pub fn check(&self, cx: &FileContext<'_>) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for pack in &self.packs {
+            pack.check(cx, &mut out);
+        }
+        out.sort_by_key(|d| d.sort_key());
+        out
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::with_default_rules()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_sorted_unique_and_complete() {
+        let registry = Registry::with_default_rules();
+        let infos = registry.rule_infos();
+        let ids: Vec<&str> = infos.iter().map(|i| i.id).collect();
+        let mut sorted = ids.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(
+            ids, sorted,
+            "catalog must be sorted and free of duplicate ids"
+        );
+        assert!(ids.contains(&"PB0001"));
+        // Every id is PB + 4 digits; every rule has a slug and summary.
+        for info in &infos {
+            assert!(
+                info.id.len() == 6 && info.id.starts_with("PB"),
+                "bad id {}",
+                info.id
+            );
+            assert!(info.id[2..].chars().all(|c| c.is_ascii_digit()));
+            assert!(info.slug.contains('/'));
+            assert!(!info.summary.is_empty());
+        }
+    }
+}

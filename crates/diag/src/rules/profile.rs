@@ -1,0 +1,308 @@
+//! System-profile rules: the structural conventions each exporter's
+//! traces must follow (the checks `provbench-analysis`'s linter enforced
+//! before the registry existed — the slugs are kept verbatim).
+
+use super::{FileContext, Rule};
+use crate::diagnostic::{Diagnostic, RuleInfo, Severity};
+use provbench_rdf::{Graph, Iri, Subject, Term};
+use provbench_vocab::{opmw, prov, rdf_type, wfprov};
+use provbench_workflow::System;
+
+/// `PB0201` — a process run must belong to exactly one workflow run.
+pub static TAVERNA_PROCESS_RUN_PARENT: RuleInfo = RuleInfo {
+    id: "PB0201",
+    slug: "taverna/process-run-parent",
+    severity: Severity::Error,
+    summary: "a wfprov:ProcessRun must have exactly one wasPartOfWorkflowRun link",
+};
+
+/// `PB0202` — process runs carry both timestamps.
+pub static TAVERNA_PROCESS_RUN_TIMES: RuleInfo = RuleInfo {
+    id: "PB0202",
+    slug: "taverna/process-run-times",
+    severity: Severity::Error,
+    summary: "a wfprov:ProcessRun must carry prov:startedAtTime and prov:endedAtTime",
+};
+
+/// `PB0203` — process runs point at their process description.
+pub static TAVERNA_PROCESS_RUN_DESCRIPTION: RuleInfo = RuleInfo {
+    id: "PB0203",
+    slug: "taverna/process-run-description",
+    severity: Severity::Warning,
+    summary: "a wfprov:ProcessRun should link its wfdesc process via describedByProcess",
+};
+
+/// `PB0204` — workflow runs point at their workflow description.
+pub static TAVERNA_RUN_DESCRIPTION: RuleInfo = RuleInfo {
+    id: "PB0204",
+    slug: "taverna/run-description",
+    severity: Severity::Error,
+    summary: "a wfprov:WorkflowRun must link its workflow via describedByWorkflow",
+};
+
+/// `PB0205` — artifacts carry values.
+pub static TAVERNA_ARTIFACT_VALUE: RuleInfo = RuleInfo {
+    id: "PB0205",
+    slug: "taverna/artifact-value",
+    severity: Severity::Warning,
+    summary: "a wfprov:Artifact should carry a prov:value",
+};
+
+/// `PB0206` — properties the Taverna profile never asserts.
+pub static TAVERNA_PROFILE_PURITY: RuleInfo = RuleInfo {
+    id: "PB0206",
+    slug: "taverna/profile-purity",
+    severity: Severity::Error,
+    summary: "a Taverna trace asserts a property outside its Table 2/3 profile",
+};
+
+/// `PB0301` — executed steps belong to an account.
+pub static WINGS_PROCESS_ACCOUNT: RuleInfo = RuleInfo {
+    id: "PB0301",
+    slug: "wings/process-account",
+    severity: Severity::Error,
+    summary: "an opmw:WorkflowExecutionProcess must carry belongsToAccount",
+};
+
+/// `PB0302` — executed steps name their component.
+pub static WINGS_PROCESS_COMPONENT: RuleInfo = RuleInfo {
+    id: "PB0302",
+    slug: "wings/process-component",
+    severity: Severity::Error,
+    summary: "an opmw:WorkflowExecutionProcess must carry hasExecutableComponent",
+};
+
+/// `PB0303` — executed steps record a status.
+pub static WINGS_PROCESS_STATUS: RuleInfo = RuleInfo {
+    id: "PB0303",
+    slug: "wings/process-status",
+    severity: Severity::Warning,
+    summary: "an opmw:WorkflowExecutionProcess should carry hasStatus",
+};
+
+/// `PB0304` — artifacts record a location.
+pub static WINGS_ARTIFACT_LOCATION: RuleInfo = RuleInfo {
+    id: "PB0304",
+    slug: "wings/artifact-location",
+    severity: Severity::Warning,
+    summary: "an opmw:WorkflowExecutionArtifact should carry prov:atLocation",
+};
+
+/// `PB0305` — artifacts belong to an account.
+pub static WINGS_ARTIFACT_ACCOUNT: RuleInfo = RuleInfo {
+    id: "PB0305",
+    slug: "wings/artifact-account",
+    severity: Severity::Error,
+    summary: "an opmw:WorkflowExecutionArtifact must carry belongsToAccount",
+};
+
+/// `PB0306` — properties the Wings profile never asserts.
+pub static WINGS_PROFILE_PURITY: RuleInfo = RuleInfo {
+    id: "PB0306",
+    slug: "wings/profile-purity",
+    severity: Severity::Error,
+    summary: "a Wings trace asserts per-activity times or communication (account-level only)",
+};
+
+fn instances<'a>(g: &'a Graph, class: &Iri) -> impl Iterator<Item = Iri> + 'a {
+    let class: Term = class.clone().into();
+    g.triples_matching(None, Some(&rdf_type()), Some(&class))
+        .filter_map(|t| match &t.subject {
+            Subject::Iri(i) => Some(i.clone()),
+            Subject::Blank(_) => None,
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+}
+
+fn missing_property(
+    cx: &FileContext<'_>,
+    rule: &'static RuleInfo,
+    node: &Iri,
+    property: &Iri,
+    out: &mut Vec<Diagnostic>,
+) {
+    let subject = Subject::Iri(node.clone());
+    if cx.graph.object(&subject, property).is_none() {
+        out.push(
+            cx.diag(rule, format!("missing {}", property.as_str()))
+                .with_node(node.clone())
+                .with_span(cx.node_span(node)),
+        );
+    }
+}
+
+fn forbidden_property(
+    cx: &FileContext<'_>,
+    rule: &'static RuleInfo,
+    system: System,
+    property: &Iri,
+    out: &mut Vec<Diagnostic>,
+) {
+    if cx
+        .graph
+        .triples_matching(None, Some(property), None)
+        .next()
+        .is_some()
+    {
+        out.push(
+            cx.diag(
+                rule,
+                format!("{} trace asserts {}", system.name(), property.as_str()),
+            )
+            .with_span(cx.pattern_span(None, Some(property), None)),
+        );
+    }
+}
+
+/// The Taverna profile pack (PB0201–PB0206); no-op on non-Taverna files.
+pub struct TavernaProfile;
+
+static TAVERNA_RULES: &[&RuleInfo] = &[
+    &TAVERNA_PROCESS_RUN_PARENT,
+    &TAVERNA_PROCESS_RUN_TIMES,
+    &TAVERNA_PROCESS_RUN_DESCRIPTION,
+    &TAVERNA_RUN_DESCRIPTION,
+    &TAVERNA_ARTIFACT_VALUE,
+    &TAVERNA_PROFILE_PURITY,
+];
+
+impl Rule for TavernaProfile {
+    fn name(&self) -> &'static str {
+        "taverna-profile"
+    }
+
+    fn rules(&self) -> &'static [&'static RuleInfo] {
+        TAVERNA_RULES
+    }
+
+    fn check(&self, cx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
+        if cx.system != Some(System::Taverna) {
+            return;
+        }
+        let g = cx.graph;
+        // Every process run belongs to exactly one workflow run, has both
+        // times and points at its description.
+        for p in instances(g, &wfprov::process_run()) {
+            let s = Subject::Iri(p.clone());
+            let parents = g.objects(&s, &wfprov::was_part_of_workflow_run()).count();
+            if parents != 1 {
+                out.push(
+                    cx.diag(
+                        &TAVERNA_PROCESS_RUN_PARENT,
+                        format!("process run has {parents} wasPartOfWorkflowRun links (want 1)"),
+                    )
+                    .with_node(p.clone())
+                    .with_span(cx.node_span(&p)),
+                );
+            }
+            for time in [prov::started_at_time(), prov::ended_at_time()] {
+                let subject = Subject::Iri(p.clone());
+                if g.object(&subject, &time).is_none() {
+                    out.push(
+                        cx.diag(
+                            &TAVERNA_PROCESS_RUN_TIMES,
+                            format!("missing {}", time.as_str()),
+                        )
+                        .with_node(p.clone())
+                        .with_span(cx.node_span(&p)),
+                    );
+                }
+            }
+            missing_property(
+                cx,
+                &TAVERNA_PROCESS_RUN_DESCRIPTION,
+                &p,
+                &wfprov::described_by_process(),
+                out,
+            );
+        }
+        // Every workflow run names its workflow.
+        for r in instances(g, &wfprov::workflow_run()) {
+            missing_property(
+                cx,
+                &TAVERNA_RUN_DESCRIPTION,
+                &r,
+                &wfprov::described_by_workflow(),
+                out,
+            );
+        }
+        // Artifacts carry values.
+        for a in instances(g, &wfprov::artifact()) {
+            missing_property(cx, &TAVERNA_ARTIFACT_VALUE, &a, &prov::value(), out);
+        }
+        // The Taverna profile never asserts these (Tables 2–3).
+        for p in [
+            prov::was_attributed_to(),
+            prov::at_location(),
+            prov::had_primary_source(),
+        ] {
+            forbidden_property(cx, &TAVERNA_PROFILE_PURITY, System::Taverna, &p, out);
+        }
+    }
+}
+
+/// The Wings profile pack (PB0301–PB0306); no-op on non-Wings files.
+pub struct WingsProfile;
+
+static WINGS_RULES: &[&RuleInfo] = &[
+    &WINGS_PROCESS_ACCOUNT,
+    &WINGS_PROCESS_COMPONENT,
+    &WINGS_PROCESS_STATUS,
+    &WINGS_ARTIFACT_LOCATION,
+    &WINGS_ARTIFACT_ACCOUNT,
+    &WINGS_PROFILE_PURITY,
+];
+
+impl Rule for WingsProfile {
+    fn name(&self) -> &'static str {
+        "wings-profile"
+    }
+
+    fn rules(&self) -> &'static [&'static RuleInfo] {
+        WINGS_RULES
+    }
+
+    fn check(&self, cx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
+        if cx.system != Some(System::Wings) {
+            return;
+        }
+        let g = cx.graph;
+        for p in instances(g, &opmw::workflow_execution_process()) {
+            missing_property(
+                cx,
+                &WINGS_PROCESS_ACCOUNT,
+                &p,
+                &opmw::belongs_to_account(),
+                out,
+            );
+            missing_property(
+                cx,
+                &WINGS_PROCESS_COMPONENT,
+                &p,
+                &opmw::has_executable_component(),
+                out,
+            );
+            missing_property(cx, &WINGS_PROCESS_STATUS, &p, &opmw::has_status(), out);
+        }
+        for a in instances(g, &opmw::workflow_execution_artifact()) {
+            missing_property(cx, &WINGS_ARTIFACT_LOCATION, &a, &prov::at_location(), out);
+            missing_property(
+                cx,
+                &WINGS_ARTIFACT_ACCOUNT,
+                &a,
+                &opmw::belongs_to_account(),
+                out,
+            );
+        }
+        // Wings records times only at account granularity (Table 2), and
+        // never asserts activity communication.
+        for p in [
+            prov::started_at_time(),
+            prov::ended_at_time(),
+            prov::was_informed_by(),
+        ] {
+            forbidden_property(cx, &WINGS_PROFILE_PURITY, System::Wings, &p, out);
+        }
+    }
+}

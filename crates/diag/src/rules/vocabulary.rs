@@ -1,0 +1,183 @@
+//! Vocabulary-coverage rules: catch typo'd terms in the ontologies the
+//! corpus uses, terms from the wrong system's ontology, and PROV-O terms
+//! outside the paper's Table 2/3 + profile inventory.
+
+use super::{FileContext, Rule};
+use crate::diagnostic::{Diagnostic, RuleInfo, Severity};
+use provbench_rdf::{Iri, Span, Term};
+use provbench_vocab::{opmw, prov, rdf_type, ro, wfdesc, wfprov};
+use provbench_workflow::System;
+use std::collections::BTreeMap;
+
+/// `PB0401` — a term in a corpus namespace the ontology does not define.
+pub static UNKNOWN_TERM: RuleInfo = RuleInfo {
+    id: "PB0401",
+    slug: "vocab/unknown-term",
+    severity: Severity::Error,
+    summary: "a term in a corpus ontology namespace that the ontology does not define (typo?)",
+};
+
+/// `PB0402` — a term from the other system's ontology.
+pub static CROSS_PROFILE_TERM: RuleInfo = RuleInfo {
+    id: "PB0402",
+    slug: "vocab/cross-profile-term",
+    severity: Severity::Warning,
+    summary: "a Taverna trace uses OPMW terms, or a Wings trace uses wfprov/wfdesc terms",
+};
+
+/// `PB0403` — a genuine PROV-O term outside the paper's inventory.
+pub static OUTSIDE_INVENTORY: RuleInfo = RuleInfo {
+    id: "PB0403",
+    slug: "vocab/outside-inventory",
+    severity: Severity::Info,
+    summary: "a valid PROV-O term the paper's Table 2/3 inventory does not track",
+};
+
+/// PROV-O terms that exist in the ontology but that no corpus exporter
+/// emits — using one is worth an FYI (PB0403), not an error. Anything in
+/// the `prov:` namespace that is neither here nor in the tracked
+/// inventory is treated as a typo (PB0401).
+static PROV_EXTENDED_LOCALS: &[&str] = &[
+    "Collection",
+    "EmptyCollection",
+    "hadMember",
+    "wasInvalidatedBy",
+    "Invalidation",
+    "qualifiedInvalidation",
+    "Influence",
+    "EntityInfluence",
+    "ActivityInfluence",
+    "AgentInfluence",
+    "qualifiedInfluence",
+    "influencer",
+    "influenced",
+    "Delegation",
+    "qualifiedDelegation",
+    "Communication",
+    "qualifiedCommunication",
+    "Start",
+    "End",
+    "qualifiedStart",
+    "qualifiedEnd",
+    "Derivation",
+    "qualifiedDerivation",
+    "Revision",
+    "wasRevisionOf",
+    "qualifiedRevision",
+    "Quotation",
+    "wasQuotedFrom",
+    "qualifiedQuotation",
+    "PrimarySource",
+    "qualifiedPrimarySource",
+    "Attribution",
+    "qualifiedAttribution",
+    "Role",
+    "hadRole",
+    "hadActivity",
+    "hadUsage",
+    "hadGeneration",
+];
+
+/// The vocabulary pack (PB0401–PB0403).
+pub struct Vocabulary;
+
+static VOCAB_RULES: &[&RuleInfo] = &[&UNKNOWN_TERM, &CROSS_PROFILE_TERM, &OUTSIDE_INVENTORY];
+
+/// The vocabulary terms a document *uses*: every predicate, plus every
+/// IRI object of `rdf:type`. Other subjects/objects are instance
+/// identifiers, not vocabulary. Returns each term with the span of its
+/// first use.
+fn used_terms(cx: &FileContext<'_>) -> BTreeMap<Iri, Option<Span>> {
+    let rdf_type = rdf_type();
+    let mut terms: BTreeMap<Iri, Option<Span>> = BTreeMap::new();
+    for t in cx.graph.iter() {
+        let span = || cx.pattern_span(Some(&t.subject), Some(&t.predicate), Some(&t.object));
+        if t.predicate == rdf_type {
+            if let Term::Iri(class) = &t.object {
+                terms.entry(class.clone()).or_insert_with(span);
+            }
+        }
+        terms.entry(t.predicate.clone()).or_insert_with(span);
+    }
+    terms
+}
+
+impl Rule for Vocabulary {
+    fn name(&self) -> &'static str {
+        "vocabulary"
+    }
+
+    fn rules(&self) -> &'static [&'static RuleInfo] {
+        VOCAB_RULES
+    }
+
+    fn check(&self, cx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
+        for (term, span) in used_terms(cx) {
+            let iri = term.as_str();
+            // Typo detection in the four extension ontologies.
+            for (ns, all) in [
+                (wfprov::NS, wfprov::ALL_TERMS),
+                (wfdesc::NS, wfdesc::ALL_TERMS),
+                (opmw::NS, opmw::ALL_TERMS),
+                (ro::NS, ro::ALL_TERMS),
+            ] {
+                if iri.starts_with(ns) && !all.contains(&iri) {
+                    out.push(
+                        cx.diag(
+                            &UNKNOWN_TERM,
+                            format!("<{iri}> is not a term of the ontology at {ns}"),
+                        )
+                        .with_node(term.clone())
+                        .with_span(span),
+                    );
+                }
+            }
+            // PROV-O: tracked inventory vs genuine-but-untracked vs typo.
+            if let Some(local) = iri.strip_prefix(prov::NS) {
+                if !prov::ALL_TERMS.contains(&iri) {
+                    if PROV_EXTENDED_LOCALS.contains(&local) {
+                        out.push(
+                            cx.diag(
+                                &OUTSIDE_INVENTORY,
+                                format!(
+                                    "prov:{local} is valid PROV-O but outside the paper's Table 2/3 inventory"
+                                ),
+                            )
+                            .with_node(term.clone())
+                            .with_span(span),
+                        );
+                    } else {
+                        out.push(
+                            cx.diag(
+                                &UNKNOWN_TERM,
+                                format!("<{iri}> is not a PROV-O term (typo?)"),
+                            )
+                            .with_node(term.clone())
+                            .with_span(span),
+                        );
+                    }
+                }
+            }
+            // Terms from the other system's ontology.
+            let wrong_profile = match cx.system {
+                Some(System::Taverna) => iri.starts_with(opmw::NS),
+                Some(System::Wings) => iri.starts_with(wfprov::NS) || iri.starts_with(wfdesc::NS),
+                None => false,
+            };
+            if wrong_profile {
+                let system = cx.system.expect("checked above");
+                out.push(
+                    cx.diag(
+                        &CROSS_PROFILE_TERM,
+                        format!(
+                            "{} trace uses <{iri}> from the other system's ontology",
+                            system.name()
+                        ),
+                    )
+                    .with_node(term.clone())
+                    .with_span(span),
+                );
+            }
+        }
+    }
+}

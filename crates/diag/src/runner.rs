@@ -1,0 +1,178 @@
+//! The corpus-wide lint runner: file discovery, parallel execution over a
+//! thread pool, and deterministic result ordering.
+
+use crate::diagnostic::{Diagnostic, Severity};
+use crate::rules::{FileContext, Registry, PARSE_ERROR};
+use provbench_rdf::{parse_trig_spanned, parse_turtle_spanned, Graph, Span, SpanTable};
+use provbench_vocab::{opmw, wfdesc, wfprov};
+use provbench_workflow::System;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Lint results for one file, diagnostics in deterministic order.
+#[derive(Clone, Debug)]
+pub struct FileReport {
+    /// The file's path as given to the runner.
+    pub path: String,
+    /// All (unsuppressed) diagnostics for the file.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+/// The worker count to use when the caller does not specify one.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Whether the runner recognises this path as a lintable RDF file.
+pub fn is_rdf_file(path: &Path) -> bool {
+    matches!(
+        path.extension().and_then(|e| e.to_str()),
+        Some("ttl" | "trig" | "nt")
+    )
+}
+
+/// Recursively collect every `.ttl`/`.trig`/`.nt` file under `root`
+/// (or `root` itself when it is a file), sorted by path.
+pub fn collect_rdf_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    if root.is_file() {
+        files.push(root.to_path_buf());
+        return Ok(files);
+    }
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let path = entry?.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if is_rdf_file(&path) {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Guess which system profile applies from the vocabulary a graph
+/// actually uses (predicates and IRI objects): OPMW terms mean Wings,
+/// wfprov/wfdesc terms mean Taverna. Prefix declarations alone don't
+/// count — serializers emit the full common prefix block everywhere. A
+/// mixed file gets the majority profile.
+pub fn detect_system(graph: &Graph) -> Option<System> {
+    let mut wings = 0usize;
+    let mut taverna = 0usize;
+    let mut tally = |iri: &str| {
+        if iri.starts_with(opmw::NS) {
+            wings += 1;
+        } else if iri.starts_with(wfprov::NS) || iri.starts_with(wfdesc::NS) {
+            taverna += 1;
+        }
+    };
+    for t in graph.iter() {
+        tally(t.predicate.as_str());
+        if let provbench_rdf::Term::Iri(object) = &t.object {
+            tally(object.as_str());
+        }
+    }
+    match wings.cmp(&taverna) {
+        std::cmp::Ordering::Greater => Some(System::Wings),
+        std::cmp::Ordering::Less => Some(System::Taverna),
+        std::cmp::Ordering::Equal if taverna > 0 => Some(System::Taverna),
+        std::cmp::Ordering::Equal => None,
+    }
+}
+
+/// Lint one in-memory document. `label` decides the concrete syntax
+/// (`.trig` parses as TriG, anything else as Turtle) and is attached to
+/// every diagnostic as the file path.
+pub fn lint_content(label: &str, content: &str, registry: &Registry) -> Vec<Diagnostic> {
+    let parsed: Result<(Graph, SpanTable), _> = if label.ends_with(".trig") {
+        parse_trig_spanned(content).map(|(ds, _, spans)| (ds.union_graph(), spans))
+    } else {
+        parse_turtle_spanned(content).map(|(g, _, spans)| (g, spans))
+    };
+    match parsed {
+        Err(e) => {
+            vec![
+                Diagnostic::new(&PARSE_ERROR, format!("syntax error: {}", e.message))
+                    .with_file(label)
+                    .with_span(Some(Span::point(e.line, e.column))),
+            ]
+        }
+        Ok((graph, spans)) => {
+            let cx = FileContext {
+                path: Some(label),
+                graph: &graph,
+                spans: &spans,
+                system: detect_system(&graph),
+            };
+            registry.check(&cx)
+        }
+    }
+}
+
+fn lint_file(path: &Path, registry: &Registry) -> FileReport {
+    let label = path.to_string_lossy().into_owned();
+    let diagnostics = match std::fs::read_to_string(path) {
+        Ok(content) => lint_content(&label, &content, registry),
+        Err(e) => {
+            vec![Diagnostic::new(&PARSE_ERROR, format!("cannot read file: {e}")).with_file(&label)]
+        }
+    };
+    FileReport {
+        path: label,
+        diagnostics,
+    }
+}
+
+/// Lint a set of files over `jobs` worker threads. Results come back in
+/// input order regardless of which worker finished first.
+pub fn lint_files(files: &[PathBuf], registry: &Registry, jobs: usize) -> Vec<FileReport> {
+    let jobs = jobs.max(1).min(files.len().max(1));
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, FileReport)>> = Mutex::new(Vec::with_capacity(files.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= files.len() {
+                    break;
+                }
+                let report = lint_file(&files[i], registry);
+                results
+                    .lock()
+                    .expect("no poisoned workers")
+                    .push((i, report));
+            });
+        }
+    });
+    let mut results = results.into_inner().expect("workers joined");
+    results.sort_by_key(|(i, _)| *i);
+    results.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Discover and lint everything under `root` (a file or a directory).
+pub fn lint_path(root: &Path, registry: &Registry, jobs: usize) -> io::Result<Vec<FileReport>> {
+    let files = collect_rdf_files(root)?;
+    Ok(lint_files(&files, registry, jobs))
+}
+
+/// `(errors, warnings, infos)` across all reports, after suppression.
+pub fn severity_counts(reports: &[FileReport]) -> (usize, usize, usize) {
+    let mut counts = (0usize, 0usize, 0usize);
+    for report in reports {
+        for d in &report.diagnostics {
+            match d.severity {
+                Severity::Error => counts.0 += 1,
+                Severity::Warning => counts.1 += 1,
+                Severity::Info => counts.2 += 1,
+            }
+        }
+    }
+    counts
+}

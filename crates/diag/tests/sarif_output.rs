@@ -1,0 +1,177 @@
+//! Structural validation of the SARIF 2.1.0 renderer: parse the output
+//! back and check every property the SARIF schema requires, plus the
+//! invariants GitHub code scanning relies on (ruleIndex consistency,
+//! regions, fingerprints).
+
+use provbench_diag::json::{parse, Json};
+use provbench_diag::{lint_content, render_sarif, FileReport, Registry};
+
+fn sarif_for(docs: &[(&str, &str)]) -> Json {
+    let registry = Registry::with_default_rules();
+    let reports: Vec<FileReport> = docs
+        .iter()
+        .map(|(label, content)| FileReport {
+            path: (*label).to_owned(),
+            diagnostics: lint_content(label, content, &registry),
+        })
+        .collect();
+    parse(&render_sarif(&reports, &registry)).expect("renderer must emit valid JSON")
+}
+
+#[test]
+fn sarif_log_matches_the_2_1_0_schema_shape() {
+    let log = sarif_for(&[
+        (
+            "cycle.ttl",
+            "@prefix prov: <http://www.w3.org/ns/prov#> .
+             <http://e/d> prov:wasDerivedFrom <http://e/d> .",
+        ),
+        ("broken.ttl", "not turtle"),
+    ]);
+
+    // Top level: $schema, version, runs.
+    assert_eq!(log.get("version").and_then(Json::as_str), Some("2.1.0"));
+    assert!(log
+        .get("$schema")
+        .and_then(Json::as_str)
+        .is_some_and(|s| s.contains("sarif-2.1.0")));
+    let runs = log
+        .get("runs")
+        .and_then(Json::as_array)
+        .expect("runs array");
+    assert_eq!(runs.len(), 1);
+    let run = &runs[0];
+
+    // tool.driver: name + the full, sorted rule catalog.
+    let driver = run
+        .get("tool")
+        .and_then(|t| t.get("driver"))
+        .expect("tool.driver");
+    assert_eq!(
+        driver.get("name").and_then(Json::as_str),
+        Some("provbench-lint")
+    );
+    let rules = driver
+        .get("rules")
+        .and_then(Json::as_array)
+        .expect("driver.rules");
+    let rule_ids: Vec<&str> = rules
+        .iter()
+        .filter_map(|r| r.get("id").and_then(Json::as_str))
+        .collect();
+    assert_eq!(rule_ids.len(), rules.len(), "every rule needs an id");
+    let mut sorted = rule_ids.clone();
+    sorted.sort();
+    assert_eq!(rule_ids, sorted, "rule catalog must be sorted by id");
+    assert!(rule_ids.contains(&"PB0001"));
+    assert!(rule_ids.contains(&"PB0105"));
+    for rule in rules {
+        assert!(rule
+            .get("shortDescription")
+            .and_then(|d| d.get("text"))
+            .and_then(Json::as_str)
+            .is_some_and(|t| !t.is_empty()));
+        assert!(matches!(
+            rule.get("defaultConfiguration")
+                .and_then(|c| c.get("level"))
+                .and_then(Json::as_str),
+            Some("note" | "warning" | "error")
+        ));
+    }
+
+    // results: ruleId/ruleIndex agree with the catalog, every result has
+    // a message, a physical location, and our stable fingerprint.
+    let results = run
+        .get("results")
+        .and_then(Json::as_array)
+        .expect("results");
+    assert!(
+        results.len() >= 2,
+        "expected the self-derivation and the parse error at least"
+    );
+    for result in results {
+        let rule_id = result.get("ruleId").and_then(Json::as_str).expect("ruleId");
+        let index = result
+            .get("ruleIndex")
+            .and_then(Json::as_num)
+            .expect("ruleIndex") as usize;
+        assert_eq!(rule_ids[index], rule_id, "ruleIndex must point at ruleId");
+        assert!(matches!(
+            result.get("level").and_then(Json::as_str),
+            Some("note" | "warning" | "error")
+        ));
+        assert!(result
+            .get("message")
+            .and_then(|m| m.get("text"))
+            .and_then(Json::as_str)
+            .is_some_and(|t| !t.is_empty()));
+        let location = &result
+            .get("locations")
+            .and_then(Json::as_array)
+            .expect("locations")[0];
+        let physical = location.get("physicalLocation").expect("physicalLocation");
+        assert!(physical
+            .get("artifactLocation")
+            .and_then(|a| a.get("uri"))
+            .and_then(Json::as_str)
+            .is_some_and(|u| u.ends_with(".ttl")));
+        let fingerprint = result
+            .get("partialFingerprints")
+            .and_then(|f| f.get("provbenchFingerprint/v1"))
+            .and_then(Json::as_str)
+            .expect("stable fingerprint");
+        assert!(fingerprint.starts_with(rule_id));
+    }
+
+    // The Turtle diagnostics carry regions with 1-based line/column.
+    let with_region = results
+        .iter()
+        .filter_map(|r| {
+            r.get("locations")?.as_array()?[0]
+                .get("physicalLocation")?
+                .get("region")
+        })
+        .collect::<Vec<_>>();
+    assert!(
+        !with_region.is_empty(),
+        "spanned diagnostics must emit regions"
+    );
+    for region in with_region {
+        let start = region
+            .get("startLine")
+            .and_then(Json::as_num)
+            .expect("startLine");
+        let end = region
+            .get("endLine")
+            .and_then(Json::as_num)
+            .expect("endLine");
+        assert!(start >= 1.0 && end >= start);
+        assert!(region
+            .get("startColumn")
+            .and_then(Json::as_num)
+            .is_some_and(|c| c >= 1.0));
+    }
+}
+
+#[test]
+fn sarif_catalog_is_emitted_even_with_no_findings() {
+    let log = sarif_for(&[]);
+    let run = &log.get("runs").and_then(Json::as_array).unwrap()[0];
+    assert_eq!(
+        run.get("results")
+            .and_then(Json::as_array)
+            .map(<[Json]>::len),
+        Some(0)
+    );
+    let rules = run
+        .get("tool")
+        .and_then(|t| t.get("driver"))
+        .and_then(|d| d.get("rules"))
+        .and_then(Json::as_array)
+        .unwrap();
+    assert!(
+        rules.len() >= 20,
+        "full catalog expected, got {}",
+        rules.len()
+    );
+}

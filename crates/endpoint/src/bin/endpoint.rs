@@ -35,6 +35,9 @@ fn main() {
     eprintln!("generating corpus…");
     let corpus = Corpus::generate(&spec);
     let graph = corpus.combined_graph();
-    eprintln!("serving {} triples on http://{addr}/ (Ctrl-C to stop)", graph.len());
+    eprintln!(
+        "serving {} triples on http://{addr}/ (Ctrl-C to stop)",
+        graph.len()
+    );
     Endpoint::new(graph).serve(&addr).expect("serve");
 }

@@ -124,13 +124,22 @@ pub fn parse_request(stream: &mut impl Read) -> io::Result<Request> {
     }
 
     let mut body = String::new();
-    if let Some(len) = headers.get("content-length").and_then(|v| v.parse::<usize>().ok()) {
+    if let Some(len) = headers
+        .get("content-length")
+        .and_then(|v| v.parse::<usize>().ok())
+    {
         let mut buf = vec![0u8; len];
         reader.read_exact(&mut buf)?;
         body = String::from_utf8_lossy(&buf).into_owned();
     }
 
-    Ok(Request { method, path, query, headers, body })
+    Ok(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    })
 }
 
 /// An HTTP response under construction.
@@ -147,17 +156,29 @@ pub struct Response {
 impl Response {
     /// 200 with the given content type.
     pub fn ok(content_type: &str, body: impl Into<String>) -> Self {
-        Response { status: 200, content_type: content_type.to_owned(), body: body.into() }
+        Response {
+            status: 200,
+            content_type: content_type.to_owned(),
+            body: body.into(),
+        }
     }
 
     /// 400 with a plain-text message.
     pub fn bad_request(message: impl Into<String>) -> Self {
-        Response { status: 400, content_type: "text/plain".to_owned(), body: message.into() }
+        Response {
+            status: 400,
+            content_type: "text/plain".to_owned(),
+            body: message.into(),
+        }
     }
 
     /// 404 with a plain-text message.
     pub fn not_found() -> Self {
-        Response { status: 404, content_type: "text/plain".to_owned(), body: "not found".into() }
+        Response {
+            status: 404,
+            content_type: "text/plain".to_owned(),
+            body: "not found".into(),
+        }
     }
 
     fn status_text(&self) -> &'static str {

@@ -114,8 +114,11 @@ mod tests {
                e:s e:p "va\"l" ; e:q "fr"@fr ; e:r 42 ."#,
         )
         .unwrap();
-        execute_query(&g, "PREFIX e: <http://e/> SELECT ?p ?o WHERE { ?s ?p ?o } ORDER BY ?p")
-            .unwrap()
+        execute_query(
+            &g,
+            "PREFIX e: <http://e/> SELECT ?p ?o WHERE { ?s ?p ?o } ORDER BY ?p",
+        )
+        .unwrap()
     }
 
     #[test]
@@ -169,8 +172,14 @@ mod tests {
 
     #[test]
     fn empty_solutions() {
-        let s = Solutions { variables: vec!["x".into()], rows: vec![] };
-        assert_eq!(solutions_to_json(&s), "{\"head\":{\"vars\":[\"x\"]},\"results\":{\"bindings\":[]}}");
+        let s = Solutions {
+            variables: vec!["x".into()],
+            rows: vec![],
+        };
+        assert_eq!(
+            solutions_to_json(&s),
+            "{\"head\":{\"vars\":[\"x\"]},\"results\":{\"bindings\":[]}}"
+        );
         assert_eq!(solutions_to_tsv(&s), "x\n");
     }
 }

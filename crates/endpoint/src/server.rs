@@ -17,7 +17,9 @@ pub struct Endpoint {
 impl Endpoint {
     /// An endpoint serving the given graph.
     pub fn new(graph: Graph) -> Self {
-        Endpoint { graph: Arc::new(graph) }
+        Endpoint {
+            graph: Arc::new(graph),
+        }
     }
 
     /// Handle one parsed request (exposed for tests).
@@ -40,23 +42,20 @@ impl Endpoint {
     fn sparql(&self, request: &Request) -> Response {
         // SPARQL protocol: GET ?query=… or POST with a form-encoded or
         // raw query body.
-        let query = request
-            .param("query")
-            .map(str::to_owned)
-            .or_else(|| {
-                if request.method == "POST" {
-                    let body = request.body.trim();
-                    if let Some(rest) = body.strip_prefix("query=") {
-                        Some(crate::http::url_decode(rest))
-                    } else if !body.is_empty() {
-                        Some(body.to_owned())
-                    } else {
-                        None
-                    }
+        let query = request.param("query").map(str::to_owned).or_else(|| {
+            if request.method == "POST" {
+                let body = request.body.trim();
+                if let Some(rest) = body.strip_prefix("query=") {
+                    Some(crate::http::url_decode(rest))
+                } else if !body.is_empty() {
+                    Some(body.to_owned())
                 } else {
                     None
                 }
-            });
+            } else {
+                None
+            }
+        });
         let Some(query) = query else {
             return Response::bad_request("missing `query` parameter");
         };
@@ -227,7 +226,9 @@ mod tests {
         });
 
         let mut stream = TcpStream::connect(addr).unwrap();
-        let q = crate::http::url_encode("SELECT ?r WHERE { ?r a <http://purl.org/wf4ever/wfprov#WorkflowRun> }");
+        let q = crate::http::url_encode(
+            "SELECT ?r WHERE { ?r a <http://purl.org/wf4ever/wfprov#WorkflowRun> }",
+        );
         write!(stream, "GET /sparql?query={q} HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
         let mut response = String::new();
         stream.read_to_string(&mut response).unwrap();

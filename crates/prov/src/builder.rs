@@ -14,7 +14,10 @@ impl DocumentBuilder {
     /// A builder minting identifiers under `base` (e.g.
     /// `http://example.org/taverna/run/17/`).
     pub fn new(base: impl Into<String>) -> Self {
-        DocumentBuilder { base: base.into(), doc: Document::new() }
+        DocumentBuilder {
+            base: base.into(),
+            doc: Document::new(),
+        }
     }
 
     /// Mint an identifier `base + local`.
@@ -30,8 +33,14 @@ impl DocumentBuilder {
 
     /// Declare an entity with an explicit id.
     pub fn entity_iri(&mut self, id: Iri) -> EntityBuilder<'_> {
-        self.doc.entities.entry(id.clone()).or_insert_with(|| Entity::new(id.clone()));
-        EntityBuilder { doc: &mut self.doc, id }
+        self.doc
+            .entities
+            .entry(id.clone())
+            .or_insert_with(|| Entity::new(id.clone()));
+        EntityBuilder {
+            doc: &mut self.doc,
+            id,
+        }
     }
 
     /// Declare an activity with a minted id.
@@ -42,8 +51,14 @@ impl DocumentBuilder {
 
     /// Declare an activity with an explicit id.
     pub fn activity_iri(&mut self, id: Iri) -> ActivityBuilder<'_> {
-        self.doc.activities.entry(id.clone()).or_insert_with(|| Activity::new(id.clone()));
-        ActivityBuilder { doc: &mut self.doc, id }
+        self.doc
+            .activities
+            .entry(id.clone())
+            .or_insert_with(|| Activity::new(id.clone()));
+        ActivityBuilder {
+            doc: &mut self.doc,
+            id,
+        }
     }
 
     /// Declare an agent with a minted id.
@@ -58,7 +73,10 @@ impl DocumentBuilder {
             .agents
             .entry(id.clone())
             .or_insert_with(|| Agent::new(id.clone(), kind));
-        AgentBuilder { doc: &mut self.doc, id }
+        AgentBuilder {
+            doc: &mut self.doc,
+            id,
+        }
     }
 
     /// `activity prov:used entity`.
@@ -174,7 +192,10 @@ pub struct EntityBuilder<'a> {
 
 impl EntityBuilder<'_> {
     fn node(&mut self) -> &mut Entity {
-        self.doc.entities.get_mut(&self.id).expect("entity inserted at builder creation")
+        self.doc
+            .entities
+            .get_mut(&self.id)
+            .expect("entity inserted at builder creation")
     }
 
     /// Add an extra `rdf:type`.
@@ -230,7 +251,10 @@ pub struct ActivityBuilder<'a> {
 
 impl ActivityBuilder<'_> {
     fn node(&mut self) -> &mut Activity {
-        self.doc.activities.get_mut(&self.id).expect("activity inserted at builder creation")
+        self.doc
+            .activities
+            .get_mut(&self.id)
+            .expect("activity inserted at builder creation")
     }
 
     /// Add an extra `rdf:type`.
@@ -286,7 +310,10 @@ pub struct AgentBuilder<'a> {
 
 impl AgentBuilder<'_> {
     fn node(&mut self) -> &mut Agent {
-        self.doc.agents.get_mut(&self.id).expect("agent inserted at builder creation")
+        self.doc
+            .agents
+            .get_mut(&self.id)
+            .expect("agent inserted at builder creation")
     }
 
     /// Add an extra `rdf:type`.

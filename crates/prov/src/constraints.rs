@@ -60,7 +60,11 @@ impl fmt::Display for Violation {
             Violation::ActivityEndsBeforeStart { activity } => {
                 write!(f, "activity {activity} ends before it starts")
             }
-            Violation::UsageBeforeGeneration { entity, generator, user } => write!(
+            Violation::UsageBeforeGeneration {
+                entity,
+                generator,
+                user,
+            } => write!(
                 f,
                 "entity {entity} is used by {user} before its generation by {generator}"
             ),
@@ -110,7 +114,9 @@ pub fn validate(graph: &Graph) -> Vec<Violation> {
     for (activity, (start, end)) in &times {
         if let (Some(s), Some(e)) = (start, end) {
             if e < s {
-                out.push(Violation::ActivityEndsBeforeStart { activity: activity.clone() });
+                out.push(Violation::ActivityEndsBeforeStart {
+                    activity: activity.clone(),
+                });
             }
         }
     }
@@ -145,7 +151,9 @@ pub fn validate(graph: &Graph) -> Vec<Violation> {
         distinct.sort();
         distinct.dedup();
         let independent = distinct.iter().enumerate().any(|(i, a)| {
-            distinct[i + 1..].iter().any(|b| !is_part(a, b) && !is_part(b, a))
+            distinct[i + 1..]
+                .iter()
+                .any(|b| !is_part(a, b) && !is_part(b, a))
         });
         if distinct.len() > 1 && independent {
             out.push(Violation::MultipleGeneration {
@@ -158,8 +166,12 @@ pub fn validate(graph: &Graph) -> Vec<Violation> {
         let (Subject::Iri(user), Term::Iri(entity)) = (&t.subject, &t.object) else {
             continue;
         };
-        let Some(gens) = generators.get(entity) else { continue };
-        let Some((_, Some(user_end))) = times.get(user) else { continue };
+        let Some(gens) = generators.get(entity) else {
+            continue;
+        };
+        let Some((_, Some(user_end))) = times.get(user) else {
+            continue;
+        };
         for generator in gens {
             if let Some((Some(gen_start), _)) = times.get(generator) {
                 if user_end < gen_start {
@@ -192,7 +204,9 @@ pub fn validate(graph: &Graph) -> Vec<Violation> {
     for t in graph.triples_matching(None, Some(&prov::was_informed_by()), None) {
         if let (Subject::Iri(a), Term::Iri(b)) = (&t.subject, &t.object) {
             if a == b {
-                out.push(Violation::SelfCommunication { activity: a.clone() });
+                out.push(Violation::SelfCommunication {
+                    activity: a.clone(),
+                });
             }
         }
     }
@@ -262,21 +276,47 @@ mod tests {
     #[test]
     fn clean_trace_validates() {
         let mut g = Graph::new();
-        g.insert(Triple::new(iri("http://e/a"), prov::started_at_time(), time(0)));
-        g.insert(Triple::new(iri("http://e/a"), prov::ended_at_time(), time(100)));
-        g.insert(Triple::new(iri("http://e/out"), prov::was_generated_by(), iri("http://e/a")));
-        g.insert(Triple::new(iri("http://e/a"), prov::used(), iri("http://e/in")));
+        g.insert(Triple::new(
+            iri("http://e/a"),
+            prov::started_at_time(),
+            time(0),
+        ));
+        g.insert(Triple::new(
+            iri("http://e/a"),
+            prov::ended_at_time(),
+            time(100),
+        ));
+        g.insert(Triple::new(
+            iri("http://e/out"),
+            prov::was_generated_by(),
+            iri("http://e/a"),
+        ));
+        g.insert(Triple::new(
+            iri("http://e/a"),
+            prov::used(),
+            iri("http://e/in"),
+        ));
         assert!(validate(&g).is_empty());
     }
 
     #[test]
     fn backwards_interval_detected() {
         let mut g = Graph::new();
-        g.insert(Triple::new(iri("http://e/a"), prov::started_at_time(), time(100)));
-        g.insert(Triple::new(iri("http://e/a"), prov::ended_at_time(), time(0)));
+        g.insert(Triple::new(
+            iri("http://e/a"),
+            prov::started_at_time(),
+            time(100),
+        ));
+        g.insert(Triple::new(
+            iri("http://e/a"),
+            prov::ended_at_time(),
+            time(0),
+        ));
         assert_eq!(
             validate(&g),
-            vec![Violation::ActivityEndsBeforeStart { activity: iri("http://e/a") }]
+            vec![Violation::ActivityEndsBeforeStart {
+                activity: iri("http://e/a")
+            }]
         );
     }
 
@@ -284,77 +324,172 @@ mod tests {
     fn usage_before_generation_detected() {
         let mut g = Graph::new();
         // user ran 0..100; generator ran 200..300 — impossible ordering.
-        g.insert(Triple::new(iri("http://e/user"), prov::started_at_time(), time(0)));
-        g.insert(Triple::new(iri("http://e/user"), prov::ended_at_time(), time(100)));
-        g.insert(Triple::new(iri("http://e/gen"), prov::started_at_time(), time(200)));
-        g.insert(Triple::new(iri("http://e/gen"), prov::ended_at_time(), time(300)));
-        g.insert(Triple::new(iri("http://e/d"), prov::was_generated_by(), iri("http://e/gen")));
-        g.insert(Triple::new(iri("http://e/user"), prov::used(), iri("http://e/d")));
+        g.insert(Triple::new(
+            iri("http://e/user"),
+            prov::started_at_time(),
+            time(0),
+        ));
+        g.insert(Triple::new(
+            iri("http://e/user"),
+            prov::ended_at_time(),
+            time(100),
+        ));
+        g.insert(Triple::new(
+            iri("http://e/gen"),
+            prov::started_at_time(),
+            time(200),
+        ));
+        g.insert(Triple::new(
+            iri("http://e/gen"),
+            prov::ended_at_time(),
+            time(300),
+        ));
+        g.insert(Triple::new(
+            iri("http://e/d"),
+            prov::was_generated_by(),
+            iri("http://e/gen"),
+        ));
+        g.insert(Triple::new(
+            iri("http://e/user"),
+            prov::used(),
+            iri("http://e/d"),
+        ));
         let vs = validate(&g);
-        assert!(vs.iter().any(|v| matches!(v, Violation::UsageBeforeGeneration { .. })));
+        assert!(vs
+            .iter()
+            .any(|v| matches!(v, Violation::UsageBeforeGeneration { .. })));
     }
 
     #[test]
     fn multiple_generation_detected() {
         let mut g = Graph::new();
-        g.insert(Triple::new(iri("http://e/d"), prov::was_generated_by(), iri("http://e/a1")));
-        g.insert(Triple::new(iri("http://e/d"), prov::was_generated_by(), iri("http://e/a2")));
+        g.insert(Triple::new(
+            iri("http://e/d"),
+            prov::was_generated_by(),
+            iri("http://e/a1"),
+        ));
+        g.insert(Triple::new(
+            iri("http://e/d"),
+            prov::was_generated_by(),
+            iri("http://e/a2"),
+        ));
         let vs = validate(&g);
-        assert!(matches!(&vs[..], [Violation::MultipleGeneration { generators, .. }] if generators.len() == 2));
+        assert!(
+            matches!(&vs[..], [Violation::MultipleGeneration { generators, .. }] if generators.len() == 2)
+        );
     }
 
     #[test]
     fn sub_activity_double_generation_is_tolerated() {
         let mut g = Graph::new();
-        let part_of =
-            Iri::new_unchecked("http://purl.org/wf4ever/wfprov#wasPartOfWorkflowRun");
-        g.insert(Triple::new(iri("http://e/out"), prov::was_generated_by(), iri("http://e/proc")));
-        g.insert(Triple::new(iri("http://e/out"), prov::was_generated_by(), iri("http://e/run")));
-        g.insert(Triple::new(iri("http://e/proc"), part_of, iri("http://e/run")));
+        let part_of = Iri::new_unchecked("http://purl.org/wf4ever/wfprov#wasPartOfWorkflowRun");
+        g.insert(Triple::new(
+            iri("http://e/out"),
+            prov::was_generated_by(),
+            iri("http://e/proc"),
+        ));
+        g.insert(Triple::new(
+            iri("http://e/out"),
+            prov::was_generated_by(),
+            iri("http://e/run"),
+        ));
+        g.insert(Triple::new(
+            iri("http://e/proc"),
+            part_of,
+            iri("http://e/run"),
+        ));
         assert!(validate(&g).is_empty());
     }
 
     #[test]
     fn duplicate_generation_by_same_activity_is_fine() {
         let mut g = Graph::new();
-        g.insert(Triple::new(iri("http://e/d"), prov::was_generated_by(), iri("http://e/a1")));
+        g.insert(Triple::new(
+            iri("http://e/d"),
+            prov::was_generated_by(),
+            iri("http://e/a1"),
+        ));
         // An RDF graph is a set, so re-inserting is invisible anyway.
-        g.insert(Triple::new(iri("http://e/d"), prov::was_generated_by(), iri("http://e/a1")));
+        g.insert(Triple::new(
+            iri("http://e/d"),
+            prov::was_generated_by(),
+            iri("http://e/a1"),
+        ));
         assert!(validate(&g).is_empty());
     }
 
     #[test]
     fn derivation_cycle_detected() {
         let mut g = Graph::new();
-        g.insert(Triple::new(iri("http://e/a"), prov::was_derived_from(), iri("http://e/b")));
-        g.insert(Triple::new(iri("http://e/b"), prov::was_derived_from(), iri("http://e/c")));
-        g.insert(Triple::new(iri("http://e/c"), prov::was_derived_from(), iri("http://e/a")));
+        g.insert(Triple::new(
+            iri("http://e/a"),
+            prov::was_derived_from(),
+            iri("http://e/b"),
+        ));
+        g.insert(Triple::new(
+            iri("http://e/b"),
+            prov::was_derived_from(),
+            iri("http://e/c"),
+        ));
+        g.insert(Triple::new(
+            iri("http://e/c"),
+            prov::was_derived_from(),
+            iri("http://e/a"),
+        ));
         let vs = validate(&g);
-        assert!(vs.iter().any(|v| matches!(v, Violation::DerivationCycle { .. })));
+        assert!(vs
+            .iter()
+            .any(|v| matches!(v, Violation::DerivationCycle { .. })));
     }
 
     #[test]
     fn derivation_dag_is_fine() {
         let mut g = Graph::new();
-        g.insert(Triple::new(iri("http://e/c"), prov::was_derived_from(), iri("http://e/a")));
-        g.insert(Triple::new(iri("http://e/c"), prov::was_derived_from(), iri("http://e/b")));
-        g.insert(Triple::new(iri("http://e/d"), prov::was_derived_from(), iri("http://e/c")));
+        g.insert(Triple::new(
+            iri("http://e/c"),
+            prov::was_derived_from(),
+            iri("http://e/a"),
+        ));
+        g.insert(Triple::new(
+            iri("http://e/c"),
+            prov::was_derived_from(),
+            iri("http://e/b"),
+        ));
+        g.insert(Triple::new(
+            iri("http://e/d"),
+            prov::was_derived_from(),
+            iri("http://e/c"),
+        ));
         assert!(validate(&g).is_empty());
     }
 
     #[test]
     fn reflexive_relations_detected() {
         let mut g = Graph::new();
-        g.insert(Triple::new(iri("http://e/a"), prov::was_informed_by(), iri("http://e/a")));
-        g.insert(Triple::new(iri("http://e/d"), prov::was_derived_from(), iri("http://e/d")));
+        g.insert(Triple::new(
+            iri("http://e/a"),
+            prov::was_informed_by(),
+            iri("http://e/a"),
+        ));
+        g.insert(Triple::new(
+            iri("http://e/d"),
+            prov::was_derived_from(),
+            iri("http://e/d"),
+        ));
         let vs = validate(&g);
-        assert!(vs.contains(&Violation::SelfCommunication { activity: iri("http://e/a") }));
-        assert!(vs.contains(&Violation::SelfDerivation { entity: iri("http://e/d") }));
+        assert!(vs.contains(&Violation::SelfCommunication {
+            activity: iri("http://e/a")
+        }));
+        assert!(vs.contains(&Violation::SelfDerivation {
+            entity: iri("http://e/d")
+        }));
     }
 
     #[test]
     fn violations_display() {
-        let v = Violation::ActivityEndsBeforeStart { activity: iri("http://e/a") };
+        let v = Violation::ActivityEndsBeforeStart {
+            activity: iri("http://e/a"),
+        };
         assert!(v.to_string().contains("ends before"));
         let _ = vocab::rdf_type(); // silence unused import in cfg(test)
     }

@@ -57,19 +57,30 @@ pub fn graph_to_document(graph: &Graph) -> Document {
             doc.add_agent(agent);
         } else if is(ts, &prov::activity()) {
             let mut act = Activity::new(id.clone());
-            act.types = ts.iter().filter(|t| **t != prov::activity()).cloned().collect();
+            act.types = ts
+                .iter()
+                .filter(|t| **t != prov::activity())
+                .cloned()
+                .collect();
             doc.add_activity(act);
         } else if is(ts, &prov::entity()) || is(ts, &prov::plan()) || is(ts, &prov::bundle()) {
             let mut ent = Entity::new(id.clone());
-            ent.types = ts.iter().filter(|t| **t != prov::entity()).cloned().collect();
+            ent.types = ts
+                .iter()
+                .filter(|t| **t != prov::entity())
+                .cloned()
+                .collect();
             doc.add_entity(ent);
         }
     }
 
     // 3. Blank helper nodes of qualified patterns, to be skipped later.
     let mut helper_blanks: BTreeSet<Subject> = BTreeSet::new();
-    for p in [prov::qualified_association(), prov::qualified_usage(), prov::qualified_generation()]
-    {
+    for p in [
+        prov::qualified_association(),
+        prov::qualified_usage(),
+        prov::qualified_generation(),
+    ] {
         for t in graph.triples_matching(None, Some(&p), None) {
             if let Term::Blank(b) = &t.object {
                 helper_blanks.insert(Subject::Blank(b.clone()));
@@ -80,10 +91,18 @@ pub fn graph_to_document(graph: &Graph) -> Document {
     // 4. Qualified associations → (activity, agent) → plan.
     let mut assoc_plans: BTreeMap<(Iri, Iri), Iri> = BTreeMap::new();
     for t in graph.triples_matching(None, Some(&prov::qualified_association()), None) {
-        let Subject::Iri(activity) = &t.subject else { continue };
-        let Some(q) = t.object.as_subject() else { continue };
-        let agent = graph.object(&q, &prov::agent_prop()).and_then(|o| o.as_iri().cloned());
-        let plan = graph.object(&q, &prov::had_plan()).and_then(|o| o.as_iri().cloned());
+        let Subject::Iri(activity) = &t.subject else {
+            continue;
+        };
+        let Some(q) = t.object.as_subject() else {
+            continue;
+        };
+        let agent = graph
+            .object(&q, &prov::agent_prop())
+            .and_then(|o| o.as_iri().cloned());
+        let plan = graph
+            .object(&q, &prov::had_plan())
+            .and_then(|o| o.as_iri().cloned());
         if let (Some(agent), Some(plan)) = (agent, plan) {
             assoc_plans.insert((activity.clone(), agent), plan);
         }
@@ -102,13 +121,23 @@ pub fn graph_to_document(graph: &Graph) -> Document {
         prov::was_influenced_by(),
     ];
     for t in graph.iter() {
-        let Subject::Iri(s) = &t.subject else { continue };
+        let Subject::Iri(s) = &t.subject else {
+            continue;
+        };
         let Some(o) = t.object.as_iri() else { continue };
         let p = &t.predicate;
         let rel = if *p == prov::used() {
-            Some(Relation::Used { activity: s.clone(), entity: o.clone(), time: None })
+            Some(Relation::Used {
+                activity: s.clone(),
+                entity: o.clone(),
+                time: None,
+            })
         } else if *p == prov::was_generated_by() {
-            Some(Relation::WasGeneratedBy { entity: s.clone(), activity: o.clone(), time: None })
+            Some(Relation::WasGeneratedBy {
+                entity: s.clone(),
+                activity: o.clone(),
+                time: None,
+            })
         } else if *p == prov::was_associated_with() {
             Some(Relation::WasAssociatedWith {
                 activity: s.clone(),
@@ -116,17 +145,35 @@ pub fn graph_to_document(graph: &Graph) -> Document {
                 plan: assoc_plans.get(&(s.clone(), o.clone())).cloned(),
             })
         } else if *p == prov::was_attributed_to() {
-            Some(Relation::WasAttributedTo { entity: s.clone(), agent: o.clone() })
+            Some(Relation::WasAttributedTo {
+                entity: s.clone(),
+                agent: o.clone(),
+            })
         } else if *p == prov::acted_on_behalf_of() {
-            Some(Relation::ActedOnBehalfOf { delegate: s.clone(), responsible: o.clone() })
+            Some(Relation::ActedOnBehalfOf {
+                delegate: s.clone(),
+                responsible: o.clone(),
+            })
         } else if *p == prov::was_derived_from() {
-            Some(Relation::WasDerivedFrom { generated: s.clone(), used: o.clone() })
+            Some(Relation::WasDerivedFrom {
+                generated: s.clone(),
+                used: o.clone(),
+            })
         } else if *p == prov::had_primary_source() {
-            Some(Relation::HadPrimarySource { derived: s.clone(), source: o.clone() })
+            Some(Relation::HadPrimarySource {
+                derived: s.clone(),
+                source: o.clone(),
+            })
         } else if *p == prov::was_informed_by() {
-            Some(Relation::WasInformedBy { informed: s.clone(), informant: o.clone() })
+            Some(Relation::WasInformedBy {
+                informed: s.clone(),
+                informant: o.clone(),
+            })
         } else if *p == prov::was_influenced_by() {
-            Some(Relation::WasInfluencedBy { influencee: s.clone(), influencer: o.clone() })
+            Some(Relation::WasInfluencedBy {
+                influencee: s.clone(),
+                influencer: o.clone(),
+            })
         } else {
             None
         };
@@ -152,7 +199,9 @@ pub fn graph_to_document(graph: &Graph) -> Document {
         if helper_blanks.contains(&t.subject) {
             continue; // qualified-pattern internals
         }
-        let Subject::Iri(s) = &t.subject else { continue };
+        let Subject::Iri(s) = &t.subject else {
+            continue;
+        };
         let p = &t.predicate;
         if *p == rdf_type || rel_preds.contains(p) {
             continue;
@@ -294,7 +343,11 @@ mod tests {
     fn unknown_predicates_become_attributes() {
         let mut b = DocumentBuilder::new("http://e/");
         let d = b.entity("d").id();
-        b.other(&d, Iri::new("http://custom/pred").unwrap(), Iri::new("http://custom/obj").unwrap());
+        b.other(
+            &d,
+            Iri::new("http://custom/pred").unwrap(),
+            Iri::new("http://custom/obj").unwrap(),
+        );
         let g = document_to_graph(&b.build(), ProfileOptions::taverna());
         let back = graph_to_document(&g);
         assert_eq!(back.entities[&d].attributes.len(), 1);

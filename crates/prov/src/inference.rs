@@ -135,7 +135,9 @@ fn infer_plans_and_associations(g: &Graph, out: &mut Vec<Triple>) {
     }
     // Qualified association ⟹ direct association.
     for t in g.triples_matching(None, Some(&prov::qualified_association()), None) {
-        let Some(q) = t.object.as_subject() else { continue };
+        let Some(q) = t.object.as_subject() else {
+            continue;
+        };
         for agent in g.objects(&q, &prov::agent_prop()) {
             out.push(Triple::new(
                 t.subject.clone(),
@@ -148,10 +150,10 @@ fn infer_plans_and_associations(g: &Graph, out: &mut Vec<Triple>) {
 
 fn infer_communication(g: &Graph, out: &mut Vec<Triple>) {
     for used in g.triples_matching(None, Some(&prov::used()), None) {
-        let Some(entity) = used.object.as_subject() else { continue };
-        for gen in
-            g.triples_matching(Some(&entity), Some(&prov::was_generated_by()), None)
-        {
+        let Some(entity) = used.object.as_subject() else {
+            continue;
+        };
+        for gen in g.triples_matching(Some(&entity), Some(&prov::was_generated_by()), None) {
             // `used.subject` was informed by the generator of the entity,
             // unless they are the same activity.
             if Term::from(used.subject.clone()) != gen.object {
@@ -167,7 +169,9 @@ fn infer_communication(g: &Graph, out: &mut Vec<Triple>) {
 
 fn infer_derivation(g: &Graph, out: &mut Vec<Triple>) {
     for gen in g.triples_matching(None, Some(&prov::was_generated_by()), None) {
-        let Some(activity) = gen.object.as_subject() else { continue };
+        let Some(activity) = gen.object.as_subject() else {
+            continue;
+        };
         for used in g.triples_matching(Some(&activity), Some(&prov::used()), None) {
             if Term::from(gen.subject.clone()) != used.object {
                 out.push(Triple::new(
@@ -182,10 +186,10 @@ fn infer_derivation(g: &Graph, out: &mut Vec<Triple>) {
 
 fn infer_attribution(g: &Graph, out: &mut Vec<Triple>) {
     for gen in g.triples_matching(None, Some(&prov::was_generated_by()), None) {
-        let Some(activity) = gen.object.as_subject() else { continue };
-        for assoc in
-            g.triples_matching(Some(&activity), Some(&prov::was_associated_with()), None)
-        {
+        let Some(activity) = gen.object.as_subject() else {
+            continue;
+        };
+        for assoc in g.triples_matching(Some(&activity), Some(&prov::was_associated_with()), None) {
             out.push(Triple::new(
                 gen.subject.clone(),
                 prov::was_attributed_to(),
@@ -217,13 +221,55 @@ fn infer_typing(g: &Graph, out: &mut Vec<Triple>) {
     let activity = prov::activity();
     let agent = prov::agent();
     type_both(g, &prov::used(), Some(&activity), Some(&entity), out);
-    type_both(g, &prov::was_generated_by(), Some(&entity), Some(&activity), out);
-    type_both(g, &prov::was_associated_with(), Some(&activity), Some(&agent), out);
-    type_both(g, &prov::was_attributed_to(), Some(&entity), Some(&agent), out);
-    type_both(g, &prov::was_informed_by(), Some(&activity), Some(&activity), out);
-    type_both(g, &prov::was_derived_from(), Some(&entity), Some(&entity), out);
-    type_both(g, &prov::had_primary_source(), Some(&entity), Some(&entity), out);
-    type_both(g, &prov::acted_on_behalf_of(), Some(&agent), Some(&agent), out);
+    type_both(
+        g,
+        &prov::was_generated_by(),
+        Some(&entity),
+        Some(&activity),
+        out,
+    );
+    type_both(
+        g,
+        &prov::was_associated_with(),
+        Some(&activity),
+        Some(&agent),
+        out,
+    );
+    type_both(
+        g,
+        &prov::was_attributed_to(),
+        Some(&entity),
+        Some(&agent),
+        out,
+    );
+    type_both(
+        g,
+        &prov::was_informed_by(),
+        Some(&activity),
+        Some(&activity),
+        out,
+    );
+    type_both(
+        g,
+        &prov::was_derived_from(),
+        Some(&entity),
+        Some(&entity),
+        out,
+    );
+    type_both(
+        g,
+        &prov::had_primary_source(),
+        Some(&entity),
+        Some(&entity),
+        out,
+    );
+    type_both(
+        g,
+        &prov::acted_on_behalf_of(),
+        Some(&agent),
+        Some(&agent),
+        out,
+    );
     // Subclass axioms.
     for (sub, sup) in [
         (prov::person(), agent.clone()),
@@ -250,7 +296,10 @@ pub fn any_instance_of(graph: &Graph, class: &provbench_rdf::Iri) -> bool {
 
 /// Convenience: whether `graph` asserts any triple with this predicate.
 pub fn any_use_of(graph: &Graph, property: &provbench_rdf::Iri) -> bool {
-    graph.triples_matching(None, Some(property), None).next().is_some()
+    graph
+        .triples_matching(None, Some(property), None)
+        .next()
+        .is_some()
 }
 
 #[cfg(test)]
@@ -292,8 +341,16 @@ mod tests {
     fn had_plan_types_the_plan() {
         let mut g = Graph::new();
         let q = BlankNode::new("q0").unwrap();
-        g.insert(Triple::new(iri("http://e/act"), prov::qualified_association(), q.clone()));
-        g.insert(Triple::new(q.clone(), prov::agent_prop(), iri("http://e/engine")));
+        g.insert(Triple::new(
+            iri("http://e/act"),
+            prov::qualified_association(),
+            q.clone(),
+        ));
+        g.insert(Triple::new(
+            q.clone(),
+            prov::agent_prop(),
+            iri("http://e/engine"),
+        ));
         g.insert(Triple::new(q, prov::had_plan(), iri("http://e/wf")));
         let inf = apply_inference(&g, &InferenceRules::schema_only());
         assert!(any_instance_of(&inf, &prov::plan()));
@@ -304,7 +361,11 @@ mod tests {
             iri("http://e/engine")
         )));
         // Plan ⊑ Entity typing follows.
-        assert!(inf.contains(&Triple::new(iri("http://e/wf"), vocab::rdf_type(), prov::entity())));
+        assert!(inf.contains(&Triple::new(
+            iri("http://e/wf"),
+            vocab::rdf_type(),
+            prov::entity()
+        )));
     }
 
     #[test]
@@ -348,7 +409,11 @@ mod tests {
     fn attribution_inference() {
         let g = g_with(&[
             ("http://e/out", prov::was_generated_by(), "http://e/act"),
-            ("http://e/act", prov::was_associated_with(), "http://e/engine"),
+            (
+                "http://e/act",
+                prov::was_associated_with(),
+                "http://e/engine",
+            ),
         ]);
         let inf = apply_inference(&g, &InferenceRules::all());
         assert!(inf.contains(&Triple::new(
@@ -362,8 +427,16 @@ mod tests {
     fn typing_rules_assign_domains_and_ranges() {
         let g = g_with(&[("http://e/act", prov::used(), "http://e/data")]);
         let inf = apply_inference(&g, &InferenceRules::schema_only());
-        assert!(inf.contains(&Triple::new(iri("http://e/act"), vocab::rdf_type(), prov::activity())));
-        assert!(inf.contains(&Triple::new(iri("http://e/data"), vocab::rdf_type(), prov::entity())));
+        assert!(inf.contains(&Triple::new(
+            iri("http://e/act"),
+            vocab::rdf_type(),
+            prov::activity()
+        )));
+        assert!(inf.contains(&Triple::new(
+            iri("http://e/data"),
+            vocab::rdf_type(),
+            prov::entity()
+        )));
     }
 
     #[test]
@@ -371,7 +444,11 @@ mod tests {
         let g = g_with(&[
             ("http://e/act", prov::used(), "http://e/in"),
             ("http://e/out", prov::was_generated_by(), "http://e/act"),
-            ("http://e/act", prov::was_associated_with(), "http://e/agent"),
+            (
+                "http://e/act",
+                prov::was_associated_with(),
+                "http://e/agent",
+            ),
         ]);
         let once = apply_inference(&g, &InferenceRules::all());
         // Monotone: the input is contained.

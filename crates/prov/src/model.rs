@@ -110,7 +110,13 @@ pub struct Agent {
 impl Agent {
     /// A bare agent of the given kind.
     pub fn new(id: Iri, kind: AgentKind) -> Self {
-        Agent { id, kind, types: Vec::new(), name: None, attributes: Vec::new() }
+        Agent {
+            id,
+            kind,
+            types: Vec::new(),
+            name: None,
+            attributes: Vec::new(),
+        }
     }
 }
 
@@ -407,6 +413,9 @@ mod tests {
         e2.label = Some("v2".into());
         d.add_entity(e2);
         assert_eq!(d.entities.len(), 1);
-        assert_eq!(d.entities[&iri("http://e/data")].label.as_deref(), Some("v2"));
+        assert_eq!(
+            d.entities[&iri("http://e/data")].label.as_deref(),
+            Some("v2")
+        );
     }
 }

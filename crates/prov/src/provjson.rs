@@ -44,8 +44,7 @@ fn literal_json(l: &Literal, namer: &mut Namer) -> String {
 
 /// Render one `"name": { ...attrs }` record block.
 fn record(pairs: &[(String, String)]) -> String {
-    let inner: Vec<String> =
-        pairs.iter().map(|(k, v)| format!("\"{k}\":{v}")).collect();
+    let inner: Vec<String> = pairs.iter().map(|(k, v)| format!("\"{k}\":{v}")).collect();
     format!("{{{}}}", inner.join(","))
 }
 
@@ -53,8 +52,10 @@ fn section(name: &str, members: Vec<(String, String)>, out: &mut Vec<String>) {
     if members.is_empty() {
         return;
     }
-    let inner: Vec<String> =
-        members.iter().map(|(id, body)| format!("\"{id}\":{body}")).collect();
+    let inner: Vec<String> = members
+        .iter()
+        .map(|(id, body)| format!("\"{id}\":{body}"))
+        .collect();
     out.push(format!("\"{name}\":{{{}}}", inner.join(",")));
 }
 
@@ -69,11 +70,17 @@ fn body_sections(doc: &Document, namer: &mut Namer) -> Vec<String> {
             for ty in &e.types {
                 attrs.push((
                     "prov:type".to_owned(),
-                    format!("{{\"$\":\"{}\",\"type\":\"prov:QUALIFIED_NAME\"}}", namer.qname(ty)),
+                    format!(
+                        "{{\"$\":\"{}\",\"type\":\"prov:QUALIFIED_NAME\"}}",
+                        namer.qname(ty)
+                    ),
                 ));
             }
             if let Some(label) = &e.label {
-                attrs.push(("prov:label".to_owned(), format!("\"{}\"", json_escape(label))));
+                attrs.push((
+                    "prov:label".to_owned(),
+                    format!("\"{}\"", json_escape(label)),
+                ));
             }
             if let Some(value) = &e.value {
                 attrs.push(("prov:value".to_owned(), literal_json(value, namer)));
@@ -103,11 +110,17 @@ fn body_sections(doc: &Document, namer: &mut Namer) -> Vec<String> {
             for ty in &a.types {
                 attrs.push((
                     "prov:type".to_owned(),
-                    format!("{{\"$\":\"{}\",\"type\":\"prov:QUALIFIED_NAME\"}}", namer.qname(ty)),
+                    format!(
+                        "{{\"$\":\"{}\",\"type\":\"prov:QUALIFIED_NAME\"}}",
+                        namer.qname(ty)
+                    ),
                 ));
             }
             if let Some(label) = &a.label {
-                attrs.push(("prov:label".to_owned(), format!("\"{}\"", json_escape(label))));
+                attrs.push((
+                    "prov:label".to_owned(),
+                    format!("\"{}\"", json_escape(label)),
+                ));
             }
             (namer.qname(&a.id), record(&attrs))
         })
@@ -145,30 +158,60 @@ fn body_sections(doc: &Document, namer: &mut Namer) -> Vec<String> {
     for (i, r) in doc.relations.iter().enumerate() {
         let id = format!("_:r{i}");
         let (name, attrs): (&str, Vec<(String, String)>) = match r {
-            Relation::Used { activity, entity, time } => {
+            Relation::Used {
+                activity,
+                entity,
+                time,
+            } => {
                 let mut a = vec![
-                    ("prov:activity".to_owned(), format!("\"{}\"", namer.qname(activity))),
-                    ("prov:entity".to_owned(), format!("\"{}\"", namer.qname(entity))),
+                    (
+                        "prov:activity".to_owned(),
+                        format!("\"{}\"", namer.qname(activity)),
+                    ),
+                    (
+                        "prov:entity".to_owned(),
+                        format!("\"{}\"", namer.qname(entity)),
+                    ),
                 ];
                 if let Some(t) = time {
                     a.push(("prov:time".to_owned(), format!("\"{t}\"")));
                 }
                 ("used", a)
             }
-            Relation::WasGeneratedBy { entity, activity, time } => {
+            Relation::WasGeneratedBy {
+                entity,
+                activity,
+                time,
+            } => {
                 let mut a = vec![
-                    ("prov:entity".to_owned(), format!("\"{}\"", namer.qname(entity))),
-                    ("prov:activity".to_owned(), format!("\"{}\"", namer.qname(activity))),
+                    (
+                        "prov:entity".to_owned(),
+                        format!("\"{}\"", namer.qname(entity)),
+                    ),
+                    (
+                        "prov:activity".to_owned(),
+                        format!("\"{}\"", namer.qname(activity)),
+                    ),
                 ];
                 if let Some(t) = time {
                     a.push(("prov:time".to_owned(), format!("\"{t}\"")));
                 }
                 ("wasGeneratedBy", a)
             }
-            Relation::WasAssociatedWith { activity, agent, plan } => {
+            Relation::WasAssociatedWith {
+                activity,
+                agent,
+                plan,
+            } => {
                 let mut a = vec![
-                    ("prov:activity".to_owned(), format!("\"{}\"", namer.qname(activity))),
-                    ("prov:agent".to_owned(), format!("\"{}\"", namer.qname(agent))),
+                    (
+                        "prov:activity".to_owned(),
+                        format!("\"{}\"", namer.qname(activity)),
+                    ),
+                    (
+                        "prov:agent".to_owned(),
+                        format!("\"{}\"", namer.qname(agent)),
+                    ),
                 ];
                 if let Some(p) = plan {
                     a.push(("prov:plan".to_owned(), format!("\"{}\"", namer.qname(p))));
@@ -178,14 +221,26 @@ fn body_sections(doc: &Document, namer: &mut Namer) -> Vec<String> {
             Relation::WasAttributedTo { entity, agent } => (
                 "wasAttributedTo",
                 vec![
-                    ("prov:entity".to_owned(), format!("\"{}\"", namer.qname(entity))),
-                    ("prov:agent".to_owned(), format!("\"{}\"", namer.qname(agent))),
+                    (
+                        "prov:entity".to_owned(),
+                        format!("\"{}\"", namer.qname(entity)),
+                    ),
+                    (
+                        "prov:agent".to_owned(),
+                        format!("\"{}\"", namer.qname(agent)),
+                    ),
                 ],
             ),
-            Relation::ActedOnBehalfOf { delegate, responsible } => (
+            Relation::ActedOnBehalfOf {
+                delegate,
+                responsible,
+            } => (
                 "actedOnBehalfOf",
                 vec![
-                    ("prov:delegate".to_owned(), format!("\"{}\"", namer.qname(delegate))),
+                    (
+                        "prov:delegate".to_owned(),
+                        format!("\"{}\"", namer.qname(delegate)),
+                    ),
                     (
                         "prov:responsible".to_owned(),
                         format!("\"{}\"", namer.qname(responsible)),
@@ -199,7 +254,10 @@ fn body_sections(doc: &Document, namer: &mut Namer) -> Vec<String> {
                         "prov:generatedEntity".to_owned(),
                         format!("\"{}\"", namer.qname(generated)),
                     ),
-                    ("prov:usedEntity".to_owned(), format!("\"{}\"", namer.qname(used))),
+                    (
+                        "prov:usedEntity".to_owned(),
+                        format!("\"{}\"", namer.qname(used)),
+                    ),
                 ],
             ),
             Relation::HadPrimarySource { derived, source } => (
@@ -209,7 +267,10 @@ fn body_sections(doc: &Document, namer: &mut Namer) -> Vec<String> {
                         "prov:generatedEntity".to_owned(),
                         format!("\"{}\"", namer.qname(derived)),
                     ),
-                    ("prov:usedEntity".to_owned(), format!("\"{}\"", namer.qname(source))),
+                    (
+                        "prov:usedEntity".to_owned(),
+                        format!("\"{}\"", namer.qname(source)),
+                    ),
                     (
                         "prov:type".to_owned(),
                         "{\"$\":\"prov:PrimarySource\",\"type\":\"prov:QUALIFIED_NAME\"}"
@@ -217,18 +278,36 @@ fn body_sections(doc: &Document, namer: &mut Namer) -> Vec<String> {
                     ),
                 ],
             ),
-            Relation::WasInformedBy { informed, informant } => (
+            Relation::WasInformedBy {
+                informed,
+                informant,
+            } => (
                 "wasInformedBy",
                 vec![
-                    ("prov:informed".to_owned(), format!("\"{}\"", namer.qname(informed))),
-                    ("prov:informant".to_owned(), format!("\"{}\"", namer.qname(informant))),
+                    (
+                        "prov:informed".to_owned(),
+                        format!("\"{}\"", namer.qname(informed)),
+                    ),
+                    (
+                        "prov:informant".to_owned(),
+                        format!("\"{}\"", namer.qname(informant)),
+                    ),
                 ],
             ),
-            Relation::WasInfluencedBy { influencee, influencer } => (
+            Relation::WasInfluencedBy {
+                influencee,
+                influencer,
+            } => (
                 "wasInfluencedBy",
                 vec![
-                    ("prov:influencee".to_owned(), format!("\"{}\"", namer.qname(influencee))),
-                    ("prov:influencer".to_owned(), format!("\"{}\"", namer.qname(influencer))),
+                    (
+                        "prov:influencee".to_owned(),
+                        format!("\"{}\"", namer.qname(influencee)),
+                    ),
+                    (
+                        "prov:influencer".to_owned(),
+                        format!("\"{}\"", namer.qname(influencer)),
+                    ),
                 ],
             ),
             Relation::Other { .. } => continue, // extension statements stay in RDF

@@ -79,8 +79,7 @@ impl Namer {
 
     pub(crate) fn declarations(&self) -> String {
         let mut out = String::new();
-        let mut pairs: Vec<(&String, &String)> =
-            self.by_ns.iter().map(|(ns, p)| (p, ns)).collect();
+        let mut pairs: Vec<(&String, &String)> = self.by_ns.iter().map(|(ns, p)| (p, ns)).collect();
         pairs.sort();
         for (p, ns) in pairs {
             let _ = writeln!(out, "  prefix {p} <{ns}>");
@@ -90,7 +89,10 @@ impl Namer {
 }
 
 fn escape(value: &str) -> String {
-    value.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+    value
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
 }
 
 fn literal_str(l: &Literal, namer: &mut Namer) -> String {
@@ -99,7 +101,11 @@ fn literal_str(l: &Literal, namer: &mut Namer) -> String {
     } else if l.is_simple() {
         format!("\"{}\"", escape(l.lexical()))
     } else {
-        format!("\"{}\" %% {}", escape(l.lexical()), namer.qname(&l.datatype()))
+        format!(
+            "\"{}\" %% {}",
+            escape(l.lexical()),
+            namer.qname(&l.datatype())
+        )
     }
 }
 
@@ -107,8 +113,7 @@ fn attr_list(pairs: &[(String, String)]) -> String {
     if pairs.is_empty() {
         String::new()
     } else {
-        let inner: Vec<String> =
-            pairs.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        let inner: Vec<String> = pairs.iter().map(|(k, v)| format!("{k}={v}")).collect();
         format!(", [{}]", inner.join(", "))
     }
 }
@@ -125,7 +130,10 @@ fn entity_line(e: &Entity, namer: &mut Namer, out: &mut String) {
         attrs.push(("prov:value".to_owned(), literal_str(value, namer)));
     }
     if let Some(loc) = &e.location {
-        attrs.push(("prov:atLocation".to_owned(), format!("'{}'", namer.qname(loc))));
+        attrs.push((
+            "prov:atLocation".to_owned(),
+            format!("'{}'", namer.qname(loc)),
+        ));
     }
     let id = namer.qname(&e.id);
     let _ = writeln!(out, "  entity({id}{})", attr_list(&attrs));
@@ -140,9 +148,7 @@ fn activity_line(a: &Activity, namer: &mut Namer, out: &mut String) {
         attrs.push(("rdfs:label".to_owned(), format!("\"{}\"", escape(label))));
     }
     let id = namer.qname(&a.id);
-    let time = |t: &Option<provbench_rdf::DateTime>| {
-        t.map_or("-".to_owned(), |d| d.to_string())
-    };
+    let time = |t: &Option<provbench_rdf::DateTime>| t.map_or("-".to_owned(), |d| d.to_string());
     let _ = writeln!(
         out,
         "  activity({id}, {}, {}{})",
@@ -173,17 +179,29 @@ fn agent_line(a: &Agent, namer: &mut Namer, out: &mut String) {
 fn relation_line(r: &Relation, namer: &mut Namer, out: &mut String) {
     let q = |iri: &Iri, namer: &mut Namer| namer.qname(iri);
     match r {
-        Relation::Used { activity, entity, time } => {
+        Relation::Used {
+            activity,
+            entity,
+            time,
+        } => {
             let t = time.map_or("-".to_owned(), |d| d.to_string());
             let (a, e) = (q(activity, namer), q(entity, namer));
             let _ = writeln!(out, "  used({a}, {e}, {t})");
         }
-        Relation::WasGeneratedBy { entity, activity, time } => {
+        Relation::WasGeneratedBy {
+            entity,
+            activity,
+            time,
+        } => {
             let t = time.map_or("-".to_owned(), |d| d.to_string());
             let (e, a) = (q(entity, namer), q(activity, namer));
             let _ = writeln!(out, "  wasGeneratedBy({e}, {a}, {t})");
         }
-        Relation::WasAssociatedWith { activity, agent, plan } => {
+        Relation::WasAssociatedWith {
+            activity,
+            agent,
+            plan,
+        } => {
             let p = plan.as_ref().map_or("-".to_owned(), |p| q(p, namer));
             let (a, g) = (q(activity, namer), q(agent, namer));
             let _ = writeln!(out, "  wasAssociatedWith({a}, {g}, {p})");
@@ -192,7 +210,10 @@ fn relation_line(r: &Relation, namer: &mut Namer, out: &mut String) {
             let (e, g) = (q(entity, namer), q(agent, namer));
             let _ = writeln!(out, "  wasAttributedTo({e}, {g})");
         }
-        Relation::ActedOnBehalfOf { delegate, responsible } => {
+        Relation::ActedOnBehalfOf {
+            delegate,
+            responsible,
+        } => {
             let (d, rr) = (q(delegate, namer), q(responsible, namer));
             let _ = writeln!(out, "  actedOnBehalfOf({d}, {rr})");
         }
@@ -207,15 +228,25 @@ fn relation_line(r: &Relation, namer: &mut Namer, out: &mut String) {
                 "  wasDerivedFrom({d}, {s}, -, -, -, [prov:type='prov:PrimarySource'])"
             );
         }
-        Relation::WasInformedBy { informed, informant } => {
+        Relation::WasInformedBy {
+            informed,
+            informant,
+        } => {
             let (a, b) = (q(informed, namer), q(informant, namer));
             let _ = writeln!(out, "  wasInformedBy({a}, {b})");
         }
-        Relation::WasInfluencedBy { influencee, influencer } => {
+        Relation::WasInfluencedBy {
+            influencee,
+            influencer,
+        } => {
             let (a, b) = (q(influencee, namer), q(influencer, namer));
             let _ = writeln!(out, "  wasInfluencedBy({a}, {b})");
         }
-        Relation::Other { subject, predicate, object } => {
+        Relation::Other {
+            subject,
+            predicate,
+            object,
+        } => {
             // PROV-N has no general triples; record as a comment so the
             // document stays information-complete for a human reader.
             let s = q(subject, namer);
@@ -273,7 +304,11 @@ mod tests {
 
     fn sample() -> Document {
         let mut b = DocumentBuilder::new("http://example.org/run/");
-        let data = b.entity("data").label("input").value(Literal::integer(5)).id();
+        let data = b
+            .entity("data")
+            .label("input")
+            .value(Literal::integer(5))
+            .id();
         let out = b.entity("out").id();
         let act = b
             .activity("step")
@@ -295,9 +330,7 @@ mod tests {
         assert!(provn.ends_with("endDocument\n"));
         assert!(provn.contains("prefix prov <http://www.w3.org/ns/prov#>"));
         assert!(provn.contains("entity(ns1:data, [rdfs:label=\"input\""));
-        assert!(provn.contains(
-            "activity(ns1:step, 1970-01-01T00:00:00Z, 1970-01-01T00:00:01Z"
-        ));
+        assert!(provn.contains("activity(ns1:step, 1970-01-01T00:00:00Z, 1970-01-01T00:00:01Z"));
         assert!(provn.contains("agent(ns1:engine, [prov:type='prov:SoftwareAgent'"));
         assert!(provn.contains("used(ns1:step, ns1:data, -)"));
         assert!(provn.contains("wasGeneratedBy(ns1:out, ns1:step, 1970-01-01T00:00:00.900Z)"));

@@ -34,7 +34,10 @@ impl TermStats {
                     *self.class_counts.entry(class.clone()).or_default() += 1;
                 }
             }
-            *self.predicate_counts.entry(t.predicate.clone()).or_default() += 1;
+            *self
+                .predicate_counts
+                .entry(t.predicate.clone())
+                .or_default() += 1;
         }
     }
 
@@ -80,9 +83,21 @@ mod tests {
 
     fn sample() -> Graph {
         let mut g = Graph::new();
-        g.insert(Triple::new(iri("http://e/a"), vocab::rdf_type(), prov::activity()));
-        g.insert(Triple::new(iri("http://e/a"), prov::used(), iri("http://e/d")));
-        g.insert(Triple::new(iri("http://e/a"), prov::used(), iri("http://e/d2")));
+        g.insert(Triple::new(
+            iri("http://e/a"),
+            vocab::rdf_type(),
+            prov::activity(),
+        ));
+        g.insert(Triple::new(
+            iri("http://e/a"),
+            prov::used(),
+            iri("http://e/d"),
+        ));
+        g.insert(Triple::new(
+            iri("http://e/a"),
+            prov::used(),
+            iri("http://e/d2"),
+        ));
         g
     }
 

@@ -35,12 +35,18 @@ pub struct ProfileOptions {
 impl ProfileOptions {
     /// The Taverna plugin profile.
     pub fn taverna() -> Self {
-        ProfileOptions { plan_style: PlanStyle::QualifiedHadPlan, blank_discriminator: 0 }
+        ProfileOptions {
+            plan_style: PlanStyle::QualifiedHadPlan,
+            blank_discriminator: 0,
+        }
     }
 
     /// The Wings/OPMW publisher profile.
     pub fn wings() -> Self {
-        ProfileOptions { plan_style: PlanStyle::TypedPlan, blank_discriminator: 0 }
+        ProfileOptions {
+            plan_style: PlanStyle::TypedPlan,
+            blank_discriminator: 0,
+        }
     }
 
     /// Set the blank-node label discriminator.
@@ -65,7 +71,10 @@ impl Emitter<'_> {
         let label = if self.opts.blank_discriminator == 0 {
             format!("q{}", self.blank_counter)
         } else {
-            format!("q{:08x}x{}", self.opts.blank_discriminator, self.blank_counter)
+            format!(
+                "q{:08x}x{}",
+                self.opts.blank_discriminator, self.blank_counter
+            )
         };
         let b = BlankNode::new(label).expect("valid label");
         self.blank_counter += 1;
@@ -87,7 +96,11 @@ impl Emitter<'_> {
             self.triple(e.id.clone(), prov::at_location(), location.clone());
         }
         if let Some(at) = &e.generated_at {
-            self.triple(e.id.clone(), prov::generated_at_time(), Literal::date_time(at));
+            self.triple(
+                e.id.clone(),
+                prov::generated_at_time(),
+                Literal::date_time(at),
+            );
         }
         for (p, o) in &e.attributes {
             self.triple(e.id.clone(), p.clone(), o.clone());
@@ -103,7 +116,11 @@ impl Emitter<'_> {
             self.triple(a.id.clone(), rdfs::label(), Literal::simple(label));
         }
         if let Some(at) = &a.started {
-            self.triple(a.id.clone(), prov::started_at_time(), Literal::date_time(at));
+            self.triple(
+                a.id.clone(),
+                prov::started_at_time(),
+                Literal::date_time(at),
+            );
         }
         if let Some(at) = &a.ended {
             self.triple(a.id.clone(), prov::ended_at_time(), Literal::date_time(at));
@@ -140,7 +157,11 @@ impl Emitter<'_> {
 
     fn relation(&mut self, r: &Relation) {
         match r {
-            Relation::Used { activity, entity, time } => {
+            Relation::Used {
+                activity,
+                entity,
+                time,
+            } => {
                 self.triple(activity.clone(), prov::used(), entity.clone());
                 if let Some(t) = time {
                     let q = self.fresh_blank();
@@ -150,7 +171,11 @@ impl Emitter<'_> {
                     self.triple(q, prov::at_time(), Literal::date_time(t));
                 }
             }
-            Relation::WasGeneratedBy { entity, activity, time } => {
+            Relation::WasGeneratedBy {
+                entity,
+                activity,
+                time,
+            } => {
                 self.triple(entity.clone(), prov::was_generated_by(), activity.clone());
                 if let Some(t) = time {
                     let q = self.fresh_blank();
@@ -160,17 +185,17 @@ impl Emitter<'_> {
                     self.triple(q, prov::at_time(), Literal::date_time(t));
                 }
             }
-            Relation::WasAssociatedWith { activity, agent, plan } => {
+            Relation::WasAssociatedWith {
+                activity,
+                agent,
+                plan,
+            } => {
                 self.triple(activity.clone(), prov::was_associated_with(), agent.clone());
                 if let Some(plan) = plan {
                     match self.opts.plan_style {
                         PlanStyle::QualifiedHadPlan => {
                             let q = self.fresh_blank();
-                            self.triple(
-                                activity.clone(),
-                                prov::qualified_association(),
-                                q.clone(),
-                            );
+                            self.triple(activity.clone(), prov::qualified_association(), q.clone());
                             self.triple(q.clone(), vocab::rdf_type(), prov::association());
                             self.triple(q.clone(), prov::agent_prop(), agent.clone());
                             self.triple(q, prov::had_plan(), plan.clone());
@@ -184,8 +209,15 @@ impl Emitter<'_> {
             Relation::WasAttributedTo { entity, agent } => {
                 self.triple(entity.clone(), prov::was_attributed_to(), agent.clone());
             }
-            Relation::ActedOnBehalfOf { delegate, responsible } => {
-                self.triple(delegate.clone(), prov::acted_on_behalf_of(), responsible.clone());
+            Relation::ActedOnBehalfOf {
+                delegate,
+                responsible,
+            } => {
+                self.triple(
+                    delegate.clone(),
+                    prov::acted_on_behalf_of(),
+                    responsible.clone(),
+                );
             }
             Relation::WasDerivedFrom { generated, used } => {
                 self.triple(generated.clone(), prov::was_derived_from(), used.clone());
@@ -193,13 +225,27 @@ impl Emitter<'_> {
             Relation::HadPrimarySource { derived, source } => {
                 self.triple(derived.clone(), prov::had_primary_source(), source.clone());
             }
-            Relation::WasInformedBy { informed, informant } => {
+            Relation::WasInformedBy {
+                informed,
+                informant,
+            } => {
                 self.triple(informed.clone(), prov::was_informed_by(), informant.clone());
             }
-            Relation::WasInfluencedBy { influencee, influencer } => {
-                self.triple(influencee.clone(), prov::was_influenced_by(), influencer.clone());
+            Relation::WasInfluencedBy {
+                influencee,
+                influencer,
+            } => {
+                self.triple(
+                    influencee.clone(),
+                    prov::was_influenced_by(),
+                    influencer.clone(),
+                );
             }
-            Relation::Other { subject, predicate, object } => {
+            Relation::Other {
+                subject,
+                predicate,
+                object,
+            } => {
                 self.triple(subject.clone(), predicate.clone(), object.clone());
             }
         }
@@ -224,7 +270,11 @@ impl Emitter<'_> {
 /// Map a document (ignoring bundles) to a single graph.
 pub fn document_to_graph(doc: &Document, opts: ProfileOptions) -> Graph {
     let mut graph = Graph::new();
-    let mut em = Emitter { graph: &mut graph, opts, blank_counter: 0 };
+    let mut em = Emitter {
+        graph: &mut graph,
+        opts,
+        blank_counter: 0,
+    };
     em.document(doc);
     graph
 }
@@ -235,8 +285,11 @@ pub fn document_to_graph(doc: &Document, opts: ProfileOptions) -> Graph {
 pub fn document_to_dataset(doc: &Document, opts: ProfileOptions) -> Dataset {
     let mut ds = Dataset::new();
     {
-        let mut em =
-            Emitter { graph: ds.default_graph_mut(), opts, blank_counter: 0 };
+        let mut em = Emitter {
+            graph: ds.default_graph_mut(),
+            opts,
+            blank_counter: 0,
+        };
         em.document(doc);
     }
     for (i, (bundle_id, contents)) in doc.bundles.iter().enumerate() {
@@ -278,7 +331,11 @@ mod tests {
             .ended(DateTime::from_unix_millis(1000))
             .id();
         let engine = b.agent("engine", AgentKind::Software).name("sim").id();
-        let template = if plan { Some(b.entity("template").id()) } else { None };
+        let template = if plan {
+            Some(b.entity("template").id())
+        } else {
+            None
+        };
         b.used(&act, &data, None);
         b.generated(&out, &act, None);
         b.associated(&act, &engine, template.as_ref());

@@ -16,17 +16,16 @@ use provbench_vocab::prov;
 /// ordered intervals, agents, and relations among declared nodes.
 fn arb_document() -> impl Strategy<Value = Document> {
     (
-        1usize..6,               // entities
-        1usize..4,               // activities
-        1usize..3,               // agents
+        1usize..6,                                               // entities
+        1usize..4,                                               // activities
+        1usize..3,                                               // agents
         proptest::collection::vec((0usize..6, 0usize..4), 0..8), // used edges
         proptest::collection::vec((0usize..6, 0usize..4), 0..8), // generated edges
         any::<u64>(),
     )
         .prop_map(|(ne, na, nag, used, generated, salt)| {
             let mut b = DocumentBuilder::new(format!("http://prop.test/{salt}/"));
-            let entities: Vec<Iri> =
-                (0..ne).map(|i| b.entity(&format!("e{i}")).id()).collect();
+            let entities: Vec<Iri> = (0..ne).map(|i| b.entity(&format!("e{i}")).id()).collect();
             let activities: Vec<Iri> = (0..na)
                 .map(|i| {
                     b.activity(&format!("a{i}"))

@@ -24,7 +24,9 @@ PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>
 
 /// The Taverna-side description IRI of a template (myExperiment style).
 pub fn taverna_template_iri(template_name: &str) -> Iri {
-    Iri::new_unchecked(format!("http://www.myexperiment.org/workflows/{template_name}"))
+    Iri::new_unchecked(format!(
+        "http://www.myexperiment.org/workflows/{template_name}"
+    ))
 }
 
 /// The Wings-side template IRI (OPMW export style).
@@ -199,13 +201,21 @@ SELECT ?run ?output WHERE {{
 pub fn q3_template_run_io(graph: &Graph, template_name: &str) -> Vec<RunIo> {
     let mut by_run: std::collections::BTreeMap<Iri, RunIo> = std::collections::BTreeMap::new();
     for run in q2_template_runs(graph, template_name).runs {
-        by_run.insert(run.clone(), RunIo { run, inputs: Vec::new(), outputs: Vec::new() });
+        by_run.insert(
+            run.clone(),
+            RunIo {
+                run,
+                inputs: Vec::new(),
+                outputs: Vec::new(),
+            },
+        );
     }
     let inputs = execute_query(graph, &q3_inputs_sparql(template_name)).expect("Q3 inputs");
     for row in &inputs.rows {
-        if let (Some(run), Some(input)) =
-            (row.get("run").and_then(iri_of), row.get("input").and_then(iri_of))
-        {
+        if let (Some(run), Some(input)) = (
+            row.get("run").and_then(iri_of),
+            row.get("input").and_then(iri_of),
+        ) {
             if let Some(io) = by_run.get_mut(&run) {
                 io.inputs.push(input);
             }
@@ -213,9 +223,10 @@ pub fn q3_template_run_io(graph: &Graph, template_name: &str) -> Vec<RunIo> {
     }
     let outputs = execute_query(graph, &q3_outputs_sparql(template_name)).expect("Q3 outputs");
     for row in &outputs.rows {
-        if let (Some(run), Some(output)) =
-            (row.get("run").and_then(iri_of), row.get("output").and_then(iri_of))
-        {
+        if let (Some(run), Some(output)) = (
+            row.get("run").and_then(iri_of),
+            row.get("output").and_then(iri_of),
+        ) {
             if let Some(io) = by_run.get_mut(&run) {
                 io.outputs.push(output);
             }
@@ -418,9 +429,15 @@ ex:wout prov:wasGeneratedBy ex:wp1 .
     fn q1_finds_both_dialects() {
         let runs = q1_runs(&mini_corpus());
         assert_eq!(runs.len(), 2);
-        let tav = runs.iter().find(|r| r.run.as_str().ends_with("trun")).unwrap();
+        let tav = runs
+            .iter()
+            .find(|r| r.run.as_str().ends_with("trun"))
+            .unwrap();
         assert!(tav.started.is_some() && tav.ended.is_some());
-        let wgs = runs.iter().find(|r| r.run.as_str().ends_with("wacct")).unwrap();
+        let wgs = runs
+            .iter()
+            .find(|r| r.run.as_str().ends_with("wacct"))
+            .unwrap();
         assert!(wgs.started.is_some() && wgs.ended.is_some());
     }
 

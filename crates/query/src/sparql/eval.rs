@@ -126,7 +126,11 @@ fn join_triple_pattern(graph: &Graph, tp: &TriplePattern, input: Vec<Bindings>) 
         let o_term = resolve_term(&tp.object, &b);
         for t in graph.triples_matching(s_subj.as_ref(), p_iri.as_ref(), o_term.as_ref()) {
             let mut nb = b.clone();
-            let Triple { subject, predicate, object } = t;
+            let Triple {
+                subject,
+                predicate,
+                object,
+            } = t;
             if unify(&tp.subject, Term::from(subject), &mut nb)
                 && unify_iri(&tp.predicate, predicate, &mut nb)
                 && unify(&tp.object, object, &mut nb)
@@ -150,7 +154,9 @@ pub struct EvalOptions {
 
 impl Default for EvalOptions {
     fn default() -> Self {
-        EvalOptions { reorder_patterns: true }
+        EvalOptions {
+            reorder_patterns: true,
+        }
     }
 }
 
@@ -166,19 +172,31 @@ fn pattern_score(tp: &TriplePattern, bound: &BTreeSet<&str>) -> (usize, usize) {
             0
         }
     };
-    let s = position(matches!(tp.subject, VarOrTerm::Term(_)), match &tp.subject {
-        VarOrTerm::Var(v) => Some(v),
-        VarOrTerm::Term(_) => None,
-    });
-    let p = position(matches!(tp.predicate, VarOrIri::Iri(_)), match &tp.predicate {
-        VarOrIri::Var(v) => Some(v),
-        VarOrIri::Iri(_) => None,
-    });
-    let o = position(matches!(tp.object, VarOrTerm::Term(_)), match &tp.object {
-        VarOrTerm::Var(v) => Some(v),
-        VarOrTerm::Term(_) => None,
-    });
-    (s + p + o, usize::from(matches!(tp.predicate, VarOrIri::Iri(_))))
+    let s = position(
+        matches!(tp.subject, VarOrTerm::Term(_)),
+        match &tp.subject {
+            VarOrTerm::Var(v) => Some(v),
+            VarOrTerm::Term(_) => None,
+        },
+    );
+    let p = position(
+        matches!(tp.predicate, VarOrIri::Iri(_)),
+        match &tp.predicate {
+            VarOrIri::Var(v) => Some(v),
+            VarOrIri::Iri(_) => None,
+        },
+    );
+    let o = position(
+        matches!(tp.object, VarOrTerm::Term(_)),
+        match &tp.object {
+            VarOrTerm::Var(v) => Some(v),
+            VarOrTerm::Term(_) => None,
+        },
+    );
+    (
+        s + p + o,
+        usize::from(matches!(tp.predicate, VarOrIri::Iri(_))),
+    )
 }
 
 /// Greedy join ordering: repeatedly pick the highest-scoring remaining
@@ -341,7 +359,9 @@ fn eval_pattern(
         GraphPattern::Filter(expr) => input
             .into_iter()
             .filter(|b| {
-                eval_expr(expr, b).and_then(|v| effective_boolean(&v)).unwrap_or(false)
+                eval_expr(expr, b)
+                    .and_then(|v| effective_boolean(&v))
+                    .unwrap_or(false)
             })
             .collect(),
     }
@@ -413,7 +433,9 @@ fn eval_expr(expr: &Expression, b: &Bindings) -> Option<Value> {
                 Value::Term(Term::Blank(bl)) => bl.label().to_owned(),
                 Value::Bool(x) => x.to_string(),
             };
-            Some(Value::Term(Term::Literal(provbench_rdf::Literal::simple(s))))
+            Some(Value::Term(Term::Literal(provbench_rdf::Literal::simple(
+                s,
+            ))))
         }
         Expression::Contains(h, n) | Expression::StrStarts(h, n) | Expression::StrEnds(h, n) => {
             let hay = string_of(eval_expr(h, b)?)?;
@@ -512,15 +534,12 @@ fn effective_boolean(v: &Value) -> Option<bool> {
 /// SPARQL-ish ordering: numbers numerically, dateTimes chronologically,
 /// other literals lexically, IRIs by string; mixed kinds by kind.
 pub(crate) fn compare_terms(a: &Term, b: &Term) -> Option<std::cmp::Ordering> {
-    
     match (a, b) {
         (Term::Literal(la), Term::Literal(lb)) => {
             if let (Some(x), Some(y)) = (la.as_integer(), lb.as_integer()) {
                 return Some(x.cmp(&y));
             }
-            if let (Ok(x), Ok(y)) =
-                (la.lexical().parse::<f64>(), lb.lexical().parse::<f64>())
-            {
+            if let (Ok(x), Ok(y)) = (la.lexical().parse::<f64>(), lb.lexical().parse::<f64>()) {
                 if is_numeric(la) && is_numeric(lb) {
                     return x.partial_cmp(&y);
                 }
@@ -560,8 +579,7 @@ fn apply_aggregates(query: &Query, rows: Vec<Bindings>) -> Result<Vec<Bindings>,
     // Group rows by the GROUP BY key.
     let mut groups: BTreeMap<Vec<Option<Term>>, Vec<Bindings>> = BTreeMap::new();
     for row in rows {
-        let key: Vec<Option<Term>> =
-            query.group_by.iter().map(|v| row.get(v).cloned()).collect();
+        let key: Vec<Option<Term>> = query.group_by.iter().map(|v| row.get(v).cloned()).collect();
         groups.entry(key).or_default().push(row);
     }
     // With no GROUP BY but aggregates present, everything is one group —
@@ -579,18 +597,21 @@ fn apply_aggregates(query: &Query, rows: Vec<Bindings>) -> Result<Vec<Bindings>,
             }
         }
         for p in &query.projections {
-            let Projection::Aggregate { function, var, alias } = p else {
+            let Projection::Aggregate {
+                function,
+                var,
+                alias,
+            } = p
+            else {
                 continue;
             };
             let value = match (function, var) {
                 (AggregateFn::Count, None) => {
                     Term::Literal(provbench_rdf::Literal::integer(members.len() as i64))
                 }
-                (AggregateFn::Count, Some(v)) => Term::Literal(
-                    provbench_rdf::Literal::integer(
-                        members.iter().filter(|m| m.contains_key(v)).count() as i64,
-                    ),
-                ),
+                (AggregateFn::Count, Some(v)) => Term::Literal(provbench_rdf::Literal::integer(
+                    members.iter().filter(|m| m.contains_key(v)).count() as i64,
+                )),
                 (AggregateFn::CountDistinct, Some(v)) => {
                     let distinct: BTreeSet<&Term> =
                         members.iter().filter_map(|m| m.get(v)).collect();
@@ -606,8 +627,8 @@ fn apply_aggregates(query: &Query, rows: Vec<Bindings>) -> Result<Vec<Bindings>,
                             let better = match &best {
                                 None => true,
                                 Some(cur) => {
-                                    let ord = compare_terms(t, cur)
-                                        .unwrap_or(std::cmp::Ordering::Equal);
+                                    let ord =
+                                        compare_terms(t, cur).unwrap_or(std::cmp::Ordering::Equal);
                                     if *function == AggregateFn::Min {
                                         ord.is_lt()
                                     } else {
@@ -625,9 +646,7 @@ fn apply_aggregates(query: &Query, rows: Vec<Bindings>) -> Result<Vec<Bindings>,
                         None => continue, // no values: leave alias unbound
                     }
                 }
-                (f, None) => {
-                    return Err(QueryError::Eval(format!("{f:?} needs a variable")))
-                }
+                (f, None) => return Err(QueryError::Eval(format!("{f:?} needs a variable"))),
             };
             row.insert(alias.clone(), value);
         }
@@ -687,9 +706,7 @@ pub fn execute_with_options(
                     (None, None) => std::cmp::Ordering::Equal,
                     (None, Some(_)) => std::cmp::Ordering::Less,
                     (Some(_), None) => std::cmp::Ordering::Greater,
-                    (Some(x), Some(y)) => {
-                        compare_terms(x, y).unwrap_or(std::cmp::Ordering::Equal)
-                    }
+                    (Some(x), Some(y)) => compare_terms(x, y).unwrap_or(std::cmp::Ordering::Equal),
                 };
                 let ord = if key.descending { ord.reverse() } else { ord };
                 if !ord.is_eq() {
@@ -711,7 +728,11 @@ pub fn execute_with_options(
         // true, no rows = false) so callers share one code path.
         return Ok(Solutions {
             variables: Vec::new(),
-            rows: if rows.is_empty() { Vec::new() } else { vec![Bindings::new()] },
+            rows: if rows.is_empty() {
+                Vec::new()
+            } else {
+                vec![Bindings::new()]
+            },
         });
     }
 
@@ -829,13 +850,9 @@ mod tests {
             "PREFIX e: <http://e/> SELECT ?r ?s WHERE { ?r e:size ?s } ORDER BY DESC(?s) LIMIT 2",
         );
         assert_eq!(s.len(), 2);
-        assert_eq!(
-            s.get(0, "s").unwrap(),
-            &Term::Literal(Literal::integer(9))
-        );
-        let s2 = run(
-            "PREFIX e: <http://e/> SELECT ?r ?s WHERE { ?r e:size ?s } ORDER BY ?s OFFSET 1",
-        );
+        assert_eq!(s.get(0, "s").unwrap(), &Term::Literal(Literal::integer(9)));
+        let s2 =
+            run("PREFIX e: <http://e/> SELECT ?r ?s WHERE { ?r e:size ?s } ORDER BY ?s OFFSET 1");
         assert_eq!(s2.len(), 2);
         assert_eq!(s2.get(0, "s").unwrap(), &Term::Literal(Literal::integer(5)));
     }
@@ -847,14 +864,13 @@ mod tests {
         );
         assert_eq!(s.len(), 2);
         assert_eq!(s.get(0, "n").unwrap(), &Term::Literal(Literal::integer(2))); // alice
-        assert_eq!(s.get(1, "n").unwrap(), &Term::Literal(Literal::integer(1))); // bob
+        assert_eq!(s.get(1, "n").unwrap(), &Term::Literal(Literal::integer(1)));
+        // bob
     }
 
     #[test]
     fn count_star_on_empty_is_zero() {
-        let s = run(
-            "PREFIX e: <http://e/> SELECT (COUNT(*) AS ?n) WHERE { ?r a e:Nothing }",
-        );
+        let s = run("PREFIX e: <http://e/> SELECT (COUNT(*) AS ?n) WHERE { ?r a e:Nothing }");
         assert_eq!(s.len(), 1);
         assert_eq!(s.get(0, "n").unwrap(), &Term::Literal(Literal::integer(0)));
     }
@@ -900,7 +916,12 @@ mod tests {
             "PREFIX e: <http://e/> SELECT ?r WHERE { ?x ?p ?o . ?r a e:Run } ORDER BY ?r LIMIT 2",
         )
         .unwrap();
-        let on = explain(&q, &EvalOptions { reorder_patterns: true });
+        let on = explain(
+            &q,
+            &EvalOptions {
+                reorder_patterns: true,
+            },
+        );
         // The typed pattern must come first under the planner.
         let typed_pos = on.find("?r <http").unwrap();
         let wildcard_pos = on.find("?x ?p ?o").unwrap();
@@ -908,7 +929,12 @@ mod tests {
         assert!(on.contains("planner on"));
         assert!(on.contains("OrderBy"));
         assert!(on.contains("Limit 2"));
-        let off = explain(&q, &EvalOptions { reorder_patterns: false });
+        let off = explain(
+            &q,
+            &EvalOptions {
+                reorder_patterns: false,
+            },
+        );
         let typed_pos = off.find("?r <http").unwrap();
         let wildcard_pos = off.find("?x ?p ?o").unwrap();
         assert!(wildcard_pos < typed_pos, "{off}");
@@ -976,9 +1002,8 @@ mod tests {
         );
         assert_eq!(typed.len(), 3);
         // LANG of a plain literal is "".
-        let lang = run(
-            "PREFIX e: <http://e/> SELECT ?s WHERE { ?s e:size ?o FILTER (LANG(?o) = \"\") }",
-        );
+        let lang =
+            run("PREFIX e: <http://e/> SELECT ?s WHERE { ?s e:size ?o FILTER (LANG(?o) = \"\") }");
         assert_eq!(lang.len(), 3);
     }
 
@@ -989,11 +1014,22 @@ mod tests {
             "PREFIX e: <http://e/> SELECT ?r ?who WHERE { ?r ?p ?x . ?r e:by ?who . ?r a e:Run }",
         )
         .unwrap();
-        let with = execute_with_options(&graph(), &q, &EvalOptions { reorder_patterns: true })
-            .unwrap();
-        let without =
-            execute_with_options(&graph(), &q, &EvalOptions { reorder_patterns: false })
-                .unwrap();
+        let with = execute_with_options(
+            &graph(),
+            &q,
+            &EvalOptions {
+                reorder_patterns: true,
+            },
+        )
+        .unwrap();
+        let without = execute_with_options(
+            &graph(),
+            &q,
+            &EvalOptions {
+                reorder_patterns: false,
+            },
+        )
+        .unwrap();
         let norm = |s: &Solutions| {
             let mut v: Vec<String> = s.rows.iter().map(|r| format!("{r:?}")).collect();
             v.sort();
@@ -1027,9 +1063,8 @@ mod tests {
 
     #[test]
     fn count_distinct() {
-        let s = run(
-            "PREFIX e: <http://e/> SELECT (COUNT(DISTINCT ?who) AS ?n) WHERE { ?r e:by ?who }",
-        );
+        let s =
+            run("PREFIX e: <http://e/> SELECT (COUNT(DISTINCT ?who) AS ?n) WHERE { ?r e:by ?who }");
         assert_eq!(s.get(0, "n").unwrap(), &Term::Literal(Literal::integer(2)));
     }
 }

@@ -58,21 +58,57 @@ pub(crate) struct SpannedTok {
 }
 
 const KEYWORDS: &[&str] = &[
-    "SELECT", "WHERE", "PREFIX", "FILTER", "OPTIONAL", "UNION", "ORDER", "BY", "ASC",
-    "DESC", "LIMIT", "OFFSET", "DISTINCT", "GROUP", "COUNT", "MIN", "MAX", "AS",
-    "BOUND", "REGEX", "STR", "TRUE", "FALSE", "ASK", "CONTAINS", "STRSTARTS",
-    "STRENDS", "LANG", "DATATYPE", "ISIRI", "ISLITERAL", "ISBLANK",
+    "SELECT",
+    "WHERE",
+    "PREFIX",
+    "FILTER",
+    "OPTIONAL",
+    "UNION",
+    "ORDER",
+    "BY",
+    "ASC",
+    "DESC",
+    "LIMIT",
+    "OFFSET",
+    "DISTINCT",
+    "GROUP",
+    "COUNT",
+    "MIN",
+    "MAX",
+    "AS",
+    "BOUND",
+    "REGEX",
+    "STR",
+    "TRUE",
+    "FALSE",
+    "ASK",
+    "CONTAINS",
+    "STRSTARTS",
+    "STRENDS",
+    "LANG",
+    "DATATYPE",
+    "ISIRI",
+    "ISLITERAL",
+    "ISBLANK",
 ];
 
 pub(crate) fn tokenize(input: &str) -> Result<Vec<SpannedTok>, LexError> {
     let chars: Vec<char> = input.chars().collect();
     let mut out = Vec::new();
     let (mut i, mut line, mut col) = (0usize, 1usize, 1usize);
-    let err = |line: usize, col: usize, m: String| LexError { line, column: col, message: m };
+    let err = |line: usize, col: usize, m: String| LexError {
+        line,
+        column: col,
+        message: m,
+    };
 
     macro_rules! push {
         ($tok:expr, $l:expr, $c:expr) => {
-            out.push(SpannedTok { tok: $tok, line: $l, column: $c })
+            out.push(SpannedTok {
+                tok: $tok,
+                line: $l,
+                column: $c,
+            })
         };
     }
 
@@ -100,9 +136,7 @@ pub(crate) fn tokenize(input: &str) -> Result<Vec<SpannedTok>, LexError> {
             '?' | '$' => {
                 adv(1, &mut i, &mut line, &mut col);
                 let start = i;
-                while i < chars.len()
-                    && (chars[i].is_ascii_alphanumeric() || chars[i] == '_')
-                {
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
                     adv(1, &mut i, &mut line, &mut col);
                 }
                 if i == start {
@@ -167,9 +201,7 @@ pub(crate) fn tokenize(input: &str) -> Result<Vec<SpannedTok>, LexError> {
                             '"' => '"',
                             '\'' => '\'',
                             '\\' => '\\',
-                            other => {
-                                return Err(err(tl, tc, format!("bad escape \\{other}")))
-                            }
+                            other => return Err(err(tl, tc, format!("bad escape \\{other}"))),
                         });
                     } else {
                         s.push(ch);
@@ -295,17 +327,11 @@ pub(crate) fn tokenize(input: &str) -> Result<Vec<SpannedTok>, LexError> {
                         && (chars[i].is_ascii_alphanumeric()
                             || matches!(chars[i], '_' | '-')
                             || (chars[i] == '.'
-                                && chars
-                                    .get(i + 1)
-                                    .is_some_and(|c| c.is_ascii_alphanumeric())))
+                                && chars.get(i + 1).is_some_and(|c| c.is_ascii_alphanumeric())))
                     {
                         adv(1, &mut i, &mut line, &mut col);
                     }
-                    push!(
-                        Tok::PName(word, chars[lstart..i].iter().collect()),
-                        tl,
-                        tc
-                    );
+                    push!(Tok::PName(word, chars[lstart..i].iter().collect()), tl, tc);
                 } else if word == "a" {
                     push!(Tok::A, tl, tc);
                 } else {
@@ -335,7 +361,11 @@ pub(crate) fn tokenize(input: &str) -> Result<Vec<SpannedTok>, LexError> {
             other => return Err(err(tl, tc, format!("unexpected character {other:?}"))),
         }
     }
-    out.push(SpannedTok { tok: Tok::Eof, line, column: col });
+    out.push(SpannedTok {
+        tok: Tok::Eof,
+        line,
+        column: col,
+    });
     Ok(out)
 }
 

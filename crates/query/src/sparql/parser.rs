@@ -26,7 +26,11 @@ impl std::error::Error for QueryParseError {}
 
 impl From<LexError> for QueryParseError {
     fn from(e: LexError) -> Self {
-        QueryParseError { line: e.line, column: e.column, message: e.message }
+        QueryParseError {
+            line: e.line,
+            column: e.column,
+            message: e.message,
+        }
     }
 }
 
@@ -53,7 +57,11 @@ impl Parser {
 
     fn err<T>(&self, message: impl Into<String>) -> PResult<T> {
         let t = &self.toks[self.pos];
-        Err(QueryParseError { line: t.line, column: t.column, message: message.into() })
+        Err(QueryParseError {
+            line: t.line,
+            column: t.column,
+            message: message.into(),
+        })
     }
 
     fn expect(&mut self, tok: &Tok, what: &str) -> PResult<()> {
@@ -84,12 +92,11 @@ impl Parser {
 
     fn expand(&self, prefix: &str, local: &str) -> PResult<Iri> {
         match self.prefixes.get(prefix) {
-            Some(ns) => Iri::new(format!("{ns}{local}"))
-                .map_err(|_| QueryParseError {
-                    line: self.toks[self.pos].line,
-                    column: self.toks[self.pos].column,
-                    message: format!("CURIE {prefix}:{local} expands to an invalid IRI"),
-                }),
+            Some(ns) => Iri::new(format!("{ns}{local}")).map_err(|_| QueryParseError {
+                line: self.toks[self.pos].line,
+                column: self.toks[self.pos].column,
+                message: format!("CURIE {prefix}:{local} expands to an invalid IRI"),
+            }),
             None => {
                 let t = &self.toks[self.pos];
                 Err(QueryParseError {
@@ -184,7 +191,10 @@ impl Parser {
                 match self.peek().clone() {
                     Tok::Var(v) => {
                         self.bump();
-                        order_by.push(OrderKey { var: v, descending: false });
+                        order_by.push(OrderKey {
+                            var: v,
+                            descending: false,
+                        });
                     }
                     Tok::Keyword(k) if k == "ASC" || k == "DESC" => {
                         self.bump();
@@ -196,7 +206,10 @@ impl Parser {
                             }
                         };
                         self.expect(&Tok::CloseParen, "`)`")?;
-                        order_by.push(OrderKey { var: v, descending: k == "DESC" });
+                        order_by.push(OrderKey {
+                            var: v,
+                            descending: k == "DESC",
+                        });
                     }
                     _ => break,
                 }
@@ -256,12 +269,14 @@ impl Parser {
                     let distinct = self.keyword("DISTINCT");
                     let v = match self.bump() {
                         Tok::Var(v) => v,
-                        other => {
-                            return self.err(format!("expected variable, found {other:?}"))
-                        }
+                        other => return self.err(format!("expected variable, found {other:?}")),
                     };
                     (
-                        if distinct { AggregateFn::CountDistinct } else { AggregateFn::Count },
+                        if distinct {
+                            AggregateFn::CountDistinct
+                        } else {
+                            AggregateFn::Count
+                        },
                         Some(v),
                     )
                 }
@@ -272,7 +287,11 @@ impl Parser {
                     other => return self.err(format!("expected variable, found {other:?}")),
                 };
                 (
-                    if func_kw == "MIN" { AggregateFn::Min } else { AggregateFn::Max },
+                    if func_kw == "MIN" {
+                        AggregateFn::Min
+                    } else {
+                        AggregateFn::Max
+                    },
                     Some(v),
                 )
             }
@@ -285,7 +304,11 @@ impl Parser {
             other => return self.err(format!("expected alias variable, found {other:?}")),
         };
         self.expect(&Tok::CloseParen, "`)`")?;
-        Ok(Projection::Aggregate { function, var, alias })
+        Ok(Projection::Aggregate {
+            function,
+            var,
+            alias,
+        })
     }
 
     fn parse_group_graph_pattern(&mut self) -> PResult<GraphPattern> {
@@ -389,9 +412,7 @@ impl Parser {
                     let dt = match self.bump() {
                         Tok::IriRef(i) => self.iri_from(&i)?,
                         Tok::PName(p, l) => self.expand(&p, &l)?,
-                        other => {
-                            return self.err(format!("expected datatype, found {other:?}"))
-                        }
+                        other => return self.err(format!("expected datatype, found {other:?}")),
                     };
                     Ok(VarOrTerm::Term(Term::Literal(Literal::typed(s, dt))))
                 } else {
@@ -507,9 +528,7 @@ impl Parser {
                     let dt = match self.bump() {
                         Tok::IriRef(i) => self.iri_from(&i)?,
                         Tok::PName(p, l) => self.expand(&p, &l)?,
-                        other => {
-                            return self.err(format!("expected datatype, found {other:?}"))
-                        }
+                        other => return self.err(format!("expected datatype, found {other:?}")),
                     };
                     Ok(Expression::Constant(Term::Literal(Literal::typed(s, dt))))
                 } else {
@@ -579,9 +598,7 @@ impl Parser {
                 self.expect(&Tok::Comma, "`,`")?;
                 let pattern = match self.bump() {
                     Tok::String(s) => s,
-                    other => {
-                        return self.err(format!("expected pattern string, found {other:?}"))
-                    }
+                    other => return self.err(format!("expected pattern string, found {other:?}")),
                 };
                 let mut case_insensitive = false;
                 if matches!(self.peek(), Tok::Comma) {
@@ -604,7 +621,11 @@ impl Parser {
 /// Parse a SPARQL query string.
 pub fn parse_query(input: &str) -> Result<Query, QueryParseError> {
     let toks = tokenize(input)?;
-    let mut p = Parser { toks, pos: 0, prefixes: PrefixMap::common() };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        prefixes: PrefixMap::common(),
+    };
     p.parse_query()
 }
 
@@ -685,20 +706,26 @@ mod tests {
         assert!(q.distinct);
         assert!(matches!(
             &q.projections[0],
-            Projection::Aggregate { function: AggregateFn::Count, var: None, .. }
+            Projection::Aggregate {
+                function: AggregateFn::Count,
+                var: None,
+                ..
+            }
         ));
         assert!(matches!(
             &q.projections[1],
-            Projection::Aggregate { function: AggregateFn::CountDistinct, var: Some(_), .. }
+            Projection::Aggregate {
+                function: AggregateFn::CountDistinct,
+                var: Some(_),
+                ..
+            }
         ));
     }
 
     #[test]
     fn regex_and_str() {
-        let q = parse_query(
-            r#"SELECT ?x WHERE { ?x ?p ?o FILTER REGEX(STR(?x), "^http", "i") }"#,
-        )
-        .unwrap();
+        let q = parse_query(r#"SELECT ?x WHERE { ?x ?p ?o FILTER REGEX(STR(?x), "^http", "i") }"#)
+            .unwrap();
         let GraphPattern::Group(elems) = &q.pattern else {
             panic!("expected group")
         };
@@ -710,12 +737,14 @@ mod tests {
 
     #[test]
     fn typed_literals_in_patterns() {
-        let q = parse_query(
-            r#"SELECT ?x WHERE { ?x ?p "2013-01-15T10:30:00Z"^^xsd:dateTime }"#,
-        )
-        .unwrap();
-        let GraphPattern::Basic(ps) = &q.pattern else { panic!() };
-        let VarOrTerm::Term(Term::Literal(l)) = &ps[0].object else { panic!() };
+        let q = parse_query(r#"SELECT ?x WHERE { ?x ?p "2013-01-15T10:30:00Z"^^xsd:dateTime }"#)
+            .unwrap();
+        let GraphPattern::Basic(ps) = &q.pattern else {
+            panic!()
+        };
+        let VarOrTerm::Term(Term::Literal(l)) = &ps[0].object else {
+            panic!()
+        };
         assert!(l.as_date_time().is_some());
     }
 

@@ -10,24 +10,26 @@ use std::collections::BTreeSet;
 
 /// Small random graphs over a closed vocabulary so patterns actually join.
 fn arb_graph() -> impl Strategy<Value = Graph> {
-    proptest::collection::vec(
-        (0usize..8, 0usize..4, 0usize..10, any::<bool>()),
-        1..40,
+    proptest::collection::vec((0usize..8, 0usize..4, 0usize..10, any::<bool>()), 1..40).prop_map(
+        |triples| {
+            triples
+                .into_iter()
+                .map(|(s, p, o, lit)| {
+                    let subject = Iri::new_unchecked(format!("http://t/s{s}"));
+                    let predicate = Iri::new_unchecked(format!("http://t/p{p}"));
+                    if lit {
+                        Triple::new(subject, predicate, Literal::integer(o as i64))
+                    } else {
+                        Triple::new(
+                            subject,
+                            predicate,
+                            Iri::new_unchecked(format!("http://t/o{o}")),
+                        )
+                    }
+                })
+                .collect()
+        },
     )
-    .prop_map(|triples| {
-        triples
-            .into_iter()
-            .map(|(s, p, o, lit)| {
-                let subject = Iri::new_unchecked(format!("http://t/s{s}"));
-                let predicate = Iri::new_unchecked(format!("http://t/p{p}"));
-                if lit {
-                    Triple::new(subject, predicate, Literal::integer(o as i64))
-                } else {
-                    Triple::new(subject, predicate, Iri::new_unchecked(format!("http://t/o{o}")))
-                }
-            })
-            .collect()
-    })
 }
 
 fn rows(s: &Solutions) -> BTreeSet<String> {

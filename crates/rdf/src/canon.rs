@@ -101,8 +101,7 @@ fn blank_labels(graph: &Graph) -> Vec<String> {
 /// Compute the canonical relabeling `old label → canonical label`.
 fn canonical_mapping(graph: &Graph) -> BTreeMap<String, String> {
     let labels = blank_labels(graph);
-    let mut colors: BTreeMap<String, u64> =
-        labels.iter().map(|l| (l.clone(), 1u64)).collect();
+    let mut colors: BTreeMap<String, u64> = labels.iter().map(|l| (l.clone(), 1u64)).collect();
     // Refine to fixpoint (bounded by node count).
     for _ in 0..labels.len().max(2) {
         let next = refine(graph, &colors);
@@ -114,8 +113,7 @@ fn canonical_mapping(graph: &Graph) -> BTreeMap<String, String> {
     // Break remaining ties deterministically: order by (colour, degree,
     // original-label-independent structure is exhausted, so fall back to
     // a stable ordering over the colour multiset index).
-    let mut by_color: Vec<(&String, u64)> =
-        colors.iter().map(|(l, &c)| (l, c)).collect();
+    let mut by_color: Vec<(&String, u64)> = colors.iter().map(|(l, &c)| (l, c)).collect();
     by_color.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(b.0)));
     // If a colour class has >1 member, individualize the first member of
     // the class and re-refine; repeat until discrete.
@@ -152,15 +150,15 @@ fn canonical_mapping(graph: &Graph) -> BTreeMap<String, String> {
 pub fn canonicalize(graph: &Graph) -> Graph {
     let mapping = canonical_mapping(graph);
     let map_subject = |s: &Subject| match s {
-        Subject::Blank(b) => Subject::Blank(
-            BlankNode::new(&mapping[b.label()]).expect("canonical labels are valid"),
-        ),
+        Subject::Blank(b) => {
+            Subject::Blank(BlankNode::new(&mapping[b.label()]).expect("canonical labels are valid"))
+        }
         other => other.clone(),
     };
     let map_term = |t: &Term| match t {
-        Term::Blank(b) => Term::Blank(
-            BlankNode::new(&mapping[b.label()]).expect("canonical labels are valid"),
-        ),
+        Term::Blank(b) => {
+            Term::Blank(BlankNode::new(&mapping[b.label()]).expect("canonical labels are valid"))
+        }
         other => other.clone(),
     };
     graph
@@ -197,7 +195,11 @@ mod tests {
     /// A qualified-association-shaped graph with the given helper label.
     fn qualified(label: &str, agent: &str) -> Graph {
         let mut g = Graph::new();
-        g.insert(Triple::new(iri("http://e/act"), iri("http://e/qa"), blank(label)));
+        g.insert(Triple::new(
+            iri("http://e/act"),
+            iri("http://e/qa"),
+            blank(label),
+        ));
         g.insert(Triple::new(blank(label), iri("http://e/agent"), iri(agent)));
         g
     }
@@ -217,7 +219,11 @@ mod tests {
         let b = qualified("q0", "http://e/bob");
         assert!(!isomorphic(&a, &b));
         let mut c = qualified("q0", "http://e/alice");
-        c.insert(Triple::new(iri("http://e/x"), iri("http://e/p"), Literal::simple("v")));
+        c.insert(Triple::new(
+            iri("http://e/x"),
+            iri("http://e/p"),
+            Literal::simple("v"),
+        ));
         assert!(!isomorphic(&a, &c));
     }
 
@@ -235,11 +241,27 @@ mod tests {
     fn symmetric_blanks_still_canonicalize_deterministically() {
         // Two fully symmetric (automorphic) blank nodes.
         let mut a = Graph::new();
-        a.insert(Triple::new(blank("x"), iri("http://e/p"), iri("http://e/o")));
-        a.insert(Triple::new(blank("y"), iri("http://e/p"), iri("http://e/o")));
+        a.insert(Triple::new(
+            blank("x"),
+            iri("http://e/p"),
+            iri("http://e/o"),
+        ));
+        a.insert(Triple::new(
+            blank("y"),
+            iri("http://e/p"),
+            iri("http://e/o"),
+        ));
         let mut b = Graph::new();
-        b.insert(Triple::new(blank("p"), iri("http://e/p"), iri("http://e/o")));
-        b.insert(Triple::new(blank("q"), iri("http://e/p"), iri("http://e/o")));
+        b.insert(Triple::new(
+            blank("p"),
+            iri("http://e/p"),
+            iri("http://e/o"),
+        ));
+        b.insert(Triple::new(
+            blank("q"),
+            iri("http://e/p"),
+            iri("http://e/o"),
+        ));
         assert!(isomorphic(&a, &b));
         assert_eq!(canonicalize(&a).len(), 2);
     }
@@ -251,7 +273,11 @@ mod tests {
             let mut g = Graph::new();
             g.insert(Triple::new(blank(l0), iri("http://e/next"), blank(l1)));
             g.insert(Triple::new(blank(l1), iri("http://e/next"), blank(l2)));
-            g.insert(Triple::new(blank(l2), iri("http://e/val"), Literal::integer(1)));
+            g.insert(Triple::new(
+                blank(l2),
+                iri("http://e/val"),
+                Literal::integer(1),
+            ));
             g
         };
         assert!(isomorphic(&chain("a", "b", "c"), &chain("z", "m", "k")));
@@ -259,14 +285,22 @@ mod tests {
         let mut other = Graph::new();
         other.insert(Triple::new(blank("a"), iri("http://e/next"), blank("b")));
         other.insert(Triple::new(blank("b"), iri("http://e/next"), blank("c")));
-        other.insert(Triple::new(blank("a"), iri("http://e/val"), Literal::integer(1)));
+        other.insert(Triple::new(
+            blank("a"),
+            iri("http://e/val"),
+            Literal::integer(1),
+        ));
         assert!(!isomorphic(&chain("a", "b", "c"), &other));
     }
 
     #[test]
     fn ground_graphs_compare_directly() {
         let mut a = Graph::new();
-        a.insert(Triple::new(iri("http://e/s"), iri("http://e/p"), iri("http://e/o")));
+        a.insert(Triple::new(
+            iri("http://e/s"),
+            iri("http://e/p"),
+            iri("http://e/o"),
+        ));
         let b = a.clone();
         assert!(isomorphic(&a, &b));
         assert_eq!(canonicalize(&a), a);

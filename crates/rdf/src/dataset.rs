@@ -89,9 +89,10 @@ impl Dataset {
     /// Iterate over every quad (default graph first, then named graphs).
     pub fn quads(&self) -> impl Iterator<Item = Quad> + '_ {
         let default = self.default.iter().map(Quad::in_default);
-        let named = self.named.iter().flat_map(|(name, g)| {
-            g.iter().map(move |t| Quad::in_graph(t, name.clone()))
-        });
+        let named = self
+            .named
+            .iter()
+            .flat_map(|(name, g)| g.iter().map(move |t| Quad::in_graph(t, name.clone())));
         default.chain(named)
     }
 
@@ -139,7 +140,10 @@ mod tests {
     fn default_and_named_are_disjoint() {
         let mut d = Dataset::new();
         d.insert(Quad::in_default(t("http://e/a", "http://e/b")));
-        d.insert(Quad::in_graph(t("http://e/a", "http://e/b"), iri("http://e/g")));
+        d.insert(Quad::in_graph(
+            t("http://e/a", "http://e/b"),
+            iri("http://e/g"),
+        ));
         assert_eq!(d.len(), 2);
         assert_eq!(d.default_graph().len(), 1);
         assert_eq!(d.named_graph(&iri("http://e/g").into()).unwrap().len(), 1);
@@ -150,8 +154,14 @@ mod tests {
     fn union_graph_deduplicates() {
         let mut d = Dataset::new();
         d.insert(Quad::in_default(t("http://e/a", "http://e/b")));
-        d.insert(Quad::in_graph(t("http://e/a", "http://e/b"), iri("http://e/g")));
-        d.insert(Quad::in_graph(t("http://e/c", "http://e/d"), iri("http://e/g")));
+        d.insert(Quad::in_graph(
+            t("http://e/a", "http://e/b"),
+            iri("http://e/g"),
+        ));
+        d.insert(Quad::in_graph(
+            t("http://e/c", "http://e/d"),
+            iri("http://e/g"),
+        ));
         let u = d.union_graph();
         assert_eq!(u.len(), 2);
     }
@@ -160,8 +170,14 @@ mod tests {
     fn quads_iteration_covers_everything() {
         let mut d = Dataset::new();
         d.insert(Quad::in_default(t("http://e/a", "http://e/b")));
-        d.insert(Quad::in_graph(t("http://e/c", "http://e/d"), iri("http://e/g1")));
-        d.insert(Quad::in_graph(t("http://e/e", "http://e/f"), iri("http://e/g2")));
+        d.insert(Quad::in_graph(
+            t("http://e/c", "http://e/d"),
+            iri("http://e/g1"),
+        ));
+        d.insert(Quad::in_graph(
+            t("http://e/e", "http://e/f"),
+            iri("http://e/g2"),
+        ));
         let quads: Vec<_> = d.quads().collect();
         assert_eq!(quads.len(), 3);
         assert_eq!(quads.iter().filter(|q| q.graph.is_none()).count(), 1);
@@ -173,7 +189,10 @@ mod tests {
         let mut a = Dataset::new();
         a.insert(Quad::in_default(t("http://e/1", "http://e/2")));
         let mut b = Dataset::new();
-        b.insert(Quad::in_graph(t("http://e/3", "http://e/4"), iri("http://e/g")));
+        b.insert(Quad::in_graph(
+            t("http://e/3", "http://e/4"),
+            iri("http://e/g"),
+        ));
         a.merge(&b);
         assert_eq!(a.len(), 2);
     }
@@ -182,7 +201,10 @@ mod tests {
     fn pattern_matching_spans_graphs() {
         let mut d = Dataset::new();
         d.insert(Quad::in_default(t("http://e/a", "http://e/x")));
-        d.insert(Quad::in_graph(t("http://e/a", "http://e/y"), iri("http://e/g")));
+        d.insert(Quad::in_graph(
+            t("http://e/a", "http://e/y"),
+            iri("http://e/g"),
+        ));
         let s: Subject = iri("http://e/a").into();
         assert_eq!(d.triples_matching(Some(&s), None, None).count(), 2);
     }

@@ -30,7 +30,10 @@ impl fmt::Display for RdfError {
             RdfError::InvalidLanguageTag(t) => write!(f, "invalid language tag: {t:?}"),
             RdfError::Parse(e) => write!(f, "parse error: {e}"),
             RdfError::InvalidLexicalForm { lexical, datatype } => {
-                write!(f, "lexical form {lexical:?} is not valid for datatype <{datatype}>")
+                write!(
+                    f,
+                    "lexical form {lexical:?} is not valid for datatype <{datatype}>"
+                )
             }
         }
     }
@@ -53,17 +56,35 @@ pub struct ParseError {
     pub column: usize,
     /// Human-readable description of what went wrong.
     pub message: String,
+    /// The source file the document came from, when known. Parsers never
+    /// set this themselves (they only see a string); callers that read from
+    /// disk attach it via [`ParseError::with_file`].
+    pub file: Option<String>,
 }
 
 impl ParseError {
     /// Create a parse error at the given 1-based position.
     pub fn new(line: usize, column: usize, message: impl Into<String>) -> Self {
-        ParseError { line, column, message: message.into() }
+        ParseError {
+            line,
+            column,
+            message: message.into(),
+            file: None,
+        }
+    }
+
+    /// Attach the path of the source file, for multi-file error reports.
+    pub fn with_file(mut self, file: impl Into<String>) -> Self {
+        self.file = Some(file.into());
+        self
     }
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(file) = &self.file {
+            write!(f, "{file}:")?;
+        }
         write!(f, "{}:{}: {}", self.line, self.column, self.message)
     }
 }
@@ -80,6 +101,16 @@ mod tests {
         assert_eq!(e.to_string(), "3:7: unexpected token");
         let r: RdfError = e.into();
         assert_eq!(r.to_string(), "parse error: 3:7: unexpected token");
+    }
+
+    #[test]
+    fn display_includes_file_when_attached() {
+        let e = ParseError::new(3, 7, "unexpected token").with_file("taverna/run-42/run.prov.ttl");
+        assert_eq!(
+            e.to_string(),
+            "taverna/run-42/run.prov.ttl:3:7: unexpected token"
+        );
+        assert_eq!(e.file.as_deref(), Some("taverna/run-42/run.prov.ttl"));
     }
 
     #[test]

@@ -113,7 +113,11 @@ impl Graph {
             Term::Iri(i) => i.clone(),
             _ => unreachable!("non-IRI interned in predicate position"),
         };
-        Triple { subject, predicate, object: self.interner.resolve(o).clone() }
+        Triple {
+            subject,
+            predicate,
+            object: self.interner.resolve(o).clone(),
+        }
     }
 
     /// Iterate over every triple (in SPO index order).
@@ -158,10 +162,14 @@ impl Graph {
                 Box::new(hit.then(|| self.decode((s, p, o))).into_iter())
             }
             (Some(s), Some(p), None) => Box::new(
-                self.spo.range((s, p, MIN)..=(s, p, MAX)).map(move |&k| self.decode(k)),
+                self.spo
+                    .range((s, p, MIN)..=(s, p, MAX))
+                    .map(move |&k| self.decode(k)),
             ),
             (Some(s), None, None) => Box::new(
-                self.spo.range((s, MIN, MIN)..=(s, MAX, MAX)).map(move |&k| self.decode(k)),
+                self.spo
+                    .range((s, MIN, MIN)..=(s, MAX, MAX))
+                    .map(move |&k| self.decode(k)),
             ),
             (None, Some(p), Some(o)) => Box::new(
                 self.pos
@@ -189,7 +197,8 @@ impl Graph {
 
     /// Objects of triples `(s, p, ?)` — the most common navigation step.
     pub fn objects(&self, s: &Subject, p: &Iri) -> impl Iterator<Item = Term> + '_ {
-        self.triples_matching(Some(s), Some(p), None).map(|t| t.object)
+        self.triples_matching(Some(s), Some(p), None)
+            .map(|t| t.object)
     }
 
     /// First object of `(s, p, ?)`, if any.
@@ -199,7 +208,8 @@ impl Graph {
 
     /// Subjects of triples `(?, p, o)`.
     pub fn subjects_with(&self, p: &Iri, o: &Term) -> impl Iterator<Item = Subject> + '_ {
-        self.triples_matching(None, Some(p), Some(o)).map(|t| t.subject)
+        self.triples_matching(None, Some(p), Some(o))
+            .map(|t| t.subject)
     }
 
     /// Distinct subjects of the whole graph (in index order).
@@ -334,9 +344,14 @@ mod tests {
     fn blank_nodes_and_literals() {
         let mut g = Graph::new();
         let b = BlankNode::new("b0").unwrap();
-        g.insert(Triple::new(b.clone(), iri("http://e/p"), Literal::simple("v")));
-        let found: Vec<_> =
-            g.triples_matching(Some(&b.clone().into()), None, None).collect();
+        g.insert(Triple::new(
+            b.clone(),
+            iri("http://e/p"),
+            Literal::simple("v"),
+        ));
+        let found: Vec<_> = g
+            .triples_matching(Some(&b.clone().into()), None, None)
+            .collect();
         assert_eq!(found.len(), 1);
         assert_eq!(found[0].object.as_literal().unwrap().lexical(), "v");
     }
@@ -392,8 +407,10 @@ mod tests {
 
     #[test]
     fn extend_and_from_iterator() {
-        let triples =
-            vec![t("http://e/a", "http://e/p", "http://e/b"), t("http://e/c", "http://e/p", "http://e/d")];
+        let triples = vec![
+            t("http://e/a", "http://e/p", "http://e/b"),
+            t("http://e/c", "http://e/p", "http://e/d"),
+        ];
         let g: Graph = triples.clone().into_iter().collect();
         assert_eq!(g.len(), 2);
         let mut g2 = Graph::new();

@@ -47,6 +47,7 @@ mod interner;
 pub mod namespace;
 pub mod nquads;
 pub mod ntriples;
+pub mod span;
 pub mod term;
 pub mod trig;
 pub mod triple;
@@ -55,13 +56,14 @@ pub mod xsd;
 
 pub use canon::{canonicalize, isomorphic};
 pub use dataset::{Dataset, GraphName};
-pub use nquads::{parse_nquads, write_nquads};
-pub use ntriples::{parse_ntriples, write_ntriples};
-pub use trig::{parse_trig, write_trig};
-pub use turtle::{parse_turtle, write_turtle};
 pub use error::{ParseError, RdfError};
 pub use graph::Graph;
 pub use namespace::PrefixMap;
+pub use nquads::{parse_nquads, write_nquads};
+pub use ntriples::{parse_ntriples, parse_ntriples_spanned, write_ntriples};
+pub use span::{Span, SpanTable, SpannedStatement};
 pub use term::{BlankNode, Iri, Literal, Subject, Term};
+pub use trig::{parse_trig, parse_trig_spanned, write_trig};
 pub use triple::{Quad, Triple};
+pub use turtle::{parse_turtle, parse_turtle_spanned, write_turtle};
 pub use xsd::DateTime;

@@ -101,7 +101,8 @@ fn is_safe_local(s: &str) -> bool {
         .next()
         .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_');
     first_ok
-        && s.chars().all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.'))
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.'))
         && !s.ends_with('.')
 }
 

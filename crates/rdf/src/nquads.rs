@@ -26,11 +26,20 @@ struct LineParser<'a> {
 
 impl<'a> LineParser<'a> {
     fn new(line: &'a str, line_no: usize) -> Self {
-        LineParser { chars: line.chars().collect(), pos: 0, line_no, line }
+        LineParser {
+            chars: line.chars().collect(),
+            pos: 0,
+            line_no,
+            line,
+        }
     }
 
     fn err(&self, message: impl Into<String>) -> ParseError {
-        ParseError::new(self.line_no, self.pos + 1, format!("{} in {:?}", message.into(), self.line))
+        ParseError::new(
+            self.line_no,
+            self.pos + 1,
+            format!("{} in {:?}", message.into(), self.line),
+        )
     }
 
     fn skip_ws(&mut self) {
@@ -196,7 +205,14 @@ impl<'a> LineParser<'a> {
                 return Err(self.err("trailing content after `.`"));
             }
         }
-        Ok(Quad { triple: Triple { subject, predicate, object }, graph })
+        Ok(Quad {
+            triple: Triple {
+                subject,
+                predicate,
+                object,
+            },
+            graph,
+        })
     }
 }
 

@@ -6,6 +6,7 @@
 
 use crate::error::ParseError;
 use crate::graph::Graph;
+use crate::span::SpanTable;
 
 /// Parse an N-Triples document. Any valid N-Triples document is also valid
 /// Turtle, so this delegates to the Turtle parser; documents that use
@@ -13,6 +14,12 @@ use crate::graph::Graph;
 pub fn parse_ntriples(input: &str) -> Result<Graph, ParseError> {
     let (graph, _) = crate::turtle::parse_turtle(input)?;
     Ok(graph)
+}
+
+/// Parse an N-Triples document, recording a source span per triple.
+pub fn parse_ntriples_spanned(input: &str) -> Result<(Graph, SpanTable), ParseError> {
+    let (graph, _, spans) = crate::turtle::parse_turtle_spanned(input)?;
+    Ok((graph, spans))
 }
 
 /// Serialize a graph as N-Triples, one statement per line, in index order.

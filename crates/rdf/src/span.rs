@@ -1,0 +1,178 @@
+//! Source spans for parsed statements.
+//!
+//! The Turtle/TriG parsers can optionally record, for every triple they
+//! emit, where in the source document that triple was asserted. The
+//! recording is a side table keyed by emission order — the hot parse path
+//! (used by corpus generation and the query engine) stays allocation-free
+//! when spans are not requested.
+
+use crate::term::Subject;
+use crate::triple::Triple;
+use std::collections::HashMap;
+
+/// A region of source text, 1-based, inclusive of the start of the last
+/// token that contributed to the statement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Span {
+    /// 1-based line of the first token of the statement clause.
+    pub line: usize,
+    /// 1-based column of the first token of the statement clause.
+    pub column: usize,
+    /// 1-based line of the last token of the statement clause.
+    pub end_line: usize,
+    /// 1-based column of the last token of the statement clause.
+    pub end_column: usize,
+}
+
+impl Span {
+    /// A span covering a single point.
+    pub fn point(line: usize, column: usize) -> Self {
+        Span {
+            line,
+            column,
+            end_line: line,
+            end_column: column,
+        }
+    }
+}
+
+impl std::fmt::Display for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.line, self.column)
+    }
+}
+
+/// One parsed statement with its source location.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpannedStatement {
+    /// The named graph the triple was asserted in (`None` = default graph).
+    pub graph: Option<Subject>,
+    /// The emitted triple.
+    pub triple: Triple,
+    /// Where in the document the triple's clause appears.
+    pub span: Span,
+}
+
+/// Side table of statement spans, in emission order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SpanTable {
+    entries: Vec<SpannedStatement>,
+}
+
+impl SpanTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        SpanTable::default()
+    }
+
+    /// Record one statement (called by the parser).
+    pub(crate) fn push(&mut self, entry: SpannedStatement) {
+        self.entries.push(entry);
+    }
+
+    /// Number of recorded statements (counts duplicates separately).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All recorded statements in emission order.
+    pub fn iter(&self) -> impl Iterator<Item = &SpannedStatement> {
+        self.entries.iter()
+    }
+
+    /// Span of the first occurrence of `triple` in any graph.
+    pub fn span_of(&self, triple: &Triple) -> Option<Span> {
+        self.entries
+            .iter()
+            .find(|e| &e.triple == triple)
+            .map(|e| e.span)
+    }
+
+    /// Build a first-occurrence-wins lookup map over all graphs. Use this
+    /// when many lookups will be made against the same document.
+    pub fn index(&self) -> HashMap<&Triple, Span> {
+        let mut map = HashMap::with_capacity(self.entries.len());
+        for e in &self.entries {
+            map.entry(&e.triple).or_insert(e.span);
+        }
+        map
+    }
+
+    /// Span of the first recorded statement whose subject is `subject`
+    /// (useful for diagnostics about a node rather than a single triple).
+    pub fn first_for_subject(&self, subject: &Subject) -> Option<Span> {
+        self.entries
+            .iter()
+            .find(|e| &e.triple.subject == subject)
+            .map(|e| e.span)
+    }
+}
+
+impl<'a> IntoIterator for &'a SpanTable {
+    type Item = &'a SpannedStatement;
+    type IntoIter = std::slice::Iter<'a, SpannedStatement>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Iri;
+    use crate::triple::Triple;
+
+    fn t(s: &str) -> Triple {
+        Triple::new(
+            Iri::new(format!("http://e/{s}")).unwrap(),
+            Iri::new("http://e/p").unwrap(),
+            Iri::new("http://e/o").unwrap(),
+        )
+    }
+
+    #[test]
+    fn first_occurrence_wins() {
+        let mut table = SpanTable::new();
+        table.push(SpannedStatement {
+            graph: None,
+            triple: t("a"),
+            span: Span::point(1, 1),
+        });
+        table.push(SpannedStatement {
+            graph: None,
+            triple: t("a"),
+            span: Span::point(9, 9),
+        });
+        table.push(SpannedStatement {
+            graph: None,
+            triple: t("b"),
+            span: Span::point(2, 5),
+        });
+        assert_eq!(table.span_of(&t("a")), Some(Span::point(1, 1)));
+        assert_eq!(table.index()[&t("b")], Span::point(2, 5));
+        assert_eq!(table.len(), 3);
+    }
+
+    #[test]
+    fn subject_lookup() {
+        let mut table = SpanTable::new();
+        table.push(SpannedStatement {
+            graph: None,
+            triple: t("a"),
+            span: Span::point(3, 2),
+        });
+        let subj = t("a").subject.clone();
+        assert_eq!(table.first_for_subject(&subj), Some(Span::point(3, 2)));
+        assert_eq!(table.first_for_subject(&t("x").subject.clone()), None);
+    }
+
+    #[test]
+    fn display_is_line_colon_column() {
+        assert_eq!(Span::point(12, 7).to_string(), "12:7");
+    }
+}

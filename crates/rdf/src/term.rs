@@ -32,7 +32,10 @@ impl Iri {
     /// vocabulary constants; panics in debug builds on invalid input.
     pub fn new_unchecked(iri: impl AsRef<str>) -> Self {
         let s = iri.as_ref();
-        debug_assert!(Self::is_valid(s), "invalid IRI passed to new_unchecked: {s:?}");
+        debug_assert!(
+            Self::is_valid(s),
+            "invalid IRI passed to new_unchecked: {s:?}"
+        );
         Iri(Arc::from(s))
     }
 
@@ -40,7 +43,8 @@ impl Iri {
         !s.is_empty()
             && s.contains(':')
             && !s.chars().any(|c| {
-                c.is_whitespace() || matches!(c, '<' | '>' | '"' | '{' | '}' | '|' | '^' | '`' | '\\')
+                c.is_whitespace()
+                    || matches!(c, '<' | '>' | '"' | '{' | '}' | '|' | '^' | '`' | '\\')
             })
     }
 
@@ -86,7 +90,8 @@ impl BlankNode {
         let s = label.as_ref();
         let ok = !s.is_empty()
             && s.chars().next().is_some_and(|c| c.is_ascii_alphanumeric())
-            && s.chars().all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.'))
+            && s.chars()
+                .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.'))
             && !s.ends_with('.');
         if ok {
             Ok(BlankNode(Arc::from(s)))
@@ -134,7 +139,10 @@ pub struct Literal {
 impl Literal {
     /// A simple (plain, `xsd:string`) literal.
     pub fn simple(lexical: impl AsRef<str>) -> Self {
-        Literal { lexical: Arc::from(lexical.as_ref()), kind: LiteralKind::Simple }
+        Literal {
+            lexical: Arc::from(lexical.as_ref()),
+            kind: LiteralKind::Simple,
+        }
     }
 
     /// A language-tagged string; the tag must match `[a-zA-Z]+(-[a-zA-Z0-9]+)*`.
@@ -144,8 +152,7 @@ impl Literal {
         let head_ok = parts
             .next()
             .is_some_and(|h| !h.is_empty() && h.chars().all(|c| c.is_ascii_alphabetic()));
-        let rest_ok =
-            parts.all(|p| !p.is_empty() && p.chars().all(|c| c.is_ascii_alphanumeric()));
+        let rest_ok = parts.all(|p| !p.is_empty() && p.chars().all(|c| c.is_ascii_alphanumeric()));
         if head_ok && rest_ok {
             Ok(Literal {
                 lexical: Arc::from(lexical.as_ref()),
@@ -161,7 +168,10 @@ impl Literal {
         if datatype.as_str() == crate::xsd::STRING {
             return Literal::simple(lexical);
         }
-        Literal { lexical: Arc::from(lexical.as_ref()), kind: LiteralKind::Typed(datatype) }
+        Literal {
+            lexical: Arc::from(lexical.as_ref()),
+            kind: LiteralKind::Typed(datatype),
+        }
     }
 
     /// An `xsd:integer` literal.
@@ -468,7 +478,10 @@ mod tests {
     #[test]
     fn literal_escaping() {
         let l = Literal::simple("line1\nline2\t\"quoted\" \\slash");
-        assert_eq!(l.to_string(), "\"line1\\nline2\\t\\\"quoted\\\" \\\\slash\"");
+        assert_eq!(
+            l.to_string(),
+            "\"line1\\nline2\\t\\\"quoted\\\" \\\\slash\""
+        );
     }
 
     #[test]

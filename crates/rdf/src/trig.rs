@@ -6,11 +6,18 @@
 use crate::dataset::Dataset;
 use crate::error::ParseError;
 use crate::namespace::PrefixMap;
+use crate::span::SpanTable;
 use crate::turtle::{render_subject, write_graph_body, Parser};
 
 /// Parse a TriG document into a dataset (plus declared prefixes).
 pub fn parse_trig(input: &str) -> Result<(Dataset, PrefixMap), ParseError> {
     Parser::new(input, true)?.parse()
+}
+
+/// Parse a TriG document, also recording a source span for every triple
+/// (spans carry the named graph each triple was asserted in).
+pub fn parse_trig_spanned(input: &str) -> Result<(Dataset, PrefixMap, SpanTable), ParseError> {
+    Parser::new(input, true)?.record_spans().parse_spanned()
 }
 
 /// Serialize a dataset as TriG: the default graph first as plain Turtle,
@@ -71,10 +78,7 @@ mod tests {
 
     #[test]
     fn parse_graph_keyword_form() {
-        let (ds, _) = parse_trig(
-            "@prefix e: <http://e/> .\nGRAPH e:g { e:s e:p e:o . }",
-        )
-        .unwrap();
+        let (ds, _) = parse_trig("@prefix e: <http://e/> .\nGRAPH e:g { e:s e:p e:o . }").unwrap();
         let name: Subject = iri("http://e/g").into();
         assert_eq!(ds.named_graph(&name).unwrap().len(), 1);
         assert!(ds.default_graph().is_empty());

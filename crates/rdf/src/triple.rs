@@ -17,7 +17,11 @@ pub struct Triple {
 impl Triple {
     /// Build a triple from anything convertible into the three positions.
     pub fn new(subject: impl Into<Subject>, predicate: Iri, object: impl Into<Term>) -> Self {
-        Triple { subject: subject.into(), predicate, object: object.into() }
+        Triple {
+            subject: subject.into(),
+            predicate,
+            object: object.into(),
+        }
     }
 }
 
@@ -40,12 +44,18 @@ pub struct Quad {
 impl Quad {
     /// A quad in the default graph.
     pub fn in_default(triple: Triple) -> Self {
-        Quad { triple, graph: None }
+        Quad {
+            triple,
+            graph: None,
+        }
     }
 
     /// A quad in the named graph `graph`.
     pub fn in_graph(triple: Triple, graph: impl Into<Subject>) -> Self {
-        Quad { triple, graph: Some(graph.into()) }
+        Quad {
+            triple,
+            graph: Some(graph.into()),
+        }
     }
 }
 
@@ -84,7 +94,11 @@ mod tests {
 
     #[test]
     fn quad_display() {
-        let t = Triple::new(iri("http://ex.org/s"), iri("http://ex.org/p"), iri("http://ex.org/o"));
+        let t = Triple::new(
+            iri("http://ex.org/s"),
+            iri("http://ex.org/p"),
+            iri("http://ex.org/o"),
+        );
         assert_eq!(Quad::in_default(t.clone()).to_string(), t.to_string());
         let q = Quad::in_graph(t, iri("http://ex.org/g"));
         assert!(q.to_string().ends_with("<http://ex.org/g> ."));

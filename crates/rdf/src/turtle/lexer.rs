@@ -96,7 +96,11 @@ impl<'a> Lexer<'a> {
             self.skip_ws_and_comments();
             let (line, column) = (self.line, self.column);
             let Some(c) = self.peek() else {
-                out.push(Token { kind: TokenKind::Eof, line, column });
+                out.push(Token {
+                    kind: TokenKind::Eof,
+                    line,
+                    column,
+                });
                 return Ok(out);
             };
             let kind = match c {
@@ -157,7 +161,11 @@ impl<'a> Lexer<'a> {
                 c if c.is_ascii_digit() || c == '+' || c == '-' => self.lex_number()?,
                 c if is_pname_start(c) || c == ':' => self.lex_pname_or_keyword()?,
                 other => {
-                    return Err(self.err_at(line, column, format!("unexpected character {other:?}")))
+                    return Err(self.err_at(
+                        line,
+                        column,
+                        format!("unexpected character {other:?}"),
+                    ))
                 }
             };
             out.push(Token { kind, line, column });
@@ -240,8 +248,12 @@ impl<'a> Lexer<'a> {
     fn lex_hex_escape(&mut self, n: usize) -> Result<char, ParseError> {
         let mut v: u32 = 0;
         for _ in 0..n {
-            let c = self.bump().ok_or_else(|| self.err("truncated unicode escape"))?;
-            let d = c.to_digit(16).ok_or_else(|| self.err("invalid hex digit in escape"))?;
+            let c = self
+                .bump()
+                .ok_or_else(|| self.err("truncated unicode escape"))?;
+            let d = c
+                .to_digit(16)
+                .ok_or_else(|| self.err("invalid hex digit in escape"))?;
             v = v * 16 + d;
         }
         char::from_u32(v).ok_or_else(|| self.err("escape is not a valid code point"))
@@ -276,9 +288,7 @@ impl<'a> Lexer<'a> {
                     }
                     out.push(c);
                 }
-                '\n' | '\r' if !long => {
-                    return Err(self.err("newline in short string literal"))
-                }
+                '\n' | '\r' if !long => return Err(self.err("newline in short string literal")),
                 c => out.push(c),
             }
         }
@@ -312,8 +322,12 @@ impl<'a> Lexer<'a> {
             }
         }
         match word.as_str() {
-            "prefix" => Ok(TokenKind::PrefixDirective { sparql_style: false }),
-            "base" => Ok(TokenKind::BaseDirective { sparql_style: false }),
+            "prefix" => Ok(TokenKind::PrefixDirective {
+                sparql_style: false,
+            }),
+            "base" => Ok(TokenKind::BaseDirective {
+                sparql_style: false,
+            }),
             _ if !word.is_empty()
                 && word.split('-').enumerate().all(|(i, p)| {
                     !p.is_empty()
@@ -446,10 +460,9 @@ impl<'a> Lexer<'a> {
                 }
                 '.' => {
                     // Trailing dot terminates the statement instead.
-                    if self
-                        .peek_at(1)
-                        .is_some_and(|n| n.is_ascii_alphanumeric() || matches!(n, '_' | '-' | '%' | '\\' | ':'))
-                    {
+                    if self.peek_at(1).is_some_and(|n| {
+                        n.is_ascii_alphanumeric() || matches!(n, '_' | '-' | '%' | '\\' | ':')
+                    }) {
                         local.push(c);
                         self.bump();
                     } else {
@@ -556,12 +569,29 @@ line""" "A""#);
 
     #[test]
     fn directives_and_langtags() {
-        let toks = lex("@prefix p: <http://e/> . @base <http://b/> . \"x\"@en-GB PREFIX BASE GRAPH");
-        assert!(matches!(toks[0], TokenKind::PrefixDirective { sparql_style: false }));
-        assert!(matches!(toks[4], TokenKind::BaseDirective { sparql_style: false }));
+        let toks =
+            lex("@prefix p: <http://e/> . @base <http://b/> . \"x\"@en-GB PREFIX BASE GRAPH");
+        assert!(matches!(
+            toks[0],
+            TokenKind::PrefixDirective {
+                sparql_style: false
+            }
+        ));
+        assert!(matches!(
+            toks[4],
+            TokenKind::BaseDirective {
+                sparql_style: false
+            }
+        ));
         assert_eq!(toks[8], TokenKind::LangTag("en-GB".into()));
-        assert!(matches!(toks[9], TokenKind::PrefixDirective { sparql_style: true }));
-        assert!(matches!(toks[10], TokenKind::BaseDirective { sparql_style: true }));
+        assert!(matches!(
+            toks[9],
+            TokenKind::PrefixDirective { sparql_style: true }
+        ));
+        assert!(matches!(
+            toks[10],
+            TokenKind::BaseDirective { sparql_style: true }
+        ));
         assert_eq!(toks[11], TokenKind::Graph);
     }
 
@@ -574,9 +604,15 @@ line""" "A""#);
     #[test]
     fn pname_local_with_dots_and_escapes() {
         let toks = lex(r"ex:run.1 ex:a\%b ex:p%4Aq .");
-        assert_eq!(toks[0], TokenKind::PrefixedName("ex".into(), "run.1".into()));
+        assert_eq!(
+            toks[0],
+            TokenKind::PrefixedName("ex".into(), "run.1".into())
+        );
         assert_eq!(toks[1], TokenKind::PrefixedName("ex".into(), "a%b".into()));
-        assert_eq!(toks[2], TokenKind::PrefixedName("ex".into(), "p%4Aq".into()));
+        assert_eq!(
+            toks[2],
+            TokenKind::PrefixedName("ex".into(), "p%4Aq".into())
+        );
         assert_eq!(toks[3], TokenKind::Dot);
     }
 
@@ -615,7 +651,11 @@ line""" "A""#);
     fn booleans() {
         assert_eq!(
             lex("true false"),
-            vec![TokenKind::Boolean(true), TokenKind::Boolean(false), TokenKind::Eof]
+            vec![
+                TokenKind::Boolean(true),
+                TokenKind::Boolean(false),
+                TokenKind::Eof
+            ]
         );
     }
 }

@@ -16,11 +16,22 @@ pub use writer::write_turtle;
 use crate::error::ParseError;
 use crate::graph::Graph;
 use crate::namespace::PrefixMap;
+use crate::span::SpanTable;
 
 /// Parse a Turtle document into a graph (plus the prefixes it declared).
 pub fn parse_turtle(input: &str) -> Result<(Graph, PrefixMap), ParseError> {
     let (dataset, prefixes) = parser::Parser::new(input, false)?.parse()?;
     Ok((dataset.default_graph().clone(), prefixes))
+}
+
+/// Parse a Turtle document, also recording a source span for every triple.
+/// Slower than [`parse_turtle`] (per-triple bookkeeping); intended for
+/// diagnostics, not for bulk loading.
+pub fn parse_turtle_spanned(input: &str) -> Result<(Graph, PrefixMap, SpanTable), ParseError> {
+    let (dataset, prefixes, spans) = parser::Parser::new(input, false)?
+        .record_spans()
+        .parse_spanned()?;
+    Ok((dataset.default_graph().clone(), prefixes, spans))
 }
 
 pub(crate) use parser::Parser;

@@ -4,6 +4,7 @@ use super::lexer::{Lexer, Token, TokenKind};
 use crate::dataset::Dataset;
 use crate::error::ParseError;
 use crate::namespace::PrefixMap;
+use crate::span::{Span, SpanTable, SpannedStatement};
 use crate::term::{BlankNode, Iri, Literal, Subject, Term};
 use crate::triple::Triple;
 use crate::xsd;
@@ -24,6 +25,9 @@ pub(crate) struct Parser {
     allow_graphs: bool,
     /// The graph currently being filled (`None` = default graph).
     current_graph: Option<Subject>,
+    /// When present, every emitted triple is recorded here with its span.
+    /// `None` keeps the hot path free of per-triple clones.
+    spans: Option<SpanTable>,
 }
 
 impl Parser {
@@ -45,10 +49,25 @@ impl Parser {
             used_labels,
             allow_graphs,
             current_graph: None,
+            spans: None,
         })
     }
 
-    pub fn parse(mut self) -> Result<(Dataset, PrefixMap), ParseError> {
+    /// Enable span recording: every emitted triple gets an entry in the
+    /// [`SpanTable`] returned by [`Parser::parse_spanned`].
+    pub fn record_spans(mut self) -> Self {
+        self.spans = Some(SpanTable::new());
+        self
+    }
+
+    pub fn parse(self) -> Result<(Dataset, PrefixMap), ParseError> {
+        let (dataset, prefixes, _) = self.parse_spanned()?;
+        Ok((dataset, prefixes))
+    }
+
+    /// Like [`Parser::parse`] but also returns the span side table (empty
+    /// unless [`Parser::record_spans`] was called).
+    pub fn parse_spanned(mut self) -> Result<(Dataset, PrefixMap, SpanTable), ParseError> {
         let mut dataset = Dataset::new();
         loop {
             match self.peek_kind() {
@@ -73,7 +92,11 @@ impl Parser {
                 _ => self.parse_triples_or_named_block(&mut dataset)?,
             }
         }
-        Ok((dataset, self.prefixes))
+        Ok((
+            dataset,
+            self.prefixes,
+            self.spans.take().unwrap_or_default(),
+        ))
     }
 
     fn peek(&self) -> &Token {
@@ -137,7 +160,11 @@ impl Parser {
             }
         };
         Iri::new(&full).map_err(|_| {
-            ParseError::new(self.peek().line, self.peek().column, format!("invalid IRI {full:?}"))
+            ParseError::new(
+                self.peek().line,
+                self.peek().column,
+                format!("invalid IRI {full:?}"),
+            )
         })
     }
 
@@ -162,9 +189,7 @@ impl Parser {
         self.advance(); // the directive token
         let (prefix, local) = match self.advance().kind {
             TokenKind::PrefixedName(p, l) => (p, l),
-            other => {
-                return Err(self.err_here(format!("expected prefix name, found {other:?}")))
-            }
+            other => return Err(self.err_here(format!("expected prefix name, found {other:?}"))),
         };
         if !local.is_empty() {
             return Err(self.err_here("prefix declaration must end with a bare `:`"));
@@ -197,9 +222,11 @@ impl Parser {
         match self.advance().kind {
             TokenKind::IriRef(i) => Ok(Subject::Iri(self.resolve_iri(&i)?)),
             TokenKind::PrefixedName(p, l) => Ok(Subject::Iri(self.expand_pname(&p, &l)?)),
-            TokenKind::BlankNodeLabel(l) => Ok(Subject::Blank(BlankNode::new(&l).map_err(
-                |_| self.err_here(format!("invalid blank node label {l:?}")),
-            )?)),
+            TokenKind::BlankNodeLabel(l) => {
+                Ok(Subject::Blank(BlankNode::new(&l).map_err(|_| {
+                    self.err_here(format!("invalid blank node label {l:?}"))
+                })?))
+            }
             other => Err(self.err_here(format!("expected graph name, found {other:?}"))),
         }
     }
@@ -253,7 +280,30 @@ impl Parser {
         Ok(())
     }
 
-    fn emit(&mut self, dataset: &mut Dataset, triple: Triple) {
+    /// Position (line, column) of the next unconsumed token.
+    fn pos_here(&self) -> (usize, usize) {
+        let t = self.peek();
+        (t.line, t.column)
+    }
+
+    /// Insert a triple into the current graph; `start` is the position of
+    /// the first token of the clause that produced it (used only when span
+    /// recording is on).
+    fn emit(&mut self, dataset: &mut Dataset, triple: Triple, start: (usize, usize)) {
+        if let Some(spans) = &mut self.spans {
+            // The last consumed token ends the clause as far as we know.
+            let last = &self.tokens[self.pos.saturating_sub(1)];
+            spans.push(SpannedStatement {
+                graph: self.current_graph.clone(),
+                triple: triple.clone(),
+                span: Span {
+                    line: start.0,
+                    column: start.1,
+                    end_line: last.line,
+                    end_column: last.column,
+                },
+            });
+        }
         match &self.current_graph {
             None => {
                 dataset.default_graph_mut().insert(triple);
@@ -294,9 +344,11 @@ impl Parser {
         match self.advance().kind {
             TokenKind::IriRef(i) => Ok(Subject::Iri(self.resolve_iri(&i)?)),
             TokenKind::PrefixedName(p, l) => Ok(Subject::Iri(self.expand_pname(&p, &l)?)),
-            TokenKind::BlankNodeLabel(l) => Ok(Subject::Blank(BlankNode::new(&l).map_err(
-                |_| self.err_here(format!("invalid blank node label {l:?}")),
-            )?)),
+            TokenKind::BlankNodeLabel(l) => {
+                Ok(Subject::Blank(BlankNode::new(&l).map_err(|_| {
+                    self.err_here(format!("invalid blank node label {l:?}"))
+                })?))
+            }
             other => Err(self.err_here(format!("expected subject, found {other:?}"))),
         }
     }
@@ -316,12 +368,20 @@ impl Parser {
         subject: &Subject,
     ) -> Result<(), ParseError> {
         loop {
+            // The clause starts at the predicate; a comma-continued object
+            // starts its own clause at the object token.
+            let mut clause_start = self.pos_here();
             let predicate = self.parse_predicate()?;
             loop {
                 let object = self.parse_object(dataset)?;
-                self.emit(dataset, Triple::new(subject.clone(), predicate.clone(), object));
+                self.emit(
+                    dataset,
+                    Triple::new(subject.clone(), predicate.clone(), object),
+                    clause_start,
+                );
                 if self.peek_kind() == &TokenKind::Comma {
                     self.advance();
+                    clause_start = self.pos_here();
                 } else {
                     break;
                 }
@@ -333,7 +393,10 @@ impl Parser {
                 }
                 if matches!(
                     self.peek_kind(),
-                    TokenKind::Dot | TokenKind::CloseBracket | TokenKind::CloseBrace | TokenKind::Eof
+                    TokenKind::Dot
+                        | TokenKind::CloseBracket
+                        | TokenKind::CloseBrace
+                        | TokenKind::Eof
                 ) {
                     return Ok(());
                 }
@@ -387,15 +450,24 @@ impl Parser {
             }
             TokenKind::Integer(s) => {
                 self.advance();
-                Ok(Term::Literal(Literal::typed(&s, Iri::new_unchecked(xsd::INTEGER))))
+                Ok(Term::Literal(Literal::typed(
+                    &s,
+                    Iri::new_unchecked(xsd::INTEGER),
+                )))
             }
             TokenKind::Decimal(s) => {
                 self.advance();
-                Ok(Term::Literal(Literal::typed(&s, Iri::new_unchecked(xsd::DECIMAL))))
+                Ok(Term::Literal(Literal::typed(
+                    &s,
+                    Iri::new_unchecked(xsd::DECIMAL),
+                )))
             }
             TokenKind::Double(s) => {
                 self.advance();
-                Ok(Term::Literal(Literal::typed(&s, Iri::new_unchecked(xsd::DOUBLE))))
+                Ok(Term::Literal(Literal::typed(
+                    &s,
+                    Iri::new_unchecked(xsd::DOUBLE),
+                )))
             }
             TokenKind::Boolean(b) => {
                 self.advance();
@@ -421,6 +493,7 @@ impl Parser {
     }
 
     fn parse_collection(&mut self, dataset: &mut Dataset) -> Result<Term, ParseError> {
+        let start = self.pos_here();
         self.expect(&TokenKind::OpenParen, "`(`")?;
         let first_pred = Iri::new_unchecked(RDF_FIRST);
         let rest_pred = Iri::new_unchecked(RDF_REST);
@@ -436,16 +509,26 @@ impl Parser {
         if items.is_empty() {
             return Ok(Term::Iri(nil));
         }
-        let nodes: Vec<Subject> =
-            items.iter().map(|_| Subject::Blank(self.fresh_blank())).collect();
+        let nodes: Vec<Subject> = items
+            .iter()
+            .map(|_| Subject::Blank(self.fresh_blank()))
+            .collect();
         for (i, item) in items.into_iter().enumerate() {
-            self.emit(dataset, Triple::new(nodes[i].clone(), first_pred.clone(), item));
+            self.emit(
+                dataset,
+                Triple::new(nodes[i].clone(), first_pred.clone(), item),
+                start,
+            );
             let rest: Term = if i + 1 < nodes.len() {
                 nodes[i + 1].clone().into()
             } else {
                 nil.clone().into()
             };
-            self.emit(dataset, Triple::new(nodes[i].clone(), rest_pred.clone(), rest));
+            self.emit(
+                dataset,
+                Triple::new(nodes[i].clone(), rest_pred.clone(), rest),
+                start,
+            );
         }
         Ok(nodes[0].clone().into())
     }
@@ -476,14 +559,15 @@ mod tests {
         assert_eq!(pm.get("prov"), Some("http://www.w3.org/ns/prov#"));
         let t = g.iter().next().unwrap();
         assert_eq!(t.predicate.as_str(), RDF_TYPE);
-        assert_eq!(t.object.as_iri().unwrap().as_str(), "http://www.w3.org/ns/prov#Activity");
+        assert_eq!(
+            t.object.as_iri().unwrap().as_str(),
+            "http://www.w3.org/ns/prov#Activity"
+        );
     }
 
     #[test]
     fn sparql_style_directives() {
-        let (g, pm) = parse(
-            "PREFIX e: <http://e/>\nBASE <http://base/>\ne:s e:p <rel> .",
-        );
+        let (g, pm) = parse("PREFIX e: <http://e/>\nBASE <http://base/>\ne:s e:p <rel> .");
         assert_eq!(pm.get("e"), Some("http://e/"));
         let t = g.iter().next().unwrap();
         assert_eq!(t.object.as_iri().unwrap().as_str(), "http://base/rel");
@@ -506,8 +590,10 @@ mod tests {
                \"2013-01-15T10:30:00Z\"^^xsd:dateTime, 42, 3.14, 1e3, true .",
         );
         assert_eq!(g.len(), 7);
-        let objects: Vec<Literal> =
-            g.iter().filter_map(|t| t.object.as_literal().cloned()).collect();
+        let objects: Vec<Literal> = g
+            .iter()
+            .filter_map(|t| t.object.as_literal().cloned())
+            .collect();
         assert_eq!(objects.len(), 7);
         assert!(objects.iter().any(|l| l.language() == Some("fr")));
         assert!(objects.iter().any(|l| l.as_date_time().is_some()));
@@ -517,9 +603,8 @@ mod tests {
 
     #[test]
     fn blank_node_property_lists() {
-        let (g, _) = parse(
-            "<http://e/s> <http://e/p> [ <http://e/q> \"inner\" ; <http://e/r> [] ] .",
-        );
+        let (g, _) =
+            parse("<http://e/s> <http://e/p> [ <http://e/q> \"inner\" ; <http://e/r> [] ] .");
         // s-p-anon0, anon0-q-inner, anon0-r-anon1
         assert_eq!(g.len(), 3);
     }
@@ -541,7 +626,10 @@ mod tests {
         assert_eq!(g.triples_matching(None, None, Some(&nil)).count(), 1);
         let (g2, _) = parse("<http://e/s> <http://e/p> () .");
         assert_eq!(g2.len(), 1);
-        assert_eq!(g2.iter().next().unwrap().object.as_iri().unwrap().as_str(), RDF_NIL);
+        assert_eq!(
+            g2.iter().next().unwrap().object.as_iri().unwrap().as_str(),
+            RDF_NIL
+        );
     }
 
     #[test]
@@ -611,17 +699,77 @@ mod tests {
 
     #[test]
     fn graphs_rejected_in_plain_turtle() {
-        assert!(Parser::new("<http://e/g> { <http://e/a> <http://e/p> <http://e/b> . }", false)
+        assert!(Parser::new(
+            "<http://e/g> { <http://e/a> <http://e/p> <http://e/b> . }",
+            false
+        )
+        .unwrap()
+        .parse()
+        .is_err());
+    }
+
+    #[test]
+    fn spans_record_per_clause_positions() {
+        let doc = "@prefix e: <http://e/> .\n\
+                   e:s e:p e:a, e:b ;\n\
+                   \x20\x20\x20\x20e:q \"v\" .\n";
+        let (ds, _, spans) = Parser::new(doc, false)
             .unwrap()
-            .parse()
-            .is_err());
+            .record_spans()
+            .parse_spanned()
+            .unwrap();
+        assert_eq!(ds.default_graph().len(), 3);
+        assert_eq!(spans.len(), 3);
+        let find = |local: &str| {
+            let obj: Term = Iri::new(format!("http://e/{local}")).unwrap().into();
+            spans
+                .iter()
+                .find(|e| e.triple.object == obj)
+                .map(|e| (e.span.line, e.span.column))
+        };
+        // First clause starts at the predicate, comma continuation at its
+        // own object, the `;` continuation at the second predicate.
+        assert_eq!(find("a"), Some((2, 5)));
+        assert_eq!(find("b"), Some((2, 14)));
+        let lit = spans
+            .iter()
+            .find(|e| e.triple.object.as_literal().is_some())
+            .unwrap();
+        assert_eq!((lit.span.line, lit.span.column), (3, 5));
+        assert!(spans.iter().all(|e| e.graph.is_none()));
+    }
+
+    #[test]
+    fn spans_disabled_leaves_table_empty() {
+        let (_, _, spans) = Parser::new("<http://e/s> <http://e/p> <http://e/o> .", false)
+            .unwrap()
+            .parse_spanned()
+            .unwrap();
+        assert!(spans.is_empty());
+    }
+
+    #[test]
+    fn spans_carry_named_graph() {
+        let (ds, _, spans) = Parser::new("@prefix e: <http://e/> .\ne:g { e:a e:p e:b . }", true)
+            .unwrap()
+            .record_spans()
+            .parse_spanned()
+            .unwrap();
+        let g: Subject = Iri::new("http://e/g").unwrap().into();
+        assert_eq!(ds.named_graph(&g).unwrap().len(), 1);
+        let entry = spans.iter().next().unwrap();
+        assert_eq!(entry.graph.as_ref(), Some(&g));
+        assert_eq!(entry.span.line, 2);
     }
 
     #[test]
     fn unterminated_graph_block() {
-        assert!(Parser::new("<http://e/g> { <http://e/a> <http://e/p> <http://e/b> .", true)
-            .unwrap()
-            .parse()
-            .is_err());
+        assert!(Parser::new(
+            "<http://e/g> { <http://e/a> <http://e/p> <http://e/b> .",
+            true
+        )
+        .unwrap()
+        .parse()
+        .is_err());
     }
 }

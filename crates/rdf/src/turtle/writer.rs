@@ -25,9 +25,7 @@ pub(crate) fn render_literal(lit: &Literal, prefixes: &PrefixMap) -> String {
         xsd::BOOLEAN if matches!(lit.lexical(), "true" | "false") => {
             return lit.lexical().to_owned()
         }
-        xsd::DECIMAL
-            if lit.lexical().contains('.') && lit.lexical().parse::<f64>().is_ok() =>
-        {
+        xsd::DECIMAL if lit.lexical().contains('.') && lit.lexical().parse::<f64>().is_ok() => {
             return lit.lexical().to_owned()
         }
         _ => {}
@@ -70,7 +68,12 @@ fn render_predicate(p: &Iri, prefixes: &PrefixMap) -> String {
 }
 
 /// Serialize the body (no prefix header) with the given left indent.
-pub(crate) fn write_graph_body(graph: &Graph, prefixes: &PrefixMap, indent: &str, out: &mut String) {
+pub(crate) fn write_graph_body(
+    graph: &Graph,
+    prefixes: &PrefixMap,
+    indent: &str,
+    out: &mut String,
+) {
     for subject in graph.subjects() {
         let mut preds: Vec<Iri> = graph
             .triples_matching(Some(&subject), None, None)
@@ -132,8 +135,16 @@ mod tests {
         let mut g = Graph::new();
         let mut pm = PrefixMap::new();
         pm.insert("e", "http://e/");
-        g.insert(Triple::new(iri("http://e/s"), iri("http://e/p"), iri("http://e/o1")));
-        g.insert(Triple::new(iri("http://e/s"), iri("http://e/p"), iri("http://e/o2")));
+        g.insert(Triple::new(
+            iri("http://e/s"),
+            iri("http://e/p"),
+            iri("http://e/o1"),
+        ));
+        g.insert(Triple::new(
+            iri("http://e/s"),
+            iri("http://e/p"),
+            iri("http://e/o2"),
+        ));
         g.insert(Triple::new(
             iri("http://e/s"),
             iri("http://www.w3.org/1999/02/22-rdf-syntax-ns#type"),
@@ -183,7 +194,11 @@ mod tests {
         pm.insert("e", "http://e/ns#");
         for suffix in ["a/b", "x.", "p%20q", ""] {
             if let Ok(subject) = Iri::new(format!("http://e/ns#{suffix}")) {
-                g.insert(Triple::new(subject, iri("http://e/p"), Literal::simple(suffix)));
+                g.insert(Triple::new(
+                    subject,
+                    iri("http://e/p"),
+                    Literal::simple(suffix),
+                ));
             }
         }
         assert!(!g.is_empty());

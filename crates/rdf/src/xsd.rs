@@ -62,14 +62,18 @@ impl DateTime {
         debug_assert!((1..=31).contains(&day));
         debug_assert!(hour < 24 && minute < 60 && second < 60);
         let days = days_from_civil(year, month, day);
-        let secs = days * 86_400 + i64::from(hour) * 3_600 + i64::from(minute) * 60
-            + i64::from(second);
-        DateTime { unix_millis: secs * 1_000 }
+        let secs =
+            days * 86_400 + i64::from(hour) * 3_600 + i64::from(minute) * 60 + i64::from(second);
+        DateTime {
+            unix_millis: secs * 1_000,
+        }
     }
 
     /// Add a number of milliseconds, returning a new instant.
     pub fn plus_millis(&self, delta: i64) -> Self {
-        DateTime { unix_millis: self.unix_millis + delta }
+        DateTime {
+            unix_millis: self.unix_millis + delta,
+        }
     }
 
     /// Signed difference `self - other` in milliseconds.
@@ -259,7 +263,9 @@ mod tests {
             );
         }
         assert_eq!(
-            DateTime::parse("2013-01-15T10:30:00.250Z").unwrap().unix_millis(),
+            DateTime::parse("2013-01-15T10:30:00.250Z")
+                .unwrap()
+                .unix_millis(),
             1_358_245_800_250
         );
     }
@@ -280,7 +286,14 @@ mod tests {
 
     #[test]
     fn display_parse_roundtrip() {
-        for ms in [0i64, 1, -1, 1_358_245_800_123, -86_400_000, 253_402_300_799_000] {
+        for ms in [
+            0i64,
+            1,
+            -1,
+            1_358_245_800_123,
+            -86_400_000,
+            253_402_300_799_000,
+        ] {
             let dt = DateTime::from_unix_millis(ms);
             let back = DateTime::parse(&dt.to_string()).unwrap();
             assert_eq!(back, dt, "roundtrip failed for {ms}");

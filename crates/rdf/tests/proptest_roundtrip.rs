@@ -4,18 +4,17 @@
 use proptest::prelude::*;
 use provbench_rdf::{
     parse_nquads, parse_ntriples, parse_trig, parse_turtle, write_nquads, write_ntriples,
-    write_trig, write_turtle, BlankNode, Dataset, DateTime, Graph, Iri, Literal, PrefixMap,
-    Quad, Subject, Term, Triple,
+    write_trig, write_turtle, BlankNode, Dataset, DateTime, Graph, Iri, Literal, PrefixMap, Quad,
+    Subject, Term, Triple,
 };
 
 fn arb_iri() -> impl Strategy<Value = Iri> {
     // A mix of vocabulary-like and resource-like IRIs.
     prop_oneof![
-        "[a-z]{1,8}" .prop_map(|l| Iri::new(format!("http://www.w3.org/ns/prov#{l}")).unwrap()),
+        "[a-z]{1,8}".prop_map(|l| Iri::new(format!("http://www.w3.org/ns/prov#{l}")).unwrap()),
         "[a-zA-Z0-9_]{1,12}"
             .prop_map(|l| Iri::new(format!("http://example.org/resource/{l}")).unwrap()),
-        "[a-z]{1,6}/[a-z0-9]{1,6}"
-            .prop_map(|l| Iri::new(format!("urn:test:{l}")).unwrap()),
+        "[a-z]{1,6}/[a-z0-9]{1,6}".prop_map(|l| Iri::new(format!("urn:test:{l}")).unwrap()),
     ]
 }
 
@@ -27,8 +26,7 @@ fn arb_literal() -> impl Strategy<Value = Literal> {
     prop_oneof![
         // Simple strings including every escape-worthy character.
         "[ -~\\n\\t\"\\\\àé中]{0,24}".prop_map(Literal::simple),
-        ("[ -~]{0,12}", "[a-z]{2,3}")
-            .prop_map(|(s, t)| Literal::lang(s, t).unwrap()),
+        ("[ -~]{0,12}", "[a-z]{2,3}").prop_map(|(s, t)| Literal::lang(s, t).unwrap()),
         any::<i64>().prop_map(Literal::integer),
         any::<bool>().prop_map(Literal::boolean),
         (-4_000_000_000_000i64..4_000_000_000_000i64)
@@ -52,8 +50,7 @@ fn arb_term() -> impl Strategy<Value = Term> {
 }
 
 fn arb_triple() -> impl Strategy<Value = Triple> {
-    (arb_subject(), arb_iri(), arb_term())
-        .prop_map(|(s, p, o)| Triple::new(s, p, o))
+    (arb_subject(), arb_iri(), arb_term()).prop_map(|(s, p, o)| Triple::new(s, p, o))
 }
 
 fn arb_graph() -> impl Strategy<Value = Graph> {
@@ -63,7 +60,10 @@ fn arb_graph() -> impl Strategy<Value = Graph> {
 fn arb_dataset() -> impl Strategy<Value = Dataset> {
     (
         prop::collection::vec(arb_triple(), 0..15),
-        prop::collection::vec((arb_iri(), prop::collection::vec(arb_triple(), 1..10)), 0..4),
+        prop::collection::vec(
+            (arb_iri(), prop::collection::vec(arb_triple(), 1..10)),
+            0..4,
+        ),
     )
         .prop_map(|(default, named)| {
             let mut ds = Dataset::new();

@@ -66,23 +66,29 @@ fn taverna_like_turtle_parses_fully() {
     let (g, pm) = parse_turtle(TAVERNA_LIKE).unwrap();
     assert_eq!(pm.get("wfprov"), Some("http://purl.org/wf4ever/wfprov#"));
     // @base resolved the relative IRIs.
-    let run: Subject =
-        Iri::new("http://ns.taverna.org.uk/2011/run/abc123/workflow-run").unwrap().into();
+    let run: Subject = Iri::new("http://ns.taverna.org.uk/2011/run/abc123/workflow-run")
+        .unwrap()
+        .into();
     // 2 types + label + 2 times + 2 used + qualifiedAssociation +
     // wasAssociatedWith = 9 triples on the run subject.
     assert_eq!(g.triples_matching(Some(&run), None, None).count(), 9);
     // The long string kept its newline.
     let label = g
-        .object(&run, &Iri::new("http://www.w3.org/2000/01/rdf-schema#label").unwrap())
+        .object(
+            &run,
+            &Iri::new("http://www.w3.org/2000/01/rdf-schema#label").unwrap(),
+        )
         .unwrap();
     assert!(label.as_literal().unwrap().lexical().contains('\n'));
     // The collection desugared into rdf:first/rest pairs ending in nil.
-    let nil: Term =
-        Iri::new("http://www.w3.org/1999/02/22-rdf-syntax-ns#nil").unwrap().into();
+    let nil: Term = Iri::new("http://www.w3.org/1999/02/22-rdf-syntax-ns#nil")
+        .unwrap()
+        .into();
     assert_eq!(g.triples_matching(None, None, Some(&nil)).count(), 1);
     // Numeric shorthand became a typed integer.
-    let d1: Subject =
-        Iri::new("http://ns.taverna.org.uk/2011/run/abc123/data/1").unwrap().into();
+    let d1: Subject = Iri::new("http://ns.taverna.org.uk/2011/run/abc123/data/1")
+        .unwrap()
+        .into();
     let value = g
         .object(&d1, &Iri::new("http://www.w3.org/ns/prov#value").unwrap())
         .unwrap();
@@ -96,10 +102,16 @@ fn taverna_like_turtle_parses_fully() {
 #[test]
 fn wings_like_trig_parses_with_bundle_graph() {
     let (ds, _) = parse_trig(WINGS_LIKE).unwrap();
-    let account: Subject =
-        Iri::new("http://www.opmw.org/export/resource/Account/run7").unwrap().into();
+    let account: Subject = Iri::new("http://www.opmw.org/export/resource/Account/run7")
+        .unwrap()
+        .into();
     // Account metadata in the default graph, trace in the named graph.
-    assert_eq!(ds.default_graph().triples_matching(Some(&account), None, None).count(), 5);
+    assert_eq!(
+        ds.default_graph()
+            .triples_matching(Some(&account), None, None)
+            .count(),
+        5
+    );
     let bundle = ds.named_graph(&account).expect("bundle graph present");
     assert_eq!(bundle.len(), 7);
     // The decimal literal survives with its datatype.
@@ -108,14 +120,18 @@ fn wings_like_trig_parses_with_bundle_graph() {
             .unwrap()
             .into();
     let v = bundle
-        .object(&artifact, &Iri::new("http://www.w3.org/ns/prov#value").unwrap())
+        .object(
+            &artifact,
+            &Iri::new("http://www.w3.org/ns/prov#value").unwrap(),
+        )
         .unwrap();
     assert_eq!(v.as_literal().unwrap().lexical(), "3.14");
 }
 
 #[test]
 fn mixed_directive_styles_coexist() {
-    let doc = "PREFIX a: <http://a/>\n@prefix b: <http://b/> .\nBASE <http://base/>\na:x b:y <rel> .";
+    let doc =
+        "PREFIX a: <http://a/>\n@prefix b: <http://b/> .\nBASE <http://base/>\na:x b:y <rel> .";
     let (g, pm) = parse_turtle(doc).unwrap();
     assert_eq!(pm.len(), 2);
     let t = g.iter().next().unwrap();

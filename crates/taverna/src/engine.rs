@@ -15,14 +15,18 @@ pub struct TavernaEngine {
 
 impl Default for TavernaEngine {
     fn default() -> Self {
-        TavernaEngine { version: "2.4.0".to_owned() }
+        TavernaEngine {
+            version: "2.4.0".to_owned(),
+        }
     }
 }
 
 impl TavernaEngine {
     /// A specific engine version.
     pub fn new(version: impl Into<String>) -> Self {
-        TavernaEngine { version: version.into() }
+        TavernaEngine {
+            version: version.into(),
+        }
     }
 
     /// Execute `template` and export the run's provenance trace.

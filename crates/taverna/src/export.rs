@@ -15,7 +15,9 @@ pub fn run_base_iri(run_id: &str) -> String {
 
 /// IRI of the myExperiment-style workflow description.
 pub fn template_iri(template_name: &str) -> Iri {
-    Iri::new_unchecked(format!("http://www.myexperiment.org/workflows/{template_name}"))
+    Iri::new_unchecked(format!(
+        "http://www.myexperiment.org/workflows/{template_name}"
+    ))
 }
 
 fn template_process_iri(template_name: &str, process_name: &str) -> Iri {
@@ -33,9 +35,21 @@ fn user_iri(user: &str) -> Iri {
 pub fn template_description(template: &WorkflowTemplate) -> Graph {
     let mut g = Graph::new();
     let wf = template_iri(&template.name);
-    g.insert(Triple::new(wf.clone(), vocab::rdf_type(), wfdesc::workflow()));
-    g.insert(Triple::new(wf.clone(), rdfs::label(), Literal::simple(&template.title)));
-    g.insert(Triple::new(wf.clone(), dcterms::subject(), Literal::simple(&template.domain)));
+    g.insert(Triple::new(
+        wf.clone(),
+        vocab::rdf_type(),
+        wfdesc::workflow(),
+    ));
+    g.insert(Triple::new(
+        wf.clone(),
+        rdfs::label(),
+        Literal::simple(&template.title),
+    ));
+    g.insert(Triple::new(
+        wf.clone(),
+        dcterms::subject(),
+        Literal::simple(&template.domain),
+    ));
     for port in &template.inputs {
         let p = Iri::new_unchecked(format!("{}#input/{}", wf.as_str(), port.name));
         g.insert(Triple::new(p.clone(), vocab::rdf_type(), wfdesc::input()));
@@ -49,18 +63,32 @@ pub fn template_description(template: &WorkflowTemplate) -> Graph {
     for proc in &template.processors {
         let p = template_process_iri(&template.name, &proc.name);
         g.insert(Triple::new(p.clone(), vocab::rdf_type(), wfdesc::process()));
-        g.insert(Triple::new(p.clone(), rdfs::label(), Literal::simple(&proc.name)));
-        g.insert(Triple::new(wf.clone(), wfdesc::has_sub_process(), p.clone()));
+        g.insert(Triple::new(
+            p.clone(),
+            rdfs::label(),
+            Literal::simple(&proc.name),
+        ));
+        g.insert(Triple::new(
+            wf.clone(),
+            wfdesc::has_sub_process(),
+            p.clone(),
+        ));
         for port in &proc.inputs {
-            let port_iri =
-                Iri::new_unchecked(format!("{}/in/{}", p.as_str(), port.name));
-            g.insert(Triple::new(port_iri.clone(), vocab::rdf_type(), wfdesc::input()));
+            let port_iri = Iri::new_unchecked(format!("{}/in/{}", p.as_str(), port.name));
+            g.insert(Triple::new(
+                port_iri.clone(),
+                vocab::rdf_type(),
+                wfdesc::input(),
+            ));
             g.insert(Triple::new(p.clone(), wfdesc::has_input(), port_iri));
         }
         for port in &proc.outputs {
-            let port_iri =
-                Iri::new_unchecked(format!("{}/out/{}", p.as_str(), port.name));
-            g.insert(Triple::new(port_iri.clone(), vocab::rdf_type(), wfdesc::output()));
+            let port_iri = Iri::new_unchecked(format!("{}/out/{}", p.as_str(), port.name));
+            g.insert(Triple::new(
+                port_iri.clone(),
+                vocab::rdf_type(),
+                wfdesc::output(),
+            ));
             g.insert(Triple::new(p.clone(), wfdesc::has_output(), port_iri));
         }
     }
@@ -68,11 +96,9 @@ pub fn template_description(template: &WorkflowTemplate) -> Graph {
     let port_ref_iri = |r: &provbench_workflow::PortRef| -> Iri {
         use provbench_workflow::PortRef;
         match *r {
-            PortRef::WorkflowInput(i) => Iri::new_unchecked(format!(
-                "{}#input/{}",
-                wf.as_str(),
-                template.inputs[i].name
-            )),
+            PortRef::WorkflowInput(i) => {
+                Iri::new_unchecked(format!("{}#input/{}", wf.as_str(), template.inputs[i].name))
+            }
             PortRef::WorkflowOutput(i) => Iri::new_unchecked(format!(
                 "{}#output/{}",
                 wf.as_str(),
@@ -80,24 +106,38 @@ pub fn template_description(template: &WorkflowTemplate) -> Graph {
             )),
             PortRef::ProcessorInput { processor, port } => Iri::new_unchecked(format!(
                 "{}/in/{}",
-                template_process_iri(&template.name, &template.processors[processor].name)
-                    .as_str(),
+                template_process_iri(&template.name, &template.processors[processor].name).as_str(),
                 template.processors[processor].inputs[port].name
             )),
             PortRef::ProcessorOutput { processor, port } => Iri::new_unchecked(format!(
                 "{}/out/{}",
-                template_process_iri(&template.name, &template.processors[processor].name)
-                    .as_str(),
+                template_process_iri(&template.name, &template.processors[processor].name).as_str(),
                 template.processors[processor].outputs[port].name
             )),
         }
     };
     for (i, link) in template.links.iter().enumerate() {
         let link_iri = Iri::new_unchecked(format!("{}#link/{}", wf.as_str(), i));
-        g.insert(Triple::new(link_iri.clone(), vocab::rdf_type(), wfdesc::data_link()));
-        g.insert(Triple::new(wf.clone(), wfdesc::has_data_link(), link_iri.clone()));
-        g.insert(Triple::new(link_iri.clone(), wfdesc::has_source(), port_ref_iri(&link.source)));
-        g.insert(Triple::new(link_iri, wfdesc::has_sink(), port_ref_iri(&link.sink)));
+        g.insert(Triple::new(
+            link_iri.clone(),
+            vocab::rdf_type(),
+            wfdesc::data_link(),
+        ));
+        g.insert(Triple::new(
+            wf.clone(),
+            wfdesc::has_data_link(),
+            link_iri.clone(),
+        ));
+        g.insert(Triple::new(
+            link_iri.clone(),
+            wfdesc::has_source(),
+            port_ref_iri(&link.source),
+        ));
+        g.insert(Triple::new(
+            link_iri,
+            wfdesc::has_sink(),
+            port_ref_iri(&link.sink),
+        ));
     }
     for nested in &template.nested {
         let sub = template_iri(&nested.name);
@@ -167,7 +207,10 @@ fn build_run(
         .typed(wfprov::workflow_engine())
         .name(format!("Taverna {engine_version}"))
         .id();
-    let user = b.agent_iri(user_iri(&run.user), AgentKind::Person).name(run.user.clone()).id();
+    let user = b
+        .agent_iri(user_iri(&run.user), AgentKind::Person)
+        .name(run.user.clone())
+        .id();
     // The template is declared as an entity (typed by wfdesc, not
     // prov:Plan — Taverna points at it via prov:hadPlan only).
     b.entity_iri(wf.clone()).typed(wfdesc::workflow());
@@ -191,8 +234,14 @@ fn build_run(
                 .typed(wfprov::artifact())
                 .label(a.name.clone())
                 .value(Literal::simple(&a.value))
-                .attribute(tavernaprov::checksum(), Literal::simple(format!("{:016x}", a.checksum)))
-                .attribute(tavernaprov::byte_count(), Literal::integer(a.size_bytes as i64))
+                .attribute(
+                    tavernaprov::checksum(),
+                    Literal::simple(format!("{:016x}", a.checksum)),
+                )
+                .attribute(
+                    tavernaprov::byte_count(),
+                    Literal::integer(a.size_bytes as i64),
+                )
                 .id();
             iri
         })
@@ -212,14 +261,7 @@ fn build_run(
         if process.status == ProcessStatus::Skipped {
             continue;
         }
-        let p_iri = build_process_run(
-            b,
-            template,
-            process,
-            &run_iri,
-            &engine,
-            &artifact_iri,
-        );
+        let p_iri = build_process_run(b, template, process, &run_iri, &engine, &artifact_iri);
         // Nested sub-workflow run, recursively exported in the same doc.
         if let Some(sub_run) = &process.sub_run {
             let nested_template = template
@@ -421,7 +463,10 @@ mod tests {
         let t = example_template();
         for (i, kind) in FailureKind::ALL.into_iter().enumerate() {
             let mut c = ExecutionConfig::new(0, 7, "alice");
-            c.failure = Some(FailureSpec { processor: i % t.processors.len(), kind });
+            c.failure = Some(FailureSpec {
+                processor: i % t.processors.len(),
+                kind,
+            });
             let run = execute(&t, &c);
             let g = export_run(&t, &run, &format!("fk-{i}"), "2.4.0");
             let msg: provbench_rdf::Term =
@@ -461,7 +506,8 @@ mod tests {
         assert!(any_instance_of(&g, &wfdesc::input()));
         assert!(any_instance_of(&g, &wfdesc::output()));
         assert_eq!(
-            g.triples_matching(None, Some(&wfdesc::has_sub_process()), None).count(),
+            g.triples_matching(None, Some(&wfdesc::has_sub_process()), None)
+                .count(),
             3
         );
     }
@@ -471,20 +517,31 @@ mod tests {
         let t = example_template();
         let g = template_description(&t);
         assert_eq!(
-            g.triples_matching(None, Some(&wfdesc::has_data_link()), None).count(),
+            g.triples_matching(None, Some(&wfdesc::has_data_link()), None)
+                .count(),
             t.links.len()
         );
         assert_eq!(
-            g.triples_matching(None, Some(&wfdesc::has_source()), None).count(),
+            g.triples_matching(None, Some(&wfdesc::has_source()), None)
+                .count(),
             t.links.len()
         );
         assert_eq!(
-            g.triples_matching(None, Some(&wfdesc::has_sink()), None).count(),
+            g.triples_matching(None, Some(&wfdesc::has_sink()), None)
+                .count(),
             t.links.len()
         );
         // Processor ports are typed and attached.
-        assert!(g.triples_matching(None, Some(&wfdesc::has_input()), None).count() >= 3);
-        assert!(g.triples_matching(None, Some(&wfdesc::has_output()), None).count() >= 3);
+        assert!(
+            g.triples_matching(None, Some(&wfdesc::has_input()), None)
+                .count()
+                >= 3
+        );
+        assert!(
+            g.triples_matching(None, Some(&wfdesc::has_output()), None)
+                .count()
+                >= 3
+        );
     }
 
     #[test]

@@ -24,4 +24,4 @@ pub mod export;
 pub mod vocab;
 
 pub use engine::TavernaEngine;
-pub use export::{export_run, export_run_document, template_description, run_base_iri};
+pub use export::{export_run, export_run_document, run_base_iri, template_description};

@@ -16,17 +16,25 @@ pub fn error_message() -> Iri {
 
 /// `tavernaprov:checksum` — FNV content checksum of an artifact.
 pub fn checksum() -> Iri {
-    Iri::new_unchecked(concat!("http://ns.taverna.org.uk/2012/tavernaprov/", "checksum"))
+    Iri::new_unchecked(concat!(
+        "http://ns.taverna.org.uk/2012/tavernaprov/",
+        "checksum"
+    ))
 }
 
 /// `tavernaprov:byteCount` — artifact size.
 pub fn byte_count() -> Iri {
-    Iri::new_unchecked(concat!("http://ns.taverna.org.uk/2012/tavernaprov/", "byteCount"))
+    Iri::new_unchecked(concat!(
+        "http://ns.taverna.org.uk/2012/tavernaprov/",
+        "byteCount"
+    ))
 }
 
 /// The engine software agent IRI for a given Taverna version.
 pub fn engine_iri(version: &str) -> Iri {
-    Iri::new_unchecked(format!("http://ns.taverna.org.uk/2011/software/taverna-{version}"))
+    Iri::new_unchecked(format!(
+        "http://ns.taverna.org.uk/2011/software/taverna-{version}"
+    ))
 }
 
 #[cfg(test)]
@@ -36,6 +44,8 @@ mod tests {
         assert!(super::error_message().as_str().starts_with(super::NS));
         assert!(super::checksum().as_str().starts_with(super::NS));
         assert!(super::byte_count().as_str().starts_with(super::NS));
-        assert!(super::engine_iri("2.4.0").as_str().contains("taverna-2.4.0"));
+        assert!(super::engine_iri("2.4.0")
+            .as_str()
+            .contains("taverna-2.4.0"));
     }
 }

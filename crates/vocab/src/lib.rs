@@ -33,6 +33,9 @@ macro_rules! terms {
     ($ns:literal => $( $(#[$doc:meta])* $name:ident = $local:literal ),+ $(,)?) => {
         /// The namespace IRI of this vocabulary.
         pub const NS: &str = $ns;
+        /// Every term this module defines, as full IRI strings — the
+        /// vocabulary inventory used by coverage analysis and linting.
+        pub const ALL_TERMS: &[&str] = &[ $( concat!($ns, $local) ),+ ];
         $(
             $(#[$doc])*
             pub fn $name() -> $crate::Iri {
@@ -109,7 +112,9 @@ mod tests {
     fn terms_live_in_their_namespace() {
         assert!(prov::entity().as_str().starts_with(prov::NS));
         assert!(wfprov::workflow_run().as_str().starts_with(wfprov::NS));
-        assert!(opmw::workflow_execution_account().as_str().starts_with(opmw::NS));
+        assert!(opmw::workflow_execution_account()
+            .as_str()
+            .starts_with(opmw::NS));
         assert!(dcterms::title().as_str().starts_with(dcterms::NS));
         assert!(foaf::name().as_str().starts_with(foaf::NS));
     }
@@ -117,6 +122,9 @@ mod tests {
     #[test]
     fn term_functions_are_cached_and_stable() {
         assert_eq!(prov::used(), prov::used());
-        assert_eq!(rdf_type().as_str(), "http://www.w3.org/1999/02/22-rdf-syntax-ns#type");
+        assert_eq!(
+            rdf_type().as_str(),
+            "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+        );
     }
 }

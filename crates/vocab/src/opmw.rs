@@ -49,6 +49,8 @@ mod tests {
             super::workflow_execution_account().as_str(),
             "http://www.opmw.org/ontology/WorkflowExecutionAccount"
         );
-        assert!(super::has_executable_component().as_str().starts_with(super::NS));
+        assert!(super::has_executable_component()
+            .as_str()
+            .starts_with(super::NS));
     }
 }

@@ -144,23 +144,50 @@ pub const STARTING_POINT_TERMS: &[ProvTermInfo] = &[
     info!("prov:Activity", "Activity", StartingPoint, Class),
     info!("prov:Agent", "Agent", StartingPoint, Class),
     info!("prov:Entity", "Entity", StartingPoint, Class),
-    info!("prov:actedOnBehalfOf", "actedOnBehalfOf", StartingPoint, Property),
+    info!(
+        "prov:actedOnBehalfOf",
+        "actedOnBehalfOf", StartingPoint, Property
+    ),
     info!("prov:endedAtTime", "endedAtTime", StartingPoint, Property),
-    info!("prov:startedAtTime", "startedAtTime", StartingPoint, Property),
+    info!(
+        "prov:startedAtTime",
+        "startedAtTime", StartingPoint, Property
+    ),
     info!("prov:used", "used", StartingPoint, Property),
-    info!("prov:wasAssociatedWith", "wasAssociatedWith", StartingPoint, Property),
-    info!("prov:wasAttributedTo", "wasAttributedTo", StartingPoint, Property),
-    info!("prov:wasDerivedFrom", "wasDerivedFrom", StartingPoint, Property),
-    info!("prov:wasGeneratedBy", "wasGeneratedBy", StartingPoint, Property),
-    info!("prov:wasInformedBy", "wasInformedBy", StartingPoint, Property),
+    info!(
+        "prov:wasAssociatedWith",
+        "wasAssociatedWith", StartingPoint, Property
+    ),
+    info!(
+        "prov:wasAttributedTo",
+        "wasAttributedTo", StartingPoint, Property
+    ),
+    info!(
+        "prov:wasDerivedFrom",
+        "wasDerivedFrom", StartingPoint, Property
+    ),
+    info!(
+        "prov:wasGeneratedBy",
+        "wasGeneratedBy", StartingPoint, Property
+    ),
+    info!(
+        "prov:wasInformedBy",
+        "wasInformedBy", StartingPoint, Property
+    ),
 ];
 
 /// The 5 additional terms, in the order of the paper's Table 3.
 pub const ADDITIONAL_TERMS: &[ProvTermInfo] = &[
     info!("prov:Bundle", "Bundle", Additional, Class),
     info!("prov:Plan", "Plan", Additional, Class),
-    info!("prov:wasInfluencedBy", "wasInfluencedBy", Additional, Property),
-    info!("prov:hadPrimarySource", "hadPrimarySource", Additional, Property),
+    info!(
+        "prov:wasInfluencedBy",
+        "wasInfluencedBy", Additional, Property
+    ),
+    info!(
+        "prov:hadPrimarySource",
+        "hadPrimarySource", Additional, Property
+    ),
     info!("prov:atLocation", "atLocation", Additional, Property),
 ];
 
@@ -168,16 +195,46 @@ pub const ADDITIONAL_TERMS: &[ProvTermInfo] = &[
 /// matter for the corpus: everything that rolls up to
 /// `prov:wasInfluencedBy`, plus `hadPrimarySource ⊑ wasDerivedFrom`.
 pub const SUBPROPERTY_OF: &[(&str, &str)] = &[
-    ("http://www.w3.org/ns/prov#used", "http://www.w3.org/ns/prov#wasInfluencedBy"),
-    ("http://www.w3.org/ns/prov#wasGeneratedBy", "http://www.w3.org/ns/prov#wasInfluencedBy"),
-    ("http://www.w3.org/ns/prov#wasDerivedFrom", "http://www.w3.org/ns/prov#wasInfluencedBy"),
-    ("http://www.w3.org/ns/prov#wasAttributedTo", "http://www.w3.org/ns/prov#wasInfluencedBy"),
-    ("http://www.w3.org/ns/prov#wasAssociatedWith", "http://www.w3.org/ns/prov#wasInfluencedBy"),
-    ("http://www.w3.org/ns/prov#wasInformedBy", "http://www.w3.org/ns/prov#wasInfluencedBy"),
-    ("http://www.w3.org/ns/prov#actedOnBehalfOf", "http://www.w3.org/ns/prov#wasInfluencedBy"),
-    ("http://www.w3.org/ns/prov#wasStartedBy", "http://www.w3.org/ns/prov#wasInfluencedBy"),
-    ("http://www.w3.org/ns/prov#wasEndedBy", "http://www.w3.org/ns/prov#wasInfluencedBy"),
-    ("http://www.w3.org/ns/prov#hadPrimarySource", "http://www.w3.org/ns/prov#wasDerivedFrom"),
+    (
+        "http://www.w3.org/ns/prov#used",
+        "http://www.w3.org/ns/prov#wasInfluencedBy",
+    ),
+    (
+        "http://www.w3.org/ns/prov#wasGeneratedBy",
+        "http://www.w3.org/ns/prov#wasInfluencedBy",
+    ),
+    (
+        "http://www.w3.org/ns/prov#wasDerivedFrom",
+        "http://www.w3.org/ns/prov#wasInfluencedBy",
+    ),
+    (
+        "http://www.w3.org/ns/prov#wasAttributedTo",
+        "http://www.w3.org/ns/prov#wasInfluencedBy",
+    ),
+    (
+        "http://www.w3.org/ns/prov#wasAssociatedWith",
+        "http://www.w3.org/ns/prov#wasInfluencedBy",
+    ),
+    (
+        "http://www.w3.org/ns/prov#wasInformedBy",
+        "http://www.w3.org/ns/prov#wasInfluencedBy",
+    ),
+    (
+        "http://www.w3.org/ns/prov#actedOnBehalfOf",
+        "http://www.w3.org/ns/prov#wasInfluencedBy",
+    ),
+    (
+        "http://www.w3.org/ns/prov#wasStartedBy",
+        "http://www.w3.org/ns/prov#wasInfluencedBy",
+    ),
+    (
+        "http://www.w3.org/ns/prov#wasEndedBy",
+        "http://www.w3.org/ns/prov#wasInfluencedBy",
+    ),
+    (
+        "http://www.w3.org/ns/prov#hadPrimarySource",
+        "http://www.w3.org/ns/prov#wasDerivedFrom",
+    ),
 ];
 
 /// All transitive super-properties of `property` within
@@ -208,7 +265,10 @@ mod tests {
             .all(|t| t.category == TermCategory::StartingPoint));
         // 3 classes, 9 properties.
         assert_eq!(
-            STARTING_POINT_TERMS.iter().filter(|t| t.kind == TermKind::Class).count(),
+            STARTING_POINT_TERMS
+                .iter()
+                .filter(|t| t.kind == TermKind::Class)
+                .count(),
             3
         );
     }
@@ -216,7 +276,9 @@ mod tests {
     #[test]
     fn table_3_has_exactly_five_terms() {
         assert_eq!(ADDITIONAL_TERMS.len(), 5);
-        assert!(ADDITIONAL_TERMS.iter().all(|t| t.category == TermCategory::Additional));
+        assert!(ADDITIONAL_TERMS
+            .iter()
+            .all(|t| t.category == TermCategory::Additional));
     }
 
     #[test]

@@ -15,6 +15,9 @@ super::terms! { "http://www.w3.org/2000/01/rdf-schema#" =>
 mod tests {
     #[test]
     fn label_iri() {
-        assert_eq!(super::label().as_str(), "http://www.w3.org/2000/01/rdf-schema#label");
+        assert_eq!(
+            super::label().as_str(),
+            "http://www.w3.org/2000/01/rdf-schema#label"
+        );
     }
 }

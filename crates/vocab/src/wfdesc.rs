@@ -32,7 +32,10 @@ super::terms! { "http://purl.org/wf4ever/wfdesc#" =>
 mod tests {
     #[test]
     fn terms_are_namespaced() {
-        assert_eq!(super::workflow().as_str(), "http://purl.org/wf4ever/wfdesc#Workflow");
+        assert_eq!(
+            super::workflow().as_str(),
+            "http://purl.org/wf4ever/wfdesc#Workflow"
+        );
         assert!(super::has_data_link().as_str().starts_with(super::NS));
     }
 }

@@ -32,6 +32,8 @@ mod tests {
             super::workflow_run().as_str(),
             "http://purl.org/wf4ever/wfprov#WorkflowRun"
         );
-        assert!(super::was_part_of_workflow_run().as_str().starts_with(super::NS));
+        assert!(super::was_part_of_workflow_run()
+            .as_str()
+            .starts_with(super::NS));
     }
 }

@@ -15,14 +15,18 @@ pub struct WingsEngine {
 
 impl Default for WingsEngine {
     fn default() -> Self {
-        WingsEngine { version: "4.0".to_owned() }
+        WingsEngine {
+            version: "4.0".to_owned(),
+        }
     }
 }
 
 impl WingsEngine {
     /// A specific engine version.
     pub fn new(version: impl Into<String>) -> Self {
-        WingsEngine { version: version.into() }
+        WingsEngine {
+            version: version.into(),
+        }
     }
 
     /// Execute `template` and publish the run's provenance dataset.

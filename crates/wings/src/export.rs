@@ -11,7 +11,9 @@ use provbench_workflow::{ProcessStatus, RunStatus, WorkflowRun, WorkflowTemplate
 
 /// The execution-account IRI for a run.
 pub fn account_iri(run_id: &str) -> Iri {
-    Iri::new_unchecked(format!("http://www.opmw.org/export/resource/Account/{run_id}"))
+    Iri::new_unchecked(format!(
+        "http://www.opmw.org/export/resource/Account/{run_id}"
+    ))
 }
 
 /// The OPMW template IRI for a workflow.
@@ -35,9 +37,21 @@ fn base(run_id: &str) -> String {
 pub fn template_description(template: &WorkflowTemplate) -> Graph {
     let mut g = Graph::new();
     let wf = template_iri(&template.name);
-    g.insert(Triple::new(wf.clone(), vocab::rdf_type(), opmw::workflow_template()));
-    g.insert(Triple::new(wf.clone(), rdfs::label(), Literal::simple(&template.title)));
-    g.insert(Triple::new(wf.clone(), dcterms::subject(), Literal::simple(&template.domain)));
+    g.insert(Triple::new(
+        wf.clone(),
+        vocab::rdf_type(),
+        opmw::workflow_template(),
+    ));
+    g.insert(Triple::new(
+        wf.clone(),
+        rdfs::label(),
+        Literal::simple(&template.title),
+    ));
+    g.insert(Triple::new(
+        wf.clone(),
+        dcterms::subject(),
+        Literal::simple(&template.domain),
+    ));
     g.insert(Triple::new(
         wf.clone(),
         vocab::prov::at_location(),
@@ -48,9 +62,21 @@ pub fn template_description(template: &WorkflowTemplate) -> Graph {
     ));
     for proc in &template.processors {
         let p = template_process_iri(&template.name, &proc.name);
-        g.insert(Triple::new(p.clone(), vocab::rdf_type(), opmw::workflow_template_process()));
-        g.insert(Triple::new(p.clone(), rdfs::label(), Literal::simple(&proc.name)));
-        g.insert(Triple::new(p.clone(), opmw::corresponds_to_template(), wf.clone()));
+        g.insert(Triple::new(
+            p.clone(),
+            vocab::rdf_type(),
+            opmw::workflow_template_process(),
+        ));
+        g.insert(Triple::new(
+            p.clone(),
+            rdfs::label(),
+            Literal::simple(&proc.name),
+        ));
+        g.insert(Triple::new(
+            p.clone(),
+            opmw::corresponds_to_template(),
+            wf.clone(),
+        ));
     }
     g
 }
@@ -76,7 +102,8 @@ pub fn export_run(
             .typed(opmw::workflow_execution_account())
             .label(format!("Execution account of {}", template.title))
             .id();
-        top.agent_iri(user.clone(), AgentKind::Person).name(run.user.clone());
+        top.agent_iri(user.clone(), AgentKind::Person)
+            .name(run.user.clone());
         top.agent_iri(engine.clone(), AgentKind::Software)
             .name(format!("Wings {engine_version}"));
         // Wings records run times only at account granularity, with OPMW
@@ -116,7 +143,10 @@ pub fn export_run(
         .agent_iri(engine.clone(), AgentKind::Software)
         .name(format!("Wings {engine_version}"))
         .id();
-    let user_b = b.agent_iri(user.clone(), AgentKind::Person).name(run.user.clone()).id();
+    let user_b = b
+        .agent_iri(user.clone(), AgentKind::Person)
+        .name(run.user.clone())
+        .id();
 
     // Artifacts.
     let artifact_iri: Vec<Iri> = run
@@ -142,9 +172,7 @@ pub fn export_run(
     for &aid in &run.inputs {
         let source = b
             .entity_iri(wings::catalog_source(&run.artifacts[aid].name))
-            .location(Iri::new_unchecked(
-                "http://www.wings-workflows.org/catalog",
-            ))
+            .location(Iri::new_unchecked("http://www.wings-workflows.org/catalog"))
             .id();
         b.primary_source(&artifact_iri[aid], &source);
         b.other(&artifact_iri[aid], opmw::is_input_of(), account.clone());
@@ -235,8 +263,13 @@ mod tests {
     fn asserts_the_wings_profile() {
         let ds = run_dataset(None);
         let union = ds.union_graph();
-        for class in [prov::entity(), prov::activity(), prov::agent(), prov::plan(), prov::bundle()]
-        {
+        for class in [
+            prov::entity(),
+            prov::activity(),
+            prov::agent(),
+            prov::plan(),
+            prov::bundle(),
+        ] {
             assert!(any_instance_of(&union, &class), "missing class {class:?}");
         }
         for p in [
@@ -319,18 +352,17 @@ mod tests {
         let t = example_template();
         for (i, kind) in FailureKind::ALL.into_iter().enumerate() {
             let mut c = ExecutionConfig::new(0, 9, "dana");
-            c.failure = Some(FailureSpec { processor: i % t.processors.len(), kind });
+            c.failure = Some(FailureSpec {
+                processor: i % t.processors.len(),
+                kind,
+            });
             let run = execute(&t, &c);
             let ds = export_run(&t, &run, &format!("fk-{i}"), "4.0");
             let union = ds.union_graph();
             let msg: provbench_rdf::Term = Literal::simple(kind.description()).into();
             assert!(
                 union
-                    .triples_matching(
-                        None,
-                        Some(&provbench_vocab::rdfs::comment()),
-                        Some(&msg)
-                    )
+                    .triples_matching(None, Some(&provbench_vocab::rdfs::comment()), Some(&msg))
                     .next()
                     .is_some(),
                 "cause {kind:?} not recorded"
@@ -356,7 +388,9 @@ mod tests {
         let ds = run_dataset(None);
         let union = ds.union_graph();
         assert_eq!(
-            union.triples_matching(None, Some(&prov::had_primary_source()), None).count(),
+            union
+                .triples_matching(None, Some(&prov::had_primary_source()), None)
+                .count(),
             1
         );
         assert!(any_use_of(&union, &opmw::is_input_of()));

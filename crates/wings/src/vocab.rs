@@ -4,7 +4,9 @@ use provbench_rdf::Iri;
 
 /// The Wings engine software-agent IRI for a version.
 pub fn engine_iri(version: &str) -> Iri {
-    Iri::new_unchecked(format!("http://www.wings-workflows.org/system/wings-{version}"))
+    Iri::new_unchecked(format!(
+        "http://www.wings-workflows.org/system/wings-{version}"
+    ))
 }
 
 /// A user agent IRI in the OPMW export space.
@@ -21,7 +23,9 @@ pub fn data_location(run_id: &str, artifact: usize) -> Iri {
 
 /// The catalog dataset a workflow input was staged from.
 pub fn catalog_source(name: &str) -> Iri {
-    Iri::new_unchecked(format!("http://www.wings-workflows.org/catalog/dataset/{name}"))
+    Iri::new_unchecked(format!(
+        "http://www.wings-workflows.org/catalog/dataset/{name}"
+    ))
 }
 
 #[cfg(test)]
@@ -31,6 +35,8 @@ mod tests {
         assert!(super::engine_iri("4.0").as_str().contains("wings-4.0"));
         assert!(super::user_iri("dana").as_str().ends_with("/dana"));
         assert!(super::data_location("r1", 3).as_str().contains("file_3"));
-        assert!(super::catalog_source("corpus").as_str().contains("dataset/corpus"));
+        assert!(super::catalog_source("corpus")
+            .as_str()
+            .contains("dataset/corpus"));
     }
 }

@@ -53,28 +53,56 @@ pub const DOMAINS: &[DomainSpec] = &[
         taverna_workflows: 18,
         wings_workflows: 0,
         steps: &[
-            "fetch_sequences", "blast_search", "filter_hits", "align_clustalw",
-            "build_phylogeny", "annotate_genes", "translate_orf", "merge_reports",
+            "fetch_sequences",
+            "blast_search",
+            "filter_hits",
+            "align_clustalw",
+            "build_phylogeny",
+            "annotate_genes",
+            "translate_orf",
+            "merge_reports",
         ],
-        data: &["sequence_set", "blast_report", "alignment", "gene_list", "tree"],
+        data: &[
+            "sequence_set",
+            "blast_report",
+            "alignment",
+            "gene_list",
+            "tree",
+        ],
     },
     DomainSpec {
         name: "Proteomics",
         taverna_workflows: 14,
         wings_workflows: 0,
         steps: &[
-            "load_spectra", "peak_detection", "db_search_mascot", "score_psms",
-            "infer_proteins", "quantify_itraq", "export_results",
+            "load_spectra",
+            "peak_detection",
+            "db_search_mascot",
+            "score_psms",
+            "infer_proteins",
+            "quantify_itraq",
+            "export_results",
         ],
-        data: &["spectra", "peak_list", "psm_set", "protein_groups", "quant_table"],
+        data: &[
+            "spectra",
+            "peak_list",
+            "psm_set",
+            "protein_groups",
+            "quant_table",
+        ],
     },
     DomainSpec {
         name: "Astronomy",
         taverna_workflows: 10,
         wings_workflows: 0,
         steps: &[
-            "query_vizier", "cone_search", "crossmatch_catalogs", "fit_sed",
-            "compute_redshift", "plot_lightcurve", "stack_images",
+            "query_vizier",
+            "cone_search",
+            "crossmatch_catalogs",
+            "fit_sed",
+            "compute_redshift",
+            "plot_lightcurve",
+            "stack_images",
         ],
         data: &["catalog", "source_list", "sed", "image_stack", "lightcurve"],
     },
@@ -83,27 +111,48 @@ pub const DOMAINS: &[DomainSpec] = &[
         taverna_workflows: 8,
         wings_workflows: 0,
         steps: &[
-            "fetch_occurrences", "clean_names", "georeference", "model_niche",
-            "project_climate", "map_richness",
+            "fetch_occurrences",
+            "clean_names",
+            "georeference",
+            "model_niche",
+            "project_climate",
+            "map_richness",
         ],
-        data: &["occurrence_set", "taxon_list", "climate_layers", "niche_model"],
+        data: &[
+            "occurrence_set",
+            "taxon_list",
+            "climate_layers",
+            "niche_model",
+        ],
     },
     DomainSpec {
         name: "Cheminformatics",
         taverna_workflows: 8,
         wings_workflows: 0,
         steps: &[
-            "parse_smiles", "compute_descriptors", "dock_ligands", "score_poses",
-            "cluster_compounds", "predict_admet",
+            "parse_smiles",
+            "compute_descriptors",
+            "dock_ligands",
+            "score_poses",
+            "cluster_compounds",
+            "predict_admet",
         ],
-        data: &["compound_set", "descriptor_matrix", "pose_set", "cluster_map"],
+        data: &[
+            "compound_set",
+            "descriptor_matrix",
+            "pose_set",
+            "cluster_map",
+        ],
     },
     DomainSpec {
         name: "Heliophysics",
         taverna_workflows: 6,
         wings_workflows: 0,
         steps: &[
-            "fetch_goes_data", "detect_flares", "track_cme", "correlate_events",
+            "fetch_goes_data",
+            "detect_flares",
+            "track_cme",
+            "correlate_events",
             "forecast_activity",
         ],
         data: &["flux_series", "event_list", "cme_track", "forecast"],
@@ -113,18 +162,34 @@ pub const DOMAINS: &[DomainSpec] = &[
         taverna_workflows: 4,
         wings_workflows: 12,
         steps: &[
-            "tokenize_corpus", "pos_tagging", "extract_entities", "resolve_terms",
-            "build_index", "topic_model", "summarize_documents",
+            "tokenize_corpus",
+            "pos_tagging",
+            "extract_entities",
+            "resolve_terms",
+            "build_index",
+            "topic_model",
+            "summarize_documents",
         ],
-        data: &["corpus", "token_stream", "entity_set", "topic_matrix", "summary"],
+        data: &[
+            "corpus",
+            "token_stream",
+            "entity_set",
+            "topic_matrix",
+            "summary",
+        ],
     },
     DomainSpec {
         name: "Machine Learning",
         taverna_workflows: 0,
         wings_workflows: 10,
         steps: &[
-            "split_dataset", "normalize_features", "train_classifier", "tune_parameters",
-            "evaluate_model", "plot_roc", "select_features",
+            "split_dataset",
+            "normalize_features",
+            "train_classifier",
+            "tune_parameters",
+            "evaluate_model",
+            "plot_roc",
+            "select_features",
         ],
         data: &["dataset", "feature_matrix", "model", "metrics", "roc_curve"],
     },
@@ -133,8 +198,12 @@ pub const DOMAINS: &[DomainSpec] = &[
         taverna_workflows: 0,
         wings_workflows: 8,
         steps: &[
-            "ingest_sensor_data", "remove_outliers", "interpolate_gaps", "compute_wqi",
-            "detect_anomalies", "report_quality",
+            "ingest_sensor_data",
+            "remove_outliers",
+            "interpolate_gaps",
+            "compute_wqi",
+            "detect_anomalies",
+            "report_quality",
         ],
         data: &["sensor_series", "clean_series", "wqi_table", "anomaly_list"],
     },
@@ -143,8 +212,12 @@ pub const DOMAINS: &[DomainSpec] = &[
         taverna_workflows: 0,
         wings_workflows: 6,
         steps: &[
-            "load_images", "denoise", "segment_regions", "extract_features",
-            "classify_regions", "overlay_results",
+            "load_images",
+            "denoise",
+            "segment_regions",
+            "extract_features",
+            "classify_regions",
+            "overlay_results",
         ],
         data: &["image_set", "mask_set", "feature_table", "classified_map"],
     },
@@ -153,8 +226,12 @@ pub const DOMAINS: &[DomainSpec] = &[
         taverna_workflows: 0,
         wings_workflows: 6,
         steps: &[
-            "crawl_edges", "build_graph", "compute_centrality", "detect_communities",
-            "rank_influencers", "visualize_network",
+            "crawl_edges",
+            "build_graph",
+            "compute_centrality",
+            "detect_communities",
+            "rank_influencers",
+            "visualize_network",
         ],
         data: &["edge_list", "graph", "centrality_scores", "community_map"],
     },
@@ -163,10 +240,20 @@ pub const DOMAINS: &[DomainSpec] = &[
         taverna_workflows: 0,
         wings_workflows: 10,
         steps: &[
-            "fetch_input", "validate_schema", "transform_format", "sort_records",
-            "deduplicate", "aggregate_stats", "publish_output",
+            "fetch_input",
+            "validate_schema",
+            "transform_format",
+            "sort_records",
+            "deduplicate",
+            "aggregate_stats",
+            "publish_output",
         ],
-        data: &["records", "validated_records", "sorted_records", "statistics"],
+        data: &[
+            "records",
+            "validated_records",
+            "sorted_records",
+            "statistics",
+        ],
     },
 ];
 
@@ -212,18 +299,36 @@ pub fn example_template() -> WorkflowTemplate {
     t.links = vec![
         DataLink {
             source: PortRef::WorkflowInput(0),
-            sink: PortRef::ProcessorInput { processor: 0, port: 0 },
+            sink: PortRef::ProcessorInput {
+                processor: 0,
+                port: 0,
+            },
         },
         DataLink {
-            source: PortRef::ProcessorOutput { processor: 0, port: 0 },
-            sink: PortRef::ProcessorInput { processor: 1, port: 0 },
+            source: PortRef::ProcessorOutput {
+                processor: 0,
+                port: 0,
+            },
+            sink: PortRef::ProcessorInput {
+                processor: 1,
+                port: 0,
+            },
         },
         DataLink {
-            source: PortRef::ProcessorOutput { processor: 1, port: 0 },
-            sink: PortRef::ProcessorInput { processor: 2, port: 0 },
+            source: PortRef::ProcessorOutput {
+                processor: 1,
+                port: 0,
+            },
+            sink: PortRef::ProcessorInput {
+                processor: 2,
+                port: 0,
+            },
         },
         DataLink {
-            source: PortRef::ProcessorOutput { processor: 2, port: 0 },
+            source: PortRef::ProcessorOutput {
+                processor: 2,
+                port: 0,
+            },
             sink: PortRef::WorkflowOutput(0),
         },
     ];
@@ -249,7 +354,11 @@ mod tests {
     #[test]
     fn every_domain_contributes_and_has_vocabulary() {
         for d in DOMAINS {
-            assert!(d.taverna_workflows + d.wings_workflows > 0, "{} empty", d.name);
+            assert!(
+                d.taverna_workflows + d.wings_workflows > 0,
+                "{} empty",
+                d.name
+            );
             assert!(d.steps.len() >= 4, "{} needs more steps", d.name);
             assert!(d.data.len() >= 3, "{} needs more data nouns", d.name);
         }

@@ -190,7 +190,9 @@ impl WorkflowRun {
 
     /// The failed process record, if any.
     pub fn failed_process(&self) -> Option<&ExecutedProcess> {
-        self.processes.iter().find(|p| matches!(p.status, ProcessStatus::Failed(_)))
+        self.processes
+            .iter()
+            .find(|p| matches!(p.status, ProcessStatus::Failed(_)))
     }
 }
 
@@ -226,7 +228,13 @@ fn make_artifact(
     }
     let checksum = fnv1a(value.as_bytes());
     let size_bytes = value.len();
-    artifacts.push(ArtifactData { id, name, value, size_bytes, checksum });
+    artifacts.push(ArtifactData {
+        id,
+        name,
+        value,
+        size_bytes,
+        checksum,
+    });
     id
 }
 
@@ -248,7 +256,12 @@ pub fn execute(template: &WorkflowTemplate, config: &ExecutionConfig) -> Workflo
             config.input_seed,
             fnv1a(format!("{}{}{}", template.name, port.name, config.input_seed).as_bytes())
         );
-        let id = make_artifact(&mut artifacts, port.name.clone(), value, config.value_payload);
+        let id = make_artifact(
+            &mut artifacts,
+            port.name.clone(),
+            value,
+            config.value_payload,
+        );
         available.insert(PortRef::WorkflowInput(i), (id, config.started_at_ms));
         wf_inputs.push(id);
     }
@@ -278,7 +291,10 @@ pub fn execute(template: &WorkflowTemplate, config: &ExecutionConfig) -> Workflo
         let mut ready_at = config.started_at_ms;
         let mut inputs_ok = true;
         for port in 0..proc_def.inputs.len() {
-            let sink = PortRef::ProcessorInput { processor: pi, port };
+            let sink = PortRef::ProcessorInput {
+                processor: pi,
+                port,
+            };
             match source_of.get(&sink).and_then(|s| available.get(s)) {
                 Some(&(id, at)) => {
                     ins.push(id);
@@ -349,7 +365,11 @@ pub fn execute(template: &WorkflowTemplate, config: &ExecutionConfig) -> Workflo
             .iter()
             .fold(0u64, |acc, &id| acc ^ artifacts[id].checksum.rotate_left(7));
         for (oi, oport) in proc_def.outputs.iter().enumerate() {
-            let epoch_part = if proc_def.volatile { config.environment_epoch } else { 0 };
+            let epoch_part = if proc_def.volatile {
+                config.environment_epoch
+            } else {
+                0
+            };
             let value = format!(
                 "{}.{}|{:x}|epoch{}",
                 proc_def.name,
@@ -363,7 +383,13 @@ pub fn execute(template: &WorkflowTemplate, config: &ExecutionConfig) -> Workflo
                 value,
                 config.value_payload,
             );
-            available.insert(PortRef::ProcessorOutput { processor: pi, port: oi }, (id, ended));
+            available.insert(
+                PortRef::ProcessorOutput {
+                    processor: pi,
+                    port: oi,
+                },
+                (id, ended),
+            );
             outs.push(id);
         }
 
@@ -424,7 +450,10 @@ mod tests {
         assert_eq!(run.status, RunStatus::Success);
         assert!(!run.failed());
         assert_eq!(run.processes.len(), 3);
-        assert!(run.processes.iter().all(|p| p.status == ProcessStatus::Completed));
+        assert!(run
+            .processes
+            .iter()
+            .all(|p| p.status == ProcessStatus::Completed));
         assert_eq!(run.outputs.len(), 1);
         assert_eq!(run.inputs.len(), 1);
         assert!(run.ended_ms > run.started_ms);
@@ -434,7 +463,10 @@ mod tests {
     fn runs_are_deterministic() {
         let t = example_template();
         assert_eq!(execute(&t, &cfg(7)), execute(&t, &cfg(7)));
-        assert_ne!(execute(&t, &cfg(7)).artifacts, execute(&t, &cfg(8)).artifacts);
+        assert_ne!(
+            execute(&t, &cfg(7)).artifacts,
+            execute(&t, &cfg(8)).artifacts
+        );
     }
 
     #[test]
@@ -455,7 +487,10 @@ mod tests {
             kind: FailureKind::ServiceUnavailable,
         });
         let run = execute(&t, &c);
-        assert_eq!(run.status, RunStatus::Failed(FailureKind::ServiceUnavailable));
+        assert_eq!(
+            run.status,
+            RunStatus::Failed(FailureKind::ServiceUnavailable)
+        );
         assert_eq!(run.processes[0].status, ProcessStatus::Completed);
         assert!(matches!(run.processes[1].status, ProcessStatus::Failed(_)));
         assert_eq!(run.processes[2].status, ProcessStatus::Skipped);
@@ -469,11 +504,17 @@ mod tests {
     fn failure_at_source_skips_everything_downstream() {
         let t = example_template();
         let mut c = cfg(7);
-        c.failure = Some(FailureSpec { processor: 0, kind: FailureKind::IllegalInputValue });
+        c.failure = Some(FailureSpec {
+            processor: 0,
+            kind: FailureKind::IllegalInputValue,
+        });
         let run = execute(&t, &c);
         assert!(run.failed());
         assert_eq!(
-            run.processes.iter().filter(|p| p.status == ProcessStatus::Skipped).count(),
+            run.processes
+                .iter()
+                .filter(|p| p.status == ProcessStatus::Skipped)
+                .count(),
             2
         );
     }
@@ -562,10 +603,16 @@ mod tests {
         t.links = vec![
             DataLink {
                 source: PortRef::WorkflowInput(0),
-                sink: PortRef::ProcessorInput { processor: 0, port: 0 },
+                sink: PortRef::ProcessorInput {
+                    processor: 0,
+                    port: 0,
+                },
             },
             DataLink {
-                source: PortRef::ProcessorOutput { processor: 0, port: 0 },
+                source: PortRef::ProcessorOutput {
+                    processor: 0,
+                    port: 0,
+                },
                 sink: PortRef::WorkflowOutput(0),
             },
         ];
@@ -574,7 +621,10 @@ mod tests {
         assert_eq!(run.outputs.len(), 1);
         // Failing the only processor leaves nothing delivered.
         let mut c = cfg(1);
-        c.failure = Some(FailureSpec { processor: 0, kind: FailureKind::Timeout });
+        c.failure = Some(FailureSpec {
+            processor: 0,
+            kind: FailureKind::Timeout,
+        });
         let failed = execute(&t, &c);
         assert!(failed.outputs.is_empty());
         assert!(failed.failed());

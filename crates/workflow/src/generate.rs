@@ -86,8 +86,7 @@ fn build_dag(
     let n_procs = rng.gen_range(3..=9usize);
 
     // Available sources as we sweep in topological construction order.
-    let mut sources: Vec<PortRef> =
-        (0..n_inputs).map(PortRef::WorkflowInput).collect();
+    let mut sources: Vec<PortRef> = (0..n_inputs).map(PortRef::WorkflowInput).collect();
 
     for pi in 0..n_procs {
         let mut p = Processor::new(step_name(domain, pi));
@@ -116,11 +115,17 @@ fn build_dag(
             let src = sources[rng.gen_range(0..sources.len())];
             t.links.push(DataLink {
                 source: src,
-                sink: PortRef::ProcessorInput { processor: pi, port: ii },
+                sink: PortRef::ProcessorInput {
+                    processor: pi,
+                    port: ii,
+                },
             });
         }
         for oi in 0..n_out {
-            sources.push(PortRef::ProcessorOutput { processor: pi, port: oi });
+            sources.push(PortRef::ProcessorOutput {
+                processor: pi,
+                port: oi,
+            });
         }
     }
 
@@ -135,7 +140,10 @@ fn build_dag(
         t.outputs.push(Port::new(data_name(domain, n_inputs + oi)));
         // Prefer late outputs so the workflow "ends" somewhere sensible.
         let src = proc_outputs[proc_outputs.len() - 1 - oi];
-        t.links.push(DataLink { source: src, sink: PortRef::WorkflowOutput(oi) });
+        t.links.push(DataLink {
+            source: src,
+            sink: PortRef::WorkflowOutput(oi),
+        });
     }
 
     // Taverna workflows occasionally nest a sub-workflow (the paper notes
@@ -186,15 +194,24 @@ fn build_pipeline(
         let source = if i == 0 {
             PortRef::WorkflowInput(0)
         } else {
-            PortRef::ProcessorOutput { processor: i - 1, port: 0 }
+            PortRef::ProcessorOutput {
+                processor: i - 1,
+                port: 0,
+            }
         };
         t.links.push(DataLink {
             source,
-            sink: PortRef::ProcessorInput { processor: i, port: 0 },
+            sink: PortRef::ProcessorInput {
+                processor: i,
+                port: 0,
+            },
         });
     }
     t.links.push(DataLink {
-        source: PortRef::ProcessorOutput { processor: len - 1, port: 0 },
+        source: PortRef::ProcessorOutput {
+            processor: len - 1,
+            port: 0,
+        },
         sink: PortRef::WorkflowOutput(0),
     });
     t
@@ -209,10 +226,16 @@ pub fn generate_catalog(seed: u64) -> Vec<(System, WorkflowTemplate)> {
     let mut out = Vec::with_capacity(crate::domains::total_workflows());
     for domain in DOMAINS {
         for i in 0..domain.taverna_workflows {
-            out.push((System::Taverna, generate_template(domain, System::Taverna, i, &mut rng)));
+            out.push((
+                System::Taverna,
+                generate_template(domain, System::Taverna, i, &mut rng),
+            ));
         }
         for i in 0..domain.wings_workflows {
-            out.push((System::Wings, generate_template(domain, System::Wings, i, &mut rng)));
+            out.push((
+                System::Wings,
+                generate_template(domain, System::Wings, i, &mut rng),
+            ));
         }
     }
     out
@@ -246,7 +269,10 @@ mod tests {
     #[test]
     fn system_split_matches_domains() {
         let catalog = generate_catalog(42);
-        let tav = catalog.iter().filter(|(s, _)| *s == System::Taverna).count();
+        let tav = catalog
+            .iter()
+            .filter(|(s, _)| *s == System::Taverna)
+            .count();
         let wgs = catalog.iter().filter(|(s, _)| *s == System::Wings).count();
         assert_eq!(tav, 68);
         assert_eq!(wgs, 52);

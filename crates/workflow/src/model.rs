@@ -136,15 +136,28 @@ impl fmt::Display for TemplateError {
             TemplateError::WrongDirection { link } => {
                 write!(f, "link with wrong direction: {link}")
             }
-            TemplateError::BadFanIn { processor, port, count } => {
-                write!(f, "input {processor}.{port} has {count} incoming links (want 1)")
+            TemplateError::BadFanIn {
+                processor,
+                port,
+                count,
+            } => {
+                write!(
+                    f,
+                    "input {processor}.{port} has {count} incoming links (want 1)"
+                )
             }
             TemplateError::UnboundOutput { output, count } => {
-                write!(f, "workflow output {output} has {count} incoming links (want 1)")
+                write!(
+                    f,
+                    "workflow output {output} has {count} incoming links (want 1)"
+                )
             }
             TemplateError::Cycle => write!(f, "dataflow graph has a cycle"),
             TemplateError::MissingNested { processor } => {
-                write!(f, "processor {processor} references a missing nested workflow")
+                write!(
+                    f,
+                    "processor {processor} references a missing nested workflow"
+                )
             }
         }
     }
@@ -195,12 +208,15 @@ impl WorkflowTemplate {
     /// Total processor count including nested sub-workflows.
     pub fn total_processors(&self) -> usize {
         self.processors.len()
-            + self.nested.iter().map(WorkflowTemplate::total_processors).sum::<usize>()
+            + self
+                .nested
+                .iter()
+                .map(WorkflowTemplate::total_processors)
+                .sum::<usize>()
     }
 
     fn endpoint_valid(&self, e: &PortRef, as_source: bool) -> Result<(), TemplateError> {
-        let dangling =
-            |d: String| Err(TemplateError::DanglingEndpoint { endpoint: d });
+        let dangling = |d: String| Err(TemplateError::DanglingEndpoint { endpoint: d });
         match *e {
             PortRef::WorkflowInput(i) => {
                 if i >= self.inputs.len() {
@@ -267,7 +283,11 @@ impl WorkflowTemplate {
                     .links
                     .iter()
                     .filter(|l| {
-                        l.sink == PortRef::ProcessorInput { processor: pi, port: port_idx }
+                        l.sink
+                            == PortRef::ProcessorInput {
+                                processor: pi,
+                                port: port_idx,
+                            }
                     })
                     .count();
                 if count != 1 {
@@ -280,7 +300,9 @@ impl WorkflowTemplate {
             }
             if let Some(n) = p.sub_workflow {
                 if n >= self.nested.len() {
-                    return Err(TemplateError::MissingNested { processor: p.name.clone() });
+                    return Err(TemplateError::MissingNested {
+                        processor: p.name.clone(),
+                    });
                 }
             }
         }
@@ -329,8 +351,7 @@ impl WorkflowTemplate {
         for &(_, b) in &edges {
             indeg[b] += 1;
         }
-        let mut queue: VecDeque<usize> =
-            (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut queue: VecDeque<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
         let mut order = Vec::with_capacity(n);
         while let Some(i) = queue.pop_front() {
             order.push(i);
@@ -387,18 +408,36 @@ mod tests {
         t.links = vec![
             DataLink {
                 source: PortRef::WorkflowInput(0),
-                sink: PortRef::ProcessorInput { processor: 0, port: 0 },
+                sink: PortRef::ProcessorInput {
+                    processor: 0,
+                    port: 0,
+                },
             },
             DataLink {
-                source: PortRef::ProcessorOutput { processor: 0, port: 0 },
-                sink: PortRef::ProcessorInput { processor: 1, port: 0 },
+                source: PortRef::ProcessorOutput {
+                    processor: 0,
+                    port: 0,
+                },
+                sink: PortRef::ProcessorInput {
+                    processor: 1,
+                    port: 0,
+                },
             },
             DataLink {
-                source: PortRef::ProcessorOutput { processor: 0, port: 0 },
-                sink: PortRef::ProcessorInput { processor: 2, port: 0 },
+                source: PortRef::ProcessorOutput {
+                    processor: 0,
+                    port: 0,
+                },
+                sink: PortRef::ProcessorInput {
+                    processor: 2,
+                    port: 0,
+                },
             },
             DataLink {
-                source: PortRef::ProcessorOutput { processor: 1, port: 0 },
+                source: PortRef::ProcessorOutput {
+                    processor: 1,
+                    port: 0,
+                },
                 sink: PortRef::WorkflowOutput(0),
             },
         ];
@@ -431,10 +470,16 @@ mod tests {
     fn dangling_endpoint_rejected() {
         let mut t = small();
         t.links.push(DataLink {
-            source: PortRef::ProcessorOutput { processor: 9, port: 0 },
+            source: PortRef::ProcessorOutput {
+                processor: 9,
+                port: 0,
+            },
             sink: PortRef::WorkflowOutput(0),
         });
-        assert!(matches!(t.validate(), Err(TemplateError::DanglingEndpoint { .. })));
+        assert!(matches!(
+            t.validate(),
+            Err(TemplateError::DanglingEndpoint { .. })
+        ));
     }
 
     #[test]
@@ -442,9 +487,15 @@ mod tests {
         let mut t = small();
         t.links.push(DataLink {
             source: PortRef::WorkflowOutput(0),
-            sink: PortRef::ProcessorInput { processor: 0, port: 0 },
+            sink: PortRef::ProcessorInput {
+                processor: 0,
+                port: 0,
+            },
         });
-        assert!(matches!(t.validate(), Err(TemplateError::WrongDirection { .. })));
+        assert!(matches!(
+            t.validate(),
+            Err(TemplateError::WrongDirection { .. })
+        ));
     }
 
     #[test]
@@ -461,7 +512,10 @@ mod tests {
     fn double_fed_output_rejected() {
         let mut t = small();
         t.links.push(DataLink {
-            source: PortRef::ProcessorOutput { processor: 2, port: 0 },
+            source: PortRef::ProcessorOutput {
+                processor: 2,
+                port: 0,
+            },
             sink: PortRef::WorkflowOutput(0),
         });
         assert!(matches!(
@@ -476,8 +530,14 @@ mod tests {
         // p1 output → p0 input would double-feed p0.x; use a fresh port.
         t.processors[0].inputs.push(Port::new("x2"));
         t.links.push(DataLink {
-            source: PortRef::ProcessorOutput { processor: 1, port: 0 },
-            sink: PortRef::ProcessorInput { processor: 0, port: 1 },
+            source: PortRef::ProcessorOutput {
+                processor: 1,
+                port: 0,
+            },
+            sink: PortRef::ProcessorInput {
+                processor: 0,
+                port: 1,
+            },
         });
         assert_eq!(t.validate(), Err(TemplateError::Cycle));
         assert!(t.topological_order().is_none());
@@ -487,7 +547,10 @@ mod tests {
     fn missing_nested_rejected() {
         let mut t = small();
         t.processors[0].sub_workflow = Some(0);
-        assert!(matches!(t.validate(), Err(TemplateError::MissingNested { .. })));
+        assert!(matches!(
+            t.validate(),
+            Err(TemplateError::MissingNested { .. })
+        ));
         t.nested.push(small());
         assert_eq!(t.validate(), Ok(()));
         assert_eq!(t.total_processors(), 6);

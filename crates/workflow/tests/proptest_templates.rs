@@ -4,12 +4,18 @@
 
 use proptest::prelude::*;
 use provbench_workflow::domains::DOMAINS;
-use provbench_workflow::execution::{execute, ExecutionConfig, FailureKind, FailureSpec, ProcessStatus, RunStatus};
+use provbench_workflow::execution::{
+    execute, ExecutionConfig, FailureKind, FailureSpec, ProcessStatus, RunStatus,
+};
 use provbench_workflow::generate::generate_template;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn template_for(seed: u64, domain_idx: usize, taverna: bool) -> provbench_workflow::WorkflowTemplate {
+fn template_for(
+    seed: u64,
+    domain_idx: usize,
+    taverna: bool,
+) -> provbench_workflow::WorkflowTemplate {
     let mut rng = StdRng::seed_from_u64(seed);
     let system = if taverna {
         provbench_workflow::System::Taverna

@@ -20,11 +20,19 @@ fn main() {
         ..CorpusSpec::default()
     };
     let corpus = Corpus::generate_with_threads(&spec, 4);
-    println!("corpus: {} runs ({} failed)\n", corpus.traces.len(), corpus.failed_count());
+    println!(
+        "corpus: {} runs ({} failed)\n",
+        corpus.traces.len(),
+        corpus.failed_count()
+    );
 
     // 1. Profile lint: every trace must follow its system's conventions.
     let dirty = lint_corpus(&corpus);
-    println!("lint: {} traces checked, {} findings", corpus.traces.len(), dirty.len());
+    println!(
+        "lint: {} traces checked, {} findings",
+        corpus.traces.len(),
+        dirty.len()
+    );
 
     // 2. PROV-CONSTRAINTS: temporal sanity, unique generation, acyclicity.
     let violations: usize = corpus

@@ -30,7 +30,11 @@ fn main() {
     // Q2 -----------------------------------------------------------------
     let template = &corpus.templates[0].1.name;
     let t = q2_template_runs(&graph, template);
-    println!("Q2: template {template} has {} runs, {} failed.\n", t.runs.len(), t.failed);
+    println!(
+        "Q2: template {template} has {} runs, {} failed.\n",
+        t.runs.len(),
+        t.failed
+    );
 
     // Q3 -----------------------------------------------------------------
     for io in q3_template_run_io(&graph, template) {
@@ -46,7 +50,11 @@ fn main() {
     // Q4 -----------------------------------------------------------------
     let run = &t.runs[0];
     let processes = q4_process_runs(&graph, run);
-    println!("Q4: run {} has {} process runs:", run.as_str(), processes.len());
+    println!(
+        "Q4: run {} has {} process runs:",
+        run.as_str(),
+        processes.len()
+    );
     for p in &processes {
         println!(
             "    {} [{} → {}] in={} out={}",
@@ -61,7 +69,11 @@ fn main() {
 
     // Q5 -----------------------------------------------------------------
     for (agent, name) in q5_executor(&graph, run) {
-        println!("Q5: run executed by {} ({}).", name.unwrap_or_default(), agent.as_str());
+        println!(
+            "Q5: run executed by {} ({}).",
+            name.unwrap_or_default(),
+            agent.as_str()
+        );
     }
     println!();
 
@@ -72,7 +84,11 @@ fn main() {
         .expect("corpus has Wings traces");
     let account = provbench::wings::account_iri(&wings_trace.run_id);
     let services = q6_services(&graph, &account);
-    println!("Q6: Wings run {} executed {} services:", wings_trace.run_id, services.len());
+    println!(
+        "Q6: Wings run {} executed {} services:",
+        wings_trace.run_id,
+        services.len()
+    );
     for s in services.iter().take(5) {
         println!("    {}", s.as_str());
     }

@@ -35,7 +35,12 @@ fn main() {
     // The corpus on disk, in the published layout.
     let dir = std::env::temp_dir().join("provbench-quickstart");
     let saved = store::save(&corpus, &dir).expect("save corpus");
-    println!("Saved {} files ({} bytes) under {}.", saved.files, saved.bytes, dir.display());
+    println!(
+        "Saved {} files ({} bytes) under {}.",
+        saved.files,
+        saved.bytes,
+        dir.display()
+    );
     let loaded = store::load(&dir).expect("load corpus");
     println!("Reloaded {} traces.", loaded.traces.len());
 
@@ -46,7 +51,8 @@ fn main() {
         println!(
             "  {}\n    start: {}  end: {}",
             run.run.as_str(),
-            run.started.map_or("(not recorded)".into(), |t| t.to_string()),
+            run.started
+                .map_or("(not recorded)".into(), |t| t.to_string()),
             run.ended.map_or("(not recorded)".into(), |t| t.to_string()),
         );
     }

@@ -10,8 +10,8 @@
 //! wfdesc, opmw, tavernaprov, foaf, xsd) are pre-bound.
 
 use provbench::corpus::{Corpus, CorpusSpec};
-use provbench::query::exemplar::PREFIXES;
 use provbench::query::execute_query;
+use provbench::query::exemplar::PREFIXES;
 use std::io::Read;
 
 fn main() {
@@ -20,7 +20,9 @@ fn main() {
         Some(q) => q,
         None => {
             let mut buf = String::new();
-            std::io::stdin().read_to_string(&mut buf).expect("read stdin");
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .expect("read stdin");
             if buf.trim().is_empty() {
                 // A sensible default: runs per user.
                 "SELECT ?name (COUNT(?run) AS ?n) WHERE { \

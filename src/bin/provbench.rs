@@ -6,6 +6,7 @@
 //! provbench stats [--seed N]                              Table 1 + Figure 1
 //! provbench coverage [--seed N]                           Tables 2 and 3
 //! provbench validate --dir DIR                            PROV-constraint-check a corpus directory
+//! provbench lint [PATH] [--format F] [--baseline FILE]    static-analyse corpus files (provlint)
 //! provbench query 'SPARQL' [--dir DIR]                    query a corpus (generated or loaded)
 //! provbench serve [--addr HOST:PORT]                      SPARQL endpoint + web UI
 //! ```
@@ -17,8 +18,8 @@ use provbench::corpus::{research_object_for, store, Corpus, CorpusSpec};
 use provbench::endpoint::Endpoint;
 use provbench::prov::from_rdf::graph_to_document;
 use provbench::prov::{validate, write_provn};
-use provbench::query::exemplar::PREFIXES;
 use provbench::query::execute_query;
+use provbench::query::exemplar::PREFIXES;
 use provbench::rdf::Graph;
 use provbench::workflow::System;
 use std::path::Path;
@@ -30,6 +31,11 @@ struct Options {
     out: Option<String>,
     dir: Option<String>,
     addr: String,
+    format: String,
+    baseline: Option<String>,
+    write_baseline: Option<String>,
+    deny: String,
+    jobs: Option<usize>,
     positional: Vec<String>,
 }
 
@@ -40,8 +46,23 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         out: None,
         dir: None,
         addr: "127.0.0.1:3030".into(),
+        format: "text".into(),
+        baseline: None,
+        write_baseline: None,
+        deny: "error".into(),
+        jobs: None,
         positional: Vec::new(),
     };
+    // Accept both `--opt value` and `--opt=value`.
+    let args: Vec<String> = args
+        .iter()
+        .flat_map(
+            |a| match a.strip_prefix("--").and_then(|r| r.split_once('=')) {
+                Some((k, v)) => vec![format!("--{k}"), v.to_owned()],
+                None => vec![a.clone()],
+            },
+        )
+        .collect();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -60,9 +81,20 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--out" => o.out = Some(it.next().ok_or("--out needs a path")?.clone()),
             "--dir" => o.dir = Some(it.next().ok_or("--dir needs a path")?.clone()),
             "--addr" => o.addr = it.next().ok_or("--addr needs host:port")?.clone(),
-            other if other.starts_with("--") => {
-                return Err(format!("unknown option {other}"))
+            "--format" => o.format = it.next().ok_or("--format needs text|json|sarif")?.clone(),
+            "--baseline" => o.baseline = Some(it.next().ok_or("--baseline needs a file")?.clone()),
+            "--write-baseline" => {
+                o.write_baseline = Some(it.next().ok_or("--write-baseline needs a file")?.clone())
             }
+            "--deny" => o.deny = it.next().ok_or("--deny needs error|warning|info")?.clone(),
+            "--jobs" => {
+                o.jobs = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--jobs needs an integer")?,
+                )
+            }
+            other if other.starts_with("--") => return Err(format!("unknown option {other}")),
             other => o.positional.push(other.to_owned()),
         }
     }
@@ -70,14 +102,17 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
 }
 
 fn spec_of(o: &Options) -> CorpusSpec {
-    CorpusSpec { seed: o.seed, value_payload: o.payload, ..CorpusSpec::default() }
+    CorpusSpec {
+        seed: o.seed,
+        value_payload: o.payload,
+        ..CorpusSpec::default()
+    }
 }
 
 fn corpus_graph(o: &Options) -> Result<Graph, String> {
     match &o.dir {
         Some(dir) => {
-            let loaded =
-                store::load(Path::new(dir)).map_err(|e| format!("load {dir}: {e}"))?;
+            let loaded = store::load(Path::new(dir)).map_err(|e| format!("load {dir}: {e}"))?;
             if loaded.traces.is_empty() {
                 return Err(format!("{dir} contains no corpus traces"));
             }
@@ -90,8 +125,7 @@ fn corpus_graph(o: &Options) -> Result<Graph, String> {
 fn cmd_generate(o: &Options) -> Result<(), String> {
     let out = o.out.as_deref().ok_or("generate needs --out DIR")?;
     let corpus = Corpus::generate(&spec_of(o));
-    let saved =
-        store::save(&corpus, Path::new(out)).map_err(|e| format!("save {out}: {e}"))?;
+    let saved = store::save(&corpus, Path::new(out)).map_err(|e| format!("save {out}: {e}"))?;
     println!(
         "wrote {} files / {:.1} MB to {out} (seed {}, fingerprint {:016x})",
         saved.files,
@@ -132,7 +166,9 @@ fn cmd_validate(o: &Options) -> Result<(), String> {
     let dir = o.dir.as_deref().ok_or("validate needs --dir DIR")?;
     let loaded = store::load(Path::new(dir)).map_err(|e| format!("load {dir}: {e}"))?;
     if loaded.traces.is_empty() {
-        return Err(format!("{dir} contains no corpus traces (wrong directory?)"));
+        return Err(format!(
+            "{dir} contains no corpus traces (wrong directory?)"
+        ));
     }
     let mut bad = 0usize;
     for trace in &loaded.traces {
@@ -177,7 +213,9 @@ fn cmd_query(o: &Options) -> Result<(), String> {
 fn cmd_serve(o: &Options) -> Result<(), String> {
     let graph = corpus_graph(o)?;
     eprintln!("serving {} triples on http://{}/", graph.len(), o.addr);
-    Endpoint::new(graph).serve(&o.addr).map_err(|e| e.to_string())
+    Endpoint::new(graph)
+        .serve(&o.addr)
+        .map_err(|e| e.to_string())
 }
 
 fn find_trace<'a>(
@@ -262,14 +300,21 @@ fn cmd_timeline(o: &Options) -> Result<(), String> {
             e.started,
             e.duration_ms,
             e.process.as_str().rsplit('/').next().unwrap_or(""),
-            if on_path(&e.process) { "  ← critical path" } else { "" }
+            if on_path(&e.process) {
+                "  ← critical path"
+            } else {
+                ""
+            }
         );
     }
     Ok(())
 }
 
 fn cmd_explain(o: &Options) -> Result<(), String> {
-    let q = o.positional.first().ok_or("explain needs a SPARQL string")?;
+    let q = o
+        .positional
+        .first()
+        .ok_or("explain needs a SPARQL string")?;
     let full = format!("{PREFIXES}\n{q}");
     let parsed = provbench::query::parse_query(&full).map_err(|e| e.to_string())?;
     print!(
@@ -285,21 +330,85 @@ fn cmd_interop(o: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// Lint a path on disk, or — with no path — the generated corpus
+/// serialized in memory exactly as `provbench generate` would write it.
 fn cmd_lint(o: &Options) -> Result<(), String> {
-    let corpus = Corpus::generate(&spec_of(o));
-    let dirty = provbench::analysis::lint_corpus(&corpus);
-    if dirty.is_empty() {
-        println!("{} traces linted, all clean", corpus.traces.len());
-        Ok(())
-    } else {
-        for (run, findings) in &dirty {
-            println!("✗ {run}:");
-            for f in findings {
-                println!("    {f}");
+    use provbench::diag;
+
+    let registry = diag::Registry::with_default_rules();
+    let jobs = o.jobs.unwrap_or_else(diag::default_jobs);
+    let mut reports: Vec<diag::FileReport> = match o.positional.first() {
+        Some(path) => diag::lint_path(Path::new(path), &registry, jobs)
+            .map_err(|e| format!("lint {path}: {e}"))?,
+        None => {
+            let corpus = Corpus::generate(&spec_of(o));
+            let mut files: Vec<(String, String)> = Vec::new();
+            for ((system, template), description) in
+                corpus.templates.iter().zip(&corpus.descriptions)
+            {
+                let label = format!(
+                    "{}/{}/{}",
+                    system.name().to_ascii_lowercase(),
+                    template.name,
+                    store::description_file(*system)
+                );
+                files.push((label, store::serialize_description(description)));
             }
+            for trace in &corpus.traces {
+                let label = format!(
+                    "{}/{}/{}.{}",
+                    trace.system.name().to_ascii_lowercase(),
+                    trace.template_name,
+                    trace.run_id,
+                    store::trace_extension(trace.system)
+                );
+                files.push((label, store::serialize_trace(trace)));
+            }
+            files
+                .into_iter()
+                .map(|(label, content)| diag::FileReport {
+                    diagnostics: diag::lint_content(&label, &content, &registry),
+                    path: label,
+                })
+                .collect()
         }
-        Err(format!("{} traces with lint findings", dirty.len()))
+    };
+
+    if let Some(file) = &o.baseline {
+        let text = std::fs::read_to_string(file).map_err(|e| format!("read {file}: {e}"))?;
+        let suppressed = diag::apply_baseline(&mut reports, &diag::parse_baseline(&text));
+        if suppressed > 0 {
+            eprintln!("{suppressed} findings suppressed by baseline {file}");
+        }
     }
+    if let Some(file) = &o.write_baseline {
+        let text = diag::format_baseline(&reports);
+        let entries = text.lines().filter(|l| !l.starts_with('#')).count();
+        std::fs::write(file, &text).map_err(|e| format!("write {file}: {e}"))?;
+        println!("wrote baseline with {entries} fingerprints to {file}");
+        return Ok(());
+    }
+
+    match o.format.as_str() {
+        "text" => print!("{}", diag::render_text(&reports)),
+        "json" | "jsonl" => print!("{}", diag::render_jsonl(&reports)),
+        "sarif" => println!("{}", diag::render_sarif(&reports, &registry)),
+        other => return Err(format!("unknown --format {other:?} (text|json|sarif)")),
+    }
+    let (errors, warnings, infos) = diag::severity_counts(&reports);
+    let denied = match o.deny.as_str() {
+        "error" => errors,
+        "warning" | "warn" => errors + warnings,
+        "info" => errors + warnings + infos,
+        other => return Err(format!("unknown --deny {other:?} (error|warning|info)")),
+    };
+    if denied > 0 {
+        return Err(format!(
+            "{denied} findings at or above the --deny={} level",
+            o.deny
+        ));
+    }
+    Ok(())
 }
 
 fn cmd_usage(o: &Options) -> Result<(), String> {
@@ -310,7 +419,10 @@ fn cmd_usage(o: &Options) -> Result<(), String> {
     );
     println!("{:26} {:>10} {:>10}", "PROV term", "Taverna", "Wings");
     for r in rows {
-        println!("{:26} {:>10} {:>10}", r.term, r.taverna_count, r.wings_count);
+        println!(
+            "{:26} {:>10} {:>10}",
+            r.term, r.taverna_count, r.wings_count
+        );
     }
     Ok(())
 }
@@ -320,7 +432,9 @@ const USAGE: &str = "usage: provbench <command> [options]
   stats    [--seed N]                           Table 1 + Figure 1
   coverage [--seed N]                           Tables 2 and 3
   usage    [--seed N]                           per-term assertion counts
-  lint     [--seed N]                           profile-lint every trace
+  lint     [PATH] [--format text|json|sarif]    static-analyse corpus files
+           [--baseline FILE] [--write-baseline FILE] [--deny LEVEL] [--jobs N]
+           (no PATH: lints the generated corpus in memory)
   validate --dir DIR                            PROV-constraint-check a corpus dir
   query 'SPARQL' [--dir DIR | --seed N]         run SPARQL over the corpus
   serve    [--addr HOST:PORT] [--dir DIR]       SPARQL endpoint + web UI

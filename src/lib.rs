@@ -17,6 +17,7 @@
 //! | [`corpus`] | `provbench-core` | corpus spec, generation, store, statistics |
 //! | [`query`] | `provbench-query` | SPARQL-subset engine + the six exemplar queries |
 //! | [`analysis`] | `provbench-analysis` | coverage tables, lineage, debugging, decay |
+//! | [`diag`] | `provbench-diag` | the `provlint` engine: rule registry, spans, SARIF |
 //!
 //! ## Quickstart
 //!
@@ -36,6 +37,7 @@
 
 pub use provbench_analysis as analysis;
 pub use provbench_core as corpus;
+pub use provbench_diag as diag;
 pub use provbench_endpoint as endpoint;
 pub use provbench_prov as prov;
 pub use provbench_query as query;

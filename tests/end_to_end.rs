@@ -61,7 +61,10 @@ fn table_1_shape() {
 fn tables_2_and_3_match_the_paper() {
     let tables = coverage_of_corpus(corpus());
     let diffs = diff_against_paper(&tables);
-    assert!(diffs.is_empty(), "coverage deviates from the paper: {diffs:?}");
+    assert!(
+        diffs.is_empty(),
+        "coverage deviates from the paper: {diffs:?}"
+    );
 }
 
 #[test]
@@ -84,7 +87,12 @@ fn q2_q3_match_the_plan() {
     for (_, template) in c.templates.iter().take(6) {
         let expected: Vec<_> = c.runs_of_template(&template.name);
         let t = q2_template_runs(&graph, &template.name);
-        assert_eq!(t.runs.len(), expected.len(), "run count for {}", template.name);
+        assert_eq!(
+            t.runs.len(),
+            expected.len(),
+            "run count for {}",
+            template.name
+        );
         assert_eq!(
             t.failed,
             expected.iter().filter(|r| r.failed()).count(),
@@ -111,23 +119,33 @@ fn q4_q5_behave_per_system() {
         provbench::taverna::run_base_iri(&tav.run_id)
     ));
     let processes = q4_process_runs(&graph, &tav_run);
-    let executed =
-        tav.run.processes.iter().filter(|p| p.started_ms.is_some()).count();
+    let executed = tav
+        .run
+        .processes
+        .iter()
+        .filter(|p| p.started_ms.is_some())
+        .count();
     assert_eq!(processes.len(), executed);
-    assert!(processes.iter().all(|p| p.started.is_some() && p.ended.is_some()));
+    assert!(processes
+        .iter()
+        .all(|p| p.started.is_some() && p.ended.is_some()));
 
     // A Wings account: processes have no times (paper Table 2).
     let wgs = c.traces_of(System::Wings).find(|t| !t.failed()).unwrap();
     let account = account_iri(&wgs.run_id);
     let processes = q4_process_runs(&graph, &account);
     assert!(!processes.is_empty());
-    assert!(processes.iter().all(|p| p.started.is_none() && p.ended.is_none()));
+    assert!(processes
+        .iter()
+        .all(|p| p.started.is_none() && p.ended.is_none()));
 
     // Q5 names the planned user on both.
     for (trace, run_iri) in [(tav, tav_run), (wgs, account)] {
         let agents = q5_executor(&graph, &run_iri);
         assert!(
-            agents.iter().any(|(_, name)| name.as_deref() == Some(trace.run.user.as_str())),
+            agents
+                .iter()
+                .any(|(_, name)| name.as_deref() == Some(trace.run.user.as_str())),
             "Q5 must find {} for {}",
             trace.run.user,
             trace.run_id
@@ -182,8 +200,21 @@ fn applications_run_on_the_full_corpus() {
 fn corpus_is_reproducible() {
     // Same spec ⇒ identical corpus fingerprint (the determinism the whole
     // evaluation relies on).
-    let a = Corpus::generate(&CorpusSpec { max_workflows: Some(10), total_runs: 15, failed_runs: 2, ..CorpusSpec::default() });
-    let b = Corpus::generate(&CorpusSpec { max_workflows: Some(10), total_runs: 15, failed_runs: 2, ..CorpusSpec::default() });
+    let a = Corpus::generate(&CorpusSpec {
+        max_workflows: Some(10),
+        total_runs: 15,
+        failed_runs: 2,
+        ..CorpusSpec::default()
+    });
+    let b = Corpus::generate(&CorpusSpec {
+        max_workflows: Some(10),
+        total_runs: 15,
+        failed_runs: 2,
+        ..CorpusSpec::default()
+    });
     assert_eq!(a.fingerprint(), b.fingerprint());
-    assert_eq!(corpus().fingerprint(), Corpus::generate(&CorpusSpec::default()).fingerprint());
+    assert_eq!(
+        corpus().fingerprint(),
+        Corpus::generate(&CorpusSpec::default()).fingerprint()
+    );
 }

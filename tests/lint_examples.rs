@@ -1,0 +1,96 @@
+//! The committed `examples/` corpus and its lint baseline stay in sync:
+//! the two clean traces lint clean, the dissected files produce exactly
+//! the documented findings, and the committed baseline suppresses all of
+//! them — the contract the CI lint gate relies on.
+
+use provbench::diag::{
+    apply_baseline, json, lint_path, parse_baseline, render_sarif, Registry, Severity,
+};
+use std::path::Path;
+
+// Lint via the same relative path CI uses: diagnostic fingerprints
+// include the file path as given, so the baseline is tied to linting
+// `examples` from the repository root (cargo's cwd for these tests).
+fn examples_dir() -> &'static Path {
+    let dir = Path::new("examples");
+    assert!(
+        dir.is_dir(),
+        "test must run from the repository root (cargo does this)"
+    );
+    dir
+}
+
+#[test]
+fn examples_match_their_committed_baseline() {
+    let registry = Registry::with_default_rules();
+    let mut reports = lint_path(examples_dir(), &registry, 2).expect("lint examples/");
+    assert_eq!(reports.len(), 4, "expected 4 example files");
+
+    // The clean traces are clean; the dissected files are not.
+    for report in &reports {
+        let dissected = report.path.contains("dissected");
+        assert_eq!(
+            !report.diagnostics.is_empty(),
+            dissected,
+            "{}: unexpected diagnostics state: {:#?}",
+            report.path,
+            report.diagnostics
+        );
+    }
+
+    // The dissected fixtures demonstrate the documented rules.
+    let fired: Vec<&str> = reports
+        .iter()
+        .flat_map(|r| r.diagnostics.iter().map(|d| d.rule.id))
+        .collect();
+    for id in ["PB0107", "PB0201", "PB0204", "PB0206", "PB0401", "PB0403"] {
+        assert!(
+            fired.contains(&id),
+            "{id} should fire on examples/dissected"
+        );
+    }
+    // Spanned Turtle diagnostics: every finding carries line/column.
+    assert!(reports
+        .iter()
+        .flat_map(|r| &r.diagnostics)
+        .all(|d| d.span.is_some() && d.file.is_some()));
+
+    // The committed baseline accepts all of it.
+    let baseline = parse_baseline(
+        &std::fs::read_to_string(examples_dir().join("lint.baseline"))
+            .expect("read examples/lint.baseline"),
+    );
+    let suppressed = apply_baseline(&mut reports, &baseline);
+    assert!(suppressed > 0);
+    let remaining: Vec<_> = reports.iter().flat_map(|r| &r.diagnostics).collect();
+    assert!(
+        remaining.is_empty(),
+        "baseline out of date — regenerate with `provbench lint --write-baseline \
+         examples/lint.baseline examples`; unsuppressed: {remaining:#?}"
+    );
+}
+
+#[test]
+fn examples_render_as_valid_sarif() {
+    let registry = Registry::with_default_rules();
+    let reports = lint_path(examples_dir(), &registry, 2).expect("lint examples/");
+    let log = json::parse(&render_sarif(&reports, &registry)).expect("valid SARIF JSON");
+    assert_eq!(
+        log.get("version").and_then(json::Json::as_str),
+        Some("2.1.0")
+    );
+    let results = log.get("runs").and_then(json::Json::as_array).unwrap()[0]
+        .get("results")
+        .and_then(json::Json::as_array)
+        .unwrap();
+    let errors = reports
+        .iter()
+        .flat_map(|r| &r.diagnostics)
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    assert!(errors > 0);
+    assert_eq!(
+        results.len(),
+        reports.iter().map(|r| r.diagnostics.len()).sum::<usize>()
+    );
+}

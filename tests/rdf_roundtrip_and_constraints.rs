@@ -25,8 +25,8 @@ fn every_trace_roundtrips_through_its_native_syntax() {
         let serialized = store::serialize_trace(trace);
         match trace.system {
             System::Taverna => {
-                let (g, _) = parse_turtle(&serialized)
-                    .unwrap_or_else(|e| panic!("{}: {e}", trace.run_id));
+                let (g, _) =
+                    parse_turtle(&serialized).unwrap_or_else(|e| panic!("{}: {e}", trace.run_id));
                 assert_eq!(
                     &g,
                     trace.dataset.default_graph(),
@@ -35,8 +35,8 @@ fn every_trace_roundtrips_through_its_native_syntax() {
                 );
             }
             System::Wings => {
-                let (ds, _) = parse_trig(&serialized)
-                    .unwrap_or_else(|e| panic!("{}: {e}", trace.run_id));
+                let (ds, _) =
+                    parse_trig(&serialized).unwrap_or_else(|e| panic!("{}: {e}", trace.run_id));
                 assert_eq!(ds, trace.dataset, "roundtrip mismatch for {}", trace.run_id);
             }
         }
@@ -73,7 +73,11 @@ fn traces_recover_into_prov_documents() {
         let doc = graph_to_document(&trace.union_graph());
         // Every trace declares entities, activities and agents…
         assert!(!doc.entities.is_empty(), "{} has no entities", trace.run_id);
-        assert!(!doc.activities.is_empty(), "{} has no activities", trace.run_id);
+        assert!(
+            !doc.activities.is_empty(),
+            "{} has no activities",
+            trace.run_id
+        );
         assert!(!doc.agents.is_empty(), "{} has no agents", trace.run_id);
         // …and the relations reference only declared nodes (extension
         // vocabulary aside).

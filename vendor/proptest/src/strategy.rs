@@ -1,0 +1,375 @@
+//! Strategies: deterministic samplers with `prop_map`/`boxed`/union
+//! combinators and a regex-subset string generator.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::ops::Range;
+use std::rc::Rc;
+
+/// A source of sampled values (upstream proptest's `Strategy`, minus
+/// shrinking).
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Sample one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transform sampled values.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erase the concrete type (needed by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng| self.sample(rng)))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Type-erased strategy.
+#[derive(Clone)]
+pub struct BoxedStrategy<V>(Rc<dyn Fn(&mut StdRng) -> V>);
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut StdRng) -> V {
+        (self.0)(rng)
+    }
+}
+
+/// Uniform choice between boxed strategies (`prop_oneof!`).
+pub struct Union<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// Build from the macro's boxed arms.
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut StdRng) -> V {
+        let idx = rng.gen_range(0..self.arms.len());
+        self.arms[idx].sample(rng)
+    }
+}
+
+/// The marker strategy behind [`crate::any`].
+pub struct Any<T>(pub(crate) std::marker::PhantomData<T>);
+
+impl<T: crate::Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($ty:ty),+) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn sample(&self, rng: &mut StdRng) -> $ty {
+                rng.gen_range(self.clone())
+            }
+        }
+    )+};
+}
+range_strategy! { u8, i8, u16, i16, u32, i32, u64, i64, usize, isize }
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy! { A }
+tuple_strategy! { A, B }
+tuple_strategy! { A, B, C }
+tuple_strategy! { A, B, C, D }
+tuple_strategy! { A, B, C, D, E }
+tuple_strategy! { A, B, C, D, E, F }
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn sample(&self, rng: &mut StdRng) -> String {
+        sample_regex(self, rng)
+    }
+}
+
+// --- regex-subset string generation -------------------------------------
+
+#[derive(Clone, Debug)]
+enum CharSet {
+    /// Inclusive ranges of characters.
+    Ranges(Vec<(char, char)>),
+    /// `\PC`: "not a control/unassigned character" — sampled from a
+    /// printable pool spanning ASCII and a few multi-byte characters.
+    Printable,
+}
+
+#[derive(Clone, Debug)]
+struct Atom {
+    set: CharSet,
+    min: usize,
+    max: usize,
+}
+
+const PRINTABLE_EXTRA: &[char] = &['à', 'é', 'ü', 'ß', '中', '界', 'λ', 'Ω', '€', '→', '𝄞'];
+
+fn sample_char(set: &CharSet, rng: &mut StdRng) -> char {
+    match set {
+        CharSet::Printable => {
+            // Mostly ASCII printable, sometimes wider Unicode.
+            if rng.gen_bool(0.15) {
+                PRINTABLE_EXTRA[rng.gen_range(0..PRINTABLE_EXTRA.len())]
+            } else {
+                char::from(rng.gen_range(0x20u8..0x7f))
+            }
+        }
+        CharSet::Ranges(ranges) => {
+            let total: u32 = ranges.iter().map(|(a, b)| *b as u32 - *a as u32 + 1).sum();
+            let mut idx = rng.gen_range(0..total);
+            for (a, b) in ranges {
+                let size = *b as u32 - *a as u32 + 1;
+                if idx < size {
+                    return char::from_u32(*a as u32 + idx)
+                        .expect("range endpoints are valid chars");
+                }
+                idx -= size;
+            }
+            unreachable!("index within total size")
+        }
+    }
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> CharSet {
+    let mut ranges = Vec::new();
+    let mut pending: Option<char> = None;
+    loop {
+        let c = chars.next().expect("unterminated character class");
+        match c {
+            ']' => break,
+            '\\' => {
+                let e = chars.next().expect("dangling escape in class");
+                let lit = match e {
+                    'n' => '\n',
+                    't' => '\t',
+                    'r' => '\r',
+                    other => other,
+                };
+                if let Some(p) = pending.take() {
+                    ranges.push((p, p));
+                }
+                pending = Some(lit);
+            }
+            '-' => {
+                // Range if between two chars, literal otherwise.
+                match (pending.take(), chars.peek()) {
+                    (Some(lo), Some(&next)) if next != ']' => {
+                        let hi = match chars.next().expect("range end") {
+                            '\\' => {
+                                let e = chars.next().expect("dangling escape");
+                                match e {
+                                    'n' => '\n',
+                                    't' => '\t',
+                                    other => other,
+                                }
+                            }
+                            other => other,
+                        };
+                        assert!(lo <= hi, "inverted class range {lo:?}-{hi:?}");
+                        ranges.push((lo, hi));
+                    }
+                    (pend, _) => {
+                        if let Some(p) = pend {
+                            ranges.push((p, p));
+                        }
+                        pending = Some('-');
+                    }
+                }
+            }
+            other => {
+                if let Some(p) = pending.take() {
+                    ranges.push((p, p));
+                }
+                pending = Some(other);
+            }
+        }
+    }
+    if let Some(p) = pending {
+        ranges.push((p, p));
+    }
+    CharSet::Ranges(ranges)
+}
+
+fn parse_repetition(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> (usize, usize) {
+    if chars.peek() != Some(&'{') {
+        return (1, 1);
+    }
+    chars.next();
+    let mut min = String::new();
+    let mut max = String::new();
+    let mut in_max = false;
+    loop {
+        match chars.next().expect("unterminated repetition") {
+            '}' => break,
+            ',' => in_max = true,
+            d => {
+                if in_max {
+                    max.push(d);
+                } else {
+                    min.push(d);
+                }
+            }
+        }
+    }
+    let min: usize = min.parse().expect("repetition lower bound");
+    let max: usize = if in_max {
+        max.parse().expect("repetition upper bound")
+    } else {
+        min
+    };
+    (min, max)
+}
+
+fn parse_regex(pattern: &str) -> Vec<Atom> {
+    let mut atoms = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let set = match c {
+            '[' => parse_class(&mut chars),
+            '\\' => match chars.next().expect("dangling escape") {
+                'P' => {
+                    let category = chars.next().expect("\\P needs a category");
+                    assert_eq!(category, 'C', "only \\PC is supported");
+                    CharSet::Printable
+                }
+                'n' => CharSet::Ranges(vec![('\n', '\n')]),
+                't' => CharSet::Ranges(vec![('\t', '\t')]),
+                other => CharSet::Ranges(vec![(other, other)]),
+            },
+            other => CharSet::Ranges(vec![(other, other)]),
+        };
+        let (min, max) = parse_repetition(&mut chars);
+        atoms.push(Atom { set, min, max });
+    }
+    atoms
+}
+
+fn sample_regex(pattern: &str, rng: &mut StdRng) -> String {
+    let mut out = String::new();
+    for atom in parse_regex(pattern) {
+        let count = rng.gen_range(atom.min..=atom.max);
+        for _ in 0..count {
+            out.push(sample_char(&atom.set, rng));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn regex_classes_and_repetition() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = sample_regex("[a-z]{1,8}", &mut r);
+            assert!((1..=8).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn regex_literals_and_compound() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = sample_regex("[a-z]{1,6}/[a-z0-9]{1,6}", &mut r);
+            assert!(s.contains('/'));
+        }
+    }
+
+    #[test]
+    fn regex_trailing_dash_and_escapes() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = sample_regex("[a-zA-Z0-9][a-zA-Z0-9_-]{0,10}", &mut r);
+            assert!(!s.is_empty() && s.len() <= 11);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-'));
+        }
+        for _ in 0..200 {
+            let s = sample_regex("[ -~\n\t\"\\\\àé中]{0,24}", &mut r);
+            assert!(s.chars().count() <= 24);
+        }
+    }
+
+    #[test]
+    fn regex_printable() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = sample_regex("\\PC{0,200}", &mut r);
+            assert!(s.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn union_and_map_compose() {
+        let mut r = rng();
+        let s = crate::prop_oneof![
+            (0usize..5).prop_map(|v| v * 10),
+            (5usize..10).prop_map(|v| v * 100),
+        ];
+        for _ in 0..100 {
+            let v = s.sample(&mut r);
+            assert!(v % 10 == 0);
+        }
+    }
+}

@@ -1,0 +1,406 @@
+//! An offline, dependency-free reimplementation of the `rand` 0.8 API
+//! surface this workspace uses.
+//!
+//! The corpus generator pins exact derived numbers (fingerprints, triple
+//! counts) in `tests/pinned_results.rs`, so [`rngs::StdRng`] must be
+//! **bit-for-bit identical** to upstream `rand` 0.8:
+//!
+//! * `StdRng` is ChaCha with 12 rounds (`rand_chacha::ChaCha12Rng`),
+//!   64-bit block counter in state words 12–13, zero stream;
+//! * `SeedableRng::seed_from_u64` expands the seed with the PCG32 output
+//!   function exactly as `rand_core` 0.6 does;
+//! * `Rng::gen_range` implements `UniformInt::sample_single_inclusive`
+//!   (widening-multiply with the leading-zeros zone approximation);
+//! * `Rng::gen_bool` implements `Bernoulli` (compare against
+//!   `(p * 2^64) as u64`).
+//!
+//! Only the integer types and methods the workspace calls are provided.
+
+use std::ops::{Range, RangeInclusive};
+
+/// The core RNG interface (subset of `rand_core::RngCore`).
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+/// Seedable construction (subset of `rand_core::SeedableRng`, fixed to a
+/// 32-byte seed since `StdRng` is the only implementor here).
+pub trait SeedableRng: Sized {
+    /// Construct from a full 32-byte seed.
+    fn from_seed(seed: [u8; 32]) -> Self;
+
+    /// Construct from a `u64`, expanding it with the PCG32 output
+    /// function exactly as `rand_core` 0.6 does.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = [0u8; 32];
+        for chunk in seed.chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            chunk.copy_from_slice(&x.to_le_bytes());
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types with a "standard" uniform distribution over all values.
+pub trait StandardSample: Sized {
+    /// Sample uniformly over the whole domain.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! standard_from_u32 {
+    ($($ty:ty),+) => {$(
+        impl StandardSample for $ty {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u32() as $ty
+            }
+        }
+    )+};
+}
+macro_rules! standard_from_u64 {
+    ($($ty:ty),+) => {$(
+        impl StandardSample for $ty {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $ty
+            }
+        }
+    )+};
+}
+standard_from_u32! { u8, i8, u16, i16, u32, i32 }
+standard_from_u64! { u64, i64, usize, isize }
+
+impl StandardSample for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // rand 0.8: Standard for bool uses one bit of next_u32.
+        rng.next_u32() & 1 == 1
+    }
+}
+
+/// Types usable with `gen_range` (subset of `rand::distributions::uniform`).
+pub trait SampleUniform: Sized {
+    /// Uniform sample from the inclusive range `[low, high]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+macro_rules! wmul_impl {
+    ($u_large:ty, $wide:ty) => {
+        |a: $u_large, b: $u_large| -> ($u_large, $u_large) {
+            let t = (a as $wide) * (b as $wide);
+            ((t >> (<$u_large>::BITS)) as $u_large, t as $u_large)
+        }
+    };
+}
+
+macro_rules! uniform_int_impl {
+    ($ty:ty, $unsigned:ty, $u_large:ty, $wide:ty) => {
+        impl SampleUniform for $ty {
+            fn sample_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                assert!(low <= high, "gen_range: low > high");
+                let range = high.wrapping_sub(low).wrapping_add(1) as $unsigned as $u_large;
+                // Wrap-around to 0 means the full type domain.
+                if range == 0 {
+                    return <$ty as StandardSample>::sample_standard(rng);
+                }
+                let zone = if <$unsigned>::MAX <= u16::MAX as $unsigned {
+                    // Exact rejection zone for small types.
+                    let unsigned_max: $u_large = <$u_large>::MAX;
+                    let ints_to_reject = (unsigned_max - range + 1) % range;
+                    unsigned_max - ints_to_reject
+                } else {
+                    // rand 0.8's fast leading-zeros approximation.
+                    (range << range.leading_zeros()).wrapping_sub(1)
+                };
+                let wmul = wmul_impl!($u_large, $wide);
+                loop {
+                    let v = <$u_large as StandardSample>::sample_standard(rng);
+                    let (hi, lo) = wmul(v, range);
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+    };
+}
+
+uniform_int_impl! { i8, u8, u32, u64 }
+uniform_int_impl! { i16, u16, u32, u64 }
+uniform_int_impl! { i32, u32, u32, u64 }
+uniform_int_impl! { i64, u64, u64, u128 }
+uniform_int_impl! { isize, usize, usize, u128 }
+uniform_int_impl! { u8, u8, u32, u64 }
+uniform_int_impl! { u16, u16, u32, u64 }
+uniform_int_impl! { u32, u32, u32, u64 }
+uniform_int_impl! { u64, u64, u64, u128 }
+uniform_int_impl! { usize, usize, usize, u128 }
+
+/// Range argument forms accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw one sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd + Copy + OneLess> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_inclusive(self.start, self.end.one_less(), rng)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd + Copy> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(*self.start(), *self.end(), rng)
+    }
+}
+
+/// Helper for translating exclusive into inclusive upper bounds.
+pub trait OneLess {
+    /// The predecessor value.
+    fn one_less(self) -> Self;
+}
+macro_rules! one_less_impl {
+    ($($ty:ty),+) => {$(
+        impl OneLess for $ty {
+            fn one_less(self) -> Self { self - 1 }
+        }
+    )+};
+}
+one_less_impl! { i8, i16, i32, i64, isize, u8, u16, u32, u64, usize }
+
+/// High-level convenience methods (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Sample a value from the standard distribution.
+    fn gen<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Uniform sample from a range (`low..high` or `low..=high`).
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli trial with success probability `p` (rand 0.8 semantics).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p={p} outside [0, 1]");
+        // Bernoulli::new: p_int = (p * 2^64) as u64; p == 1.0 is the
+        // saturated always-true sentinel.
+        const SCALE: f64 = 2.0 * (1u64 << 63) as f64;
+        let p_int = (p * SCALE) as u64;
+        if p_int == u64::MAX {
+            return true;
+        }
+        self.next_u64() < p_int
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+    const BUF_WORDS: usize = 64; // 4 ChaCha blocks, as rand_chacha's BlockRng buffers.
+
+    /// The standard generator: ChaCha12, bit-exact with `rand` 0.8's
+    /// `StdRng` (including `BlockRng`'s `next_u64` word-pairing rules).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        key: [u32; 8],
+        counter: u64,
+        buf: [u32; BUF_WORDS],
+        index: usize,
+    }
+
+    #[inline(always)]
+    fn quarter(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+        state[a] = state[a].wrapping_add(state[b]);
+        state[d] = (state[d] ^ state[a]).rotate_left(16);
+        state[c] = state[c].wrapping_add(state[d]);
+        state[b] = (state[b] ^ state[c]).rotate_left(12);
+        state[a] = state[a].wrapping_add(state[b]);
+        state[d] = (state[d] ^ state[a]).rotate_left(8);
+        state[c] = state[c].wrapping_add(state[d]);
+        state[b] = (state[b] ^ state[c]).rotate_left(7);
+    }
+
+    impl StdRng {
+        fn block(&self, counter: u64) -> [u32; 16] {
+            let mut x = [0u32; 16];
+            x[..4].copy_from_slice(&CHACHA_CONSTANTS);
+            x[4..12].copy_from_slice(&self.key);
+            x[12] = counter as u32;
+            x[13] = (counter >> 32) as u32;
+            // x[14], x[15]: stream/nonce, zero for from_seed.
+            let initial = x;
+            for _ in 0..6 {
+                // One double round = column + diagonal quarter rounds.
+                quarter(&mut x, 0, 4, 8, 12);
+                quarter(&mut x, 1, 5, 9, 13);
+                quarter(&mut x, 2, 6, 10, 14);
+                quarter(&mut x, 3, 7, 11, 15);
+                quarter(&mut x, 0, 5, 10, 15);
+                quarter(&mut x, 1, 6, 11, 12);
+                quarter(&mut x, 2, 7, 8, 13);
+                quarter(&mut x, 3, 4, 9, 14);
+            }
+            for (word, init) in x.iter_mut().zip(initial) {
+                *word = word.wrapping_add(init);
+            }
+            x
+        }
+
+        fn refill(&mut self) {
+            for blk in 0..4 {
+                let words = self.block(self.counter);
+                self.buf[blk * 16..(blk + 1) * 16].copy_from_slice(&words);
+                self.counter = self.counter.wrapping_add(1);
+            }
+        }
+
+        fn generate_and_set(&mut self, index: usize) {
+            self.refill();
+            self.index = index;
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn from_seed(seed: [u8; 32]) -> Self {
+            let mut key = [0u32; 8];
+            for (k, chunk) in key.iter_mut().zip(seed.chunks(4)) {
+                *k = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+            }
+            StdRng {
+                key,
+                counter: 0,
+                buf: [0; BUF_WORDS],
+                index: BUF_WORDS,
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            if self.index >= BUF_WORDS {
+                self.generate_and_set(0);
+            }
+            let value = self.buf[self.index];
+            self.index += 1;
+            value
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            // Exactly BlockRng::next_u64's three cases.
+            let read = |buf: &[u32; BUF_WORDS], i: usize| {
+                (u64::from(buf[i + 1]) << 32) | u64::from(buf[i])
+            };
+            let index = self.index;
+            if index < BUF_WORDS - 1 {
+                self.index += 2;
+                read(&self.buf, index)
+            } else if index >= BUF_WORDS {
+                self.generate_and_set(2);
+                read(&self.buf, 0)
+            } else {
+                let x = u64::from(self.buf[BUF_WORDS - 1]);
+                self.generate_and_set(1);
+                let y = u64::from(self.buf[0]);
+                (y << 32) | x
+            }
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            let mut chunks = dest.chunks_exact_mut(4);
+            for chunk in &mut chunks {
+                chunk.copy_from_slice(&self.next_u32().to_le_bytes());
+            }
+            let rest = chunks.into_remainder();
+            if !rest.is_empty() {
+                let bytes = self.next_u32().to_le_bytes();
+                rest.copy_from_slice(&bytes[..rest.len()]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn seed_from_u64_is_rand_core_06() {
+        // rand_core 0.6 expands seed 0 through the PCG32 output function;
+        // the first word of the expansion is stable across rand releases.
+        let a = StdRng::seed_from_u64(0);
+        let b = StdRng::seed_from_u64(0);
+        let mut a = a;
+        let mut b = b;
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn blocks_advance_and_streams_differ_by_seed() {
+        // Bit-exactness with upstream rand 0.8 is asserted end-to-end by
+        // the workspace's pinned corpus fingerprint test; here we check
+        // the block machinery itself behaves sanely.
+        let mut rng = StdRng::from_seed([0u8; 32]);
+        let first: Vec<u32> = (0..130).map(|_| rng.next_u32()).collect();
+        let mut uniq = first.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert!(uniq.len() > 120, "keystream words should not repeat");
+        let mut other = StdRng::seed_from_u64(1);
+        assert_ne!(first[0], other.next_u32());
+    }
+
+    #[test]
+    fn gen_range_is_in_bounds_and_deterministic() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut seen = Vec::new();
+        for _ in 0..1000 {
+            let v: usize = rng.gen_range(3..=9);
+            assert!((3..=9).contains(&v));
+            seen.push(v);
+        }
+        let mut rng2 = StdRng::seed_from_u64(42);
+        let seen2: Vec<usize> = (0..1000).map(|_| rng2.gen_range(3..=9)).collect();
+        assert_eq!(seen, seen2);
+    }
+
+    #[test]
+    fn gen_bool_edges() {
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&heads), "p=0.3 gave {heads}/10000");
+    }
+
+    #[test]
+    fn exclusive_and_inclusive_ranges_agree() {
+        let mut a = StdRng::seed_from_u64(5);
+        let mut b = StdRng::seed_from_u64(5);
+        let x: i64 = a.gen_range(0..100);
+        let y: i64 = b.gen_range(0..=99);
+        assert_eq!(x, y);
+    }
+}
