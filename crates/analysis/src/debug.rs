@@ -139,6 +139,32 @@ pub fn diagnose_graph(graph: &Graph, system: System, run_id: &str) -> Option<Fai
     })
 }
 
+/// SPARQL for the failure markers of both systems, used by
+/// [`failed_processes_sparql`]. Exposed so callers can feed it to an
+/// endpoint or `provbench query` directly.
+pub const FAILED_PROCESSES_SPARQL: &str = "\
+PREFIX opmw: <http://www.opmw.org/ontology/>
+SELECT DISTINCT ?process WHERE {
+  { ?process <http://ns.taverna.org.uk/2012/tavernaprov/errorMessage> ?cause }
+  UNION
+  { ?process a opmw:WorkflowExecutionProcess .
+    ?process opmw:hasStatus \"FAILURE\" }
+} ORDER BY ?process";
+
+/// Cross-check of [`diagnose_graph`]'s direct index lookups through the
+/// query engine: the IRIs of every failed process run in the graph,
+/// found declaratively with [`FAILED_PROCESSES_SPARQL`].
+pub fn failed_processes_sparql(graph: &Graph) -> Vec<Iri> {
+    provbench_query::QueryEngine::new(graph)
+        .prepare(FAILED_PROCESSES_SPARQL)
+        .and_then(|p| p.select())
+        .expect("failure-marker query is well-formed")
+        .rows
+        .iter()
+        .filter_map(|row| row.get("process").and_then(|t| t.as_iri().cloned()))
+        .collect()
+}
+
 fn trace_with_description(corpus: &Corpus, trace: &TraceRecord) -> Graph {
     let mut g = trace.union_graph();
     if let Some(idx) = corpus
@@ -236,6 +262,17 @@ mod tests {
         let ok = c.traces.iter().find(|t| !t.failed()).unwrap();
         let g = trace_with_description(&c, ok);
         assert!(diagnose_graph(&g, ok.system, &ok.run_id).is_none());
+    }
+
+    #[test]
+    fn sparql_cross_check_agrees_with_direct_diagnosis() {
+        let c = corpus();
+        let reports = diagnose_corpus(&c);
+        let mut direct: Vec<Iri> = reports.iter().map(|r| r.failed_process.clone()).collect();
+        direct.sort();
+        let mut via_sparql = failed_processes_sparql(&c.combined_graph());
+        via_sparql.sort();
+        assert_eq!(via_sparql, direct);
     }
 
     #[test]

@@ -21,7 +21,10 @@ pub mod lint;
 pub mod timeline;
 
 pub use coverage::{analyze_coverage, coverage_of_corpus, CoverageRow, CoverageTables, Support};
-pub use debug::{diagnose_corpus, diagnose_graph, FailureReport};
+pub use debug::{
+    diagnose_corpus, diagnose_graph, failed_processes_sparql, FailureReport,
+    FAILED_PROCESSES_SPARQL,
+};
 pub use decay::{
     decay_summary, detect_decay, rdf_trace_diff, repair_candidates, DecayReport, RunObservation,
     TraceDiff,

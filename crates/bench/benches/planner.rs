@@ -4,8 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use provbench_bench::bench_corpus;
-use provbench_query::{execute_with_options, parse_query, EvalOptions};
+use provbench_query::{parse_query, EvalOptions, QueryEngine};
 use std::hint::black_box;
+use std::sync::Arc;
 
 /// The same query, written selectively-first vs wildcard-first. The
 /// planner should make both run alike; without it the second explodes.
@@ -30,34 +31,35 @@ SELECT ?run ?p ?o WHERE {
 fn bench(c: &mut Criterion) {
     let corpus = bench_corpus();
     let graph = corpus.combined_graph();
-    let good = parse_query(GOOD_ORDER).expect("query parses");
-    let bad = parse_query(BAD_ORDER).expect("query parses");
-    let on = EvalOptions {
-        reorder_patterns: true,
-    };
-    let off = EvalOptions {
-        reorder_patterns: false,
-    };
+    let good = Arc::new(parse_query(GOOD_ORDER).expect("query parses"));
+    let bad = Arc::new(parse_query(BAD_ORDER).expect("query parses"));
+    let on = QueryEngine::with_options(&graph, EvalOptions::default());
+    let off = QueryEngine::with_options(&graph, EvalOptions::lexical());
+
+    let good_on = on.prepare_parsed(Arc::clone(&good));
+    let good_off = off.prepare_parsed(Arc::clone(&good));
+    let bad_on = on.prepare_parsed(Arc::clone(&bad));
+    let bad_off = off.prepare_parsed(Arc::clone(&bad));
 
     // Sanity: all four configurations agree on the row count.
-    let expected = execute_with_options(&graph, &good, &on).unwrap().len();
-    for (q, o) in [(&good, &off), (&bad, &on), (&bad, &off)] {
-        assert_eq!(execute_with_options(&graph, q, o).unwrap().len(), expected);
+    let expected = good_on.select().unwrap().len();
+    for q in [&good_off, &bad_on, &bad_off] {
+        assert_eq!(q.select().unwrap().len(), expected);
     }
 
     let mut group = c.benchmark_group("planner");
     group.sample_size(10);
     group.bench_function("good_order_planner_on", |b| {
-        b.iter(|| black_box(execute_with_options(&graph, &good, &on).unwrap()))
+        b.iter(|| black_box(good_on.select().unwrap()))
     });
     group.bench_function("good_order_planner_off", |b| {
-        b.iter(|| black_box(execute_with_options(&graph, &good, &off).unwrap()))
+        b.iter(|| black_box(good_off.select().unwrap()))
     });
     group.bench_function("bad_order_planner_on", |b| {
-        b.iter(|| black_box(execute_with_options(&graph, &bad, &on).unwrap()))
+        b.iter(|| black_box(bad_on.select().unwrap()))
     });
     group.bench_function("bad_order_planner_off", |b| {
-        b.iter(|| black_box(execute_with_options(&graph, &bad, &off).unwrap()))
+        b.iter(|| black_box(bad_off.select().unwrap()))
     });
     group.finish();
 

@@ -6,18 +6,33 @@
 //! ```
 
 use provbench_core::{Corpus, CorpusSpec};
-use provbench_endpoint::Endpoint;
+use provbench_endpoint::{Endpoint, EndpointConfig};
+use std::time::Duration;
 
 fn main() {
     let mut addr = "127.0.0.1:3030".to_owned();
     let mut workflows: Option<usize> = Some(40);
+    let mut config = EndpointConfig::default();
     let mut it = std::env::args().skip(1);
+    let usage = "use --addr HOST:PORT, --full, --workers N, --queue-depth N, --timeout-ms N";
+    let parse_num = |v: Option<String>, what: &str| -> usize {
+        v.and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+            eprintln!("{what} needs a number");
+            std::process::exit(2);
+        })
+    };
     while let Some(a) = it.next() {
         match a.as_str() {
             "--addr" => addr = it.next().unwrap_or(addr),
             "--full" => workflows = None,
+            "--workers" => config.workers = parse_num(it.next(), "--workers"),
+            "--queue-depth" => config.queue_depth = parse_num(it.next(), "--queue-depth"),
+            "--timeout-ms" => {
+                config.query_timeout =
+                    Duration::from_millis(parse_num(it.next(), "--timeout-ms") as u64)
+            }
             other => {
-                eprintln!("unknown option {other:?} (use --addr HOST:PORT, --full)");
+                eprintln!("unknown option {other:?} ({usage})");
                 std::process::exit(2);
             }
         }
@@ -36,8 +51,12 @@ fn main() {
     let corpus = Corpus::generate(&spec);
     let graph = corpus.combined_graph();
     eprintln!(
-        "serving {} triples on http://{addr}/ (Ctrl-C to stop)",
-        graph.len()
+        "serving {} triples on http://{addr}/ ({} workers, {:?} timeout; Ctrl-C to stop)",
+        graph.len(),
+        config.workers,
+        config.query_timeout,
     );
-    Endpoint::new(graph).serve(&addr).expect("serve");
+    Endpoint::with_config(graph, config)
+        .serve(&addr)
+        .expect("serve");
 }

@@ -142,43 +142,58 @@ pub fn parse_request(stream: &mut impl Read) -> io::Result<Request> {
     })
 }
 
-/// An HTTP response under construction.
+/// An HTTP response, built fluently:
+///
+/// ```
+/// use provbench_endpoint::Response;
+///
+/// let r = Response::status(503)
+///     .content_type("text/plain")
+///     .header("Retry-After", "1")
+///     .body("server busy");
+/// assert_eq!(r.status, 503);
+/// ```
 #[derive(Clone, Debug)]
 pub struct Response {
     /// Status code.
     pub status: u16,
     /// Content type.
     pub content_type: String,
+    /// Extra headers, in insertion order.
+    pub headers: Vec<(String, String)>,
     /// Body.
     pub body: String,
 }
 
 impl Response {
-    /// 200 with the given content type.
-    pub fn ok(content_type: &str, body: impl Into<String>) -> Self {
+    /// Start building a response with the given status code, defaulting
+    /// to an empty `text/plain` body.
+    pub fn status(status: u16) -> Self {
         Response {
-            status: 200,
-            content_type: content_type.to_owned(),
-            body: body.into(),
+            status,
+            content_type: "text/plain".to_owned(),
+            headers: Vec::new(),
+            body: String::new(),
         }
     }
 
-    /// 400 with a plain-text message.
-    pub fn bad_request(message: impl Into<String>) -> Self {
-        Response {
-            status: 400,
-            content_type: "text/plain".to_owned(),
-            body: message.into(),
-        }
+    /// Set the content type.
+    pub fn content_type(mut self, content_type: &str) -> Self {
+        self.content_type = content_type.to_owned();
+        self
     }
 
-    /// 404 with a plain-text message.
-    pub fn not_found() -> Self {
-        Response {
-            status: 404,
-            content_type: "text/plain".to_owned(),
-            body: "not found".into(),
-        }
+    /// Append a header (besides the automatic `Content-Type`,
+    /// `Content-Length` and `Connection`).
+    pub fn header(mut self, name: &str, value: &str) -> Self {
+        self.headers.push((name.to_owned(), value.to_owned()));
+        self
+    }
+
+    /// Set the body.
+    pub fn body(mut self, body: impl Into<String>) -> Self {
+        self.body = body.into();
+        self
     }
 
     fn status_text(&self) -> &'static str {
@@ -186,6 +201,8 @@ impl Response {
             200 => "OK",
             400 => "Bad Request",
             404 => "Not Found",
+            408 => "Request Timeout",
+            503 => "Service Unavailable",
             _ => "Internal Server Error",
         }
     }
@@ -194,13 +211,16 @@ impl Response {
     pub fn write_to(&self, stream: &mut impl Write) -> io::Result<()> {
         write!(
             stream,
-            "HTTP/1.1 {} {}\r\nContent-Type: {}; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}; charset=utf-8\r\nContent-Length: {}\r\n",
             self.status,
             self.status_text(),
             self.content_type,
             self.body.len(),
-            self.body
-        )
+        )?;
+        for (name, value) in &self.headers {
+            write!(stream, "{name}: {value}\r\n")?;
+        }
+        write!(stream, "Connection: close\r\n\r\n{}", self.body)
     }
 }
 
@@ -245,12 +265,31 @@ mod tests {
     #[test]
     fn response_serialization() {
         let mut out = Vec::new();
-        Response::ok("text/plain", "hi").write_to(&mut out).unwrap();
+        Response::status(200).body("hi").write_to(&mut out).unwrap();
         let s = String::from_utf8(out).unwrap();
         assert!(s.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(s.contains("Content-Length: 2"));
         assert!(s.ends_with("hi"));
-        assert_eq!(Response::not_found().status, 404);
-        assert_eq!(Response::bad_request("x").status, 400);
+    }
+
+    #[test]
+    fn builder_headers_and_status_lines() {
+        let mut out = Vec::new();
+        Response::status(503)
+            .content_type("text/plain")
+            .header("Retry-After", "1")
+            .body("busy")
+            .write_to(&mut out)
+            .unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.starts_with("HTTP/1.1 503 Service Unavailable\r\n"), "{s}");
+        assert!(s.contains("Retry-After: 1\r\n"));
+        assert!(s.ends_with("busy"));
+
+        let mut out = Vec::new();
+        Response::status(408).write_to(&mut out).unwrap();
+        assert!(String::from_utf8(out)
+            .unwrap()
+            .starts_with("HTTP/1.1 408 Request Timeout\r\n"));
     }
 }

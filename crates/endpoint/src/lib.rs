@@ -27,4 +27,4 @@ mod server;
 
 pub use http::{parse_request, url_decode, url_encode, Request, Response};
 pub use results::{solutions_to_json, solutions_to_tsv};
-pub use server::Endpoint;
+pub use server::{Endpoint, EndpointConfig};

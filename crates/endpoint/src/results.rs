@@ -105,7 +105,7 @@ pub fn solutions_to_tsv(solutions: &Solutions) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use provbench_query::execute_query;
+    use provbench_query::QueryEngine;
     use provbench_rdf::parse_turtle;
 
     fn solutions() -> Solutions {
@@ -114,11 +114,11 @@ mod tests {
                e:s e:p "va\"l" ; e:q "fr"@fr ; e:r 42 ."#,
         )
         .unwrap();
-        execute_query(
-            &g,
-            "PREFIX e: <http://e/> SELECT ?p ?o WHERE { ?s ?p ?o } ORDER BY ?p",
-        )
-        .unwrap()
+        QueryEngine::new(&g)
+            .prepare("PREFIX e: <http://e/> SELECT ?p ?o WHERE { ?s ?p ?o } ORDER BY ?p")
+            .unwrap()
+            .select()
+            .unwrap()
     }
 
     #[test]

@@ -1,42 +1,179 @@
-//! The endpoint itself: route dispatch and the serving loop.
+//! The endpoint itself: route dispatch, the plan cache, and the bounded
+//! serving loop.
 
 use crate::http::{parse_request, Request, Response};
 use crate::results::{solutions_to_json, solutions_to_tsv};
-use provbench_query::execute_query;
+use provbench_query::sparql::ast::Query;
+use provbench_query::{parse_query, EvalOptions, QueryEngine, QueryError, QueryParseError};
 use provbench_rdf::Graph;
+use std::collections::HashMap;
 use std::io;
-use std::net::{TcpListener, ToSocketAddrs};
-use std::sync::Arc;
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Concurrency and resource knobs for a served endpoint.
+#[derive(Clone, Copy, Debug)]
+pub struct EndpointConfig {
+    /// Worker threads handling requests. Connections beyond
+    /// `workers + queue_depth` are answered `503` immediately instead of
+    /// spawning unbounded threads.
+    pub workers: usize,
+    /// Accepted connections that may wait for a free worker.
+    pub queue_depth: usize,
+    /// Per-request evaluation deadline; queries running longer answer
+    /// `408`. Clients may lower (never raise) it per request with a
+    /// `timeout=<ms>` parameter.
+    pub query_timeout: Duration,
+    /// Per-request cap on intermediate rows — a deterministic cost
+    /// bound that trips even when the clock barely advances.
+    pub row_budget: Option<u64>,
+    /// Parsed query plans cached by query text (LRU).
+    pub plan_cache_size: usize,
+}
+
+impl Default for EndpointConfig {
+    fn default() -> Self {
+        EndpointConfig {
+            workers: 8,
+            queue_depth: 32,
+            query_timeout: Duration::from_secs(10),
+            row_budget: Some(50_000_000),
+            plan_cache_size: 64,
+        }
+    }
+}
+
+/// LRU cache of parsed query plans keyed by query text. "Recency" is a
+/// monotone stamp bumped on every hit; eviction drops the smallest.
+struct PlanCache {
+    capacity: usize,
+    tick: u64,
+    entries: HashMap<String, (Arc<Query>, u64)>,
+}
+
+impl PlanCache {
+    fn new(capacity: usize) -> Self {
+        PlanCache {
+            capacity,
+            tick: 0,
+            entries: HashMap::new(),
+        }
+    }
+
+    fn get(&mut self, text: &str) -> Option<Arc<Query>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.get_mut(text).map(|(plan, stamp)| {
+            *stamp = tick;
+            Arc::clone(plan)
+        })
+    }
+
+    fn insert(&mut self, text: String, plan: Arc<Query>) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&text) {
+            if let Some(oldest) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&oldest);
+            }
+        }
+        self.tick += 1;
+        self.entries.insert(text, (plan, self.tick));
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
 
 /// A SPARQL endpoint over one corpus graph.
 #[derive(Clone)]
 pub struct Endpoint {
     graph: Arc<Graph>,
+    config: EndpointConfig,
+    plans: Arc<Mutex<PlanCache>>,
 }
 
 impl Endpoint {
-    /// An endpoint serving the given graph.
+    /// An endpoint serving the given graph with default configuration.
     pub fn new(graph: Graph) -> Self {
+        Endpoint::with_config(graph, EndpointConfig::default())
+    }
+
+    /// An endpoint with explicit concurrency/resource configuration.
+    pub fn with_config(graph: Graph, config: EndpointConfig) -> Self {
         Endpoint {
             graph: Arc::new(graph),
+            config,
+            plans: Arc::new(Mutex::new(PlanCache::new(config.plan_cache_size))),
         }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &EndpointConfig {
+        &self.config
+    }
+
+    /// Number of parsed plans currently cached (exposed for tests and
+    /// the `/stats` route).
+    pub fn cached_plans(&self) -> usize {
+        self.plans.lock().expect("plan cache lock").len()
     }
 
     /// Handle one parsed request (exposed for tests).
     pub fn handle(&self, request: &Request) -> Response {
         match (request.method.as_str(), request.path.as_str()) {
-            ("GET", "/") => Response::ok("text/html", self.index_page()),
+            ("GET", "/") => Response::status(200)
+                .content_type("text/html")
+                .body(self.index_page()),
             ("GET", "/sparql") | ("POST", "/sparql") => self.sparql(request),
-            ("GET", "/stats") => Response::ok(
-                "application/json",
-                format!(
-                    "{{\"triples\":{},\"terms\":{}}}",
-                    self.graph.len(),
-                    self.graph.term_count()
-                ),
-            ),
-            _ => Response::not_found(),
+            ("GET", "/stats") => {
+                Response::status(200)
+                    .content_type("application/json")
+                    .body(format!(
+                        "{{\"triples\":{},\"terms\":{},\"cached_plans\":{}}}",
+                        self.graph.len(),
+                        self.graph.term_count(),
+                        self.cached_plans()
+                    ))
+            }
+            _ => Response::status(404).body("not found"),
         }
+    }
+
+    /// Fetch the parsed plan for `text`, parsing and caching on miss.
+    fn plan(&self, text: &str) -> Result<Arc<Query>, QueryParseError> {
+        if let Some(plan) = self.plans.lock().expect("plan cache lock").get(text) {
+            return Ok(plan);
+        }
+        let plan = Arc::new(parse_query(text)?);
+        self.plans
+            .lock()
+            .expect("plan cache lock")
+            .insert(text.to_owned(), Arc::clone(&plan));
+        Ok(plan)
+    }
+
+    /// Evaluation options for one request: the configured deadline and
+    /// row budget, with `timeout=<ms>` allowed to lower the deadline.
+    fn request_options(&self, request: &Request) -> EvalOptions {
+        let timeout = request
+            .param("timeout")
+            .and_then(|v| v.parse::<u64>().ok())
+            .map(Duration::from_millis)
+            .filter(|t| *t < self.config.query_timeout)
+            .unwrap_or(self.config.query_timeout);
+        let mut opts = EvalOptions::default().with_timeout(timeout);
+        opts.row_budget = self.config.row_budget;
+        opts
     }
 
     fn sparql(&self, request: &Request) -> Response {
@@ -57,22 +194,34 @@ impl Endpoint {
             }
         });
         let Some(query) = query else {
-            return Response::bad_request("missing `query` parameter");
+            return Response::status(400).body("missing `query` parameter");
         };
-        match execute_query(&self.graph, &query) {
+        let plan = match self.plan(&query) {
+            Ok(plan) => plan,
+            Err(e) => return parse_error_response(&e),
+        };
+        let engine = QueryEngine::with_options(&self.graph, self.request_options(request));
+        match engine.prepare_parsed(plan).select() {
             Ok(solutions) => {
                 let want_tsv = request.param("format") == Some("tsv")
                     || request.accepts("text/tab-separated-values");
                 if want_tsv {
-                    Response::ok("text/tab-separated-values", solutions_to_tsv(&solutions))
+                    Response::status(200)
+                        .content_type("text/tab-separated-values")
+                        .body(solutions_to_tsv(&solutions))
                 } else {
-                    Response::ok(
-                        "application/sparql-results+json",
-                        solutions_to_json(&solutions),
-                    )
+                    Response::status(200)
+                        .content_type("application/sparql-results+json")
+                        .body(solutions_to_json(&solutions))
                 }
             }
-            Err(e) => Response::bad_request(format!("query error: {e}")),
+            Err(QueryError::Timeout(m)) => Response::status(408)
+                .content_type("application/json")
+                .body(format!(
+                    "{{\"error\":\"timeout\",\"message\":\"{}\"}}",
+                    escape_json(&m)
+                )),
+            Err(e) => Response::status(400).body(format!("query error: {e}")),
         }
     }
 
@@ -102,26 +251,72 @@ SELECT ?run ?start WHERE {{
         )
     }
 
-    /// Serve forever on the given address (one thread per connection).
+    /// Serve forever on the given address with a bounded worker pool.
     pub fn serve(&self, addr: impl ToSocketAddrs) -> io::Result<()> {
         let listener = TcpListener::bind(addr)?;
         self.serve_on(listener)
     }
 
-    /// Serve forever on an existing listener.
+    /// Serve forever on an existing listener. `config.workers` threads
+    /// drain a queue of at most `config.queue_depth` waiting
+    /// connections; when the queue is full the acceptor answers `503`
+    /// inline so the server's thread count stays fixed under any burst.
     pub fn serve_on(&self, listener: TcpListener) -> io::Result<()> {
-        for stream in listener.incoming() {
-            let mut stream = stream?;
+        let (tx, rx) = sync_channel::<TcpStream>(self.config.queue_depth.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        for _ in 0..self.config.workers.max(1) {
             let endpoint = self.clone();
-            std::thread::spawn(move || {
+            let rx: Arc<Mutex<Receiver<TcpStream>>> = Arc::clone(&rx);
+            std::thread::spawn(move || loop {
+                let next = rx.lock().expect("worker queue lock").recv();
+                let Ok(mut stream) = next else {
+                    break; // acceptor gone
+                };
                 if let Ok(request) = parse_request(&mut stream) {
                     let response = endpoint.handle(&request);
                     let _ = response.write_to(&mut stream);
                 }
             });
         }
+        for stream in listener.incoming() {
+            let stream = stream?;
+            match tx.try_send(stream) {
+                Ok(()) => {}
+                Err(TrySendError::Full(mut stream)) => {
+                    // Saturated: reject on the acceptor thread. Drain the
+                    // request first (with a bounded wait) — closing with
+                    // unread bytes resets the connection before the
+                    // client can read our answer.
+                    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+                    let _ = parse_request(&mut stream);
+                    let _ = Response::status(503)
+                        .header("Retry-After", "1")
+                        .body("server busy, retry later")
+                        .write_to(&mut stream);
+                }
+                Err(TrySendError::Disconnected(_)) => break,
+            }
+        }
         Ok(())
     }
+}
+
+fn escape_json(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Render a parse error as a 400 with a machine-readable source span.
+fn parse_error_response(e: &QueryParseError) -> Response {
+    Response::status(400)
+        .content_type("application/json")
+        .body(format!(
+            "{{\"error\":\"parse\",\"message\":\"{}\",\"line\":{},\"column\":{},\"end_line\":{},\"end_column\":{}}}",
+            escape_json(&e.message),
+            e.line,
+            e.column,
+            e.end_line,
+            e.end_column,
+        ))
 }
 
 #[cfg(test)]
@@ -184,12 +379,86 @@ mod tests {
     }
 
     #[test]
-    fn bad_query_is_400() {
+    fn bad_query_is_400_with_span() {
         let ep = endpoint();
         let r = ep.handle(&request("GET /sparql?query=NOT+SPARQL HTTP/1.1\r\n\r\n"));
         assert_eq!(r.status, 400);
+        assert_eq!(r.content_type, "application/json");
+        assert!(r.body.contains("\"error\":\"parse\""), "{}", r.body);
+        assert!(r.body.contains("\"line\":1"), "{}", r.body);
+        assert!(r.body.contains("\"column\":"), "{}", r.body);
         let r = ep.handle(&request("GET /sparql HTTP/1.1\r\n\r\n"));
         assert_eq!(r.status, 400);
+    }
+
+    #[test]
+    fn plan_cache_hits_and_evicts() {
+        let ep = endpoint();
+        let q = crate::http::url_encode("SELECT ?s WHERE { ?s ?p ?o }");
+        assert_eq!(ep.cached_plans(), 0);
+        ep.handle(&request(&format!("GET /sparql?query={q} HTTP/1.1\r\n\r\n")));
+        assert_eq!(ep.cached_plans(), 1);
+        // Same text again: served from cache, no growth.
+        ep.handle(&request(&format!("GET /sparql?query={q} HTTP/1.1\r\n\r\n")));
+        assert_eq!(ep.cached_plans(), 1);
+        // Unparsable queries are not cached.
+        ep.handle(&request("GET /sparql?query=NOT+SPARQL HTTP/1.1\r\n\r\n"));
+        assert_eq!(ep.cached_plans(), 1);
+
+        // Eviction honours recency: with capacity 2, touching `a` makes
+        // `b` the eviction victim.
+        let mut cache = PlanCache::new(2);
+        let plan = |text: &str| Arc::new(parse_query(text).unwrap());
+        cache.insert("a".into(), plan("SELECT ?a WHERE { ?a ?p ?o }"));
+        cache.insert("b".into(), plan("SELECT ?b WHERE { ?b ?p ?o }"));
+        assert!(cache.get("a").is_some());
+        cache.insert("c".into(), plan("SELECT ?c WHERE { ?c ?p ?o }"));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get("b").is_none(), "least-recent entry evicted");
+        assert!(cache.get("a").is_some());
+        assert!(cache.get("c").is_some());
+    }
+
+    #[test]
+    fn exhausted_budget_is_408() {
+        let (g, _) = parse_turtle(
+            r#"@prefix e: <http://e/> .
+               e:a e:p e:b . e:b e:p e:c . e:c e:p e:d . e:d e:p e:e ."#,
+        )
+        .unwrap();
+        let ep = Endpoint::with_config(
+            g,
+            EndpointConfig {
+                row_budget: Some(3),
+                ..EndpointConfig::default()
+            },
+        );
+        let q = crate::http::url_encode("SELECT * WHERE { ?a ?b ?c . ?d ?e ?f }");
+        let r = ep.handle(&request(&format!("GET /sparql?query={q} HTTP/1.1\r\n\r\n")));
+        assert_eq!(r.status, 408, "{}", r.body);
+        assert!(r.body.contains("\"error\":\"timeout\""), "{}", r.body);
+    }
+
+    #[test]
+    fn timeout_param_cannot_raise_configured_limit() {
+        let ep = Endpoint::with_config(
+            Graph::new(),
+            EndpointConfig {
+                query_timeout: Duration::from_millis(50),
+                ..EndpointConfig::default()
+            },
+        );
+        let req = request("GET /sparql?timeout=10&query=x HTTP/1.1\r\n\r\n");
+        let opts = ep.request_options(&req);
+        assert!(opts.deadline.is_some());
+        // Larger than configured: clamped back to the 50ms limit.
+        let req = request("GET /sparql?timeout=999999&query=x HTTP/1.1\r\n\r\n");
+        let opts = ep.request_options(&req);
+        let remaining = opts
+            .deadline
+            .unwrap()
+            .saturating_duration_since(std::time::Instant::now());
+        assert!(remaining <= Duration::from_millis(50), "{remaining:?}");
     }
 
     #[test]
@@ -234,5 +503,76 @@ mod tests {
         stream.read_to_string(&mut response).unwrap();
         assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
         assert!(response.contains("http://e/r2"));
+    }
+
+    /// A burst beyond `workers + queue_depth` must not grow threads: the
+    /// overflow connections are answered `503` by the acceptor while
+    /// every accepted request still completes.
+    #[test]
+    fn burst_beyond_pool_gets_503_not_threads() {
+        // A graph big enough that the cross-join below takes real time
+        // per request, keeping the single worker busy during the burst.
+        let mut turtle = String::from("@prefix e: <http://e/> .\n");
+        for i in 0..60 {
+            turtle.push_str(&format!("e:s{i} e:p{} e:o{i} .\n", i % 7));
+        }
+        let (g, _) = parse_turtle(&turtle).unwrap();
+        let ep = Endpoint::with_config(
+            g,
+            EndpointConfig {
+                workers: 1,
+                queue_depth: 1,
+                ..EndpointConfig::default()
+            },
+        );
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            let _ = ep.serve_on(listener);
+        });
+
+        let slow = crate::http::url_encode(
+            "SELECT (COUNT(*) AS ?n) WHERE { ?a ?b ?c . ?d ?e ?f . ?g ?h ?i }",
+        );
+        let client = |q: String| {
+            std::thread::spawn(move || {
+                let mut stream = TcpStream::connect(addr).unwrap();
+                write!(stream, "GET /sparql?query={q} HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+                let mut response = String::new();
+                stream.read_to_string(&mut response).unwrap();
+                response
+            })
+        };
+
+        // Occupy the worker, then fill the queue, then overflow.
+        let busy = client(slow.clone());
+        std::thread::sleep(Duration::from_millis(150));
+        let queued = client(slow.clone());
+        std::thread::sleep(Duration::from_millis(50));
+        let overflow: Vec<_> = (0..6).map(|_| client(slow.clone())).collect();
+
+        let responses: Vec<String> = overflow.into_iter().map(|h| h.join().unwrap()).collect();
+        let rejected = responses
+            .iter()
+            .filter(|r| r.starts_with("HTTP/1.1 503"))
+            .count();
+        assert!(
+            rejected >= 1,
+            "expected at least one 503, got: {responses:?}"
+        );
+        for r in &responses {
+            assert!(
+                r.starts_with("HTTP/1.1 200") || r.starts_with("HTTP/1.1 503"),
+                "unexpected response: {r}"
+            );
+        }
+        // 503s carry the retry hint.
+        assert!(responses
+            .iter()
+            .filter(|r| r.starts_with("HTTP/1.1 503"))
+            .all(|r| r.contains("Retry-After: 1")));
+        // The occupied worker and the queued request still complete.
+        assert!(busy.join().unwrap().starts_with("HTTP/1.1 200"));
+        assert!(queued.join().unwrap().starts_with("HTTP/1.1 200"));
     }
 }

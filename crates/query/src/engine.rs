@@ -1,0 +1,198 @@
+//! The unified query API: [`QueryEngine`] prepares queries against one
+//! graph, [`PreparedQuery`] executes them.
+//!
+//! Preparation parses the query text once; the resulting plan is held
+//! behind an [`Arc`] so callers (notably the endpoint's plan cache) can
+//! share one parsed query across requests without re-parsing:
+//!
+//! ```
+//! use provbench_query::QueryEngine;
+//! use provbench_rdf::parse_turtle;
+//!
+//! let (graph, _) = parse_turtle(r#"
+//!   @prefix prov: <http://www.w3.org/ns/prov#> .
+//!   <http://e/r1> a prov:Activity .
+//! "#).unwrap();
+//! let engine = QueryEngine::new(&graph);
+//! let prepared = engine.prepare(
+//!     "PREFIX prov: <http://www.w3.org/ns/prov#> SELECT ?r WHERE { ?r a prov:Activity }",
+//! ).unwrap();
+//! assert_eq!(prepared.select().unwrap().len(), 1);
+//! ```
+
+use crate::sparql::ast::Query;
+use crate::sparql::eval::{self, EvalOptions, QueryError, Solutions};
+use crate::sparql::parser::parse_query;
+use provbench_rdf::Graph;
+use std::sync::Arc;
+
+/// A query engine bound to one graph.
+///
+/// Cheap to construct (it borrows the graph and copies the options);
+/// make one per graph, or per request when per-request options such as
+/// deadlines are in play.
+#[derive(Clone, Copy, Debug)]
+pub struct QueryEngine<'g> {
+    graph: &'g Graph,
+    options: EvalOptions,
+}
+
+impl<'g> QueryEngine<'g> {
+    /// An engine over `graph` with default options (selectivity planner
+    /// on, no deadline or row budget).
+    pub fn new(graph: &'g Graph) -> Self {
+        QueryEngine {
+            graph,
+            options: EvalOptions::default(),
+        }
+    }
+
+    /// An engine over `graph` with explicit options.
+    pub fn with_options(graph: &'g Graph, options: EvalOptions) -> Self {
+        QueryEngine { graph, options }
+    }
+
+    /// The evaluation options this engine runs with.
+    pub fn options(&self) -> &EvalOptions {
+        &self.options
+    }
+
+    /// The graph this engine queries.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// Parse `text` into an executable [`PreparedQuery`].
+    pub fn prepare(&self, text: &str) -> Result<PreparedQuery<'g>, QueryError> {
+        let query = parse_query(text).map_err(QueryError::Parse)?;
+        Ok(self.prepare_parsed(Arc::new(query)))
+    }
+
+    /// Wrap an already-parsed query (e.g. one served from a plan cache)
+    /// without re-parsing.
+    pub fn prepare_parsed(&self, query: Arc<Query>) -> PreparedQuery<'g> {
+        PreparedQuery {
+            graph: self.graph,
+            options: self.options,
+            query,
+        }
+    }
+}
+
+/// A parsed query bound to a graph, ready to run any number of times.
+#[derive(Clone, Debug)]
+pub struct PreparedQuery<'g> {
+    graph: &'g Graph,
+    options: EvalOptions,
+    query: Arc<Query>,
+}
+
+impl<'g> PreparedQuery<'g> {
+    /// Evaluate and return the solution rows.
+    pub fn select(&self) -> Result<Solutions, QueryError> {
+        eval::run(self.graph, &self.query, &self.options)
+    }
+
+    /// Evaluate as a boolean: true iff any solution exists. Works for
+    /// `ASK` and `SELECT` forms alike.
+    pub fn ask(&self) -> Result<bool, QueryError> {
+        Ok(!self.select()?.is_empty())
+    }
+
+    /// Evaluate with different options than the engine's (e.g. a
+    /// per-request deadline on a cached plan).
+    pub fn select_with(&self, options: &EvalOptions) -> Result<Solutions, QueryError> {
+        eval::run(self.graph, &self.query, options)
+    }
+
+    /// The evaluation plan as indented text, with BGPs in
+    /// planner-chosen join order and per-pattern cardinality estimates
+    /// from the bound graph's statistics.
+    pub fn explain(&self) -> String {
+        eval::explain_on(self.graph, &self.query, &self.options)
+    }
+
+    /// The parsed query, shareable (e.g. for a plan cache).
+    pub fn query(&self) -> &Arc<Query> {
+        &self.query
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use provbench_rdf::parse_turtle;
+
+    fn graph() -> Graph {
+        let (g, _) = parse_turtle(
+            r#"
+            @prefix e: <http://e/> .
+            e:r1 a e:Run ; e:by e:alice .
+            e:r2 a e:Run ; e:by e:bob .
+            "#,
+        )
+        .unwrap();
+        g
+    }
+
+    #[test]
+    fn prepare_select_ask_explain() {
+        let g = graph();
+        let engine = QueryEngine::new(&g);
+        let p = engine
+            .prepare("PREFIX e: <http://e/> SELECT ?r WHERE { ?r a e:Run } ORDER BY ?r")
+            .unwrap();
+        let s = p.select().unwrap();
+        assert_eq!(s.len(), 2);
+        assert!(p.ask().unwrap());
+        let plan = p.explain();
+        assert!(plan.contains("SELECT plan (planner on)"), "{plan}");
+        assert!(plan.contains("est ~"), "{plan}");
+
+        let none = engine
+            .prepare("PREFIX e: <http://e/> ASK { ?r a e:Workflow }")
+            .unwrap();
+        assert!(!none.ask().unwrap());
+    }
+
+    #[test]
+    fn prepare_surfaces_parse_errors() {
+        let g = graph();
+        match QueryEngine::new(&g).prepare("SELECT WHERE") {
+            Err(QueryError::Parse(e)) => assert!(e.line >= 1),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn prepared_query_is_reusable_and_shareable() {
+        let g = graph();
+        let engine = QueryEngine::new(&g);
+        let p = engine
+            .prepare("PREFIX e: <http://e/> SELECT ?who WHERE { ?r e:by ?who }")
+            .unwrap();
+        let a = p.select().unwrap();
+        let b = p.select().unwrap();
+        assert_eq!(a, b);
+        // The plan is shared, not re-parsed.
+        let again = engine.prepare_parsed(Arc::clone(p.query()));
+        assert_eq!(again.select().unwrap(), a);
+        assert!(Arc::ptr_eq(p.query(), again.query()));
+    }
+
+    #[test]
+    fn per_request_options_on_cached_plan() {
+        let g = graph();
+        let engine = QueryEngine::new(&g);
+        let p = engine
+            .prepare("SELECT * WHERE { ?a ?b ?c . ?d ?e ?f . ?g ?h ?i }")
+            .unwrap();
+        let tight = EvalOptions::default().with_row_budget(5);
+        match p.select_with(&tight) {
+            Err(QueryError::Timeout(_)) => {}
+            other => panic!("expected timeout, got {other:?}"),
+        }
+        // The engine's own (unbounded) options still work.
+        assert!(p.select().is_ok());
+    }
+}

@@ -8,8 +8,16 @@
 //! only bind on Taverna traces and Q6 only answers on Wings traces —
 //! exactly the availability notes the paper attaches to those queries.
 
-use crate::execute_query;
+use crate::{QueryEngine, Solutions};
 use provbench_rdf::{DateTime, Graph, Iri, Term};
+
+/// Run one of the (statically well-formed) exemplar queries.
+fn select(graph: &Graph, text: &str) -> Solutions {
+    QueryEngine::new(graph)
+        .prepare(text)
+        .and_then(|p| p.select())
+        .expect("exemplar queries are well-formed")
+}
 
 /// Shared prefix header for the exemplar queries.
 pub const PREFIXES: &str = r#"
@@ -76,7 +84,7 @@ SELECT ?run ?start ?end WHERE {{
 
 /// Q1, typed.
 pub fn q1_runs(graph: &Graph) -> Vec<RunSummary> {
-    let solutions = execute_query(graph, &q1_sparql()).expect("Q1 is well-formed");
+    let solutions = select(graph, &q1_sparql());
     solutions
         .rows
         .iter()
@@ -136,14 +144,12 @@ SELECT (COUNT(DISTINCT ?run) AS ?failed) WHERE {{
 
 /// Q2, typed.
 pub fn q2_template_runs(graph: &Graph, template_name: &str) -> TemplateRuns {
-    let runs = execute_query(graph, &q2_runs_sparql(template_name))
-        .expect("Q2 is well-formed")
+    let runs = select(graph, &q2_runs_sparql(template_name))
         .rows
         .iter()
         .filter_map(|r| iri_of(r.get("run")?))
         .collect();
-    let failed = execute_query(graph, &q2_failed_sparql(template_name))
-        .expect("Q2 is well-formed")
+    let failed = select(graph, &q2_failed_sparql(template_name))
         .get(0, "failed")
         .and_then(|t| t.as_literal())
         .and_then(|l| l.as_integer())
@@ -210,7 +216,7 @@ pub fn q3_template_run_io(graph: &Graph, template_name: &str) -> Vec<RunIo> {
             },
         );
     }
-    let inputs = execute_query(graph, &q3_inputs_sparql(template_name)).expect("Q3 inputs");
+    let inputs = select(graph, &q3_inputs_sparql(template_name));
     for row in &inputs.rows {
         if let (Some(run), Some(input)) = (
             row.get("run").and_then(iri_of),
@@ -221,7 +227,7 @@ pub fn q3_template_run_io(graph: &Graph, template_name: &str) -> Vec<RunIo> {
             }
         }
     }
-    let outputs = execute_query(graph, &q3_outputs_sparql(template_name)).expect("Q3 outputs");
+    let outputs = select(graph, &q3_outputs_sparql(template_name));
     for row in &outputs.rows {
         if let (Some(run), Some(output)) = (
             row.get("run").and_then(iri_of),
@@ -271,7 +277,7 @@ SELECT DISTINCT ?p ?start ?end WHERE {{
 /// available in Taverna provenance logs), and what are the inputs they
 /// used and the outputs they generated?"
 pub fn q4_process_runs(graph: &Graph, run: &Iri) -> Vec<ProcessRunInfo> {
-    let base = execute_query(graph, &q4_sparql(run)).expect("Q4 is well-formed");
+    let base = select(graph, &q4_sparql(run));
     base.rows
         .iter()
         .filter_map(|row| {
@@ -282,7 +288,7 @@ SELECT ?in ?out WHERE {{
   {{ {process} prov:used ?in }} UNION {{ ?out prov:wasGeneratedBy {process} }}
 }} ORDER BY ?in ?out"
             );
-            let io = execute_query(graph, &io_q).expect("Q4 io is well-formed");
+            let io = select(graph, &io_q);
             let mut inputs = Vec::new();
             let mut outputs = Vec::new();
             for r in &io.rows {
@@ -325,8 +331,7 @@ SELECT DISTINCT ?agent ?name WHERE {{
 
 /// Q5, typed: the person agents behind a run, with names when recorded.
 pub fn q5_executor(graph: &Graph, run: &Iri) -> Vec<(Iri, Option<String>)> {
-    execute_query(graph, &q5_sparql(run))
-        .expect("Q5 is well-formed")
+    select(graph, &q5_sparql(run))
         .rows
         .iter()
         .filter_map(|row| {
@@ -357,8 +362,7 @@ SELECT DISTINCT ?service WHERE {{
 
 /// Q6, typed.
 pub fn q6_services(graph: &Graph, run: &Iri) -> Vec<Iri> {
-    execute_query(graph, &q6_sparql(run))
-        .expect("Q6 is well-formed")
+    select(graph, &q6_sparql(run))
         .rows
         .iter()
         .filter_map(|row| iri_of(row.get("service")?))

@@ -14,41 +14,54 @@
 //!
 //! ## Example
 //!
+//! The primary API is [`QueryEngine`]: bind it to a graph, prepare
+//! queries, run them.
+//!
 //! ```
-//! use provbench_query::execute_query;
-//! use provbench_rdf::{parse_turtle};
+//! use provbench_query::QueryEngine;
+//! use provbench_rdf::parse_turtle;
 //!
 //! let (graph, _) = parse_turtle(r#"
 //!   @prefix prov: <http://www.w3.org/ns/prov#> .
 //!   <http://e/r1> a prov:Activity .
 //!   <http://e/r2> a prov:Activity .
 //! "#).unwrap();
-//! let results = execute_query(&graph, r#"
+//! let engine = QueryEngine::new(&graph);
+//! let results = engine.prepare(r#"
 //!   PREFIX prov: <http://www.w3.org/ns/prov#>
 //!   SELECT ?r WHERE { ?r a prov:Activity } ORDER BY ?r
-//! "#).unwrap();
+//! "#).unwrap().select().unwrap();
 //! assert_eq!(results.len(), 2);
 //! ```
 
+pub mod engine;
 pub mod exemplar;
 pub mod sparql;
 
+pub use engine::{PreparedQuery, QueryEngine};
+#[allow(deprecated)]
 pub use sparql::eval::{
-    execute, execute_ask, execute_with_options, explain, Bindings, EvalOptions, QueryError,
-    Solutions,
+    execute, execute_ask, execute_with_options, explain, explain_on, Bindings, EvalOptions,
+    QueryError, Solutions,
 };
-pub use sparql::parser::parse_query;
+pub use sparql::parser::{parse_query, QueryParseError};
 
 use provbench_rdf::Graph;
 
 /// Parse and execute a SPARQL query over a graph.
+#[deprecated(
+    since = "0.2.0",
+    note = "use QueryEngine::new(graph).prepare(query)?.select()"
+)]
 pub fn execute_query(graph: &Graph, query: &str) -> Result<Solutions, QueryError> {
-    let q = parse_query(query).map_err(QueryError::Parse)?;
-    execute(graph, &q)
+    QueryEngine::new(graph).prepare(query)?.select()
 }
 
 /// Parse and execute an `ASK` query, returning its boolean answer.
+#[deprecated(
+    since = "0.2.0",
+    note = "use QueryEngine::new(graph).prepare(query)?.ask()"
+)]
 pub fn ask_query(graph: &Graph, query: &str) -> Result<bool, QueryError> {
-    let q = parse_query(query).map_err(QueryError::Parse)?;
-    execute_ask(graph, &q)
+    QueryEngine::new(graph).prepare(query)?.ask()
 }

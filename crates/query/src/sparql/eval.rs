@@ -1,10 +1,28 @@
 //! Evaluation of parsed queries over a [`Graph`].
+//!
+//! The evaluator works in two stages:
+//!
+//! 1. **Resolution** — the parsed AST is compiled against the target
+//!    graph: every variable gets a dense slot id, and every ground term
+//!    is looked up in the graph's interner once. A constant that the
+//!    graph has never interned can match nothing, which resolution
+//!    records directly.
+//! 2. **Id-space evaluation** — solution rows are compact slabs of
+//!    `u32` term ids (one slot per variable), joins run over the graph's
+//!    integer indexes, and terms are decoded only at projection time
+//!    (or inside `FILTER` expressions, which need lexical values).
+//!
+//! Basic graph patterns are reordered by estimated selectivity before
+//! evaluation (bound-term count first, then per-predicate cardinality
+//! from the graph's statistics); see [`explain_on`] for the chosen order
+//! and the estimates behind it.
 
 use super::ast::*;
 use super::parser::QueryParseError;
-use provbench_rdf::{Graph, Iri, Subject, Term, Triple};
-use std::collections::{BTreeMap, BTreeSet};
+use provbench_rdf::{Graph, Term, TermId};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
+use std::time::{Duration, Instant};
 
 /// One solution row: variable → bound term.
 pub type Bindings = BTreeMap<String, Term>;
@@ -42,6 +60,9 @@ pub enum QueryError {
     Parse(QueryParseError),
     /// The query was structurally invalid for evaluation.
     Eval(String),
+    /// Evaluation was aborted: the deadline passed or the row budget
+    /// (both set through [`EvalOptions`]) was exhausted.
+    Timeout(String),
 }
 
 impl fmt::Display for QueryError {
@@ -49,323 +70,566 @@ impl fmt::Display for QueryError {
         match self {
             QueryError::Parse(e) => write!(f, "parse error: {e}"),
             QueryError::Eval(m) => write!(f, "evaluation error: {m}"),
+            QueryError::Timeout(m) => write!(f, "evaluation aborted: {m}"),
         }
     }
 }
 
 impl std::error::Error for QueryError {}
 
-fn term_as_subject(term: &Term) -> Option<Subject> {
-    term.as_subject()
-}
-
-/// Substitute bindings into a pattern position.
-fn resolve_term(pos: &VarOrTerm, b: &Bindings) -> Option<Term> {
-    match pos {
-        VarOrTerm::Term(t) => Some(t.clone()),
-        VarOrTerm::Var(v) => b.get(v).cloned(),
-    }
-}
-
-fn resolve_iri(pos: &VarOrIri, b: &Bindings) -> Option<Option<Iri>> {
-    // Outer None = bound to a non-IRI (no match possible);
-    // inner None = unbound (wildcard).
-    match pos {
-        VarOrIri::Iri(i) => Some(Some(i.clone())),
-        VarOrIri::Var(v) => match b.get(v) {
-            None => Some(None),
-            Some(Term::Iri(i)) => Some(Some(i.clone())),
-            Some(_) => None,
-        },
-    }
-}
-
-/// Extend `b` by unifying a pattern position with a concrete term.
-fn unify(pos: &VarOrTerm, term: Term, b: &mut Bindings) -> bool {
-    match pos {
-        VarOrTerm::Term(t) => *t == term,
-        VarOrTerm::Var(v) => match b.get(v) {
-            Some(existing) => *existing == term,
-            None => {
-                b.insert(v.clone(), term);
-                true
-            }
-        },
-    }
-}
-
-fn unify_iri(pos: &VarOrIri, iri: Iri, b: &mut Bindings) -> bool {
-    match pos {
-        VarOrIri::Iri(i) => *i == iri,
-        VarOrIri::Var(v) => match b.get(v) {
-            Some(existing) => *existing == Term::Iri(iri),
-            None => {
-                b.insert(v.clone(), Term::Iri(iri));
-                true
-            }
-        },
-    }
-}
-
-fn join_triple_pattern(graph: &Graph, tp: &TriplePattern, input: Vec<Bindings>) -> Vec<Bindings> {
-    let mut out = Vec::new();
-    for b in input {
-        // Ground what we can.
-        let s_term = resolve_term(&tp.subject, &b);
-        let s_subj = match &s_term {
-            Some(t) => match term_as_subject(t) {
-                Some(s) => Some(s),
-                None => continue, // bound to a literal: no subject match
-            },
-            None => None,
-        };
-        let p_iri = match resolve_iri(&tp.predicate, &b) {
-            Some(p) => p,
-            None => continue,
-        };
-        let o_term = resolve_term(&tp.object, &b);
-        for t in graph.triples_matching(s_subj.as_ref(), p_iri.as_ref(), o_term.as_ref()) {
-            let mut nb = b.clone();
-            let Triple {
-                subject,
-                predicate,
-                object,
-            } = t;
-            if unify(&tp.subject, Term::from(subject), &mut nb)
-                && unify_iri(&tp.predicate, predicate, &mut nb)
-                && unify(&tp.object, object, &mut nb)
-            {
-                out.push(nb);
-            }
-        }
-    }
-    out
-}
-
 /// Evaluation options.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct EvalOptions {
-    /// Greedily reorder the triple patterns of each BGP so that the most
-    /// selective (most bound) pattern runs first and joins stay bound —
-    /// the classic join-ordering heuristic. On by default; turn off for
-    /// the planner ablation bench.
+    /// Reorder the triple patterns of each BGP by estimated selectivity
+    /// (most-bound first, per-predicate cardinality as tie-break) so
+    /// joins stay bound. On by default; turn off for the planner
+    /// ablation bench.
     pub reorder_patterns: bool,
+    /// Abort evaluation once this instant passes. Checked periodically
+    /// on the intermediate-row hot path.
+    pub deadline: Option<Instant>,
+    /// Abort evaluation after producing this many intermediate rows —
+    /// a deterministic cost bound independent of wall-clock speed.
+    pub row_budget: Option<u64>,
 }
 
 impl Default for EvalOptions {
     fn default() -> Self {
         EvalOptions {
             reorder_patterns: true,
+            deadline: None,
+            row_budget: None,
         }
     }
 }
 
-/// Selectivity score of a pattern given already-bound variables: bound
-/// positions (constants or join variables) score high; a constant
-/// predicate breaks ties (predicates are the most selective constants in
-/// PROV data).
-fn pattern_score(tp: &TriplePattern, bound: &BTreeSet<&str>) -> (usize, usize) {
-    let position = |is_const: bool, var: Option<&str>| {
-        if is_const || var.is_some_and(|v| bound.contains(v)) {
-            2usize
-        } else {
-            0
+impl EvalOptions {
+    /// Options with the selectivity planner disabled (patterns run in
+    /// written order).
+    pub fn lexical() -> Self {
+        EvalOptions {
+            reorder_patterns: false,
+            ..EvalOptions::default()
         }
-    };
-    let s = position(
-        matches!(tp.subject, VarOrTerm::Term(_)),
-        match &tp.subject {
-            VarOrTerm::Var(v) => Some(v),
-            VarOrTerm::Term(_) => None,
-        },
-    );
-    let p = position(
-        matches!(tp.predicate, VarOrIri::Iri(_)),
-        match &tp.predicate {
-            VarOrIri::Var(v) => Some(v),
-            VarOrIri::Iri(_) => None,
-        },
-    );
-    let o = position(
-        matches!(tp.object, VarOrTerm::Term(_)),
-        match &tp.object {
-            VarOrTerm::Var(v) => Some(v),
-            VarOrTerm::Term(_) => None,
-        },
-    );
-    (
-        s + p + o,
-        usize::from(matches!(tp.predicate, VarOrIri::Iri(_))),
-    )
+    }
+
+    /// Abort evaluation `timeout` from now.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.deadline = Some(Instant::now() + timeout);
+        self
+    }
+
+    /// Abort evaluation at the given instant.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Abort evaluation after `rows` intermediate rows.
+    pub fn with_row_budget(mut self, rows: u64) -> Self {
+        self.row_budget = Some(rows);
+        self
+    }
 }
 
-/// Greedy join ordering: repeatedly pick the highest-scoring remaining
-/// pattern, then treat its variables as bound.
-fn reorder_bgp(tps: &[TriplePattern]) -> Vec<&TriplePattern> {
-    let mut remaining: Vec<&TriplePattern> = tps.iter().collect();
-    let mut bound: BTreeSet<&str> = BTreeSet::new();
+// ------------------------------------------------------- resolution --
+
+/// Sentinel for an unbound slot in a compact binding row.
+const UNBOUND: u32 = u32::MAX;
+
+/// A compact solution row: one `u32` term id per variable slot.
+type IdRow = Vec<u32>;
+
+/// Dense variable numbering for one (query, graph) evaluation.
+#[derive(Default)]
+struct VarTable {
+    names: Vec<String>,
+    index: HashMap<String, usize>,
+}
+
+impl VarTable {
+    fn slot(&mut self, name: &str) -> usize {
+        if let Some(&i) = self.index.get(name) {
+            return i;
+        }
+        let i = self.names.len();
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), i);
+        i
+    }
+}
+
+/// A pattern position after resolution.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum RPos {
+    /// A variable slot.
+    Var(usize),
+    /// A ground term the graph knows.
+    Const(TermId),
+    /// A ground term the graph has never interned: matches nothing.
+    Missing,
+}
+
+#[derive(Clone, Debug)]
+struct RTriple {
+    s: RPos,
+    p: RPos,
+    o: RPos,
+}
+
+enum RPattern {
+    Basic(Vec<RTriple>),
+    Group(Vec<RPattern>),
+    Optional(Box<RPattern>),
+    Union(Box<RPattern>, Box<RPattern>),
+    Filter(RExpr),
+}
+
+/// [`Expression`] with variables resolved to slots.
+enum RExpr {
+    Var(usize),
+    Constant(Term),
+    Compare(CompareOp, Box<RExpr>, Box<RExpr>),
+    And(Box<RExpr>, Box<RExpr>),
+    Or(Box<RExpr>, Box<RExpr>),
+    Not(Box<RExpr>),
+    Bound(usize),
+    Contains(Box<RExpr>, Box<RExpr>),
+    StrStarts(Box<RExpr>, Box<RExpr>),
+    StrEnds(Box<RExpr>, Box<RExpr>),
+    Lang(Box<RExpr>),
+    Datatype(Box<RExpr>),
+    IsIri(Box<RExpr>),
+    IsLiteral(Box<RExpr>),
+    IsBlank(Box<RExpr>),
+    Regex(Box<RExpr>, String, bool),
+    Str(Box<RExpr>),
+}
+
+struct RAggregate {
+    function: AggregateFn,
+    var: Option<usize>,
+    alias: String,
+}
+
+/// The query compiled against one graph.
+struct Resolved {
+    vars: VarTable,
+    pattern: RPattern,
+    group_by: Vec<usize>,
+    aggregates: Vec<RAggregate>,
+}
+
+fn resolve_var_or_term(pos: &VarOrTerm, vars: &mut VarTable, graph: &Graph) -> RPos {
+    match pos {
+        VarOrTerm::Var(v) => RPos::Var(vars.slot(v)),
+        VarOrTerm::Term(t) => match graph.term_to_id(t) {
+            Some(id) => RPos::Const(id),
+            None => RPos::Missing,
+        },
+    }
+}
+
+fn resolve_var_or_iri(pos: &VarOrIri, vars: &mut VarTable, graph: &Graph) -> RPos {
+    match pos {
+        VarOrIri::Var(v) => RPos::Var(vars.slot(v)),
+        VarOrIri::Iri(i) => match graph.term_to_id(&Term::Iri(i.clone())) {
+            Some(id) => RPos::Const(id),
+            None => RPos::Missing,
+        },
+    }
+}
+
+fn resolve_expr(e: &Expression, vars: &mut VarTable) -> RExpr {
+    let go = |e: &Expression, vars: &mut VarTable| Box::new(resolve_expr(e, vars));
+    match e {
+        Expression::Var(v) => RExpr::Var(vars.slot(v)),
+        Expression::Constant(t) => RExpr::Constant(t.clone()),
+        Expression::Compare(op, l, r) => RExpr::Compare(*op, go(l, vars), go(r, vars)),
+        Expression::And(l, r) => RExpr::And(go(l, vars), go(r, vars)),
+        Expression::Or(l, r) => RExpr::Or(go(l, vars), go(r, vars)),
+        Expression::Not(i) => RExpr::Not(go(i, vars)),
+        Expression::Bound(v) => RExpr::Bound(vars.slot(v)),
+        Expression::Contains(h, n) => RExpr::Contains(go(h, vars), go(n, vars)),
+        Expression::StrStarts(h, n) => RExpr::StrStarts(go(h, vars), go(n, vars)),
+        Expression::StrEnds(h, n) => RExpr::StrEnds(go(h, vars), go(n, vars)),
+        Expression::Lang(i) => RExpr::Lang(go(i, vars)),
+        Expression::Datatype(i) => RExpr::Datatype(go(i, vars)),
+        Expression::IsIri(i) => RExpr::IsIri(go(i, vars)),
+        Expression::IsLiteral(i) => RExpr::IsLiteral(go(i, vars)),
+        Expression::IsBlank(i) => RExpr::IsBlank(go(i, vars)),
+        Expression::Regex(i, p, ci) => RExpr::Regex(go(i, vars), p.clone(), *ci),
+        Expression::Str(i) => RExpr::Str(go(i, vars)),
+    }
+}
+
+fn resolve_pattern(p: &GraphPattern, vars: &mut VarTable, graph: &Graph) -> RPattern {
+    match p {
+        GraphPattern::Basic(tps) => RPattern::Basic(
+            tps.iter()
+                .map(|tp| RTriple {
+                    s: resolve_var_or_term(&tp.subject, vars, graph),
+                    p: resolve_var_or_iri(&tp.predicate, vars, graph),
+                    o: resolve_var_or_term(&tp.object, vars, graph),
+                })
+                .collect(),
+        ),
+        GraphPattern::Group(elems) => RPattern::Group(
+            elems
+                .iter()
+                .map(|e| resolve_pattern(e, vars, graph))
+                .collect(),
+        ),
+        GraphPattern::Optional(inner) => {
+            RPattern::Optional(Box::new(resolve_pattern(inner, vars, graph)))
+        }
+        GraphPattern::Union(l, r) => RPattern::Union(
+            Box::new(resolve_pattern(l, vars, graph)),
+            Box::new(resolve_pattern(r, vars, graph)),
+        ),
+        GraphPattern::Filter(e) => RPattern::Filter(resolve_expr(e, vars)),
+    }
+}
+
+fn resolve(query: &Query, graph: &Graph) -> Result<Resolved, QueryError> {
+    let mut vars = VarTable::default();
+    let pattern = resolve_pattern(&query.pattern, &mut vars, graph);
+    // Slots for variables that only appear outside the pattern (they
+    // stay unbound, but grouping and aggregation still reference them).
+    let group_by: Vec<usize> = query.group_by.iter().map(|v| vars.slot(v)).collect();
+    let mut aggregates = Vec::new();
+    for p in &query.projections {
+        if let Projection::Aggregate {
+            function,
+            var,
+            alias,
+        } = p
+        {
+            let var = match (function, var) {
+                (AggregateFn::CountDistinct, None) => {
+                    return Err(QueryError::Eval("COUNT(DISTINCT *) unsupported".into()))
+                }
+                (AggregateFn::Min | AggregateFn::Max, None) => {
+                    return Err(QueryError::Eval(format!("{function:?} needs a variable")))
+                }
+                (_, v) => v.as_deref().map(|v| vars.slot(v)),
+            };
+            aggregates.push(RAggregate {
+                function: *function,
+                var,
+                alias: alias.clone(),
+            });
+        }
+    }
+    for k in &query.order_by {
+        vars.slot(&k.var);
+    }
+    Ok(Resolved {
+        vars,
+        pattern,
+        group_by,
+        aggregates,
+    })
+}
+
+// ----------------------------------------------------------- planner --
+
+/// Planner view of one triple pattern: which slots are variables (by an
+/// arbitrary dense key) and the cardinality estimate when unbound.
+struct PlanTp {
+    /// Variable key per position; `None` = ground.
+    vars: [Option<usize>; 3],
+    /// Estimated matches with nothing bound (predicate cardinality when
+    /// the predicate is ground, graph size otherwise).
+    card: u64,
+    /// A ground term is absent from the graph: matches nothing.
+    missing: bool,
+}
+
+/// Greedy join ordering: repeatedly pick the most selective remaining
+/// pattern — most bound positions first (ground terms and already-bound
+/// variables), smallest cardinality estimate as tie-break — then treat
+/// its variables as bound. Returns `(original index, estimate)` pairs in
+/// execution order.
+fn plan_bgp(tps: &[PlanTp]) -> Vec<(usize, u64)> {
+    let mut remaining: Vec<usize> = (0..tps.len()).collect();
+    let mut bound: BTreeSet<usize> = BTreeSet::new();
     let mut out = Vec::with_capacity(tps.len());
     while !remaining.is_empty() {
-        let (best, _) = remaining
+        let mut best = 0usize;
+        let mut best_key = (0usize, 0i64);
+        for (i, &idx) in remaining.iter().enumerate() {
+            let tp = &tps[idx];
+            let bound_count = tp
+                .vars
+                .iter()
+                .filter(|v| match v {
+                    None => true,
+                    Some(v) => bound.contains(v),
+                })
+                .count();
+            let est = estimate(tp, bound_count);
+            // Highest bound count, then lowest estimate; first wins ties.
+            let key = (bound_count, -(est as i64));
+            if i == 0 || key > best_key {
+                best = i;
+                best_key = key;
+            }
+        }
+        let idx = remaining.remove(best);
+        let tp = &tps[idx];
+        let bound_count = tp
+            .vars
             .iter()
-            .enumerate()
-            .max_by_key(|(_, tp)| pattern_score(tp, &bound))
-            .expect("remaining is non-empty");
-        let tp = remaining.remove(best);
-        if let VarOrTerm::Var(v) = &tp.subject {
-            bound.insert(v);
+            .filter(|v| match v {
+                None => true,
+                Some(v) => bound.contains(v),
+            })
+            .count();
+        let est = estimate(tp, bound_count);
+        for v in tp.vars.iter().flatten() {
+            bound.insert(*v);
         }
-        if let VarOrIri::Var(v) = &tp.predicate {
-            bound.insert(v);
-        }
-        if let VarOrTerm::Var(v) = &tp.object {
-            bound.insert(v);
-        }
-        out.push(tp);
+        out.push((idx, est));
     }
     out
 }
 
-fn render_position_s(p: &VarOrTerm) -> String {
-    match p {
-        VarOrTerm::Var(v) => format!("?{v}"),
-        VarOrTerm::Term(t) => t.to_string(),
+/// Cardinality estimate for a pattern given how many of its positions
+/// are bound at this point of the plan.
+fn estimate(tp: &PlanTp, bound_count: usize) -> u64 {
+    if tp.missing {
+        return 0;
     }
+    if bound_count == 3 {
+        return 1;
+    }
+    // A bound join variable narrows the scan; halve per bound position
+    // so estimates stay comparable between plans without pretending to
+    // more precision than one-dimensional statistics give us.
+    tp.card >> bound_count.min(2)
 }
 
-fn render_position_p(p: &VarOrIri) -> String {
-    match p {
-        VarOrIri::Var(v) => format!("?{v}"),
-        VarOrIri::Iri(i) => i.to_string(),
-    }
-}
-
-/// Explain the evaluation plan of a query as indented text: the pattern
-/// tree with BGPs shown in planner-chosen join order.
-pub fn explain(query: &Query, opts: &EvalOptions) -> String {
-    fn walk(p: &GraphPattern, depth: usize, opts: &EvalOptions, out: &mut String) {
-        let pad = "  ".repeat(depth);
-        match p {
-            GraphPattern::Basic(tps) => {
-                let ordered: Vec<&TriplePattern> = if opts.reorder_patterns {
-                    reorder_bgp(tps)
-                } else {
-                    tps.iter().collect()
-                };
-                out.push_str(&format!("{pad}BGP ({} patterns)\n", ordered.len()));
-                for tp in ordered {
-                    out.push_str(&format!(
-                        "{pad}  {} {} {}\n",
-                        render_position_s(&tp.subject),
-                        render_position_p(&tp.predicate),
-                        render_position_s(&tp.object),
-                    ));
-                }
-            }
-            GraphPattern::Group(elems) => {
-                out.push_str(&format!("{pad}Join\n"));
-                for e in elems {
-                    walk(e, depth + 1, opts, out);
-                }
-            }
-            GraphPattern::Optional(inner) => {
-                out.push_str(&format!("{pad}LeftJoin (OPTIONAL)\n"));
-                walk(inner, depth + 1, opts, out);
-            }
-            GraphPattern::Union(l, r) => {
-                out.push_str(&format!("{pad}Union\n"));
-                walk(l, depth + 1, opts, out);
-                walk(r, depth + 1, opts, out);
-            }
-            GraphPattern::Filter(_) => {
-                out.push_str(&format!("{pad}Filter\n"));
-            }
-        }
-    }
-    let mut out = String::new();
-    let form = match query.form {
-        QueryForm::Select => "SELECT",
-        QueryForm::Ask => "ASK",
+fn plan_tp_of_resolved(tp: &RTriple, graph: &Graph) -> PlanTp {
+    let var_of = |p: &RPos| match p {
+        RPos::Var(v) => Some(*v),
+        _ => None,
     };
-    out.push_str(&format!(
-        "{form} plan (planner {}):\n",
-        if opts.reorder_patterns { "on" } else { "off" }
-    ));
-    walk(&query.pattern, 1, opts, &mut out);
-    if !query.group_by.is_empty() {
-        out.push_str(&format!("  GroupBy {:?}\n", query.group_by));
+    let missing = [tp.s, tp.p, tp.o]
+        .iter()
+        .any(|p| matches!(p, RPos::Missing));
+    let card = match tp.p {
+        RPos::Const(pid) => graph.predicate_cardinality(pid) as u64,
+        RPos::Missing => 0,
+        RPos::Var(_) => graph.len() as u64,
+    };
+    PlanTp {
+        vars: [var_of(&tp.s), var_of(&tp.p), var_of(&tp.o)],
+        card,
+        missing,
     }
-    if !query.order_by.is_empty() {
-        out.push_str(&format!(
-            "  OrderBy {:?}\n",
-            query.order_by.iter().map(|k| &k.var).collect::<Vec<_>>()
-        ));
+}
+
+/// Planner view of an AST pattern, used by [`explain`]/[`explain_on`].
+/// With a graph the estimates are real statistics; without one, ground
+/// predicates are simply assumed more selective than variable ones.
+fn plan_tp_of_ast(tp: &TriplePattern, graph: Option<&Graph>, names: &mut VarTable) -> PlanTp {
+    let mut vars = [None, None, None];
+    if let VarOrTerm::Var(v) = &tp.subject {
+        vars[0] = Some(names.slot(v));
     }
-    if let Some(l) = query.limit {
-        out.push_str(&format!("  Limit {l}\n"));
+    if let VarOrIri::Var(v) = &tp.predicate {
+        vars[1] = Some(names.slot(v));
     }
-    out
+    if let VarOrTerm::Var(v) = &tp.object {
+        vars[2] = Some(names.slot(v));
+    }
+    let (card, missing) = match (&tp.predicate, graph) {
+        (VarOrIri::Iri(i), Some(g)) => match g.term_to_id(&Term::Iri(i.clone())) {
+            Some(pid) => (g.predicate_cardinality(pid) as u64, false),
+            None => (0, true),
+        },
+        (VarOrIri::Var(_), Some(g)) => (g.len() as u64, false),
+        (VarOrIri::Iri(_), None) => (1, false),
+        (VarOrIri::Var(_), None) => (u64::MAX >> 2, false),
+    };
+    PlanTp {
+        vars,
+        card,
+        missing,
+    }
+}
+
+// -------------------------------------------------------- evaluation --
+
+/// Per-evaluation cost accounting: every intermediate row produced is
+/// charged against the row budget, and the deadline is polled every
+/// `DEADLINE_STRIDE` rows so `Instant::now` stays off the hot path.
+struct EvalState {
+    produced: u64,
+    deadline: Option<Instant>,
+    row_budget: Option<u64>,
+}
+
+const DEADLINE_STRIDE: u64 = 1024;
+
+impl EvalState {
+    fn new(opts: &EvalOptions) -> Self {
+        EvalState {
+            produced: 0,
+            deadline: opts.deadline,
+            row_budget: opts.row_budget,
+        }
+    }
+
+    #[inline]
+    fn charge(&mut self) -> Result<(), QueryError> {
+        self.produced += 1;
+        if let Some(budget) = self.row_budget {
+            if self.produced > budget {
+                return Err(QueryError::Timeout(format!(
+                    "row budget of {budget} intermediate rows exhausted"
+                )));
+            }
+        }
+        if self.produced.is_multiple_of(DEADLINE_STRIDE) {
+            if let Some(deadline) = self.deadline {
+                if Instant::now() > deadline {
+                    return Err(QueryError::Timeout("deadline exceeded".into()));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+struct EvalCtx<'g> {
+    graph: &'g Graph,
+    reorder: bool,
+}
+
+/// Bind a scanned id into a row slot, or check consistency when the
+/// pattern repeats a variable.
+#[inline]
+fn bind_slot(row: &mut IdRow, pos: &RPos, id: TermId) -> bool {
+    match pos {
+        RPos::Var(v) => {
+            let raw = id.to_u32();
+            if row[*v] == UNBOUND {
+                row[*v] = raw;
+                true
+            } else {
+                row[*v] == raw
+            }
+        }
+        // Ground positions were matched by the index scan itself.
+        RPos::Const(_) | RPos::Missing => true,
+    }
+}
+
+fn join_triple(
+    ctx: &EvalCtx<'_>,
+    state: &mut EvalState,
+    tp: &RTriple,
+    input: Vec<IdRow>,
+) -> Result<Vec<IdRow>, QueryError> {
+    let mut out = Vec::new();
+    for row in input {
+        let resolve = |pos: &RPos| -> Option<Option<TermId>> {
+            // Outer None = can't match; inner None = wildcard scan.
+            match pos {
+                RPos::Const(id) => Some(Some(*id)),
+                RPos::Missing => None,
+                RPos::Var(v) => Some(if row[*v] == UNBOUND {
+                    None
+                } else {
+                    Some(TermId::from_u32(row[*v]))
+                }),
+            }
+        };
+        let (Some(s), Some(p), Some(o)) = (resolve(&tp.s), resolve(&tp.p), resolve(&tp.o)) else {
+            continue;
+        };
+        for (sid, pid, oid) in ctx.graph.ids_matching(s, p, o) {
+            let mut nb = row.clone();
+            if bind_slot(&mut nb, &tp.s, sid)
+                && bind_slot(&mut nb, &tp.p, pid)
+                && bind_slot(&mut nb, &tp.o, oid)
+            {
+                state.charge()?;
+                out.push(nb);
+            }
+        }
+    }
+    Ok(out)
 }
 
 fn eval_pattern(
-    graph: &Graph,
-    pattern: &GraphPattern,
-    input: Vec<Bindings>,
-    opts: &EvalOptions,
-) -> Vec<Bindings> {
+    ctx: &EvalCtx<'_>,
+    state: &mut EvalState,
+    pattern: &RPattern,
+    input: Vec<IdRow>,
+) -> Result<Vec<IdRow>, QueryError> {
     match pattern {
-        GraphPattern::Basic(tps) => {
-            let ordered: Vec<&TriplePattern> = if opts.reorder_patterns {
-                reorder_bgp(tps)
+        RPattern::Basic(tps) => {
+            let order: Vec<usize> = if ctx.reorder {
+                let plan_tps: Vec<PlanTp> = tps
+                    .iter()
+                    .map(|tp| plan_tp_of_resolved(tp, ctx.graph))
+                    .collect();
+                plan_bgp(&plan_tps).into_iter().map(|(i, _)| i).collect()
             } else {
-                tps.iter().collect()
+                (0..tps.len()).collect()
             };
             let mut current = input;
-            for tp in ordered {
-                current = join_triple_pattern(graph, tp, current);
+            for idx in order {
+                current = join_triple(ctx, state, &tps[idx], current)?;
                 if current.is_empty() {
                     break;
                 }
             }
-            current
+            Ok(current)
         }
-        GraphPattern::Group(elems) => {
+        RPattern::Group(elems) => {
             let mut current = input;
             for e in elems {
-                current = eval_pattern(graph, e, current, opts);
-                if current.is_empty() && !matches!(e, GraphPattern::Optional(_)) {
+                current = eval_pattern(ctx, state, e, current)?;
+                if current.is_empty() && !matches!(e, RPattern::Optional(_)) {
                     break;
                 }
             }
-            current
+            Ok(current)
         }
-        GraphPattern::Optional(inner) => {
+        RPattern::Optional(inner) => {
             let mut out = Vec::new();
-            for b in input {
-                let extended = eval_pattern(graph, inner, vec![b.clone()], opts);
+            for row in input {
+                let extended = eval_pattern(ctx, state, inner, vec![row.clone()])?;
                 if extended.is_empty() {
-                    out.push(b);
+                    state.charge()?;
+                    out.push(row);
                 } else {
                     out.extend(extended);
                 }
             }
-            out
+            Ok(out)
         }
-        GraphPattern::Union(left, right) => {
-            let mut out = eval_pattern(graph, left, input.clone(), opts);
-            out.extend(eval_pattern(graph, right, input, opts));
-            out
+        RPattern::Union(left, right) => {
+            let mut out = eval_pattern(ctx, state, left, input.clone())?;
+            out.extend(eval_pattern(ctx, state, right, input)?);
+            Ok(out)
         }
-        GraphPattern::Filter(expr) => input
+        RPattern::Filter(expr) => Ok(input
             .into_iter()
-            .filter(|b| {
-                eval_expr(expr, b)
+            .filter(|row| {
+                eval_expr(expr, row, ctx.graph)
                     .and_then(|v| effective_boolean(&v))
                     .unwrap_or(false)
             })
-            .collect(),
+            .collect()),
     }
 }
+
+// ------------------------------------------------------- expressions --
 
 /// A computed expression value.
 #[derive(Clone, Debug, PartialEq)]
@@ -374,39 +638,47 @@ enum Value {
     Bool(bool),
 }
 
-fn eval_expr(expr: &Expression, b: &Bindings) -> Option<Value> {
+fn slot_term<'g>(row: &IdRow, slot: usize, graph: &'g Graph) -> Option<&'g Term> {
+    if row[slot] == UNBOUND {
+        None
+    } else {
+        Some(graph.id_to_term(TermId::from_u32(row[slot])))
+    }
+}
+
+fn eval_expr(expr: &RExpr, row: &IdRow, graph: &Graph) -> Option<Value> {
     match expr {
-        Expression::Var(v) => b.get(v).cloned().map(Value::Term),
-        Expression::Constant(t) => Some(Value::Term(t.clone())),
-        Expression::Bound(v) => Some(Value::Bool(b.contains_key(v))),
-        Expression::Not(inner) => {
-            let v = eval_expr(inner, b)?;
+        RExpr::Var(slot) => slot_term(row, *slot, graph).cloned().map(Value::Term),
+        RExpr::Constant(t) => Some(Value::Term(t.clone())),
+        RExpr::Bound(slot) => Some(Value::Bool(row[*slot] != UNBOUND)),
+        RExpr::Not(inner) => {
+            let v = eval_expr(inner, row, graph)?;
             Some(Value::Bool(!effective_boolean(&v)?))
         }
-        Expression::And(l, r) => {
-            let lv = eval_expr(l, b).and_then(|v| effective_boolean(&v));
-            let rv = eval_expr(r, b).and_then(|v| effective_boolean(&v));
+        RExpr::And(l, r) => {
+            let lv = eval_expr(l, row, graph).and_then(|v| effective_boolean(&v));
+            let rv = eval_expr(r, row, graph).and_then(|v| effective_boolean(&v));
             match (lv, rv) {
                 (Some(false), _) | (_, Some(false)) => Some(Value::Bool(false)),
                 (Some(true), Some(true)) => Some(Value::Bool(true)),
                 _ => None,
             }
         }
-        Expression::Or(l, r) => {
-            let lv = eval_expr(l, b).and_then(|v| effective_boolean(&v));
-            let rv = eval_expr(r, b).and_then(|v| effective_boolean(&v));
+        RExpr::Or(l, r) => {
+            let lv = eval_expr(l, row, graph).and_then(|v| effective_boolean(&v));
+            let rv = eval_expr(r, row, graph).and_then(|v| effective_boolean(&v));
             match (lv, rv) {
                 (Some(true), _) | (_, Some(true)) => Some(Value::Bool(true)),
                 (Some(false), Some(false)) => Some(Value::Bool(false)),
                 _ => None,
             }
         }
-        Expression::Compare(op, l, r) => {
-            let lt = match eval_expr(l, b)? {
+        RExpr::Compare(op, l, r) => {
+            let lt = match eval_expr(l, row, graph)? {
                 Value::Term(t) => t,
                 Value::Bool(x) => Term::Literal(provbench_rdf::Literal::boolean(x)),
             };
-            let rt = match eval_expr(r, b)? {
+            let rt = match eval_expr(r, row, graph)? {
                 Value::Term(t) => t,
                 Value::Bool(x) => Term::Literal(provbench_rdf::Literal::boolean(x)),
             };
@@ -425,8 +697,8 @@ fn eval_expr(expr: &Expression, b: &Bindings) -> Option<Value> {
                 }
             }
         }
-        Expression::Str(inner) => {
-            let v = eval_expr(inner, b)?;
+        RExpr::Str(inner) => {
+            let v = eval_expr(inner, row, graph)?;
             let s = match v {
                 Value::Term(Term::Iri(i)) => i.as_str().to_owned(),
                 Value::Term(Term::Literal(l)) => l.lexical().to_owned(),
@@ -437,43 +709,43 @@ fn eval_expr(expr: &Expression, b: &Bindings) -> Option<Value> {
                 s,
             ))))
         }
-        Expression::Contains(h, n) | Expression::StrStarts(h, n) | Expression::StrEnds(h, n) => {
-            let hay = string_of(eval_expr(h, b)?)?;
-            let needle = string_of(eval_expr(n, b)?)?;
+        RExpr::Contains(h, n) | RExpr::StrStarts(h, n) | RExpr::StrEnds(h, n) => {
+            let hay = string_of(eval_expr(h, row, graph)?)?;
+            let needle = string_of(eval_expr(n, row, graph)?)?;
             Some(Value::Bool(match expr {
-                Expression::Contains(..) => hay.contains(&needle),
-                Expression::StrStarts(..) => hay.starts_with(&needle),
+                RExpr::Contains(..) => hay.contains(&needle),
+                RExpr::StrStarts(..) => hay.starts_with(&needle),
                 _ => hay.ends_with(&needle),
             }))
         }
-        Expression::Lang(inner) => {
-            let Value::Term(Term::Literal(l)) = eval_expr(inner, b)? else {
+        RExpr::Lang(inner) => {
+            let Value::Term(Term::Literal(l)) = eval_expr(inner, row, graph)? else {
                 return None;
             };
             Some(Value::Term(Term::Literal(provbench_rdf::Literal::simple(
                 l.language().unwrap_or(""),
             ))))
         }
-        Expression::Datatype(inner) => {
-            let Value::Term(Term::Literal(l)) = eval_expr(inner, b)? else {
+        RExpr::Datatype(inner) => {
+            let Value::Term(Term::Literal(l)) = eval_expr(inner, row, graph)? else {
                 return None;
             };
             Some(Value::Term(Term::Iri(l.datatype())))
         }
-        Expression::IsIri(inner) => {
-            let v = eval_expr(inner, b)?;
+        RExpr::IsIri(inner) => {
+            let v = eval_expr(inner, row, graph)?;
             Some(Value::Bool(matches!(v, Value::Term(Term::Iri(_)))))
         }
-        Expression::IsLiteral(inner) => {
-            let v = eval_expr(inner, b)?;
+        RExpr::IsLiteral(inner) => {
+            let v = eval_expr(inner, row, graph)?;
             Some(Value::Bool(matches!(v, Value::Term(Term::Literal(_)))))
         }
-        Expression::IsBlank(inner) => {
-            let v = eval_expr(inner, b)?;
+        RExpr::IsBlank(inner) => {
+            let v = eval_expr(inner, row, graph)?;
             Some(Value::Bool(matches!(v, Value::Term(Term::Blank(_)))))
         }
-        Expression::Regex(inner, pattern, ci) => {
-            let Value::Term(t) = eval_expr(inner, b)? else {
+        RExpr::Regex(inner, pattern, ci) => {
+            let Value::Term(t) = eval_expr(inner, row, graph)? else {
                 return None;
             };
             let text = match &t {
@@ -575,61 +847,66 @@ fn kind_rank(t: &Term) -> u8 {
     }
 }
 
-fn apply_aggregates(query: &Query, rows: Vec<Bindings>) -> Result<Vec<Bindings>, QueryError> {
-    // Group rows by the GROUP BY key.
-    let mut groups: BTreeMap<Vec<Option<Term>>, Vec<Bindings>> = BTreeMap::new();
+// --------------------------------------------------------- aggregates --
+
+fn apply_aggregates(
+    res: &Resolved,
+    query: &Query,
+    rows: Vec<IdRow>,
+    graph: &Graph,
+) -> Result<Vec<Bindings>, QueryError> {
+    // Group rows by the GROUP BY key, still in id-space.
+    let mut groups: BTreeMap<Vec<u32>, Vec<IdRow>> = BTreeMap::new();
     for row in rows {
-        let key: Vec<Option<Term>> = query.group_by.iter().map(|v| row.get(v).cloned()).collect();
+        let key: Vec<u32> = res.group_by.iter().map(|&slot| row[slot]).collect();
         groups.entry(key).or_default().push(row);
     }
     // With no GROUP BY but aggregates present, everything is one group —
     // but zero input rows still produce one row of zero counts.
-    if groups.is_empty() && query.group_by.is_empty() {
+    if groups.is_empty() && res.group_by.is_empty() {
         groups.insert(Vec::new(), Vec::new());
     }
 
-    let mut out = Vec::new();
+    // Decode the group keys and emit output in term order (matching the
+    // pre-interning evaluator, which grouped on decoded terms).
+    let mut keyed: Vec<(Vec<Option<Term>>, Bindings)> = Vec::with_capacity(groups.len());
     for (key, members) in groups {
-        let mut row = Bindings::new();
-        for (var, term) in query.group_by.iter().zip(key) {
+        let decoded_key: Vec<Option<Term>> = key
+            .iter()
+            .map(|&raw| (raw != UNBOUND).then(|| graph.id_to_term(TermId::from_u32(raw)).clone()))
+            .collect();
+        let mut out_row = Bindings::new();
+        for (&slot, term) in res.group_by.iter().zip(&decoded_key) {
             if let Some(t) = term {
-                row.insert(var.clone(), t);
+                out_row.insert(res.vars.names[slot].clone(), t.clone());
             }
         }
-        for p in &query.projections {
-            let Projection::Aggregate {
-                function,
-                var,
-                alias,
-            } = p
-            else {
-                continue;
-            };
-            let value = match (function, var) {
+        for agg in &res.aggregates {
+            let value = match (agg.function, agg.var) {
                 (AggregateFn::Count, None) => {
                     Term::Literal(provbench_rdf::Literal::integer(members.len() as i64))
                 }
-                (AggregateFn::Count, Some(v)) => Term::Literal(provbench_rdf::Literal::integer(
-                    members.iter().filter(|m| m.contains_key(v)).count() as i64,
+                (AggregateFn::Count, Some(slot)) => Term::Literal(provbench_rdf::Literal::integer(
+                    members.iter().filter(|m| m[slot] != UNBOUND).count() as i64,
                 )),
-                (AggregateFn::CountDistinct, Some(v)) => {
-                    let distinct: BTreeSet<&Term> =
-                        members.iter().filter_map(|m| m.get(v)).collect();
+                (AggregateFn::CountDistinct, Some(slot)) => {
+                    let distinct: BTreeSet<u32> = members
+                        .iter()
+                        .map(|m| m[slot])
+                        .filter(|&raw| raw != UNBOUND)
+                        .collect();
                     Term::Literal(provbench_rdf::Literal::integer(distinct.len() as i64))
                 }
-                (AggregateFn::CountDistinct, None) => {
-                    return Err(QueryError::Eval("COUNT(DISTINCT *) unsupported".into()))
-                }
-                (AggregateFn::Min | AggregateFn::Max, Some(v)) => {
-                    let mut best: Option<Term> = None;
+                (AggregateFn::Min | AggregateFn::Max, Some(slot)) => {
+                    let mut best: Option<&Term> = None;
                     for m in &members {
-                        if let Some(t) = m.get(v) {
-                            let better = match &best {
+                        if let Some(t) = slot_term(m, slot, graph) {
+                            let better = match best {
                                 None => true,
                                 Some(cur) => {
                                     let ord =
                                         compare_terms(t, cur).unwrap_or(std::cmp::Ordering::Equal);
-                                    if *function == AggregateFn::Min {
+                                    if agg.function == AggregateFn::Min {
                                         ord.is_lt()
                                     } else {
                                         ord.is_gt()
@@ -637,60 +914,240 @@ fn apply_aggregates(query: &Query, rows: Vec<Bindings>) -> Result<Vec<Bindings>,
                                 }
                             };
                             if better {
-                                best = Some(t.clone());
+                                best = Some(t);
                             }
                         }
                     }
                     match best {
-                        Some(t) => t,
+                        Some(t) => t.clone(),
                         None => continue, // no values: leave alias unbound
                     }
                 }
+                // Unreachable: resolution already rejected these shapes.
                 (f, None) => return Err(QueryError::Eval(format!("{f:?} needs a variable"))),
             };
-            row.insert(alias.clone(), value);
+            out_row.insert(agg.alias.clone(), value);
         }
-        out.push(row);
+        keyed.push((decoded_key, out_row));
     }
-    Ok(out)
+    keyed.sort_by(|(a, _), (b, _)| a.cmp(b));
+    let _ = query;
+    Ok(keyed.into_iter().map(|(_, row)| row).collect())
 }
 
-/// Execute a parsed query over a graph with default options.
-pub fn execute(graph: &Graph, query: &Query) -> Result<Solutions, QueryError> {
-    execute_with_options(graph, query, &EvalOptions::default())
+// ------------------------------------------------------------ explain --
+
+fn render_position_s(p: &VarOrTerm) -> String {
+    match p {
+        VarOrTerm::Var(v) => format!("?{v}"),
+        VarOrTerm::Term(t) => t.to_string(),
+    }
 }
 
-/// Execute a parsed query over a graph with explicit options.
-pub fn execute_with_options(
+fn render_position_p(p: &VarOrIri) -> String {
+    match p {
+        VarOrIri::Var(v) => format!("?{v}"),
+        VarOrIri::Iri(i) => i.to_string(),
+    }
+}
+
+/// Explain the evaluation plan of a query as indented text: the pattern
+/// tree with BGPs shown in planner-chosen join order. Without a graph
+/// the planner falls back to structural selectivity (ground predicates
+/// beat variable ones); prefer [`explain_on`] — or
+/// [`PreparedQuery::explain`](crate::PreparedQuery::explain) — which
+/// annotates every pattern with its cardinality estimate from the
+/// target graph's statistics.
+pub fn explain(query: &Query, opts: &EvalOptions) -> String {
+    explain_impl(None, query, opts)
+}
+
+/// Explain the evaluation plan of a query against a concrete graph:
+/// BGPs in planner-chosen join order, each pattern annotated with the
+/// planner's cardinality estimate.
+pub fn explain_on(graph: &Graph, query: &Query, opts: &EvalOptions) -> String {
+    explain_impl(Some(graph), query, opts)
+}
+
+fn explain_impl(graph: Option<&Graph>, query: &Query, opts: &EvalOptions) -> String {
+    fn walk(
+        p: &GraphPattern,
+        depth: usize,
+        graph: Option<&Graph>,
+        opts: &EvalOptions,
+        out: &mut String,
+    ) {
+        let pad = "  ".repeat(depth);
+        match p {
+            GraphPattern::Basic(tps) => {
+                let mut names = VarTable::default();
+                let plan_tps: Vec<PlanTp> = tps
+                    .iter()
+                    .map(|tp| plan_tp_of_ast(tp, graph, &mut names))
+                    .collect();
+                let order: Vec<(usize, u64)> = if opts.reorder_patterns {
+                    plan_bgp(&plan_tps)
+                } else {
+                    plan_tps
+                        .iter()
+                        .enumerate()
+                        .map(|(i, tp)| (i, estimate(tp, 0)))
+                        .collect()
+                };
+                out.push_str(&format!("{pad}BGP ({} patterns)\n", tps.len()));
+                for (idx, est) in order {
+                    let tp = &tps[idx];
+                    out.push_str(&format!(
+                        "{pad}  {} {} {}",
+                        render_position_s(&tp.subject),
+                        render_position_p(&tp.predicate),
+                        render_position_s(&tp.object),
+                    ));
+                    if graph.is_some() {
+                        out.push_str(&format!("  (est ~{est} rows)"));
+                    }
+                    out.push('\n');
+                }
+            }
+            GraphPattern::Group(elems) => {
+                out.push_str(&format!("{pad}Join\n"));
+                for e in elems {
+                    walk(e, depth + 1, graph, opts, out);
+                }
+            }
+            GraphPattern::Optional(inner) => {
+                out.push_str(&format!("{pad}LeftJoin (OPTIONAL)\n"));
+                walk(inner, depth + 1, graph, opts, out);
+            }
+            GraphPattern::Union(l, r) => {
+                out.push_str(&format!("{pad}Union\n"));
+                walk(l, depth + 1, graph, opts, out);
+                walk(r, depth + 1, graph, opts, out);
+            }
+            GraphPattern::Filter(_) => {
+                out.push_str(&format!("{pad}Filter\n"));
+            }
+        }
+    }
+    let mut out = String::new();
+    let form = match query.form {
+        QueryForm::Select => "SELECT",
+        QueryForm::Ask => "ASK",
+    };
+    out.push_str(&format!(
+        "{form} plan (planner {}):\n",
+        if opts.reorder_patterns { "on" } else { "off" }
+    ));
+    walk(&query.pattern, 1, graph, opts, &mut out);
+    if !query.group_by.is_empty() {
+        out.push_str(&format!("  GroupBy {:?}\n", query.group_by));
+    }
+    if !query.order_by.is_empty() {
+        out.push_str(&format!(
+            "  OrderBy {:?}\n",
+            query.order_by.iter().map(|k| &k.var).collect::<Vec<_>>()
+        ));
+    }
+    if let Some(l) = query.limit {
+        out.push_str(&format!("  Limit {l}\n"));
+    }
+    out
+}
+
+// ---------------------------------------------------------- execution --
+
+/// Execute a parsed query over a graph: the engine core every public
+/// entry point funnels into.
+pub(crate) fn run(
     graph: &Graph,
     query: &Query,
     opts: &EvalOptions,
 ) -> Result<Solutions, QueryError> {
-    let mut rows = eval_pattern(graph, &query.pattern, vec![Bindings::new()], opts);
-
-    if query.has_aggregates() || !query.group_by.is_empty() {
-        rows = apply_aggregates(query, rows)?;
-    }
-
-    // Projection.
-    let variables: Vec<String> = if query.projections.is_empty() {
-        let mut vars: BTreeSet<String> = BTreeSet::new();
-        for r in &rows {
-            vars.extend(r.keys().cloned());
-        }
-        vars.into_iter().collect()
-    } else {
-        query
-            .projections
-            .iter()
-            .map(|p| match p {
-                Projection::Var(v) => v.clone(),
-                Projection::Aggregate { alias, .. } => alias.clone(),
-            })
-            .collect()
+    let res = resolve(query, graph)?;
+    let ctx = EvalCtx {
+        graph,
+        reorder: opts.reorder_patterns,
     };
-    for row in &mut rows {
-        row.retain(|k, _| variables.contains(k));
+    let mut state = EvalState::new(opts);
+    let nvars = res.vars.names.len();
+    let id_rows = eval_pattern(&ctx, &mut state, &res.pattern, vec![vec![UNBOUND; nvars]])?;
+
+    let mut rows: Vec<Bindings>;
+    let variables: Vec<String>;
+    if query.has_aggregates() || !query.group_by.is_empty() {
+        rows = apply_aggregates(&res, query, id_rows, graph)?;
+        variables = if query.projections.is_empty() {
+            let mut vars: BTreeSet<String> = BTreeSet::new();
+            for r in &rows {
+                vars.extend(r.keys().cloned());
+            }
+            vars.into_iter().collect()
+        } else {
+            query
+                .projections
+                .iter()
+                .map(|p| match p {
+                    Projection::Var(v) => v.clone(),
+                    Projection::Aggregate { alias, .. } => alias.clone(),
+                })
+                .collect()
+        };
+        for row in &mut rows {
+            row.retain(|k, _| variables.contains(k));
+        }
+    } else {
+        // Projection: decode only the projected slots.
+        variables = if query.projections.is_empty() {
+            // SELECT *: every variable bound in at least one row, sorted.
+            let mut bound = vec![false; nvars];
+            for r in &id_rows {
+                for (slot, &raw) in r.iter().enumerate() {
+                    if raw != UNBOUND {
+                        bound[slot] = true;
+                    }
+                }
+            }
+            let mut names: Vec<String> = res
+                .vars
+                .names
+                .iter()
+                .enumerate()
+                .filter(|(slot, _)| bound[*slot])
+                .map(|(_, n)| n.clone())
+                .collect();
+            names.sort();
+            names
+        } else {
+            query
+                .projections
+                .iter()
+                .map(|p| match p {
+                    Projection::Var(v) => v.clone(),
+                    Projection::Aggregate { alias, .. } => alias.clone(),
+                })
+                .collect()
+        };
+        let keep: Vec<(usize, &str)> = variables
+            .iter()
+            .filter_map(|name| {
+                res.vars
+                    .index
+                    .get(name.as_str())
+                    .map(|&slot| (slot, name.as_str()))
+            })
+            .collect();
+        rows = id_rows
+            .iter()
+            .map(|r| {
+                let mut b = Bindings::new();
+                for &(slot, name) in &keep {
+                    if let Some(t) = slot_term(r, slot, graph) {
+                        b.insert(name.to_owned(), t.clone());
+                    }
+                }
+                b
+            })
+            .collect();
     }
 
     if query.distinct {
@@ -739,9 +1196,31 @@ pub fn execute_with_options(
     Ok(Solutions { variables, rows })
 }
 
+/// Execute a parsed query over a graph with default options.
+pub fn execute(graph: &Graph, query: &Query) -> Result<Solutions, QueryError> {
+    run(graph, query, &EvalOptions::default())
+}
+
+/// Execute a parsed query over a graph with explicit options.
+#[deprecated(
+    since = "0.2.0",
+    note = "use QueryEngine::with_options(graph, opts).prepare_parsed(query).select()"
+)]
+pub fn execute_with_options(
+    graph: &Graph,
+    query: &Query,
+    opts: &EvalOptions,
+) -> Result<Solutions, QueryError> {
+    run(graph, query, opts)
+}
+
 /// Execute an `ASK` (or any) query as a boolean: true iff any solution.
+#[deprecated(
+    since = "0.2.0",
+    note = "use QueryEngine::new(graph).prepare_parsed(query).ask()"
+)]
 pub fn execute_ask(graph: &Graph, query: &Query) -> Result<bool, QueryError> {
-    Ok(!execute(graph, query)?.is_empty())
+    Ok(!run(graph, query, &EvalOptions::default())?.is_empty())
 }
 
 #[cfg(test)]
@@ -766,21 +1245,21 @@ mod tests {
         g
     }
 
-    fn run(q: &str) -> Solutions {
+    fn run_q(q: &str) -> Solutions {
         let query = parse_query(q).unwrap();
         execute(&graph(), &query).unwrap()
     }
 
     #[test]
     fn basic_bgp() {
-        let s = run("PREFIX e: <http://e/> SELECT ?r WHERE { ?r a e:Run }");
+        let s = run_q("PREFIX e: <http://e/> SELECT ?r WHERE { ?r a e:Run }");
         assert_eq!(s.len(), 3);
         assert_eq!(s.variables, vec!["r"]);
     }
 
     #[test]
     fn join_across_patterns() {
-        let s = run(
+        let s = run_q(
             "PREFIX e: <http://e/> SELECT ?r ?who WHERE { ?r a e:Run . ?r e:by ?who . ?r e:of e:t1 }",
         );
         assert_eq!(s.len(), 2);
@@ -788,7 +1267,7 @@ mod tests {
 
     #[test]
     fn optional_keeps_unmatched() {
-        let s = run(
+        let s = run_q(
             "PREFIX e: <http://e/> SELECT ?r ?start WHERE { ?r a e:Run OPTIONAL { ?r e:start ?start } } ORDER BY ?r",
         );
         assert_eq!(s.len(), 3);
@@ -798,7 +1277,7 @@ mod tests {
 
     #[test]
     fn union_combines() {
-        let s = run(
+        let s = run_q(
             "PREFIX e: <http://e/> SELECT ?x WHERE { { ?x a e:Run } UNION { ?x a e:Template } }",
         );
         assert_eq!(s.len(), 4);
@@ -806,9 +1285,9 @@ mod tests {
 
     #[test]
     fn filter_comparisons() {
-        let s = run("PREFIX e: <http://e/> SELECT ?r WHERE { ?r e:size ?s FILTER (?s > 4) }");
+        let s = run_q("PREFIX e: <http://e/> SELECT ?r WHERE { ?r e:size ?s FILTER (?s > 4) }");
         assert_eq!(s.len(), 2);
-        let s = run(
+        let s = run_q(
             "PREFIX e: <http://e/> SELECT ?r WHERE { ?r e:size ?s FILTER (?s >= 2 && ?s != 9) }",
         );
         assert_eq!(s.len(), 2);
@@ -816,7 +1295,7 @@ mod tests {
 
     #[test]
     fn filter_on_datetime() {
-        let s = run(
+        let s = run_q(
             r#"PREFIX e: <http://e/> PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>
                SELECT ?r WHERE { ?r e:start ?t FILTER (?t < "2013-01-15T00:00:00Z"^^xsd:dateTime) }"#,
         );
@@ -825,7 +1304,7 @@ mod tests {
 
     #[test]
     fn filter_bound_and_not() {
-        let s = run(
+        let s = run_q(
             "PREFIX e: <http://e/> SELECT ?r WHERE { ?r a e:Run OPTIONAL { ?r e:start ?t } FILTER (!BOUND(?t)) }",
         );
         assert_eq!(s.len(), 1);
@@ -833,12 +1312,12 @@ mod tests {
 
     #[test]
     fn regex_and_str_filters() {
-        let s = run(
+        let s = run_q(
             r#"PREFIX e: <http://e/> SELECT ?r WHERE { ?r a e:Run FILTER REGEX(STR(?r), "r[0-9]") }"#,
         );
         // Our regex subset is literal: "r[0-9]" matches nothing.
         assert_eq!(s.len(), 0);
-        let s = run(
+        let s = run_q(
             r#"PREFIX e: <http://e/> SELECT ?r WHERE { ?r a e:Run FILTER REGEX(STR(?r), "^http://e/r") }"#,
         );
         assert_eq!(s.len(), 3);
@@ -846,20 +1325,20 @@ mod tests {
 
     #[test]
     fn order_limit_offset() {
-        let s = run(
+        let s = run_q(
             "PREFIX e: <http://e/> SELECT ?r ?s WHERE { ?r e:size ?s } ORDER BY DESC(?s) LIMIT 2",
         );
         assert_eq!(s.len(), 2);
         assert_eq!(s.get(0, "s").unwrap(), &Term::Literal(Literal::integer(9)));
         let s2 =
-            run("PREFIX e: <http://e/> SELECT ?r ?s WHERE { ?r e:size ?s } ORDER BY ?s OFFSET 1");
+            run_q("PREFIX e: <http://e/> SELECT ?r ?s WHERE { ?r e:size ?s } ORDER BY ?s OFFSET 1");
         assert_eq!(s2.len(), 2);
         assert_eq!(s2.get(0, "s").unwrap(), &Term::Literal(Literal::integer(5)));
     }
 
     #[test]
     fn group_by_count() {
-        let s = run(
+        let s = run_q(
             "PREFIX e: <http://e/> SELECT ?who (COUNT(?r) AS ?n) WHERE { ?r e:by ?who } GROUP BY ?who ORDER BY ?who",
         );
         assert_eq!(s.len(), 2);
@@ -870,14 +1349,14 @@ mod tests {
 
     #[test]
     fn count_star_on_empty_is_zero() {
-        let s = run("PREFIX e: <http://e/> SELECT (COUNT(*) AS ?n) WHERE { ?r a e:Nothing }");
+        let s = run_q("PREFIX e: <http://e/> SELECT (COUNT(*) AS ?n) WHERE { ?r a e:Nothing }");
         assert_eq!(s.len(), 1);
         assert_eq!(s.get(0, "n").unwrap(), &Term::Literal(Literal::integer(0)));
     }
 
     #[test]
     fn min_max_aggregates() {
-        let s = run(
+        let s = run_q(
             "PREFIX e: <http://e/> SELECT (MIN(?s) AS ?lo) (MAX(?s) AS ?hi) WHERE { ?r e:size ?s }",
         );
         assert_eq!(s.get(0, "lo").unwrap(), &Term::Literal(Literal::integer(2)));
@@ -886,28 +1365,39 @@ mod tests {
 
     #[test]
     fn distinct_dedups() {
-        let s = run("PREFIX e: <http://e/> SELECT DISTINCT ?who WHERE { ?r e:by ?who }");
+        let s = run_q("PREFIX e: <http://e/> SELECT DISTINCT ?who WHERE { ?r e:by ?who }");
         assert_eq!(s.len(), 2);
     }
 
     #[test]
     fn repeated_variable_join_consistency() {
         // ?x e:of ?x never matches (no self loops).
-        let s = run("PREFIX e: <http://e/> SELECT ?x WHERE { ?x e:of ?x }");
+        let s = run_q("PREFIX e: <http://e/> SELECT ?x WHERE { ?x e:of ?x }");
         assert!(s.is_empty());
     }
 
     #[test]
     fn select_star_projects_all_vars() {
-        let s = run("PREFIX e: <http://e/> SELECT * WHERE { ?r e:by ?who }");
+        let s = run_q("PREFIX e: <http://e/> SELECT * WHERE { ?r e:by ?who }");
         assert_eq!(s.variables, vec!["r", "who"]);
         assert_eq!(s.len(), 3);
     }
 
     #[test]
     fn ground_triple_check() {
-        let s = run("PREFIX e: <http://e/> SELECT (COUNT(*) AS ?n) WHERE { e:r1 e:by e:alice }");
+        let s = run_q("PREFIX e: <http://e/> SELECT (COUNT(*) AS ?n) WHERE { e:r1 e:by e:alice }");
         assert_eq!(s.get(0, "n").unwrap(), &Term::Literal(Literal::integer(1)));
+    }
+
+    #[test]
+    fn unknown_constant_matches_nothing() {
+        // e:r9 was never interned by this graph: resolution marks the
+        // position Missing and the BGP yields no rows (instead of
+        // panicking or scanning).
+        let s = run_q("PREFIX e: <http://e/> SELECT ?p WHERE { e:r9 ?p ?o }");
+        assert!(s.is_empty());
+        let s = run_q("PREFIX e: <http://e/> SELECT ?r WHERE { ?r a e:Run . ?r e:nope ?o }");
+        assert!(s.is_empty());
     }
 
     #[test]
@@ -916,12 +1406,7 @@ mod tests {
             "PREFIX e: <http://e/> SELECT ?r WHERE { ?x ?p ?o . ?r a e:Run } ORDER BY ?r LIMIT 2",
         )
         .unwrap();
-        let on = explain(
-            &q,
-            &EvalOptions {
-                reorder_patterns: true,
-            },
-        );
+        let on = explain(&q, &EvalOptions::default());
         // The typed pattern must come first under the planner.
         let typed_pos = on.find("?r <http").unwrap();
         let wildcard_pos = on.find("?x ?p ?o").unwrap();
@@ -929,12 +1414,7 @@ mod tests {
         assert!(on.contains("planner on"));
         assert!(on.contains("OrderBy"));
         assert!(on.contains("Limit 2"));
-        let off = explain(
-            &q,
-            &EvalOptions {
-                reorder_patterns: false,
-            },
-        );
+        let off = explain(&q, &EvalOptions::lexical());
         let typed_pos = off.find("?r <http").unwrap();
         let wildcard_pos = off.find("?x ?p ?o").unwrap();
         assert!(wildcard_pos < typed_pos, "{off}");
@@ -950,16 +1430,37 @@ mod tests {
     }
 
     #[test]
+    fn explain_on_shows_estimates() {
+        let g = graph();
+        let q = parse_query(
+            "PREFIX e: <http://e/> SELECT ?r ?who WHERE { ?x ?p ?o . ?r e:by ?who . ?r a e:Run }",
+        )
+        .unwrap();
+        let plan = explain_on(&g, &q, &EvalOptions::default());
+        assert!(plan.contains("est ~"), "{plan}");
+        // `a` has 4 triples, `e:by` has 3: the planner starts with one of
+        // the ground-predicate patterns, never the wildcard.
+        let first_line = plan.lines().nth(2).unwrap();
+        assert!(!first_line.contains("?x ?p ?o"), "{plan}");
+        // The wildcard pattern is estimated at the graph size while
+        // unjoined patterns with ground predicates use their statistics.
+        assert!(
+            plan.contains("(est ~3 rows)") || plan.contains("(est ~1 rows)"),
+            "{plan}"
+        );
+    }
+
+    #[test]
     fn ask_queries() {
         let g = graph();
         let q = parse_query("PREFIX e: <http://e/> ASK { ?r a e:Run }").unwrap();
         assert_eq!(q.form, QueryForm::Ask);
-        assert!(execute_ask(&g, &q).unwrap());
+        assert!(!execute(&g, &q).unwrap().is_empty());
         let s = execute(&g, &q).unwrap();
         assert_eq!(s.len(), 1);
         assert!(s.variables.is_empty());
         let q = parse_query("PREFIX e: <http://e/> ASK { ?r a e:Nothing }").unwrap();
-        assert!(!execute_ask(&g, &q).unwrap());
+        assert!(execute(&g, &q).unwrap().is_empty());
         // WHERE keyword also allowed.
         assert!(parse_query("ASK WHERE { ?s ?p ?o }").is_ok());
         // No modifiers after ASK.
@@ -968,7 +1469,7 @@ mod tests {
 
     #[test]
     fn string_builtins() {
-        let n = |q: &str| run(q).len();
+        let n = |q: &str| run_q(q).len();
         assert_eq!(
             n("PREFIX e: <http://e/> SELECT ?r WHERE { ?r a e:Run FILTER CONTAINS(STR(?r), \"r2\") }"),
             1
@@ -985,25 +1486,24 @@ mod tests {
 
     #[test]
     fn term_introspection_builtins() {
-        let g = graph();
-        let _ = &g;
         // isIRI/isLiteral partition objects.
-        let iris = run("PREFIX e: <http://e/> SELECT ?o WHERE { ?s e:by ?o FILTER ISIRI(?o) }");
+        let iris = run_q("PREFIX e: <http://e/> SELECT ?o WHERE { ?s e:by ?o FILTER ISIRI(?o) }");
         assert_eq!(iris.len(), 3);
         let lits =
-            run("PREFIX e: <http://e/> SELECT ?o WHERE { ?s e:size ?o FILTER ISLITERAL(?o) }");
+            run_q("PREFIX e: <http://e/> SELECT ?o WHERE { ?s e:size ?o FILTER ISLITERAL(?o) }");
         assert_eq!(lits.len(), 3);
-        let blanks = run("SELECT ?o WHERE { ?s ?p ?o FILTER ISBLANK(?o) }");
+        let blanks = run_q("SELECT ?o WHERE { ?s ?p ?o FILTER ISBLANK(?o) }");
         assert!(blanks.is_empty());
         // DATATYPE of the sizes is xsd:integer.
-        let typed = run(
+        let typed = run_q(
             "PREFIX e: <http://e/> PREFIX xsd: <http://www.w3.org/2001/XMLSchema#> \
              SELECT ?o WHERE { ?s e:size ?o FILTER (DATATYPE(?o) = xsd:integer) }",
         );
         assert_eq!(typed.len(), 3);
         // LANG of a plain literal is "".
-        let lang =
-            run("PREFIX e: <http://e/> SELECT ?s WHERE { ?s e:size ?o FILTER (LANG(?o) = \"\") }");
+        let lang = run_q(
+            "PREFIX e: <http://e/> SELECT ?s WHERE { ?s e:size ?o FILTER (LANG(?o) = \"\") }",
+        );
         assert_eq!(lang.len(), 3);
     }
 
@@ -1014,22 +1514,8 @@ mod tests {
             "PREFIX e: <http://e/> SELECT ?r ?who WHERE { ?r ?p ?x . ?r e:by ?who . ?r a e:Run }",
         )
         .unwrap();
-        let with = execute_with_options(
-            &graph(),
-            &q,
-            &EvalOptions {
-                reorder_patterns: true,
-            },
-        )
-        .unwrap();
-        let without = execute_with_options(
-            &graph(),
-            &q,
-            &EvalOptions {
-                reorder_patterns: false,
-            },
-        )
-        .unwrap();
+        let with = run(&graph(), &q, &EvalOptions::default()).unwrap();
+        let without = run(&graph(), &q, &EvalOptions::lexical()).unwrap();
         let norm = |s: &Solutions| {
             let mut v: Vec<String> = s.rows.iter().map(|r| format!("{r:?}")).collect();
             v.sort();
@@ -1040,21 +1526,57 @@ mod tests {
 
     #[test]
     fn planner_prefers_bound_patterns() {
-        use super::super::ast::{TriplePattern, VarOrIri, VarOrTerm};
-        let wildcard = TriplePattern {
-            subject: VarOrTerm::Var("s".into()),
-            predicate: VarOrIri::Var("p".into()),
-            object: VarOrTerm::Var("o".into()),
-        };
-        let typed = TriplePattern {
-            subject: VarOrTerm::Var("s".into()),
-            predicate: VarOrIri::Iri(iri_of("http://e/q")),
-            object: VarOrTerm::Term(Term::Iri(iri_of("http://e/T"))),
-        };
-        let patterns = [wildcard.clone(), typed.clone()];
-        let ordered = reorder_bgp(&patterns);
-        assert_eq!(ordered[0], &typed);
-        assert_eq!(ordered[1], &wildcard);
+        // wildcard (card = |G|) vs ground predicate and object.
+        let g = graph();
+        let type_id = g
+            .term_to_id(&Term::Iri(iri_of(
+                "http://www.w3.org/1999/02/22-rdf-syntax-ns#type",
+            )))
+            .unwrap();
+        let tps = vec![
+            PlanTp {
+                vars: [Some(0), Some(1), Some(2)],
+                card: g.len() as u64,
+                missing: false,
+            },
+            PlanTp {
+                vars: [Some(0), None, None],
+                card: g.predicate_cardinality(type_id) as u64,
+                missing: false,
+            },
+        ];
+        let order = plan_bgp(&tps);
+        assert_eq!(order[0].0, 1, "ground pattern first: {order:?}");
+        assert_eq!(order[1].0, 0);
+        // Once ?s is bound by the first pattern, the wildcard's estimate
+        // shrinks below its unbound cardinality.
+        assert!(order[1].1 < g.len() as u64);
+    }
+
+    #[test]
+    fn row_budget_aborts_cross_join() {
+        let g = graph();
+        let q = parse_query("SELECT * WHERE { ?a ?b ?c . ?d ?e ?f . ?g ?h ?i }").unwrap();
+        let opts = EvalOptions::default().with_row_budget(100);
+        match run(&g, &q, &opts) {
+            Err(QueryError::Timeout(m)) => assert!(m.contains("row budget"), "{m}"),
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+        // A generous budget lets the same query finish.
+        let opts = EvalOptions::default().with_row_budget(10_000_000);
+        assert!(run(&g, &q, &opts).is_ok());
+    }
+
+    #[test]
+    fn past_deadline_aborts() {
+        let g = graph();
+        let q = parse_query("SELECT * WHERE { ?a ?b ?c . ?d ?e ?f . ?g ?h ?i }").unwrap();
+        // A deadline in the past trips at the first stride check.
+        let opts = EvalOptions::default().with_deadline(Instant::now() - Duration::from_secs(1));
+        match run(&g, &q, &opts) {
+            Err(QueryError::Timeout(m)) => assert!(m.contains("deadline"), "{m}"),
+            other => panic!("expected Timeout, got {other:?}"),
+        }
     }
 
     fn iri_of(s: &str) -> provbench_rdf::Iri {
@@ -1063,8 +1585,9 @@ mod tests {
 
     #[test]
     fn count_distinct() {
-        let s =
-            run("PREFIX e: <http://e/> SELECT (COUNT(DISTINCT ?who) AS ?n) WHERE { ?r e:by ?who }");
+        let s = run_q(
+            "PREFIX e: <http://e/> SELECT (COUNT(DISTINCT ?who) AS ?n) WHERE { ?r e:by ?who }",
+        );
         assert_eq!(s.get(0, "n").unwrap(), &Term::Literal(Literal::integer(2)));
     }
 }

@@ -55,6 +55,10 @@ pub(crate) struct SpannedTok {
     pub tok: Tok,
     pub line: usize,
     pub column: usize,
+    /// Line of the first position past the token.
+    pub end_line: usize,
+    /// Column of the first position past the token.
+    pub end_column: usize,
 }
 
 const KEYWORDS: &[&str] = &[
@@ -104,10 +108,13 @@ pub(crate) fn tokenize(input: &str) -> Result<Vec<SpannedTok>, LexError> {
 
     macro_rules! push {
         ($tok:expr, $l:expr, $c:expr) => {
+            // `line`/`col` have already advanced past the token here.
             out.push(SpannedTok {
                 tok: $tok,
                 line: $l,
                 column: $c,
+                end_line: line,
+                end_column: col,
             })
         };
     }
@@ -365,6 +372,8 @@ pub(crate) fn tokenize(input: &str) -> Result<Vec<SpannedTok>, LexError> {
         tok: Tok::Eof,
         line,
         column: col,
+        end_line: line,
+        end_column: col,
     });
     Ok(out)
 }

@@ -5,15 +5,33 @@ use super::lexer::{tokenize, LexError, SpannedTok, Tok};
 use provbench_rdf::{Iri, Literal, PrefixMap, Term};
 use std::fmt;
 
-/// A parse error with position.
+/// A parse error with a source span, shaped like `rdf::ParseError` and
+/// consumable as a `diag`-style [`Span`](provbench_rdf::Span).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QueryParseError {
-    /// 1-based line.
+    /// 1-based line of the offending token.
     pub line: usize,
-    /// 1-based column.
+    /// 1-based column of the offending token.
     pub column: usize,
+    /// 1-based line of the first position past the offending token.
+    pub end_line: usize,
+    /// 1-based column of the first position past the offending token.
+    pub end_column: usize,
     /// Description.
     pub message: String,
+}
+
+impl QueryParseError {
+    /// The error location as an [`rdf::Span`](provbench_rdf::Span), for
+    /// diagnostics rendering.
+    pub fn span(&self) -> provbench_rdf::Span {
+        provbench_rdf::Span {
+            line: self.line,
+            column: self.column,
+            end_line: self.end_line,
+            end_column: self.end_column,
+        }
+    }
 }
 
 impl fmt::Display for QueryParseError {
@@ -29,6 +47,8 @@ impl From<LexError> for QueryParseError {
         QueryParseError {
             line: e.line,
             column: e.column,
+            end_line: e.line,
+            end_column: e.column,
             message: e.message,
         }
     }
@@ -55,13 +75,20 @@ impl Parser {
         t
     }
 
-    fn err<T>(&self, message: impl Into<String>) -> PResult<T> {
+    /// An error spanning the current token.
+    fn err_here(&self, message: impl Into<String>) -> QueryParseError {
         let t = &self.toks[self.pos];
-        Err(QueryParseError {
+        QueryParseError {
             line: t.line,
             column: t.column,
+            end_line: t.end_line,
+            end_column: t.end_column,
             message: message.into(),
-        })
+        }
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> PResult<T> {
+        Err(self.err_here(message))
     }
 
     fn expect(&mut self, tok: &Tok, what: &str) -> PResult<()> {
@@ -92,19 +119,10 @@ impl Parser {
 
     fn expand(&self, prefix: &str, local: &str) -> PResult<Iri> {
         match self.prefixes.get(prefix) {
-            Some(ns) => Iri::new(format!("{ns}{local}")).map_err(|_| QueryParseError {
-                line: self.toks[self.pos].line,
-                column: self.toks[self.pos].column,
-                message: format!("CURIE {prefix}:{local} expands to an invalid IRI"),
+            Some(ns) => Iri::new(format!("{ns}{local}")).map_err(|_| {
+                self.err_here(format!("CURIE {prefix}:{local} expands to an invalid IRI"))
             }),
-            None => {
-                let t = &self.toks[self.pos];
-                Err(QueryParseError {
-                    line: t.line,
-                    column: t.column,
-                    message: format!("unbound prefix {prefix:?}"),
-                })
-            }
+            None => Err(self.err_here(format!("unbound prefix {prefix:?}"))),
         }
     }
 
@@ -435,14 +453,7 @@ impl Parser {
     }
 
     fn iri_from(&self, raw: &str) -> PResult<Iri> {
-        Iri::new(raw).map_err(|_| {
-            let t = &self.toks[self.pos];
-            QueryParseError {
-                line: t.line,
-                column: t.column,
-                message: format!("invalid IRI <{raw}>"),
-            }
-        })
+        Iri::new(raw).map_err(|_| self.err_here(format!("invalid IRI <{raw}>")))
     }
 
     fn parse_var_or_iri(&mut self) -> PResult<VarOrIri> {
@@ -756,6 +767,28 @@ mod tests {
         assert!(parse_query("SELECT ?x WHERE { ?x nope:y ?z }").is_err());
         assert!(parse_query("SELECT ?x WHERE { ?x ?p ?o } trailing").is_err());
         assert!(parse_query("SELECT ?x WHERE { ?x ?p ?o } LIMIT ?x").is_err());
+    }
+
+    #[test]
+    fn errors_carry_token_spans() {
+        // The parser anchors errors at the current token: after
+        // consuming `nope:y` that is the `}` on line 2, columns 21..22.
+        let e = parse_query("SELECT ?x\nWHERE { ?x a nope:y }").unwrap_err();
+        assert_eq!((e.line, e.column), (2, 21));
+        assert_eq!((e.end_line, e.end_column), (2, 22));
+        let span = e.span();
+        assert_eq!((span.line, span.column), (2, 21));
+        assert_eq!((span.end_line, span.end_column), (2, 22));
+        assert_eq!(e.to_string(), "2:21: unbound prefix \"nope\"");
+        // A multi-character offending token spans its full width.
+        let e = parse_query("SELECT ?x WHERE { ?x ?p ?o } LIMIT 3 nope:x").unwrap_err();
+        assert!(e.message.contains("unexpected trailing"), "{e}");
+        assert_eq!((e.line, e.column), (1, 38));
+        assert_eq!((e.end_line, e.end_column), (1, 44));
+        // Lexer errors degrade to point spans.
+        let e = parse_query("SELECT @").unwrap_err();
+        assert_eq!((e.line, e.column), (1, 8));
+        assert_eq!((e.end_line, e.end_column), (1, 8));
     }
 
     #[test]

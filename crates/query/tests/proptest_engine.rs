@@ -4,9 +4,14 @@
 //! DISTINCT/LIMIT sanity.
 
 use proptest::prelude::*;
-use provbench_query::{execute_query, Solutions};
+use provbench_query::{QueryEngine, Solutions};
 use provbench_rdf::{Graph, Iri, Literal, Triple};
 use std::collections::BTreeSet;
+
+/// Prepare and run a (statically well-formed) query against a graph.
+fn run(g: &Graph, text: &str) -> Result<Solutions, provbench_query::QueryError> {
+    QueryEngine::new(g).prepare(text)?.select()
+}
 
 /// Small random graphs over a closed vocabulary so patterns actually join.
 fn arb_graph() -> impl Strategy<Value = Graph> {
@@ -41,21 +46,21 @@ proptest! {
 
     #[test]
     fn bgp_pattern_order_is_irrelevant(g in arb_graph()) {
-        let a = execute_query(&g, "SELECT ?x ?y ?z WHERE { ?x <http://t/p0> ?y . ?x <http://t/p1> ?z }").unwrap();
-        let b = execute_query(&g, "SELECT ?x ?y ?z WHERE { ?x <http://t/p1> ?z . ?x <http://t/p0> ?y }").unwrap();
+        let a = run(&g, "SELECT ?x ?y ?z WHERE { ?x <http://t/p0> ?y . ?x <http://t/p1> ?z }").unwrap();
+        let b = run(&g, "SELECT ?x ?y ?z WHERE { ?x <http://t/p1> ?z . ?x <http://t/p0> ?y }").unwrap();
         prop_assert_eq!(rows(&a), rows(&b));
     }
 
     #[test]
     fn wildcard_bgp_counts_triples(g in arb_graph()) {
-        let s = execute_query(&g, "SELECT ?s ?p ?o WHERE { ?s ?p ?o }").unwrap();
+        let s = run(&g, "SELECT ?s ?p ?o WHERE { ?s ?p ?o }").unwrap();
         prop_assert_eq!(s.len(), g.len());
     }
 
     #[test]
     fn optional_preserves_left_cardinality_lower_bound(g in arb_graph()) {
-        let base = execute_query(&g, "SELECT ?x WHERE { ?x <http://t/p0> ?y }").unwrap();
-        let opt = execute_query(
+        let base = run(&g, "SELECT ?x WHERE { ?x <http://t/p0> ?y }").unwrap();
+        let opt = run(
             &g,
             "SELECT ?x WHERE { ?x <http://t/p0> ?y OPTIONAL { ?x <http://t/p2> ?z } }",
         )
@@ -71,9 +76,9 @@ proptest! {
 
     #[test]
     fn union_is_row_concatenation(g in arb_graph()) {
-        let left = execute_query(&g, "SELECT ?x WHERE { ?x <http://t/p0> ?y }").unwrap();
-        let right = execute_query(&g, "SELECT ?x WHERE { ?x <http://t/p1> ?y }").unwrap();
-        let both = execute_query(
+        let left = run(&g, "SELECT ?x WHERE { ?x <http://t/p0> ?y }").unwrap();
+        let right = run(&g, "SELECT ?x WHERE { ?x <http://t/p1> ?y }").unwrap();
+        let both = run(
             &g,
             "SELECT ?x WHERE { { ?x <http://t/p0> ?y } UNION { ?x <http://t/p1> ?y } }",
         )
@@ -83,20 +88,20 @@ proptest! {
 
     #[test]
     fn filter_is_a_subset_and_true_is_identity(g in arb_graph()) {
-        let all = execute_query(&g, "SELECT ?s ?o WHERE { ?s <http://t/p0> ?o }").unwrap();
-        let trues = execute_query(
+        let all = run(&g, "SELECT ?s ?o WHERE { ?s <http://t/p0> ?o }").unwrap();
+        let trues = run(
             &g,
             "SELECT ?s ?o WHERE { ?s <http://t/p0> ?o FILTER (1 = 1) }",
         )
         .unwrap();
         prop_assert_eq!(rows(&all), rows(&trues));
-        let some = execute_query(
+        let some = run(
             &g,
             "SELECT ?s ?o WHERE { ?s <http://t/p0> ?o FILTER (?o >= 5) }",
         )
         .unwrap();
         prop_assert!(rows(&some).is_subset(&rows(&all)));
-        let none = execute_query(
+        let none = run(
             &g,
             "SELECT ?s ?o WHERE { ?s <http://t/p0> ?o FILTER (1 = 2) }",
         )
@@ -106,11 +111,11 @@ proptest! {
 
     #[test]
     fn distinct_and_limit_sanity(g in arb_graph(), limit in 0usize..10) {
-        let distinct = execute_query(&g, "SELECT DISTINCT ?s WHERE { ?s ?p ?o }").unwrap();
+        let distinct = run(&g, "SELECT DISTINCT ?s WHERE { ?s ?p ?o }").unwrap();
         let subjects: BTreeSet<_> = g.subjects().into_iter().collect();
         prop_assert_eq!(distinct.len(), subjects.len());
 
-        let limited = execute_query(
+        let limited = run(
             &g,
             &format!("SELECT ?s WHERE {{ ?s ?p ?o }} LIMIT {limit}"),
         )
@@ -120,9 +125,9 @@ proptest! {
 
     #[test]
     fn count_matches_row_count(g in arb_graph()) {
-        let rows_q = execute_query(&g, "SELECT ?s WHERE { ?s <http://t/p0> ?o }").unwrap();
+        let rows_q = run(&g, "SELECT ?s WHERE { ?s <http://t/p0> ?o }").unwrap();
         let count_q =
-            execute_query(&g, "SELECT (COUNT(*) AS ?n) WHERE { ?s <http://t/p0> ?o }").unwrap();
+            run(&g, "SELECT (COUNT(*) AS ?n) WHERE { ?s <http://t/p0> ?o }").unwrap();
         let n = count_q
             .get(0, "n")
             .and_then(|t| t.as_literal())
@@ -133,7 +138,7 @@ proptest! {
 
     #[test]
     fn order_by_sorts(g in arb_graph()) {
-        let s = execute_query(
+        let s = run(
             &g,
             "SELECT ?o WHERE { ?s <http://t/p0> ?o FILTER (?o >= 0) } ORDER BY ?o",
         )
@@ -148,8 +153,8 @@ proptest! {
 
     #[test]
     fn group_by_partitions_rows(g in arb_graph()) {
-        let total = execute_query(&g, "SELECT ?s WHERE { ?s ?p ?o }").unwrap();
-        let grouped = execute_query(
+        let total = run(&g, "SELECT ?s WHERE { ?s ?p ?o }").unwrap();
+        let grouped = run(
             &g,
             "SELECT ?s (COUNT(*) AS ?n) WHERE { ?s ?p ?o } GROUP BY ?s",
         )

@@ -4,15 +4,16 @@
 //! B-tree indexes (SPO, POS, OSP) so that every triple-pattern shape maps
 //! to a contiguous range scan over integers.
 
-use crate::interner::{Interner, TermId};
+use crate::interner::Interner;
+pub use crate::interner::TermId;
 use crate::term::{Iri, Subject, Term};
 use crate::triple::Triple;
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 
 type Key = (TermId, TermId, TermId);
 
-const MIN: TermId = TermId(0);
-const MAX: TermId = TermId(u32::MAX);
+const MIN: TermId = TermId::from_u32(0);
+const MAX: TermId = TermId::from_u32(u32::MAX);
 
 /// An in-memory set of triples with SPO/POS/OSP indexes.
 #[derive(Default, Clone, Debug)]
@@ -21,6 +22,9 @@ pub struct Graph {
     spo: BTreeSet<Key>,
     pos: BTreeSet<Key>,
     osp: BTreeSet<Key>,
+    /// Triples per predicate id — the planner's cardinality statistics,
+    /// maintained incrementally so a lookup is O(1).
+    pred_counts: HashMap<TermId, usize>,
 }
 
 impl Graph {
@@ -53,6 +57,7 @@ impl Graph {
         if added {
             self.pos.insert((p, o, s));
             self.osp.insert((o, s, p));
+            *self.pred_counts.entry(p).or_insert(0) += 1;
         }
         added
     }
@@ -70,6 +75,12 @@ impl Graph {
         if removed {
             self.pos.remove(&(p, o, s));
             self.osp.remove(&(o, s, p));
+            if let Some(n) = self.pred_counts.get_mut(&p) {
+                *n -= 1;
+                if *n == 0 {
+                    self.pred_counts.remove(&p);
+                }
+            }
         }
         removed
     }
@@ -125,6 +136,78 @@ impl Graph {
         self.spo.iter().map(move |&k| self.decode(k))
     }
 
+    // ---------------------------------------------------- id-level API --
+    //
+    // The query engine evaluates joins entirely over `TermId`s, decoding
+    // terms only at projection time. These methods expose the interned
+    // view of the graph without any cloning or string comparison.
+
+    /// The id of a term in this graph's interner, if it appears anywhere.
+    pub fn term_to_id(&self, term: &Term) -> Option<TermId> {
+        self.interner.get(term)
+    }
+
+    /// Resolve an id produced by this graph back to its term.
+    ///
+    /// # Panics
+    /// Panics if the id did not come from this graph.
+    pub fn id_to_term(&self, id: TermId) -> &Term {
+        self.interner.resolve(id)
+    }
+
+    /// Number of triples whose predicate is the given id — the planner's
+    /// per-predicate cardinality statistic (O(1)).
+    pub fn predicate_cardinality(&self, p: TermId) -> usize {
+        self.pred_counts.get(&p).copied().unwrap_or(0)
+    }
+
+    /// Iterate over interned `(s, p, o)` id-triples matching the pattern;
+    /// `None` is a wildcard.
+    ///
+    /// The id-level twin of [`Graph::triples_matching`]: every shape is a
+    /// single range scan over one of the three integer indexes, and no
+    /// term is decoded.
+    pub fn ids_matching(
+        &self,
+        s: Option<TermId>,
+        p: Option<TermId>,
+        o: Option<TermId>,
+    ) -> Box<dyn Iterator<Item = (TermId, TermId, TermId)> + '_> {
+        match (s, p, o) {
+            (Some(s), Some(p), Some(o)) => {
+                let hit = self.spo.contains(&(s, p, o));
+                Box::new(hit.then_some((s, p, o)).into_iter())
+            }
+            (Some(s), Some(p), None) => {
+                Box::new(self.spo.range((s, p, MIN)..=(s, p, MAX)).copied())
+            }
+            (Some(s), None, None) => {
+                Box::new(self.spo.range((s, MIN, MIN)..=(s, MAX, MAX)).copied())
+            }
+            (None, Some(p), Some(o)) => Box::new(
+                self.pos
+                    .range((p, o, MIN)..=(p, o, MAX))
+                    .map(|&(p, o, s)| (s, p, o)),
+            ),
+            (None, Some(p), None) => Box::new(
+                self.pos
+                    .range((p, MIN, MIN)..=(p, MAX, MAX))
+                    .map(|&(p, o, s)| (s, p, o)),
+            ),
+            (None, None, Some(o)) => Box::new(
+                self.osp
+                    .range((o, MIN, MIN)..=(o, MAX, MAX))
+                    .map(|&(o, s, p)| (s, p, o)),
+            ),
+            (Some(s), None, Some(o)) => Box::new(
+                self.osp
+                    .range((o, s, MIN)..=(o, s, MAX))
+                    .map(|&(o, s, p)| (s, p, o)),
+            ),
+            (None, None, None) => Box::new(self.spo.iter().copied()),
+        }
+    }
+
     /// Iterate over triples matching the pattern; `None` is a wildcard.
     ///
     /// Every pattern shape is answered by a single range scan over one of
@@ -156,43 +239,10 @@ impl Graph {
             },
             None => None,
         };
-        match (sid, pid, oid) {
-            (Some(s), Some(p), Some(o)) => {
-                let hit = self.spo.contains(&(s, p, o));
-                Box::new(hit.then(|| self.decode((s, p, o))).into_iter())
-            }
-            (Some(s), Some(p), None) => Box::new(
-                self.spo
-                    .range((s, p, MIN)..=(s, p, MAX))
-                    .map(move |&k| self.decode(k)),
-            ),
-            (Some(s), None, None) => Box::new(
-                self.spo
-                    .range((s, MIN, MIN)..=(s, MAX, MAX))
-                    .map(move |&k| self.decode(k)),
-            ),
-            (None, Some(p), Some(o)) => Box::new(
-                self.pos
-                    .range((p, o, MIN)..=(p, o, MAX))
-                    .map(move |&(p, o, s)| self.decode((s, p, o))),
-            ),
-            (None, Some(p), None) => Box::new(
-                self.pos
-                    .range((p, MIN, MIN)..=(p, MAX, MAX))
-                    .map(move |&(p, o, s)| self.decode((s, p, o))),
-            ),
-            (None, None, Some(o)) => Box::new(
-                self.osp
-                    .range((o, MIN, MIN)..=(o, MAX, MAX))
-                    .map(move |&(o, s, p)| self.decode((s, p, o))),
-            ),
-            (Some(s), None, Some(o)) => Box::new(
-                self.osp
-                    .range((o, s, MIN)..=(o, s, MAX))
-                    .map(move |&(o, s, p)| self.decode((s, p, o))),
-            ),
-            (None, None, None) => Box::new(self.iter()),
-        }
+        Box::new(
+            self.ids_matching(sid, pid, oid)
+                .map(move |k| self.decode(k)),
+        )
     }
 
     /// Objects of triples `(s, p, ?)` — the most common navigation step.
@@ -403,6 +453,36 @@ mod tests {
         let mut rebuilt = diff;
         rebuilt.extend_from_graph(&inter);
         assert_eq!(rebuilt, a);
+    }
+
+    #[test]
+    fn id_level_api_mirrors_term_level() {
+        let mut g = Graph::new();
+        g.insert(t("http://e/s1", "http://e/p1", "http://e/o1"));
+        g.insert(t("http://e/s1", "http://e/p2", "http://e/o2"));
+        g.insert(t("http://e/s2", "http://e/p1", "http://e/o1"));
+
+        let p1 = g.term_to_id(&Term::Iri(iri("http://e/p1"))).unwrap();
+        let p2 = g.term_to_id(&Term::Iri(iri("http://e/p2"))).unwrap();
+        assert_eq!(g.predicate_cardinality(p1), 2);
+        assert_eq!(g.predicate_cardinality(p2), 1);
+        assert_eq!(g.ids_matching(None, Some(p1), None).count(), 2);
+        assert_eq!(g.ids_matching(None, None, None).count(), 3);
+
+        // Ids decode back to the terms they were interned from.
+        for (s, p, o) in g.ids_matching(None, Some(p2), None) {
+            assert_eq!(g.id_to_term(s).as_iri().unwrap().as_str(), "http://e/s1");
+            assert_eq!(g.id_to_term(p).as_iri().unwrap().as_str(), "http://e/p2");
+            assert_eq!(g.id_to_term(o).as_iri().unwrap().as_str(), "http://e/o2");
+        }
+
+        // Removal keeps the statistics exact.
+        g.remove(&t("http://e/s1", "http://e/p1", "http://e/o1"));
+        assert_eq!(g.predicate_cardinality(p1), 1);
+        g.remove(&t("http://e/s2", "http://e/p1", "http://e/o1"));
+        assert_eq!(g.predicate_cardinality(p1), 0);
+        // Unknown term: no id.
+        assert!(g.term_to_id(&Term::Iri(iri("http://e/none"))).is_none());
     }
 
     #[test]

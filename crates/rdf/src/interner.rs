@@ -5,8 +5,28 @@ use crate::term::Term;
 use std::collections::HashMap;
 
 /// A dense symbol for an interned [`Term`].
+///
+/// Ids are per-[`crate::Graph`]: they are assigned in first-seen order by
+/// that graph's interner and are meaningless across graphs. The query
+/// engine evaluates joins over these integers and only resolves them back
+/// to terms at projection time.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
-pub(crate) struct TermId(pub u32);
+pub struct TermId(pub(crate) u32);
+
+impl TermId {
+    /// The raw index. Dense: every id below [`crate::Graph::term_count`]
+    /// resolves.
+    pub const fn to_u32(self) -> u32 {
+        self.0
+    }
+
+    /// Rebuild an id from its raw index (e.g. out of a compact binding
+    /// row). Resolving an id that this graph's interner never produced
+    /// panics.
+    pub const fn from_u32(raw: u32) -> Self {
+        TermId(raw)
+    }
+}
 
 /// Bidirectional `Term` ↔ `TermId` map owned by each [`crate::Graph`].
 #[derive(Default, Clone, Debug)]
@@ -82,5 +102,12 @@ mod tests {
         assert!(i.get(&t).is_none());
         let id = i.intern(&t);
         assert_eq!(i.get(&t), Some(id));
+    }
+
+    #[test]
+    fn raw_roundtrip() {
+        let mut i = Interner::new();
+        let id = i.intern(&Term::Literal(Literal::simple("z")));
+        assert_eq!(TermId::from_u32(id.to_u32()), id);
     }
 }

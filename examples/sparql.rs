@@ -10,8 +10,8 @@
 //! wfdesc, opmw, tavernaprov, foaf, xsd) are pre-bound.
 
 use provbench::corpus::{Corpus, CorpusSpec};
-use provbench::query::execute_query;
 use provbench::query::exemplar::PREFIXES;
+use provbench::query::QueryEngine;
 use std::io::Read;
 
 fn main() {
@@ -48,7 +48,8 @@ fn main() {
     eprintln!("querying {} triples…\n", graph.len());
 
     let full_query = format!("{PREFIXES}\n{query_body}");
-    match execute_query(&graph, &full_query) {
+    let engine = QueryEngine::new(&graph);
+    match engine.prepare(&full_query).and_then(|p| p.select()) {
         Ok(solutions) => {
             println!("{}", solutions.variables.join("\t"));
             for row in &solutions.rows {

@@ -18,8 +18,8 @@ use provbench::corpus::{research_object_for, store, Corpus, CorpusSpec};
 use provbench::endpoint::Endpoint;
 use provbench::prov::from_rdf::graph_to_document;
 use provbench::prov::{validate, write_provn};
-use provbench::query::execute_query;
 use provbench::query::exemplar::PREFIXES;
+use provbench::query::{QueryEngine, QueryError, QueryParseError};
 use provbench::rdf::Graph;
 use provbench::workflow::System;
 use std::path::Path;
@@ -192,11 +192,50 @@ fn cmd_validate(o: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// Render a parse error with its source location and a caret snippet
+/// pointing at the offending token:
+///
+/// ```text
+/// parse error at 12:7: expected a variable or term
+///    12 | SELECT ?x WHERE { ?x a nope:y }
+///       |       ^
+/// ```
+fn render_parse_error(source: &str, e: &QueryParseError) -> String {
+    let mut out = format!("parse error at {e}");
+    let Some(line) = source.lines().nth(e.line.saturating_sub(1)) else {
+        return out;
+    };
+    let width = e.line.to_string().len().max(4);
+    let carets = if e.end_line == e.line && e.end_column > e.column {
+        e.end_column - e.column
+    } else {
+        1
+    };
+    out.push_str(&format!(
+        "\n{:>width$} | {line}\n{:>width$} | {}{}",
+        e.line,
+        "",
+        " ".repeat(e.column.saturating_sub(1)),
+        "^".repeat(carets.max(1)),
+    ));
+    out
+}
+
+fn query_error(source: &str, e: QueryError) -> String {
+    match e {
+        QueryError::Parse(p) => render_parse_error(source, &p),
+        other => other.to_string(),
+    }
+}
+
 fn cmd_query(o: &Options) -> Result<(), String> {
     let q = o.positional.first().ok_or("query needs a SPARQL string")?;
     let graph = corpus_graph(o)?;
     let full = format!("{PREFIXES}\n{q}");
-    let solutions = execute_query(&graph, &full).map_err(|e| e.to_string())?;
+    let solutions = QueryEngine::new(&graph)
+        .prepare(&full)
+        .and_then(|p| p.select())
+        .map_err(|e| query_error(&full, e))?;
     println!("{}", solutions.variables.join("\t"));
     for row in &solutions.rows {
         let cells: Vec<String> = solutions
@@ -315,12 +354,13 @@ fn cmd_explain(o: &Options) -> Result<(), String> {
         .positional
         .first()
         .ok_or("explain needs a SPARQL string")?;
+    let graph = corpus_graph(o)?;
     let full = format!("{PREFIXES}\n{q}");
-    let parsed = provbench::query::parse_query(&full).map_err(|e| e.to_string())?;
-    print!(
-        "{}",
-        provbench::query::explain(&parsed, &provbench::query::EvalOptions::default())
-    );
+    let prepared = QueryEngine::new(&graph)
+        .prepare(&full)
+        .map_err(|e| query_error(&full, e))?;
+    print!("{}", prepared.explain());
+    eprintln!("(estimates computed over {} triples)", graph.len());
     Ok(())
 }
 
@@ -445,7 +485,7 @@ const USAGE: &str = "usage: provbench <command> [options]
   interop  [--seed N]                           cross-system capability report
   lineage  RUN_ID [--seed N]                    one trace's lineage as DOT
   ro       TEMPLATE [--seed N]                  research-object manifest (Turtle)
-  explain 'SPARQL'                              show the evaluation plan";
+  explain 'SPARQL' [--dir DIR | --seed N]       show the evaluation plan + estimates";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
