@@ -1,0 +1,55 @@
+//! Ablation — binary corpus snapshots: cold directory parsing
+//! (sequential and parallel) against a warm `corpus.snapshot`
+//! memory-load, at the paper's full 198-run scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use provbench_bench::full_corpus;
+use provbench_core::snapshot::SNAPSHOT_FILE;
+use provbench_core::{store, CorpusStore};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let corpus = full_corpus();
+    let dir = std::env::temp_dir().join(format!("provbench-snapshot-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    store::save(corpus, &dir).unwrap();
+    let jobs = store::default_load_jobs();
+
+    let mut group = c.benchmark_group("snapshot");
+    group.sample_size(10);
+    group.bench_function("cold_parse_sequential", |b| {
+        b.iter(|| {
+            let _ = std::fs::remove_file(dir.join(SNAPSHOT_FILE));
+            black_box(CorpusStore::open_or_build_with_threads(&dir, 1).unwrap())
+        })
+    });
+    group.bench_function("cold_parse_parallel", |b| {
+        b.iter(|| {
+            let _ = std::fs::remove_file(dir.join(SNAPSHOT_FILE));
+            black_box(CorpusStore::open_or_build_with_threads(&dir, jobs).unwrap())
+        })
+    });
+    // Leave a valid snapshot in place: every iteration below is warm.
+    let built = CorpusStore::build(&dir, jobs).unwrap();
+    group.bench_function("warm_snapshot_load", |b| {
+        b.iter(|| {
+            let s = CorpusStore::open_or_build(&dir).unwrap();
+            assert!(s.provenance.warm);
+            black_box(s)
+        })
+    });
+    group.finish();
+
+    println!(
+        "\n--- snapshot: {} traces + {} descriptions, {} triples, {} B on disk ({} jobs) ---",
+        built.corpus.traces.len(),
+        built.corpus.descriptions.len(),
+        built.union.len(),
+        built.provenance.snapshot_bytes,
+        jobs
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -26,6 +26,7 @@
 
 pub mod generate;
 pub mod ro;
+pub mod snapshot;
 pub mod spec;
 pub mod stats;
 pub mod store;
@@ -34,3 +35,4 @@ pub use generate::{Corpus, TraceRecord};
 pub use ro::{corpus_research_objects, research_object_for};
 pub use spec::{CorpusSpec, PlannedRun, RunPlan};
 pub use stats::{CorpusStats, DomainRow, Table1};
+pub use store::{CorpusStore, LoadedCorpus, LoadedDescription, LoadedTrace, SnapshotProvenance};

@@ -37,6 +37,11 @@ pub struct CorpusStats {
     /// Total serialized size in bytes (Turtle + TriG), as it would be
     /// written to disk.
     pub serialized_bytes: u64,
+    /// Serialized trace bytes only (no descriptions).
+    pub trace_bytes: u64,
+    /// Mean serialized size of one run's trace, in bytes; `0` for a
+    /// corpus with no runs (never a division by zero).
+    pub mean_run_bytes: u64,
     /// Figure 1: domain × system histogram.
     pub domain_histogram: Vec<DomainRow>,
 }
@@ -45,11 +50,13 @@ impl CorpusStats {
     /// Compute statistics for a corpus.
     pub fn compute(corpus: &Corpus) -> CorpusStats {
         let mut serialized_bytes = 0u64;
+        let mut trace_bytes = 0u64;
         let mut triples = 0usize;
         for trace in &corpus.traces {
-            serialized_bytes += serialize_trace(trace).len() as u64;
+            trace_bytes += serialize_trace(trace).len() as u64;
             triples += trace.dataset.len();
         }
+        serialized_bytes += trace_bytes;
         for description in &corpus.descriptions {
             serialized_bytes += serialize_description(description).len() as u64;
             triples += description.len();
@@ -105,6 +112,11 @@ impl CorpusStats {
             process_runs,
             triples,
             serialized_bytes,
+            trace_bytes,
+            // Guarded: an empty corpus reports 0, not a division by zero.
+            mean_run_bytes: trace_bytes
+                .checked_div(corpus.traces.len() as u64)
+                .unwrap_or(0),
             domain_histogram,
         }
     }
@@ -125,7 +137,10 @@ impl Table1 {
             rows: vec![
                 ("Data format".to_owned(), "RDF".to_owned()),
                 ("Data model".to_owned(), "PROV-O".to_owned()),
-                ("Size".to_owned(), format!("{size_mb:.1} Megabytes")),
+                (
+                    "Size".to_owned(),
+                    format!("{size_mb:.1} Megabytes ({} bytes)", stats.serialized_bytes),
+                ),
                 (
                     "Tools used for generating provenance".to_owned(),
                     "Taverna and Wings provenance plug-ins".to_owned(),
@@ -289,6 +304,44 @@ mod tests {
         // And it serializes as Turtle.
         let ttl = provbench_rdf::write_turtle(&g, &provbench_rdf::PrefixMap::common());
         assert!(provbench_rdf::parse_turtle(&ttl).is_ok());
+    }
+
+    #[test]
+    fn empty_corpus_stats_are_finite() {
+        // A corpus with no templates and no runs: every statistic must
+        // come out zero — no division by zero, no NaN in Table 1.
+        let empty = Corpus {
+            spec: CorpusSpec::default(),
+            plan: crate::spec::RunPlan { runs: vec![] },
+            templates: vec![],
+            descriptions: vec![],
+            traces: vec![],
+        };
+        let s = CorpusStats::compute(&empty);
+        assert_eq!(s.runs, 0);
+        assert_eq!(s.serialized_bytes, 0);
+        assert_eq!(s.mean_run_bytes, 0);
+        assert!(s.domain_histogram.is_empty());
+        let t1 = Table1::from_stats(&s);
+        let size = &t1.rows[2].1;
+        assert_eq!(size, "0.0 Megabytes (0 bytes)");
+        assert!(!size.contains("NaN") && !size.contains("inf"), "{size}");
+    }
+
+    #[test]
+    fn size_row_reports_exact_bytes() {
+        let c = small_corpus();
+        let s = CorpusStats::compute(&c);
+        let t1 = Table1::from_stats(&s);
+        assert!(
+            t1.rows[2]
+                .1
+                .contains(&format!("({} bytes)", s.serialized_bytes)),
+            "{}",
+            t1.rows[2].1
+        );
+        assert_eq!(s.mean_run_bytes, s.trace_bytes / s.runs as u64);
+        assert!(s.trace_bytes <= s.serialized_bytes);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! repository (a directory per system, a directory per workflow).
 
 use crate::generate::{Corpus, TraceRecord};
+use crate::snapshot::{self, SNAPSHOT_FILE, VERSION};
 use provbench_rdf::{
     parse_trig, parse_turtle, write_trig, write_turtle, Dataset, Graph, PrefixMap,
 };
@@ -10,6 +11,8 @@ use provbench_workflow::System;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Serialize one trace in its system's native format: Turtle for Taverna
 /// (flat graph), TriG for Wings (account bundle as a named graph).
@@ -127,14 +130,25 @@ pub struct LoadedTrace {
     pub dataset: Dataset,
 }
 
+/// One workflow-description graph loaded back from disk.
+#[derive(Clone, Debug)]
+pub struct LoadedDescription {
+    /// Producing system (from the directory layout).
+    pub system: System,
+    /// Template name (from the directory layout).
+    pub template_name: String,
+    /// The parsed description graph.
+    pub graph: Graph,
+}
+
 /// A corpus loaded back from disk (RDF level only — the raw
 /// [`provbench_workflow::WorkflowRun`] records exist only in memory).
 #[derive(Clone, Debug, Default)]
 pub struct LoadedCorpus {
     /// All traces found.
     pub traces: Vec<LoadedTrace>,
-    /// All workflow-description graphs found.
-    pub descriptions: Vec<Graph>,
+    /// All workflow descriptions found.
+    pub descriptions: Vec<LoadedDescription>,
 }
 
 impl LoadedCorpus {
@@ -143,7 +157,7 @@ impl LoadedCorpus {
     pub fn combined_dataset(&self) -> Dataset {
         let mut ds = Dataset::new();
         for d in &self.descriptions {
-            ds.default_graph_mut().extend_from_graph(d);
+            ds.default_graph_mut().extend_from_graph(&d.graph);
         }
         for (i, t) in self.traces.iter().enumerate() {
             match t.system {
@@ -169,9 +183,27 @@ fn parse_error(path: &Path, e: impl std::fmt::Display) -> io::Error {
     )
 }
 
-/// Load a corpus directory written by [`save`].
-pub fn load(dir: &Path) -> io::Result<LoadedCorpus> {
-    let mut out = LoadedCorpus::default();
+/// What kind of corpus file a directory entry is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum FileKind {
+    Description,
+    TraceTurtle,
+    TraceTrig,
+}
+
+/// One RDF file discovered in a corpus directory, in deterministic walk
+/// order (system, then template, then file name).
+#[derive(Clone, Debug)]
+struct CorpusFile {
+    path: PathBuf,
+    system: System,
+    template_name: String,
+    kind: FileKind,
+}
+
+/// Walk a corpus directory and list its RDF files without reading them.
+fn collect_corpus_files(dir: &Path) -> io::Result<Vec<CorpusFile>> {
+    let mut files = Vec::new();
     for system in [System::Taverna, System::Wings] {
         let sysdir = dir.join(system.name().to_ascii_lowercase());
         if !sysdir.exists() {
@@ -200,33 +232,275 @@ pub fn load(dir: &Path) -> io::Result<LoadedCorpus> {
                     .file_name()
                     .and_then(|n| n.to_str())
                     .unwrap_or_default();
-                let content = fs::read_to_string(&path)?;
-                if name == description_file(system) {
-                    let (g, _) = parse_turtle(&content).map_err(|e| parse_error(&path, e))?;
-                    out.descriptions.push(g);
+                let kind = if name == description_file(system) {
+                    FileKind::Description
                 } else if name.ends_with(".prov.ttl") {
-                    let (g, _) = parse_turtle(&content).map_err(|e| parse_error(&path, e))?;
-                    let mut ds = Dataset::new();
-                    *ds.default_graph_mut() = g;
-                    out.traces.push(LoadedTrace {
-                        run_id: name.trim_end_matches(".prov.ttl").to_owned(),
-                        system,
-                        template_name: template_name.clone(),
-                        dataset: ds,
-                    });
+                    FileKind::TraceTurtle
                 } else if name.ends_with(".prov.trig") {
-                    let (ds, _) = parse_trig(&content).map_err(|e| parse_error(&path, e))?;
-                    out.traces.push(LoadedTrace {
-                        run_id: name.trim_end_matches(".prov.trig").to_owned(),
-                        system,
-                        template_name: template_name.clone(),
-                        dataset: ds,
-                    });
-                }
+                    FileKind::TraceTrig
+                } else {
+                    continue;
+                };
+                files.push(CorpusFile {
+                    path,
+                    system,
+                    template_name: template_name.clone(),
+                    kind,
+                });
             }
         }
     }
+    Ok(files)
+}
+
+/// Result of parsing one corpus file.
+enum ParsedFile {
+    Description(LoadedDescription),
+    Trace(LoadedTrace),
+}
+
+fn parse_corpus_file(file: &CorpusFile) -> io::Result<ParsedFile> {
+    let content = fs::read_to_string(&file.path)?;
+    let name = file
+        .path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or_default();
+    match file.kind {
+        FileKind::Description => {
+            let (g, _) = parse_turtle(&content).map_err(|e| parse_error(&file.path, e))?;
+            Ok(ParsedFile::Description(LoadedDescription {
+                system: file.system,
+                template_name: file.template_name.clone(),
+                graph: g,
+            }))
+        }
+        FileKind::TraceTurtle => {
+            let (g, _) = parse_turtle(&content).map_err(|e| parse_error(&file.path, e))?;
+            let mut ds = Dataset::new();
+            *ds.default_graph_mut() = g;
+            Ok(ParsedFile::Trace(LoadedTrace {
+                run_id: name.trim_end_matches(".prov.ttl").to_owned(),
+                system: file.system,
+                template_name: file.template_name.clone(),
+                dataset: ds,
+            }))
+        }
+        FileKind::TraceTrig => {
+            let (ds, _) = parse_trig(&content).map_err(|e| parse_error(&file.path, e))?;
+            Ok(ParsedFile::Trace(LoadedTrace {
+                run_id: name.trim_end_matches(".prov.trig").to_owned(),
+                system: file.system,
+                template_name: file.template_name.clone(),
+                dataset: ds,
+            }))
+        }
+    }
+}
+
+/// Default parser fan-out for [`load_with_threads`]: the machine's
+/// available parallelism, capped — parsing is CPU-bound and the corpus
+/// has ~200 files, so more workers stop paying off quickly.
+pub fn default_load_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+/// Parse a listed set of files, fanning out over `jobs` worker threads.
+/// The result is independent of `jobs`: files are reassembled in listing
+/// order, so parallel and sequential loads are identical.
+fn parse_files(files: &[CorpusFile], jobs: usize) -> io::Result<Vec<ParsedFile>> {
+    if jobs <= 1 || files.len() <= 1 {
+        return files.iter().map(parse_corpus_file).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, io::Result<ParsedFile>)>> =
+        Mutex::new(Vec::with_capacity(files.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(files.len()) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(file) = files.get(i) else { break };
+                let parsed = parse_corpus_file(file);
+                results
+                    .lock()
+                    .expect("corpus parser panicked")
+                    .push((i, parsed));
+            });
+        }
+    });
+    let mut results = results.into_inner().expect("corpus parser panicked");
+    results.sort_by_key(|(i, _)| *i);
+    results.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Load a corpus directory written by [`save`], sequentially.
+pub fn load(dir: &Path) -> io::Result<LoadedCorpus> {
+    load_with_threads(dir, 1)
+}
+
+/// Load a corpus directory written by [`save`], parsing files on `jobs`
+/// worker threads. Deterministic: the result does not depend on `jobs`.
+pub fn load_with_threads(dir: &Path, jobs: usize) -> io::Result<LoadedCorpus> {
+    let files = collect_corpus_files(dir)?;
+    let mut out = LoadedCorpus::default();
+    for parsed in parse_files(&files, jobs)? {
+        match parsed {
+            ParsedFile::Description(d) => out.descriptions.push(d),
+            ParsedFile::Trace(t) => out.traces.push(t),
+        }
+    }
     Ok(out)
+}
+
+/// How a [`CorpusStore`] came to hold its data.
+#[derive(Clone, Debug)]
+pub struct SnapshotProvenance {
+    /// Path of the snapshot file (existing or just written).
+    pub path: PathBuf,
+    /// `true` when the corpus was memory-loaded from a valid snapshot;
+    /// `false` when it was (re)parsed from the RDF sources.
+    pub warm: bool,
+    /// Snapshot format version in play.
+    pub version: u16,
+    /// Size of the snapshot file in bytes (0 if it could not be written).
+    pub snapshot_bytes: u64,
+    /// Number of RDF source files in the corpus directory.
+    pub source_files: u64,
+    /// Total size of those source files in bytes.
+    pub source_bytes: u64,
+    /// When `warm` is `false` and a snapshot file existed, why it was
+    /// not used.
+    pub rebuild_reason: Option<String>,
+}
+
+/// A corpus opened through the snapshot cache: the loaded RDF plus the
+/// pre-merged union graph the query engine, endpoint and linter run on.
+#[derive(Debug)]
+pub struct CorpusStore {
+    /// The loaded corpus (traces + descriptions).
+    pub corpus: LoadedCorpus,
+    /// Union of every graph in the corpus.
+    pub union: Graph,
+    /// Where the data came from (warm snapshot vs cold parse).
+    pub provenance: SnapshotProvenance,
+}
+
+impl CorpusStore {
+    /// Open `dir` through its snapshot if possible, else parse the RDF
+    /// sources on [`default_load_jobs`] threads and write a fresh
+    /// snapshot for next time.
+    ///
+    /// A snapshot is used only when it decodes cleanly (magic, version,
+    /// checksum and structural validation) *and* its recorded source
+    /// fingerprint still matches the directory; otherwise the store
+    /// falls back to a clean rebuild — corruption can cost time, never
+    /// correctness.
+    pub fn open_or_build(dir: &Path) -> io::Result<CorpusStore> {
+        CorpusStore::open_or_build_with_threads(dir, default_load_jobs())
+    }
+
+    /// [`CorpusStore::open_or_build`] with an explicit parser fan-out.
+    pub fn open_or_build_with_threads(dir: &Path, jobs: usize) -> io::Result<CorpusStore> {
+        let files = collect_corpus_files(dir)?;
+        let source_files = files.len() as u64;
+        let source_bytes = files
+            .iter()
+            .map(|f| fs::metadata(&f.path).map(|m| m.len()).unwrap_or(0))
+            .sum::<u64>();
+        let path = dir.join(SNAPSHOT_FILE);
+
+        let mut rebuild_reason = None;
+        match fs::read(&path) {
+            Ok(bytes) => match snapshot::decode(&bytes) {
+                Ok(decoded)
+                    if decoded.source_files == source_files
+                        && decoded.source_bytes == source_bytes =>
+                {
+                    return Ok(CorpusStore {
+                        corpus: decoded.corpus,
+                        union: decoded.union,
+                        provenance: SnapshotProvenance {
+                            path,
+                            warm: true,
+                            version: VERSION,
+                            snapshot_bytes: bytes.len() as u64,
+                            source_files,
+                            source_bytes,
+                            rebuild_reason: None,
+                        },
+                    });
+                }
+                Ok(decoded) => {
+                    rebuild_reason = Some(format!(
+                        "source tree changed: snapshot saw {} files / {} bytes, \
+                         directory has {} files / {} bytes",
+                        decoded.source_files, decoded.source_bytes, source_files, source_bytes
+                    ));
+                }
+                Err(e) => rebuild_reason = Some(e.to_string()),
+            },
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => rebuild_reason = Some(format!("unreadable snapshot: {e}")),
+        }
+
+        CorpusStore::build_from_files(dir, &files, jobs, rebuild_reason)
+    }
+
+    /// Parse the RDF sources unconditionally and (re)write the snapshot.
+    /// Used by `provbench snapshot build`.
+    pub fn build(dir: &Path, jobs: usize) -> io::Result<CorpusStore> {
+        let files = collect_corpus_files(dir)?;
+        CorpusStore::build_from_files(dir, &files, jobs, None)
+    }
+
+    fn build_from_files(
+        dir: &Path,
+        files: &[CorpusFile],
+        jobs: usize,
+        rebuild_reason: Option<String>,
+    ) -> io::Result<CorpusStore> {
+        let source_files = files.len() as u64;
+        let source_bytes = files
+            .iter()
+            .map(|f| fs::metadata(&f.path).map(|m| m.len()).unwrap_or(0))
+            .sum::<u64>();
+        let mut corpus = LoadedCorpus::default();
+        for parsed in parse_files(files, jobs)? {
+            match parsed {
+                ParsedFile::Description(d) => corpus.descriptions.push(d),
+                ParsedFile::Trace(t) => corpus.traces.push(t),
+            }
+        }
+        let union = corpus.combined_dataset().union_graph();
+        let encoded = snapshot::encode(&corpus, source_files, source_bytes);
+        let path = dir.join(SNAPSHOT_FILE);
+        // Best-effort: a read-only corpus still loads, it just stays cold.
+        let snapshot_bytes = match fs::write(&path, &encoded) {
+            Ok(()) => encoded.len() as u64,
+            Err(_) => 0,
+        };
+        Ok(CorpusStore {
+            corpus,
+            union,
+            provenance: SnapshotProvenance {
+                path,
+                warm: false,
+                version: VERSION,
+                snapshot_bytes,
+                source_files,
+                source_bytes,
+                rebuild_reason,
+            },
+        })
+    }
+
+    /// The union graph, cloned for engines that take ownership.
+    pub fn union_graph(&self) -> Graph {
+        self.union.clone()
+    }
 }
 
 #[cfg(test)]
@@ -304,6 +578,139 @@ mod tests {
     fn load_missing_dir_is_empty() {
         let loaded = load(Path::new("/nonexistent/provbench")).unwrap();
         assert!(loaded.traces.is_empty());
+    }
+
+    #[test]
+    fn parallel_load_matches_sequential() {
+        let corpus = small_corpus();
+        let dir = tmpdir("parallel");
+        save(&corpus, &dir).unwrap();
+        let seq = load_with_threads(&dir, 1).unwrap();
+        let par = load_with_threads(&dir, 4).unwrap();
+        assert_eq!(seq.traces.len(), par.traces.len());
+        assert_eq!(seq.descriptions.len(), par.descriptions.len());
+        for (a, b) in seq.traces.iter().zip(&par.traces) {
+            assert_eq!(a.run_id, b.run_id);
+            assert_eq!(a.system, b.system);
+            assert_eq!(a.template_name, b.template_name);
+            assert_eq!(a.dataset, b.dataset);
+        }
+        for (a, b) in seq.descriptions.iter().zip(&par.descriptions) {
+            assert_eq!(a.system, b.system);
+            assert_eq!(a.template_name, b.template_name);
+            assert_eq!(a.graph, b.graph);
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corpus_store_cold_then_warm() {
+        let corpus = small_corpus();
+        let dir = tmpdir("snapshot");
+        save(&corpus, &dir).unwrap();
+
+        let cold = CorpusStore::open_or_build_with_threads(&dir, 2).unwrap();
+        assert!(!cold.provenance.warm);
+        assert!(cold.provenance.rebuild_reason.is_none());
+        assert!(cold.provenance.snapshot_bytes > 0);
+        assert!(dir.join(SNAPSHOT_FILE).exists());
+
+        let warm = CorpusStore::open_or_build_with_threads(&dir, 2).unwrap();
+        assert!(warm.provenance.warm, "second open must hit the snapshot");
+        assert_eq!(warm.union, cold.union);
+        assert_eq!(warm.corpus.traces.len(), cold.corpus.traces.len());
+        assert_eq!(
+            warm.corpus.descriptions.len(),
+            cold.corpus.descriptions.len()
+        );
+        for (a, b) in cold.corpus.traces.iter().zip(&warm.corpus.traces) {
+            assert_eq!(a.run_id, b.run_id);
+            assert_eq!(a.dataset, b.dataset);
+        }
+        assert_eq!(warm.union, corpus.combined_dataset().union_graph());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupted_snapshot_triggers_rebuild() {
+        let corpus = small_corpus();
+        let dir = tmpdir("corrupt");
+        save(&corpus, &dir).unwrap();
+        CorpusStore::build(&dir, 2).unwrap();
+
+        // Flip a byte in the middle of the snapshot body.
+        let path = dir.join(SNAPSHOT_FILE);
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+
+        let store = CorpusStore::open_or_build_with_threads(&dir, 2).unwrap();
+        assert!(!store.provenance.warm);
+        assert!(
+            store.provenance.rebuild_reason.is_some(),
+            "corruption must be reported"
+        );
+        assert_eq!(store.union, corpus.combined_dataset().union_graph());
+        // The rebuild rewrote a valid snapshot.
+        let again = CorpusStore::open_or_build_with_threads(&dir, 2).unwrap();
+        assert!(again.provenance.warm);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_version_snapshot_triggers_rebuild() {
+        let corpus = small_corpus();
+        let dir = tmpdir("stale");
+        save(&corpus, &dir).unwrap();
+        CorpusStore::build(&dir, 2).unwrap();
+
+        let path = dir.join(SNAPSHOT_FILE);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[6] = 0xFE;
+        bytes[7] = 0xFF;
+        fs::write(&path, &bytes).unwrap();
+
+        let store = CorpusStore::open_or_build_with_threads(&dir, 2).unwrap();
+        assert!(!store.provenance.warm);
+        let reason = store.provenance.rebuild_reason.unwrap();
+        assert!(reason.contains("version"), "got: {reason}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn changed_sources_invalidate_snapshot() {
+        let corpus = small_corpus();
+        let dir = tmpdir("changed");
+        save(&corpus, &dir).unwrap();
+        CorpusStore::build(&dir, 2).unwrap();
+
+        // Append a triple to one trace file: same file count, new bytes.
+        let files = collect_corpus_files(&dir).unwrap();
+        let trace = files
+            .iter()
+            .find(|f| f.kind == FileKind::TraceTurtle)
+            .unwrap();
+        let mut content = fs::read_to_string(&trace.path).unwrap();
+        content.push_str("<http://example.org/x> <http://example.org/p> \"new\" .\n");
+        fs::write(&trace.path, content).unwrap();
+
+        let store = CorpusStore::open_or_build_with_threads(&dir, 2).unwrap();
+        assert!(!store.provenance.warm);
+        let reason = store.provenance.rebuild_reason.unwrap();
+        assert!(reason.contains("source tree changed"), "got: {reason}");
+        // And the rebuilt union reflects the edit.
+        let subject = provbench_rdf::Iri::new("http://example.org/x")
+            .unwrap()
+            .into();
+        assert_eq!(
+            store
+                .union
+                .triples_matching(Some(&subject), None, None)
+                .count(),
+            1
+        );
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

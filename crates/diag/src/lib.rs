@@ -28,6 +28,6 @@ pub use diagnostic::{Diagnostic, RuleInfo, Severity};
 pub use render::{render_jsonl, render_sarif, render_text};
 pub use rules::{FileContext, Registry, Rule};
 pub use runner::{
-    collect_rdf_files, default_jobs, detect_system, lint_content, lint_files, lint_path,
-    severity_counts, FileReport,
+    collect_rdf_files, default_jobs, detect_system, lint_content, lint_files, lint_graph,
+    lint_path, severity_counts, FileReport,
 };

@@ -116,6 +116,20 @@ pub fn lint_content(label: &str, content: &str, registry: &Registry) -> Vec<Diag
     }
 }
 
+/// Lint an already-parsed graph, e.g. one memory-loaded from a binary
+/// corpus snapshot where no concrete syntax (and hence no span table)
+/// exists. Diagnostics carry `label` as their file and no source spans.
+pub fn lint_graph(label: &str, graph: &Graph, registry: &Registry) -> Vec<Diagnostic> {
+    let spans = SpanTable::new();
+    let cx = FileContext {
+        path: Some(label),
+        graph,
+        spans: &spans,
+        system: detect_system(graph),
+    };
+    registry.check(&cx)
+}
+
 fn lint_file(path: &Path, registry: &Registry) -> FileReport {
     let label = path.to_string_lossy().into_owned();
     let diagnostics = match std::fs::read_to_string(path) {

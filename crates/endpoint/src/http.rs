@@ -92,19 +92,65 @@ fn parse_query_string(qs: &str) -> BTreeMap<String, String> {
         .collect()
 }
 
+/// Parser bounds. A SPARQL endpoint only ever sees short requests, so
+/// anything past these limits is rejected as malformed rather than
+/// buffered: a hostile or broken client must not make the worker
+/// allocate unbounded memory or hang on a body that never arrives.
+/// Longest accepted request line (method + target + version).
+pub const MAX_REQUEST_LINE: usize = 16 * 1024;
+/// Most headers accepted per request.
+pub const MAX_HEADERS: usize = 64;
+/// Longest accepted single header line.
+pub const MAX_HEADER_LINE: usize = 8 * 1024;
+/// Largest accepted request body (a query posted as a form).
+pub const MAX_BODY: usize = 4 * 1024 * 1024;
+
+fn bad_request(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// `read_line` with a hard cap: a line longer than `max` is an error,
+/// not a growing buffer.
+fn read_bounded_line(reader: &mut impl BufRead, max: usize, what: &str) -> io::Result<String> {
+    let mut line = String::new();
+    loop {
+        let available = reader.fill_buf()?;
+        if available.is_empty() {
+            return Ok(line); // EOF
+        }
+        let take = available.len().min(max + 1 - line.len());
+        let chunk = &available[..take];
+        let newline = chunk.iter().position(|&b| b == b'\n');
+        let used = newline.map_or(take, |i| i + 1);
+        line.push_str(&String::from_utf8_lossy(&chunk[..used]));
+        reader.consume(used);
+        if newline.is_some() {
+            return Ok(line);
+        }
+        if line.len() > max {
+            return Err(bad_request(format!("{what} exceeds {max} bytes")));
+        }
+    }
+}
+
 /// Read and parse one request from a stream.
+///
+/// Malformed input — a missing or non-numeric `Content-Length`, a length
+/// beyond [`MAX_BODY`], too many or too long headers, or a body shorter
+/// than declared — yields an `InvalidData` error the server answers with
+/// `400 Bad Request`. The parser never allocates more than the declared
+/// (validated) body size.
 pub fn parse_request(stream: &mut impl Read) -> io::Result<Request> {
     let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    reader.read_line(&mut line)?;
+    let line = read_bounded_line(&mut reader, MAX_REQUEST_LINE, "request line")?;
     let mut parts = line.split_whitespace();
     let method = parts
         .next()
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty request line"))?
+        .ok_or_else(|| bad_request("empty request line"))?
         .to_owned();
     let target = parts
         .next()
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing request target"))?;
+        .ok_or_else(|| bad_request("missing request target"))?;
     let (path, query) = match target.split_once('?') {
         Some((p, q)) => (p.to_owned(), parse_query_string(q)),
         None => (target.to_owned(), BTreeMap::new()),
@@ -112,11 +158,13 @@ pub fn parse_request(stream: &mut impl Read) -> io::Result<Request> {
 
     let mut headers = BTreeMap::new();
     loop {
-        let mut header = String::new();
-        reader.read_line(&mut header)?;
+        let header = read_bounded_line(&mut reader, MAX_HEADER_LINE, "header line")?;
         let header = header.trim_end();
         if header.is_empty() {
             break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(bad_request(format!("more than {MAX_HEADERS} headers")));
         }
         if let Some((k, v)) = header.split_once(':') {
             headers.insert(k.trim().to_ascii_lowercase(), v.trim().to_owned());
@@ -124,13 +172,27 @@ pub fn parse_request(stream: &mut impl Read) -> io::Result<Request> {
     }
 
     let mut body = String::new();
-    if let Some(len) = headers
-        .get("content-length")
-        .and_then(|v| v.parse::<usize>().ok())
-    {
-        let mut buf = vec![0u8; len];
-        reader.read_exact(&mut buf)?;
-        body = String::from_utf8_lossy(&buf).into_owned();
+    let declares_body = matches!(method.as_str(), "POST" | "PUT" | "PATCH");
+    match headers.get("content-length") {
+        Some(value) => {
+            let len = value
+                .parse::<usize>()
+                .map_err(|_| bad_request(format!("invalid Content-Length {value:?}")))?;
+            if len > MAX_BODY {
+                return Err(bad_request(format!(
+                    "Content-Length {len} exceeds the {MAX_BODY}-byte limit"
+                )));
+            }
+            let mut buf = vec![0u8; len];
+            reader
+                .read_exact(&mut buf)
+                .map_err(|_| bad_request(format!("body shorter than Content-Length {len}")))?;
+            body = String::from_utf8_lossy(&buf).into_owned();
+        }
+        None if declares_body => {
+            return Err(bad_request(format!("{method} without Content-Length")));
+        }
+        None => {}
     }
 
     Ok(Request {
@@ -260,6 +322,83 @@ mod tests {
         let req = parse_request(&mut raw.as_bytes()).unwrap();
         assert_eq!(req.method, "POST");
         assert_eq!(req.body, body);
+    }
+
+    #[test]
+    fn post_without_content_length_is_rejected() {
+        let raw = "POST /sparql HTTP/1.1\r\nHost: x\r\n\r\nquery=1";
+        let err = parse_request(&mut raw.as_bytes()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("Content-Length"), "{err}");
+    }
+
+    #[test]
+    fn malformed_content_length_is_rejected() {
+        for bad in ["abc", "-1", "1e3", "99999999999999999999999999"] {
+            let raw = format!("POST /sparql HTTP/1.1\r\nContent-Length: {bad}\r\n\r\nx");
+            let err = parse_request(&mut raw.as_bytes()).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{bad}");
+        }
+    }
+
+    #[test]
+    fn oversized_content_length_is_rejected_without_allocating() {
+        let raw = format!(
+            "POST /sparql HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        let err = parse_request(&mut raw.as_bytes()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("limit"), "{err}");
+    }
+
+    #[test]
+    fn truncated_body_is_an_error_not_a_hang() {
+        let raw = "POST /sparql HTTP/1.1\r\nContent-Length: 100\r\n\r\nshort";
+        let err = parse_request(&mut raw.as_bytes()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("shorter"), "{err}");
+    }
+
+    #[test]
+    fn header_count_is_bounded() {
+        let mut raw = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..MAX_HEADERS + 1 {
+            raw.push_str(&format!("X-Pad-{i}: v\r\n"));
+        }
+        raw.push_str("\r\n");
+        let err = parse_request(&mut raw.as_bytes()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("headers"), "{err}");
+        // Exactly at the limit is fine.
+        let mut ok = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..MAX_HEADERS {
+            ok.push_str(&format!("X-Pad-{i}: v\r\n"));
+        }
+        ok.push_str("\r\n");
+        assert!(parse_request(&mut ok.as_bytes()).is_ok());
+    }
+
+    #[test]
+    fn header_and_request_lines_are_bounded() {
+        let raw = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_REQUEST_LINE));
+        let err = parse_request(&mut raw.as_bytes()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        let raw = format!(
+            "GET / HTTP/1.1\r\nX-Big: {}\r\n\r\n",
+            "b".repeat(MAX_HEADER_LINE)
+        );
+        let err = parse_request(&mut raw.as_bytes()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn get_without_content_length_still_parses() {
+        let raw = "GET /stats HTTP/1.1\r\nHost: x\r\n\r\n";
+        let req = parse_request(&mut raw.as_bytes()).unwrap();
+        assert_eq!(req.method, "GET");
+        assert!(req.body.is_empty());
     }
 
     #[test]

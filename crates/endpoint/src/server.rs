@@ -31,6 +31,10 @@ pub struct EndpointConfig {
     pub row_budget: Option<u64>,
     /// Parsed query plans cached by query text (LRU).
     pub plan_cache_size: usize,
+    /// Per-connection socket read timeout. A client that sends a partial
+    /// request (e.g. a body shorter than its `Content-Length`) ties up a
+    /// worker for at most this long before being answered `400`.
+    pub read_timeout: Duration,
 }
 
 impl Default for EndpointConfig {
@@ -41,6 +45,7 @@ impl Default for EndpointConfig {
             query_timeout: Duration::from_secs(10),
             row_budget: Some(50_000_000),
             plan_cache_size: 64,
+            read_timeout: Duration::from_secs(5),
         }
     }
 }
@@ -100,6 +105,7 @@ pub struct Endpoint {
     graph: Arc<Graph>,
     config: EndpointConfig,
     plans: Arc<Mutex<PlanCache>>,
+    source: Option<Arc<str>>,
 }
 
 impl Endpoint {
@@ -114,7 +120,16 @@ impl Endpoint {
             graph: Arc::new(graph),
             config,
             plans: Arc::new(Mutex::new(PlanCache::new(config.plan_cache_size))),
+            source: None,
         }
+    }
+
+    /// Record where the served graph came from (e.g. "snapshot (warm)" or
+    /// "parsed 198 files"); surfaced in the `/stats` route so operators
+    /// can tell a warm snapshot load from a cold source parse.
+    pub fn with_source(mut self, source: impl Into<String>) -> Self {
+        self.source = Some(Arc::from(source.into()));
+        self
     }
 
     /// The active configuration.
@@ -136,10 +151,14 @@ impl Endpoint {
                 .body(self.index_page()),
             ("GET", "/sparql") | ("POST", "/sparql") => self.sparql(request),
             ("GET", "/stats") => {
+                let source = match &self.source {
+                    Some(s) => format!(",\"source\":\"{}\"", escape_json(s)),
+                    None => String::new(),
+                };
                 Response::status(200)
                     .content_type("application/json")
                     .body(format!(
-                        "{{\"triples\":{},\"terms\":{},\"cached_plans\":{}}}",
+                        "{{\"triples\":{},\"terms\":{},\"cached_plans\":{}{source}}}",
                         self.graph.len(),
                         self.graph.term_count(),
                         self.cached_plans()
@@ -272,10 +291,12 @@ SELECT ?run ?start WHERE {{
                 let Ok(mut stream) = next else {
                     break; // acceptor gone
                 };
-                if let Ok(request) = parse_request(&mut stream) {
-                    let response = endpoint.handle(&request);
-                    let _ = response.write_to(&mut stream);
-                }
+                let _ = stream.set_read_timeout(Some(endpoint.config.read_timeout));
+                let response = match parse_request(&mut stream) {
+                    Ok(request) => endpoint.handle(&request),
+                    Err(e) => Response::status(400).body(format!("bad request: {e}")),
+                };
+                let _ = response.write_to(&mut stream);
             });
         }
         for stream in listener.incoming() {
@@ -503,6 +524,54 @@ mod tests {
         stream.read_to_string(&mut response).unwrap();
         assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
         assert!(response.contains("http://e/r2"));
+    }
+
+    #[test]
+    fn stats_reports_source_when_set() {
+        let ep = endpoint();
+        let r = ep.handle(&request("GET /stats HTTP/1.1\r\n\r\n"));
+        assert!(!r.body.contains("\"source\""), "{}", r.body);
+        let ep = endpoint().with_source("snapshot corpus.snapshot (warm)");
+        let r = ep.handle(&request("GET /stats HTTP/1.1\r\n\r\n"));
+        assert!(
+            r.body
+                .contains("\"source\":\"snapshot corpus.snapshot (warm)\""),
+            "{}",
+            r.body
+        );
+    }
+
+    #[test]
+    fn malformed_request_gets_400_over_tcp() {
+        let ep = endpoint();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            let _ = ep.serve_on(listener);
+        });
+
+        // POST whose body never arrives: declared 50 bytes, sent 4.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(
+            stream,
+            "POST /sparql HTTP/1.1\r\nHost: t\r\nContent-Length: 50\r\n\r\nquer"
+        )
+        .unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+
+        // Absurd Content-Length: rejected without allocation.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(
+            stream,
+            "POST /sparql HTTP/1.1\r\nHost: t\r\nContent-Length: 999999999999\r\n\r\n"
+        )
+        .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 400"), "{response}");
     }
 
     /// A burst beyond `workers + queue_depth` must not grow threads: the

@@ -62,6 +62,32 @@ impl<'g> QueryEngine<'g> {
         self.graph
     }
 
+    /// The planner's cardinality statistics for the bound graph: every
+    /// predicate paired with its triple count, in IRI order.
+    ///
+    /// Sorted by IRI (not by interner id) so the numbers compare across
+    /// graphs with different intern orders — in particular, a cold
+    /// source parse versus a warm snapshot load of the same corpus must
+    /// report identical statistics, which is how the snapshot loader's
+    /// persisted stats are cross-checked end to end.
+    pub fn predicate_statistics(&self) -> Vec<(provbench_rdf::Iri, usize)> {
+        let mut stats: Vec<(provbench_rdf::Iri, usize)> = self
+            .graph
+            .predicates()
+            .into_iter()
+            .map(|p| {
+                let count = self
+                    .graph
+                    .term_to_id(&provbench_rdf::Term::Iri(p.clone()))
+                    .map(|id| self.graph.predicate_cardinality(id))
+                    .unwrap_or(0);
+                (p, count)
+            })
+            .collect();
+        stats.sort_by(|(a, _), (b, _)| a.as_str().cmp(b.as_str()));
+        stats
+    }
+
     /// Parse `text` into an executable [`PreparedQuery`].
     pub fn prepare(&self, text: &str) -> Result<PreparedQuery<'g>, QueryError> {
         let query = parse_query(text).map_err(QueryError::Parse)?;
@@ -178,6 +204,30 @@ mod tests {
         let again = engine.prepare_parsed(Arc::clone(p.query()));
         assert_eq!(again.select().unwrap(), a);
         assert!(Arc::ptr_eq(p.query(), again.query()));
+    }
+
+    #[test]
+    fn predicate_statistics_are_iri_ordered_and_intern_order_independent() {
+        let g = graph();
+        let stats = QueryEngine::new(&g).predicate_statistics();
+        let names: Vec<&str> = stats.iter().map(|(p, _)| p.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+        assert_eq!(stats.len(), 2); // rdf:type and e:by
+        assert!(stats.iter().all(|(_, n)| *n == 2));
+
+        // Same triples inserted in a different order intern differently
+        // but must report identical statistics.
+        let (shuffled, _) = parse_turtle(
+            r#"
+            @prefix e: <http://e/> .
+            e:r2 e:by e:bob . e:r2 a e:Run .
+            e:r1 e:by e:alice . e:r1 a e:Run .
+            "#,
+        )
+        .unwrap();
+        assert_eq!(QueryEngine::new(&shuffled).predicate_statistics(), stats);
     }
 
     #[test]

@@ -20,6 +20,9 @@ pub enum RdfError {
         /// The datatype IRI it was supposed to conform to.
         datatype: String,
     },
+    /// An interned term table / id-triple set failed consistency checks
+    /// (see [`crate::Graph::from_interned`]).
+    InvalidInterned(String),
 }
 
 impl fmt::Display for RdfError {
@@ -35,6 +38,7 @@ impl fmt::Display for RdfError {
                     "lexical form {lexical:?} is not valid for datatype <{datatype}>"
                 )
             }
+            RdfError::InvalidInterned(m) => write!(f, "invalid interned graph data: {m}"),
         }
     }
 }

@@ -4,6 +4,7 @@
 //! B-tree indexes (SPO, POS, OSP) so that every triple-pattern shape maps
 //! to a contiguous range scan over integers.
 
+use crate::error::RdfError;
 use crate::interner::Interner;
 pub use crate::interner::TermId;
 use crate::term::{Iri, Subject, Term};
@@ -46,6 +47,72 @@ impl Graph {
     /// Number of distinct terms appearing in any position.
     pub fn term_count(&self) -> usize {
         self.interner.len()
+    }
+
+    /// The interned term table in id order: `TermId::from_u32(i)` resolves
+    /// to `interned_terms()[i]`. Together with
+    /// [`Graph::ids_matching`]`(None, None, None)` this is the complete
+    /// serializable state of a graph.
+    pub fn interned_terms(&self) -> &[Term] {
+        self.interner.terms()
+    }
+
+    /// Rebuild a graph from a term table plus interned id-triples — the
+    /// inverse of [`Graph::interned_terms`] +
+    /// [`Graph::ids_matching`]`(None, None, None)`, used by the binary
+    /// corpus snapshot.
+    ///
+    /// Every id is validated against the table and every position against
+    /// its term kind (subjects must be IRIs or blank nodes, predicates
+    /// IRIs), so malformed input yields an error, never a panic or a
+    /// graph that violates the RDF data model.
+    pub fn from_interned(
+        terms: Vec<Term>,
+        triples: impl IntoIterator<Item = (u32, u32, u32)>,
+    ) -> Result<Graph, RdfError> {
+        let corrupt = |msg: String| RdfError::InvalidInterned(msg);
+        let interner = Interner::from_terms(terms)
+            .ok_or_else(|| corrupt("duplicate term in term table".into()))?;
+        let n = u32::try_from(interner.len())
+            .map_err(|_| corrupt("term table exceeds u32 id space".into()))?;
+        let triples = triples.into_iter();
+        let mut rows: Vec<Key> = Vec::with_capacity(triples.size_hint().0);
+        for (s, p, o) in triples {
+            if s >= n || p >= n || o >= n {
+                return Err(corrupt(format!(
+                    "triple ({s}, {p}, {o}) references ids beyond the {n}-entry term table"
+                )));
+            }
+            let (s, p, o) = (TermId(s), TermId(p), TermId(o));
+            if matches!(interner.resolve(s), Term::Literal(_)) {
+                return Err(corrupt(format!("literal in subject position (id {})", s.0)));
+            }
+            if !matches!(interner.resolve(p), Term::Iri(_)) {
+                return Err(corrupt(format!(
+                    "non-IRI in predicate position (id {})",
+                    p.0
+                )));
+            }
+            rows.push((s, p, o));
+        }
+        rows.sort_unstable();
+        rows.dedup();
+        // collect() bulk-builds a B-tree from its (sorted) input in one
+        // pass — far cheaper than per-triple inserts for a bulk load.
+        let spo: BTreeSet<Key> = rows.iter().copied().collect();
+        let pos: BTreeSet<Key> = rows.iter().map(|&(s, p, o)| (p, o, s)).collect();
+        let osp: BTreeSet<Key> = rows.iter().map(|&(s, p, o)| (o, s, p)).collect();
+        let mut pred_counts: HashMap<TermId, usize> = HashMap::new();
+        for &(_, p, _) in &rows {
+            *pred_counts.entry(p).or_insert(0) += 1;
+        }
+        Ok(Graph {
+            interner,
+            spo,
+            pos,
+            osp,
+            pred_counts,
+        })
     }
 
     /// Insert a triple; returns `true` if it was not already present.
@@ -355,6 +422,55 @@ mod tests {
         assert!(g.is_empty());
         // Removing a triple whose terms were never interned is a no-op.
         assert!(!g.remove(&t("http://e/x", "http://e/y", "http://e/z")));
+    }
+
+    #[test]
+    fn from_interned_roundtrips_terms_and_triples() {
+        let mut g = Graph::new();
+        g.insert(t("http://e/s1", "http://e/p1", "http://e/o1"));
+        g.insert(t("http://e/s1", "http://e/p2", "http://e/o2"));
+        g.insert(Triple::new(
+            BlankNode::new("b0").unwrap(),
+            iri("http://e/p1"),
+            Literal::lang("hi", "en").unwrap(),
+        ));
+        let terms = g.interned_terms().to_vec();
+        let ids: Vec<(u32, u32, u32)> = g
+            .ids_matching(None, None, None)
+            .map(|(s, p, o)| (s.to_u32(), p.to_u32(), o.to_u32()))
+            .collect();
+        let rebuilt = Graph::from_interned(terms, ids).unwrap();
+        assert_eq!(g, rebuilt);
+        assert_eq!(g.term_count(), rebuilt.term_count());
+        for id in 0..g.term_count() as u32 {
+            let id = TermId::from_u32(id);
+            assert_eq!(
+                g.predicate_cardinality(id),
+                rebuilt.predicate_cardinality(id)
+            );
+        }
+    }
+
+    #[test]
+    fn from_interned_rejects_corrupt_input() {
+        let s: Term = iri("http://e/s").into();
+        let p: Term = iri("http://e/p").into();
+        let o: Term = Literal::simple("x").into();
+        let table = vec![s.clone(), p.clone(), o.clone()];
+        // Well-formed baseline.
+        assert!(Graph::from_interned(table.clone(), [(0, 1, 2)]).is_ok());
+        // Id beyond the table.
+        assert!(Graph::from_interned(table.clone(), [(0, 1, 3)]).is_err());
+        // Literal in subject position.
+        assert!(Graph::from_interned(table.clone(), [(2, 1, 0)]).is_err());
+        // Literal in predicate position.
+        assert!(Graph::from_interned(table.clone(), [(0, 2, 1)]).is_err());
+        // Duplicate entry in the term table.
+        assert!(Graph::from_interned(vec![s.clone(), s.clone()], []).is_err());
+        // Errors are the InvalidInterned variant, with a message.
+        let err = Graph::from_interned(table, [(9, 9, 9)]).unwrap_err();
+        assert!(matches!(err, RdfError::InvalidInterned(_)));
+        assert!(err.to_string().contains("invalid interned"));
     }
 
     #[test]

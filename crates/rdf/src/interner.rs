@@ -67,6 +67,28 @@ impl Interner {
     pub fn len(&self) -> usize {
         self.to_term.len()
     }
+
+    /// The interned terms in id order: id `i` resolves to `terms()[i]`.
+    pub fn terms(&self) -> &[Term] {
+        &self.to_term
+    }
+
+    /// Rebuild an interner from a term table in id order (the inverse of
+    /// [`Interner::terms`]). Returns `None` if the table contains a
+    /// duplicate term — a table that no interner could have produced.
+    pub fn from_terms(terms: Vec<Term>) -> Option<Self> {
+        let mut to_id = HashMap::with_capacity(terms.len());
+        for (i, term) in terms.iter().enumerate() {
+            let id = TermId(u32::try_from(i).ok()?);
+            if to_id.insert(term.clone(), id).is_some() {
+                return None;
+            }
+        }
+        Some(Interner {
+            to_id,
+            to_term: terms,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -40,6 +40,7 @@
 //! ```
 
 pub mod canon;
+pub mod codec;
 pub mod dataset;
 pub mod error;
 pub mod graph;

@@ -265,7 +265,12 @@ impl Literal {
 }
 
 /// Escape a string for inclusion between double quotes in N-Triples/Turtle.
+///
+/// Control characters without a single-letter escape are emitted as
+/// `\uXXXX` so serialized output never contains raw control bytes and
+/// re-serialization is byte-stable (the snapshot checksum relies on it).
 pub(crate) fn escape_literal(s: &str, out: &mut String) {
+    use std::fmt::Write as _;
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -275,6 +280,9 @@ pub(crate) fn escape_literal(s: &str, out: &mut String) {
             '\t' => out.push_str("\\t"),
             '\u{08}' => out.push_str("\\b"),
             '\u{0C}' => out.push_str("\\f"),
+            c if c.is_control() => {
+                let _ = write!(out, "\\u{:04X}", c as u32);
+            }
             _ => out.push(c),
         }
     }
@@ -482,6 +490,17 @@ mod tests {
             l.to_string(),
             "\"line1\\nline2\\t\\\"quoted\\\" \\\\slash\""
         );
+    }
+
+    #[test]
+    fn control_characters_escape_as_hex() {
+        // Control characters without a single-letter escape must not leak
+        // raw into serialized output.
+        let l = Literal::simple("a\u{01}b\u{0B}c\u{7F}d\u{85}e");
+        assert_eq!(l.to_string(), "\"a\\u0001b\\u000Bc\\u007Fd\\u0085e\"");
+        // The named escapes keep their short forms.
+        let named = Literal::simple("\u{08}\u{0C}");
+        assert_eq!(named.to_string(), "\"\\b\\f\"");
     }
 
     #[test]

@@ -16,18 +16,41 @@ pub(crate) fn render_iri(iri: &Iri, prefixes: &PrefixMap) -> String {
     }
 }
 
+/// Whether a lexical form matches Turtle's INTEGER production
+/// (`[+-]? [0-9]+`), so the bare form re-lexes to the identical
+/// `xsd:integer` literal.
+fn is_bare_integer(lexical: &str) -> bool {
+    let digits = lexical.strip_prefix(['+', '-']).unwrap_or(lexical);
+    !digits.is_empty() && digits.bytes().all(|b| b.is_ascii_digit())
+}
+
+/// Whether a lexical form matches Turtle's DECIMAL production
+/// (`[+-]? [0-9]* '.' [0-9]+`), so the bare form re-lexes to the
+/// identical `xsd:decimal` literal. Anything looser breaks round-trips:
+/// `"1."` re-lexes as an integer followed by a statement-ending dot, and
+/// exponent forms like `"2.5e3"` re-lex as `xsd:double`.
+fn is_bare_decimal(lexical: &str) -> bool {
+    let body = lexical.strip_prefix(['+', '-']).unwrap_or(lexical);
+    match body.split_once('.') {
+        Some((int, frac)) => {
+            int.bytes().all(|b| b.is_ascii_digit())
+                && !frac.is_empty()
+                && frac.bytes().all(|b| b.is_ascii_digit())
+        }
+        None => false,
+    }
+}
+
 /// Render a literal, using bare numeric/boolean forms when the lexical
 /// form is canonical, and compacting datatype IRIs.
 pub(crate) fn render_literal(lit: &Literal, prefixes: &PrefixMap) -> String {
     let dt = lit.datatype();
     match dt.as_str() {
-        xsd::INTEGER if lit.lexical().parse::<i64>().is_ok() => return lit.lexical().to_owned(),
+        xsd::INTEGER if is_bare_integer(lit.lexical()) => return lit.lexical().to_owned(),
         xsd::BOOLEAN if matches!(lit.lexical(), "true" | "false") => {
             return lit.lexical().to_owned()
         }
-        xsd::DECIMAL if lit.lexical().contains('.') && lit.lexical().parse::<f64>().is_ok() => {
-            return lit.lexical().to_owned()
-        }
+        xsd::DECIMAL if is_bare_decimal(lit.lexical()) => return lit.lexical().to_owned(),
         _ => {}
     }
     let mut out = String::with_capacity(lit.lexical().len() + 8);
@@ -175,6 +198,40 @@ mod tests {
         let pm = PrefixMap::common();
         let weird = Literal::typed("0x2A", iri(xsd::INTEGER));
         assert!(render_literal(&weird, &pm).starts_with('"'));
+    }
+
+    #[test]
+    fn hazardous_decimal_lexicals_stay_quoted_and_roundtrip() {
+        let pm = PrefixMap::common();
+        // "1." would re-lex as INTEGER '1' + statement-ending '.', and
+        // exponent forms re-lex as xsd:double — both must stay quoted.
+        for lexical in ["1.", "2.5e3", "1e5", "NaN", "inf", ".", "+.", "1.2.3"] {
+            let lit = Literal::typed(lexical, iri(xsd::DECIMAL));
+            assert!(
+                render_literal(&lit, &pm).starts_with('"'),
+                "{lexical:?} must stay quoted"
+            );
+            let mut g = Graph::new();
+            g.insert(Triple::new(iri("http://e/s"), iri("http://e/p"), lit));
+            let ttl = write_turtle(&g, &pm);
+            let (g2, _) = crate::turtle::parse_turtle(&ttl)
+                .unwrap_or_else(|e| panic!("{lexical:?}: {e}\n{ttl}"));
+            assert_eq!(g, g2, "roundtrip mismatch for {lexical:?}");
+        }
+        // Grammar-conforming decimals (including a bare fraction) go bare.
+        for lexical in ["2.5", "-0.25", "+10.0", ".5"] {
+            let lit = Literal::typed(lexical, iri(xsd::DECIMAL));
+            assert_eq!(render_literal(&lit, &pm), lexical);
+            let mut g = Graph::new();
+            g.insert(Triple::new(iri("http://e/s"), iri("http://e/p"), lit));
+            let ttl = write_turtle(&g, &pm);
+            let (g2, _) = crate::turtle::parse_turtle(&ttl).unwrap();
+            assert_eq!(g, g2, "roundtrip mismatch for bare {lexical:?}");
+        }
+        // Oversized integers exceed i64 but still match the INTEGER
+        // production, so the bare form is safe (and shorter).
+        let big = Literal::typed("123456789012345678901234567890", iri(xsd::INTEGER));
+        assert_eq!(render_literal(&big, &pm), "123456789012345678901234567890");
     }
 
     #[test]

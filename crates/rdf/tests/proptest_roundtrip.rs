@@ -34,6 +34,40 @@ fn arb_literal() -> impl Strategy<Value = Literal> {
     ]
 }
 
+/// Literals chosen to stress the writer's escaping and bare-token rules:
+/// control characters, quote/backslash runs, and typed lexical forms that
+/// a careless writer would emit bare and the parser would re-lex as a
+/// different datatype ("1." as integer-plus-dot, "2.5e3" as a double).
+fn arb_adversarial_literal() -> impl Strategy<Value = Literal> {
+    let xsd = |local: &str| Iri::new(format!("http://www.w3.org/2001/XMLSchema#{local}")).unwrap();
+    let decimal = xsd("decimal");
+    let double = xsd("double");
+    let custom = Iri::new("http://example.org/dt").unwrap();
+    prop_oneof![
+        // Control characters and escape-worthy runs in simple strings.
+        "[\\x00-\\x1f\"\\\\]{1,8}".prop_map(Literal::simple),
+        "[\"\\\\]{0,4}[ -~]{0,8}[\\x00-\\x08\\x0b\\x0c\\x0e-\\x1f]{0,4}".prop_map(Literal::simple),
+        // Decimal lexicals with trailing/leading dots and exponents that
+        // must not survive as bare tokens.
+        prop_oneof![
+            Just("1.".to_string()),
+            Just(".5".to_string()),
+            Just("-3.".to_string()),
+            "[0-9]{1,6}\\.".prop_map(|s| s),
+            "\\.[0-9]{1,6}".prop_map(|s| s),
+        ]
+        .prop_map(move |lex| Literal::typed(lex, decimal.clone())),
+        prop_oneof![
+            Just("2.5e3".to_string()),
+            Just("1E10".to_string()),
+            "[0-9]{1,4}\\.[0-9]{1,4}[eE]-?[0-9]{1,2}".prop_map(|s| s),
+        ]
+        .prop_map(move |lex| Literal::typed(lex, double.clone())),
+        // Custom-typed literals whose lexical forms carry escapes.
+        "[ -~\\n\\t\"\\\\]{0,16}".prop_map(move |lex| Literal::typed(lex, custom.clone())),
+    ]
+}
+
 fn arb_subject() -> impl Strategy<Value = Subject> {
     prop_oneof![
         arb_iri().prop_map(Subject::Iri),
@@ -55,6 +89,20 @@ fn arb_triple() -> impl Strategy<Value = Triple> {
 
 fn arb_graph() -> impl Strategy<Value = Graph> {
     prop::collection::vec(arb_triple(), 0..40).prop_map(Graph::from_iter)
+}
+
+fn arb_adversarial_triple() -> impl Strategy<Value = Triple> {
+    (
+        arb_subject(),
+        arb_iri(),
+        arb_adversarial_literal().prop_map(Term::Literal),
+    )
+        .prop_map(|(s, p, o)| Triple::new(s, p, o))
+}
+
+fn arb_adversarial_graph() -> impl Strategy<Value = Graph> {
+    prop::collection::vec(prop_oneof![arb_triple(), arb_adversarial_triple()], 0..30)
+        .prop_map(Graph::from_iter)
 }
 
 fn arb_dataset() -> impl Strategy<Value = Dataset> {
@@ -103,6 +151,70 @@ proptest! {
         let doc = write_trig(&ds, &pm);
         let (ds2, _) = parse_trig(&doc).unwrap();
         prop_assert_eq!(ds, ds2);
+    }
+
+    #[test]
+    fn adversarial_turtle_roundtrip(g in arb_adversarial_graph()) {
+        let pm = PrefixMap::common();
+        let ttl = write_turtle(&g, &pm);
+        let (g2, _) = parse_turtle(&ttl).unwrap();
+        prop_assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn adversarial_ntriples_roundtrip(g in arb_adversarial_graph()) {
+        let nt = write_ntriples(&g);
+        let g2 = parse_ntriples(&nt).unwrap();
+        prop_assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn turtle_write_is_byte_stable(g in arb_adversarial_graph()) {
+        // One parse/write cycle must be a fixed point: re-serializing the
+        // parsed graph reproduces the document byte for byte.
+        let pm = PrefixMap::common();
+        let first = write_turtle(&g, &pm);
+        let (reparsed, _) = parse_turtle(&first).unwrap();
+        let second = write_turtle(&reparsed, &pm);
+        prop_assert_eq!(first, second);
+    }
+
+    #[test]
+    fn interned_id_roundtrip(g in arb_adversarial_graph()) {
+        // Exporting the interner table plus id-triples and rebuilding via
+        // from_interned (the snapshot load path) is lossless.
+        let terms = g.interned_terms().to_vec();
+        let ids: Vec<(u32, u32, u32)> = g
+            .ids_matching(None, None, None)
+            .map(|(s, p, o)| (s.to_u32(), p.to_u32(), o.to_u32()))
+            .collect();
+        let rebuilt = Graph::from_interned(terms, ids).unwrap();
+        prop_assert_eq!(&g, &rebuilt);
+        // And the id space survives verbatim, not just the triple set.
+        for id in 0..g.term_count() as u32 {
+            let id = provbench_rdf::TermId::from_u32(id);
+            prop_assert_eq!(g.id_to_term(id), rebuilt.id_to_term(id));
+        }
+    }
+
+    #[test]
+    fn codec_slab_roundtrip(g in arb_adversarial_graph()) {
+        use provbench_rdf::codec;
+        let mut buf = Vec::new();
+        codec::write_term_table(&mut buf, g.interned_terms());
+        let triples: Vec<(u32, u32, u32)> = g
+            .ids_matching(None, None, None)
+            .map(|(s, p, o)| (s.to_u32(), p.to_u32(), o.to_u32()))
+            .collect();
+        let mut sorted = triples.clone();
+        sorted.sort_unstable();
+        codec::write_slab(&mut buf, &sorted);
+        let mut r = codec::Reader::new(&buf);
+        let terms = codec::read_term_table(&mut r).unwrap();
+        let slab = codec::read_slab(&mut r).unwrap();
+        prop_assert!(r.is_empty());
+        prop_assert_eq!(terms.as_slice(), g.interned_terms());
+        prop_assert_eq!(slab, sorted);
     }
 
     #[test]

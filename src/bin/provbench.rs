@@ -9,7 +9,12 @@
 //! provbench lint [PATH] [--format F] [--baseline FILE]    static-analyse corpus files (provlint)
 //! provbench query 'SPARQL' [--dir DIR]                    query a corpus (generated or loaded)
 //! provbench serve [--addr HOST:PORT]                      SPARQL endpoint + web UI
+//! provbench snapshot build|info --dir DIR                 manage the binary corpus snapshot
 //! ```
+//!
+//! Every `--dir` consumer loads through `CorpusStore::open_or_build`: a
+//! valid `corpus.snapshot` is memory-loaded, anything else falls back
+//! to parsing the RDF sources and rewrites the snapshot.
 
 use provbench::analysis::coverage::term_usage;
 use provbench::analysis::{coverage_of_corpus, dependency_edges};
@@ -109,16 +114,48 @@ fn spec_of(o: &Options) -> CorpusSpec {
     }
 }
 
-fn corpus_graph(o: &Options) -> Result<Graph, String> {
+/// Open a corpus directory through the binary snapshot cache: a valid
+/// `corpus.snapshot` memory-loads, anything else falls back to a
+/// (parallel) parse of the RDF sources and rewrites the snapshot.
+fn open_dir_store(o: &Options, dir: &str) -> Result<store::CorpusStore, String> {
+    let jobs = o.jobs.unwrap_or_else(store::default_load_jobs);
+    let s = store::CorpusStore::open_or_build_with_threads(Path::new(dir), jobs)
+        .map_err(|e| format!("load {dir}: {e}"))?;
+    if s.corpus.traces.is_empty() {
+        return Err(format!("{dir} contains no corpus traces"));
+    }
+    Ok(s)
+}
+
+/// One-line description of where a store's data came from, for logs and
+/// the endpoint's `/stats` route.
+fn provenance_summary(p: &store::SnapshotProvenance) -> String {
+    if p.warm {
+        format!(
+            "snapshot {} (warm, v{}, {} bytes)",
+            p.path.display(),
+            p.version,
+            p.snapshot_bytes
+        )
+    } else {
+        match &p.rebuild_reason {
+            Some(reason) => format!("rebuilt from {} source files: {reason}", p.source_files),
+            None => format!("parsed {} source files (snapshot written)", p.source_files),
+        }
+    }
+}
+
+fn corpus_graph(o: &Options) -> Result<(Graph, String), String> {
     match &o.dir {
         Some(dir) => {
-            let loaded = store::load(Path::new(dir)).map_err(|e| format!("load {dir}: {e}"))?;
-            if loaded.traces.is_empty() {
-                return Err(format!("{dir} contains no corpus traces"));
-            }
-            Ok(loaded.combined_dataset().union_graph())
+            let s = open_dir_store(o, dir)?;
+            let source = provenance_summary(&s.provenance);
+            Ok((s.union, source))
         }
-        None => Ok(Corpus::generate(&spec_of(o)).combined_graph()),
+        None => Ok((
+            Corpus::generate(&spec_of(o)).combined_graph(),
+            format!("generated in memory (seed {})", o.seed),
+        )),
     }
 }
 
@@ -164,12 +201,7 @@ fn cmd_coverage(o: &Options) -> Result<(), String> {
 
 fn cmd_validate(o: &Options) -> Result<(), String> {
     let dir = o.dir.as_deref().ok_or("validate needs --dir DIR")?;
-    let loaded = store::load(Path::new(dir)).map_err(|e| format!("load {dir}: {e}"))?;
-    if loaded.traces.is_empty() {
-        return Err(format!(
-            "{dir} contains no corpus traces (wrong directory?)"
-        ));
-    }
+    let loaded = open_dir_store(o, dir)?.corpus;
     let mut bad = 0usize;
     for trace in &loaded.traces {
         let violations = validate(&trace.dataset.union_graph());
@@ -230,7 +262,8 @@ fn query_error(source: &str, e: QueryError) -> String {
 
 fn cmd_query(o: &Options) -> Result<(), String> {
     let q = o.positional.first().ok_or("query needs a SPARQL string")?;
-    let graph = corpus_graph(o)?;
+    let (graph, source) = corpus_graph(o)?;
+    eprintln!("corpus: {source}");
     let full = format!("{PREFIXES}\n{q}");
     let solutions = QueryEngine::new(&graph)
         .prepare(&full)
@@ -250,9 +283,14 @@ fn cmd_query(o: &Options) -> Result<(), String> {
 }
 
 fn cmd_serve(o: &Options) -> Result<(), String> {
-    let graph = corpus_graph(o)?;
-    eprintln!("serving {} triples on http://{}/", graph.len(), o.addr);
+    let (graph, source) = corpus_graph(o)?;
+    eprintln!(
+        "serving {} triples on http://{}/ (corpus: {source})",
+        graph.len(),
+        o.addr
+    );
     Endpoint::new(graph)
+        .with_source(source)
         .serve(&o.addr)
         .map_err(|e| e.to_string())
 }
@@ -354,7 +392,7 @@ fn cmd_explain(o: &Options) -> Result<(), String> {
         .positional
         .first()
         .ok_or("explain needs a SPARQL string")?;
-    let graph = corpus_graph(o)?;
+    let (graph, _source) = corpus_graph(o)?;
     let full = format!("{PREFIXES}\n{q}");
     let prepared = QueryEngine::new(&graph)
         .prepare(&full)
@@ -370,17 +408,51 @@ fn cmd_interop(o: &Options) -> Result<(), String> {
     Ok(())
 }
 
-/// Lint a path on disk, or — with no path — the generated corpus
-/// serialized in memory exactly as `provbench generate` would write it.
+/// Lint a path on disk, a corpus directory loaded through its snapshot
+/// (`--dir`), or — with neither — the generated corpus serialized in
+/// memory exactly as `provbench generate` would write it.
 fn cmd_lint(o: &Options) -> Result<(), String> {
     use provbench::diag;
 
     let registry = diag::Registry::with_default_rules();
     let jobs = o.jobs.unwrap_or_else(diag::default_jobs);
-    let mut reports: Vec<diag::FileReport> = match o.positional.first() {
-        Some(path) => diag::lint_path(Path::new(path), &registry, jobs)
+    let mut reports: Vec<diag::FileReport> = match (o.positional.first(), &o.dir) {
+        (Some(path), _) => diag::lint_path(Path::new(path), &registry, jobs)
             .map_err(|e| format!("lint {path}: {e}"))?,
-        None => {
+        (None, Some(dir)) => {
+            // Snapshot-loaded graphs carry no concrete syntax, so these
+            // diagnostics have file labels but no line/column spans.
+            let s = open_dir_store(o, dir)?;
+            let mut reports = Vec::new();
+            for d in &s.corpus.descriptions {
+                let label = format!(
+                    "{}/{}/{}",
+                    d.system.name().to_ascii_lowercase(),
+                    d.template_name,
+                    store::description_file(d.system)
+                );
+                reports.push(diag::FileReport {
+                    diagnostics: diag::lint_graph(&label, &d.graph, &registry),
+                    path: label,
+                });
+            }
+            for trace in &s.corpus.traces {
+                let label = format!(
+                    "{}/{}/{}.{}",
+                    trace.system.name().to_ascii_lowercase(),
+                    trace.template_name,
+                    trace.run_id,
+                    store::trace_extension(trace.system)
+                );
+                let graph = trace.dataset.union_graph();
+                reports.push(diag::FileReport {
+                    diagnostics: diag::lint_graph(&label, &graph, &registry),
+                    path: label,
+                });
+            }
+            reports
+        }
+        (None, None) => {
             let corpus = Corpus::generate(&spec_of(o));
             let mut files: Vec<(String, String)> = Vec::new();
             for ((system, template), description) in
@@ -451,6 +523,52 @@ fn cmd_lint(o: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// `snapshot build` / `snapshot info`: manage the binary corpus cache.
+fn cmd_snapshot(o: &Options) -> Result<(), String> {
+    let action = o
+        .positional
+        .first()
+        .map(String::as_str)
+        .ok_or("snapshot needs an action: build | info")?;
+    let dir = o.dir.as_deref().ok_or("snapshot needs --dir DIR")?;
+    let jobs = o.jobs.unwrap_or_else(store::default_load_jobs);
+    let s = match action {
+        "build" => store::CorpusStore::build(Path::new(dir), jobs)
+            .map_err(|e| format!("build {dir}: {e}"))?,
+        "info" => store::CorpusStore::open_or_build_with_threads(Path::new(dir), jobs)
+            .map_err(|e| format!("open {dir}: {e}"))?,
+        other => return Err(format!("unknown snapshot action {other:?} (build | info)")),
+    };
+    let p = &s.provenance;
+    println!("snapshot: {}", p.path.display());
+    if p.warm {
+        println!(
+            "status: warm (format v{}, {} bytes)",
+            p.version, p.snapshot_bytes
+        );
+    } else {
+        match &p.rebuild_reason {
+            Some(reason) => println!("status: rebuilt ({reason})"),
+            None => println!(
+                "status: built (format v{}, {} bytes)",
+                p.version, p.snapshot_bytes
+            ),
+        }
+        if p.snapshot_bytes == 0 {
+            println!("warning: snapshot could not be written (read-only directory?)");
+        }
+    }
+    println!("source: {} files, {} bytes", p.source_files, p.source_bytes);
+    println!(
+        "corpus: {} traces + {} descriptions, {} triples, {} terms",
+        s.corpus.traces.len(),
+        s.corpus.descriptions.len(),
+        s.union.len(),
+        s.union.term_count()
+    );
+    Ok(())
+}
+
 fn cmd_usage(o: &Options) -> Result<(), String> {
     let corpus = Corpus::generate(&spec_of(o));
     let rows = term_usage(
@@ -485,7 +603,9 @@ const USAGE: &str = "usage: provbench <command> [options]
   interop  [--seed N]                           cross-system capability report
   lineage  RUN_ID [--seed N]                    one trace's lineage as DOT
   ro       TEMPLATE [--seed N]                  research-object manifest (Turtle)
-  explain 'SPARQL' [--dir DIR | --seed N]       show the evaluation plan + estimates";
+  explain 'SPARQL' [--dir DIR | --seed N]       show the evaluation plan + estimates
+  snapshot build|info --dir DIR [--jobs N]      build/inspect the binary corpus snapshot
+           (query/serve/validate/lint --dir load through it automatically)";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -510,6 +630,7 @@ fn main() -> ExitCode {
         "timeline" => cmd_timeline(&options),
         "interop" => cmd_interop(&options),
         "explain" => cmd_explain(&options),
+        "snapshot" => cmd_snapshot(&options),
         "validate" => cmd_validate(&options),
         "query" => cmd_query(&options),
         "serve" => cmd_serve(&options),
