@@ -1,0 +1,230 @@
+//! Quarantine ingestion: the structured record of corpus files that
+//! failed to load.
+//!
+//! The paper's corpus deliberately contains failure (30 of 198 runs
+//! failed), and a production loader has to extend the same courtesy to
+//! its own inputs: one malformed Turtle file must not take down the
+//! other 197. Files that fail to read or parse are *quarantined* — the
+//! rest of the corpus still builds, and every casualty is recorded in an
+//! [`IngestReport`] persisted next to the snapshot
+//! ([`INGEST_REPORT_FILE`]) so `provbench snapshot info`, the endpoint's
+//! `/readyz` route and scripts can gate on corpus health.
+
+use std::fmt;
+
+/// File name of the persisted report, at the corpus directory root.
+pub const INGEST_REPORT_FILE: &str = "corpus.ingest-report.tsv";
+
+/// Header line identifying the persisted report format.
+const REPORT_HEADER: &str = "# provbench ingest report v1";
+
+/// One corpus file that could not be loaded.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IngestError {
+    /// Path relative to the corpus directory.
+    pub path: String,
+    /// What went wrong. For parse errors this includes `line:column`.
+    pub message: String,
+    /// 1-based line of a parse error, when known.
+    pub line: Option<usize>,
+    /// 1-based column of a parse error, when known.
+    pub column: Option<usize>,
+    /// Byte offset of the error position in the file, when known.
+    pub byte_offset: Option<u64>,
+    /// `true` for I/O failures (read errors), `false` for parse errors.
+    pub io: bool,
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.path)?;
+        if let (Some(line), Some(column)) = (self.line, self.column) {
+            write!(f, ":{line}:{column}")?;
+        }
+        write!(f, ": {}", self.message)?;
+        if let Some(off) = self.byte_offset {
+            write!(f, " (byte {off})")?;
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of one ingestion pass: how many files were attempted and
+/// which of them were quarantined.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct IngestReport {
+    /// RDF files the loader attempted to read.
+    pub attempted: usize,
+    /// Files that failed and were quarantined, in walk order.
+    pub errors: Vec<IngestError>,
+}
+
+impl IngestReport {
+    /// `true` when every attempted file loaded.
+    pub fn is_clean(&self) -> bool {
+        self.errors.is_empty()
+    }
+
+    /// Number of files that loaded successfully.
+    pub fn loaded(&self) -> usize {
+        self.attempted - self.errors.len()
+    }
+
+    /// Serialize for persistence: a header, a count line, then one
+    /// tab-separated line per quarantined file (`-` for unknown fields;
+    /// tabs/newlines/backslashes in messages are escaped).
+    pub fn to_tsv(&self) -> String {
+        let mut out = format!("{REPORT_HEADER}\n# attempted {}\n", self.attempted);
+        for e in &self.errors {
+            out.push_str(&format!(
+                "{}\t{}\t{}\t{}\t{}\t{}\n",
+                escape(&e.path),
+                opt(e.line),
+                opt(e.column),
+                opt(e.byte_offset),
+                if e.io { "io" } else { "parse" },
+                escape(&e.message),
+            ));
+        }
+        out
+    }
+
+    /// Parse a persisted report. `None` when the text is not a report
+    /// this build understands (treated as "no report" by callers — a
+    /// torn report file must never block loading).
+    pub fn from_tsv(text: &str) -> Option<IngestReport> {
+        let mut lines = text.lines();
+        if lines.next()? != REPORT_HEADER {
+            return None;
+        }
+        let attempted = lines.next()?.strip_prefix("# attempted ")?.parse().ok()?;
+        let mut errors = Vec::new();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = line.split('\t').collect();
+            if fields.len() != 6 {
+                return None;
+            }
+            errors.push(IngestError {
+                path: unescape(fields[0]),
+                line: parse_opt(fields[1])?,
+                column: parse_opt(fields[2])?,
+                byte_offset: parse_opt(fields[3])?,
+                io: match fields[4] {
+                    "io" => true,
+                    "parse" => false,
+                    _ => return None,
+                },
+                message: unescape(fields[5]),
+            });
+        }
+        Some(IngestReport { attempted, errors })
+    }
+}
+
+impl fmt::Display for IngestReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} of {} files quarantined",
+            self.errors.len(),
+            self.attempted
+        )
+    }
+}
+
+fn opt<T: fmt::Display>(v: Option<T>) -> String {
+    v.map_or_else(|| "-".to_owned(), |v| v.to_string())
+}
+
+fn parse_opt<T: std::str::FromStr>(s: &str) -> Option<Option<T>> {
+    if s == "-" {
+        Some(None)
+    } else {
+        s.parse().ok().map(Some)
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('\t', "\\t")
+        .replace('\n', "\\n")
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some(other) => out.push(other),
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> IngestReport {
+        IngestReport {
+            attempted: 42,
+            errors: vec![
+                IngestError {
+                    path: "taverna/t1/run-1.prov.ttl".into(),
+                    message: "expected '.' after object".into(),
+                    line: Some(12),
+                    column: Some(7),
+                    byte_offset: Some(345),
+                    io: false,
+                },
+                IngestError {
+                    path: "wings/w1/run-9.prov.trig".into(),
+                    message: "read interrupted\twith tab".into(),
+                    line: None,
+                    column: None,
+                    byte_offset: None,
+                    io: true,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn tsv_roundtrip() {
+        let report = sample();
+        let text = report.to_tsv();
+        assert_eq!(IngestReport::from_tsv(&text), Some(report));
+    }
+
+    #[test]
+    fn garbage_is_not_a_report() {
+        assert_eq!(IngestReport::from_tsv("not a report"), None);
+        assert_eq!(IngestReport::from_tsv(""), None);
+        // A torn (truncated) report: header survives, a data line is cut
+        // mid-fields — rejected, not misparsed.
+        let text = sample().to_tsv();
+        let cut = &text[..text.len() - 30];
+        assert!(IngestReport::from_tsv(cut).is_none() || cut.lines().count() < 4);
+    }
+
+    #[test]
+    fn display_is_actionable() {
+        let report = sample();
+        let line = report.errors[0].to_string();
+        assert!(line.contains("run-1.prov.ttl:12:7"), "{line}");
+        assert!(line.contains("byte 345"), "{line}");
+        assert_eq!(report.to_string(), "2 of 42 files quarantined");
+        assert!(!report.is_clean());
+        assert_eq!(report.loaded(), 40);
+    }
+}

@@ -24,15 +24,25 @@
 //! assert_eq!(corpus.traces.iter().filter(|t| t.failed()).count(), 2);
 //! ```
 
+pub mod fsio;
 pub mod generate;
+pub mod ingest;
 pub mod ro;
 pub mod snapshot;
 pub mod spec;
 pub mod stats;
 pub mod store;
 
+pub use fsio::{RealFs, StoreFs, REAL_FS};
 pub use generate::{Corpus, TraceRecord};
+pub use ingest::{IngestError, IngestReport, INGEST_REPORT_FILE};
 pub use ro::{corpus_research_objects, research_object_for};
 pub use spec::{CorpusSpec, PlannedRun, RunPlan};
 pub use stats::{CorpusStats, DomainRow, Table1};
-pub use store::{CorpusStore, LoadedCorpus, LoadedDescription, LoadedTrace, SnapshotProvenance};
+pub use store::{
+    CorpusStore, LoadOutcome, LoadedCorpus, LoadedDescription, LoadedTrace, SnapshotProvenance,
+    StoreOptions,
+};
+
+#[cfg(feature = "fault-inject")]
+pub use fsio::{FaultFs, FaultKind};

@@ -2,10 +2,12 @@
 //! workflow, mirroring the layout of the published Wf4Ever-PROV corpus
 //! repository (a directory per system, a directory per workflow).
 
+use crate::fsio::{StoreFs, REAL_FS};
 use crate::generate::{Corpus, TraceRecord};
+use crate::ingest::{IngestError, IngestReport, INGEST_REPORT_FILE};
 use crate::snapshot::{self, SNAPSHOT_FILE, VERSION};
 use provbench_rdf::{
-    parse_trig, parse_turtle, write_trig, write_turtle, Dataset, Graph, PrefixMap,
+    parse_trig, parse_turtle, write_trig, write_turtle, Dataset, Graph, ParseError, PrefixMap,
 };
 use provbench_workflow::System;
 use std::fs;
@@ -13,6 +15,15 @@ use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Temp file the snapshot is staged in before its atomic rename; a
+/// crash can only ever leave a stale temp file, never a torn snapshot.
+pub const SNAPSHOT_TMP: &str = "corpus.snapshot.tmp";
+
+/// Advisory lock taken while (re)building the snapshot, so concurrent
+/// `open_or_build` callers don't race duplicate rebuilds.
+pub const SNAPSHOT_LOCK: &str = "corpus.snapshot.lock";
 
 /// Serialize one trace in its system's native format: Turtle for Taverna
 /// (flat graph), TriG for Wings (account bundle as a named graph).
@@ -176,13 +187,6 @@ impl LoadedCorpus {
     }
 }
 
-fn parse_error(path: &Path, e: impl std::fmt::Display) -> io::Error {
-    io::Error::new(
-        io::ErrorKind::InvalidData,
-        format!("{}: {e}", path.display()),
-    )
-}
-
 /// What kind of corpus file a directory entry is.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum FileKind {
@@ -196,6 +200,8 @@ enum FileKind {
 #[derive(Clone, Debug)]
 struct CorpusFile {
     path: PathBuf,
+    /// Path relative to the corpus directory, for reports.
+    rel: String,
     system: System,
     template_name: String,
     kind: FileKind,
@@ -241,8 +247,14 @@ fn collect_corpus_files(dir: &Path) -> io::Result<Vec<CorpusFile>> {
                 } else {
                     continue;
                 };
+                let rel = path
+                    .strip_prefix(dir)
+                    .unwrap_or(&path)
+                    .to_string_lossy()
+                    .into_owned();
                 files.push(CorpusFile {
                     path,
+                    rel,
                     system,
                     template_name: template_name.clone(),
                     kind,
@@ -259,8 +271,36 @@ enum ParsedFile {
     Trace(LoadedTrace),
 }
 
-fn parse_corpus_file(file: &CorpusFile) -> io::Result<ParsedFile> {
-    let content = fs::read_to_string(&file.path)?;
+/// Wrap an I/O failure as a quarantine record.
+fn io_ingest_error(file: &CorpusFile, e: &io::Error) -> IngestError {
+    IngestError {
+        path: file.rel.clone(),
+        message: e.to_string(),
+        line: None,
+        column: None,
+        byte_offset: None,
+        io: true,
+    }
+}
+
+/// Wrap a parse failure as a quarantine record, carrying line, column
+/// and byte offset so the report is actionable without re-parsing.
+fn parse_ingest_error(file: &CorpusFile, e: &ParseError, content: &str) -> IngestError {
+    IngestError {
+        path: file.rel.clone(),
+        // The bare message: IngestError's Display adds the position.
+        message: e.message.clone(),
+        line: Some(e.line),
+        column: Some(e.column),
+        byte_offset: e.byte_offset_in(content).map(|o| o as u64),
+        io: false,
+    }
+}
+
+fn parse_corpus_file(file: &CorpusFile, fs: &dyn StoreFs) -> Result<ParsedFile, IngestError> {
+    let content = fs
+        .read_to_string(&file.path)
+        .map_err(|e| io_ingest_error(file, &e))?;
     let name = file
         .path
         .file_name()
@@ -268,7 +308,8 @@ fn parse_corpus_file(file: &CorpusFile) -> io::Result<ParsedFile> {
         .unwrap_or_default();
     match file.kind {
         FileKind::Description => {
-            let (g, _) = parse_turtle(&content).map_err(|e| parse_error(&file.path, e))?;
+            let (g, _) =
+                parse_turtle(&content).map_err(|e| parse_ingest_error(file, &e, &content))?;
             Ok(ParsedFile::Description(LoadedDescription {
                 system: file.system,
                 template_name: file.template_name.clone(),
@@ -276,7 +317,8 @@ fn parse_corpus_file(file: &CorpusFile) -> io::Result<ParsedFile> {
             }))
         }
         FileKind::TraceTurtle => {
-            let (g, _) = parse_turtle(&content).map_err(|e| parse_error(&file.path, e))?;
+            let (g, _) =
+                parse_turtle(&content).map_err(|e| parse_ingest_error(file, &e, &content))?;
             let mut ds = Dataset::new();
             *ds.default_graph_mut() = g;
             Ok(ParsedFile::Trace(LoadedTrace {
@@ -287,7 +329,8 @@ fn parse_corpus_file(file: &CorpusFile) -> io::Result<ParsedFile> {
             }))
         }
         FileKind::TraceTrig => {
-            let (ds, _) = parse_trig(&content).map_err(|e| parse_error(&file.path, e))?;
+            let (ds, _) =
+                parse_trig(&content).map_err(|e| parse_ingest_error(file, &e, &content))?;
             Ok(ParsedFile::Trace(LoadedTrace {
                 run_id: name.trim_end_matches(".prov.trig").to_owned(),
                 system: file.system,
@@ -309,50 +352,89 @@ pub fn default_load_jobs() -> usize {
 }
 
 /// Parse a listed set of files, fanning out over `jobs` worker threads.
-/// The result is independent of `jobs`: files are reassembled in listing
-/// order, so parallel and sequential loads are identical.
-fn parse_files(files: &[CorpusFile], jobs: usize) -> io::Result<Vec<ParsedFile>> {
-    if jobs <= 1 || files.len() <= 1 {
-        return files.iter().map(parse_corpus_file).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<(usize, io::Result<ParsedFile>)>> =
-        Mutex::new(Vec::with_capacity(files.len()));
-    std::thread::scope(|scope| {
-        for _ in 0..jobs.min(files.len()) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(file) = files.get(i) else { break };
-                let parsed = parse_corpus_file(file);
-                results
-                    .lock()
-                    .expect("corpus parser panicked")
-                    .push((i, parsed));
-            });
+/// Files that fail to read or parse are quarantined, never fatal: the
+/// good files come back in listing order (so parallel and sequential
+/// loads are identical) alongside the quarantine records.
+fn parse_files(
+    files: &[CorpusFile],
+    jobs: usize,
+    fs: &dyn StoreFs,
+) -> (Vec<ParsedFile>, Vec<IngestError>) {
+    let results: Vec<Result<ParsedFile, IngestError>> = if jobs <= 1 || files.len() <= 1 {
+        files.iter().map(|f| parse_corpus_file(f, fs)).collect()
+    } else {
+        let next = AtomicUsize::new(0);
+        let slots: Mutex<Vec<(usize, Result<ParsedFile, IngestError>)>> =
+            Mutex::new(Vec::with_capacity(files.len()));
+        std::thread::scope(|scope| {
+            for _ in 0..jobs.min(files.len()) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(file) = files.get(i) else { break };
+                    let parsed = parse_corpus_file(file, fs);
+                    slots
+                        .lock()
+                        .expect("corpus parser panicked")
+                        .push((i, parsed));
+                });
+            }
+        });
+        let mut slots = slots.into_inner().expect("corpus parser panicked");
+        slots.sort_by_key(|(i, _)| *i);
+        slots.into_iter().map(|(_, r)| r).collect()
+    };
+    let mut parsed = Vec::with_capacity(files.len());
+    let mut errors = Vec::new();
+    for r in results {
+        match r {
+            Ok(p) => parsed.push(p),
+            Err(e) => errors.push(e),
         }
-    });
-    let mut results = results.into_inner().expect("corpus parser panicked");
-    results.sort_by_key(|(i, _)| *i);
-    results.into_iter().map(|(_, r)| r).collect()
+    }
+    (parsed, errors)
 }
 
-/// Load a corpus directory written by [`save`], sequentially.
+/// A corpus loaded from disk together with its quarantine report.
+#[derive(Clone, Debug, Default)]
+pub struct LoadOutcome {
+    /// The successfully parsed part of the corpus.
+    pub corpus: LoadedCorpus,
+    /// Which files were attempted and which were quarantined.
+    pub report: IngestReport,
+}
+
+/// Load a corpus directory written by [`save`], sequentially and
+/// strictly: the first unreadable or malformed file aborts the load.
+/// Use [`load_with_threads`] for the quarantining loader.
 pub fn load(dir: &Path) -> io::Result<LoadedCorpus> {
-    load_with_threads(dir, 1)
+    let outcome = load_with_threads(dir, 1)?;
+    match outcome.report.errors.into_iter().next() {
+        None => Ok(outcome.corpus),
+        Some(e) => Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+    }
 }
 
 /// Load a corpus directory written by [`save`], parsing files on `jobs`
 /// worker threads. Deterministic: the result does not depend on `jobs`.
-pub fn load_with_threads(dir: &Path, jobs: usize) -> io::Result<LoadedCorpus> {
+/// Files that fail to read or parse are quarantined into the outcome's
+/// [`IngestReport`] rather than aborting the load.
+pub fn load_with_threads(dir: &Path, jobs: usize) -> io::Result<LoadOutcome> {
     let files = collect_corpus_files(dir)?;
-    let mut out = LoadedCorpus::default();
-    for parsed in parse_files(&files, jobs)? {
-        match parsed {
-            ParsedFile::Description(d) => out.descriptions.push(d),
-            ParsedFile::Trace(t) => out.traces.push(t),
+    let (parsed, errors) = parse_files(&files, jobs, &REAL_FS);
+    let mut corpus = LoadedCorpus::default();
+    for p in parsed {
+        match p {
+            ParsedFile::Description(d) => corpus.descriptions.push(d),
+            ParsedFile::Trace(t) => corpus.traces.push(t),
         }
     }
-    Ok(out)
+    Ok(LoadOutcome {
+        corpus,
+        report: IngestReport {
+            attempted: files.len(),
+            errors,
+        },
+    })
 }
 
 /// How a [`CorpusStore`] came to hold its data.
@@ -386,6 +468,115 @@ pub struct CorpusStore {
     pub union: Graph,
     /// Where the data came from (warm snapshot vs cold parse).
     pub provenance: SnapshotProvenance,
+    /// Quarantine report: which source files failed to load. On a warm
+    /// open this is the report persisted by the build that wrote the
+    /// snapshot; empty when every file loaded.
+    pub ingest: IngestReport,
+}
+
+/// Knobs for opening or building a [`CorpusStore`].
+pub struct StoreOptions<'fs> {
+    /// Parser fan-out (worker threads).
+    pub jobs: usize,
+    /// `true` restores fail-fast ingestion: the first unreadable or
+    /// malformed source file aborts the open instead of being
+    /// quarantined.
+    pub strict: bool,
+    /// How long to wait on another process's build lock before assuming
+    /// it is stale, stealing it, and building anyway.
+    pub lock_timeout: Duration,
+    /// The filesystem to operate on — [`REAL_FS`] in production, a
+    /// fault-injecting shim in the chaos tests.
+    pub fs: &'fs dyn StoreFs,
+}
+
+impl Default for StoreOptions<'static> {
+    fn default() -> Self {
+        StoreOptions {
+            jobs: default_load_jobs(),
+            strict: false,
+            lock_timeout: Duration::from_secs(10),
+            fs: &REAL_FS,
+        }
+    }
+}
+
+/// Current source-tree fingerprint of a corpus directory (file count +
+/// total byte size), as compared against the snapshot's recorded one.
+/// Used by the endpoint's staleness watcher.
+pub fn source_fingerprint(dir: &Path) -> io::Result<(u64, u64)> {
+    let files = collect_corpus_files(dir)?;
+    Ok(fingerprint_of(&files, &REAL_FS))
+}
+
+fn fingerprint_of(files: &[CorpusFile], fs: &dyn StoreFs) -> (u64, u64) {
+    let bytes = files
+        .iter()
+        .map(|f| fs.file_len(&f.path).unwrap_or(0))
+        .sum::<u64>();
+    (files.len() as u64, bytes)
+}
+
+/// Held while (re)building a snapshot; removes the lock file on drop.
+struct BuildLock<'fs> {
+    fs: &'fs dyn StoreFs,
+    path: PathBuf,
+}
+
+impl Drop for BuildLock<'_> {
+    fn drop(&mut self) {
+        let _ = self.fs.remove_file(&self.path);
+    }
+}
+
+/// Temp path the quarantine report is staged in before its rename.
+const INGEST_REPORT_TMP: &str = "corpus.ingest-report.tmp";
+
+/// Take the build lock, waiting with backoff and stealing it after the
+/// timeout. `None` when the filesystem refuses lock operations — the
+/// lock is advisory, so the build proceeds unlocked rather than failing.
+fn acquire_lock<'fs>(dir: &Path, opts: &StoreOptions<'fs>) -> Option<BuildLock<'fs>> {
+    let path = dir.join(SNAPSHOT_LOCK);
+    let deadline = Instant::now() + opts.lock_timeout;
+    let mut backoff = Duration::from_millis(5);
+    let mut stole = false;
+    loop {
+        match opts.fs.create_lock(&path) {
+            Ok(()) => return Some(BuildLock { fs: opts.fs, path }),
+            Err(e) if e.kind() == io::ErrorKind::AlreadyExists && !stole => {
+                if Instant::now() >= deadline {
+                    let _ = opts.fs.remove_file(&path);
+                    stole = true;
+                    continue;
+                }
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(Duration::from_millis(100));
+            }
+            Err(_) => return None,
+        }
+    }
+}
+
+/// Crash-safe publish: write everything to `tmp` (fsynced by the
+/// [`StoreFs`] contract), then atomically rename over `dest`. A crash or
+/// fault at any point leaves either the old `dest` or litter at `tmp` —
+/// never a torn `dest` (and a torn `dest` from a non-atomic filesystem
+/// is caught by snapshot/report validation on the next open).
+fn write_atomic(fs: &dyn StoreFs, tmp: &Path, dest: &Path, bytes: &[u8]) -> io::Result<()> {
+    let result = fs.write(tmp, bytes).and_then(|()| fs.rename(tmp, dest));
+    if result.is_err() {
+        let _ = fs.remove_file(tmp);
+    }
+    result
+}
+
+/// Read the persisted quarantine report, if any. Unreadable or torn
+/// reports count as absent — they must never block a load.
+fn load_persisted_report(dir: &Path, fs: &dyn StoreFs) -> IngestReport {
+    fs.read_to_string(&dir.join(INGEST_REPORT_FILE))
+        .ok()
+        .and_then(|text| IngestReport::from_tsv(&text))
+        .unwrap_or_default()
 }
 
 impl CorpusStore {
@@ -397,104 +588,238 @@ impl CorpusStore {
     /// checksum and structural validation) *and* its recorded source
     /// fingerprint still matches the directory; otherwise the store
     /// falls back to a clean rebuild — corruption can cost time, never
-    /// correctness.
+    /// correctness. Source files that fail to read or parse are
+    /// quarantined (see [`StoreOptions::strict`] to fail fast instead).
     pub fn open_or_build(dir: &Path) -> io::Result<CorpusStore> {
-        CorpusStore::open_or_build_with_threads(dir, default_load_jobs())
+        CorpusStore::open_or_build_opts(dir, &StoreOptions::default())
     }
 
     /// [`CorpusStore::open_or_build`] with an explicit parser fan-out.
     pub fn open_or_build_with_threads(dir: &Path, jobs: usize) -> io::Result<CorpusStore> {
-        let files = collect_corpus_files(dir)?;
-        let source_files = files.len() as u64;
-        let source_bytes = files
-            .iter()
-            .map(|f| fs::metadata(&f.path).map(|m| m.len()).unwrap_or(0))
-            .sum::<u64>();
-        let path = dir.join(SNAPSHOT_FILE);
-
-        let mut rebuild_reason = None;
-        match fs::read(&path) {
-            Ok(bytes) => match snapshot::decode(&bytes) {
-                Ok(decoded)
-                    if decoded.source_files == source_files
-                        && decoded.source_bytes == source_bytes =>
-                {
-                    return Ok(CorpusStore {
-                        corpus: decoded.corpus,
-                        union: decoded.union,
-                        provenance: SnapshotProvenance {
-                            path,
-                            warm: true,
-                            version: VERSION,
-                            snapshot_bytes: bytes.len() as u64,
-                            source_files,
-                            source_bytes,
-                            rebuild_reason: None,
-                        },
-                    });
-                }
-                Ok(decoded) => {
-                    rebuild_reason = Some(format!(
-                        "source tree changed: snapshot saw {} files / {} bytes, \
-                         directory has {} files / {} bytes",
-                        decoded.source_files, decoded.source_bytes, source_files, source_bytes
-                    ));
-                }
-                Err(e) => rebuild_reason = Some(e.to_string()),
+        CorpusStore::open_or_build_opts(
+            dir,
+            &StoreOptions {
+                jobs,
+                ..StoreOptions::default()
             },
-            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
-            Err(e) => rebuild_reason = Some(format!("unreadable snapshot: {e}")),
-        }
+        )
+    }
 
-        CorpusStore::build_from_files(dir, &files, jobs, rebuild_reason)
+    /// [`CorpusStore::open_or_build`] with full control over fan-out,
+    /// strictness, lock behavior and the filesystem.
+    pub fn open_or_build_opts(dir: &Path, opts: &StoreOptions<'_>) -> io::Result<CorpusStore> {
+        let files = collect_corpus_files(dir)?;
+        let fingerprint = fingerprint_of(&files, opts.fs);
+
+        // Stale temp files are litter from a crashed build; sweep them
+        // before they can be mistaken for anything.
+        let _ = opts.fs.remove_file(&dir.join(SNAPSHOT_TMP));
+        let _ = opts.fs.remove_file(&dir.join(INGEST_REPORT_TMP));
+
+        let mut rebuild_reason = match CorpusStore::try_warm(dir, fingerprint, opts) {
+            Ok(store) => return store.check_strict(opts),
+            Err(reason) => reason,
+        };
+
+        // Cold: coordinate with concurrent builders through the advisory
+        // lock. One caller builds; the others wait (with backoff) for the
+        // snapshot it publishes, stealing the lock only after
+        // `lock_timeout` (a crashed builder leaves its lock behind).
+        let lock_path = dir.join(SNAPSHOT_LOCK);
+        let deadline = Instant::now() + opts.lock_timeout;
+        let mut backoff = Duration::from_millis(5);
+        let mut stole = false;
+        let lock = loop {
+            match opts.fs.create_lock(&lock_path) {
+                Ok(()) => {
+                    break Some(BuildLock {
+                        fs: opts.fs,
+                        path: lock_path,
+                    })
+                }
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists && !stole => {
+                    if Instant::now() >= deadline {
+                        // Assume the holder crashed; steal its lock.
+                        let _ = opts.fs.remove_file(&lock_path);
+                        stole = true;
+                        continue;
+                    }
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(Duration::from_millis(100));
+                    // The holder may have published a snapshot meanwhile.
+                    match CorpusStore::try_warm(dir, fingerprint, opts) {
+                        Ok(store) => return store.check_strict(opts),
+                        Err(reason) => rebuild_reason = reason,
+                    }
+                }
+                // The lock is advisory; a filesystem fault here (or a
+                // failed steal) must degrade to an unlocked build, never
+                // block loading.
+                Err(_) => break None,
+            }
+        };
+        // Double-checked: a builder we raced may have published between
+        // our last warm attempt and acquiring the lock.
+        if lock.is_some() {
+            if let Ok(store) = CorpusStore::try_warm(dir, fingerprint, opts) {
+                return store.check_strict(opts);
+            }
+        }
+        let store = CorpusStore::build_from_files(dir, &files, opts, rebuild_reason);
+        drop(lock);
+        store
+    }
+
+    /// Attempt a warm load: snapshot present, decodes cleanly, and its
+    /// recorded source fingerprint matches the directory. On failure the
+    /// `Err` carries the rebuild reason (`None` = no snapshot yet).
+    fn try_warm(
+        dir: &Path,
+        (source_files, source_bytes): (u64, u64),
+        opts: &StoreOptions<'_>,
+    ) -> Result<CorpusStore, Option<String>> {
+        let path = dir.join(SNAPSHOT_FILE);
+        let bytes = match opts.fs.read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Err(None),
+            Err(e) => return Err(Some(format!("unreadable snapshot: {e}"))),
+        };
+        match snapshot::decode(&bytes) {
+            Ok(decoded)
+                if decoded.source_files == source_files && decoded.source_bytes == source_bytes =>
+            {
+                Ok(CorpusStore {
+                    corpus: decoded.corpus,
+                    union: decoded.union,
+                    provenance: SnapshotProvenance {
+                        path,
+                        warm: true,
+                        version: VERSION,
+                        snapshot_bytes: bytes.len() as u64,
+                        source_files,
+                        source_bytes,
+                        rebuild_reason: None,
+                    },
+                    ingest: {
+                        // No persisted report = the build was clean; its
+                        // attempt count is the source file count.
+                        let mut report = load_persisted_report(dir, opts.fs);
+                        if report.attempted == 0 && report.errors.is_empty() {
+                            report.attempted = source_files as usize;
+                        }
+                        report
+                    },
+                })
+            }
+            Ok(decoded) => Err(Some(format!(
+                "source tree changed: snapshot saw {} files / {} bytes, \
+                 directory has {} files / {} bytes",
+                decoded.source_files, decoded.source_bytes, source_files, source_bytes
+            ))),
+            Err(e) => Err(Some(e.to_string())),
+        }
+    }
+
+    /// Enforce [`StoreOptions::strict`]: any quarantined file aborts the
+    /// open with the first casualty's full position in the message.
+    fn check_strict(self, opts: &StoreOptions<'_>) -> io::Result<CorpusStore> {
+        if opts.strict {
+            if let Some(first) = self.ingest.errors.first() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("strict ingestion: {first} ({})", self.ingest),
+                ));
+            }
+        }
+        Ok(self)
     }
 
     /// Parse the RDF sources unconditionally and (re)write the snapshot.
     /// Used by `provbench snapshot build`.
     pub fn build(dir: &Path, jobs: usize) -> io::Result<CorpusStore> {
+        CorpusStore::build_opts(
+            dir,
+            &StoreOptions {
+                jobs,
+                ..StoreOptions::default()
+            },
+        )
+    }
+
+    /// [`CorpusStore::build`] with full options.
+    pub fn build_opts(dir: &Path, opts: &StoreOptions<'_>) -> io::Result<CorpusStore> {
         let files = collect_corpus_files(dir)?;
-        CorpusStore::build_from_files(dir, &files, jobs, None)
+        let lock = acquire_lock(dir, opts);
+        let store = CorpusStore::build_from_files(dir, &files, opts, None);
+        drop(lock);
+        store
     }
 
     fn build_from_files(
         dir: &Path,
         files: &[CorpusFile],
-        jobs: usize,
+        opts: &StoreOptions<'_>,
         rebuild_reason: Option<String>,
     ) -> io::Result<CorpusStore> {
-        let source_files = files.len() as u64;
-        let source_bytes = files
-            .iter()
-            .map(|f| fs::metadata(&f.path).map(|m| m.len()).unwrap_or(0))
-            .sum::<u64>();
+        let (source_files, source_bytes) = fingerprint_of(files, opts.fs);
+        let (parsed, errors) = parse_files(files, opts.jobs, opts.fs);
+        let report = IngestReport {
+            attempted: files.len(),
+            errors,
+        };
         let mut corpus = LoadedCorpus::default();
-        for parsed in parse_files(files, jobs)? {
-            match parsed {
+        for p in parsed {
+            match p {
                 ParsedFile::Description(d) => corpus.descriptions.push(d),
                 ParsedFile::Trace(t) => corpus.traces.push(t),
             }
         }
         let union = corpus.combined_dataset().union_graph();
-        let encoded = snapshot::encode(&corpus, source_files, source_bytes);
-        let path = dir.join(SNAPSHOT_FILE);
-        // Best-effort: a read-only corpus still loads, it just stays cold.
-        let snapshot_bytes = match fs::write(&path, &encoded) {
-            Ok(()) => encoded.len() as u64,
-            Err(_) => 0,
-        };
-        Ok(CorpusStore {
+        let store = CorpusStore {
             corpus,
             union,
             provenance: SnapshotProvenance {
-                path,
+                path: dir.join(SNAPSHOT_FILE),
                 warm: false,
                 version: VERSION,
-                snapshot_bytes,
+                snapshot_bytes: 0,
                 source_files,
                 source_bytes,
                 rebuild_reason,
             },
-        })
+            ingest: report,
+        }
+        .check_strict(opts)?;
+
+        // Publish the quarantine report BEFORE the snapshot: a snapshot
+        // may only go live once the quarantine state next to it is
+        // accurate, otherwise a later warm load would silently present a
+        // partial corpus as complete. All of this is best-effort — a
+        // read-only corpus still loads, it just stays cold.
+        let report_path = dir.join(INGEST_REPORT_FILE);
+        let report_published = if store.ingest.is_clean() {
+            match opts.fs.remove_file(&report_path) {
+                Ok(()) => true,
+                Err(e) => e.kind() == io::ErrorKind::NotFound,
+            }
+        } else {
+            write_atomic(
+                opts.fs,
+                &dir.join(INGEST_REPORT_TMP),
+                &report_path,
+                store.ingest.to_tsv().as_bytes(),
+            )
+            .is_ok()
+        };
+        let mut store = store;
+        if report_published {
+            let encoded = snapshot::encode(&store.corpus, source_files, source_bytes);
+            let tmp = dir.join(SNAPSHOT_TMP);
+            if write_atomic(opts.fs, &tmp, &store.provenance.path, &encoded).is_ok() {
+                store.provenance.snapshot_bytes = encoded.len() as u64;
+            }
+        }
+        Ok(store)
     }
 
     /// The union graph, cloned for engines that take ownership.
@@ -585,8 +910,11 @@ mod tests {
         let corpus = small_corpus();
         let dir = tmpdir("parallel");
         save(&corpus, &dir).unwrap();
-        let seq = load_with_threads(&dir, 1).unwrap();
-        let par = load_with_threads(&dir, 4).unwrap();
+        let seq_out = load_with_threads(&dir, 1).unwrap();
+        let par_out = load_with_threads(&dir, 4).unwrap();
+        assert!(seq_out.report.is_clean() && par_out.report.is_clean());
+        assert_eq!(seq_out.report.attempted, par_out.report.attempted);
+        let (seq, par) = (seq_out.corpus, par_out.corpus);
         assert_eq!(seq.traces.len(), par.traces.len());
         assert_eq!(seq.descriptions.len(), par.descriptions.len());
         for (a, b) in seq.traces.iter().zip(&par.traces) {
@@ -710,6 +1038,136 @@ mod tests {
                 .count(),
             1
         );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn malformed_file_is_quarantined_not_fatal() {
+        let corpus = small_corpus();
+        let dir = tmpdir("quarantine");
+        save(&corpus, &dir).unwrap();
+        let reference = CorpusStore::build(&dir, 2).unwrap();
+        assert!(reference.ingest.is_clean());
+
+        // Break one Taverna trace mid-file.
+        let files = collect_corpus_files(&dir).unwrap();
+        let victim = files
+            .iter()
+            .find(|f| f.kind == FileKind::TraceTurtle)
+            .unwrap();
+        fs::write(&victim.path, "@prefix e: <http://e/> .\nNOT TURTLE %%%\n").unwrap();
+
+        // Default mode: the rest of the corpus still loads, the casualty
+        // is quarantined with an actionable position.
+        let store = CorpusStore::open_or_build_with_threads(&dir, 2).unwrap();
+        assert!(!store.provenance.warm);
+        assert_eq!(store.corpus.traces.len(), reference.corpus.traces.len() - 1);
+        assert_eq!(store.ingest.errors.len(), 1);
+        assert_eq!(store.ingest.attempted, files.len());
+        let e = &store.ingest.errors[0];
+        assert_eq!(e.path, victim.rel);
+        assert_eq!(e.line, Some(2), "{e}");
+        assert!(e.column.is_some() && e.byte_offset.is_some(), "{e}");
+        assert!(!e.io);
+        assert!(dir.join(INGEST_REPORT_FILE).exists());
+
+        // The quarantine survives a warm reopen via the persisted report.
+        let warm = CorpusStore::open_or_build_with_threads(&dir, 2).unwrap();
+        assert!(warm.provenance.warm);
+        assert_eq!(warm.ingest.errors.len(), 1);
+        assert_eq!(warm.corpus.traces.len(), store.corpus.traces.len());
+
+        // Strict mode fails fast, with the position in the message —
+        // warm and cold alike.
+        let strict = StoreOptions {
+            strict: true,
+            ..StoreOptions::default()
+        };
+        let err = CorpusStore::open_or_build_opts(&dir, &strict).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let msg = err.to_string();
+        assert!(msg.contains(&victim.rel) && msg.contains(":2:"), "{msg}");
+        fs::remove_file(dir.join(SNAPSHOT_FILE)).unwrap();
+        let err = CorpusStore::open_or_build_opts(&dir, &strict).unwrap_err();
+        assert!(err.to_string().contains("strict ingestion"), "{err}");
+
+        // Fixing the file changes the fingerprint → rebuild, clean
+        // report, report file gone.
+        let original = corpus
+            .traces
+            .iter()
+            .find(|t| victim.rel.contains(&t.run_id))
+            .unwrap();
+        fs::write(&victim.path, serialize_trace(original)).unwrap();
+        let fixed = CorpusStore::open_or_build_with_threads(&dir, 2).unwrap();
+        assert!(fixed.ingest.is_clean());
+        assert_eq!(fixed.union, reference.union);
+        assert!(!dir.join(INGEST_REPORT_FILE).exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_write_leaves_no_temp_and_survives_stale_litter() {
+        let corpus = small_corpus();
+        let dir = tmpdir("atomic");
+        save(&corpus, &dir).unwrap();
+
+        // Plant litter a crashed builder would leave behind: a stale
+        // temp file, a stale lock, and a torn half-written snapshot.
+        fs::write(dir.join(SNAPSHOT_TMP), b"half a snapshot").unwrap();
+        fs::write(dir.join(SNAPSHOT_LOCK), b"").unwrap();
+        fs::write(dir.join(SNAPSHOT_FILE), b"PBSNA").unwrap();
+
+        let opts = StoreOptions {
+            jobs: 2,
+            lock_timeout: Duration::from_millis(200),
+            ..StoreOptions::default()
+        };
+        let store = CorpusStore::open_or_build_opts(&dir, &opts).unwrap();
+        assert!(!store.provenance.warm);
+        assert!(store.provenance.rebuild_reason.is_some());
+        assert!(store.provenance.snapshot_bytes > 0);
+        // No litter after a successful build: tmp swept, stolen lock
+        // released, snapshot valid.
+        assert!(!dir.join(SNAPSHOT_TMP).exists());
+        assert!(!dir.join(SNAPSHOT_LOCK).exists());
+        let warm = CorpusStore::open_or_build_opts(&dir, &opts).unwrap();
+        assert!(warm.provenance.warm);
+        assert_eq!(warm.union, store.union);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn concurrent_cold_open_one_builds_one_waits() {
+        let corpus = small_corpus();
+        let dir = tmpdir("concurrent");
+        save(&corpus, &dir).unwrap();
+
+        let open = || {
+            let dir = dir.clone();
+            std::thread::spawn(move || {
+                let opts = StoreOptions {
+                    jobs: 2,
+                    lock_timeout: Duration::from_secs(30),
+                    ..StoreOptions::default()
+                };
+                CorpusStore::open_or_build_opts(&dir, &opts).unwrap()
+            })
+        };
+        let (a, b) = (open(), open());
+        let a = a.join().unwrap();
+        let b = b.join().unwrap();
+        // Exactly one thread built; the other warm-loaded the snapshot
+        // the builder published (waiting on the lock, not racing it).
+        assert!(
+            a.provenance.warm != b.provenance.warm,
+            "a.warm={} b.warm={}",
+            a.provenance.warm,
+            b.provenance.warm
+        );
+        assert_eq!(a.union, b.union);
+        assert_eq!(a.corpus.traces.len(), b.corpus.traces.len());
+        assert!(!dir.join(SNAPSHOT_LOCK).exists());
         fs::remove_dir_all(&dir).unwrap();
     }
 

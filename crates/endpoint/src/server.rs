@@ -1,5 +1,5 @@
-//! The endpoint itself: route dispatch, the plan cache, and the bounded
-//! serving loop.
+//! The endpoint itself: route dispatch, the plan cache, health/readiness
+//! state, and the bounded, panic-isolated serving loop.
 
 use crate::http::{parse_request, Request, Response};
 use crate::results::{solutions_to_json, solutions_to_tsv};
@@ -9,8 +9,10 @@ use provbench_rdf::Graph;
 use std::collections::HashMap;
 use std::io;
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Duration;
 
 /// Concurrency and resource knobs for a served endpoint.
@@ -35,6 +37,10 @@ pub struct EndpointConfig {
     /// request (e.g. a body shorter than its `Content-Length`) ties up a
     /// worker for at most this long before being answered `400`.
     pub read_timeout: Duration,
+    /// Expose `GET /debug/panic`, a route that panics inside the handler.
+    /// Exists so the worker-pool panic isolation can be exercised from a
+    /// real TCP client in tests; never enabled in production.
+    pub debug_panic_route: bool,
 }
 
 impl Default for EndpointConfig {
@@ -46,6 +52,7 @@ impl Default for EndpointConfig {
             row_budget: Some(50_000_000),
             plan_cache_size: 64,
             read_timeout: Duration::from_secs(5),
+            debug_panic_route: false,
         }
     }
 }
@@ -99,13 +106,42 @@ impl PlanCache {
     }
 }
 
-/// A SPARQL endpoint over one corpus graph.
+/// Liveness and readiness state shared by every clone of an
+/// [`Endpoint`] (the serving loop clones one per worker).
+#[derive(Debug, Default)]
+struct Health {
+    /// A corpus graph is loaded and the endpoint may answer queries.
+    ready: AtomicBool,
+    /// A background rebuild is in flight. Informational only: while a
+    /// previously loaded graph is being served, a rebuild does not make
+    /// the endpoint unready.
+    rebuilding: AtomicBool,
+    /// Request-handler panics caught (and survived) by the worker pool.
+    panics_total: AtomicU64,
+    /// Connections accepted into the worker queue and not yet answered.
+    inflight: AtomicUsize,
+    /// Files quarantined by the ingest run that produced the live graph.
+    ingest_errors: AtomicUsize,
+}
+
+/// Lock a mutex, recovering the guard if a previous holder panicked.
+/// A panicking request handler must not take the whole endpoint down
+/// with a poisoned plan cache or graph slot.
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A SPARQL endpoint over one corpus graph. The graph is swappable at
+/// runtime ([`Endpoint::replace_graph`]) so a background rebuild can
+/// publish a fresh corpus while old requests finish against the
+/// previous one.
 #[derive(Clone)]
 pub struct Endpoint {
-    graph: Arc<Graph>,
+    graph: Arc<Mutex<Arc<Graph>>>,
     config: EndpointConfig,
     plans: Arc<Mutex<PlanCache>>,
-    source: Option<Arc<str>>,
+    source: Arc<Mutex<Option<Arc<str>>>>,
+    health: Arc<Health>,
 }
 
 impl Endpoint {
@@ -116,20 +152,71 @@ impl Endpoint {
 
     /// An endpoint with explicit concurrency/resource configuration.
     pub fn with_config(graph: Graph, config: EndpointConfig) -> Self {
+        let ep = Endpoint::unready(config);
+        *lock(&ep.graph) = Arc::new(graph);
+        ep.health.ready.store(true, Ordering::SeqCst);
+        ep
+    }
+
+    /// An endpoint with no corpus loaded yet: `/healthz` answers but
+    /// `/readyz` and `/sparql` return `503` until [`replace_graph`]
+    /// publishes a graph. This is how `provbench serve` starts when the
+    /// corpus is still loading in the background.
+    ///
+    /// [`replace_graph`]: Endpoint::replace_graph
+    pub fn unready(config: EndpointConfig) -> Self {
         Endpoint {
-            graph: Arc::new(graph),
+            graph: Arc::new(Mutex::new(Arc::new(Graph::new()))),
             config,
             plans: Arc::new(Mutex::new(PlanCache::new(config.plan_cache_size))),
-            source: None,
+            source: Arc::new(Mutex::new(None)),
+            health: Arc::new(Health::default()),
         }
     }
 
     /// Record where the served graph came from (e.g. "snapshot (warm)" or
     /// "parsed 198 files"); surfaced in the `/stats` route so operators
     /// can tell a warm snapshot load from a cold source parse.
-    pub fn with_source(mut self, source: impl Into<String>) -> Self {
-        self.source = Some(Arc::from(source.into()));
+    pub fn with_source(self, source: impl Into<String>) -> Self {
+        *lock(&self.source) = Some(Arc::from(source.into()));
         self
+    }
+
+    /// Atomically publish a new graph and mark the endpoint ready. In
+    /// flight requests keep their `Arc` to the old graph; new requests
+    /// see the new one. Clears the rebuilding flag.
+    pub fn replace_graph(&self, graph: Graph, source: impl Into<String>) {
+        *lock(&self.graph) = Arc::new(graph);
+        *lock(&self.source) = Some(Arc::from(source.into()));
+        self.health.ready.store(true, Ordering::SeqCst);
+        self.health.rebuilding.store(false, Ordering::SeqCst);
+    }
+
+    /// Flag (or clear) an in-flight background rebuild. Readiness is
+    /// unaffected while a previously published graph is being served.
+    pub fn set_rebuilding(&self, rebuilding: bool) {
+        self.health.rebuilding.store(rebuilding, Ordering::SeqCst);
+    }
+
+    /// Record how many source files the live graph's ingest run
+    /// quarantined (surfaced by `/readyz` and `/stats`).
+    pub fn set_ingest_errors(&self, n: usize) {
+        self.health.ingest_errors.store(n, Ordering::SeqCst);
+    }
+
+    /// Whether a corpus graph has been published.
+    pub fn is_ready(&self) -> bool {
+        self.health.ready.load(Ordering::SeqCst)
+    }
+
+    /// Request-handler panics survived by the worker pool so far.
+    pub fn panics_total(&self) -> u64 {
+        self.health.panics_total.load(Ordering::SeqCst)
+    }
+
+    /// The currently published graph.
+    fn graph(&self) -> Arc<Graph> {
+        Arc::clone(&lock(&self.graph))
     }
 
     /// The active configuration.
@@ -140,7 +227,7 @@ impl Endpoint {
     /// Number of parsed plans currently cached (exposed for tests and
     /// the `/stats` route).
     pub fn cached_plans(&self) -> usize {
-        self.plans.lock().expect("plan cache lock").len()
+        lock(&self.plans).len()
     }
 
     /// Handle one parsed request (exposed for tests).
@@ -150,34 +237,70 @@ impl Endpoint {
                 .content_type("text/html")
                 .body(self.index_page()),
             ("GET", "/sparql") | ("POST", "/sparql") => self.sparql(request),
-            ("GET", "/stats") => {
-                let source = match &self.source {
-                    Some(s) => format!(",\"source\":\"{}\"", escape_json(s)),
-                    None => String::new(),
-                };
-                Response::status(200)
-                    .content_type("application/json")
-                    .body(format!(
-                        "{{\"triples\":{},\"terms\":{},\"cached_plans\":{}{source}}}",
-                        self.graph.len(),
-                        self.graph.term_count(),
-                        self.cached_plans()
-                    ))
+            ("GET", "/healthz") => Response::status(200).body("ok"),
+            ("GET", "/readyz") => self.readyz(),
+            ("GET", "/stats") => self.stats(),
+            ("GET", "/debug/panic") if self.config.debug_panic_route => {
+                panic!("debug panic route hit")
             }
             _ => Response::status(404).body("not found"),
         }
     }
 
+    /// Readiness: `200` when a corpus is loaded and the worker pool has
+    /// room, `503` otherwise. A background rebuild alone does not flip
+    /// readiness — only the cold start (no graph published yet) does.
+    fn readyz(&self) -> Response {
+        let corpus_loaded = self.is_ready();
+        let inflight = self.health.inflight.load(Ordering::SeqCst);
+        let capacity = self.config.workers.max(1) + self.config.queue_depth.max(1);
+        let saturated = inflight >= capacity;
+        let ready = corpus_loaded && !saturated;
+        let body = format!(
+            "{{\"ready\":{ready},\"corpus_loaded\":{corpus_loaded},\
+             \"rebuilding\":{},\"saturated\":{saturated},\"inflight\":{inflight},\
+             \"ingest_errors\":{}}}",
+            self.health.rebuilding.load(Ordering::SeqCst),
+            self.health.ingest_errors.load(Ordering::SeqCst),
+        );
+        let mut response = Response::status(if ready { 200 } else { 503 })
+            .content_type("application/json")
+            .body(body);
+        if !ready {
+            response = response.header("Retry-After", "1");
+        }
+        response
+    }
+
+    fn stats(&self) -> Response {
+        let graph = self.graph();
+        let source = match &*lock(&self.source) {
+            Some(s) => format!(",\"source\":\"{}\"", escape_json(s)),
+            None => String::new(),
+        };
+        Response::status(200)
+            .content_type("application/json")
+            .body(format!(
+                "{{\"triples\":{},\"terms\":{},\"cached_plans\":{},\
+                 \"ready\":{},\"rebuilding\":{},\"panics_total\":{},\
+                 \"ingest_errors\":{}{source}}}",
+                graph.len(),
+                graph.term_count(),
+                self.cached_plans(),
+                self.is_ready(),
+                self.health.rebuilding.load(Ordering::SeqCst),
+                self.panics_total(),
+                self.health.ingest_errors.load(Ordering::SeqCst),
+            ))
+    }
+
     /// Fetch the parsed plan for `text`, parsing and caching on miss.
     fn plan(&self, text: &str) -> Result<Arc<Query>, QueryParseError> {
-        if let Some(plan) = self.plans.lock().expect("plan cache lock").get(text) {
+        if let Some(plan) = lock(&self.plans).get(text) {
             return Ok(plan);
         }
         let plan = Arc::new(parse_query(text)?);
-        self.plans
-            .lock()
-            .expect("plan cache lock")
-            .insert(text.to_owned(), Arc::clone(&plan));
+        lock(&self.plans).insert(text.to_owned(), Arc::clone(&plan));
         Ok(plan)
     }
 
@@ -196,6 +319,12 @@ impl Endpoint {
     }
 
     fn sparql(&self, request: &Request) -> Response {
+        if !self.is_ready() {
+            return Response::status(503)
+                .content_type("application/json")
+                .header("Retry-After", "1")
+                .body("{\"error\":\"unavailable\",\"message\":\"corpus not loaded yet\"}");
+        }
         // SPARQL protocol: GET ?query=… or POST with a form-encoded or
         // raw query body.
         let query = request.param("query").map(str::to_owned).or_else(|| {
@@ -219,7 +348,8 @@ impl Endpoint {
             Ok(plan) => plan,
             Err(e) => return parse_error_response(&e),
         };
-        let engine = QueryEngine::with_options(&self.graph, self.request_options(request));
+        let graph = self.graph();
+        let engine = QueryEngine::with_options(&graph, self.request_options(request));
         match engine.prepare_parsed(plan).select() {
             Ok(solutions) => {
                 let want_tsv = request.param("format") == Some("tsv")
@@ -266,7 +396,7 @@ SELECT ?run ?start WHERE {{
 <input type="submit" value="Run query">
 </form>
 </body></html>"#,
-            self.graph.len()
+            self.graph().len()
         )
     }
 
@@ -287,23 +417,34 @@ SELECT ?run ?start WHERE {{
             let endpoint = self.clone();
             let rx: Arc<Mutex<Receiver<TcpStream>>> = Arc::clone(&rx);
             std::thread::spawn(move || loop {
-                let next = rx.lock().expect("worker queue lock").recv();
+                let next = lock(&rx).recv();
                 let Ok(mut stream) = next else {
                     break; // acceptor gone
                 };
                 let _ = stream.set_read_timeout(Some(endpoint.config.read_timeout));
+                // Panic isolation: a handler panic is converted to a 500
+                // and counted; the worker thread survives to serve the
+                // next connection instead of silently shrinking the pool.
                 let response = match parse_request(&mut stream) {
-                    Ok(request) => endpoint.handle(&request),
+                    Ok(request) => catch_unwind(AssertUnwindSafe(|| endpoint.handle(&request)))
+                        .unwrap_or_else(|_| {
+                            endpoint.health.panics_total.fetch_add(1, Ordering::SeqCst);
+                            Response::status(500)
+                                .body("internal server error: request handler panicked")
+                        }),
                     Err(e) => Response::status(400).body(format!("bad request: {e}")),
                 };
                 let _ = response.write_to(&mut stream);
+                endpoint.health.inflight.fetch_sub(1, Ordering::SeqCst);
             });
         }
         for stream in listener.incoming() {
             let stream = stream?;
+            self.health.inflight.fetch_add(1, Ordering::SeqCst);
             match tx.try_send(stream) {
                 Ok(()) => {}
                 Err(TrySendError::Full(mut stream)) => {
+                    self.health.inflight.fetch_sub(1, Ordering::SeqCst);
                     // Saturated: reject on the acceptor thread. Drain the
                     // request first (with a bounded wait) — closing with
                     // unread bytes resets the connection before the
@@ -315,7 +456,10 @@ SELECT ?run ?start WHERE {{
                         .body("server busy, retry later")
                         .write_to(&mut stream);
                 }
-                Err(TrySendError::Disconnected(_)) => break,
+                Err(TrySendError::Disconnected(_)) => {
+                    self.health.inflight.fetch_sub(1, Ordering::SeqCst);
+                    break;
+                }
             }
         }
         Ok(())
@@ -643,5 +787,132 @@ mod tests {
         // The occupied worker and the queued request still complete.
         assert!(busy.join().unwrap().starts_with("HTTP/1.1 200"));
         assert!(queued.join().unwrap().starts_with("HTTP/1.1 200"));
+    }
+
+    #[test]
+    fn healthz_always_answers() {
+        let ep = endpoint();
+        let r = ep.handle(&request("GET /healthz HTTP/1.1\r\n\r\n"));
+        assert_eq!(r.status, 200);
+        assert_eq!(r.body, "ok");
+        // Liveness holds even before any corpus is loaded.
+        let ep = Endpoint::unready(EndpointConfig::default());
+        let r = ep.handle(&request("GET /healthz HTTP/1.1\r\n\r\n"));
+        assert_eq!(r.status, 200);
+    }
+
+    #[test]
+    fn unready_endpoint_rejects_queries_until_graph_published() {
+        let ep = Endpoint::unready(EndpointConfig::default());
+        assert!(!ep.is_ready());
+
+        let r = ep.handle(&request("GET /readyz HTTP/1.1\r\n\r\n"));
+        assert_eq!(r.status, 503, "{}", r.body);
+        assert!(r.body.contains("\"corpus_loaded\":false"), "{}", r.body);
+
+        let q = crate::http::url_encode("SELECT ?s WHERE { ?s ?p ?o }");
+        let r = ep.handle(&request(&format!("GET /sparql?query={q} HTTP/1.1\r\n\r\n")));
+        assert_eq!(r.status, 503, "{}", r.body);
+        assert!(r.body.contains("\"error\":\"unavailable\""), "{}", r.body);
+
+        // Publishing a graph flips readiness; clones observe the swap.
+        let clone = ep.clone();
+        let (g, _) = parse_turtle(
+            r#"@prefix wfprov: <http://purl.org/wf4ever/wfprov#> .
+               @prefix e: <http://e/> .
+               e:r1 a wfprov:WorkflowRun ."#,
+        )
+        .unwrap();
+        ep.replace_graph(g, "background load");
+        assert!(clone.is_ready());
+        let r = clone.handle(&request("GET /readyz HTTP/1.1\r\n\r\n"));
+        assert_eq!(r.status, 200, "{}", r.body);
+        let q = crate::http::url_encode(
+            "SELECT ?r WHERE { ?r a <http://purl.org/wf4ever/wfprov#WorkflowRun> }",
+        );
+        let r = clone.handle(&request(&format!("GET /sparql?query={q} HTTP/1.1\r\n\r\n")));
+        assert_eq!(r.status, 200, "{}", r.body);
+        assert!(r.body.contains("http://e/r1"));
+        let r = clone.handle(&request("GET /stats HTTP/1.1\r\n\r\n"));
+        assert!(
+            r.body.contains("\"source\":\"background load\""),
+            "{}",
+            r.body
+        );
+    }
+
+    #[test]
+    fn rebuilding_with_loaded_graph_stays_ready() {
+        let ep = endpoint();
+        ep.set_rebuilding(true);
+        ep.set_ingest_errors(3);
+        let r = ep.handle(&request("GET /readyz HTTP/1.1\r\n\r\n"));
+        assert_eq!(r.status, 200, "a served graph keeps us ready: {}", r.body);
+        assert!(r.body.contains("\"rebuilding\":true"), "{}", r.body);
+        assert!(r.body.contains("\"ingest_errors\":3"), "{}", r.body);
+        ep.set_rebuilding(false);
+        let r = ep.handle(&request("GET /readyz HTTP/1.1\r\n\r\n"));
+        assert!(r.body.contains("\"rebuilding\":false"), "{}", r.body);
+    }
+
+    #[test]
+    fn graph_swap_keeps_inflight_requests_consistent() {
+        let ep = endpoint();
+        // A handler holds its Arc across a concurrent swap.
+        let old = ep.graph();
+        let (g, _) = parse_turtle("@prefix e: <http://e/> . e:a e:b e:c .").unwrap();
+        ep.replace_graph(g, "swap");
+        assert_eq!(old.len(), 2, "old readers keep the old graph");
+        assert_eq!(ep.graph().len(), 1, "new readers see the new graph");
+    }
+
+    /// A panicking handler must not kill its worker: the client gets a
+    /// 500, `panics_total` increments, and the same worker then serves
+    /// the next request normally.
+    #[test]
+    fn worker_survives_handler_panic() {
+        let (g, _) = parse_turtle("@prefix e: <http://e/> . e:a e:b e:c .").unwrap();
+        let ep = Endpoint::with_config(
+            g,
+            EndpointConfig {
+                workers: 1,
+                debug_panic_route: true,
+                ..EndpointConfig::default()
+            },
+        );
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = ep.clone();
+        std::thread::spawn(move || {
+            let _ = server.serve_on(listener);
+        });
+
+        let fetch = |path: &str| {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            write!(stream, "GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+            let mut response = String::new();
+            stream.read_to_string(&mut response).unwrap();
+            response
+        };
+
+        let r = fetch("/debug/panic");
+        assert!(r.starts_with("HTTP/1.1 500"), "{r}");
+        // Same (only) worker keeps serving.
+        let r = fetch("/stats");
+        assert!(r.starts_with("HTTP/1.1 200"), "{r}");
+        assert!(r.contains("\"panics_total\":1"), "{r}");
+        assert_eq!(ep.panics_total(), 1);
+        // And another panic keeps counting.
+        let r = fetch("/debug/panic");
+        assert!(r.starts_with("HTTP/1.1 500"), "{r}");
+        assert!(fetch("/readyz").starts_with("HTTP/1.1 200"));
+        assert_eq!(ep.panics_total(), 2);
+    }
+
+    #[test]
+    fn debug_panic_route_is_404_when_disabled() {
+        let ep = endpoint();
+        let r = ep.handle(&request("GET /debug/panic HTTP/1.1\r\n\r\n"));
+        assert_eq!(r.status, 404);
     }
 }

@@ -82,6 +82,46 @@ impl ParseError {
         self.file = Some(file.into());
         self
     }
+
+    /// Byte offset of the error position within `source`, for reports
+    /// that need a seekable location rather than line/column (e.g. the
+    /// corpus quarantine report). `None` when the recorded position
+    /// lies outside `source`.
+    pub fn byte_offset_in(&self, source: &str) -> Option<usize> {
+        let line_start = if self.line <= 1 {
+            0
+        } else {
+            // Offset just past the (line-1)-th newline.
+            let mut seen = 0usize;
+            let mut start = None;
+            for (i, b) in source.bytes().enumerate() {
+                if b == b'\n' {
+                    seen += 1;
+                    if seen == self.line - 1 {
+                        start = Some(i + 1);
+                        break;
+                    }
+                }
+            }
+            start?
+        };
+        let line = &source[line_start..];
+        let line = line.split_once('\n').map_or(line, |(l, _)| l);
+        // Column is 1-based in characters; convert to a byte offset.
+        let col = self.column.max(1) - 1;
+        if col == 0 {
+            return Some(line_start);
+        }
+        let mut chars = 0usize;
+        for (i, _) in line.char_indices() {
+            if chars == col {
+                return Some(line_start + i);
+            }
+            chars += 1;
+        }
+        // Position one past the last character (errors at end of line).
+        (chars == col).then_some(line_start + line.len())
+    }
 }
 
 impl fmt::Display for ParseError {
@@ -115,6 +155,23 @@ mod tests {
             "taverna/run-42/run.prov.ttl:3:7: unexpected token"
         );
         assert_eq!(e.file.as_deref(), Some("taverna/run-42/run.prov.ttl"));
+    }
+
+    #[test]
+    fn byte_offset_matches_line_and_column() {
+        let source = "first line\nsécond line\nthird";
+        // Line 1, column 1 → offset 0.
+        assert_eq!(ParseError::new(1, 1, "x").byte_offset_in(source), Some(0));
+        // Line 2, column 1 → just past the first newline.
+        assert_eq!(ParseError::new(2, 1, "x").byte_offset_in(source), Some(11));
+        // Column counts characters, offsets count bytes: 'é' is 2 bytes,
+        // so column 4 of line 2 lands 4 bytes in.
+        assert_eq!(ParseError::new(2, 4, "x").byte_offset_in(source), Some(15));
+        // One past the end of a line is valid (errors at EOL)…
+        assert_eq!(ParseError::new(3, 6, "x").byte_offset_in(source), Some(29));
+        // …but far beyond it is not, and neither is a missing line.
+        assert_eq!(ParseError::new(3, 60, "x").byte_offset_in(source), None);
+        assert_eq!(ParseError::new(9, 1, "x").byte_offset_in(source), None);
     }
 
     #[test]

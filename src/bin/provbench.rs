@@ -20,7 +20,7 @@ use provbench::analysis::coverage::term_usage;
 use provbench::analysis::{coverage_of_corpus, dependency_edges};
 use provbench::corpus::stats::{CorpusStats, Table1};
 use provbench::corpus::{research_object_for, store, Corpus, CorpusSpec};
-use provbench::endpoint::Endpoint;
+use provbench::endpoint::{Endpoint, EndpointConfig};
 use provbench::prov::from_rdf::graph_to_document;
 use provbench::prov::{validate, write_provn};
 use provbench::query::exemplar::PREFIXES;
@@ -41,6 +41,7 @@ struct Options {
     write_baseline: Option<String>,
     deny: String,
     jobs: Option<usize>,
+    strict: bool,
     positional: Vec<String>,
 }
 
@@ -56,6 +57,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         write_baseline: None,
         deny: "error".into(),
         jobs: None,
+        strict: false,
         positional: Vec::new(),
     };
     // Accept both `--opt value` and `--opt=value`.
@@ -99,6 +101,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                         .ok_or("--jobs needs an integer")?,
                 )
             }
+            "--strict" => o.strict = true,
             other if other.starts_with("--") => return Err(format!("unknown option {other}")),
             other => o.positional.push(other.to_owned()),
         }
@@ -114,13 +117,26 @@ fn spec_of(o: &Options) -> CorpusSpec {
     }
 }
 
+/// Store options derived from the command line: `--jobs` and `--strict`.
+fn store_options(o: &Options) -> store::StoreOptions<'static> {
+    store::StoreOptions {
+        jobs: o.jobs.unwrap_or_else(store::default_load_jobs),
+        strict: o.strict,
+        ..store::StoreOptions::default()
+    }
+}
+
 /// Open a corpus directory through the binary snapshot cache: a valid
 /// `corpus.snapshot` memory-loads, anything else falls back to a
 /// (parallel) parse of the RDF sources and rewrites the snapshot.
+/// Unparsable files are quarantined (reported, not fatal) unless
+/// `--strict` is given.
 fn open_dir_store(o: &Options, dir: &str) -> Result<store::CorpusStore, String> {
-    let jobs = o.jobs.unwrap_or_else(store::default_load_jobs);
-    let s = store::CorpusStore::open_or_build_with_threads(Path::new(dir), jobs)
+    let s = store::CorpusStore::open_or_build_opts(Path::new(dir), &store_options(o))
         .map_err(|e| format!("load {dir}: {e}"))?;
+    if !s.ingest.is_clean() {
+        eprintln!("warning: {} (see `provbench snapshot info`)", s.ingest);
+    }
     if s.corpus.traces.is_empty() {
         return Err(format!("{dir} contains no corpus traces"));
     }
@@ -283,16 +299,69 @@ fn cmd_query(o: &Options) -> Result<(), String> {
 }
 
 fn cmd_serve(o: &Options) -> Result<(), String> {
-    let (graph, source) = corpus_graph(o)?;
+    let Some(dir) = o.dir.clone() else {
+        // In-memory corpus: nothing to watch, serve synchronously.
+        let (graph, source) = corpus_graph(o)?;
+        eprintln!(
+            "serving {} triples on http://{}/ (corpus: {source})",
+            graph.len(),
+            o.addr
+        );
+        return Endpoint::new(graph)
+            .with_source(source)
+            .serve(&o.addr)
+            .map_err(|e| e.to_string());
+    };
+
+    // Degraded-mode serving: bind and answer /healthz immediately, load
+    // the corpus in the background (readiness flips when it lands), and
+    // keep watching the source directory — a fingerprint change triggers
+    // a rebuild while requests keep being served from the old graph.
+    let endpoint = Endpoint::unready(EndpointConfig::default());
+    let loader = endpoint.clone();
+    let opts_jobs = o.jobs.unwrap_or_else(store::default_load_jobs);
+    let strict = o.strict;
+    let dir_path = std::path::PathBuf::from(&dir);
+    std::thread::spawn(move || {
+        let mut served: Option<(u64, u64)> = None;
+        loop {
+            let fingerprint = store::source_fingerprint(&dir_path).ok();
+            if fingerprint.is_some() && fingerprint != served {
+                loader.set_rebuilding(true);
+                let opts = store::StoreOptions {
+                    jobs: opts_jobs,
+                    strict,
+                    ..store::StoreOptions::default()
+                };
+                match store::CorpusStore::open_or_build_opts(&dir_path, &opts) {
+                    Ok(s) => {
+                        let summary = provenance_summary(&s.provenance);
+                        let quarantined = s.ingest.errors.len();
+                        if quarantined > 0 {
+                            eprintln!("warning: {}", s.ingest);
+                        }
+                        eprintln!("corpus loaded: {} triples ({summary})", s.union.len());
+                        loader.set_ingest_errors(quarantined);
+                        loader.replace_graph(s.union, summary);
+                    }
+                    Err(e) => {
+                        loader.set_rebuilding(false);
+                        eprintln!("corpus load failed: {e}");
+                    }
+                }
+                // Even a failed load pins the fingerprint: retry only
+                // when the sources change again, not in a tight loop.
+                served = fingerprint;
+            }
+            std::thread::sleep(std::time::Duration::from_secs(2));
+        }
+    });
     eprintln!(
-        "serving {} triples on http://{}/ (corpus: {source})",
-        graph.len(),
+        "serving on http://{}/ (degraded until {dir} finishes loading; \
+         watch /readyz)",
         o.addr
     );
-    Endpoint::new(graph)
-        .with_source(source)
-        .serve(&o.addr)
-        .map_err(|e| e.to_string())
+    endpoint.serve(&o.addr).map_err(|e| e.to_string())
 }
 
 fn find_trace<'a>(
@@ -531,11 +600,11 @@ fn cmd_snapshot(o: &Options) -> Result<(), String> {
         .map(String::as_str)
         .ok_or("snapshot needs an action: build | info")?;
     let dir = o.dir.as_deref().ok_or("snapshot needs --dir DIR")?;
-    let jobs = o.jobs.unwrap_or_else(store::default_load_jobs);
+    let opts = store_options(o);
     let s = match action {
-        "build" => store::CorpusStore::build(Path::new(dir), jobs)
+        "build" => store::CorpusStore::build_opts(Path::new(dir), &opts)
             .map_err(|e| format!("build {dir}: {e}"))?,
-        "info" => store::CorpusStore::open_or_build_with_threads(Path::new(dir), jobs)
+        "info" => store::CorpusStore::open_or_build_opts(Path::new(dir), &opts)
             .map_err(|e| format!("open {dir}: {e}"))?,
         other => return Err(format!("unknown snapshot action {other:?} (build | info)")),
     };
@@ -566,7 +635,18 @@ fn cmd_snapshot(o: &Options) -> Result<(), String> {
         s.union.len(),
         s.union.term_count()
     );
-    Ok(())
+    if s.ingest.is_clean() {
+        println!("ingest: clean ({} files attempted)", s.ingest.attempted);
+        Ok(())
+    } else {
+        println!("ingest: {}", s.ingest);
+        for e in &s.ingest.errors {
+            println!("  quarantined: {e}");
+        }
+        // Quarantined files mean the served corpus is incomplete — make
+        // that visible to scripts through the exit code.
+        Err(format!("{}", s.ingest))
+    }
 }
 
 fn cmd_usage(o: &Options) -> Result<(), String> {
@@ -596,6 +676,7 @@ const USAGE: &str = "usage: provbench <command> [options]
   validate --dir DIR                            PROV-constraint-check a corpus dir
   query 'SPARQL' [--dir DIR | --seed N]         run SPARQL over the corpus
   serve    [--addr HOST:PORT] [--dir DIR]       SPARQL endpoint + web UI
+           (with --dir: loads in the background; /healthz + /readyz report state)
   nquads   --out FILE [--seed N]                bulk N-Quads export
   provn    RUN_ID [--seed N]                    one trace as PROV-N
   provjson RUN_ID [--seed N]                    one trace as PROV-JSON
@@ -605,7 +686,10 @@ const USAGE: &str = "usage: provbench <command> [options]
   ro       TEMPLATE [--seed N]                  research-object manifest (Turtle)
   explain 'SPARQL' [--dir DIR | --seed N]       show the evaluation plan + estimates
   snapshot build|info --dir DIR [--jobs N]      build/inspect the binary corpus snapshot
-           (query/serve/validate/lint --dir load through it automatically)";
+           (query/serve/validate/lint --dir load through it automatically;
+            info exits non-zero if any source file is quarantined)
+  --strict on any --dir command: fail fast on the first unparsable source
+           file instead of quarantining it";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();

@@ -1,0 +1,216 @@
+//! Deterministic fault-injection ("chaos") suite for the corpus store.
+//!
+//! Gated behind the `fault-inject` feature:
+//!
+//! ```text
+//! cargo test --features fault-inject --test chaos
+//! ```
+//!
+//! The harness measures how many filesystem operations one clean
+//! cold open performs, then replays the open once per (fault kind ×
+//! operation index) pair, injecting exactly one fault at that point.
+//! A seeded pseudo-random schedule tops the sweep up past 200 injected
+//! fault points. After every faulted open, two invariants must hold and
+//! nothing may panic:
+//!
+//! 1. the open itself still succeeds in default (quarantining) mode,
+//!    and its corpus is either verbatim-correct or accompanied by a
+//!    non-empty quarantine report;
+//! 2. a follow-up open on the *real* filesystem recovers: it serves the
+//!    correct corpus, or degrades explicitly through a persisted
+//!    quarantine report — never a silently partial corpus.
+
+use provbench::corpus::fsio::{FaultFs, FaultKind};
+use provbench::corpus::snapshot::SNAPSHOT_FILE;
+use provbench::corpus::store::{self, CorpusStore, StoreOptions, SNAPSHOT_LOCK, SNAPSHOT_TMP};
+use provbench::corpus::{Corpus, CorpusSpec, INGEST_REPORT_FILE};
+use provbench::rdf::Graph;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+const KINDS: [FaultKind; 4] = [
+    FaultKind::ReadError,
+    FaultKind::Interrupted,
+    FaultKind::ShortWrite,
+    FaultKind::TornRename,
+];
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("provbench-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A corpus big enough that one cold open performs a meaningful number
+/// of filesystem operations, small enough to replay hundreds of times.
+fn chaos_corpus() -> Corpus {
+    let spec = CorpusSpec {
+        max_workflows: Some(8),
+        total_runs: 10,
+        failed_runs: 2,
+        ..CorpusSpec::default()
+    };
+    Corpus::generate(&spec)
+}
+
+/// Remove every store-managed artifact so each replay starts from the
+/// identical cold state (faults are addressed by operation index, so
+/// the operation sequence must be reproducible).
+fn reset(dir: &Path) {
+    for name in [
+        SNAPSHOT_FILE,
+        SNAPSHOT_TMP,
+        SNAPSHOT_LOCK,
+        INGEST_REPORT_FILE,
+        "corpus.ingest-report.tmp",
+    ] {
+        let _ = std::fs::remove_file(dir.join(name));
+    }
+}
+
+/// Store options routed through the fault shim. Single-threaded parsing
+/// keeps the operation order (and thus the fault schedule) deterministic.
+fn faulty_opts(fs: &FaultFs) -> StoreOptions<'_> {
+    StoreOptions {
+        jobs: 1,
+        strict: false,
+        lock_timeout: Duration::from_millis(200),
+        fs,
+    }
+}
+
+/// The store's core robustness contract: a clean report means the
+/// corpus is verbatim-correct; anything less must be reported.
+fn check_outcome(context: &str, store: &CorpusStore, reference: &Graph) {
+    if store.ingest.is_clean() {
+        assert_eq!(
+            &store.union, reference,
+            "{context}: clean ingest must mean a verbatim corpus"
+        );
+    } else {
+        assert!(
+            !store.ingest.errors.is_empty(),
+            "{context}: dirty report with no errors"
+        );
+        assert_eq!(
+            store.corpus.traces.len() + store.corpus.descriptions.len(),
+            store.ingest.attempted - store.ingest.errors.len(),
+            "{context}: loaded files + quarantined files must cover every attempt"
+        );
+    }
+}
+
+#[test]
+fn every_fault_point_recovers_or_reports() {
+    let corpus = chaos_corpus();
+    let dir = tmpdir("sweep");
+    store::save(&corpus, &dir).unwrap();
+    let reference = corpus.combined_dataset().union_graph();
+
+    // Dry run: count the operations of one clean cold open. A fault
+    // index beyond the end never fires, so this measures the whole
+    // clean path.
+    reset(&dir);
+    let probe = FaultFs::fail_nth(FaultKind::Interrupted, usize::MAX);
+    let clean = CorpusStore::open_or_build_opts(&dir, &faulty_opts(&probe)).unwrap();
+    assert!(clean.ingest.is_clean());
+    assert_eq!(clean.union, reference);
+    let total_ops = probe.ops();
+    assert!(total_ops >= 40, "suspiciously few fs ops: {total_ops}");
+
+    let mut injected_total = 0usize;
+    for kind in KINDS {
+        for op in 0..total_ops {
+            let context = format!("{kind:?} at op {op}/{total_ops}");
+            reset(&dir);
+            let fs = FaultFs::fail_nth(kind, op);
+            let store = CorpusStore::open_or_build_opts(&dir, &faulty_opts(&fs))
+                .unwrap_or_else(|e| panic!("{context}: default-mode open must not fail: {e}"));
+            // The clean prefix up to `op` is shared with the dry run, so
+            // the fault point is always reached.
+            assert_eq!(fs.injected(), 1, "{context}: fault not reached");
+            injected_total += fs.injected();
+            check_outcome(&context, &store, &reference);
+
+            // Recovery: the next open on the real filesystem self-heals
+            // (stale temp/lock litter, torn snapshots) or reports.
+            let recovered = CorpusStore::open_or_build_with_threads(&dir, 1)
+                .unwrap_or_else(|e| panic!("{context}: recovery open failed: {e}"));
+            check_outcome(&format!("{context} (recovery)"), &recovered, &reference);
+        }
+    }
+
+    // Seeded schedule on top of the exhaustive sweep: multiple faults
+    // per open, different mixes per seed, fully reproducible.
+    let mut seed = 0xC0FFEE_u64;
+    while injected_total < 220 {
+        seed += 1;
+        let context = format!("seeded run {seed:#x}");
+        reset(&dir);
+        let fs = FaultFs::seeded(seed, 4);
+        let store = CorpusStore::open_or_build_opts(&dir, &faulty_opts(&fs))
+            .unwrap_or_else(|e| panic!("{context}: default-mode open must not fail: {e}"));
+        injected_total += fs.injected();
+        check_outcome(&context, &store, &reference);
+        let recovered = CorpusStore::open_or_build_with_threads(&dir, 1)
+            .unwrap_or_else(|e| panic!("{context}: recovery open failed: {e}"));
+        check_outcome(&format!("{context} (recovery)"), &recovered, &reference);
+    }
+    assert!(
+        injected_total >= 200,
+        "only {injected_total} faults injected"
+    );
+
+    // Once the chaos stops, the store converges back to a clean warm state.
+    reset(&dir);
+    let settled = CorpusStore::open_or_build_with_threads(&dir, 1).unwrap();
+    assert!(settled.ingest.is_clean());
+    assert_eq!(settled.union, reference);
+    let warm = CorpusStore::open_or_build_with_threads(&dir, 1).unwrap();
+    assert!(warm.provenance.warm);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// `--strict` under injected read faults: the open either stays clean or
+/// fails fast with the strict-ingestion error — never a partial corpus.
+#[test]
+fn strict_mode_surfaces_injected_read_faults() {
+    let corpus = chaos_corpus();
+    let dir = tmpdir("strict");
+    store::save(&corpus, &dir).unwrap();
+    let reference = corpus.combined_dataset().union_graph();
+
+    reset(&dir);
+    let probe = FaultFs::fail_nth(FaultKind::ReadError, usize::MAX);
+    let clean = CorpusStore::open_or_build_opts(&dir, &faulty_opts(&probe)).unwrap();
+    assert_eq!(clean.union, reference);
+    let total_ops = probe.ops();
+
+    let mut failures = 0usize;
+    for op in 0..total_ops {
+        reset(&dir);
+        let fs = FaultFs::fail_nth(FaultKind::ReadError, op);
+        let opts = StoreOptions {
+            strict: true,
+            ..faulty_opts(&fs)
+        };
+        match CorpusStore::open_or_build_opts(&dir, &opts) {
+            Ok(s) => {
+                assert!(s.ingest.is_clean(), "strict mode returned a dirty store");
+                assert_eq!(s.union, reference);
+            }
+            Err(e) => {
+                assert!(
+                    e.to_string().contains("strict ingestion"),
+                    "unexpected strict failure at op {op}: {e}"
+                );
+                failures += 1;
+            }
+        }
+    }
+    assert!(
+        failures > 0,
+        "no read fault ever hit a source file in {total_ops} ops"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
