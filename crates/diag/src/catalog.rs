@@ -1,0 +1,276 @@
+//! The rule catalog with long-form documentation — the single source of
+//! truth behind `provbench lint --explain PB0xxx` and the rule tables in
+//! `docs/linting.md` (a test asserts the two stay in sync).
+
+use crate::diagnostic::RuleInfo;
+use crate::rules::{constraints, corpus, profile, vocabulary, PARSE_ERROR};
+
+/// Everything `--explain` prints about one rule: the static
+/// [`RuleInfo`] plus a rationale and a minimal triggering example.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleDoc {
+    /// The rule's id/slug/severity/summary.
+    pub info: &'static RuleInfo,
+    /// Why the rule exists — what goes wrong in a corpus that trips it.
+    pub rationale: &'static str,
+    /// A minimal sketch of input that fires the rule.
+    pub example: &'static str,
+}
+
+/// Long-form documentation for every rule in the full catalog,
+/// including the corpus pack, sorted by rule id.
+pub fn all_rule_docs() -> Vec<RuleDoc> {
+    let mut docs = vec![
+        RuleDoc {
+            info: &PARSE_ERROR,
+            rationale: "Nothing downstream — queries, snapshots, lineage — can work with \
+                        a file the Turtle/TriG parser rejects; every other rule is skipped \
+                        for such a file.",
+            example: "ex:a prov:used   # truncated statement, missing object and '.'",
+        },
+        RuleDoc {
+            info: &constraints::ENDS_BEFORE_START,
+            rationale: "PROV-CONSTRAINTS requires start(a) ≤ end(a); an activity that ends \
+                        before it starts has its timestamps swapped or corrupted.",
+            example: "ex:run prov:startedAtTime \"2013-01-01T12:00:00Z\" ; \
+                      prov:endedAtTime \"2013-01-01T10:00:00Z\" .",
+        },
+        RuleDoc {
+            info: &constraints::USAGE_BEFORE_GENERATION,
+            rationale: "An entity must exist before an activity can consume it: the usage \
+                        interval cannot lie entirely before the generation event.",
+            example: "ex:late prov:wasGeneratedBy ex:a2 . ex:a1 prov:used ex:late . \
+                      # but a1 ended before a2 started",
+        },
+        RuleDoc {
+            info: &constraints::MULTIPLE_GENERATION,
+            rationale: "PROV's uniqueness constraint: an entity is generated once. Two \
+                        independent generating activities mean two distinct entities were \
+                        conflated under one IRI.",
+            example: "ex:out prov:wasGeneratedBy ex:run1 , ex:run2 .",
+        },
+        RuleDoc {
+            info: &constraints::DERIVATION_CYCLE,
+            rationale: "Derivation is causal and therefore acyclic: an artifact cannot be \
+                        (transitively) derived from itself. Cycles usually come from \
+                        copy-paste of derivation chains.",
+            example: "ex:a prov:wasDerivedFrom ex:b . ex:b prov:wasDerivedFrom ex:a .",
+        },
+        RuleDoc {
+            info: &constraints::SELF_DERIVATION,
+            rationale: "The one-edge special case of a derivation cycle, common enough \
+                        (template expansion bugs) to deserve its own precise message.",
+            example: "ex:a prov:wasDerivedFrom ex:a .",
+        },
+        RuleDoc {
+            info: &constraints::SELF_COMMUNICATION,
+            rationale: "prov:wasInformedBy means 'used an entity the other generated'; an \
+                        activity informing itself collapses that exchange into nonsense.",
+            example: "ex:run prov:wasInformedBy ex:run .",
+        },
+        RuleDoc {
+            info: &constraints::EVENT_ORDERING_CYCLE,
+            rationale: "Generation, usage, start/end and derivation each impose event \
+                        precedences; if their union contains a cycle through a strict \
+                        edge, no timeline can realize the trace.",
+            example: "ex:b prov:wasDerivedFrom ex:a . ex:a prov:wasDerivedFrom ex:b . \
+                      # gen(a) < gen(b) < gen(a)",
+        },
+        RuleDoc {
+            info: &constraints::ENTITY_ACTIVITY_DISJOINT,
+            rationale: "prov:Entity and prov:Activity are disjoint classes in PROV-O; a \
+                        node typed as both is almost always an IRI-minting bug.",
+            example: "ex:x a prov:Entity , prov:Activity .",
+        },
+        RuleDoc {
+            info: &profile::TAVERNA_PROCESS_RUN_PARENT,
+            rationale: "Taverna nests every process run inside exactly one workflow run; \
+                        a missing or doubled wfprov:wasPartOfWorkflowRun breaks the run \
+                        tree the corpus queries navigate.",
+            example: "ex:proc a wfprov:ProcessRun .  # no wasPartOfWorkflowRun",
+        },
+        RuleDoc {
+            info: &profile::TAVERNA_PROCESS_RUN_TIMES,
+            rationale: "The paper's Taverna profile (Table 2) records both timestamps on \
+                        every process run; without them duration analyses silently drop \
+                        the run.",
+            example: "ex:proc a wfprov:ProcessRun .  # no startedAtTime/endedAtTime",
+        },
+        RuleDoc {
+            info: &profile::TAVERNA_PROCESS_RUN_DESCRIPTION,
+            rationale: "Linking a run to its wfdesc process is what makes prospective ⇄ \
+                        retrospective queries possible; an unlinked run can't be joined \
+                        to the workflow definition.",
+            example: "ex:proc a wfprov:ProcessRun .  # no describedByProcess",
+        },
+        RuleDoc {
+            info: &profile::TAVERNA_RUN_DESCRIPTION,
+            rationale: "A workflow run without wfprov:describedByWorkflow cannot be tied \
+                        back to any workflow definition at all.",
+            example: "ex:run a wfprov:WorkflowRun .  # no describedByWorkflow",
+        },
+        RuleDoc {
+            info: &profile::TAVERNA_ARTIFACT_VALUE,
+            rationale: "Taverna exports inline values for artifacts; their absence usually \
+                        means the export was truncated.",
+            example: "ex:art a wfprov:Artifact .  # no prov:value",
+        },
+        RuleDoc {
+            info: &profile::TAVERNA_PROFILE_PURITY,
+            rationale: "The corpus's Taverna traces use a fixed property inventory \
+                        (Tables 2/3); anything outside it is either a tool-version drift \
+                        or a hand edit worth reviewing.",
+            example: "ex:proc ex:customProperty \"x\" .  # not in the Taverna profile",
+        },
+        RuleDoc {
+            info: &profile::WINGS_PROCESS_ACCOUNT,
+            rationale: "Wings groups an execution's processes under an account \
+                        (opmw:WorkflowExecutionAccount); a process without \
+                        belongsToAccount is unreachable from its execution.",
+            example: "ex:proc a opmw:WorkflowExecutionProcess .  # no belongsToAccount",
+        },
+        RuleDoc {
+            info: &profile::WINGS_PROCESS_COMPONENT,
+            rationale: "Every Wings execution process instantiates a workflow component; \
+                        without hasExecutableComponent the template join fails.",
+            example: "ex:proc a opmw:WorkflowExecutionProcess .  # no hasExecutableComponent",
+        },
+        RuleDoc {
+            info: &profile::WINGS_PROCESS_STATUS,
+            rationale: "Wings records SUCCESS/FAILURE per process; a missing status makes \
+                        the execution's outcome ambiguous.",
+            example: "ex:proc a opmw:WorkflowExecutionProcess .  # no hasStatus",
+        },
+        RuleDoc {
+            info: &profile::WINGS_ARTIFACT_LOCATION,
+            rationale: "Wings artifacts point at their on-disk location; the corpus uses \
+                        it to resolve data files.",
+            example: "ex:art a opmw:WorkflowExecutionArtifact .  # no prov:atLocation",
+        },
+        RuleDoc {
+            info: &profile::WINGS_ARTIFACT_ACCOUNT,
+            rationale: "Like processes, Wings artifacts hang off the execution account; \
+                        unanchored artifacts disappear from account-scoped queries.",
+            example: "ex:art a opmw:WorkflowExecutionArtifact .  # no belongsToAccount",
+        },
+        RuleDoc {
+            info: &profile::WINGS_PROFILE_PURITY,
+            rationale: "Wings models time and communication at the account level only; \
+                        per-activity times or wasInformedBy edges signal a trace that \
+                        mixes profiles.",
+            example: "ex:proc prov:startedAtTime \"...\" .  # per-process time in Wings",
+        },
+        RuleDoc {
+            info: &corpus::DANGLING_REFERENCE,
+            rationale: "Cross-document provenance only works if every prov:used / \
+                        prov:wasDerivedFrom target is declared somewhere in the corpus; \
+                        a dangling target breaks lineage walks at that point. This rule \
+                        needs the whole corpus: any one file legitimately references \
+                        entities declared in another.",
+            example: "a.ttl: ex:out prov:wasDerivedFrom ex:ghost .  \
+                      # no document declares ex:ghost",
+        },
+        RuleDoc {
+            info: &corpus::UNANCHORED_DERIVATION,
+            rationale: "Derivation chains must bottom out in source entities. A cycle \
+                        assembled across documents (each file acyclic on its own) keeps \
+                        every member from ever reaching a source; only the corpus-level \
+                        fixpoint over per-file summaries can see it.",
+            example: "a.ttl: ex:x prov:wasDerivedFrom ex:y . \
+                      b.ttl: ex:y prov:wasDerivedFrom ex:x .",
+        },
+        RuleDoc {
+            info: &corpus::CROSS_RUN_TEMPORAL,
+            rationale: "The PB0107 event network, lifted to the union of all documents: \
+                        generation/usage/start constraints asserted in different runs can \
+                        contradict each other even when each file is consistent alone.",
+            example: "a.ttl: ex:e2 prov:wasDerivedFrom ex:e1 . \
+                      b.ttl: ex:e1 prov:wasDerivedFrom ex:e2 .",
+        },
+        RuleDoc {
+            info: &corpus::ORPHAN_DOCUMENT,
+            rationale: "A document sharing no data IRIs with the rest of the corpus is \
+                        disconnected from every cross-run query — typically a stray file \
+                        or an export under freshly minted IRIs.",
+            example: "island.ttl uses only ex-private:* IRIs no other file mentions",
+        },
+        RuleDoc {
+            info: &vocabulary::UNKNOWN_TERM,
+            rationale: "A term spelled inside a corpus ontology namespace but absent from \
+                        the ontology is almost certainly a typo (wfprov:usedInput vs \
+                        wfprov:usedInput_).",
+            example: "ex:proc wfprov:usedImput ex:art .  # misspelled term",
+        },
+        RuleDoc {
+            info: &vocabulary::CROSS_PROFILE_TERM,
+            rationale: "Taverna traces speak wfprov/wfdesc, Wings traces speak OPMW; a \
+                        trace mixing both vocabularies was probably stitched together \
+                        from different exports.",
+            example: "a Taverna trace asserting opmw:belongsToAccount",
+        },
+        RuleDoc {
+            info: &vocabulary::OUTSIDE_INVENTORY,
+            rationale: "The paper's Tables 2/3 fix the property inventory each system \
+                        emits; valid PROV-O outside it is worth knowing about but not \
+                        wrong.",
+            example: "ex:run prov:wasAssociatedWith ex:agent .  # valid, untracked",
+        },
+    ];
+    docs.sort_by_key(|d| d.info.id);
+    docs
+}
+
+/// Look up the documentation for one rule id (exact, case-sensitive
+/// `PB0xxx` form).
+pub fn rule_doc(id: &str) -> Option<RuleDoc> {
+    all_rule_docs().into_iter().find(|d| d.info.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Registry;
+
+    #[test]
+    fn every_catalog_rule_has_a_doc_and_vice_versa() {
+        let registry = Registry::with_corpus_rules();
+        let infos = registry.rule_infos();
+        let docs = all_rule_docs();
+        assert_eq!(infos.len(), docs.len(), "doc count must match catalog");
+        for (info, doc) in infos.iter().zip(&docs) {
+            assert_eq!(info.id, doc.info.id, "docs must be sorted like the catalog");
+            assert!(!doc.rationale.is_empty());
+            assert!(!doc.example.is_empty());
+        }
+    }
+
+    #[test]
+    fn rule_doc_lookup() {
+        assert_eq!(
+            rule_doc("PB0104").expect("doc").info.slug,
+            "prov/derivation-cycle"
+        );
+        assert_eq!(
+            rule_doc("PB0210").expect("doc").info.slug,
+            "corpus/dangling-reference"
+        );
+        assert!(rule_doc("PB9999").is_none());
+        assert!(rule_doc("pb0104").is_none());
+    }
+
+    #[test]
+    fn docs_page_lists_every_rule() {
+        let page = include_str!(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../docs/linting.md"
+        ));
+        for doc in all_rule_docs() {
+            assert!(
+                page.contains(doc.info.id),
+                "docs/linting.md is missing rule {} ({}) — regenerate the catalog table",
+                doc.info.id,
+                doc.info.slug
+            );
+        }
+    }
+}

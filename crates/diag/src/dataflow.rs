@@ -1,0 +1,296 @@
+//! A tiny fixpoint framework for corpus-wide dataflow analyses.
+//!
+//! The corpus rules (`rules::corpus`) need to propagate facts across
+//! *inter-graph* edges — a derivation chain in one document can bottom
+//! out in an entity declared by another. Rather than hand-roll each
+//! propagation, this module provides the textbook pieces once:
+//!
+//! * a [`Lattice`] trait (join-semilattice with a `bottom` element and a
+//!   changed-flag `join`),
+//! * a deterministic worklist [`solve`] over a [`FlowGraph`] in either
+//!   [`Direction`], and
+//! * an iterative Tarjan [`scc_ids`] (shared with the per-file PB0104 /
+//!   PB0107 cycle rules, which previously kept a private copy).
+//!
+//! Determinism matters more than raw speed here: diagnostics derived
+//! from the solution must be byte-identical between cold and warm runs,
+//! so the worklist is FIFO over node indices and every adjacency list is
+//! built in sorted order by the callers.
+
+/// A join-semilattice value.
+///
+/// `join_from` must be monotone (repeated joins converge) and return
+/// whether `self` actually changed — the solver uses the flag to decide
+/// when to re-enqueue successors, so a value that reports a change it
+/// did not make will loop forever, and one that hides a change will
+/// under-approximate.
+pub trait Lattice: Clone {
+    /// The least element; the solver starts every node here unless the
+    /// caller seeds an initial value.
+    fn bottom() -> Self;
+    /// Join `other` into `self`; returns `true` iff `self` changed.
+    fn join_from(&mut self, other: &Self) -> bool;
+}
+
+/// `false < true` with `join = or`: the reachability lattice.
+impl Lattice for bool {
+    fn bottom() -> Self {
+        false
+    }
+
+    fn join_from(&mut self, other: &Self) -> bool {
+        let changed = *other && !*self;
+        *self |= *other;
+        changed
+    }
+}
+
+/// Set union over small index sets (e.g. "which documents contribute to
+/// this node"); ordered so solutions render deterministically.
+impl Lattice for std::collections::BTreeSet<usize> {
+    fn bottom() -> Self {
+        std::collections::BTreeSet::new()
+    }
+
+    fn join_from(&mut self, other: &Self) -> bool {
+        let before = self.len();
+        self.extend(other.iter().copied());
+        self.len() != before
+    }
+}
+
+/// Which way facts flow along the edges.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Facts at an edge's source reach its target.
+    Forward,
+    /// Facts at an edge's target reach its source.
+    Backward,
+}
+
+/// A directed graph over dense node indices `0..len`.
+#[derive(Clone, Debug, Default)]
+pub struct FlowGraph {
+    succ: Vec<Vec<usize>>,
+}
+
+impl FlowGraph {
+    /// A graph with `len` nodes and no edges.
+    pub fn new(len: usize) -> Self {
+        FlowGraph {
+            succ: vec![Vec::new(); len],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.succ.len()
+    }
+
+    /// True when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.succ.is_empty()
+    }
+
+    /// Add a directed edge `from -> to` (duplicates are tolerated; the
+    /// solver joins idempotently).
+    pub fn add_edge(&mut self, from: usize, to: usize) {
+        self.succ[from].push(to);
+    }
+
+    /// Successors of `n` in the stored (forward) orientation.
+    pub fn successors(&self, n: usize) -> &[usize] {
+        &self.succ[n]
+    }
+
+    /// The same graph with every edge reversed.
+    pub fn reversed(&self) -> FlowGraph {
+        let mut rev = FlowGraph::new(self.len());
+        for (from, succs) in self.succ.iter().enumerate() {
+            for &to in succs {
+                rev.add_edge(to, from);
+            }
+        }
+        rev
+    }
+}
+
+/// Solve a dataflow problem to its least fixpoint.
+///
+/// `init` seeds each node (use [`Lattice::bottom`] for "no fact");
+/// `transfer(node, in_value)` produces the value the node propagates to
+/// its neighbours. The worklist is FIFO and initially holds every node
+/// in index order, so the result — and anything rendered from it — is
+/// deterministic.
+pub fn solve<L, F>(graph: &FlowGraph, direction: Direction, init: Vec<L>, transfer: F) -> Vec<L>
+where
+    L: Lattice,
+    F: Fn(usize, &L) -> L,
+{
+    assert_eq!(init.len(), graph.len(), "one seed value per node");
+    let oriented;
+    let edges = match direction {
+        Direction::Forward => graph,
+        Direction::Backward => {
+            oriented = graph.reversed();
+            &oriented
+        }
+    };
+    let mut state = init;
+    let mut queued = vec![true; graph.len()];
+    let mut worklist: std::collections::VecDeque<usize> = (0..graph.len()).collect();
+    while let Some(n) = worklist.pop_front() {
+        queued[n] = false;
+        let out = transfer(n, &state[n]);
+        for &s in edges.successors(n) {
+            if state[s].join_from(&out) && !queued[s] {
+                queued[s] = true;
+                worklist.push_back(s);
+            }
+        }
+    }
+    state
+}
+
+/// Strongly connected components via iterative Tarjan; returns a
+/// component id per node. Ids are assigned in completion order, which is
+/// deterministic for a given adjacency, and nodes in the same component
+/// share an id.
+pub fn scc_ids(n: usize, adjacency: &[Vec<usize>]) -> Vec<usize> {
+    const UNVISITED: usize = usize::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut comp = vec![UNVISITED; n];
+    let mut next_index = 0usize;
+    let mut next_comp = 0usize;
+
+    // Iterative Tarjan: (node, next child position) call frames.
+    let mut frames: Vec<(usize, usize)> = Vec::new();
+    for start in 0..n {
+        if index[start] != UNVISITED {
+            continue;
+        }
+        frames.push((start, 0));
+        index[start] = next_index;
+        lowlink[start] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start] = true;
+
+        while let Some(&mut (v, ref mut child)) = frames.last_mut() {
+            if *child < adjacency[v].len() {
+                let w = adjacency[v][*child];
+                *child += 1;
+                if index[w] == UNVISITED {
+                    index[w] = next_index;
+                    lowlink[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                }
+                if lowlink[v] == index[v] {
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        comp[w] = next_comp;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    next_comp += 1;
+                }
+            }
+        }
+    }
+    comp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn chain(n: usize) -> FlowGraph {
+        let mut g = FlowGraph::new(n);
+        for i in 0..n.saturating_sub(1) {
+            g.add_edge(i, i + 1);
+        }
+        g
+    }
+
+    #[test]
+    fn forward_reachability_over_a_chain() {
+        let g = chain(4);
+        let mut init = vec![false; 4];
+        init[0] = true;
+        let out = solve(&g, Direction::Forward, init, |_, v| *v);
+        assert_eq!(out, vec![true; 4]);
+    }
+
+    #[test]
+    fn backward_reachability_over_a_chain() {
+        let g = chain(4);
+        let mut init = vec![false; 4];
+        init[3] = true;
+        let out = solve(&g, Direction::Backward, init, |_, v| *v);
+        assert_eq!(out, vec![true; 4]);
+    }
+
+    #[test]
+    fn cycles_converge() {
+        let mut g = FlowGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 0);
+        let mut init: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); 3];
+        init[1].insert(7);
+        let out = solve(&g, Direction::Forward, init, |n, v| {
+            let mut out = v.clone();
+            out.insert(n);
+            out
+        });
+        // Every node sees every node plus the seeded fact.
+        for v in &out {
+            assert_eq!(v, &BTreeSet::from([0, 1, 2, 7]));
+        }
+    }
+
+    #[test]
+    fn transfer_can_gate_propagation() {
+        // Node 1 swallows facts: nothing downstream of it is reached.
+        let g = chain(4);
+        let mut init = vec![false; 4];
+        init[0] = true;
+        let out = solve(&g, Direction::Forward, init, |n, v| *v && n != 1);
+        assert_eq!(out, vec![true, true, false, false]);
+    }
+
+    #[test]
+    fn scc_groups_cycles_and_separates_the_rest() {
+        // 0 -> 1 -> 2 -> 0 (one component), 3 -> 4 (two singletons).
+        let adj = vec![vec![1], vec![2], vec![0], vec![4], vec![]];
+        let comp = scc_ids(5, &adj);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[1], comp[2]);
+        assert_ne!(comp[0], comp[3]);
+        assert_ne!(comp[3], comp[4]);
+    }
+
+    #[test]
+    fn scc_handles_self_loops_and_empty_graphs() {
+        assert!(scc_ids(0, &[]).is_empty());
+        let adj = vec![vec![0], vec![]];
+        let comp = scc_ids(2, &adj);
+        assert_ne!(comp[0], comp[1]);
+    }
+}

@@ -55,6 +55,19 @@ pub struct RuleInfo {
     pub summary: &'static str,
 }
 
+/// A secondary location a multi-span diagnostic points at — a member
+/// edge of a cycle, or (for corpus rules) another document involved in
+/// the finding. Rendered as SARIF `relatedLocations`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RelatedLocation {
+    /// What this location contributes to the finding.
+    pub message: String,
+    /// Source file, when known (may differ from the diagnostic's file).
+    pub file: Option<String>,
+    /// Source region, when the parser recorded spans.
+    pub span: Option<Span>,
+}
+
 /// One finding, tied to a rule and (when known) a source location.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Diagnostic {
@@ -70,6 +83,10 @@ pub struct Diagnostic {
     pub span: Option<Span>,
     /// The offending node, when the rule points at one.
     pub node: Option<Iri>,
+    /// Secondary locations (cycle members, other involved documents).
+    /// Not part of the fingerprint: the primary finding identifies the
+    /// baseline entry.
+    pub related: Vec<RelatedLocation>,
 }
 
 impl Diagnostic {
@@ -82,6 +99,7 @@ impl Diagnostic {
             file: None,
             span: None,
             node: None,
+            related: Vec::new(),
         }
     }
 
@@ -104,15 +122,26 @@ impl Diagnostic {
         self
     }
 
+    /// Attach secondary locations (replacing any already present).
+    pub fn with_related(mut self, related: Vec<RelatedLocation>) -> Self {
+        self.related = related;
+        self
+    }
+
     /// A stable fingerprint for baseline suppression: rule id, file and
     /// offending node/message — deliberately *not* the line number, so a
-    /// baseline survives unrelated edits that shift lines.
+    /// baseline survives unrelated edits that shift lines. The file path
+    /// is separator-normalized (`\` → `/`, leading `./` stripped) so a
+    /// baseline written on one OS or from one invocation directory keeps
+    /// matching on another.
     pub fn fingerprint(&self) -> String {
         let mut h = Fnv1a::new();
         h.write(self.rule.id.as_bytes());
         h.write(b"|");
         if let Some(f) = &self.file {
-            h.write(f.as_bytes());
+            let normalized = f.replace('\\', "/");
+            let normalized = normalized.strip_prefix("./").unwrap_or(&normalized);
+            h.write(normalized.as_bytes());
         }
         h.write(b"|");
         match &self.node {
@@ -214,5 +243,25 @@ mod tests {
         let c = Diagnostic::new(&TEST_RULE, "m").with_file("other.ttl");
         assert_ne!(a.fingerprint(), c.fingerprint());
         assert!(a.fingerprint().starts_with("PB9999-"));
+    }
+
+    #[test]
+    fn fingerprint_normalizes_path_separators_and_cwd_prefix() {
+        let unix = Diagnostic::new(&TEST_RULE, "m").with_file("examples/a/b.ttl");
+        let windows = Diagnostic::new(&TEST_RULE, "m").with_file("examples\\a\\b.ttl");
+        let dotted = Diagnostic::new(&TEST_RULE, "m").with_file("./examples/a/b.ttl");
+        assert_eq!(unix.fingerprint(), windows.fingerprint());
+        assert_eq!(unix.fingerprint(), dotted.fingerprint());
+    }
+
+    #[test]
+    fn related_locations_do_not_change_the_fingerprint() {
+        let plain = Diagnostic::new(&TEST_RULE, "m").with_file("f.ttl");
+        let related = plain.clone().with_related(vec![RelatedLocation {
+            message: "also here".into(),
+            file: Some("g.ttl".into()),
+            span: Some(Span::point(3, 1)),
+        }]);
+        assert_eq!(plain.fingerprint(), related.fingerprint());
     }
 }

@@ -63,6 +63,24 @@ fn diagnostic_json(d: &Diagnostic) -> Json {
     if let Some(node) = &d.node {
         members.push(("node".into(), Json::str(node.as_str())));
     }
+    if !d.related.is_empty() {
+        let related: Vec<Json> = d
+            .related
+            .iter()
+            .map(|r| {
+                let mut obj = vec![("message".into(), Json::str(&r.message))];
+                if let Some(file) = &r.file {
+                    obj.push(("file".into(), Json::str(file)));
+                }
+                if let Some(span) = &r.span {
+                    obj.push(("line".into(), Json::int(span.line)));
+                    obj.push(("column".into(), Json::int(span.column)));
+                }
+                Json::Obj(obj)
+            })
+            .collect();
+        members.push(("related".into(), Json::Arr(related)));
+    }
     Json::Obj(members)
 }
 
@@ -76,6 +94,25 @@ pub fn render_jsonl(reports: &[FileReport]) -> String {
         }
     }
     out
+}
+
+/// One compact JSON document summarizing a whole lint run — the payload
+/// the HTTP endpoint serves at `GET /lint`.
+pub fn render_lint_json(reports: &[FileReport]) -> String {
+    let (errors, warnings, infos) = crate::runner::severity_counts(reports);
+    let diagnostics: Vec<Json> = reports
+        .iter()
+        .flat_map(|r| r.diagnostics.iter())
+        .map(diagnostic_json)
+        .collect();
+    Json::Obj(vec![
+        ("files".into(), Json::int(reports.len())),
+        ("errors".into(), Json::int(errors)),
+        ("warnings".into(), Json::int(warnings)),
+        ("infos".into(), Json::int(infos)),
+        ("diagnostics".into(), Json::Arr(diagnostics)),
+    ])
+    .to_compact()
 }
 
 /// The tool version reported in SARIF output.
@@ -143,6 +180,45 @@ pub fn render_sarif(reports: &[FileReport], registry: &Registry) -> String {
                     Json::Obj(physical),
                 )])]),
             ));
+            if !d.related.is_empty() {
+                let related: Vec<Json> = d
+                    .related
+                    .iter()
+                    .map(|r| {
+                        let mut physical = vec![(
+                            "artifactLocation".into(),
+                            Json::Obj(vec![(
+                                "uri".into(),
+                                Json::str(
+                                    r.file
+                                        .as_deref()
+                                        .or(d.file.as_deref())
+                                        .unwrap_or(&report.path),
+                                ),
+                            )]),
+                        )];
+                        if let Some(span) = &r.span {
+                            physical.push((
+                                "region".into(),
+                                Json::Obj(vec![
+                                    ("startLine".into(), Json::int(span.line)),
+                                    ("startColumn".into(), Json::int(span.column)),
+                                    ("endLine".into(), Json::int(span.end_line)),
+                                    ("endColumn".into(), Json::int(span.end_column)),
+                                ]),
+                            ));
+                        }
+                        Json::Obj(vec![
+                            (
+                                "message".into(),
+                                Json::Obj(vec![("text".into(), Json::str(&r.message))]),
+                            ),
+                            ("physicalLocation".into(), Json::Obj(physical)),
+                        ])
+                    })
+                    .collect();
+                result.push(("relatedLocations".into(), Json::Arr(related)));
+            }
             result.push((
                 "partialFingerprints".into(),
                 Json::Obj(vec![(

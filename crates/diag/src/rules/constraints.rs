@@ -3,9 +3,10 @@
 //! entity/activity disjointness typing check (PB0108).
 
 use super::{FileContext, Rule};
-use crate::diagnostic::{Diagnostic, RuleInfo, Severity};
+use crate::dataflow::scc_ids;
+use crate::diagnostic::{Diagnostic, RelatedLocation, RuleInfo, Severity};
 use provbench_prov::constraints::{validate, Violation};
-use provbench_rdf::{Iri, Subject, Term};
+use provbench_rdf::{Graph, Iri, Subject, Term};
 use provbench_vocab::{prov, rdf_type};
 use std::collections::BTreeMap;
 
@@ -97,6 +98,9 @@ impl Rule for ProvConstraints {
     }
 
     fn check(&self, cx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
+        // Derivation components, computed on first use: PB0104 attaches
+        // every member edge of the offending cycle as a related location.
+        let mut derivation_components: Option<DerivationComponents> = None;
         for violation in validate(cx.graph) {
             out.push(match &violation {
                 Violation::ActivityEndsBeforeStart { activity } => cx
@@ -123,14 +127,18 @@ impl Rule for ProvConstraints {
                         Some(&prov::was_generated_by()),
                         None,
                     )),
-                Violation::DerivationCycle { entity } => cx
-                    .diag(&DERIVATION_CYCLE, violation.to_string())
-                    .with_node(entity.clone())
-                    .with_span(cx.pattern_span(
-                        Some(&Subject::Iri(entity.clone())),
-                        Some(&prov::was_derived_from()),
-                        None,
-                    )),
+                Violation::DerivationCycle { entity } => {
+                    let components = derivation_components
+                        .get_or_insert_with(|| DerivationComponents::of(cx.graph));
+                    cx.diag(&DERIVATION_CYCLE, violation.to_string())
+                        .with_node(entity.clone())
+                        .with_span(cx.pattern_span(
+                            Some(&Subject::Iri(entity.clone())),
+                            Some(&prov::was_derived_from()),
+                            None,
+                        ))
+                        .with_related(components.cycle_members(entity, cx))
+                }
                 Violation::SelfDerivation { entity } => cx
                     .diag(&SELF_DERIVATION, violation.to_string())
                     .with_node(entity.clone())
@@ -152,15 +160,81 @@ impl Rule for ProvConstraints {
     }
 }
 
+/// The strongly connected components of the `prov:wasDerivedFrom`
+/// relation, for pointing PB0104 at every edge of the offending cycle.
+struct DerivationComponents {
+    index: BTreeMap<Iri, usize>,
+    component: Vec<usize>,
+    /// `(derived, source)` pairs as asserted, sorted.
+    edges: Vec<(Iri, Iri)>,
+}
+
+impl DerivationComponents {
+    fn of(g: &Graph) -> Self {
+        let mut index: BTreeMap<Iri, usize> = BTreeMap::new();
+        let mut edges: Vec<(Iri, Iri)> = Vec::new();
+        for t in g.triples_matching(None, Some(&prov::was_derived_from()), None) {
+            if let (Subject::Iri(d), Term::Iri(s)) = (&t.subject, &t.object) {
+                edges.push((d.clone(), s.clone()));
+            }
+        }
+        edges.sort();
+        edges.dedup();
+        for (d, s) in &edges {
+            let next = index.len();
+            index.entry(d.clone()).or_insert(next);
+            let next = index.len();
+            index.entry(s.clone()).or_insert(next);
+        }
+        let mut adjacency = vec![Vec::new(); index.len()];
+        for (d, s) in &edges {
+            adjacency[index[d]].push(index[s]);
+        }
+        let component = scc_ids(index.len(), &adjacency);
+        DerivationComponents {
+            index,
+            component,
+            edges,
+        }
+    }
+
+    /// Every derivation edge inside `entity`'s cycle, as related
+    /// locations (empty when the entity is not actually in a cycle).
+    fn cycle_members(&self, entity: &Iri, cx: &FileContext<'_>) -> Vec<RelatedLocation> {
+        let Some(&node) = self.index.get(entity) else {
+            return Vec::new();
+        };
+        let id = self.component[node];
+        self.edges
+            .iter()
+            .filter(|(d, s)| {
+                self.component[self.index[d]] == id && self.component[self.index[s]] == id
+            })
+            .map(|(d, s)| RelatedLocation {
+                message: format!("cycle member: {d} prov:wasDerivedFrom {s}"),
+                file: cx.path.map(Into::into),
+                span: cx.pattern_span(
+                    Some(&Subject::Iri(d.clone())),
+                    Some(&prov::was_derived_from()),
+                    Some(&Term::Iri(s.clone())),
+                ),
+            })
+            .collect()
+    }
+}
+
 /// PB0107: build the event-precedence network PROV-CONSTRAINTS defines
 /// over generation/usage/start/end events and look for strongly connected
 /// components that contain a *strict* precedence — those are satisfiable
 /// by no timeline. Pure derivation cycles are left to PB0104.
 pub struct EventOrdering;
 
-/// One event in the precedence network.
+/// One event in the precedence network. Shared with
+/// [`crate::summary`], which serializes these per-graph so the corpus
+/// temporal rule (PB0212) can re-solve the network from cached
+/// summaries.
 #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
-enum Event {
+pub(crate) enum Event {
     /// The start event of an activity.
     Start(Iri),
     /// The end event of an activity.
@@ -169,15 +243,15 @@ enum Event {
     Gen(Iri),
 }
 
-struct EventGraph {
-    nodes: Vec<Event>,
-    index: BTreeMap<Event, usize>,
+pub(crate) struct EventGraph {
+    pub(crate) nodes: Vec<Event>,
+    pub(crate) index: BTreeMap<Event, usize>,
     /// `(from, to, strict, derivation)` — `strict` means `<` not `≤`.
-    edges: Vec<(usize, usize, bool, bool)>,
+    pub(crate) edges: Vec<(usize, usize, bool, bool)>,
 }
 
 impl EventGraph {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         EventGraph {
             nodes: Vec::new(),
             index: BTreeMap::new(),
@@ -185,7 +259,7 @@ impl EventGraph {
         }
     }
 
-    fn node(&mut self, e: Event) -> usize {
+    pub(crate) fn node(&mut self, e: Event) -> usize {
         if let Some(&i) = self.index.get(&e) {
             return i;
         }
@@ -195,15 +269,14 @@ impl EventGraph {
         i
     }
 
-    fn edge(&mut self, from: Event, to: Event, strict: bool, derivation: bool) {
+    pub(crate) fn edge(&mut self, from: Event, to: Event, strict: bool, derivation: bool) {
         let f = self.node(from);
         let t = self.node(to);
         self.edges.push((f, t, strict, derivation));
     }
 }
 
-fn build_event_graph(cx: &FileContext<'_>) -> EventGraph {
-    let g = cx.graph;
+pub(crate) fn build_event_graph(g: &Graph) -> EventGraph {
     let mut eg = EventGraph::new();
     // wasGeneratedBy(e, a): start(a) ≤ gen(e) ≤ end(a).
     for t in g.triples_matching(None, Some(&prov::was_generated_by()), None) {
@@ -265,64 +338,6 @@ fn build_event_graph(cx: &FileContext<'_>) -> EventGraph {
     eg
 }
 
-/// Strongly connected components by iterative Tarjan; returns the
-/// component id of every node.
-fn scc_ids(n: usize, adjacency: &[Vec<usize>]) -> Vec<usize> {
-    let mut ids = vec![usize::MAX; n];
-    let mut low = vec![0usize; n];
-    let mut num = vec![usize::MAX; n];
-    let mut on_stack = vec![false; n];
-    let mut stack: Vec<usize> = Vec::new();
-    let mut next_num = 0usize;
-    let mut next_id = 0usize;
-    for root in 0..n {
-        if num[root] != usize::MAX {
-            continue;
-        }
-        // (node, next child index)
-        let mut call: Vec<(usize, usize)> = vec![(root, 0)];
-        num[root] = next_num;
-        low[root] = next_num;
-        next_num += 1;
-        stack.push(root);
-        on_stack[root] = true;
-        while let Some(frame) = call.last_mut() {
-            let v = frame.0;
-            if frame.1 < adjacency[v].len() {
-                let w = adjacency[v][frame.1];
-                frame.1 += 1;
-                if num[w] == usize::MAX {
-                    num[w] = next_num;
-                    low[w] = next_num;
-                    next_num += 1;
-                    stack.push(w);
-                    on_stack[w] = true;
-                    call.push((w, 0));
-                } else if on_stack[w] {
-                    low[v] = low[v].min(num[w]);
-                }
-            } else {
-                call.pop();
-                if let Some(&(parent, _)) = call.last() {
-                    low[parent] = low[parent].min(low[v]);
-                }
-                if low[v] == num[v] {
-                    loop {
-                        let w = stack.pop().expect("tarjan stack underflow");
-                        on_stack[w] = false;
-                        ids[w] = next_id;
-                        if w == v {
-                            break;
-                        }
-                    }
-                    next_id += 1;
-                }
-            }
-        }
-    }
-    ids
-}
-
 impl Rule for EventOrdering {
     fn name(&self) -> &'static str {
         "event-ordering"
@@ -334,7 +349,7 @@ impl Rule for EventOrdering {
     }
 
     fn check(&self, cx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
-        let eg = build_event_graph(cx);
+        let eg = build_event_graph(cx.graph);
         let n = eg.nodes.len();
         if n == 0 {
             return;
@@ -374,12 +389,30 @@ impl Rule for EventOrdering {
                 .min()
                 .expect("non-empty component")
                 .1;
-            let members = eg
+            let member_events: Vec<&Event> = eg
                 .nodes
                 .iter()
                 .enumerate()
                 .filter(|(i, _)| ids[*i] == component)
-                .count();
+                .map(|(_, e)| e)
+                .collect();
+            let members = member_events.len();
+            let mut related: Vec<RelatedLocation> = member_events
+                .iter()
+                .map(|e| {
+                    let (what, iri) = match e {
+                        Event::Gen(x) => ("generation of", x),
+                        Event::Start(x) => ("start of", x),
+                        Event::End(x) => ("end of", x),
+                    };
+                    RelatedLocation {
+                        message: format!("cycle member: {what} {iri}"),
+                        file: cx.path.map(Into::into),
+                        span: cx.node_span(iri),
+                    }
+                })
+                .collect();
+            related.sort_by(|a, b| a.message.cmp(&b.message));
             out.push(
                 cx.diag(
                     &EVENT_ORDERING_CYCLE,
@@ -388,7 +421,8 @@ impl Rule for EventOrdering {
                     ),
                 )
                 .with_node(representative.clone())
-                .with_span(cx.node_span(&representative)),
+                .with_span(cx.node_span(&representative))
+                .with_related(related),
             );
         }
     }

@@ -1,0 +1,548 @@
+//! PB021x — corpus-wide rules, solved over per-document
+//! [`AnalysisSummary`]s rather than parsed graphs.
+//!
+//! These rules implement the paper's "the corpus is analyzable as a
+//! whole" claim: lineage and temporal constraints span documents (a run
+//! bundle may derive from entities generated in another run), so the
+//! checks run on the *union* of every document's summary, propagated
+//! with the fixpoint framework in [`crate::dataflow`]. Because they
+//! consume summaries only, a warm incremental run re-solves them from
+//! the lint snapshot without re-parsing a single file.
+//!
+//! The `PB02xx` number space is shared with the Taverna profile pack
+//! (PB0201–PB0206); the corpus pack starts at PB0210 — ids are never
+//! reused or renumbered.
+
+use super::Rule;
+use crate::dataflow::{scc_ids, solve, Direction, FlowGraph};
+use crate::diagnostic::{Diagnostic, RelatedLocation, RuleInfo, Severity};
+use crate::summary::{AnalysisSummary, EventKind};
+use provbench_rdf::Iri;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// `PB0210` — a cross-document reference whose target no document declares.
+pub static DANGLING_REFERENCE: RuleInfo = RuleInfo {
+    id: "PB0210",
+    slug: "corpus/dangling-reference",
+    severity: Severity::Error,
+    summary: "a prov:used / prov:wasDerivedFrom target is declared in no document of the corpus",
+};
+
+/// `PB0211` — derivation chains that never bottom out anywhere in the corpus.
+pub static UNANCHORED_DERIVATION: RuleInfo = RuleInfo {
+    id: "PB0211",
+    slug: "corpus/unanchored-derivation",
+    severity: Severity::Error,
+    summary: "a derivation cycle spanning documents keeps chains from reaching a source entity",
+};
+
+/// `PB0212` — the PB0107 event network, lifted to the union of all documents.
+pub static CROSS_RUN_TEMPORAL: RuleInfo = RuleInfo {
+    id: "PB0212",
+    slug: "corpus/cross-run-temporal-cycle",
+    severity: Severity::Error,
+    summary: "event-ordering constraints spanning documents form a temporally impossible cycle",
+};
+
+/// `PB0213` — a document sharing no data IRIs with the rest of the corpus.
+pub static ORPHAN_DOCUMENT: RuleInfo = RuleInfo {
+    id: "PB0213",
+    slug: "corpus/orphan-document",
+    severity: Severity::Warning,
+    summary: "a document shares no data IRIs with any other document in the corpus",
+};
+
+/// All corpus rules, id-sorted.
+pub static CORPUS_RULES: &[&RuleInfo] = &[
+    &DANGLING_REFERENCE,
+    &UNANCHORED_DERIVATION,
+    &CROSS_RUN_TEMPORAL,
+    &ORPHAN_DOCUMENT,
+];
+
+/// The registry pack for the corpus rules. Its per-file `check` is a
+/// no-op — the actual analysis runs once per corpus in
+/// [`check_corpus`] — but registering the pack puts PB0210–PB0213 into
+/// the catalog, SARIF rule table and `--explain`.
+pub struct CorpusRules;
+
+impl Rule for CorpusRules {
+    fn name(&self) -> &'static str {
+        "corpus"
+    }
+
+    fn rules(&self) -> &'static [&'static RuleInfo] {
+        CORPUS_RULES
+    }
+
+    fn check(&self, _cx: &super::FileContext<'_>, _out: &mut Vec<Diagnostic>) {
+        // Corpus rules need every document's summary; see `check_corpus`.
+    }
+}
+
+/// Run the corpus rules over `(label, summary)` pairs — one per linted
+/// document, labels unique and pre-sorted. Purely a function of the
+/// summaries: cold and warm runs that agree on summaries agree on
+/// diagnostics, byte for byte.
+pub fn check_corpus(entries: &[(String, AnalysisSummary)]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if entries.is_empty() {
+        return out;
+    }
+    dangling_references(entries, &mut out);
+    unanchored_derivations(entries, &mut out);
+    cross_run_temporal(entries, &mut out);
+    orphan_documents(entries, &mut out);
+    out.sort_by_key(Diagnostic::sort_key);
+    out
+}
+
+/// PB0210: `prov:used` / `prov:wasDerivedFrom` targets must be declared
+/// *somewhere* — any document of the corpus will do, which is exactly
+/// what the single-file rules cannot check.
+fn dangling_references(entries: &[(String, AnalysisSummary)], out: &mut Vec<Diagnostic>) {
+    let declared_anywhere: BTreeSet<&str> = entries
+        .iter()
+        .flat_map(|(_, s)| s.declared.iter().map(String::as_str))
+        .collect();
+    for (label, summary) in entries {
+        // used_targets and derived_targets are already sorted sets;
+        // dedup across the two via `seen` without an intermediate set.
+        // A target in both reports as `prov:used` (iterated first).
+        let targets = summary
+            .used_targets
+            .iter()
+            .map(|t| (t.as_str(), "prov:used"))
+            .chain(
+                summary
+                    .derived_targets
+                    .iter()
+                    .map(|t| (t.as_str(), "prov:wasDerivedFrom")),
+            );
+        let mut seen: BTreeSet<&str> = BTreeSet::new();
+        for (target, via) in targets {
+            if declared_anywhere.contains(target) || !seen.insert(target) {
+                continue;
+            }
+            out.push(
+                Diagnostic::new(
+                    &DANGLING_REFERENCE,
+                    format!("{via} target {target} is declared in no document of the corpus"),
+                )
+                .with_node(Iri::new_unchecked(target))
+                .with_file(label.clone()),
+            );
+        }
+    }
+}
+
+/// PB0211: solve "does this derivation chain bottom out?" as a forward
+/// reachability fixpoint from the underived roots, then report the
+/// cross-document cycles that keep the unanchored remainder spinning.
+/// Single-document cycles are already PB0104.
+fn unanchored_derivations(entries: &[(String, AnalysisSummary)], out: &mut Vec<Diagnostic>) {
+    // Dense node ids over every IRI in any derivation pair.
+    let mut index: BTreeMap<&str, usize> = BTreeMap::new();
+    // Per edge `(derived, source)`: the documents asserting it —
+    // documents are visited in increasing order, so a last-element
+    // check keeps the Vec sorted and duplicate-free without a set.
+    let mut edge_docs: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+    for (doc, (_, summary)) in entries.iter().enumerate() {
+        for (derived, source) in &summary.derivations {
+            let next = index.len();
+            index.entry(derived).or_insert(next);
+            let next = index.len();
+            index.entry(source).or_insert(next);
+            let docs = edge_docs.entry((derived, source)).or_default();
+            if docs.last() != Some(&doc) {
+                docs.push(doc);
+            }
+        }
+    }
+    if index.is_empty() {
+        return;
+    }
+    let nodes: Vec<&str> = {
+        let mut v = vec![""; index.len()];
+        for (iri, &i) in &index {
+            v[i] = iri;
+        }
+        v
+    };
+    // anchored := reachable (along source -> derived) from a node with
+    // no outgoing derivation — the chains that do bottom out.
+    let mut flow = FlowGraph::new(index.len());
+    let mut derivation_adjacency = vec![Vec::new(); index.len()];
+    let derived_nodes: BTreeSet<usize> = edge_docs.keys().map(|(d, _)| index[d]).collect();
+    for (derived, source) in edge_docs.keys() {
+        flow.add_edge(index[source], index[derived]);
+        derivation_adjacency[index[derived]].push(index[source]);
+    }
+    let init: Vec<bool> = (0..index.len())
+        .map(|n| !derived_nodes.contains(&n))
+        .collect();
+    let anchored = solve(&flow, Direction::Forward, init, |_, v| *v);
+    let unanchored_total = anchored.iter().filter(|a| !**a).count();
+    if unanchored_total == 0 {
+        return;
+    }
+    // The cycles at fault: non-trivial SCCs of the derivation relation
+    // whose member edges come from at least two documents.
+    let component = scc_ids(index.len(), &derivation_adjacency);
+    let mut members: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for (node, &id) in component.iter().enumerate() {
+        members.entry(id).or_default().push(node);
+    }
+    for (&id, member_nodes) in &members {
+        if member_nodes.len() < 2 {
+            continue;
+        }
+        let cycle_edges: Vec<(&str, &str, &[usize])> = edge_docs
+            .iter()
+            .filter(|((d, s), _)| component[index[d]] == id && component[index[s]] == id)
+            .map(|(&(d, s), docs)| (d, s, docs.as_slice()))
+            .collect();
+        let mut docs: Vec<usize> = cycle_edges
+            .iter()
+            .flat_map(|(_, _, docs)| docs.iter().copied())
+            .collect();
+        docs.sort_unstable();
+        docs.dedup();
+        if docs.len() < 2 {
+            continue;
+        }
+        let representative = member_nodes
+            .iter()
+            .map(|&n| nodes[n])
+            .min()
+            .expect("non-empty component");
+        let related: Vec<RelatedLocation> = cycle_edges
+            .iter()
+            .map(|(d, s, docs)| RelatedLocation {
+                message: format!("cycle member: {d} prov:wasDerivedFrom {s}"),
+                file: docs.iter().next().map(|&doc| entries[doc].0.clone()),
+                span: None,
+            })
+            .collect();
+        let file = docs
+            .iter()
+            .map(|&doc| entries[doc].0.clone())
+            .min()
+            .expect("non-empty doc set");
+        out.push(
+            Diagnostic::new(
+                &UNANCHORED_DERIVATION,
+                format!(
+                    "derivation chains through {representative} never reach a source entity: \
+                     a {}-entity derivation cycle spans {} documents \
+                     ({unanchored_total} derived entities corpus-wide stay unanchored)",
+                    member_nodes.len(),
+                    docs.len(),
+                ),
+            )
+            .with_node(Iri::new_unchecked(representative))
+            .with_file(file)
+            .with_related(related),
+        );
+    }
+}
+
+/// PB0212: union every document's event-precedence edges and look for
+/// impossible cycles *spanning documents* — each individual file can be
+/// PB0107-clean while the corpus as a whole is not.
+fn cross_run_temporal(entries: &[(String, AnalysisSummary)], out: &mut Vec<Diagnostic>) {
+    let mut index: BTreeMap<(EventKind, &str), usize> = BTreeMap::new();
+    // Per union edge: (strict, derivation) flags joined, contributing
+    // docs — kept as a sorted Vec (documents are visited in order).
+    let mut edges: BTreeMap<(usize, usize), (bool, bool, Vec<usize>)> = BTreeMap::new();
+    for (doc, (_, summary)) in entries.iter().enumerate() {
+        for edge in &summary.events {
+            let f = {
+                let next = index.len();
+                *index
+                    .entry((edge.from.0, edge.from.1.as_str()))
+                    .or_insert(next)
+            };
+            let t = {
+                let next = index.len();
+                *index.entry((edge.to.0, edge.to.1.as_str())).or_insert(next)
+            };
+            let entry = edges.entry((f, t)).or_insert((false, true, Vec::new()));
+            entry.0 |= edge.strict;
+            entry.1 &= edge.derivation;
+            if entry.2.last() != Some(&doc) {
+                entry.2.push(doc);
+            }
+        }
+    }
+    if index.is_empty() {
+        return;
+    }
+    let mut nodes: Vec<(EventKind, &str)> = vec![(EventKind::Start, ""); index.len()];
+    for (&key, &i) in &index {
+        nodes[i] = key;
+    }
+    let mut adjacency = vec![Vec::new(); index.len()];
+    for &(f, t) in edges.keys() {
+        adjacency[f].push(t);
+    }
+    let component = scc_ids(index.len(), &adjacency);
+    let mut strict_in: BTreeMap<usize, bool> = BTreeMap::new();
+    let mut mixed_in: BTreeMap<usize, bool> = BTreeMap::new();
+    let mut docs_in: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for (&(f, t), &(strict, derivation, ref docs)) in &edges {
+        if component[f] == component[t] {
+            *strict_in.entry(component[f]).or_default() |= strict;
+            *mixed_in.entry(component[f]).or_default() |= !derivation;
+            docs_in
+                .entry(component[f])
+                .or_default()
+                .extend(docs.iter().copied());
+        }
+    }
+    for (id, strict) in strict_in {
+        let mut docs = docs_in.remove(&id).unwrap_or_default();
+        docs.sort_unstable();
+        docs.dedup();
+        if !strict || !mixed_in.get(&id).copied().unwrap_or(false) || docs.len() < 2 {
+            continue;
+        }
+        let member_nodes: Vec<(EventKind, &str)> = nodes
+            .iter()
+            .enumerate()
+            .filter(|(n, _)| component[*n] == id)
+            .map(|(_, node)| *node)
+            .collect();
+        let representative = member_nodes
+            .iter()
+            .map(|(kind, iri)| {
+                let rank = match kind {
+                    EventKind::Gen => 0u8,
+                    EventKind::Start => 1,
+                    EventKind::End => 2,
+                };
+                (rank, *iri)
+            })
+            .min()
+            .expect("non-empty component")
+            .1;
+        let related: Vec<RelatedLocation> = docs
+            .iter()
+            .map(|&doc| RelatedLocation {
+                message: format!(
+                    "events asserted in {} participate in the cycle",
+                    entries[doc].0
+                ),
+                file: Some(entries[doc].0.clone()),
+                span: None,
+            })
+            .collect();
+        let file = docs
+            .iter()
+            .map(|&doc| entries[doc].0.clone())
+            .min()
+            .expect("non-empty doc set");
+        out.push(
+            Diagnostic::new(
+                &CROSS_RUN_TEMPORAL,
+                format!(
+                    "cross-run event-ordering constraints around {representative} form an \
+                     impossible cycle ({} events across {} documents)",
+                    member_nodes.len(),
+                    docs.len(),
+                ),
+            )
+            .with_node(Iri::new_unchecked(representative))
+            .with_file(file)
+            .with_related(related),
+        );
+    }
+}
+
+/// PB0213: a document whose data IRIs overlap no other document is
+/// unreachable from the rest of the corpus — a bundle nothing links to
+/// and that links to nothing.
+fn orphan_documents(entries: &[(String, AnalysisSummary)], out: &mut Vec<Diagnostic>) {
+    if entries.len() < 2 {
+        return;
+    }
+    // `declared` and `references` are sorted sets — walk their merged
+    // union without materializing a per-document set.
+    fn data_iris(summary: &AnalysisSummary) -> impl Iterator<Item = &str> {
+        let mut declared = summary.declared.iter().map(String::as_str).peekable();
+        let mut referenced = summary.references.iter().map(String::as_str).peekable();
+        std::iter::from_fn(move || match (declared.peek(), referenced.peek()) {
+            (Some(&d), Some(&r)) if d == r => {
+                referenced.next();
+                declared.next()
+            }
+            (Some(&d), Some(&r)) if d < r => declared.next(),
+            (Some(_) | None, Some(_)) => referenced.next(),
+            (Some(_), None) => declared.next(),
+            (None, None) => None,
+        })
+    }
+    let mut doc_count: BTreeMap<&str, usize> = BTreeMap::new();
+    for (_, summary) in entries {
+        for iri in data_iris(summary) {
+            *doc_count.entry(iri).or_default() += 1;
+        }
+    }
+    for (label, summary) in entries {
+        if summary.declared.is_empty() && summary.references.is_empty() {
+            // Nothing parsed (e.g. a PB0001 file) — not a connectivity
+            // finding.
+            continue;
+        }
+        let shared = data_iris(summary).any(|iri| doc_count[iri] > 1);
+        if !shared {
+            out.push(
+                Diagnostic::new(
+                    &ORPHAN_DOCUMENT,
+                    format!(
+                        "document shares no data IRIs with any other document in the corpus \
+                         ({} declared terms)",
+                        summary.declared.len()
+                    ),
+                )
+                .with_file(label.clone()),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use provbench_rdf::parse_turtle;
+
+    fn summarize(docs: &[(&str, &str)]) -> Vec<(String, AnalysisSummary)> {
+        let mut entries: Vec<(String, AnalysisSummary)> = docs
+            .iter()
+            .map(|(label, content)| {
+                let (g, _) = parse_turtle(content).expect("parse test doc");
+                ((*label).to_owned(), AnalysisSummary::of_graph(&g))
+            })
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        entries
+    }
+
+    const PREFIXES: &str = "@prefix prov: <http://www.w3.org/ns/prov#> .\n\
+                            @prefix ex: <http://example.org/> .\n";
+
+    #[test]
+    fn dangling_reference_is_resolved_by_any_document() {
+        let run = format!("{PREFIXES}ex:out a prov:Entity ; prov:wasDerivedFrom ex:shared .");
+        // Alone: ex:shared is dangling.
+        let alone = check_corpus(&summarize(&[("a.ttl", &run)]));
+        assert!(alone.iter().any(|d| d.rule.id == "PB0210"
+            && d.node
+                .as_ref()
+                .is_some_and(|n| n.as_str().ends_with("shared"))));
+        // With a second document declaring it: resolved.
+        let decl = format!("{PREFIXES}ex:shared a prov:Entity .");
+        let both = check_corpus(&summarize(&[("a.ttl", &run), ("b.ttl", &decl)]));
+        assert!(!both.iter().any(|d| d.rule.id == "PB0210"));
+    }
+
+    #[test]
+    fn cross_document_derivation_cycle_is_unanchored() {
+        // a.ttl: x from y; b.ttl: y from x — each file is PB0104-clean,
+        // the corpus is not.
+        let a = format!("{PREFIXES}ex:x a prov:Entity ; prov:wasDerivedFrom ex:y .");
+        let b = format!("{PREFIXES}ex:y a prov:Entity ; prov:wasDerivedFrom ex:x .");
+        let diags = check_corpus(&summarize(&[("a.ttl", &a), ("b.ttl", &b)]));
+        let hit = diags
+            .iter()
+            .find(|d| d.rule.id == "PB0211")
+            .expect("PB0211 fires");
+        assert_eq!(hit.file.as_deref(), Some("a.ttl"));
+        assert_eq!(hit.related.len(), 2, "one related location per cycle edge");
+        // A single-document cycle is PB0104's business, not PB0211's.
+        let single =
+            format!("{PREFIXES}ex:x prov:wasDerivedFrom ex:y . ex:y prov:wasDerivedFrom ex:x .");
+        let diags = check_corpus(&summarize(&[("a.ttl", &single)]));
+        assert!(!diags.iter().any(|d| d.rule.id == "PB0211"));
+    }
+
+    #[test]
+    fn anchored_chains_spanning_documents_are_clean() {
+        let a = format!("{PREFIXES}ex:mid a prov:Entity ; prov:wasDerivedFrom ex:input .");
+        let b = format!(
+            "{PREFIXES}ex:input a prov:Entity .\n\
+             ex:out a prov:Entity ; prov:wasDerivedFrom ex:mid ."
+        );
+        let diags = check_corpus(&summarize(&[("a.ttl", &a), ("b.ttl", &b)]));
+        assert!(!diags.iter().any(|d| d.rule.id == "PB0211"));
+        assert!(!diags.iter().any(|d| d.rule.id == "PB0210"));
+    }
+
+    #[test]
+    fn cross_run_temporal_cycle_spans_documents() {
+        // a.ttl: run1 generated out1 and used out2; b.ttl: run2 generated
+        // out2, derived from out1 — derivation forces gen(out1) < gen(out2)
+        // while usage/generation force gen(out2) ≤ end(run1) and
+        // start(run1) ≤ gen(out1) … closing an impossible loop via
+        // run1's interval only when both documents are considered.
+        let a = format!(
+            "{PREFIXES}ex:out1 prov:wasGeneratedBy ex:run1 .\n\
+             ex:run1 prov:used ex:out2 .\n\
+             ex:run1 prov:wasStartedBy ex:out2 ."
+        );
+        let b = format!(
+            "{PREFIXES}ex:out2 prov:wasGeneratedBy ex:run2 .\n\
+             ex:out2 prov:wasDerivedFrom ex:out1 ."
+        );
+        let entries = summarize(&[("a.ttl", &a), ("b.ttl", &b)]);
+        // Each file alone is clean.
+        for entry in &entries {
+            let solo = check_corpus(std::slice::from_ref(entry));
+            assert!(!solo.iter().any(|d| d.rule.id == "PB0212"), "{}", entry.0);
+        }
+        let diags = check_corpus(&entries);
+        let hit = diags
+            .iter()
+            .find(|d| d.rule.id == "PB0212")
+            .expect("PB0212 fires on the union");
+        assert_eq!(hit.file.as_deref(), Some("a.ttl"));
+        assert_eq!(
+            hit.related
+                .iter()
+                .filter_map(|r| r.file.as_deref())
+                .collect::<Vec<_>>(),
+            vec!["a.ttl", "b.ttl"]
+        );
+    }
+
+    #[test]
+    fn orphan_document_detection() {
+        let a = format!("{PREFIXES}ex:a1 a prov:Entity ; prov:wasDerivedFrom ex:shared .");
+        let b = format!("{PREFIXES}ex:shared a prov:Entity .");
+        let c = "@prefix prov: <http://www.w3.org/ns/prov#> .\n\
+                 @prefix other: <http://elsewhere.example/> .\n\
+                 other:lonely a prov:Entity ."
+            .to_owned();
+        let diags = check_corpus(&summarize(&[("a.ttl", &a), ("b.ttl", &b), ("c.ttl", &c)]));
+        let orphans: Vec<_> = diags.iter().filter(|d| d.rule.id == "PB0213").collect();
+        assert_eq!(orphans.len(), 1);
+        assert_eq!(orphans[0].file.as_deref(), Some("c.ttl"));
+        assert_eq!(orphans[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn corpus_diagnostics_are_sorted_and_deterministic() {
+        let a = format!("{PREFIXES}ex:x prov:wasDerivedFrom ex:gone .");
+        let c = "@prefix prov: <http://www.w3.org/ns/prov#> .\n\
+                 @prefix other: <http://elsewhere.example/> .\n\
+                 other:lonely prov:used other:gone2 ."
+            .to_owned();
+        let entries = summarize(&[("a.ttl", &a), ("c.ttl", &c)]);
+        let once = check_corpus(&entries);
+        let twice = check_corpus(&entries);
+        assert_eq!(once, twice);
+        let mut sorted = once.clone();
+        sorted.sort_by_key(Diagnostic::sort_key);
+        assert_eq!(once, sorted);
+    }
+}

@@ -6,6 +6,7 @@
 //! the full rule table up front, fired or not).
 
 pub mod constraints;
+pub mod corpus;
 pub mod profile;
 pub mod vocabulary;
 
@@ -103,6 +104,17 @@ impl Registry {
         r
     }
 
+    /// The default rules plus the corpus pack (PB0210–PB0213). The
+    /// corpus pack's per-file check is a no-op — the analysis itself
+    /// runs once per corpus via [`corpus::check_corpus`] — but
+    /// registering it puts the corpus rules into the catalog, the SARIF
+    /// rule table and `--explain`.
+    pub fn with_corpus_rules() -> Self {
+        let mut r = Registry::with_default_rules();
+        r.register(Box::new(corpus::CorpusRules));
+        r
+    }
+
     /// Add a pack.
     pub fn register(&mut self, pack: Box<dyn Rule>) {
         self.packs.push(pack);
@@ -149,8 +161,21 @@ mod tests {
 
     #[test]
     fn catalog_is_sorted_unique_and_complete() {
-        let registry = Registry::with_default_rules();
+        // The corpus registry is a strict superset of the default one.
+        let default_ids: Vec<&str> = Registry::with_default_rules()
+            .rule_infos()
+            .iter()
+            .map(|i| i.id)
+            .collect();
+        let registry = Registry::with_corpus_rules();
         let infos = registry.rule_infos();
+        for id in &default_ids {
+            assert!(infos.iter().any(|i| &i.id == id));
+        }
+        for corpus_id in ["PB0210", "PB0211", "PB0212", "PB0213"] {
+            assert!(infos.iter().any(|i| i.id == corpus_id));
+            assert!(!default_ids.contains(&corpus_id));
+        }
         let ids: Vec<&str> = infos.iter().map(|i| i.id).collect();
         let mut sorted = ids.clone();
         sorted.sort();

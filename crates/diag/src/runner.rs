@@ -46,8 +46,12 @@ pub fn collect_rdf_files(root: &Path) -> io::Result<Vec<PathBuf>> {
     let mut stack = vec![root.to_path_buf()];
     while let Some(dir) = stack.pop() {
         for entry in std::fs::read_dir(&dir)? {
-            let path = entry?.path();
-            if path.is_dir() {
+            let entry = entry?;
+            // file_type() comes straight from the directory entry on
+            // every platform we care about — no extra stat per file.
+            let file_type = entry.file_type()?;
+            let path = entry.path();
+            if file_type.is_dir() {
                 stack.push(path);
             } else if is_rdf_file(&path) {
                 files.push(path);
@@ -130,23 +134,57 @@ pub fn lint_graph(label: &str, graph: &Graph, registry: &Registry) -> Vec<Diagno
     registry.check(&cx)
 }
 
-fn lint_file(path: &Path, registry: &Registry) -> FileReport {
-    let label = path.to_string_lossy().into_owned();
+/// The label a corpus file is linted under: the corpus directory's own
+/// name plus the file's corpus-relative path, always `/`-separated. The
+/// label — and with it every diagnostic fingerprint — is therefore
+/// stable across operating systems and across invocation directories
+/// (`provbench lint examples` and `provbench lint /abs/path/examples`
+/// agree). When `root` is a single file, its path is used as given,
+/// separator-normalized.
+pub fn corpus_label(root: &Path, path: &Path) -> String {
+    let normalize = |p: &Path| {
+        let s = p.to_string_lossy().replace('\\', "/");
+        s.strip_prefix("./").unwrap_or(&s).to_string()
+    };
+    match (root.file_name(), path.strip_prefix(root)) {
+        (Some(dir), Ok(rel)) if !rel.as_os_str().is_empty() => {
+            format!("{}/{}", dir.to_string_lossy(), normalize(rel))
+        }
+        _ => normalize(path),
+    }
+}
+
+fn lint_file(path: &Path, label: &str, registry: &Registry) -> FileReport {
     let diagnostics = match std::fs::read_to_string(path) {
-        Ok(content) => lint_content(&label, &content, registry),
+        Ok(content) => lint_content(label, &content, registry),
         Err(e) => {
-            vec![Diagnostic::new(&PARSE_ERROR, format!("cannot read file: {e}")).with_file(&label)]
+            vec![Diagnostic::new(&PARSE_ERROR, format!("cannot read file: {e}")).with_file(label)]
         }
     };
     FileReport {
-        path: label,
+        path: label.to_owned(),
         diagnostics,
     }
 }
 
 /// Lint a set of files over `jobs` worker threads. Results come back in
-/// input order regardless of which worker finished first.
+/// input order regardless of which worker finished first. Diagnostics
+/// carry the file's path as given.
 pub fn lint_files(files: &[PathBuf], registry: &Registry, jobs: usize) -> Vec<FileReport> {
+    let labeled: Vec<(PathBuf, String)> = files
+        .iter()
+        .map(|p| (p.clone(), p.to_string_lossy().into_owned()))
+        .collect();
+    lint_files_labeled(&labeled, registry, jobs)
+}
+
+/// Like [`lint_files`], but each file carries an explicit label to lint
+/// under (attached to diagnostics and used as the report path).
+pub fn lint_files_labeled(
+    files: &[(PathBuf, String)],
+    registry: &Registry,
+    jobs: usize,
+) -> Vec<FileReport> {
     let jobs = jobs.max(1).min(files.len().max(1));
     let next = AtomicUsize::new(0);
     let results: Mutex<Vec<(usize, FileReport)>> = Mutex::new(Vec::with_capacity(files.len()));
@@ -157,7 +195,8 @@ pub fn lint_files(files: &[PathBuf], registry: &Registry, jobs: usize) -> Vec<Fi
                 if i >= files.len() {
                     break;
                 }
-                let report = lint_file(&files[i], registry);
+                let (path, label) = &files[i];
+                let report = lint_file(path, label, registry);
                 results
                     .lock()
                     .expect("no poisoned workers")
@@ -171,9 +210,17 @@ pub fn lint_files(files: &[PathBuf], registry: &Registry, jobs: usize) -> Vec<Fi
 }
 
 /// Discover and lint everything under `root` (a file or a directory).
+/// Files are linted under their [`corpus_label`].
 pub fn lint_path(root: &Path, registry: &Registry, jobs: usize) -> io::Result<Vec<FileReport>> {
     let files = collect_rdf_files(root)?;
-    Ok(lint_files(&files, registry, jobs))
+    let labeled: Vec<(PathBuf, String)> = files
+        .into_iter()
+        .map(|p| {
+            let label = corpus_label(root, &p);
+            (p, label)
+        })
+        .collect();
+    Ok(lint_files_labeled(&labeled, registry, jobs))
 }
 
 /// `(errors, warnings, infos)` across all reports, after suppression.

@@ -1,0 +1,276 @@
+//! Per-graph analysis summaries — the unit of incrementality for the
+//! corpus-wide rules.
+//!
+//! An [`AnalysisSummary`] is everything the inter-graph fixpoint
+//! (`rules::corpus`) needs to know about one document, extracted once
+//! per parse and small enough to persist in the lint snapshot
+//! (`provbench-core`'s `corpus.lint.snapshot`): the IRIs the document
+//! declares and references (its export/import frontier), its derivation
+//! edges and `prov:used` targets, the PB0107 event-precedence edges
+//! lifted to strings, and the document's time-interval bounds. On a warm
+//! run the corpus rules re-solve from these summaries alone — no graph
+//! is re-parsed, no per-file rule body re-runs.
+
+use crate::rules::constraints::{build_event_graph, Event};
+use provbench_rdf::{Graph, Subject, Term};
+use provbench_vocab::{dcterms, foaf, opmw, prov, rdf, rdfs, ro, void, wfdesc, wfprov};
+use std::collections::BTreeSet;
+
+/// Which event of a node's lifetime an edge endpoint refers to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EventKind {
+    /// The start event of an activity.
+    Start,
+    /// The end event of an activity.
+    End,
+    /// The generation event of an entity.
+    Gen,
+}
+
+impl EventKind {
+    /// Stable wire code for snapshot persistence.
+    pub fn code(self) -> u8 {
+        match self {
+            EventKind::Start => 0,
+            EventKind::End => 1,
+            EventKind::Gen => 2,
+        }
+    }
+
+    /// Inverse of [`EventKind::code`].
+    pub fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(EventKind::Start),
+            1 => Some(EventKind::End),
+            2 => Some(EventKind::Gen),
+            _ => None,
+        }
+    }
+
+    /// Human phrasing used in diagnostics ("start of", …).
+    pub fn describe(self) -> &'static str {
+        match self {
+            EventKind::Start => "start of",
+            EventKind::End => "end of",
+            EventKind::Gen => "generation of",
+        }
+    }
+}
+
+/// One event-precedence edge, lifted from graph terms to plain strings
+/// so it survives snapshot round-trips without an interner.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SummaryEdge {
+    /// Source event.
+    pub from: (EventKind, String),
+    /// Target event.
+    pub to: (EventKind, String),
+    /// `<` rather than `≤` — a cycle through a strict edge is
+    /// temporally impossible.
+    pub strict: bool,
+    /// The edge comes from `prov:wasDerivedFrom` (purely derivational
+    /// cycles are PB0104/PB0211's business, not the temporal rule's).
+    pub derivation: bool,
+}
+
+/// The compact per-document summary the corpus fixpoint runs on.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AnalysisSummary {
+    /// IRIs the document declares: every non-vocabulary subject.
+    pub declared: BTreeSet<String>,
+    /// IRI targets of `prov:used`.
+    pub used_targets: BTreeSet<String>,
+    /// IRI targets of `prov:wasDerivedFrom`.
+    pub derived_targets: BTreeSet<String>,
+    /// Every non-vocabulary IRI in object position — the document's
+    /// outgoing reference frontier (superset of the two target sets).
+    pub references: BTreeSet<String>,
+    /// `(derived, source)` pairs as asserted, sorted and deduplicated.
+    pub derivations: Vec<(String, String)>,
+    /// Event-precedence edges (the PB0107 network), sorted and
+    /// deduplicated.
+    pub events: Vec<SummaryEdge>,
+    /// Lexicographically smallest timestamp literal seen (ISO 8601
+    /// timestamps order lexicographically).
+    pub time_min: Option<String>,
+    /// Lexicographically largest timestamp literal seen.
+    pub time_max: Option<String>,
+}
+
+/// True for IRIs inside an ontology / schema namespace — those are
+/// shared vocabulary, not corpus data, and must not make two documents
+/// "connected" or count as declarations.
+pub fn is_vocab_iri(iri: &str) -> bool {
+    const SCHEMA_NAMESPACES: &[&str] = &[
+        "http://www.w3.org/2001/XMLSchema#",
+        "http://www.w3.org/2002/07/owl#",
+    ];
+    [
+        prov::NS,
+        wfprov::NS,
+        wfdesc::NS,
+        opmw::NS,
+        ro::NS,
+        void::NS,
+        rdf::NS,
+        rdfs::NS,
+        dcterms::NS,
+        foaf::NS,
+    ]
+    .iter()
+    .chain(SCHEMA_NAMESPACES)
+    .any(|ns| iri.starts_with(ns))
+}
+
+impl AnalysisSummary {
+    /// Extract the summary of one parsed graph. Works identically on a
+    /// span-recording parse and a snapshot-loaded graph — summaries
+    /// carry no positions.
+    pub fn of_graph(g: &Graph) -> Self {
+        let mut summary = AnalysisSummary::default();
+        for t in g.iter() {
+            if let Subject::Iri(s) = &t.subject {
+                if !is_vocab_iri(s.as_str()) {
+                    summary.declared.insert(s.as_str().to_owned());
+                }
+            }
+            if let Term::Iri(o) = &t.object {
+                if !is_vocab_iri(o.as_str()) {
+                    summary.references.insert(o.as_str().to_owned());
+                }
+            }
+            if let Term::Literal(lit) = &t.object {
+                let p = t.predicate.as_str();
+                let temporal = p == prov::started_at_time().as_str()
+                    || p == prov::ended_at_time().as_str()
+                    || p == prov::at_time().as_str()
+                    || p == prov::generated_at_time().as_str();
+                if temporal {
+                    let value = lit.lexical();
+                    if summary
+                        .time_min
+                        .as_deref()
+                        .is_none_or(|current| value < current)
+                    {
+                        summary.time_min = Some(value.to_owned());
+                    }
+                    if summary
+                        .time_max
+                        .as_deref()
+                        .is_none_or(|current| value > current)
+                    {
+                        summary.time_max = Some(value.to_owned());
+                    }
+                }
+            }
+        }
+        for t in g.triples_matching(None, Some(&prov::used()), None) {
+            if let Term::Iri(o) = &t.object {
+                summary.used_targets.insert(o.as_str().to_owned());
+            }
+        }
+        for t in g.triples_matching(None, Some(&prov::was_derived_from()), None) {
+            if let (Subject::Iri(d), Term::Iri(s)) = (&t.subject, &t.object) {
+                summary.derived_targets.insert(s.as_str().to_owned());
+                summary
+                    .derivations
+                    .push((d.as_str().to_owned(), s.as_str().to_owned()));
+            }
+        }
+        summary.derivations.sort();
+        summary.derivations.dedup();
+
+        let eg = build_event_graph(g);
+        let lift = |event: &Event| match event {
+            Event::Start(a) => (EventKind::Start, a.as_str().to_owned()),
+            Event::End(a) => (EventKind::End, a.as_str().to_owned()),
+            Event::Gen(e) => (EventKind::Gen, e.as_str().to_owned()),
+        };
+        summary.events = eg
+            .edges
+            .iter()
+            .map(|&(f, t, strict, derivation)| SummaryEdge {
+                from: lift(&eg.nodes[f]),
+                to: lift(&eg.nodes[t]),
+                strict,
+                derivation,
+            })
+            .collect();
+        summary.events.sort();
+        summary.events.dedup();
+        summary
+    }
+
+    /// The IRIs this document references but does not declare — what it
+    /// expects some other document (or the outside world) to provide.
+    pub fn imports(&self) -> BTreeSet<&str> {
+        self.references
+            .iter()
+            .map(String::as_str)
+            .filter(|iri| !self.declared.contains(*iri))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use provbench_rdf::parse_turtle;
+
+    const DOC: &str = r#"
+        @prefix prov: <http://www.w3.org/ns/prov#> .
+        @prefix ex: <http://example.org/> .
+        @prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+        ex:out a prov:Entity ;
+            prov:wasGeneratedBy ex:run ;
+            prov:wasDerivedFrom ex:in .
+        ex:run a prov:Activity ;
+            prov:used ex:in ;
+            prov:startedAtTime "2013-01-01T10:00:00Z"^^xsd:dateTime ;
+            prov:endedAtTime "2013-01-01T11:00:00Z"^^xsd:dateTime .
+    "#;
+
+    #[test]
+    fn of_graph_extracts_frontier_edges_and_bounds() {
+        let (g, _) = parse_turtle(DOC).expect("parse");
+        let s = AnalysisSummary::of_graph(&g);
+        assert!(s.declared.contains("http://example.org/out"));
+        assert!(s.declared.contains("http://example.org/run"));
+        // Vocabulary terms are not declarations or references.
+        assert!(!s.declared.iter().any(|iri| is_vocab_iri(iri)));
+        assert!(!s.references.iter().any(|iri| is_vocab_iri(iri)));
+        assert!(s.used_targets.contains("http://example.org/in"));
+        assert!(s.derived_targets.contains("http://example.org/in"));
+        assert_eq!(
+            s.derivations,
+            vec![(
+                "http://example.org/out".to_owned(),
+                "http://example.org/in".to_owned()
+            )]
+        );
+        // ex:in is referenced but never a subject: an import.
+        assert!(s.imports().contains("http://example.org/in"));
+        assert!(!s.imports().contains("http://example.org/out"));
+        assert_eq!(s.time_min.as_deref(), Some("2013-01-01T10:00:00Z"));
+        assert_eq!(s.time_max.as_deref(), Some("2013-01-01T11:00:00Z"));
+        // The event network contains the strict derivation edge.
+        assert!(s.events.iter().any(|e| e.strict
+            && e.derivation
+            && e.from == (EventKind::Gen, "http://example.org/in".to_owned())
+            && e.to == (EventKind::Gen, "http://example.org/out".to_owned())));
+    }
+
+    #[test]
+    fn summaries_are_deterministic() {
+        let (g, _) = parse_turtle(DOC).expect("parse");
+        assert_eq!(AnalysisSummary::of_graph(&g), AnalysisSummary::of_graph(&g));
+    }
+
+    #[test]
+    fn event_kind_codes_round_trip() {
+        for kind in [EventKind::Start, EventKind::End, EventKind::Gen] {
+            assert_eq!(EventKind::from_code(kind.code()), Some(kind));
+        }
+        assert_eq!(EventKind::from_code(9), None);
+    }
+}

@@ -122,6 +122,8 @@ struct Health {
     inflight: AtomicUsize,
     /// Files quarantined by the ingest run that produced the live graph.
     ingest_errors: AtomicUsize,
+    /// Error-severity lint findings in the published lint report.
+    lint_errors: AtomicUsize,
 }
 
 /// Lock a mutex, recovering the guard if a previous holder panicked.
@@ -141,6 +143,9 @@ pub struct Endpoint {
     config: EndpointConfig,
     plans: Arc<Mutex<PlanCache>>,
     source: Arc<Mutex<Option<Arc<str>>>>,
+    /// Pre-rendered JSON lint report for `GET /lint` — published by the
+    /// loader (the endpoint itself stays ignorant of the linter).
+    lint_report: Arc<Mutex<Option<Arc<str>>>>,
     health: Arc<Health>,
 }
 
@@ -170,6 +175,7 @@ impl Endpoint {
             config,
             plans: Arc::new(Mutex::new(PlanCache::new(config.plan_cache_size))),
             source: Arc::new(Mutex::new(None)),
+            lint_report: Arc::new(Mutex::new(None)),
             health: Arc::new(Health::default()),
         }
     }
@@ -202,6 +208,20 @@ impl Endpoint {
     /// quarantined (surfaced by `/readyz` and `/stats`).
     pub fn set_ingest_errors(&self, n: usize) {
         self.health.ingest_errors.store(n, Ordering::SeqCst);
+    }
+
+    /// Publish a pre-rendered JSON lint report (served verbatim by
+    /// `GET /lint`) along with its error-severity finding count
+    /// (surfaced by `/readyz` and `/stats`). The loader renders the
+    /// report; the endpoint only stores bytes.
+    pub fn set_lint_report(&self, json: impl Into<String>, errors: usize) {
+        *lock(&self.lint_report) = Some(Arc::from(json.into()));
+        self.health.lint_errors.store(errors, Ordering::SeqCst);
+    }
+
+    /// Error-severity findings in the published lint report.
+    pub fn lint_errors(&self) -> usize {
+        self.health.lint_errors.load(Ordering::SeqCst)
     }
 
     /// Whether a corpus graph has been published.
@@ -240,6 +260,7 @@ impl Endpoint {
             ("GET", "/healthz") => Response::status(200).body("ok"),
             ("GET", "/readyz") => self.readyz(),
             ("GET", "/stats") => self.stats(),
+            ("GET", "/lint") => self.lint(),
             ("GET", "/debug/panic") if self.config.debug_panic_route => {
                 panic!("debug panic route hit")
             }
@@ -259,9 +280,10 @@ impl Endpoint {
         let body = format!(
             "{{\"ready\":{ready},\"corpus_loaded\":{corpus_loaded},\
              \"rebuilding\":{},\"saturated\":{saturated},\"inflight\":{inflight},\
-             \"ingest_errors\":{}}}",
+             \"ingest_errors\":{},\"lint_errors\":{}}}",
             self.health.rebuilding.load(Ordering::SeqCst),
             self.health.ingest_errors.load(Ordering::SeqCst),
+            self.health.lint_errors.load(Ordering::SeqCst),
         );
         let mut response = Response::status(if ready { 200 } else { 503 })
             .content_type("application/json")
@@ -283,7 +305,7 @@ impl Endpoint {
             .body(format!(
                 "{{\"triples\":{},\"terms\":{},\"cached_plans\":{},\
                  \"ready\":{},\"rebuilding\":{},\"panics_total\":{},\
-                 \"ingest_errors\":{}{source}}}",
+                 \"ingest_errors\":{},\"lint_errors\":{}{source}}}",
                 graph.len(),
                 graph.term_count(),
                 self.cached_plans(),
@@ -291,7 +313,22 @@ impl Endpoint {
                 self.health.rebuilding.load(Ordering::SeqCst),
                 self.panics_total(),
                 self.health.ingest_errors.load(Ordering::SeqCst),
+                self.health.lint_errors.load(Ordering::SeqCst),
             ))
+    }
+
+    /// The published lint report, verbatim; `503` until a loader calls
+    /// [`Endpoint::set_lint_report`].
+    fn lint(&self) -> Response {
+        match &*lock(&self.lint_report) {
+            Some(report) => Response::status(200)
+                .content_type("application/json")
+                .body(report.to_string()),
+            None => Response::status(503)
+                .content_type("application/json")
+                .header("Retry-After", "1")
+                .body("{\"error\":\"no lint report published yet\"}"),
+        }
     }
 
     /// Fetch the parsed plan for `text`, parsing and caching on miss.
@@ -853,6 +890,23 @@ mod tests {
         ep.set_rebuilding(false);
         let r = ep.handle(&request("GET /readyz HTTP/1.1\r\n\r\n"));
         assert!(r.body.contains("\"rebuilding\":false"), "{}", r.body);
+    }
+
+    #[test]
+    fn lint_route_serves_published_report() {
+        let ep = endpoint();
+        let r = ep.handle(&request("GET /lint HTTP/1.1\r\n\r\n"));
+        assert_eq!(r.status, 503, "no report yet: {}", r.body);
+        assert!(r.body.contains("no lint report"), "{}", r.body);
+        ep.set_lint_report("{\"files\":4,\"errors\":2}", 2);
+        let r = ep.handle(&request("GET /lint HTTP/1.1\r\n\r\n"));
+        assert_eq!(r.status, 200);
+        assert_eq!(r.body, "{\"files\":4,\"errors\":2}");
+        assert_eq!(ep.lint_errors(), 2);
+        let r = ep.handle(&request("GET /readyz HTTP/1.1\r\n\r\n"));
+        assert!(r.body.contains("\"lint_errors\":2"), "{}", r.body);
+        let r = ep.handle(&request("GET /stats HTTP/1.1\r\n\r\n"));
+        assert!(r.body.contains("\"lint_errors\":2"), "{}", r.body);
     }
 
     #[test]

@@ -42,6 +42,9 @@ struct Options {
     deny: String,
     jobs: Option<usize>,
     strict: bool,
+    corpus_rules: bool,
+    incremental: bool,
+    explain_rule: Option<String>,
     positional: Vec<String>,
 }
 
@@ -58,6 +61,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         deny: "error".into(),
         jobs: None,
         strict: false,
+        corpus_rules: false,
+        incremental: false,
+        explain_rule: None,
         positional: Vec::new(),
     };
     // Accept both `--opt value` and `--opt=value`.
@@ -102,6 +108,11 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 )
             }
             "--strict" => o.strict = true,
+            "--corpus-rules" => o.corpus_rules = true,
+            "--incremental" => o.incremental = true,
+            "--explain" => {
+                o.explain_rule = Some(it.next().ok_or("--explain needs a rule id")?.clone())
+            }
             other if other.starts_with("--") => return Err(format!("unknown option {other}")),
             other => o.positional.push(other.to_owned()),
         }
@@ -341,6 +352,21 @@ fn cmd_serve(o: &Options) -> Result<(), String> {
                             eprintln!("warning: {}", s.ingest);
                         }
                         eprintln!("corpus loaded: {} triples ({summary})", s.union.len());
+                        // Lint the freshly loaded corpus (with the
+                        // corpus-wide rules) and publish the report on
+                        // `GET /lint` alongside the graph itself.
+                        let registry = provbench::diag::Registry::with_corpus_rules();
+                        let reports = lint_store(&s, &registry, true);
+                        let (lint_errors, _, _) = provbench::diag::severity_counts(&reports);
+                        loader.set_lint_report(
+                            provbench::diag::render_lint_json(&reports),
+                            lint_errors,
+                        );
+                        eprintln!(
+                            "lint report published: {} files, {} errors (GET /lint)",
+                            reports.len(),
+                            lint_errors
+                        );
                         loader.set_ingest_errors(quarantined);
                         loader.replace_graph(s.union, summary);
                     }
@@ -477,50 +503,111 @@ fn cmd_interop(o: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// Print the full catalog entry for one rule id (`--explain PB0104`).
+fn explain_rule(id: &str) -> Result<(), String> {
+    use provbench::diag;
+
+    let doc = diag::rule_doc(id)
+        .ok_or_else(|| format!("no rule {id:?} — ids run PB0001..PB0403, see docs/linting.md"))?;
+    println!("{} — {}", doc.info.id, doc.info.slug);
+    println!("severity:  {}", doc.info.severity);
+    println!("summary:   {}", doc.info.summary);
+    println!("rationale: {}", doc.rationale);
+    println!("example:   {}", doc.example);
+    Ok(())
+}
+
+/// Lint every graph of a snapshot-loaded store. The graphs carry no
+/// concrete syntax, so diagnostics have file labels but no spans. With
+/// `corpus_rules`, summaries are extracted per graph and the corpus
+/// fixpoint's findings are merged in.
+fn lint_store(
+    s: &store::CorpusStore,
+    registry: &provbench::diag::Registry,
+    corpus_rules: bool,
+) -> Vec<provbench::diag::FileReport> {
+    use provbench::diag;
+
+    let mut reports = Vec::new();
+    let mut summaries: Vec<(String, diag::AnalysisSummary)> = Vec::new();
+    for d in &s.corpus.descriptions {
+        let label = format!(
+            "{}/{}/{}",
+            d.system.name().to_ascii_lowercase(),
+            d.template_name,
+            store::description_file(d.system)
+        );
+        if corpus_rules {
+            summaries.push((label.clone(), diag::AnalysisSummary::of_graph(&d.graph)));
+        }
+        reports.push(diag::FileReport {
+            diagnostics: diag::lint_graph(&label, &d.graph, registry),
+            path: label,
+        });
+    }
+    for trace in &s.corpus.traces {
+        let label = format!(
+            "{}/{}/{}.{}",
+            trace.system.name().to_ascii_lowercase(),
+            trace.template_name,
+            trace.run_id,
+            store::trace_extension(trace.system)
+        );
+        let graph = trace.dataset.union_graph();
+        if corpus_rules {
+            summaries.push((label.clone(), diag::AnalysisSummary::of_graph(&graph)));
+        }
+        reports.push(diag::FileReport {
+            diagnostics: diag::lint_graph(&label, &graph, registry),
+            path: label,
+        });
+    }
+    if corpus_rules {
+        diag::apply_corpus_rules(&mut reports, &summaries);
+    }
+    reports
+}
+
 /// Lint a path on disk, a corpus directory loaded through its snapshot
 /// (`--dir`), or — with neither — the generated corpus serialized in
 /// memory exactly as `provbench generate` would write it.
 fn cmd_lint(o: &Options) -> Result<(), String> {
     use provbench::diag;
 
-    let registry = diag::Registry::with_default_rules();
+    if let Some(id) = &o.explain_rule {
+        return explain_rule(id);
+    }
+
+    let registry = if o.corpus_rules {
+        diag::Registry::with_corpus_rules()
+    } else {
+        diag::Registry::with_default_rules()
+    };
     let jobs = o.jobs.unwrap_or_else(diag::default_jobs);
+    if o.incremental && o.positional.is_empty() {
+        return Err("--incremental needs a PATH to lint (the snapshot lives beside it)".into());
+    }
     let mut reports: Vec<diag::FileReport> = match (o.positional.first(), &o.dir) {
-        (Some(path), _) => diag::lint_path(Path::new(path), &registry, jobs)
-            .map_err(|e| format!("lint {path}: {e}"))?,
-        (None, Some(dir)) => {
-            // Snapshot-loaded graphs carry no concrete syntax, so these
-            // diagnostics have file labels but no line/column spans.
-            let s = open_dir_store(o, dir)?;
-            let mut reports = Vec::new();
-            for d in &s.corpus.descriptions {
-                let label = format!(
-                    "{}/{}/{}",
-                    d.system.name().to_ascii_lowercase(),
-                    d.template_name,
-                    store::description_file(d.system)
+        (Some(path), _) => {
+            let opts = diag::CorpusLintOptions {
+                jobs,
+                corpus_rules: o.corpus_rules,
+                incremental: o.incremental,
+                cache_path: None,
+            };
+            let outcome = diag::lint_corpus_incremental(Path::new(path), &registry, &opts)
+                .map_err(|e| format!("lint {path}: {e}"))?;
+            if o.incremental {
+                eprintln!(
+                    "incremental lint: {} analyzed, {} cached ({})",
+                    outcome.analyzed,
+                    outcome.reused,
+                    outcome.cache_path.display()
                 );
-                reports.push(diag::FileReport {
-                    diagnostics: diag::lint_graph(&label, &d.graph, &registry),
-                    path: label,
-                });
             }
-            for trace in &s.corpus.traces {
-                let label = format!(
-                    "{}/{}/{}.{}",
-                    trace.system.name().to_ascii_lowercase(),
-                    trace.template_name,
-                    trace.run_id,
-                    store::trace_extension(trace.system)
-                );
-                let graph = trace.dataset.union_graph();
-                reports.push(diag::FileReport {
-                    diagnostics: diag::lint_graph(&label, &graph, &registry),
-                    path: label,
-                });
-            }
-            reports
+            outcome.reports
         }
+        (None, Some(dir)) => lint_store(&open_dir_store(o, dir)?, &registry, o.corpus_rules),
         (None, None) => {
             let corpus = Corpus::generate(&spec_of(o));
             let mut files: Vec<(String, String)> = Vec::new();
@@ -545,13 +632,28 @@ fn cmd_lint(o: &Options) -> Result<(), String> {
                 );
                 files.push((label, store::serialize_trace(trace)));
             }
-            files
-                .into_iter()
-                .map(|(label, content)| diag::FileReport {
+            let mut reports: Vec<diag::FileReport> = Vec::with_capacity(files.len());
+            let mut summaries: Vec<(String, diag::AnalysisSummary)> = Vec::new();
+            for (label, content) in files {
+                if o.corpus_rules {
+                    let parsed = if label.ends_with(".trig") {
+                        provbench::rdf::parse_trig(&content).map(|(ds, _)| ds.union_graph())
+                    } else {
+                        provbench::rdf::parse_turtle(&content).map(|(g, _)| g)
+                    };
+                    if let Ok(graph) = parsed {
+                        summaries.push((label.clone(), diag::AnalysisSummary::of_graph(&graph)));
+                    }
+                }
+                reports.push(diag::FileReport {
                     diagnostics: diag::lint_content(&label, &content, &registry),
                     path: label,
-                })
-                .collect()
+                });
+            }
+            if o.corpus_rules {
+                diag::apply_corpus_rules(&mut reports, &summaries);
+            }
+            reports
         }
     };
 
@@ -672,7 +774,11 @@ const USAGE: &str = "usage: provbench <command> [options]
   usage    [--seed N]                           per-term assertion counts
   lint     [PATH] [--format text|json|sarif]    static-analyse corpus files
            [--baseline FILE] [--write-baseline FILE] [--deny LEVEL] [--jobs N]
-           (no PATH: lints the generated corpus in memory)
+           [--corpus-rules] [--incremental] [--explain PB0xxx]
+           (no PATH: lints the generated corpus in memory;
+            --corpus-rules adds the cross-document PB021x pack,
+            --incremental caches per-file results in corpus.lint.snapshot,
+            --explain prints one rule's catalog entry and exits)
   validate --dir DIR                            PROV-constraint-check a corpus dir
   query 'SPARQL' [--dir DIR | --seed N]         run SPARQL over the corpus
   serve    [--addr HOST:PORT] [--dir DIR]       SPARQL endpoint + web UI
