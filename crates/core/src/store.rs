@@ -6,6 +6,7 @@ use crate::fsio::{StoreFs, REAL_FS};
 use crate::generate::{Corpus, TraceRecord};
 use crate::ingest::{IngestError, IngestReport, INGEST_REPORT_FILE};
 use crate::snapshot::{self, SNAPSHOT_FILE, VERSION};
+use provbench_obs::{Registry, LATENCY_BUCKETS};
 use provbench_rdf::{
     parse_trig, parse_turtle, write_trig, write_turtle, Dataset, Graph, ParseError, PrefixMap,
 };
@@ -15,8 +16,21 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// Counter of source files parsed (`result="loaded"|"quarantined"`).
+const INGEST_FILES_TOTAL: &str = "provbench_ingest_files_total";
+/// Histogram of per-file read+parse times.
+const INGEST_FILE_SECONDS: &str = "provbench_ingest_file_seconds";
+/// Counter of store opens (`mode="warm"|"cold"`).
+const STORE_OPENS_TOTAL: &str = "provbench_store_opens_total";
+/// Histogram of whole-open wall-clock time (`mode="warm"|"cold"`).
+const STORE_OPEN_SECONDS: &str = "provbench_store_open_seconds";
+/// Histogram of snapshot encode times.
+const SNAPSHOT_ENCODE_SECONDS: &str = "provbench_snapshot_encode_seconds";
+/// Histogram of snapshot decode times.
+const SNAPSHOT_DECODE_SECONDS: &str = "provbench_snapshot_decode_seconds";
 
 /// Temp file the snapshot is staged in before its atomic rename; a
 /// crash can only ever leave a stale temp file, never a torn snapshot.
@@ -352,6 +366,36 @@ pub fn default_load_jobs() -> usize {
         .min(8)
 }
 
+/// [`parse_corpus_file`] with its latency and outcome recorded.
+fn parse_corpus_file_timed(
+    file: &CorpusFile,
+    fs: &dyn StoreFs,
+    metrics: &Registry,
+) -> Result<ParsedFile, IngestError> {
+    let start = Instant::now();
+    let result = parse_corpus_file(file, fs);
+    metrics
+        .histogram(
+            INGEST_FILE_SECONDS,
+            "Per-file corpus read+parse time",
+            LATENCY_BUCKETS,
+        )
+        .observe_duration(start.elapsed());
+    let outcome = if result.is_ok() {
+        "loaded"
+    } else {
+        "quarantined"
+    };
+    metrics
+        .counter_with(
+            INGEST_FILES_TOTAL,
+            "Corpus source files parsed, by outcome",
+            &[("result", outcome)],
+        )
+        .inc();
+    result
+}
+
 /// Parse a listed set of files, fanning out over `jobs` worker threads.
 /// Files that fail to read or parse are quarantined, never fatal: the
 /// good files come back in listing order (so parallel and sequential
@@ -360,9 +404,13 @@ fn parse_files(
     files: &[CorpusFile],
     jobs: usize,
     fs: &dyn StoreFs,
+    metrics: &Registry,
 ) -> (Vec<ParsedFile>, Vec<IngestError>) {
     let results: Vec<Result<ParsedFile, IngestError>> = if jobs <= 1 || files.len() <= 1 {
-        files.iter().map(|f| parse_corpus_file(f, fs)).collect()
+        files
+            .iter()
+            .map(|f| parse_corpus_file_timed(f, fs, metrics))
+            .collect()
     } else {
         let next = AtomicUsize::new(0);
         let slots: Mutex<Vec<(usize, Result<ParsedFile, IngestError>)>> =
@@ -372,7 +420,7 @@ fn parse_files(
                 scope.spawn(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(file) = files.get(i) else { break };
-                    let parsed = parse_corpus_file(file, fs);
+                    let parsed = parse_corpus_file_timed(file, fs, metrics);
                     slots
                         .lock()
                         .expect("corpus parser panicked")
@@ -421,7 +469,7 @@ pub fn load(dir: &Path) -> io::Result<LoadedCorpus> {
 /// [`IngestReport`] rather than aborting the load.
 pub fn load_with_threads(dir: &Path, jobs: usize) -> io::Result<LoadOutcome> {
     let files = collect_corpus_files(dir)?;
-    let (parsed, errors) = parse_files(&files, jobs, &REAL_FS);
+    let (parsed, errors) = parse_files(&files, jobs, &REAL_FS, provbench_obs::global());
     let mut corpus = LoadedCorpus::default();
     for p in parsed {
         match p {
@@ -489,6 +537,10 @@ pub struct StoreOptions<'fs> {
     /// The filesystem to operate on — [`REAL_FS`] in production, a
     /// fault-injecting shim in the chaos tests.
     pub fs: &'fs dyn StoreFs,
+    /// Registry ingest/snapshot/open metrics are recorded into. The
+    /// process-wide [`provbench_obs::global`] one by default; tests
+    /// that assert on counts thread their own.
+    pub metrics: Arc<Registry>,
 }
 
 impl Default for StoreOptions<'static> {
@@ -498,6 +550,7 @@ impl Default for StoreOptions<'static> {
             strict: false,
             lock_timeout: Duration::from_secs(10),
             fs: &REAL_FS,
+            metrics: Arc::clone(provbench_obs::global()),
         }
     }
 }
@@ -659,6 +712,35 @@ impl CorpusStore {
     /// [`CorpusStore::open_or_build`] with full control over fan-out,
     /// strictness, lock behavior and the filesystem.
     pub fn open_or_build_opts(dir: &Path, opts: &StoreOptions<'_>) -> io::Result<CorpusStore> {
+        let _span = opts.metrics.span("store.open");
+        let start = Instant::now();
+        let result = CorpusStore::open_or_build_inner(dir, opts);
+        if let Ok(store) = &result {
+            let mode = if store.provenance.warm {
+                "warm"
+            } else {
+                "cold"
+            };
+            opts.metrics
+                .counter_with(
+                    STORE_OPENS_TOTAL,
+                    "Corpus store opens, by mode",
+                    &[("mode", mode)],
+                )
+                .inc();
+            opts.metrics
+                .histogram_with(
+                    STORE_OPEN_SECONDS,
+                    "Whole store-open wall-clock time, by mode",
+                    LATENCY_BUCKETS,
+                    &[("mode", mode)],
+                )
+                .observe_duration(start.elapsed());
+        }
+        result
+    }
+
+    fn open_or_build_inner(dir: &Path, opts: &StoreOptions<'_>) -> io::Result<CorpusStore> {
         let files = collect_corpus_files(dir)?;
         let fingerprint = fingerprint_of(&files, opts.fs);
 
@@ -736,7 +818,16 @@ impl CorpusStore {
             Err(e) if e.kind() == io::ErrorKind::NotFound => return Err(None),
             Err(e) => return Err(Some(format!("unreadable snapshot: {e}"))),
         };
-        match snapshot::decode(&bytes) {
+        let decode_start = Instant::now();
+        let decoded = snapshot::decode(&bytes);
+        opts.metrics
+            .histogram(
+                SNAPSHOT_DECODE_SECONDS,
+                "Binary snapshot decode time",
+                LATENCY_BUCKETS,
+            )
+            .observe_duration(decode_start.elapsed());
+        match decoded {
             Ok(decoded)
                 if decoded.source_files == source_files && decoded.source_bytes == source_bytes =>
             {
@@ -818,7 +909,7 @@ impl CorpusStore {
         rebuild_reason: Option<String>,
     ) -> io::Result<CorpusStore> {
         let (source_files, source_bytes) = fingerprint_of(files, opts.fs);
-        let (parsed, errors) = parse_files(files, opts.jobs, opts.fs);
+        let (parsed, errors) = parse_files(files, opts.jobs, opts.fs, &opts.metrics);
         let report = IngestReport {
             attempted: files.len(),
             errors,
@@ -869,12 +960,20 @@ impl CorpusStore {
         };
         let mut store = store;
         if report_published {
+            let encode_start = Instant::now();
             let encoded = snapshot::encode(
                 &store.corpus,
                 source_files,
                 source_bytes,
                 &manifest_of(files, opts.fs),
             );
+            opts.metrics
+                .histogram(
+                    SNAPSHOT_ENCODE_SECONDS,
+                    "Binary snapshot encode time",
+                    LATENCY_BUCKETS,
+                )
+                .observe_duration(encode_start.elapsed());
             let tmp = dir.join(SNAPSHOT_TMP);
             if write_atomic(opts.fs, &tmp, &store.provenance.path, &encoded).is_ok() {
                 store.provenance.snapshot_bytes = encoded.len() as u64;

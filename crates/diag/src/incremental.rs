@@ -315,6 +315,7 @@ pub fn lint_corpus_incremental(
     registry: &Registry,
     opts: &CorpusLintOptions,
 ) -> io::Result<CorpusLintOutcome> {
+    let _span = provbench_obs::span("lint.corpus");
     let files = collect_rdf_files(root)?;
     let cache_path = opts.cache_path.clone().unwrap_or_else(|| {
         if root.is_dir() {
@@ -404,6 +405,17 @@ pub fn lint_corpus_incremental(
 
     let analyzed = analyses.iter().filter(|a| a.fresh).count();
     let reused = analyses.len() - analyzed;
+    let obs = provbench_obs::global();
+    for (mode, count) in [("analyzed", analyzed), ("replayed", reused)] {
+        if count > 0 {
+            obs.counter_with(
+                "provbench_lint_files_total",
+                "Files linted, by mode (cold analysis vs snapshot replay)",
+                &[("mode", mode)],
+            )
+            .add(count as u64);
+        }
+    }
 
     // Persist the per-file half before corpus diagnostics are merged in
     // — corpus findings depend on the whole tree and are re-solved from

@@ -10,6 +10,12 @@ use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
+
+/// Histogram of per-file lint (read+parse+rules) times.
+const LINT_FILE_SECONDS: &str = "provbench_lint_file_seconds";
+/// Counter of emitted diagnostics (`severity="error"|"warning"|"info"`).
+const LINT_FINDINGS_TOTAL: &str = "provbench_lint_findings_total";
 
 /// Lint results for one file, diagnostics in deterministic order.
 #[derive(Clone, Debug)]
@@ -124,6 +130,7 @@ pub fn lint_content(label: &str, content: &str, registry: &Registry) -> Vec<Diag
 /// corpus snapshot where no concrete syntax (and hence no span table)
 /// exists. Diagnostics carry `label` as their file and no source spans.
 pub fn lint_graph(label: &str, graph: &Graph, registry: &Registry) -> Vec<Diagnostic> {
+    let start = Instant::now();
     let spans = SpanTable::new();
     let cx = FileContext {
         path: Some(label),
@@ -131,7 +138,22 @@ pub fn lint_graph(label: &str, graph: &Graph, registry: &Registry) -> Vec<Diagno
         spans: &spans,
         system: detect_system(graph),
     };
-    registry.check(&cx)
+    let diagnostics = registry.check(&cx);
+    let obs = provbench_obs::global();
+    obs.histogram(
+        LINT_FILE_SECONDS,
+        "Per-file lint (read+parse+rules) time",
+        provbench_obs::LATENCY_BUCKETS,
+    )
+    .observe_duration(start.elapsed());
+    obs.counter_with(
+        "provbench_lint_files_total",
+        "Files linted, by mode (cold analysis vs snapshot replay)",
+        &[("mode", "graph")],
+    )
+    .inc();
+    record_findings(obs, &diagnostics);
+    diagnostics
 }
 
 /// The label a corpus file is linted under: the corpus directory's own
@@ -155,15 +177,47 @@ pub fn corpus_label(root: &Path, path: &Path) -> String {
 }
 
 fn lint_file(path: &Path, label: &str, registry: &Registry) -> FileReport {
+    let start = Instant::now();
     let diagnostics = match std::fs::read_to_string(path) {
         Ok(content) => lint_content(label, &content, registry),
         Err(e) => {
             vec![Diagnostic::new(&PARSE_ERROR, format!("cannot read file: {e}")).with_file(label)]
         }
     };
+    let obs = provbench_obs::global();
+    obs.histogram(
+        LINT_FILE_SECONDS,
+        "Per-file lint (read+parse+rules) time",
+        provbench_obs::LATENCY_BUCKETS,
+    )
+    .observe_duration(start.elapsed());
+    record_findings(obs, &diagnostics);
     FileReport {
         path: label.to_owned(),
         diagnostics,
+    }
+}
+
+/// Count `diagnostics` into the severity-labelled findings counter.
+pub(crate) fn record_findings(obs: &provbench_obs::Registry, diagnostics: &[Diagnostic]) {
+    for severity in [Severity::Error, Severity::Warning, Severity::Info] {
+        let n = diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count();
+        if n > 0 {
+            let label = match severity {
+                Severity::Error => "error",
+                Severity::Warning => "warning",
+                Severity::Info => "info",
+            };
+            obs.counter_with(
+                LINT_FINDINGS_TOTAL,
+                "Lint diagnostics emitted, by severity",
+                &[("severity", label)],
+            )
+            .add(n as u64);
+        }
     }
 }
 

@@ -6,13 +6,15 @@
 //! ```
 
 use provbench_core::{Corpus, CorpusSpec};
-use provbench_endpoint::{Endpoint, EndpointConfig};
+use provbench_endpoint::{Endpoint, ServerConfig};
 use std::time::Duration;
 
 fn main() {
     let mut addr = "127.0.0.1:3030".to_owned();
     let mut workflows: Option<usize> = Some(40);
-    let mut config = EndpointConfig::default();
+    let mut workers = 8usize;
+    let mut queue_depth = 32usize;
+    let mut timeout = Duration::from_secs(10);
     let mut it = std::env::args().skip(1);
     let usage = "use --addr HOST:PORT, --full, --workers N, --queue-depth N, --timeout-ms N";
     let parse_num = |v: Option<String>, what: &str| -> usize {
@@ -25,11 +27,10 @@ fn main() {
         match a.as_str() {
             "--addr" => addr = it.next().unwrap_or(addr),
             "--full" => workflows = None,
-            "--workers" => config.workers = parse_num(it.next(), "--workers"),
-            "--queue-depth" => config.queue_depth = parse_num(it.next(), "--queue-depth"),
+            "--workers" => workers = parse_num(it.next(), "--workers"),
+            "--queue-depth" => queue_depth = parse_num(it.next(), "--queue-depth"),
             "--timeout-ms" => {
-                config.query_timeout =
-                    Duration::from_millis(parse_num(it.next(), "--timeout-ms") as u64)
+                timeout = Duration::from_millis(parse_num(it.next(), "--timeout-ms") as u64)
             }
             other => {
                 eprintln!("unknown option {other:?} ({usage})");
@@ -51,11 +52,14 @@ fn main() {
     let corpus = Corpus::generate(&spec);
     let graph = corpus.combined_graph();
     eprintln!(
-        "serving {} triples on http://{addr}/ ({} workers, {:?} timeout; Ctrl-C to stop)",
+        "serving {} triples on http://{addr}/ ({workers} workers, {timeout:?} timeout; Ctrl-C to stop)",
         graph.len(),
-        config.workers,
-        config.query_timeout,
     );
+    let config = ServerConfig::new()
+        .workers(workers)
+        .queue_depth(queue_depth)
+        .timeout(timeout)
+        .source("generated corpus");
     Endpoint::with_config(graph, config)
         .serve(&addr)
         .expect("serve");

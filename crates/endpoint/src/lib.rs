@@ -10,7 +10,9 @@
 //!   endpoint, returning SPARQL 1.1 JSON results
 //!   (`application/sparql-results+json`) or, on request, tab-separated
 //!   text;
-//! * `GET /stats` — corpus statistics as JSON.
+//! * `GET /stats` — corpus statistics as JSON;
+//! * `GET /metrics` — Prometheus text exposition of the endpoint's
+//!   metrics registry (see `docs/observability.md`).
 //!
 //! ```no_run
 //! use provbench_core::{Corpus, CorpusSpec};
@@ -27,4 +29,6 @@ mod server;
 
 pub use http::{parse_request, url_decode, url_encode, Request, Response};
 pub use results::{solutions_to_json, solutions_to_tsv};
-pub use server::{Endpoint, EndpointConfig};
+#[allow(deprecated)]
+pub use server::EndpointConfig;
+pub use server::{Endpoint, ServerConfig};

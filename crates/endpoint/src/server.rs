@@ -1,8 +1,10 @@
 //! The endpoint itself: route dispatch, the plan cache, health/readiness
-//! state, and the bounded, panic-isolated serving loop.
+//! state, the metrics registry behind `GET /metrics`, and the bounded,
+//! panic-isolated serving loop.
 
 use crate::http::{parse_request, Request, Response};
 use crate::results::{solutions_to_json, solutions_to_tsv};
+use provbench_obs::{Counter, Gauge, Registry, LATENCY_BUCKETS};
 use provbench_query::sparql::ast::Query;
 use provbench_query::{parse_query, EvalOptions, QueryEngine, QueryError, QueryParseError};
 use provbench_rdf::Graph;
@@ -10,42 +12,81 @@ use std::collections::HashMap;
 use std::io;
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
 use std::sync::{Arc, Mutex, PoisonError};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-/// Concurrency and resource knobs for a served endpoint.
-#[derive(Clone, Copy, Debug)]
-pub struct EndpointConfig {
+/// Counter of served requests (`method`, `route`, `status` labels).
+const HTTP_REQUESTS_TOTAL: &str = "provbench_http_requests_total";
+/// Histogram of request wall-clock time, by normalized route.
+const HTTP_REQUEST_SECONDS: &str = "provbench_http_request_seconds";
+/// Counter of request-handler panics survived by the worker pool.
+const PANICS_TOTAL: &str = "provbench_panics_total";
+/// Gauge: files quarantined by the live graph's ingest run.
+const INGEST_ERRORS: &str = "provbench_ingest_errors";
+/// Gauge: error-severity findings in the published lint report.
+const LINT_ERRORS: &str = "provbench_lint_errors";
+/// Counter of plan-cache hits.
+const PLAN_CACHE_HITS: &str = "provbench_plan_cache_hits_total";
+/// Counter of plan-cache misses (including unparsable queries).
+const PLAN_CACHE_MISSES: &str = "provbench_plan_cache_misses_total";
+/// Gauge: parsed plans currently cached.
+const PLAN_CACHE_ENTRIES: &str = "provbench_plan_cache_entries";
+
+/// Configuration for a served endpoint, built fluently:
+///
+/// ```
+/// use provbench_endpoint::ServerConfig;
+/// use std::time::Duration;
+///
+/// let config = ServerConfig::new()
+///     .workers(4)
+///     .queue_depth(16)
+///     .timeout(Duration::from_secs(5))
+///     .build();
+/// ```
+///
+/// `build` normalizes the knobs (worker and queue counts are clamped to
+/// at least 1) and is idempotent; constructors accept a not-yet-built
+/// config and normalize it themselves.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
     /// Worker threads handling requests. Connections beyond
     /// `workers + queue_depth` are answered `503` immediately instead of
     /// spawning unbounded threads.
-    pub workers: usize,
+    pub(crate) workers: usize,
     /// Accepted connections that may wait for a free worker.
-    pub queue_depth: usize,
+    pub(crate) queue_depth: usize,
     /// Per-request evaluation deadline; queries running longer answer
     /// `408`. Clients may lower (never raise) it per request with a
     /// `timeout=<ms>` parameter.
-    pub query_timeout: Duration,
+    pub(crate) query_timeout: Duration,
     /// Per-request cap on intermediate rows — a deterministic cost
     /// bound that trips even when the clock barely advances.
-    pub row_budget: Option<u64>,
+    pub(crate) row_budget: Option<u64>,
     /// Parsed query plans cached by query text (LRU).
-    pub plan_cache_size: usize,
+    pub(crate) plan_cache_size: usize,
     /// Per-connection socket read timeout. A client that sends a partial
     /// request (e.g. a body shorter than its `Content-Length`) ties up a
     /// worker for at most this long before being answered `400`.
-    pub read_timeout: Duration,
+    pub(crate) read_timeout: Duration,
     /// Expose `GET /debug/panic`, a route that panics inside the handler.
     /// Exists so the worker-pool panic isolation can be exercised from a
     /// real TCP client in tests; never enabled in production.
-    pub debug_panic_route: bool,
+    pub(crate) debug_panic_route: bool,
+    /// Metrics registry the endpoint records into and serves on
+    /// `GET /metrics`. `None` = the process-wide global registry.
+    pub(crate) registry: Option<Arc<Registry>>,
+    /// Where the served graph came from, surfaced in `/stats`.
+    pub(crate) source: Option<String>,
 }
 
-impl Default for EndpointConfig {
-    fn default() -> Self {
-        EndpointConfig {
+impl ServerConfig {
+    /// The default configuration: 8 workers, 32 queued connections, 10s
+    /// query deadline, 50M-row budget, 64-plan cache.
+    pub fn new() -> Self {
+        ServerConfig {
             workers: 8,
             queue_depth: 32,
             query_timeout: Duration::from_secs(10),
@@ -53,7 +94,135 @@ impl Default for EndpointConfig {
             plan_cache_size: 64,
             read_timeout: Duration::from_secs(5),
             debug_panic_route: false,
+            registry: None,
+            source: None,
         }
+    }
+
+    /// Worker threads handling requests.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n;
+        self
+    }
+
+    /// Accepted connections that may wait for a free worker.
+    pub fn queue_depth(mut self, n: usize) -> Self {
+        self.queue_depth = n;
+        self
+    }
+
+    /// Per-request evaluation deadline.
+    pub fn timeout(mut self, t: Duration) -> Self {
+        self.query_timeout = t;
+        self
+    }
+
+    /// Per-request cap on intermediate rows (`None` = unbounded).
+    pub fn row_budget(mut self, budget: Option<u64>) -> Self {
+        self.row_budget = budget;
+        self
+    }
+
+    /// Capacity of the LRU plan cache (0 disables caching).
+    pub fn plan_cache(mut self, capacity: usize) -> Self {
+        self.plan_cache_size = capacity;
+        self
+    }
+
+    /// Per-connection socket read timeout.
+    pub fn read_timeout(mut self, t: Duration) -> Self {
+        self.read_timeout = t;
+        self
+    }
+
+    /// Expose `GET /debug/panic` (test-only; see the field docs).
+    pub fn debug_panic_route(mut self, enabled: bool) -> Self {
+        self.debug_panic_route = enabled;
+        self
+    }
+
+    /// Record metrics into `registry` instead of the process-wide
+    /// [`provbench_obs::global`] one (test isolation; multiple endpoints
+    /// in one process).
+    pub fn registry(mut self, registry: Arc<Registry>) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
+    /// Where the served graph came from (e.g. "snapshot (warm)"),
+    /// surfaced in `/stats`.
+    pub fn source(mut self, source: impl Into<String>) -> Self {
+        self.source = Some(source.into());
+        self
+    }
+
+    /// Normalize the configuration: workers and queue depth are clamped
+    /// to at least 1. Idempotent.
+    pub fn build(mut self) -> Self {
+        self.workers = self.workers.max(1);
+        self.queue_depth = self.queue_depth.max(1);
+        self
+    }
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig::new()
+    }
+}
+
+/// Concurrency and resource knobs for a served endpoint.
+///
+/// Compatibility shim for one release: convert with
+/// `ServerConfig::from(config)` or pass it directly to
+/// [`Endpoint::with_config`] / [`Endpoint::unready`], which accept
+/// `impl Into<ServerConfig>`.
+#[deprecated(note = "use the ServerConfig builder instead")]
+#[derive(Clone, Copy, Debug)]
+pub struct EndpointConfig {
+    /// See [`ServerConfig::workers`].
+    pub workers: usize,
+    /// See [`ServerConfig::queue_depth`].
+    pub queue_depth: usize,
+    /// See [`ServerConfig::timeout`].
+    pub query_timeout: Duration,
+    /// See [`ServerConfig::row_budget`].
+    pub row_budget: Option<u64>,
+    /// See [`ServerConfig::plan_cache`].
+    pub plan_cache_size: usize,
+    /// See [`ServerConfig::read_timeout`].
+    pub read_timeout: Duration,
+    /// See [`ServerConfig::debug_panic_route`].
+    pub debug_panic_route: bool,
+}
+
+#[allow(deprecated)]
+impl Default for EndpointConfig {
+    fn default() -> Self {
+        let d = ServerConfig::new();
+        EndpointConfig {
+            workers: d.workers,
+            queue_depth: d.queue_depth,
+            query_timeout: d.query_timeout,
+            row_budget: d.row_budget,
+            plan_cache_size: d.plan_cache_size,
+            read_timeout: d.read_timeout,
+            debug_panic_route: d.debug_panic_route,
+        }
+    }
+}
+
+#[allow(deprecated)]
+impl From<EndpointConfig> for ServerConfig {
+    fn from(c: EndpointConfig) -> ServerConfig {
+        ServerConfig::new()
+            .workers(c.workers)
+            .queue_depth(c.queue_depth)
+            .timeout(c.query_timeout)
+            .row_budget(c.row_budget)
+            .plan_cache(c.plan_cache_size)
+            .read_timeout(c.read_timeout)
+            .debug_panic_route(c.debug_panic_route)
     }
 }
 
@@ -107,7 +276,10 @@ impl PlanCache {
 }
 
 /// Liveness and readiness state shared by every clone of an
-/// [`Endpoint`] (the serving loop clones one per worker).
+/// [`Endpoint`] (the serving loop clones one per worker). Operational
+/// counts that belong on `/metrics` too (panics, quarantined files,
+/// lint errors, plan-cache traffic) live in [`EndpointMetrics`] instead,
+/// so `/stats`, `/readyz` and `/metrics` read one source of truth.
 #[derive(Debug, Default)]
 struct Health {
     /// A corpus graph is loaded and the endpoint may answer queries.
@@ -116,14 +288,90 @@ struct Health {
     /// previously loaded graph is being served, a rebuild does not make
     /// the endpoint unready.
     rebuilding: AtomicBool,
-    /// Request-handler panics caught (and survived) by the worker pool.
-    panics_total: AtomicU64,
     /// Connections accepted into the worker queue and not yet answered.
     inflight: AtomicUsize,
-    /// Files quarantined by the ingest run that produced the live graph.
-    ingest_errors: AtomicUsize,
-    /// Error-severity lint findings in the published lint report.
-    lint_errors: AtomicUsize,
+}
+
+/// The endpoint's registry plus pre-registered handles for the metrics
+/// it records on hot paths (handles are lock-free to bump).
+struct EndpointMetrics {
+    registry: Arc<Registry>,
+    panics: Arc<Counter>,
+    ingest_errors: Arc<Gauge>,
+    lint_errors: Arc<Gauge>,
+    plan_hits: Arc<Counter>,
+    plan_misses: Arc<Counter>,
+    plan_entries: Arc<Gauge>,
+}
+
+impl EndpointMetrics {
+    fn new(registry: Arc<Registry>) -> Self {
+        let panics = registry.counter(
+            PANICS_TOTAL,
+            "Request-handler panics caught (and survived) by the worker pool",
+        );
+        let ingest_errors = registry.gauge(
+            INGEST_ERRORS,
+            "Source files quarantined by the ingest run that produced the live graph",
+        );
+        let lint_errors = registry.gauge(
+            LINT_ERRORS,
+            "Error-severity findings in the published lint report",
+        );
+        let plan_hits = registry.counter(PLAN_CACHE_HITS, "Plan-cache lookups served from cache");
+        let plan_misses = registry.counter(
+            PLAN_CACHE_MISSES,
+            "Plan-cache lookups that had to parse (including unparsable queries)",
+        );
+        let plan_entries = registry.gauge(PLAN_CACHE_ENTRIES, "Parsed plans currently cached");
+        EndpointMetrics {
+            registry,
+            panics,
+            ingest_errors,
+            lint_errors,
+            plan_hits,
+            plan_misses,
+            plan_entries,
+        }
+    }
+}
+
+/// Normalize a request path to a bounded route label so `/metrics`
+/// cardinality cannot be driven by client-chosen paths.
+fn route_label(path: &str) -> &'static str {
+    match path {
+        "/" => "/",
+        "/sparql" => "/sparql",
+        "/healthz" => "/healthz",
+        "/readyz" => "/readyz",
+        "/stats" => "/stats",
+        "/lint" => "/lint",
+        "/metrics" => "/metrics",
+        _ => "other",
+    }
+}
+
+/// Normalize a request method the same way.
+fn method_label(method: &str) -> &'static str {
+    match method {
+        "GET" => "GET",
+        "POST" => "POST",
+        "HEAD" => "HEAD",
+        _ => "other",
+    }
+}
+
+/// Status code as a static label (every status the endpoint emits).
+fn status_label(status: u16) -> &'static str {
+    match status {
+        200 => "200",
+        400 => "400",
+        404 => "404",
+        408 => "408",
+        500 => "500",
+        503 => "503",
+        _ => "other",
+    }
 }
 
 /// Lock a mutex, recovering the guard if a previous holder panicked.
@@ -140,23 +388,25 @@ fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 #[derive(Clone)]
 pub struct Endpoint {
     graph: Arc<Mutex<Arc<Graph>>>,
-    config: EndpointConfig,
+    config: ServerConfig,
     plans: Arc<Mutex<PlanCache>>,
     source: Arc<Mutex<Option<Arc<str>>>>,
     /// Pre-rendered JSON lint report for `GET /lint` — published by the
     /// loader (the endpoint itself stays ignorant of the linter).
     lint_report: Arc<Mutex<Option<Arc<str>>>>,
     health: Arc<Health>,
+    metrics: Arc<EndpointMetrics>,
 }
 
 impl Endpoint {
     /// An endpoint serving the given graph with default configuration.
     pub fn new(graph: Graph) -> Self {
-        Endpoint::with_config(graph, EndpointConfig::default())
+        Endpoint::with_config(graph, ServerConfig::new())
     }
 
-    /// An endpoint with explicit concurrency/resource configuration.
-    pub fn with_config(graph: Graph, config: EndpointConfig) -> Self {
+    /// An endpoint with explicit configuration (a [`ServerConfig`], or
+    /// anything convertible into one).
+    pub fn with_config(graph: Graph, config: impl Into<ServerConfig>) -> Self {
         let ep = Endpoint::unready(config);
         *lock(&ep.graph) = Arc::new(graph);
         ep.health.ready.store(true, Ordering::SeqCst);
@@ -169,20 +419,26 @@ impl Endpoint {
     /// corpus is still loading in the background.
     ///
     /// [`replace_graph`]: Endpoint::replace_graph
-    pub fn unready(config: EndpointConfig) -> Self {
+    pub fn unready(config: impl Into<ServerConfig>) -> Self {
+        let config = config.into().build();
+        let registry = config
+            .registry
+            .clone()
+            .unwrap_or_else(|| Arc::clone(provbench_obs::global()));
+        let source = config.source.clone().map(Arc::from);
         Endpoint {
             graph: Arc::new(Mutex::new(Arc::new(Graph::new()))),
-            config,
             plans: Arc::new(Mutex::new(PlanCache::new(config.plan_cache_size))),
-            source: Arc::new(Mutex::new(None)),
+            source: Arc::new(Mutex::new(source)),
             lint_report: Arc::new(Mutex::new(None)),
             health: Arc::new(Health::default()),
+            metrics: Arc::new(EndpointMetrics::new(registry)),
+            config,
         }
     }
 
-    /// Record where the served graph came from (e.g. "snapshot (warm)" or
-    /// "parsed 198 files"); surfaced in the `/stats` route so operators
-    /// can tell a warm snapshot load from a cold source parse.
+    /// Record where the served graph came from; surfaced in `/stats`.
+    #[deprecated(note = "use ServerConfig::source, or replace_graph's source argument")]
     pub fn with_source(self, source: impl Into<String>) -> Self {
         *lock(&self.source) = Some(Arc::from(source.into()));
         self
@@ -205,23 +461,23 @@ impl Endpoint {
     }
 
     /// Record how many source files the live graph's ingest run
-    /// quarantined (surfaced by `/readyz` and `/stats`).
+    /// quarantined (surfaced by `/readyz`, `/stats` and `/metrics`).
     pub fn set_ingest_errors(&self, n: usize) {
-        self.health.ingest_errors.store(n, Ordering::SeqCst);
+        self.metrics.ingest_errors.set(n as i64);
     }
 
     /// Publish a pre-rendered JSON lint report (served verbatim by
     /// `GET /lint`) along with its error-severity finding count
-    /// (surfaced by `/readyz` and `/stats`). The loader renders the
-    /// report; the endpoint only stores bytes.
+    /// (surfaced by `/readyz`, `/stats` and `/metrics`). The loader
+    /// renders the report; the endpoint only stores bytes.
     pub fn set_lint_report(&self, json: impl Into<String>, errors: usize) {
         *lock(&self.lint_report) = Some(Arc::from(json.into()));
-        self.health.lint_errors.store(errors, Ordering::SeqCst);
+        self.metrics.lint_errors.set(errors as i64);
     }
 
     /// Error-severity findings in the published lint report.
     pub fn lint_errors(&self) -> usize {
-        self.health.lint_errors.load(Ordering::SeqCst)
+        self.metrics.lint_errors.get().max(0) as usize
     }
 
     /// Whether a corpus graph has been published.
@@ -231,7 +487,7 @@ impl Endpoint {
 
     /// Request-handler panics survived by the worker pool so far.
     pub fn panics_total(&self) -> u64 {
-        self.health.panics_total.load(Ordering::SeqCst)
+        self.metrics.panics.get()
     }
 
     /// The currently published graph.
@@ -240,8 +496,14 @@ impl Endpoint {
     }
 
     /// The active configuration.
-    pub fn config(&self) -> &EndpointConfig {
+    pub fn config(&self) -> &ServerConfig {
         &self.config
+    }
+
+    /// The metrics registry this endpoint records into and serves on
+    /// `GET /metrics`.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.metrics.registry
     }
 
     /// Number of parsed plans currently cached (exposed for tests and
@@ -261,11 +523,41 @@ impl Endpoint {
             ("GET", "/readyz") => self.readyz(),
             ("GET", "/stats") => self.stats(),
             ("GET", "/lint") => self.lint(),
+            ("GET", "/metrics") => Response::status(200)
+                .content_type("text/plain; version=0.0.4")
+                .body(self.metrics.registry.render_prometheus()),
             ("GET", "/debug/panic") if self.config.debug_panic_route => {
                 panic!("debug panic route hit")
             }
             _ => Response::status(404).body("not found"),
         }
+    }
+
+    /// Record one served request into the registry. Called by the
+    /// serving loop (both the worker pool and the acceptor's inline
+    /// `503` path), so `/metrics` sees every answered connection.
+    fn record_request(&self, method: &str, route: &str, status: u16, elapsed: Duration) {
+        self.metrics
+            .registry
+            .counter_with(
+                HTTP_REQUESTS_TOTAL,
+                "HTTP requests served, by method, route and status",
+                &[
+                    ("method", method),
+                    ("route", route),
+                    ("status", status_label(status)),
+                ],
+            )
+            .inc();
+        self.metrics
+            .registry
+            .histogram_with(
+                HTTP_REQUEST_SECONDS,
+                "Request wall-clock time (parse to response), by route",
+                LATENCY_BUCKETS,
+                &[("route", route)],
+            )
+            .observe_duration(elapsed);
     }
 
     /// Readiness: `200` when a corpus is loaded and the worker pool has
@@ -282,8 +574,8 @@ impl Endpoint {
              \"rebuilding\":{},\"saturated\":{saturated},\"inflight\":{inflight},\
              \"ingest_errors\":{},\"lint_errors\":{}}}",
             self.health.rebuilding.load(Ordering::SeqCst),
-            self.health.ingest_errors.load(Ordering::SeqCst),
-            self.health.lint_errors.load(Ordering::SeqCst),
+            self.metrics.ingest_errors.get(),
+            self.metrics.lint_errors.get(),
         );
         let mut response = Response::status(if ready { 200 } else { 503 })
             .content_type("application/json")
@@ -312,8 +604,8 @@ impl Endpoint {
                 self.is_ready(),
                 self.health.rebuilding.load(Ordering::SeqCst),
                 self.panics_total(),
-                self.health.ingest_errors.load(Ordering::SeqCst),
-                self.health.lint_errors.load(Ordering::SeqCst),
+                self.metrics.ingest_errors.get(),
+                self.metrics.lint_errors.get(),
             ))
     }
 
@@ -334,10 +626,14 @@ impl Endpoint {
     /// Fetch the parsed plan for `text`, parsing and caching on miss.
     fn plan(&self, text: &str) -> Result<Arc<Query>, QueryParseError> {
         if let Some(plan) = lock(&self.plans).get(text) {
+            self.metrics.plan_hits.inc();
             return Ok(plan);
         }
+        self.metrics.plan_misses.inc();
         let plan = Arc::new(parse_query(text)?);
-        lock(&self.plans).insert(text.to_owned(), Arc::clone(&plan));
+        let mut plans = lock(&self.plans);
+        plans.insert(text.to_owned(), Arc::clone(&plan));
+        self.metrics.plan_entries.set(plans.len() as i64);
         Ok(plan)
     }
 
@@ -386,7 +682,8 @@ impl Endpoint {
             Err(e) => return parse_error_response(&e),
         };
         let graph = self.graph();
-        let engine = QueryEngine::with_options(&graph, self.request_options(request));
+        let engine = QueryEngine::with_options(&graph, self.request_options(request))
+            .with_metrics(&self.metrics.registry);
         match engine.prepare_parsed(plan).select() {
             Ok(solutions) => {
                 let want_tsv = request.param("format") == Some("tsv")
@@ -459,18 +756,29 @@ SELECT ?run ?start WHERE {{
                     break; // acceptor gone
                 };
                 let _ = stream.set_read_timeout(Some(endpoint.config.read_timeout));
+                let start = Instant::now();
                 // Panic isolation: a handler panic is converted to a 500
                 // and counted; the worker thread survives to serve the
                 // next connection instead of silently shrinking the pool.
-                let response = match parse_request(&mut stream) {
-                    Ok(request) => catch_unwind(AssertUnwindSafe(|| endpoint.handle(&request)))
-                        .unwrap_or_else(|_| {
-                            endpoint.health.panics_total.fetch_add(1, Ordering::SeqCst);
-                            Response::status(500)
-                                .body("internal server error: request handler panicked")
-                        }),
-                    Err(e) => Response::status(400).body(format!("bad request: {e}")),
+                let (response, method, route) = match parse_request(&mut stream) {
+                    Ok(request) => {
+                        let method = method_label(&request.method);
+                        let route = route_label(&request.path);
+                        let response = catch_unwind(AssertUnwindSafe(|| endpoint.handle(&request)))
+                            .unwrap_or_else(|_| {
+                                endpoint.metrics.panics.inc();
+                                Response::status(500)
+                                    .body("internal server error: request handler panicked")
+                            });
+                        (response, method, route)
+                    }
+                    Err(e) => (
+                        Response::status(400).body(format!("bad request: {e}")),
+                        "other",
+                        "other",
+                    ),
                 };
+                endpoint.record_request(method, route, response.status, start.elapsed());
                 let _ = response.write_to(&mut stream);
                 endpoint.health.inflight.fetch_sub(1, Ordering::SeqCst);
             });
@@ -486,12 +794,17 @@ SELECT ?run ?start WHERE {{
                     // request first (with a bounded wait) — closing with
                     // unread bytes resets the connection before the
                     // client can read our answer.
+                    let start = Instant::now();
                     let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
-                    let _ = parse_request(&mut stream);
+                    let (method, route) = match parse_request(&mut stream) {
+                        Ok(request) => (method_label(&request.method), route_label(&request.path)),
+                        Err(_) => ("other", "other"),
+                    };
                     let _ = Response::status(503)
                         .header("Retry-After", "1")
                         .body("server busy, retry later")
                         .write_to(&mut stream);
+                    self.record_request(method, route, 503, start.elapsed());
                 }
                 Err(TrySendError::Disconnected(_)) => {
                     self.health.inflight.fetch_sub(1, Ordering::SeqCst);
@@ -529,13 +842,19 @@ mod tests {
     use std::net::TcpStream;
 
     fn endpoint() -> Endpoint {
+        endpoint_with(ServerConfig::new())
+    }
+
+    /// Test endpoints get their own registry so metric assertions don't
+    /// see traffic from other tests sharing the process-global one.
+    fn endpoint_with(config: ServerConfig) -> Endpoint {
         let (g, _) = parse_turtle(
             r#"@prefix wfprov: <http://purl.org/wf4ever/wfprov#> .
                @prefix e: <http://e/> .
                e:r1 a wfprov:WorkflowRun . e:r2 a wfprov:WorkflowRun ."#,
         )
         .unwrap();
-        Endpoint::new(g)
+        Endpoint::with_config(g, config.registry(Arc::new(Registry::new())))
     }
 
     fn request(raw: &str) -> Request {
@@ -607,6 +926,21 @@ mod tests {
         ep.handle(&request("GET /sparql?query=NOT+SPARQL HTTP/1.1\r\n\r\n"));
         assert_eq!(ep.cached_plans(), 1);
 
+        // The cache's traffic is mirrored on the registry.
+        let rendered = ep.registry().render_prometheus();
+        assert!(
+            rendered.contains("provbench_plan_cache_hits_total 1"),
+            "{rendered}"
+        );
+        assert!(
+            rendered.contains("provbench_plan_cache_misses_total 2"),
+            "{rendered}"
+        );
+        assert!(
+            rendered.contains("provbench_plan_cache_entries 1"),
+            "{rendered}"
+        );
+
         // Eviction honours recency: with capacity 2, touching `a` makes
         // `b` the eviction victim.
         let mut cache = PlanCache::new(2);
@@ -630,25 +964,27 @@ mod tests {
         .unwrap();
         let ep = Endpoint::with_config(
             g,
-            EndpointConfig {
-                row_budget: Some(3),
-                ..EndpointConfig::default()
-            },
+            ServerConfig::new()
+                .row_budget(Some(3))
+                .registry(Arc::new(Registry::new())),
         );
         let q = crate::http::url_encode("SELECT * WHERE { ?a ?b ?c . ?d ?e ?f }");
         let r = ep.handle(&request(&format!("GET /sparql?query={q} HTTP/1.1\r\n\r\n")));
         assert_eq!(r.status, 408, "{}", r.body);
         assert!(r.body.contains("\"error\":\"timeout\""), "{}", r.body);
+        // The timed-out evaluation is visible on the registry.
+        let rendered = ep.registry().render_prometheus();
+        assert!(
+            rendered.contains("provbench_query_evals_total{result=\"timeout\"} 1"),
+            "{rendered}"
+        );
     }
 
     #[test]
     fn timeout_param_cannot_raise_configured_limit() {
         let ep = Endpoint::with_config(
             Graph::new(),
-            EndpointConfig {
-                query_timeout: Duration::from_millis(50),
-                ..EndpointConfig::default()
-            },
+            ServerConfig::new().timeout(Duration::from_millis(50)),
         );
         let req = request("GET /sparql?timeout=10&query=x HTTP/1.1\r\n\r\n");
         let opts = ep.request_options(&req);
@@ -668,8 +1004,9 @@ mod tests {
         let ep = endpoint();
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
+        let server = ep.clone();
         std::thread::spawn(move || {
-            let _ = ep.serve_on(listener);
+            let _ = server.serve_on(listener);
         });
         let handles: Vec<_> = (0..8)
             .map(|_| {
@@ -685,6 +1022,17 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+        // Every concurrently-served request landed on the counter: the
+        // atomics lose nothing under the full worker pool.
+        let served = ep
+            .registry()
+            .counter_with(
+                HTTP_REQUESTS_TOTAL,
+                "HTTP requests served, by method, route and status",
+                &[("method", "GET"), ("route", "/stats"), ("status", "200")],
+            )
+            .get();
+        assert_eq!(served, 8);
     }
 
     #[test]
@@ -708,11 +1056,71 @@ mod tests {
     }
 
     #[test]
+    fn metrics_route_serves_prometheus_text() {
+        let ep = endpoint();
+        let q = crate::http::url_encode("SELECT ?s WHERE { ?s ?p ?o }");
+        ep.handle(&request(&format!("GET /sparql?query={q} HTTP/1.1\r\n\r\n")));
+        let r = ep.handle(&request("GET /metrics HTTP/1.1\r\n\r\n"));
+        assert_eq!(r.status, 200);
+        assert!(
+            r.content_type.starts_with("text/plain"),
+            "{}",
+            r.content_type
+        );
+        // Query engine metrics flowed into the endpoint's registry.
+        assert!(
+            r.body
+                .contains("# TYPE provbench_query_eval_seconds histogram"),
+            "{}",
+            r.body
+        );
+        assert!(
+            r.body
+                .contains("provbench_query_evals_total{result=\"ok\"} 1"),
+            "{}",
+            r.body
+        );
+        // Exposition shape: the +Inf bucket equals _count for each series.
+        let inf = r
+            .body
+            .lines()
+            .find(|l| l.starts_with("provbench_query_eval_seconds_bucket{le=\"+Inf\"}"))
+            .expect("+Inf bucket line");
+        let count = r
+            .body
+            .lines()
+            .find(|l| l.starts_with("provbench_query_eval_seconds_count"))
+            .expect("_count line");
+        assert_eq!(
+            inf.rsplit(' ').next().unwrap(),
+            count.rsplit(' ').next().unwrap()
+        );
+    }
+
+    #[test]
+    fn endpoint_config_shim_converts() {
+        #[allow(deprecated)]
+        let legacy = EndpointConfig {
+            workers: 3,
+            queue_depth: 7,
+            ..Default::default()
+        };
+        #[allow(deprecated)]
+        let config = ServerConfig::from(legacy).build();
+        assert_eq!(config.workers, 3);
+        assert_eq!(config.queue_depth, 7);
+        // And the Into bound accepts it directly.
+        #[allow(deprecated)]
+        let ep = Endpoint::unready(legacy);
+        assert_eq!(ep.config().workers, 3);
+    }
+
+    #[test]
     fn stats_reports_source_when_set() {
         let ep = endpoint();
         let r = ep.handle(&request("GET /stats HTTP/1.1\r\n\r\n"));
         assert!(!r.body.contains("\"source\""), "{}", r.body);
-        let ep = endpoint().with_source("snapshot corpus.snapshot (warm)");
+        let ep = endpoint_with(ServerConfig::new().source("snapshot corpus.snapshot (warm)"));
         let r = ep.handle(&request("GET /stats HTTP/1.1\r\n\r\n"));
         assert!(
             r.body
@@ -769,11 +1177,10 @@ mod tests {
         let (g, _) = parse_turtle(&turtle).unwrap();
         let ep = Endpoint::with_config(
             g,
-            EndpointConfig {
-                workers: 1,
-                queue_depth: 1,
-                ..EndpointConfig::default()
-            },
+            ServerConfig::new()
+                .workers(1)
+                .queue_depth(1)
+                .registry(Arc::new(Registry::new())),
         );
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
@@ -833,14 +1240,14 @@ mod tests {
         assert_eq!(r.status, 200);
         assert_eq!(r.body, "ok");
         // Liveness holds even before any corpus is loaded.
-        let ep = Endpoint::unready(EndpointConfig::default());
+        let ep = Endpoint::unready(ServerConfig::new());
         let r = ep.handle(&request("GET /healthz HTTP/1.1\r\n\r\n"));
         assert_eq!(r.status, 200);
     }
 
     #[test]
     fn unready_endpoint_rejects_queries_until_graph_published() {
-        let ep = Endpoint::unready(EndpointConfig::default());
+        let ep = Endpoint::unready(ServerConfig::new().registry(Arc::new(Registry::new())));
         assert!(!ep.is_ready());
 
         let r = ep.handle(&request("GET /readyz HTTP/1.1\r\n\r\n"));
@@ -887,6 +1294,13 @@ mod tests {
         assert_eq!(r.status, 200, "a served graph keeps us ready: {}", r.body);
         assert!(r.body.contains("\"rebuilding\":true"), "{}", r.body);
         assert!(r.body.contains("\"ingest_errors\":3"), "{}", r.body);
+        // /readyz, /stats and /metrics all read the same gauge.
+        let r = ep.handle(&request("GET /stats HTTP/1.1\r\n\r\n"));
+        assert!(r.body.contains("\"ingest_errors\":3"), "{}", r.body);
+        assert!(ep
+            .registry()
+            .render_prometheus()
+            .contains("provbench_ingest_errors 3"));
         ep.set_rebuilding(false);
         let r = ep.handle(&request("GET /readyz HTTP/1.1\r\n\r\n"));
         assert!(r.body.contains("\"rebuilding\":false"), "{}", r.body);
@@ -907,6 +1321,10 @@ mod tests {
         assert!(r.body.contains("\"lint_errors\":2"), "{}", r.body);
         let r = ep.handle(&request("GET /stats HTTP/1.1\r\n\r\n"));
         assert!(r.body.contains("\"lint_errors\":2"), "{}", r.body);
+        assert!(ep
+            .registry()
+            .render_prometheus()
+            .contains("provbench_lint_errors 2"));
     }
 
     #[test]
@@ -928,11 +1346,10 @@ mod tests {
         let (g, _) = parse_turtle("@prefix e: <http://e/> . e:a e:b e:c .").unwrap();
         let ep = Endpoint::with_config(
             g,
-            EndpointConfig {
-                workers: 1,
-                debug_panic_route: true,
-                ..EndpointConfig::default()
-            },
+            ServerConfig::new()
+                .workers(1)
+                .debug_panic_route(true)
+                .registry(Arc::new(Registry::new())),
         );
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
@@ -961,6 +1378,11 @@ mod tests {
         assert!(r.starts_with("HTTP/1.1 500"), "{r}");
         assert!(fetch("/readyz").starts_with("HTTP/1.1 200"));
         assert_eq!(ep.panics_total(), 2);
+        // /stats and /metrics agree on the count.
+        assert!(ep
+            .registry()
+            .render_prometheus()
+            .contains("provbench_panics_total 2"));
     }
 
     #[test]

@@ -1,0 +1,65 @@
+//! # provbench-obs
+//!
+//! The workspace's observability substrate: a lock-cheap metrics
+//! registry ([`Registry`]: monotonic [`Counter`]s, [`Gauge`]s and
+//! fixed-bucket [`Histogram`]s — atomics only on the record path), a
+//! span API ([`span`] / [`Registry::span`]: RAII guards that time a
+//! named region and optionally append JSONL [`TraceEvent`]s for
+//! `provbench --trace FILE`), and Prometheus text exposition
+//! ([`Registry::render_prometheus`], served by the endpoint's
+//! `GET /metrics` route).
+//!
+//! Instrumented components default to the process-wide [`global`]
+//! registry, so `provbench serve` publishes ingest, snapshot, query,
+//! lint and HTTP metrics with zero configuration; tests that need
+//! isolation construct their own `Arc<Registry>` and thread it through
+//! `StoreOptions`, `QueryEngine::with_metrics` and the endpoint's
+//! `ServerConfig::registry`.
+//!
+//! ```
+//! use provbench_obs as obs;
+//!
+//! let registry = std::sync::Arc::new(obs::Registry::new());
+//! registry.counter("provbench_demo_total", "demo counter").inc();
+//! {
+//!     let _timed = registry.span("demo.work");
+//!     // … timed work …
+//! }
+//! let text = registry.render_prometheus();
+//! assert!(text.contains("provbench_demo_total 1"));
+//! assert!(text.contains("provbench_span_seconds_count{span=\"demo.work\"} 1"));
+//! ```
+
+mod metrics;
+mod trace;
+
+pub use metrics::{Counter, Gauge, Histogram, Registry, LATENCY_BUCKETS};
+pub use trace::{SpanGuard, TraceEvent};
+
+use std::sync::{Arc, OnceLock};
+
+/// The process-wide default registry. Instrumented code records here
+/// unless an explicit registry was threaded through.
+pub fn global() -> &'static Arc<Registry> {
+    static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
+    GLOBAL.get_or_init(|| Arc::new(Registry::new()))
+}
+
+/// Start a span on the [`global`] registry.
+pub fn span(name: &'static str) -> SpanGuard {
+    global().span(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_registry_is_shared() {
+        global().counter("provbench_global_test_total", "t").inc();
+        assert!(global()
+            .render_prometheus()
+            .contains("provbench_global_test_total"));
+        drop(span("global.test"));
+    }
+}

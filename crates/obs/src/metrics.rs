@@ -1,0 +1,549 @@
+//! The metrics registry: monotonic counters, gauges and fixed-bucket
+//! histograms, rendered in the Prometheus text exposition format.
+//!
+//! The design splits the cost of a metric in two:
+//!
+//! * **registration** (`counter`, `gauge`, `histogram` and their
+//!   `_with` label variants) takes a registry lock to get-or-create the
+//!   series and hands back an `Arc` handle;
+//! * **recording** (`inc`, `add`, `set`, `observe`) touches only
+//!   atomics on the handle — no lock, no allocation.
+//!
+//! Hot paths register once and keep the handle; occasional paths (an
+//! HTTP request labelled by its status code) may get-or-create per
+//! event, which costs one read-locked map lookup.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Overwrite the value.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Add (a possibly negative) `delta`.
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A histogram over fixed, ascending bucket bounds. Observations and
+/// the running sum use only atomics; the `+Inf` bucket is implicit.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Box<[f64]>,
+    /// One slot per bound plus the `+Inf` overflow slot; each slot
+    /// counts observations that landed in *that* bucket (cumulation
+    /// happens at render time).
+    counts: Box<[AtomicU64]>,
+    /// Sum of all observed values, stored as `f64` bits and updated
+    /// with a CAS loop so it stays exact and lock-free.
+    sum_bits: AtomicU64,
+}
+
+/// Default latency buckets, in seconds: 100µs to 10s, roughly
+/// logarithmic. Suitable for everything this workspace times, from a
+/// single file parse to a cold corpus build.
+pub const LATENCY_BUCKETS: &[f64] = &[
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+    5.0, 10.0,
+];
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        Histogram {
+            bounds: bounds.into(),
+            counts: (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect(),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// Record one observation.
+    pub fn observe(&self, v: f64) {
+        let slot = self.bounds.partition_point(|b| v > *b);
+        self.counts[slot].fetch_add(1, Ordering::Relaxed);
+        let mut current = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// Record a [`std::time::Duration`] in seconds.
+    pub fn observe_duration(&self, d: std::time::Duration) {
+        self.observe(d.as_secs_f64());
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// `(upper_bound, cumulative_count)` per bucket, ending with the
+    /// implicit `+Inf` bucket (whose count equals [`Histogram::count`]).
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let mut running = 0u64;
+        let mut out = Vec::with_capacity(self.counts.len());
+        for (i, c) in self.counts.iter().enumerate() {
+            running += c.load(Ordering::Relaxed);
+            let bound = self.bounds.get(i).copied().unwrap_or(f64::INFINITY);
+            out.push((bound, running));
+        }
+        out
+    }
+}
+
+/// What a family of series measures, fixed at registration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum MetricKind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl MetricKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+#[derive(Clone)]
+enum Series {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// All series sharing one metric name, with its help text and type.
+struct Family {
+    help: &'static str,
+    kind: MetricKind,
+    /// Keyed by the rendered label set (`""` for no labels, otherwise
+    /// `key="value",…` with keys in caller order).
+    series: BTreeMap<String, Series>,
+}
+
+/// A metrics registry. Cheap to share (`Arc<Registry>`), cheap to
+/// record into (handles are lock-free), deterministic to render
+/// (families and series in sorted order).
+#[derive(Default)]
+pub struct Registry {
+    families: RwLock<BTreeMap<&'static str, Family>>,
+    trace: crate::trace::TraceSink,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let families = self.families.read().expect("metrics lock");
+        f.debug_struct("Registry")
+            .field("families", &families.len())
+            .field("trace_enabled", &self.trace.enabled())
+            .finish()
+    }
+}
+
+/// Render a label set as it appears inside `{…}`. Values are escaped
+/// per the exposition format (backslash, quote, newline).
+fn label_key(labels: &[(&str, &str)]) -> String {
+    let mut out = String::new();
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let escaped = v
+            .replace('\\', "\\\\")
+            .replace('"', "\\\"")
+            .replace('\n', "\\n");
+        let _ = write!(out, "{k}=\"{escaped}\"");
+    }
+    out
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The registry's trace sink (None-by-default JSONL writer fed by
+    /// span guards).
+    pub(crate) fn trace_sink(&self) -> &crate::trace::TraceSink {
+        &self.trace
+    }
+
+    /// Install a JSONL trace writer; every finished span is appended as
+    /// one JSON object per line. Replaces any previous writer.
+    pub fn set_trace_writer(&self, writer: Box<dyn std::io::Write + Send>) {
+        self.trace.set_writer(writer);
+    }
+
+    /// Remove the trace writer (flushing it) and stop emitting events.
+    pub fn clear_trace_writer(&self) {
+        self.trace.clear_writer();
+    }
+
+    /// Whether a trace writer is currently installed. Span guards check
+    /// this before formatting anything.
+    pub fn trace_enabled(&self) -> bool {
+        self.trace.enabled()
+    }
+
+    fn series(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        kind: MetricKind,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Series,
+    ) -> Series {
+        let key = label_key(labels);
+        if let Some(family) = self.families.read().expect("metrics lock").get(name) {
+            assert!(
+                family.kind == kind,
+                "metric {name} registered as {} but requested as {}",
+                family.kind.as_str(),
+                kind.as_str()
+            );
+            if let Some(series) = family.series.get(&key) {
+                return series.clone();
+            }
+        }
+        let mut families = self.families.write().expect("metrics lock");
+        let family = families.entry(name).or_insert_with(|| Family {
+            help,
+            kind,
+            series: BTreeMap::new(),
+        });
+        assert!(
+            family.kind == kind,
+            "metric {name} registered as {} but requested as {}",
+            family.kind.as_str(),
+            kind.as_str()
+        );
+        family.series.entry(key).or_insert_with(make).clone()
+    }
+
+    /// Get-or-create an unlabelled counter.
+    pub fn counter(&self, name: &'static str, help: &'static str) -> Arc<Counter> {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Get-or-create a counter with the given label set.
+    pub fn counter_with(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+    ) -> Arc<Counter> {
+        match self.series(name, help, MetricKind::Counter, labels, || {
+            Series::Counter(Arc::new(Counter::default()))
+        }) {
+            Series::Counter(c) => c,
+            _ => unreachable!("kind checked in series()"),
+        }
+    }
+
+    /// Get-or-create an unlabelled gauge.
+    pub fn gauge(&self, name: &'static str, help: &'static str) -> Arc<Gauge> {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Get-or-create a gauge with the given label set.
+    pub fn gauge_with(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+    ) -> Arc<Gauge> {
+        match self.series(name, help, MetricKind::Gauge, labels, || {
+            Series::Gauge(Arc::new(Gauge::default()))
+        }) {
+            Series::Gauge(g) => g,
+            _ => unreachable!("kind checked in series()"),
+        }
+    }
+
+    /// Get-or-create an unlabelled histogram over `bounds` (ascending;
+    /// the `+Inf` bucket is added automatically).
+    pub fn histogram(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        bounds: &[f64],
+    ) -> Arc<Histogram> {
+        self.histogram_with(name, help, bounds, &[])
+    }
+
+    /// Get-or-create a histogram with the given label set.
+    pub fn histogram_with(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        bounds: &[f64],
+        labels: &[(&str, &str)],
+    ) -> Arc<Histogram> {
+        match self.series(name, help, MetricKind::Histogram, labels, || {
+            Series::Histogram(Arc::new(Histogram::new(bounds)))
+        }) {
+            Series::Histogram(h) => h,
+            _ => unreachable!("kind checked in series()"),
+        }
+    }
+
+    /// Start a timed span. The returned guard records its elapsed time
+    /// into `provbench_span_seconds{span="<name>"}` on drop and, when a
+    /// trace writer is installed, appends one JSONL trace event.
+    pub fn span(self: &Arc<Self>, name: &'static str) -> crate::trace::SpanGuard {
+        crate::trace::SpanGuard::start(Arc::clone(self), name)
+    }
+
+    /// Render every family in the Prometheus text exposition format
+    /// (version 0.0.4): `# HELP` / `# TYPE` headers, counters and
+    /// gauges as single samples, histograms as cumulative `_bucket`
+    /// series plus `_sum` and `_count`.
+    pub fn render_prometheus(&self) -> String {
+        let families = self.families.read().expect("metrics lock");
+        let mut out = String::new();
+        for (name, family) in families.iter() {
+            let _ = writeln!(out, "# HELP {name} {}", family.help);
+            let _ = writeln!(out, "# TYPE {name} {}", family.kind.as_str());
+            for (labels, series) in &family.series {
+                match series {
+                    Series::Counter(c) => {
+                        let _ = writeln!(out, "{name}{} {}", braced(labels, &[]), c.get());
+                    }
+                    Series::Gauge(g) => {
+                        let _ = writeln!(out, "{name}{} {}", braced(labels, &[]), g.get());
+                    }
+                    Series::Histogram(h) => {
+                        for (bound, cumulative) in h.cumulative_buckets() {
+                            let le = if bound.is_infinite() {
+                                "+Inf".to_owned()
+                            } else {
+                                format_float(bound)
+                            };
+                            let _ = writeln!(
+                                out,
+                                "{name}_bucket{} {cumulative}",
+                                braced(labels, &[("le", &le)]),
+                            );
+                        }
+                        let _ = writeln!(
+                            out,
+                            "{name}_sum{} {}",
+                            braced(labels, &[]),
+                            format_float(h.sum())
+                        );
+                        let _ = writeln!(out, "{name}_count{} {}", braced(labels, &[]), h.count());
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// `{labels,extra}` with both parts optional; empty label sets render
+/// as no braces at all.
+fn braced(labels: &str, extra: &[(&str, &str)]) -> String {
+    let extra = label_key(extra);
+    match (labels.is_empty(), extra.is_empty()) {
+        (true, true) => String::new(),
+        (false, true) => format!("{{{labels}}}"),
+        (true, false) => format!("{{{extra}}}"),
+        (false, false) => format!("{{{labels},{extra}}}"),
+    }
+}
+
+/// A float in exposition format: plain decimal, no trailing zeros
+/// beyond what `{}` prints (Rust's `Display` for f64 is shortest
+/// round-trip, which Prometheus accepts).
+fn format_float(v: f64) -> String {
+    format!("{v}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_record() {
+        let r = Registry::new();
+        let c = r.counter("provbench_test_total", "test counter");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Same name returns the same series.
+        assert_eq!(r.counter("provbench_test_total", "test counter").get(), 5);
+
+        let g = r.gauge("provbench_test_entries", "test gauge");
+        g.set(7);
+        g.add(-2);
+        assert_eq!(g.get(), 5);
+    }
+
+    #[test]
+    fn labelled_series_are_distinct() {
+        let r = Registry::new();
+        r.counter_with("provbench_req_total", "reqs", &[("status", "200")])
+            .add(3);
+        r.counter_with("provbench_req_total", "reqs", &[("status", "404")])
+            .inc();
+        assert_eq!(
+            r.counter_with("provbench_req_total", "reqs", &[("status", "200")])
+                .get(),
+            3
+        );
+        let text = r.render_prometheus();
+        assert!(
+            text.contains("provbench_req_total{status=\"200\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("provbench_req_total{status=\"404\"} 1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_sum_exact() {
+        let r = Registry::new();
+        let h = r.histogram("provbench_lat_seconds", "latency", &[0.1, 1.0, 10.0]);
+        for v in [0.05, 0.5, 0.5, 5.0, 50.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert!((h.sum() - 56.05).abs() < 1e-9);
+        let buckets = h.cumulative_buckets();
+        assert_eq!(buckets[0], (0.1, 1));
+        assert_eq!(buckets[1], (1.0, 3));
+        assert_eq!(buckets[2], (10.0, 4));
+        assert_eq!(buckets[3].1, 5);
+        assert!(buckets[3].0.is_infinite());
+        // Boundary values land in the bucket whose bound they equal
+        // (le is inclusive).
+        h.observe(0.1);
+        assert_eq!(h.cumulative_buckets()[0].1, 2);
+    }
+
+    #[test]
+    fn render_shape_is_valid_exposition() {
+        let r = Registry::new();
+        r.counter("provbench_a_total", "a").inc();
+        r.gauge("provbench_b", "b").set(2);
+        r.histogram("provbench_c_seconds", "c", &[0.5, 1.0])
+            .observe(0.7);
+        let text = r.render_prometheus();
+        let mut expected = [
+            "# HELP provbench_a_total a",
+            "# TYPE provbench_a_total counter",
+            "provbench_a_total 1",
+            "# HELP provbench_b b",
+            "# TYPE provbench_b gauge",
+            "provbench_b 2",
+            "# HELP provbench_c_seconds c",
+            "# TYPE provbench_c_seconds histogram",
+            "provbench_c_seconds_bucket{le=\"0.5\"} 0",
+            "provbench_c_seconds_bucket{le=\"1\"} 1",
+            "provbench_c_seconds_bucket{le=\"+Inf\"} 1",
+            "provbench_c_seconds_sum 0.7",
+            "provbench_c_seconds_count 1",
+        ]
+        .into_iter();
+        for line in text.lines() {
+            assert_eq!(Some(line), expected.next(), "full text:\n{text}");
+        }
+        assert_eq!(expected.next(), None);
+    }
+
+    #[test]
+    fn concurrent_increments_lose_nothing() {
+        let r = Arc::new(Registry::new());
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let r = Arc::clone(&r);
+                std::thread::spawn(move || {
+                    let c = r.counter("provbench_conc_total", "concurrent");
+                    let h = r.histogram("provbench_conc_seconds", "concurrent", LATENCY_BUCKETS);
+                    for _ in 0..1000 {
+                        c.inc();
+                        h.observe(0.001);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(r.counter("provbench_conc_total", "concurrent").get(), 8000);
+        let h = r.histogram("provbench_conc_seconds", "concurrent", LATENCY_BUCKETS);
+        assert_eq!(h.count(), 8000);
+        assert!((h.sum() - 8.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as counter")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("provbench_x", "x");
+        r.gauge("provbench_x", "x");
+    }
+}

@@ -1,0 +1,318 @@
+//! Span timing and JSONL trace events.
+//!
+//! A [`SpanGuard`] measures the wall-clock time between its creation
+//! and its drop. Every finished span lands in the registry's
+//! `provbench_span_seconds{span="<name>"}` histogram; when a trace
+//! writer is installed (`provbench --trace FILE`), it additionally
+//! appends one [`TraceEvent`] as a line of JSON, so a run can be
+//! replayed offline without having scraped anything.
+
+use crate::metrics::{Registry, LATENCY_BUCKETS};
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// One finished span, as serialized to the JSONL trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Span name, dotted by convention (`query.eval`, `snapshot.decode`).
+    pub name: String,
+    /// Microseconds from the registry's first trace event to this
+    /// span's start (a process-relative timeline, not a wall clock).
+    pub start_us: u64,
+    /// Span duration in microseconds.
+    pub dur_us: u64,
+    /// Name of the recording thread (`"?"` for unnamed threads).
+    pub thread: String,
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some('r') => out.push('\r'),
+            Some('u') => {
+                let hex: String = chars.by_ref().take(4).collect();
+                if let Some(c) = u32::from_str_radix(&hex, 16).ok().and_then(char::from_u32) {
+                    out.push(c);
+                }
+            }
+            Some(other) => out.push(other),
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+impl TraceEvent {
+    /// One line of JSON (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        format!(
+            "{{\"name\":\"{}\",\"start_us\":{},\"dur_us\":{},\"thread\":\"{}\"}}",
+            escape_json(&self.name),
+            self.start_us,
+            self.dur_us,
+            escape_json(&self.thread),
+        )
+    }
+
+    /// Parse a line produced by [`TraceEvent::to_json_line`]. `None`
+    /// when the line is not a trace event (so readers can skip torn
+    /// tails without failing the whole file).
+    pub fn parse_json_line(line: &str) -> Option<TraceEvent> {
+        let line = line.trim();
+        let body = line.strip_prefix('{')?.strip_suffix('}')?;
+        let mut name = None;
+        let mut start_us = None;
+        let mut dur_us = None;
+        let mut thread = None;
+        // Fields are written by us in a fixed shape: split on `,"` is
+        // safe because escaped quotes inside values never precede a
+        // comma-quote pair that also parses as `"key":`.
+        for field in split_top_level(body) {
+            let (key, value) = field.split_once(':')?;
+            let key = key.trim().strip_prefix('"')?.strip_suffix('"')?;
+            let value = value.trim();
+            match key {
+                "name" => name = Some(unescape_json(value.strip_prefix('"')?.strip_suffix('"')?)),
+                "start_us" => start_us = value.parse().ok(),
+                "dur_us" => dur_us = value.parse().ok(),
+                "thread" => {
+                    thread = Some(unescape_json(value.strip_prefix('"')?.strip_suffix('"')?))
+                }
+                _ => {}
+            }
+        }
+        Some(TraceEvent {
+            name: name?,
+            start_us: start_us?,
+            dur_us: dur_us?,
+            thread: thread?,
+        })
+    }
+
+    /// Parse a whole JSONL trace, skipping lines that don't parse
+    /// (e.g. a torn final line after a crash).
+    pub fn parse_jsonl(text: &str) -> Vec<TraceEvent> {
+        text.lines()
+            .filter_map(TraceEvent::parse_json_line)
+            .collect()
+    }
+}
+
+/// Split `"k":"v","k2":3` on top-level commas (commas inside quoted
+/// strings, escape-aware, don't count).
+fn split_top_level(s: &str) -> Vec<&str> {
+    let mut fields = Vec::new();
+    let mut start = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in s.char_indices() {
+        match c {
+            _ if escaped => escaped = false,
+            '\\' if in_string => escaped = true,
+            '"' => in_string = !in_string,
+            ',' if !in_string => {
+                fields.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    fields.push(&s[start..]);
+    fields
+}
+
+/// The registry's (usually absent) JSONL writer. The `enabled` flag is
+/// checked lock-free on the span hot path; the writer itself sits
+/// behind a mutex taken only when tracing is actually on.
+#[derive(Default)]
+pub(crate) struct TraceSink {
+    enabled: AtomicBool,
+    writer: Mutex<Option<SinkState>>,
+}
+
+struct SinkState {
+    writer: Box<dyn Write + Send>,
+    /// Start of the trace timeline; event `start_us` offsets are
+    /// relative to this.
+    epoch: Instant,
+}
+
+impl TraceSink {
+    pub(crate) fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn set_writer(&self, writer: Box<dyn Write + Send>) {
+        *self.writer.lock().expect("trace lock") = Some(SinkState {
+            writer,
+            epoch: Instant::now(),
+        });
+        self.enabled.store(true, Ordering::Relaxed);
+    }
+
+    pub(crate) fn clear_writer(&self) {
+        self.enabled.store(false, Ordering::Relaxed);
+        if let Some(mut state) = self.writer.lock().expect("trace lock").take() {
+            let _ = state.writer.flush();
+        }
+    }
+
+    /// Append one event for a span that started at `start` and just
+    /// finished. Quietly drops the event if the writer disappeared in
+    /// the meantime.
+    fn emit(&self, name: &str, start: Instant, end: Instant) {
+        let mut guard = self.writer.lock().expect("trace lock");
+        let Some(state) = guard.as_mut() else { return };
+        let start_us = start
+            .saturating_duration_since(state.epoch)
+            .as_micros()
+            .min(u128::from(u64::MAX)) as u64;
+        let dur_us = end
+            .saturating_duration_since(start)
+            .as_micros()
+            .min(u128::from(u64::MAX)) as u64;
+        let event = TraceEvent {
+            name: name.to_owned(),
+            start_us,
+            dur_us,
+            thread: std::thread::current().name().unwrap_or("?").to_owned(),
+        };
+        let _ = writeln!(state.writer, "{}", event.to_json_line());
+    }
+}
+
+/// A timed span; created by [`Registry::span`] or [`crate::span`],
+/// finished on drop.
+pub struct SpanGuard {
+    registry: Arc<Registry>,
+    name: &'static str,
+    start: Instant,
+}
+
+impl SpanGuard {
+    pub(crate) fn start(registry: Arc<Registry>, name: &'static str) -> SpanGuard {
+        SpanGuard {
+            registry,
+            name,
+            start: Instant::now(),
+        }
+    }
+
+    /// The span's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let end = Instant::now();
+        self.registry
+            .histogram_with(
+                "provbench_span_seconds",
+                "Wall-clock duration of named spans",
+                LATENCY_BUCKETS,
+                &[("span", self.name)],
+            )
+            .observe_duration(end.duration_since(self.start));
+        if self.registry.trace_enabled() {
+            self.registry.trace_sink().emit(self.name, self.start, end);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_event_roundtrips() {
+        let e = TraceEvent {
+            name: "query.eval \"tricky\"\n".into(),
+            start_us: 12,
+            dur_us: 345,
+            thread: "worker\\1".into(),
+        };
+        let line = e.to_json_line();
+        assert_eq!(TraceEvent::parse_json_line(&line), Some(e));
+        assert_eq!(TraceEvent::parse_json_line("not json"), None);
+        assert_eq!(TraceEvent::parse_json_line("{\"name\":\"x\"}"), None);
+    }
+
+    #[test]
+    fn spans_emit_jsonl_and_histograms() {
+        let registry = Arc::new(Registry::new());
+        let buffer = Arc::new(Mutex::new(Vec::<u8>::new()));
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        registry.set_trace_writer(Box::new(Shared(Arc::clone(&buffer))));
+        {
+            let _outer = registry.span("test.outer");
+            let _inner = registry.span("test.inner");
+        }
+        registry.clear_trace_writer();
+        assert!(!registry.trace_enabled());
+
+        let text = String::from_utf8(buffer.lock().unwrap().clone()).unwrap();
+        let events = TraceEvent::parse_jsonl(&text);
+        // Guards drop in reverse declaration order: inner first.
+        assert_eq!(events.len(), 2, "{text}");
+        assert_eq!(events[0].name, "test.inner");
+        assert_eq!(events[1].name, "test.outer");
+        assert!(events[1].dur_us >= events[0].dur_us);
+
+        // And the same spans landed in the histogram.
+        let h = registry.histogram_with(
+            "provbench_span_seconds",
+            "Wall-clock duration of named spans",
+            LATENCY_BUCKETS,
+            &[("span", "test.inner")],
+        );
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn spans_without_writer_only_record_metrics() {
+        let registry = Arc::new(Registry::new());
+        drop(registry.span("test.solo"));
+        let rendered = registry.render_prometheus();
+        assert!(
+            rendered.contains("provbench_span_seconds_count{span=\"test.solo\"} 1"),
+            "{rendered}"
+        );
+    }
+}

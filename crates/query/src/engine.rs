@@ -23,18 +23,34 @@
 use crate::sparql::ast::Query;
 use crate::sparql::eval::{self, EvalOptions, QueryError, Solutions};
 use crate::sparql::parser::parse_query;
+use provbench_obs::{Registry, LATENCY_BUCKETS};
 use provbench_rdf::Graph;
 use std::sync::Arc;
+use std::time::Instant;
+
+/// Histogram of query-text parse times, observed by every `prepare`.
+const PREPARE_SECONDS: &str = "provbench_query_prepare_seconds";
+/// Histogram of evaluation times, observed by every `select`/`ask`.
+const EVAL_SECONDS: &str = "provbench_query_eval_seconds";
+/// Counter of evaluations by outcome (`result="ok"|"timeout"|"error"`).
+const EVALS_TOTAL: &str = "provbench_query_evals_total";
 
 /// A query engine bound to one graph.
 ///
 /// Cheap to construct (it borrows the graph and copies the options);
 /// make one per graph, or per request when per-request options such as
 /// deadlines are in play.
+///
+/// Every engine records prepare/eval timings into a metrics
+/// [`Registry`] — the process-wide [`provbench_obs::global`] one by
+/// default, or an explicit registry via [`QueryEngine::with_metrics`]
+/// (the endpoint threads its own through so `GET /metrics` and tests
+/// see exactly the traffic they generated).
 #[derive(Clone, Copy, Debug)]
 pub struct QueryEngine<'g> {
     graph: &'g Graph,
     options: EvalOptions,
+    metrics: Option<&'g Registry>,
 }
 
 impl<'g> QueryEngine<'g> {
@@ -44,12 +60,30 @@ impl<'g> QueryEngine<'g> {
         QueryEngine {
             graph,
             options: EvalOptions::default(),
+            metrics: None,
         }
     }
 
     /// An engine over `graph` with explicit options.
     pub fn with_options(graph: &'g Graph, options: EvalOptions) -> Self {
-        QueryEngine { graph, options }
+        QueryEngine {
+            graph,
+            options,
+            metrics: None,
+        }
+    }
+
+    /// Record this engine's timings into `registry` instead of the
+    /// process-wide global one.
+    pub fn with_metrics(mut self, registry: &'g Registry) -> Self {
+        self.metrics = Some(registry);
+        self
+    }
+
+    /// The registry this engine records into.
+    fn registry(&self) -> &Registry {
+        self.metrics
+            .unwrap_or_else(|| provbench_obs::global().as_ref())
     }
 
     /// The evaluation options this engine runs with.
@@ -90,7 +124,16 @@ impl<'g> QueryEngine<'g> {
 
     /// Parse `text` into an executable [`PreparedQuery`].
     pub fn prepare(&self, text: &str) -> Result<PreparedQuery<'g>, QueryError> {
-        let query = parse_query(text).map_err(QueryError::Parse)?;
+        let start = Instant::now();
+        let parsed = parse_query(text);
+        self.registry()
+            .histogram(
+                PREPARE_SECONDS,
+                "Time spent parsing SPARQL query text",
+                LATENCY_BUCKETS,
+            )
+            .observe_duration(start.elapsed());
+        let query = parsed.map_err(QueryError::Parse)?;
         Ok(self.prepare_parsed(Arc::new(query)))
     }
 
@@ -100,6 +143,7 @@ impl<'g> QueryEngine<'g> {
         PreparedQuery {
             graph: self.graph,
             options: self.options,
+            metrics: self.metrics,
             query,
         }
     }
@@ -110,13 +154,14 @@ impl<'g> QueryEngine<'g> {
 pub struct PreparedQuery<'g> {
     graph: &'g Graph,
     options: EvalOptions,
+    metrics: Option<&'g Registry>,
     query: Arc<Query>,
 }
 
 impl<'g> PreparedQuery<'g> {
     /// Evaluate and return the solution rows.
     pub fn select(&self) -> Result<Solutions, QueryError> {
-        eval::run(self.graph, &self.query, &self.options)
+        self.timed(&self.options)
     }
 
     /// Evaluate as a boolean: true iff any solution exists. Works for
@@ -128,7 +173,36 @@ impl<'g> PreparedQuery<'g> {
     /// Evaluate with different options than the engine's (e.g. a
     /// per-request deadline on a cached plan).
     pub fn select_with(&self, options: &EvalOptions) -> Result<Solutions, QueryError> {
-        eval::run(self.graph, &self.query, options)
+        self.timed(options)
+    }
+
+    /// Run the evaluation, recording its latency and outcome.
+    fn timed(&self, options: &EvalOptions) -> Result<Solutions, QueryError> {
+        let registry = self
+            .metrics
+            .unwrap_or_else(|| provbench_obs::global().as_ref());
+        let start = Instant::now();
+        let result = eval::run(self.graph, &self.query, options);
+        registry
+            .histogram(
+                EVAL_SECONDS,
+                "Query evaluation wall-clock time",
+                LATENCY_BUCKETS,
+            )
+            .observe_duration(start.elapsed());
+        let outcome = match &result {
+            Ok(_) => "ok",
+            Err(QueryError::Timeout(_)) => "timeout",
+            Err(_) => "error",
+        };
+        registry
+            .counter_with(
+                EVALS_TOTAL,
+                "Query evaluations by outcome",
+                &[("result", outcome)],
+            )
+            .inc();
+        result
     }
 
     /// The evaluation plan as indented text, with BGPs in

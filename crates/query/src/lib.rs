@@ -39,29 +39,5 @@ pub mod exemplar;
 pub mod sparql;
 
 pub use engine::{PreparedQuery, QueryEngine};
-#[allow(deprecated)]
-pub use sparql::eval::{
-    execute, execute_ask, execute_with_options, explain, explain_on, Bindings, EvalOptions,
-    QueryError, Solutions,
-};
+pub use sparql::eval::{Bindings, EvalOptions, QueryError, Solutions};
 pub use sparql::parser::{parse_query, QueryParseError};
-
-use provbench_rdf::Graph;
-
-/// Parse and execute a SPARQL query over a graph.
-#[deprecated(
-    since = "0.2.0",
-    note = "use QueryEngine::new(graph).prepare(query)?.select()"
-)]
-pub fn execute_query(graph: &Graph, query: &str) -> Result<Solutions, QueryError> {
-    QueryEngine::new(graph).prepare(query)?.select()
-}
-
-/// Parse and execute an `ASK` query, returning its boolean answer.
-#[deprecated(
-    since = "0.2.0",
-    note = "use QueryEngine::new(graph).prepare(query)?.ask()"
-)]
-pub fn ask_query(graph: &Graph, query: &str) -> Result<bool, QueryError> {
-    QueryEngine::new(graph).prepare(query)?.ask()
-}

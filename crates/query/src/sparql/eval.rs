@@ -958,14 +958,15 @@ fn render_position_p(p: &VarOrIri) -> String {
 /// [`PreparedQuery::explain`](crate::PreparedQuery::explain) — which
 /// annotates every pattern with its cardinality estimate from the
 /// target graph's statistics.
-pub fn explain(query: &Query, opts: &EvalOptions) -> String {
+#[cfg(test)]
+pub(crate) fn explain(query: &Query, opts: &EvalOptions) -> String {
     explain_impl(None, query, opts)
 }
 
 /// Explain the evaluation plan of a query against a concrete graph:
 /// BGPs in planner-chosen join order, each pattern annotated with the
 /// planner's cardinality estimate.
-pub fn explain_on(graph: &Graph, query: &Query, opts: &EvalOptions) -> String {
+pub(crate) fn explain_on(graph: &Graph, query: &Query, opts: &EvalOptions) -> String {
     explain_impl(Some(graph), query, opts)
 }
 
@@ -1196,31 +1197,11 @@ pub(crate) fn run(
     Ok(Solutions { variables, rows })
 }
 
-/// Execute a parsed query over a graph with default options.
-pub fn execute(graph: &Graph, query: &Query) -> Result<Solutions, QueryError> {
+/// Execute a parsed query over a graph with default options. Crate
+/// internal: [`crate::QueryEngine`] is the public entry point.
+#[cfg(test)]
+pub(crate) fn execute(graph: &Graph, query: &Query) -> Result<Solutions, QueryError> {
     run(graph, query, &EvalOptions::default())
-}
-
-/// Execute a parsed query over a graph with explicit options.
-#[deprecated(
-    since = "0.2.0",
-    note = "use QueryEngine::with_options(graph, opts).prepare_parsed(query).select()"
-)]
-pub fn execute_with_options(
-    graph: &Graph,
-    query: &Query,
-    opts: &EvalOptions,
-) -> Result<Solutions, QueryError> {
-    run(graph, query, opts)
-}
-
-/// Execute an `ASK` (or any) query as a boolean: true iff any solution.
-#[deprecated(
-    since = "0.2.0",
-    note = "use QueryEngine::new(graph).prepare_parsed(query).ask()"
-)]
-pub fn execute_ask(graph: &Graph, query: &Query) -> Result<bool, QueryError> {
-    Ok(!run(graph, query, &EvalOptions::default())?.is_empty())
 }
 
 #[cfg(test)]

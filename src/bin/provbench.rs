@@ -20,7 +20,7 @@ use provbench::analysis::coverage::term_usage;
 use provbench::analysis::{coverage_of_corpus, dependency_edges};
 use provbench::corpus::stats::{CorpusStats, Table1};
 use provbench::corpus::{research_object_for, store, Corpus, CorpusSpec};
-use provbench::endpoint::{Endpoint, EndpointConfig};
+use provbench::endpoint::{Endpoint, ServerConfig};
 use provbench::prov::from_rdf::graph_to_document;
 use provbench::prov::{validate, write_provn};
 use provbench::query::exemplar::PREFIXES;
@@ -45,6 +45,7 @@ struct Options {
     corpus_rules: bool,
     incremental: bool,
     explain_rule: Option<String>,
+    trace: Option<String>,
     positional: Vec<String>,
 }
 
@@ -64,6 +65,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         corpus_rules: false,
         incremental: false,
         explain_rule: None,
+        trace: None,
         positional: Vec::new(),
     };
     // Accept both `--opt value` and `--opt=value`.
@@ -113,6 +115,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--explain" => {
                 o.explain_rule = Some(it.next().ok_or("--explain needs a rule id")?.clone())
             }
+            "--trace" => o.trace = Some(it.next().ok_or("--trace needs a file path")?.clone()),
             other if other.starts_with("--") => return Err(format!("unknown option {other}")),
             other => o.positional.push(other.to_owned()),
         }
@@ -318,8 +321,7 @@ fn cmd_serve(o: &Options) -> Result<(), String> {
             graph.len(),
             o.addr
         );
-        return Endpoint::new(graph)
-            .with_source(source)
+        return Endpoint::with_config(graph, ServerConfig::new().source(source))
             .serve(&o.addr)
             .map_err(|e| e.to_string());
     };
@@ -328,7 +330,7 @@ fn cmd_serve(o: &Options) -> Result<(), String> {
     // the corpus in the background (readiness flips when it lands), and
     // keep watching the source directory — a fingerprint change triggers
     // a rebuild while requests keep being served from the old graph.
-    let endpoint = Endpoint::unready(EndpointConfig::default());
+    let endpoint = Endpoint::unready(ServerConfig::new());
     let loader = endpoint.clone();
     let opts_jobs = o.jobs.unwrap_or_else(store::default_load_jobs);
     let strict = o.strict;
@@ -795,7 +797,9 @@ const USAGE: &str = "usage: provbench <command> [options]
            (query/serve/validate/lint --dir load through it automatically;
             info exits non-zero if any source file is quarantined)
   --strict on any --dir command: fail fast on the first unparsable source
-           file instead of quarantining it";
+           file instead of quarantining it
+  --trace FILE on any command: append JSONL span events (name, start_us,
+           dur_us, thread) to FILE — see docs/observability.md";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -810,6 +814,17 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if let Some(path) = &options.trace {
+        match std::fs::File::create(path) {
+            Ok(file) => {
+                provbench::obs::global().set_trace_writer(Box::new(std::io::BufWriter::new(file)))
+            }
+            Err(e) => {
+                eprintln!("error: cannot open trace file {path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
     let result = match cmd.as_str() {
         "generate" => cmd_generate(&options),
         "stats" => cmd_stats(&options),
@@ -833,6 +848,10 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if options.trace.is_some() {
+        // Flush buffered span events before the process exits.
+        provbench::obs::global().clear_trace_writer();
+    }
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

@@ -18,6 +18,7 @@
 //! | [`query`] | `provbench-query` | SPARQL-subset engine + the six exemplar queries |
 //! | [`analysis`] | `provbench-analysis` | coverage tables, lineage, debugging, decay |
 //! | [`diag`] | `provbench-diag` | the `provlint` engine: rule registry, spans, SARIF |
+//! | [`obs`] | `provbench-obs` | metrics registry, tracing spans, Prometheus exposition |
 //!
 //! ## Quickstart
 //!
@@ -39,6 +40,7 @@ pub use provbench_analysis as analysis;
 pub use provbench_core as corpus;
 pub use provbench_diag as diag;
 pub use provbench_endpoint as endpoint;
+pub use provbench_obs as obs;
 pub use provbench_prov as prov;
 pub use provbench_query as query;
 pub use provbench_rdf as rdf;

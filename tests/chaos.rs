@@ -76,6 +76,7 @@ fn faulty_opts(fs: &FaultFs) -> StoreOptions<'_> {
         strict: false,
         lock_timeout: Duration::from_millis(200),
         fs,
+        metrics: std::sync::Arc::clone(provbench::obs::global()),
     }
 }
 

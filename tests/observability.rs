@@ -1,0 +1,191 @@
+//! End-to-end observability: the `--trace` flag writes a parseable
+//! JSONL span trace, and a registry populated by real ingest + query
+//! work renders valid Prometheus text (monotone cumulative buckets,
+//! consistent `_sum`/`_count` lines).
+
+use provbench::corpus::store::{CorpusStore, StoreOptions};
+use provbench::corpus::{store, Corpus, CorpusSpec};
+use provbench::obs::{Registry, TraceEvent};
+use provbench::query::QueryEngine;
+use std::path::PathBuf;
+use std::process::Command;
+use std::sync::Arc;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("provbench-obs-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn trace_flag_writes_parseable_jsonl() {
+    let dir = scratch_dir("trace");
+    let ttl = dir.join("tiny.ttl");
+    std::fs::write(&ttl, "@prefix e: <http://e/> .\ne:a e:p e:b .\n").unwrap();
+    let trace = dir.join("trace.jsonl");
+
+    // `provbench lint` crosses the `lint.corpus` span; findings (if
+    // any) only affect the exit code, not the trace.
+    let output = Command::new(env!("CARGO_BIN_EXE_provbench"))
+        .args([
+            "lint",
+            ttl.to_str().unwrap(),
+            "--trace",
+            trace.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run provbench");
+
+    let text = std::fs::read_to_string(&trace).expect("trace file written");
+    let events = TraceEvent::parse_jsonl(&text);
+    assert!(
+        !events.is_empty(),
+        "no spans in trace {text:?}; stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert!(
+        events.iter().any(|e| e.name == "lint.corpus"),
+        "expected a lint.corpus span, got {events:?}"
+    );
+    // Each written line survives a serialize → parse round trip.
+    for e in &events {
+        assert_eq!(
+            TraceEvent::parse_json_line(&e.to_json_line()),
+            Some(e.clone())
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Check one bucket run (the consecutive `_bucket` lines of a single
+/// histogram series): counts are cumulative, the series ends at `+Inf`,
+/// and the `+Inf` count equals the series' `_count` line, which is
+/// accompanied by a `_sum` line.
+fn check_bucket_run(run: &[(String, f64, u64)], rendered: &str) {
+    for pair in run.windows(2) {
+        assert!(
+            pair[1].2 >= pair[0].2,
+            "buckets not cumulative: {pair:?} in\n{rendered}"
+        );
+    }
+    let (prefix, le, last) = run.last().cloned().unwrap();
+    assert!(le.is_infinite(), "series {prefix} does not end at +Inf");
+    // `prefix` is everything before `le="…"`: either `name_bucket{` (no
+    // other labels) or `name_bucket{route="/sparql",`. Rebuild the
+    // matching `_count` line start from it.
+    let count_start = if prefix.ends_with("_bucket{") {
+        format!("{} ", prefix.replace("_bucket{", "_count"))
+    } else {
+        format!(
+            "{}}} ",
+            prefix.trim_end_matches(',').replace("_bucket{", "_count{")
+        )
+    };
+    let count_line = rendered
+        .lines()
+        .find(|l| l.starts_with(&count_start))
+        .unwrap_or_else(|| panic!("no _count line starting {count_start:?} in\n{rendered}"));
+    let count: u64 = count_line.rsplit(' ').next().unwrap().parse().unwrap();
+    assert_eq!(last, count, "+Inf bucket != _count for {prefix}");
+    let sum_start = count_start.replace("_count", "_sum");
+    assert!(
+        rendered.lines().any(|l| l.starts_with(&sum_start)),
+        "no _sum line starting {sum_start:?}"
+    );
+}
+
+/// Check the Prometheus exposition invariants for every histogram in a
+/// rendering, grouping consecutive `_bucket` lines into series runs.
+fn assert_valid_histograms(rendered: &str) {
+    let mut checked = 0usize;
+    let mut run: Vec<(String, f64, u64)> = Vec::new();
+    for line in rendered.lines() {
+        let Some(le_at) = line.find("le=\"") else {
+            if !run.is_empty() {
+                check_bucket_run(&run, rendered);
+                checked += 1;
+                run.clear();
+            }
+            continue;
+        };
+        let prefix = line[..le_at].to_string();
+        let le_text = line[le_at + 4..].split('"').next().unwrap();
+        let le = if le_text == "+Inf" {
+            f64::INFINITY
+        } else {
+            le_text.parse().unwrap()
+        };
+        let value: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+        let new_series = run
+            .last()
+            .is_some_and(|(p, prev_le, _)| *p != prefix || le <= *prev_le);
+        if new_series {
+            check_bucket_run(&run, rendered);
+            checked += 1;
+            run.clear();
+        }
+        run.push((prefix, le, value));
+    }
+    if !run.is_empty() {
+        check_bucket_run(&run, rendered);
+        checked += 1;
+    }
+    assert!(checked > 0, "no histogram series found in\n{rendered}");
+}
+
+#[test]
+fn ingest_and_query_metrics_render_valid_prometheus() {
+    let dir = scratch_dir("metrics");
+    let spec = CorpusSpec {
+        max_workflows: Some(2),
+        total_runs: 3,
+        failed_runs: 0,
+        ..CorpusSpec::default()
+    };
+    store::save(&Corpus::generate(&spec), &dir).unwrap();
+
+    let registry = Arc::new(Registry::new());
+    let opts = StoreOptions {
+        metrics: Arc::clone(&registry),
+        ..StoreOptions::default()
+    };
+    // Cold open (parse) then warm open (snapshot decode): both modes
+    // land on the registry.
+    let s = CorpusStore::open_or_build_opts(&dir, &opts).unwrap();
+    let s2 = CorpusStore::open_or_build_opts(&dir, &opts).unwrap();
+    assert!(s2.provenance.warm);
+
+    let engine = QueryEngine::new(&s.union).with_metrics(&registry);
+    let solutions = engine
+        .prepare("SELECT ?r WHERE { ?r a <http://purl.org/wf4ever/wfprov#WorkflowRun> }")
+        .and_then(|p| p.select())
+        .unwrap();
+    assert!(!solutions.is_empty());
+
+    let rendered = registry.render_prometheus();
+    for metric in [
+        "provbench_ingest_files_total",
+        "provbench_ingest_file_seconds",
+        "provbench_store_opens_total{mode=\"cold\"} 1",
+        "provbench_store_opens_total{mode=\"warm\"} 1",
+        "provbench_snapshot_encode_seconds",
+        "provbench_snapshot_decode_seconds",
+        "provbench_query_prepare_seconds",
+        "provbench_query_eval_seconds",
+        "provbench_query_evals_total{result=\"ok\"} 1",
+        "provbench_span_seconds_count{span=\"store.open\"} 2",
+    ] {
+        assert!(rendered.contains(metric), "missing {metric} in\n{rendered}");
+    }
+    // Every # TYPE line precedes its samples and names a known type.
+    for line in rendered.lines().filter(|l| l.starts_with("# TYPE")) {
+        let kind = line.rsplit(' ').next().unwrap();
+        assert!(
+            matches!(kind, "counter" | "gauge" | "histogram"),
+            "unknown type in {line}"
+        );
+    }
+    assert_valid_histograms(&rendered);
+    std::fs::remove_dir_all(&dir).ok();
+}
