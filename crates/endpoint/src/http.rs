@@ -35,7 +35,21 @@ impl Request {
 }
 
 /// Percent-decode a URL component (also turning `+` into a space).
+///
+/// Decoding walks raw bytes and never slices the input `&str`: a `%`
+/// followed by a multibyte UTF-8 character (`%é`) or a truncated or
+/// malformed escape (`%`, `%4`, `%zz`) passes through verbatim instead
+/// of panicking on a non-char-boundary slice. Escapes that assemble
+/// into invalid UTF-8 are replaced lossily at the end.
 pub fn url_decode(s: &str) -> String {
+    fn hex_val(b: u8) -> Option<u8> {
+        match b {
+            b'0'..=b'9' => Some(b - b'0'),
+            b'a'..=b'f' => Some(b - b'a' + 10),
+            b'A'..=b'F' => Some(b - b'A' + 10),
+            _ => None,
+        }
+    }
     let bytes = s.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
     let mut i = 0;
@@ -45,14 +59,15 @@ pub fn url_decode(s: &str) -> String {
                 out.push(b' ');
                 i += 1;
             }
-            b'%' if i + 2 < bytes.len() => {
-                let hex = &s[i + 1..i + 3];
-                match u8::from_str_radix(hex, 16) {
-                    Ok(b) => {
-                        out.push(b);
+            b'%' => {
+                let hi = bytes.get(i + 1).copied().and_then(hex_val);
+                let lo = bytes.get(i + 2).copied().and_then(hex_val);
+                match (hi, lo) {
+                    (Some(hi), Some(lo)) => {
+                        out.push((hi << 4) | lo);
                         i += 3;
                     }
-                    Err(_) => {
+                    _ => {
                         out.push(b'%');
                         i += 1;
                     }
@@ -298,6 +313,66 @@ mod tests {
         assert_eq!(url_decode(&encoded), original);
         assert_eq!(url_decode("a+b%20c"), "a b c");
         assert_eq!(url_decode("%ZZ"), "%ZZ"); // invalid escapes pass through
+    }
+
+    #[test]
+    fn url_decode_multibyte_escapes() {
+        assert_eq!(url_decode("%C3%A9"), "é");
+        assert_eq!(url_decode("%E2%9C%93"), "✓");
+        assert_eq!(url_decode("SELECT%20%E2%9C%93"), "SELECT ✓");
+        // Unescaped multibyte characters survive decoding around them.
+        assert_eq!(url_decode("é%20✓"), "é ✓");
+        assert_eq!(url_encode("é ✓"), "%C3%A9+%E2%9C%93");
+    }
+
+    #[test]
+    fn url_decode_never_panics_on_hostile_input() {
+        // `%` directly followed by a multibyte character used to slice
+        // the `&str` at a non-char boundary and panic; every such shape
+        // must now pass the `%` through and keep the character intact.
+        for (input, want) in [
+            ("%", "%"),
+            ("%4", "%4"),
+            ("%zz", "%zz"),
+            ("%é", "%é"),
+            ("%✓", "%✓"),
+            ("%a✓", "%a✓"),
+            ("a%é", "a%é"),
+            ("%%41", "%A"),
+            ("%C3%A9%", "é%"),
+            ("%+4", "% 4"), // `+` is not a hex digit, even for from_str_radix
+        ] {
+            assert_eq!(url_decode(input), want, "input {input:?}");
+        }
+        // An escape assembling invalid UTF-8 is replaced, not a panic.
+        assert_eq!(url_decode("%FF"), "\u{FFFD}");
+    }
+
+    #[test]
+    fn query_string_roundtrips_plus_escapes_and_non_ascii() {
+        // `+` is a space, `%2B` is a literal plus, and multibyte
+        // percent-escapes must reach the consumer as valid UTF-8.
+        let params = parse_query_string("query=SELECT%20%E2%9C%93&op=a%2Bb+c");
+        assert_eq!(
+            params.get("query").map(String::as_str),
+            Some("SELECT ✓"),
+            "{params:?}"
+        );
+        assert_eq!(params.get("op").map(String::as_str), Some("a+b c"));
+        // Encode → decode is the identity for arbitrary text.
+        for original in ["SELECT ✓", "a+b c", "100% é", "%", "%4"] {
+            assert_eq!(url_decode(&url_encode(original)), original);
+        }
+    }
+
+    #[test]
+    fn request_with_hostile_escapes_still_parses() {
+        for q in ["%C3%A9", "%", "%4", "%zz", "%E2%9C", "a%E2"] {
+            let raw = format!("GET /sparql?query={q} HTTP/1.1\r\nHost: x\r\n\r\n");
+            let req = parse_request(&mut raw.as_bytes())
+                .unwrap_or_else(|e| panic!("query {q:?} rejected: {e}"));
+            assert!(req.param("query").is_some(), "query {q:?} lost");
+        }
     }
 
     #[test]

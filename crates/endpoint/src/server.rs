@@ -65,6 +65,11 @@ pub struct ServerConfig {
     /// Per-request cap on intermediate rows — a deterministic cost
     /// bound that trips even when the clock barely advances.
     pub(crate) row_budget: Option<u64>,
+    /// Worker threads for each request's query evaluation (`1` =
+    /// serial, `0` = one per core capped at 8). Results are
+    /// byte-identical regardless of the setting; see
+    /// [`EvalOptions::with_jobs`].
+    pub(crate) eval_jobs: usize,
     /// Parsed query plans cached by query text (LRU).
     pub(crate) plan_cache_size: usize,
     /// Per-connection socket read timeout. A client that sends a partial
@@ -91,6 +96,7 @@ impl ServerConfig {
             queue_depth: 32,
             query_timeout: Duration::from_secs(10),
             row_budget: Some(50_000_000),
+            eval_jobs: 1,
             plan_cache_size: 64,
             read_timeout: Duration::from_secs(5),
             debug_panic_route: false,
@@ -120,6 +126,15 @@ impl ServerConfig {
     /// Per-request cap on intermediate rows (`None` = unbounded).
     pub fn row_budget(mut self, budget: Option<u64>) -> Self {
         self.row_budget = budget;
+        self
+    }
+
+    /// Worker threads for each request's query evaluation (`1` =
+    /// serial, `0` = one per core capped at 8). Keep the product of
+    /// `workers` and `eval_jobs` near the core count to avoid
+    /// oversubscription under load.
+    pub fn eval_jobs(mut self, jobs: usize) -> Self {
+        self.eval_jobs = jobs;
         self
     }
 
@@ -595,12 +610,13 @@ impl Endpoint {
         Response::status(200)
             .content_type("application/json")
             .body(format!(
-                "{{\"triples\":{},\"terms\":{},\"cached_plans\":{},\
+                "{{\"triples\":{},\"terms\":{},\"cached_plans\":{},\"eval_jobs\":{},\
                  \"ready\":{},\"rebuilding\":{},\"panics_total\":{},\
                  \"ingest_errors\":{},\"lint_errors\":{}{source}}}",
                 graph.len(),
                 graph.term_count(),
                 self.cached_plans(),
+                self.config.eval_jobs,
                 self.is_ready(),
                 self.health.rebuilding.load(Ordering::SeqCst),
                 self.panics_total(),
@@ -646,7 +662,9 @@ impl Endpoint {
             .map(Duration::from_millis)
             .filter(|t| *t < self.config.query_timeout)
             .unwrap_or(self.config.query_timeout);
-        let mut opts = EvalOptions::default().with_timeout(timeout);
+        let mut opts = EvalOptions::default()
+            .with_timeout(timeout)
+            .with_jobs(self.config.eval_jobs);
         opts.row_budget = self.config.row_budget;
         opts
     }
@@ -1175,12 +1193,13 @@ mod tests {
             turtle.push_str(&format!("e:s{i} e:p{} e:o{i} .\n", i % 7));
         }
         let (g, _) = parse_turtle(&turtle).unwrap();
+        let registry = Arc::new(Registry::new());
         let ep = Endpoint::with_config(
             g,
             ServerConfig::new()
                 .workers(1)
                 .queue_depth(1)
-                .registry(Arc::new(Registry::new())),
+                .registry(Arc::clone(&registry)),
         );
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
@@ -1223,14 +1242,126 @@ mod tests {
                 "unexpected response: {r}"
             );
         }
-        // 503s carry the retry hint.
-        assert!(responses
-            .iter()
-            .filter(|r| r.starts_with("HTTP/1.1 503"))
-            .all(|r| r.contains("Retry-After: 1")));
+        // Every 503 is a complete, well-formed response: retry hint, a
+        // Content-Length matching the body, and the body itself — all
+        // read back before EOF, proving the acceptor never drops the
+        // connection before the body is written.
+        for r in responses.iter().filter(|r| r.starts_with("HTTP/1.1 503")) {
+            assert!(r.contains("Retry-After: 1\r\n"), "{r}");
+            let body = r.split("\r\n\r\n").nth(1).unwrap_or("");
+            assert_eq!(body, "server busy, retry later", "{r}");
+            assert!(
+                r.contains(&format!("Content-Length: {}\r\n", body.len())),
+                "{r}"
+            );
+        }
         // The occupied worker and the queued request still complete.
         assert!(busy.join().unwrap().starts_with("HTTP/1.1 200"));
         assert!(queued.join().unwrap().starts_with("HTTP/1.1 200"));
+        // The rejections land on the request counter under status="503".
+        let rendered = registry.render_prometheus();
+        let line = rendered
+            .lines()
+            .find(|l| {
+                l.starts_with("provbench_http_requests_total{") && l.contains("status=\"503\"")
+            })
+            .unwrap_or_else(|| panic!("no status=\"503\" counter in\n{rendered}"));
+        let counted: usize = line.rsplit(' ').next().unwrap().parse().unwrap();
+        assert!(counted >= rejected, "{line} but {rejected} rejections seen");
+    }
+
+    /// Hostile percent-escapes must never kill a worker. Before
+    /// `url_decode` walked raw bytes, `%` followed by a multibyte
+    /// character panicked inside `parse_request` — *outside* the
+    /// handler's panic isolation — so the worker thread died and the
+    /// connection dropped with no response at all.
+    #[test]
+    fn hostile_percent_escapes_get_responses_not_dropped_connections() {
+        let ep = endpoint();
+        let probe = ep.clone();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            let _ = ep.serve_on(listener);
+        });
+
+        // `%C3%A9` decodes to `é` (a parse error, but a valid request);
+        // the rest are truncated or mid-character escapes.
+        for (path, q) in [
+            ("/sparql", "%C3%A9"),
+            ("/query", "%C3%A9"),
+            ("/sparql", "%"),
+            ("/sparql", "%4"),
+            ("/sparql", "%zz"),
+            ("/sparql", "%E2%9C"),
+            ("/sparql", "a%E2%9C%93%"),
+            ("/sparql", "SELECT%20%E2%9C%93"),
+        ] {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            write!(stream, "GET {path}?query={q} HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+            let mut response = String::new();
+            stream.read_to_string(&mut response).unwrap();
+            assert!(
+                response.starts_with("HTTP/1.1 400") || response.starts_with("HTTP/1.1 404"),
+                "{path}?query={q} got: {response:?}"
+            );
+        }
+        // A decodable query still works end to end after the onslaught.
+        let good = crate::http::url_encode(
+            "PREFIX wfprov: <http://purl.org/wf4ever/wfprov#> SELECT ?r WHERE { ?r a wfprov:WorkflowRun }",
+        );
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(
+            stream,
+            "GET /sparql?query={good} HTTP/1.1\r\nHost: t\r\n\r\n"
+        )
+        .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+        assert_eq!(probe.panics_total(), 0);
+    }
+
+    /// A multibyte query survives percent-encoding end to end: the
+    /// SPARQL parser sees the decoded `✓` (and rejects it with a spanned
+    /// parse error, not mojibake or a panic).
+    #[test]
+    fn multibyte_query_reaches_sparql_parser_as_utf8() {
+        let ep = endpoint();
+        let r = ep.handle(&request(
+            "GET /sparql?query=SELECT%20%E2%9C%93 HTTP/1.1\r\n\r\n",
+        ));
+        assert_eq!(r.status, 400, "{}", r.body);
+        assert!(r.body.contains("\"error\":\"parse\""), "{}", r.body);
+        // A valid query with a multibyte literal goes the whole way.
+        let q = crate::http::url_encode(
+            "SELECT ?s WHERE { ?s ?p ?o FILTER (CONTAINS(STR(?o), \"✓\")) }",
+        );
+        let r = ep.handle(&request(&format!("GET /sparql?query={q} HTTP/1.1\r\n\r\n")));
+        assert_eq!(r.status, 200, "{}", r.body);
+        assert_eq!(ep.panics_total(), 0);
+    }
+
+    /// `eval_jobs` flows from the config into each request's
+    /// `EvalOptions` and is surfaced by `/stats`; results match the
+    /// serial default byte for byte.
+    #[test]
+    fn eval_jobs_config_flows_into_requests() {
+        let parallel = endpoint_with(ServerConfig::new().eval_jobs(4));
+        let serial = endpoint();
+        assert_eq!(parallel.config().eval_jobs, 4);
+
+        let r = parallel.handle(&request("GET /stats HTTP/1.1\r\n\r\n"));
+        assert!(r.body.contains("\"eval_jobs\":4"), "{}", r.body);
+
+        let q = crate::http::url_encode(
+            "PREFIX wfprov: <http://purl.org/wf4ever/wfprov#> SELECT ?r WHERE { ?r a wfprov:WorkflowRun }",
+        );
+        let raw = format!("GET /sparql?query={q} HTTP/1.1\r\n\r\n");
+        let a = parallel.handle(&request(&raw));
+        let b = serial.handle(&request(&raw));
+        assert_eq!(a.status, 200, "{}", a.body);
+        assert_eq!(a.body, b.body);
     }
 
     #[test]

@@ -182,7 +182,7 @@ impl<'g> PreparedQuery<'g> {
             .metrics
             .unwrap_or_else(|| provbench_obs::global().as_ref());
         let start = Instant::now();
-        let result = eval::run(self.graph, &self.query, options);
+        let result = eval::run(self.graph, &self.query, options, Some(registry));
         registry
             .histogram(
                 EVAL_SECONDS,

@@ -295,7 +295,10 @@ fn cmd_query(o: &Options) -> Result<(), String> {
     let (graph, source) = corpus_graph(o)?;
     eprintln!("corpus: {source}");
     let full = format!("{PREFIXES}\n{q}");
-    let solutions = QueryEngine::new(&graph)
+    // `--jobs` also parallelizes evaluation; results are byte-identical
+    // to a serial run whatever the count.
+    let eval_opts = provbench::query::EvalOptions::default().with_jobs(o.jobs.unwrap_or(1));
+    let solutions = QueryEngine::with_options(&graph, eval_opts)
         .prepare(&full)
         .and_then(|p| p.select())
         .map_err(|e| query_error(&full, e))?;
@@ -321,16 +324,21 @@ fn cmd_serve(o: &Options) -> Result<(), String> {
             graph.len(),
             o.addr
         );
-        return Endpoint::with_config(graph, ServerConfig::new().source(source))
-            .serve(&o.addr)
-            .map_err(|e| e.to_string());
+        return Endpoint::with_config(
+            graph,
+            ServerConfig::new()
+                .eval_jobs(o.jobs.unwrap_or(1))
+                .source(source),
+        )
+        .serve(&o.addr)
+        .map_err(|e| e.to_string());
     };
 
     // Degraded-mode serving: bind and answer /healthz immediately, load
     // the corpus in the background (readiness flips when it lands), and
     // keep watching the source directory — a fingerprint change triggers
     // a rebuild while requests keep being served from the old graph.
-    let endpoint = Endpoint::unready(ServerConfig::new());
+    let endpoint = Endpoint::unready(ServerConfig::new().eval_jobs(o.jobs.unwrap_or(1)));
     let loader = endpoint.clone();
     let opts_jobs = o.jobs.unwrap_or_else(store::default_load_jobs);
     let strict = o.strict;
@@ -782,9 +790,12 @@ const USAGE: &str = "usage: provbench <command> [options]
             --incremental caches per-file results in corpus.lint.snapshot,
             --explain prints one rule's catalog entry and exits)
   validate --dir DIR                            PROV-constraint-check a corpus dir
-  query 'SPARQL' [--dir DIR | --seed N]         run SPARQL over the corpus
-  serve    [--addr HOST:PORT] [--dir DIR]       SPARQL endpoint + web UI
-           (with --dir: loads in the background; /healthz + /readyz report state)
+  query 'SPARQL' [--dir DIR | --seed N] [--jobs N]   run SPARQL over the corpus
+           (--jobs parallelizes evaluation; 0 = one per core, results
+            byte-identical to a serial run for any count)
+  serve    [--addr HOST:PORT] [--dir DIR] [--jobs N] SPARQL endpoint + web UI
+           (with --dir: loads in the background; /healthz + /readyz report state;
+            --jobs sets per-request evaluation threads, default 1)
   nquads   --out FILE [--seed N]                bulk N-Quads export
   provn    RUN_ID [--seed N]                    one trace as PROV-N
   provjson RUN_ID [--seed N]                    one trace as PROV-JSON

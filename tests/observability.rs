@@ -134,6 +134,75 @@ fn assert_valid_histograms(rendered: &str) {
     assert!(checked > 0, "no histogram series found in\n{rendered}");
 }
 
+/// `le` is an *inclusive* upper bound: an observation exactly at a
+/// bucket boundary must land in that bucket, not the next one up.
+#[test]
+fn observation_at_bucket_upper_bound_lands_in_that_bucket() {
+    let registry = Registry::new();
+    let h = registry.histogram("provbench_edge_seconds", "boundary semantics", &[0.1, 1.0]);
+    h.observe(0.1); // exactly the first upper bound
+    h.observe(1.0); // exactly the second
+    h.observe(0.5); // strictly between the two
+
+    let rendered = registry.render_prometheus();
+    for line in [
+        // 0.1 holds exactly the boundary observation; 1.0 is cumulative.
+        "provbench_edge_seconds_bucket{le=\"0.1\"} 1",
+        "provbench_edge_seconds_bucket{le=\"1\"} 3",
+        "provbench_edge_seconds_bucket{le=\"+Inf\"} 3",
+        "provbench_edge_seconds_count 3",
+    ] {
+        assert!(rendered.contains(line), "missing {line:?} in\n{rendered}");
+    }
+    assert_valid_histograms(&rendered);
+}
+
+/// Label values containing `"`, `\`, and newlines must render as valid
+/// exposition text: escaped in place, one sample per line, and still
+/// parseable by the histogram validator.
+#[test]
+fn hostile_label_values_render_valid_exposition() {
+    let registry = Registry::new();
+    registry
+        .counter_with(
+            "provbench_hostile_total",
+            "hostile labels",
+            &[("q", "say \"hi\"\nc:\\temp")],
+        )
+        .inc();
+    let h = registry.histogram_with(
+        "provbench_hostile_seconds",
+        "hostile labels",
+        &[0.1, 1.0],
+        &[("q", "a \"quoted\\path\"")],
+    );
+    h.observe(0.1);
+
+    let rendered = registry.render_prometheus();
+    // Backslash first, then quote, then newline — each escaped so every
+    // sample stays on one physical line.
+    assert!(
+        rendered.contains("provbench_hostile_total{q=\"say \\\"hi\\\"\\nc:\\\\temp\"} 1"),
+        "counter labels not escaped in\n{rendered}"
+    );
+    assert!(
+        rendered.contains(
+            "provbench_hostile_seconds_bucket{q=\"a \\\"quoted\\\\path\\\"\",le=\"0.1\"} 1"
+        ),
+        "histogram labels not escaped in\n{rendered}"
+    );
+    // No raw newline may survive inside a sample line: every line is
+    // either a comment or ends in a numeric value.
+    for line in rendered.lines().filter(|l| !l.starts_with('#')) {
+        let value = line.rsplit(' ').next().unwrap();
+        assert!(
+            value.parse::<f64>().is_ok(),
+            "line does not end in a number (broken escaping?): {line:?}"
+        );
+    }
+    assert_valid_histograms(&rendered);
+}
+
 #[test]
 fn ingest_and_query_metrics_render_valid_prometheus() {
     let dir = scratch_dir("metrics");
