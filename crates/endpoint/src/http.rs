@@ -284,20 +284,32 @@ impl Response {
         }
     }
 
-    /// Write the response to a stream.
-    pub fn write_to(&self, stream: &mut impl Write) -> io::Result<()> {
-        write!(
-            stream,
+    /// Serialize the whole response — status line, headers, body — to
+    /// one buffer. The server writes a response as a single buffer so a
+    /// partial write surfaces as an error it can count, instead of a
+    /// silently truncated response on the wire.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.body.len() + 256);
+        // Writing into a Vec cannot fail.
+        let _ = write!(
+            out,
             "HTTP/1.1 {} {}\r\nContent-Type: {}; charset=utf-8\r\nContent-Length: {}\r\n",
             self.status,
             self.status_text(),
             self.content_type,
             self.body.len(),
-        )?;
+        );
         for (name, value) in &self.headers {
-            write!(stream, "{name}: {value}\r\n")?;
+            let _ = write!(out, "{name}: {value}\r\n");
         }
-        write!(stream, "Connection: close\r\n\r\n{}", self.body)
+        let _ = write!(out, "Connection: close\r\n\r\n{}", self.body);
+        out
+    }
+
+    /// Write the response to a stream (one `write_all` of
+    /// [`Response::to_bytes`]).
+    pub fn write_to(&self, stream: &mut impl Write) -> io::Result<()> {
+        stream.write_all(&self.to_bytes())
     }
 }
 

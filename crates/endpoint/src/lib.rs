@@ -14,6 +14,13 @@
 //! * `GET /metrics` — Prometheus text exposition of the endpoint's
 //!   metrics registry (see `docs/observability.md`).
 //!
+//! The serving loop is generic over the [`Conn`] transport (with a
+//! fault-injecting wrapper behind the `fault-inject` feature), shuts
+//! down gracefully on a [`ShutdownSignal`] (SIGTERM/Ctrl-C when
+//! installed), and ships a small retrying [`Client`] for talking to a
+//! served endpoint — see `docs/query.md`, "Failure model, shutdown,
+//! and retries".
+//!
 //! ```no_run
 //! use provbench_core::{Corpus, CorpusSpec};
 //! use provbench_endpoint::Endpoint;
@@ -23,12 +30,18 @@
 //! endpoint.serve("127.0.0.1:3030").unwrap(); // blocks
 //! ```
 
+mod client;
 mod http;
+pub mod net;
 pub mod results;
 mod server;
 
+pub use client::{Client, ClientConfig, ClientError, ClientResponse};
 pub use http::{parse_request, url_decode, url_encode, Request, Response};
+pub use net::{BufConn, Conn};
+#[cfg(feature = "fault-inject")]
+pub use net::{FaultConn, NetFaultKind};
 pub use results::{solutions_to_json, solutions_to_tsv};
 #[allow(deprecated)]
 pub use server::EndpointConfig;
-pub use server::{Endpoint, ServerConfig};
+pub use server::{Endpoint, ServerConfig, ShutdownSignal};

@@ -1,8 +1,10 @@
 //! The endpoint itself: route dispatch, the plan cache, health/readiness
 //! state, the metrics registry behind `GET /metrics`, and the bounded,
-//! panic-isolated serving loop.
+//! panic-isolated serving loop — generic over the [`Conn`] transport,
+//! with graceful shutdown via [`ShutdownSignal`].
 
 use crate::http::{parse_request, Request, Response};
+use crate::net::{Conn, DeadlineReader};
 use crate::results::{solutions_to_json, solutions_to_tsv};
 use provbench_obs::{Counter, Gauge, Registry, LATENCY_BUCKETS};
 use provbench_query::sparql::ast::Query;
@@ -10,7 +12,7 @@ use provbench_query::{parse_query, EvalOptions, QueryEngine, QueryError, QueryPa
 use provbench_rdf::Graph;
 use std::collections::HashMap;
 use std::io;
-use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{TcpListener, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
@@ -21,6 +23,16 @@ use std::time::{Duration, Instant};
 const HTTP_REQUESTS_TOTAL: &str = "provbench_http_requests_total";
 /// Histogram of request wall-clock time, by normalized route.
 const HTTP_REQUEST_SECONDS: &str = "provbench_http_request_seconds";
+/// Counter of connections, by final outcome (`result` label): exactly
+/// one increment per connection the server touched, so a failure that
+/// never produced a countable HTTP response is still accounted for.
+const CONNECTIONS_TOTAL: &str = "provbench_connections_total";
+/// Counter of socket-option (`setsockopt`) failures on accepted
+/// connections. Such a connection is closed, not served untimed.
+const SOCKET_ERRORS_TOTAL: &str = "provbench_socket_errors_total";
+/// Histogram: how long the graceful-shutdown drain took (observed once
+/// per [`Endpoint::serve_with_shutdown`] return).
+const SHUTDOWN_DRAIN_SECONDS: &str = "provbench_shutdown_drain_seconds";
 /// Counter of request-handler panics survived by the worker pool.
 const PANICS_TOTAL: &str = "provbench_panics_total";
 /// Gauge: files quarantined by the live graph's ingest run.
@@ -72,10 +84,24 @@ pub struct ServerConfig {
     pub(crate) eval_jobs: usize,
     /// Parsed query plans cached by query text (LRU).
     pub(crate) plan_cache_size: usize,
-    /// Per-connection socket read timeout. A client that sends a partial
-    /// request (e.g. a body shorter than its `Content-Length`) ties up a
-    /// worker for at most this long before being answered `400`.
+    /// Total budget for receiving one request, enforced as a deadline
+    /// across every read (not per read — a slowloris client dribbling
+    /// one byte per timeout would otherwise hold a worker forever). A
+    /// client that has not delivered a complete request within this
+    /// budget is answered `408`.
     pub(crate) read_timeout: Duration,
+    /// Per-write socket timeout. A client that stops reading its
+    /// response stalls a worker for at most this long before the write
+    /// fails and is counted.
+    pub(crate) write_timeout: Duration,
+    /// Seconds advertised in `Retry-After` on `503` responses. `None`
+    /// (the default) derives it: the estimated queue-clear time
+    /// (`queue_depth / workers`, clamped to 1..=30 s) normally, the
+    /// drain deadline while shutting down.
+    pub(crate) retry_after: Option<Duration>,
+    /// How long a graceful shutdown waits for in-flight requests before
+    /// giving up on stragglers and returning anyway.
+    pub(crate) drain_deadline: Duration,
     /// Expose `GET /debug/panic`, a route that panics inside the handler.
     /// Exists so the worker-pool panic isolation can be exercised from a
     /// real TCP client in tests; never enabled in production.
@@ -99,6 +125,9 @@ impl ServerConfig {
             eval_jobs: 1,
             plan_cache_size: 64,
             read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            retry_after: None,
+            drain_deadline: Duration::from_secs(5),
             debug_panic_route: false,
             registry: None,
             source: None,
@@ -144,9 +173,28 @@ impl ServerConfig {
         self
     }
 
-    /// Per-connection socket read timeout.
+    /// Total budget for receiving one request (the slowloris deadline).
     pub fn read_timeout(mut self, t: Duration) -> Self {
         self.read_timeout = t;
+        self
+    }
+
+    /// Per-write socket timeout.
+    pub fn write_timeout(mut self, t: Duration) -> Self {
+        self.write_timeout = t;
+        self
+    }
+
+    /// Fix the `Retry-After` advertised on `503` responses instead of
+    /// deriving it from queue depth / drain state.
+    pub fn retry_after(mut self, t: Duration) -> Self {
+        self.retry_after = Some(t);
+        self
+    }
+
+    /// How long a graceful shutdown waits for in-flight requests.
+    pub fn drain_deadline(mut self, t: Duration) -> Self {
+        self.drain_deadline = t;
         self
     }
 
@@ -303,6 +351,10 @@ struct Health {
     /// previously loaded graph is being served, a rebuild does not make
     /// the endpoint unready.
     rebuilding: AtomicBool,
+    /// A graceful shutdown is in progress: `/readyz` answers `503` with
+    /// `"draining":true` so load balancers stop routing here, and
+    /// `/sparql` refuses new queries while in-flight ones finish.
+    draining: AtomicBool,
     /// Connections accepted into the worker queue and not yet answered.
     inflight: AtomicUsize,
 }
@@ -312,6 +364,7 @@ struct Health {
 struct EndpointMetrics {
     registry: Arc<Registry>,
     panics: Arc<Counter>,
+    socket_errors: Arc<Counter>,
     ingest_errors: Arc<Gauge>,
     lint_errors: Arc<Gauge>,
     plan_hits: Arc<Counter>,
@@ -324,6 +377,10 @@ impl EndpointMetrics {
         let panics = registry.counter(
             PANICS_TOTAL,
             "Request-handler panics caught (and survived) by the worker pool",
+        );
+        let socket_errors = registry.counter(
+            SOCKET_ERRORS_TOTAL,
+            "Accepted connections closed because a socket option could not be set",
         );
         let ingest_errors = registry.gauge(
             INGEST_ERRORS,
@@ -342,6 +399,7 @@ impl EndpointMetrics {
         EndpointMetrics {
             registry,
             panics,
+            socket_errors,
             ingest_errors,
             lint_errors,
             plan_hits,
@@ -394,6 +452,83 @@ fn status_label(status: u16) -> &'static str {
 /// with a poisoned plan cache or graph slot.
 fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A shutdown request shared between the serving loop and whoever
+/// triggers it — a signal handler, a test, or an embedder's control
+/// plane. Cloning shares the flag.
+///
+/// When the flag flips, [`Endpoint::serve_with_shutdown`] switches to
+/// draining: `/readyz` starts answering `503` with `"draining":true`,
+/// in-flight requests run to completion (bounded by
+/// [`ServerConfig::drain_deadline`]), and the serve call returns `Ok`.
+#[derive(Clone, Debug, Default)]
+pub struct ShutdownSignal {
+    requested: Arc<AtomicBool>,
+}
+
+impl ShutdownSignal {
+    /// A fresh, un-triggered signal.
+    pub fn new() -> Self {
+        ShutdownSignal::default()
+    }
+
+    /// Request shutdown. Idempotent, callable from any thread (and, via
+    /// the installed handler, from signal context — it is a single
+    /// atomic store).
+    pub fn request(&self) {
+        self.requested.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_requested(&self) -> bool {
+        self.requested.load(Ordering::SeqCst)
+    }
+
+    /// Route `SIGTERM` and `SIGINT` (Ctrl-C) to this signal so a served
+    /// process drains instead of dying mid-response. Returns whether
+    /// the handlers are active for *this* signal: only the first signal
+    /// instance in the process can own them (the handler target is a
+    /// process-wide slot), and non-Unix platforms have none.
+    pub fn install_termination_handler(&self) -> bool {
+        self.install_os_handlers()
+    }
+
+    #[cfg(unix)]
+    fn install_os_handlers(&self) -> bool {
+        use std::sync::OnceLock;
+
+        // The libc signal handler can only reach process-global state,
+        // and must touch nothing but an atomic (async-signal-safety).
+        static TARGET: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+        extern "C" fn on_terminate(_signum: i32) {
+            if let Some(flag) = TARGET.get() {
+                flag.store(true, Ordering::SeqCst);
+            }
+        }
+
+        type SigHandler = extern "C" fn(i32);
+        extern "C" {
+            fn signal(signum: i32, handler: SigHandler) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+
+        let target = TARGET.get_or_init(|| Arc::clone(&self.requested));
+        if !Arc::ptr_eq(target, &self.requested) {
+            return false; // another signal instance owns the handlers
+        }
+        unsafe {
+            signal(SIGINT, on_terminate);
+            signal(SIGTERM, on_terminate);
+        }
+        true
+    }
+
+    #[cfg(not(unix))]
+    fn install_os_handlers(&self) -> bool {
+        false
+    }
 }
 
 /// A SPARQL endpoint over one corpus graph. The graph is swappable at
@@ -575,19 +710,44 @@ impl Endpoint {
             .observe_duration(elapsed);
     }
 
-    /// Readiness: `200` when a corpus is loaded and the worker pool has
-    /// room, `503` otherwise. A background rebuild alone does not flip
-    /// readiness — only the cold start (no graph published yet) does.
+    /// Seconds to advertise in `Retry-After` on a `503`. An explicit
+    /// [`ServerConfig::retry_after`] wins; otherwise, while draining,
+    /// the drain deadline (after which this process is gone and a retry
+    /// will land elsewhere); otherwise the estimated time for the
+    /// worker pool to clear a full queue, clamped to 1..=30 s.
+    fn retry_after_secs(&self) -> u64 {
+        if let Some(t) = self.config.retry_after {
+            return t.as_secs().max(1);
+        }
+        if self.health.draining.load(Ordering::SeqCst) {
+            return self.config.drain_deadline.as_secs().clamp(1, 60);
+        }
+        let workers = self.config.workers.max(1) as u64;
+        (self.config.queue_depth.max(1) as u64)
+            .div_ceil(workers)
+            .clamp(1, 30)
+    }
+
+    /// Attach the derived `Retry-After` to a `503` response.
+    fn with_retry_after(&self, response: Response) -> Response {
+        response.header("Retry-After", &self.retry_after_secs().to_string())
+    }
+
+    /// Readiness: `200` when a corpus is loaded, the worker pool has
+    /// room and the endpoint is not draining; `503` otherwise. A
+    /// background rebuild alone does not flip readiness — only the cold
+    /// start (no graph published yet) does.
     fn readyz(&self) -> Response {
         let corpus_loaded = self.is_ready();
+        let draining = self.health.draining.load(Ordering::SeqCst);
         let inflight = self.health.inflight.load(Ordering::SeqCst);
         let capacity = self.config.workers.max(1) + self.config.queue_depth.max(1);
         let saturated = inflight >= capacity;
-        let ready = corpus_loaded && !saturated;
+        let ready = corpus_loaded && !saturated && !draining;
         let body = format!(
             "{{\"ready\":{ready},\"corpus_loaded\":{corpus_loaded},\
-             \"rebuilding\":{},\"saturated\":{saturated},\"inflight\":{inflight},\
-             \"ingest_errors\":{},\"lint_errors\":{}}}",
+             \"rebuilding\":{},\"draining\":{draining},\"saturated\":{saturated},\
+             \"inflight\":{inflight},\"ingest_errors\":{},\"lint_errors\":{}}}",
             self.health.rebuilding.load(Ordering::SeqCst),
             self.metrics.ingest_errors.get(),
             self.metrics.lint_errors.get(),
@@ -596,7 +756,7 @@ impl Endpoint {
             .content_type("application/json")
             .body(body);
         if !ready {
-            response = response.header("Retry-After", "1");
+            response = self.with_retry_after(response);
         }
         response
     }
@@ -632,10 +792,11 @@ impl Endpoint {
             Some(report) => Response::status(200)
                 .content_type("application/json")
                 .body(report.to_string()),
-            None => Response::status(503)
-                .content_type("application/json")
-                .header("Retry-After", "1")
-                .body("{\"error\":\"no lint report published yet\"}"),
+            None => self.with_retry_after(
+                Response::status(503)
+                    .content_type("application/json")
+                    .body("{\"error\":\"no lint report published yet\"}"),
+            ),
         }
     }
 
@@ -670,11 +831,21 @@ impl Endpoint {
     }
 
     fn sparql(&self, request: &Request) -> Response {
+        if self.health.draining.load(Ordering::SeqCst) {
+            // Refuse new queries during a graceful shutdown; probes and
+            // /metrics keep answering so the drain stays observable.
+            return self.with_retry_after(
+                Response::status(503)
+                    .content_type("application/json")
+                    .body("{\"error\":\"draining\",\"message\":\"server is shutting down\"}"),
+            );
+        }
         if !self.is_ready() {
-            return Response::status(503)
-                .content_type("application/json")
-                .header("Retry-After", "1")
-                .body("{\"error\":\"unavailable\",\"message\":\"corpus not loaded yet\"}");
+            return self.with_retry_after(
+                Response::status(503)
+                    .content_type("application/json")
+                    .body("{\"error\":\"unavailable\",\"message\":\"corpus not loaded yet\"}"),
+            );
         }
         // SPARQL protocol: GET ?query=… or POST with a form-encoded or
         // raw query body.
@@ -752,84 +923,244 @@ SELECT ?run ?start WHERE {{
         )
     }
 
+    /// Record a connection's final outcome — exactly one increment per
+    /// connection the server touched — and return the label so the
+    /// serving loop (and tests) can see it.
+    fn record_conn(&self, result: &'static str) -> &'static str {
+        self.metrics
+            .registry
+            .counter_with(
+                CONNECTIONS_TOTAL,
+                "Connections handled, by final outcome",
+                &[("result", result)],
+            )
+            .inc();
+        result
+    }
+
+    /// Serve one connection end to end: bound it, parse, dispatch,
+    /// write — and account for every way that can fail. Returns the
+    /// outcome label recorded in `provbench_connections_total`:
+    ///
+    /// * `"ok"` — a complete response was delivered (including `400`s
+    ///   for malformed requests);
+    /// * `"read_timeout"` — the request did not arrive within the
+    ///   read-timeout budget; a `408` was attempted;
+    /// * `"read_error"` — the connection died while reading; nothing
+    ///   could be answered;
+    /// * `"write_error"` — the response could not be fully written
+    ///   (partial write, reset, or write timeout);
+    /// * `"socket_error"` — a socket option could not be set; the
+    ///   connection was closed unserved (and `socket_errors_total`
+    ///   incremented).
+    ///
+    /// The invariant the chaos sweep leans on: exactly one
+    /// `connections_total` increment per call, at most one
+    /// `http_requests_total` increment, and a `"ok"` outcome means the
+    /// peer holds a byte-complete response.
+    pub fn serve_conn(&self, conn: &mut dyn Conn) -> &'static str {
+        let start = Instant::now();
+        // A socket we cannot bound is a socket we do not serve:
+        // proceeding without timeouts would hand a hostile peer an
+        // unbounded worker stall.
+        if conn
+            .set_read_timeout(Some(self.config.read_timeout))
+            .is_err()
+            || conn
+                .set_write_timeout(Some(self.config.write_timeout))
+                .is_err()
+        {
+            self.metrics.socket_errors.inc();
+            return self.record_conn("socket_error");
+        }
+        let deadline = start + self.config.read_timeout;
+        match parse_request(&mut DeadlineReader::new(conn, deadline)) {
+            Ok(request) => {
+                let method = method_label(&request.method);
+                let route = route_label(&request.path);
+                // Panic isolation: a handler panic is converted to a 500
+                // and counted; the worker thread survives to serve the
+                // next connection instead of silently shrinking the pool.
+                let response = catch_unwind(AssertUnwindSafe(|| self.handle(&request)))
+                    .unwrap_or_else(|_| {
+                        self.metrics.panics.inc();
+                        Response::status(500)
+                            .body("internal server error: request handler panicked")
+                    });
+                self.record_request(method, route, response.status, start.elapsed());
+                self.write_response(conn, &response)
+            }
+            Err(e) if e.kind() == io::ErrorKind::TimedOut => {
+                // Slowloris or a stalled peer: answer 408 if the write
+                // side still works, but the connection outcome is the
+                // timeout either way.
+                let response = Response::status(408)
+                    .content_type("application/json")
+                    .body("{\"error\":\"timeout\",\"message\":\"request not received within the read-timeout budget\"}");
+                self.record_request("other", "other", 408, start.elapsed());
+                let _ = conn
+                    .write_all(&response.to_bytes())
+                    .and_then(|()| conn.flush());
+                self.record_conn("read_timeout")
+            }
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                let response = Response::status(400).body(format!("bad request: {e}"));
+                self.record_request("other", "other", 400, start.elapsed());
+                self.write_response(conn, &response)
+            }
+            Err(_) => self.record_conn("read_error"),
+        }
+    }
+
+    /// Write a response as one buffer so truncation is an error, not a
+    /// torn response; record the connection outcome.
+    fn write_response(&self, conn: &mut dyn Conn, response: &Response) -> &'static str {
+        match conn
+            .write_all(&response.to_bytes())
+            .and_then(|()| conn.flush())
+        {
+            Ok(()) => self.record_conn("ok"),
+            Err(_) => self.record_conn("write_error"),
+        }
+    }
+
+    /// Answer a connection the worker queue has no room for: drain the
+    /// request (with a bounded wait — closing with unread bytes resets
+    /// the connection before the client can read our answer), write a
+    /// `503` with the derived `Retry-After`, and count the rejection.
+    fn reject_conn(&self, conn: &mut dyn Conn) {
+        let start = Instant::now();
+        let _ = conn.set_read_timeout(Some(Duration::from_millis(500)));
+        let _ = conn.set_write_timeout(Some(self.config.write_timeout));
+        let deadline = start + Duration::from_millis(500);
+        let (method, route) = match parse_request(&mut DeadlineReader::new(conn, deadline)) {
+            Ok(request) => (method_label(&request.method), route_label(&request.path)),
+            Err(_) => ("other", "other"),
+        };
+        let response = self
+            .with_retry_after(Response::status(503))
+            .body("server busy, retry later");
+        self.record_request(method, route, 503, start.elapsed());
+        let _ = conn
+            .write_all(&response.to_bytes())
+            .and_then(|()| conn.flush());
+        self.record_conn("rejected");
+    }
+
     /// Serve forever on the given address with a bounded worker pool.
     pub fn serve(&self, addr: impl ToSocketAddrs) -> io::Result<()> {
         let listener = TcpListener::bind(addr)?;
         self.serve_on(listener)
     }
 
-    /// Serve forever on an existing listener. `config.workers` threads
+    /// Serve forever on an existing listener (no shutdown signal — see
+    /// [`Endpoint::serve_with_shutdown`]). `config.workers` threads
     /// drain a queue of at most `config.queue_depth` waiting
     /// connections; when the queue is full the acceptor answers `503`
     /// inline so the server's thread count stays fixed under any burst.
     pub fn serve_on(&self, listener: TcpListener) -> io::Result<()> {
-        let (tx, rx) = sync_channel::<TcpStream>(self.config.queue_depth.max(1));
+        self.serve_with_shutdown(listener, &ShutdownSignal::new())
+    }
+
+    /// Serve on an existing listener until `shutdown` fires, then drain
+    /// gracefully and return `Ok`.
+    ///
+    /// The drain sequence: `/readyz` flips to `503` + `"draining":true`
+    /// and `/sparql` refuses new queries (probes keep answering, so the
+    /// drain is observable); in-flight requests run to completion,
+    /// bounded by [`ServerConfig::drain_deadline`]; the drain duration
+    /// lands in `provbench_shutdown_drain_seconds`; and the call
+    /// returns so the process can exit cleanly.
+    pub fn serve_with_shutdown(
+        &self,
+        listener: TcpListener,
+        shutdown: &ShutdownSignal,
+    ) -> io::Result<()> {
+        // Nonblocking accept so the loop observes the shutdown flag
+        // promptly (a signal cannot wake a blocking accept portably).
+        listener.set_nonblocking(true)?;
+        const POLL: Duration = Duration::from_millis(2);
+        let (tx, rx) = sync_channel::<Box<dyn Conn>>(self.config.queue_depth.max(1));
         let rx = Arc::new(Mutex::new(rx));
+        let mut workers = Vec::with_capacity(self.config.workers.max(1));
         for _ in 0..self.config.workers.max(1) {
             let endpoint = self.clone();
-            let rx: Arc<Mutex<Receiver<TcpStream>>> = Arc::clone(&rx);
-            std::thread::spawn(move || loop {
+            let rx: Arc<Mutex<Receiver<Box<dyn Conn>>>> = Arc::clone(&rx);
+            workers.push(std::thread::spawn(move || loop {
                 let next = lock(&rx).recv();
-                let Ok(mut stream) = next else {
+                let Ok(mut conn) = next else {
                     break; // acceptor gone
                 };
-                let _ = stream.set_read_timeout(Some(endpoint.config.read_timeout));
-                let start = Instant::now();
-                // Panic isolation: a handler panic is converted to a 500
-                // and counted; the worker thread survives to serve the
-                // next connection instead of silently shrinking the pool.
-                let (response, method, route) = match parse_request(&mut stream) {
-                    Ok(request) => {
-                        let method = method_label(&request.method);
-                        let route = route_label(&request.path);
-                        let response = catch_unwind(AssertUnwindSafe(|| endpoint.handle(&request)))
-                            .unwrap_or_else(|_| {
-                                endpoint.metrics.panics.inc();
-                                Response::status(500)
-                                    .body("internal server error: request handler panicked")
-                            });
-                        (response, method, route)
-                    }
-                    Err(e) => (
-                        Response::status(400).body(format!("bad request: {e}")),
-                        "other",
-                        "other",
-                    ),
-                };
-                endpoint.record_request(method, route, response.status, start.elapsed());
-                let _ = response.write_to(&mut stream);
+                endpoint.serve_conn(conn.as_mut());
                 endpoint.health.inflight.fetch_sub(1, Ordering::SeqCst);
-            });
+            }));
         }
-        for stream in listener.incoming() {
-            let stream = stream?;
-            self.health.inflight.fetch_add(1, Ordering::SeqCst);
-            match tx.try_send(stream) {
-                Ok(()) => {}
-                Err(TrySendError::Full(mut stream)) => {
-                    self.health.inflight.fetch_sub(1, Ordering::SeqCst);
-                    // Saturated: reject on the acceptor thread. Drain the
-                    // request first (with a bounded wait) — closing with
-                    // unread bytes resets the connection before the
-                    // client can read our answer.
-                    let start = Instant::now();
-                    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
-                    let (method, route) = match parse_request(&mut stream) {
-                        Ok(request) => (method_label(&request.method), route_label(&request.path)),
-                        Err(_) => ("other", "other"),
-                    };
-                    let _ = Response::status(503)
-                        .header("Retry-After", "1")
-                        .body("server busy, retry later")
-                        .write_to(&mut stream);
-                    self.record_request(method, route, 503, start.elapsed());
-                }
-                Err(TrySendError::Disconnected(_)) => {
-                    self.health.inflight.fetch_sub(1, Ordering::SeqCst);
+        let mut drain_started: Option<Instant> = None;
+        loop {
+            if drain_started.is_none() && shutdown.is_requested() {
+                self.health.draining.store(true, Ordering::SeqCst);
+                drain_started = Some(Instant::now());
+            }
+            if let Some(started) = drain_started {
+                // Keep accepting while draining (late probes get a
+                // draining 503, not a refused connection) until the
+                // in-flight work is done or the deadline passes.
+                let done = self.health.inflight.load(Ordering::SeqCst) == 0;
+                if done || started.elapsed() >= self.config.drain_deadline {
                     break;
                 }
             }
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    // Accepted sockets don't inherit the listener's
+                    // nonblocking mode on every platform; be explicit.
+                    if stream.set_nonblocking(false).is_err() {
+                        self.metrics.socket_errors.inc();
+                        self.record_conn("socket_error");
+                        continue;
+                    }
+                    self.health.inflight.fetch_add(1, Ordering::SeqCst);
+                    match tx.try_send(Box::new(stream)) {
+                        Ok(()) => {}
+                        Err(TrySendError::Full(mut conn)) => {
+                            self.health.inflight.fetch_sub(1, Ordering::SeqCst);
+                            self.reject_conn(conn.as_mut());
+                        }
+                        Err(TrySendError::Disconnected(_)) => {
+                            self.health.inflight.fetch_sub(1, Ordering::SeqCst);
+                            break;
+                        }
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
         }
+        // Stop feeding the pool; workers exit when the queue is empty.
+        drop(tx);
+        let started = drain_started.unwrap_or_else(Instant::now);
+        let deadline = started + self.config.drain_deadline;
+        while self.health.inflight.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            std::thread::sleep(POLL);
+        }
+        if self.health.inflight.load(Ordering::SeqCst) == 0 {
+            // Fully drained: join the pool so every response is flushed
+            // before the caller exits the process. (Past the deadline a
+            // straggler may still hold a worker; leave it detached
+            // rather than hang the shutdown.)
+            for worker in workers {
+                let _ = worker.join();
+            }
+        }
+        self.metrics
+            .registry
+            .histogram(
+                SHUTDOWN_DRAIN_SECONDS,
+                "Graceful-shutdown drain duration",
+                LATENCY_BUCKETS,
+            )
+            .observe_duration(started.elapsed());
         Ok(())
     }
 }
@@ -1521,5 +1852,267 @@ mod tests {
         let ep = endpoint();
         let r = ep.handle(&request("GET /debug/panic HTTP/1.1\r\n\r\n"));
         assert_eq!(r.status, 404);
+    }
+
+    /// One metric sample's value from a rendered registry.
+    fn sample(rendered: &str, needle: &str) -> u64 {
+        rendered
+            .lines()
+            .find(|l| l.starts_with(needle))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0)
+    }
+
+    #[test]
+    fn serve_conn_counts_every_connection_once() {
+        use crate::net::BufConn;
+        let ep = endpoint();
+        let q = crate::http::url_encode("SELECT ?s WHERE { ?s ?p ?o }");
+
+        let mut conn =
+            BufConn::request(format!("GET /sparql?query={q} HTTP/1.1\r\nHost: t\r\n\r\n"));
+        assert_eq!(ep.serve_conn(&mut conn), "ok");
+        let text = String::from_utf8_lossy(conn.output());
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+
+        // A malformed request is still a delivered (400) response.
+        let mut conn = BufConn::request("NONSENSE\r\n\r\n");
+        assert_eq!(ep.serve_conn(&mut conn), "ok");
+        assert!(String::from_utf8_lossy(conn.output()).starts_with("HTTP/1.1 400"));
+
+        let rendered = ep.registry().render_prometheus();
+        assert_eq!(
+            sample(&rendered, "provbench_connections_total{result=\"ok\"}"),
+            2,
+            "{rendered}"
+        );
+    }
+
+    /// Satellite: a socket whose options cannot be set is closed and
+    /// counted, never served with unbounded timeouts.
+    #[test]
+    fn socket_option_failure_closes_connection_and_counts() {
+        use crate::net::Conn;
+
+        struct BrokenSocket {
+            wrote: bool,
+        }
+        impl std::io::Read for BrokenSocket {
+            fn read(&mut self, _buf: &mut [u8]) -> io::Result<usize> {
+                Ok(0)
+            }
+        }
+        impl std::io::Write for BrokenSocket {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.wrote = true;
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        impl Conn for BrokenSocket {
+            fn set_read_timeout(&mut self, _t: Option<Duration>) -> io::Result<()> {
+                Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "setsockopt failed",
+                ))
+            }
+            fn set_write_timeout(&mut self, _t: Option<Duration>) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let ep = endpoint();
+        let mut conn = BrokenSocket { wrote: false };
+        assert_eq!(ep.serve_conn(&mut conn), "socket_error");
+        assert!(!conn.wrote, "an unbounded connection must not be served");
+        let rendered = ep.registry().render_prometheus();
+        assert_eq!(sample(&rendered, "provbench_socket_errors_total"), 1);
+        assert_eq!(
+            sample(
+                &rendered,
+                "provbench_connections_total{result=\"socket_error\"}"
+            ),
+            1
+        );
+        // No HTTP request was (or could be) recorded for it.
+        assert!(
+            !rendered.contains("provbench_http_requests_total{"),
+            "{rendered}"
+        );
+    }
+
+    /// Satellite: the Retry-After on 503s derives from queue depth /
+    /// drain state unless configured explicitly.
+    #[test]
+    fn retry_after_is_derived_or_configured() {
+        // Default 8 workers / 32 queued → ceil(32/8) = 4 s.
+        let ep = endpoint();
+        assert_eq!(ep.retry_after_secs(), 4);
+        // A 1-worker, 1-slot pool keeps the old hint of 1 s.
+        let ep = endpoint_with(ServerConfig::new().workers(1).queue_depth(1));
+        assert_eq!(ep.retry_after_secs(), 1);
+        // Explicit configuration wins.
+        let ep = endpoint_with(ServerConfig::new().retry_after(Duration::from_secs(7)));
+        assert_eq!(ep.retry_after_secs(), 7);
+        // Draining advertises the drain deadline: by then this process
+        // is gone and the retry lands on a healthy peer.
+        let ep = endpoint_with(ServerConfig::new().drain_deadline(Duration::from_secs(9)));
+        ep.health.draining.store(true, Ordering::SeqCst);
+        assert_eq!(ep.retry_after_secs(), 9);
+        // And the derived value reaches the wire on an unready 503.
+        let ep = Endpoint::unready(ServerConfig::new().registry(Arc::new(Registry::new())));
+        let r = ep.handle(&request("GET /readyz HTTP/1.1\r\n\r\n"));
+        assert!(
+            r.headers.contains(&("Retry-After".into(), "4".into())),
+            "{:?}",
+            r.headers
+        );
+    }
+
+    /// While draining, probes and metrics keep answering but new
+    /// queries are refused with a drain-scented 503.
+    #[test]
+    fn draining_refuses_queries_but_keeps_probes() {
+        let ep = endpoint();
+        ep.health.draining.store(true, Ordering::SeqCst);
+        let r = ep.handle(&request("GET /readyz HTTP/1.1\r\n\r\n"));
+        assert_eq!(r.status, 503);
+        assert!(r.body.contains("\"draining\":true"), "{}", r.body);
+        let q = crate::http::url_encode("SELECT ?s WHERE { ?s ?p ?o }");
+        let r = ep.handle(&request(&format!("GET /sparql?query={q} HTTP/1.1\r\n\r\n")));
+        assert_eq!(r.status, 503);
+        assert!(r.body.contains("\"error\":\"draining\""), "{}", r.body);
+        assert!(ep.handle(&request("GET /healthz HTTP/1.1\r\n\r\n")).status == 200);
+        assert!(ep.handle(&request("GET /metrics HTTP/1.1\r\n\r\n")).status == 200);
+    }
+
+    /// Satellite: a slowloris client dribbling header bytes gets a 408
+    /// within the read-timeout budget — the total-deadline reader, not
+    /// the per-read socket timeout, is what bounds it.
+    #[test]
+    fn slowloris_dribbler_gets_408_within_budget() {
+        let ep = endpoint_with(ServerConfig::new().read_timeout(Duration::from_millis(300)));
+        let registry = Arc::clone(ep.registry());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = ep.clone();
+        std::thread::spawn(move || {
+            let _ = server.serve_on(listener);
+        });
+
+        let start = Instant::now();
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let dribbler = std::thread::spawn(move || {
+            // One byte per 40 ms: each read succeeds well inside a
+            // per-read timeout, but the total budget runs out.
+            for b in b"GET /readyz HTTP/1.1\r\nHost: t\r\n\r\n" {
+                if writer.write_all(&[*b]).is_err() {
+                    break; // server gave up on us, as it should
+                }
+                std::thread::sleep(Duration::from_millis(40));
+            }
+        });
+        let mut response = String::new();
+        let mut reader = stream;
+        reader.read_to_string(&mut response).unwrap();
+        dribbler.join().unwrap();
+
+        assert!(response.starts_with("HTTP/1.1 408"), "{response}");
+        assert!(
+            start.elapsed() < Duration::from_secs(3),
+            "408 took {:?}",
+            start.elapsed()
+        );
+        let rendered = registry.render_prometheus();
+        assert_eq!(
+            sample(
+                &rendered,
+                "provbench_connections_total{result=\"read_timeout\"}"
+            ),
+            1,
+            "{rendered}"
+        );
+        let requests = rendered
+            .lines()
+            .find(|l| {
+                l.starts_with("provbench_http_requests_total{") && l.contains("status=\"408\"")
+            })
+            .unwrap_or_else(|| panic!("no status=\"408\" sample in\n{rendered}"));
+        assert!(requests.ends_with(" 1"), "{requests}");
+    }
+
+    /// Tentpole: a shutdown request drains in-flight work — the slow
+    /// query completes, probes observe `draining`, the serve call
+    /// returns cleanly, and the drain duration lands on the registry.
+    #[test]
+    fn graceful_shutdown_drains_inflight_requests() {
+        let mut turtle = String::from("@prefix e: <http://e/> .\n");
+        for i in 0..80 {
+            turtle.push_str(&format!("e:s{i} e:p{} e:o{i} .\n", i % 7));
+        }
+        let (g, _) = parse_turtle(&turtle).unwrap();
+        let registry = Arc::new(Registry::new());
+        let ep = Endpoint::with_config(
+            g,
+            ServerConfig::new()
+                .workers(2)
+                .drain_deadline(Duration::from_secs(60))
+                .registry(Arc::clone(&registry)),
+        );
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let shutdown = ShutdownSignal::new();
+        let signal = shutdown.clone();
+        let server = ep.clone();
+        let serving = std::thread::spawn(move || server.serve_with_shutdown(listener, &signal));
+
+        // Occupy a worker with a query slow enough to outlive the
+        // shutdown request.
+        let slow = crate::http::url_encode(
+            "SELECT (COUNT(*) AS ?n) WHERE { ?a ?b ?c . ?d ?e ?f . ?g ?h ?i }",
+        );
+        let inflight = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            write!(
+                stream,
+                "GET /sparql?query={slow} HTTP/1.1\r\nHost: t\r\n\r\n"
+            )
+            .unwrap();
+            let mut response = String::new();
+            stream.read_to_string(&mut response).unwrap();
+            response
+        });
+        std::thread::sleep(Duration::from_millis(100));
+
+        shutdown.request();
+        std::thread::sleep(Duration::from_millis(20));
+        // A probe during the drain sees the draining state (the
+        // acceptor keeps serving probes while in-flight work finishes).
+        let mut probe = TcpStream::connect(addr).unwrap();
+        write!(probe, "GET /readyz HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let mut readyz = String::new();
+        probe.read_to_string(&mut readyz).unwrap();
+        assert!(readyz.starts_with("HTTP/1.1 503"), "{readyz}");
+        assert!(readyz.contains("\"draining\":true"), "{readyz}");
+
+        // The in-flight query still completes, byte-complete.
+        let response = inflight.join().unwrap();
+        assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+        let body = response.split("\r\n\r\n").nth(1).unwrap_or("");
+        assert!(
+            response.contains(&format!("Content-Length: {}\r\n", body.len())),
+            "{response}"
+        );
+        // And the serve loop returns cleanly (the process may exit 0).
+        serving.join().unwrap().unwrap();
+        let rendered = registry.render_prometheus();
+        assert_eq!(
+            sample(&rendered, "provbench_shutdown_drain_seconds_count"),
+            1,
+            "{rendered}"
+        );
     }
 }

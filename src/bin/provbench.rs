@@ -20,7 +20,7 @@ use provbench::analysis::coverage::term_usage;
 use provbench::analysis::{coverage_of_corpus, dependency_edges};
 use provbench::corpus::stats::{CorpusStats, Table1};
 use provbench::corpus::{research_object_for, store, Corpus, CorpusSpec};
-use provbench::endpoint::{Endpoint, ServerConfig};
+use provbench::endpoint::{url_encode, Client, Endpoint, ServerConfig, ShutdownSignal};
 use provbench::prov::from_rdf::graph_to_document;
 use provbench::prov::{validate, write_provn};
 use provbench::query::exemplar::PREFIXES;
@@ -46,6 +46,8 @@ struct Options {
     incremental: bool,
     explain_rule: Option<String>,
     trace: Option<String>,
+    endpoint: Option<String>,
+    drain_ms: Option<u64>,
     positional: Vec<String>,
 }
 
@@ -66,6 +68,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         incremental: false,
         explain_rule: None,
         trace: None,
+        endpoint: None,
+        drain_ms: None,
         positional: Vec::new(),
     };
     // Accept both `--opt value` and `--opt=value`.
@@ -116,6 +120,14 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 o.explain_rule = Some(it.next().ok_or("--explain needs a rule id")?.clone())
             }
             "--trace" => o.trace = Some(it.next().ok_or("--trace needs a file path")?.clone()),
+            "--endpoint" => o.endpoint = Some(it.next().ok_or("--endpoint needs a URL")?.clone()),
+            "--drain-ms" => {
+                o.drain_ms = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--drain-ms needs an integer")?,
+                )
+            }
             other if other.starts_with("--") => return Err(format!("unknown option {other}")),
             other => o.positional.push(other.to_owned()),
         }
@@ -290,8 +302,31 @@ fn query_error(source: &str, e: QueryError) -> String {
     }
 }
 
+/// Run the query against a served endpoint instead of a local graph,
+/// through the retrying [`Client`] (jittered backoff, honors
+/// Retry-After, idempotent GETs only — see docs/query.md).
+fn remote_query(url: &str, q: &str) -> Result<(), String> {
+    let client = Client::new(url)?;
+    let full = format!("{PREFIXES}\n{q}");
+    let path = format!("/sparql?format=tsv&query={}", url_encode(&full));
+    let response = client.get(&path).map_err(|e| format!("query {url}: {e}"))?;
+    if response.status != 200 {
+        return Err(format!(
+            "endpoint answered {}: {}",
+            response.status,
+            response.text().trim()
+        ));
+    }
+    print!("{}", response.text());
+    eprintln!("(served by {url})");
+    Ok(())
+}
+
 fn cmd_query(o: &Options) -> Result<(), String> {
     let q = o.positional.first().ok_or("query needs a SPARQL string")?;
+    if let Some(url) = &o.endpoint {
+        return remote_query(url, q);
+    }
     let (graph, source) = corpus_graph(o)?;
     eprintln!("corpus: {source}");
     let full = format!("{PREFIXES}\n{q}");
@@ -315,30 +350,48 @@ fn cmd_query(o: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// The endpoint configuration shared by both serve modes: `--jobs` and
+/// the `--drain-ms` graceful-shutdown deadline.
+fn serve_config(o: &Options) -> ServerConfig {
+    let mut config = ServerConfig::new().eval_jobs(o.jobs.unwrap_or(1));
+    if let Some(ms) = o.drain_ms {
+        config = config.drain_deadline(std::time::Duration::from_millis(ms));
+    }
+    config
+}
+
+/// Bind, install SIGTERM/Ctrl-C handlers, and serve until a shutdown is
+/// requested; in-flight requests drain before this returns. Binding
+/// before printing means `--addr 127.0.0.1:0` reports the actual port.
+fn serve_endpoint(endpoint: &Endpoint, addr: &str) -> Result<(), String> {
+    let listener = std::net::TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
+    let local = listener.local_addr().map_err(|e| e.to_string())?;
+    let shutdown = ShutdownSignal::new();
+    if !shutdown.install_termination_handler() {
+        eprintln!("warning: no SIGTERM/Ctrl-C handler on this platform; kill to stop");
+    }
+    eprintln!("listening on http://{local}/");
+    endpoint
+        .serve_with_shutdown(listener, &shutdown)
+        .map_err(|e| e.to_string())?;
+    eprintln!("shutdown: in-flight requests drained, exiting");
+    Ok(())
+}
+
 fn cmd_serve(o: &Options) -> Result<(), String> {
     let Some(dir) = o.dir.clone() else {
-        // In-memory corpus: nothing to watch, serve synchronously.
+        // In-memory corpus: nothing to watch, serve directly.
         let (graph, source) = corpus_graph(o)?;
-        eprintln!(
-            "serving {} triples on http://{}/ (corpus: {source})",
-            graph.len(),
-            o.addr
-        );
-        return Endpoint::with_config(
-            graph,
-            ServerConfig::new()
-                .eval_jobs(o.jobs.unwrap_or(1))
-                .source(source),
-        )
-        .serve(&o.addr)
-        .map_err(|e| e.to_string());
+        eprintln!("serving {} triples (corpus: {source})", graph.len());
+        let endpoint = Endpoint::with_config(graph, serve_config(o).source(source));
+        return serve_endpoint(&endpoint, &o.addr);
     };
 
     // Degraded-mode serving: bind and answer /healthz immediately, load
     // the corpus in the background (readiness flips when it lands), and
     // keep watching the source directory — a fingerprint change triggers
     // a rebuild while requests keep being served from the old graph.
-    let endpoint = Endpoint::unready(ServerConfig::new().eval_jobs(o.jobs.unwrap_or(1)));
+    let endpoint = Endpoint::unready(serve_config(o));
     let loader = endpoint.clone();
     let opts_jobs = o.jobs.unwrap_or_else(store::default_load_jobs);
     let strict = o.strict;
@@ -392,12 +445,8 @@ fn cmd_serve(o: &Options) -> Result<(), String> {
             std::thread::sleep(std::time::Duration::from_secs(2));
         }
     });
-    eprintln!(
-        "serving on http://{}/ (degraded until {dir} finishes loading; \
-         watch /readyz)",
-        o.addr
-    );
-    endpoint.serve(&o.addr).map_err(|e| e.to_string())
+    eprintln!("degraded until {dir} finishes loading; watch /readyz");
+    serve_endpoint(&endpoint, &o.addr)
 }
 
 fn find_trace<'a>(
@@ -793,9 +842,13 @@ const USAGE: &str = "usage: provbench <command> [options]
   query 'SPARQL' [--dir DIR | --seed N] [--jobs N]   run SPARQL over the corpus
            (--jobs parallelizes evaluation; 0 = one per core, results
             byte-identical to a serial run for any count)
+           [--endpoint URL] sends the query to a served endpoint instead,
+            with jittered retries on transient failures (docs/query.md)
   serve    [--addr HOST:PORT] [--dir DIR] [--jobs N] SPARQL endpoint + web UI
            (with --dir: loads in the background; /healthz + /readyz report state;
-            --jobs sets per-request evaluation threads, default 1)
+            --jobs sets per-request evaluation threads, default 1;
+            SIGTERM/Ctrl-C drains in-flight requests before exiting —
+            --drain-ms MS bounds the drain, default 5000)
   nquads   --out FILE [--seed N]                bulk N-Quads export
   provn    RUN_ID [--seed N]                    one trace as PROV-N
   provjson RUN_ID [--seed N]                    one trace as PROV-JSON

@@ -1,0 +1,218 @@
+//! Process-level graceful-shutdown suite: a served endpoint, killed
+//! with SIGTERM mid-work, drains in-flight requests and exits 0.
+//!
+//! The in-process drain mechanics (draining visible on `/readyz`,
+//! drain-duration histogram, worker join) are unit-tested in
+//! `provbench-endpoint`; this suite proves the wiring end to end
+//! through the real binary: signal handler installation, the
+//! bind-first `listening on …` line, `--drain-ms`, the retrying
+//! `--endpoint` client, and the process exit code.
+
+use provbench::corpus::{store, Corpus, CorpusSpec};
+use provbench::endpoint::{Client, ClientConfig};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn provbench_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_provbench")
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("provbench-shutdown-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A corpus small enough to load quickly, big enough that a cross-join
+/// query holds a worker for a noticeable moment.
+fn write_corpus(dir: &Path) {
+    let spec = CorpusSpec {
+        max_workflows: Some(2),
+        total_runs: 3,
+        failed_runs: 0,
+        ..CorpusSpec::default()
+    };
+    store::save(&Corpus::generate(&spec), dir).unwrap();
+}
+
+/// Spawn `provbench serve` on an OS-assigned port and return the child
+/// plus the address parsed from its bind-first `listening on …` line.
+/// Remaining stderr is drained to a thread so the child never blocks
+/// on a full pipe.
+fn spawn_server(dir: &Path, drain_ms: u64) -> (Child, String, std::sync::mpsc::Receiver<String>) {
+    let mut child = Command::new(provbench_bin())
+        .args([
+            "serve",
+            "--dir",
+            dir.to_str().unwrap(),
+            "--addr",
+            "127.0.0.1:0",
+            "--drain-ms",
+            &drain_ms.to_string(),
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    let stderr = child.stderr.take().unwrap();
+    let mut lines = BufReader::new(stderr).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("server exited before announcing its address")
+            .unwrap();
+        if let Some(rest) = line.strip_prefix("listening on http://") {
+            break rest.trim_end_matches('/').to_owned();
+        }
+    };
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        for line in lines.map_while(Result::ok) {
+            let _ = tx.send(line);
+        }
+    });
+    (child, addr, rx)
+}
+
+/// Poll `/readyz` until the background corpus load lands.
+fn await_ready(addr: &str) {
+    let client = Client::with_config(
+        &format!("http://{addr}"),
+        ClientConfig {
+            max_attempts: 1,
+            ..ClientConfig::default()
+        },
+    )
+    .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        if let Ok(r) = client.get("/readyz") {
+            if r.status == 200 {
+                return;
+            }
+        }
+        assert!(Instant::now() < deadline, "corpus never became ready");
+        std::thread::sleep(Duration::from_millis(200));
+    }
+}
+
+/// Wait for the child to exit, with a deadline — a hung drain must
+/// fail the test, not the suite's timeout.
+fn wait_with_deadline(child: &mut Child, deadline: Duration) -> std::process::ExitStatus {
+    let start = Instant::now();
+    loop {
+        if let Some(status) = child.try_wait().unwrap() {
+            return status;
+        }
+        if start.elapsed() > deadline {
+            let _ = child.kill();
+            panic!("server did not exit within {deadline:?} of SIGTERM");
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+#[test]
+fn sigterm_drains_inflight_work_and_exits_zero() {
+    let dir = tmpdir("sigterm");
+    write_corpus(&dir);
+    let (mut child, addr, stderr) = spawn_server(&dir, 30_000);
+    await_ready(&addr);
+
+    // End-to-end check of the retrying client wiring: `provbench query
+    // --endpoint` against the live server.
+    let remote = Command::new(provbench_bin())
+        .args([
+            "query",
+            "SELECT (COUNT(?r) AS ?runs) WHERE { ?r a wfprov:WorkflowRun }",
+            "--endpoint",
+            &format!("http://{addr}"),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        remote.status.success(),
+        "remote query failed: {}",
+        String::from_utf8_lossy(&remote.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&remote.stdout);
+    assert!(stdout.starts_with("runs"), "unexpected TSV: {stdout}");
+
+    // Put a slow cross-join in flight, then SIGTERM the server while
+    // the worker is still chewing on it.
+    let slow = std::thread::spawn({
+        let addr = addr.clone();
+        move || {
+            let query = provbench::endpoint::url_encode(
+                "SELECT (COUNT(*) AS ?n) WHERE { ?a ?b ?c . ?d ?e ?f }",
+            );
+            let mut stream = TcpStream::connect(&addr).unwrap();
+            write!(
+                stream,
+                "GET /sparql?query={query} HTTP/1.1\r\nHost: t\r\n\r\n"
+            )
+            .unwrap();
+            let mut response = String::new();
+            stream.read_to_string(&mut response).unwrap();
+            response
+        }
+    });
+    std::thread::sleep(Duration::from_millis(150));
+
+    let kill = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .unwrap();
+    assert!(kill.success());
+
+    // The in-flight request completes, byte-complete, despite the
+    // signal landing mid-evaluation.
+    let response = slow.join().unwrap();
+    assert!(
+        response.starts_with("HTTP/1.1 200"),
+        "in-flight request was dropped: {response}"
+    );
+    let body = response.split("\r\n\r\n").nth(1).unwrap_or("");
+    assert!(
+        response.contains(&format!("Content-Length: {}\r\n", body.len())),
+        "truncated response: {response}"
+    );
+
+    // And the process drains and exits 0 well inside the drain budget.
+    let status = wait_with_deadline(&mut child, Duration::from_secs(30));
+    assert!(status.success(), "exit status {status:?}");
+    let tail: Vec<String> = stderr.try_iter().collect();
+    assert!(
+        tail.iter().any(|l| l.contains("drained")),
+        "no drain message in stderr tail: {tail:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// SIGTERM with nothing in flight: immediate clean exit — the drain
+/// loop must not wait out its deadline when there is nothing to drain.
+#[test]
+fn sigterm_when_idle_exits_promptly() {
+    let dir = tmpdir("idle");
+    write_corpus(&dir);
+    let (mut child, addr, _stderr) = spawn_server(&dir, 30_000);
+    await_ready(&addr);
+
+    let sent = Instant::now();
+    let kill = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .unwrap();
+    assert!(kill.success());
+    let status = wait_with_deadline(&mut child, Duration::from_secs(10));
+    assert!(status.success(), "exit status {status:?}");
+    assert!(
+        sent.elapsed() < Duration::from_secs(5),
+        "idle shutdown took {:?}",
+        sent.elapsed()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
