@@ -25,6 +25,17 @@ SELECT ?run ?data ?o WHERE {
   ?run a wfprov:WorkflowRun .
 }";
 
+/// The same adversarial join as an ASK: the first-row fast path should
+/// answer without evaluating the join at all.
+const ASK_JOIN_QUERY: &str = "
+PREFIX prov: <http://www.w3.org/ns/prov#>
+PREFIX wfprov: <http://purl.org/wf4ever/wfprov#>
+ASK {
+  ?data ?p ?o .
+  ?run prov:used ?data .
+  ?run a wfprov:WorkflowRun .
+}";
+
 fn bench(c: &mut Criterion) {
     let corpus = bench_corpus();
     let graph = corpus.combined_graph();
@@ -131,6 +142,71 @@ fn bench(c: &mut Criterion) {
         serial_s * 1e3,
         parallel_s * 1e3,
         serial_s / parallel_s
+    );
+
+    // LIMIT/ASK pushdown on the same adversarial join: the streaming
+    // pipeline must stop scanning after the first row instead of
+    // evaluating the full join and truncating afterwards.
+    let limited = Arc::new(
+        parse_query(&format!("{JOIN_QUERY}\nLIMIT 1")).expect("limited join query parses"),
+    );
+    let limited = QueryEngine::new(&full_graph).prepare_parsed(limited);
+    let asked = Arc::new(parse_query(ASK_JOIN_QUERY).expect("ask join query parses"));
+    let asked = QueryEngine::new(&full_graph).prepare_parsed(asked);
+    assert_eq!(limited.select().unwrap().len(), 1);
+    assert!(asked.ask().unwrap());
+
+    let mut group = c.benchmark_group("limit_pushdown");
+    group.sample_size(10);
+    group.bench_function("full_join", |b| {
+        b.iter(|| black_box(serial.select().unwrap()))
+    });
+    group.bench_function("limit_1", |b| {
+        b.iter(|| black_box(limited.select().unwrap()))
+    });
+    group.bench_function("ask", |b| b.iter(|| black_box(asked.ask().unwrap())));
+    group.finish();
+
+    // Measured passes for the headline number (best of three for the
+    // sub-millisecond early-exit paths), asserted so a pushdown
+    // regression fails the bench run itself.
+    let t = Instant::now();
+    let _ = serial.select().unwrap();
+    let full_s = t.elapsed().as_secs_f64();
+    let limit_s = (0..3)
+        .map(|_| {
+            let t = Instant::now();
+            let _ = limited.select().unwrap();
+            t.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min);
+    let ask_s = (0..3)
+        .map(|_| {
+            let t = Instant::now();
+            let _ = asked.ask().unwrap();
+            t.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min);
+    println!("\n--- limit pushdown (full corpus, same join) ---");
+    println!(
+        "full {:.1} ms · limit-1 {:.3} ms ({:.0}x) · ask {:.3} ms ({:.0}x)",
+        full_s * 1e3,
+        limit_s * 1e3,
+        full_s / limit_s,
+        ask_s * 1e3,
+        full_s / ask_s
+    );
+    assert!(
+        full_s / limit_s >= 10.0,
+        "LIMIT 1 must be >=10x faster than the full join ({:.1} ms vs {:.3} ms)",
+        full_s * 1e3,
+        limit_s * 1e3
+    );
+    assert!(
+        full_s / ask_s >= 10.0,
+        "ASK must be >=10x faster than the full join ({:.1} ms vs {:.3} ms)",
+        full_s * 1e3,
+        ask_s * 1e3
     );
 
     println!(

@@ -1,7 +1,13 @@
 //! SPARQL 1.1 Query Results serialization: the standard JSON format and
 //! a tab-separated text format for command-line use.
+//!
+//! Both formats have an incremental writer ([`JsonRowsWriter`],
+//! [`TsvRowsWriter`]) fed one row at a time from a streaming
+//! [`provbench_query::Rows`] iterator; the batch `solutions_to_*`
+//! functions are thin drains over them, so streamed and materialized
+//! serializations are byte-identical by construction.
 
-use provbench_query::Solutions;
+use provbench_query::{Bindings, Solutions};
 use provbench_rdf::Term;
 
 /// Escape a string for inclusion in a JSON string literal.
@@ -50,56 +56,142 @@ fn term_to_json(term: &Term, out: &mut String) {
     out.push('}');
 }
 
-/// Serialize solutions as `application/sparql-results+json`.
-pub fn solutions_to_json(solutions: &Solutions) -> String {
-    let mut out = String::from("{\"head\":{\"vars\":[");
-    for (i, v) in solutions.variables.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        out.push('"');
-        json_escape(v, &mut out);
-        out.push('"');
-    }
-    out.push_str("]},\"results\":{\"bindings\":[");
-    for (ri, row) in solutions.rows.iter().enumerate() {
-        if ri > 0 {
-            out.push(',');
-        }
-        out.push('{');
-        let mut first = true;
-        for v in &solutions.variables {
-            if let Some(term) = row.get(v) {
-                if !first {
-                    out.push(',');
-                }
-                first = false;
-                out.push('"');
-                json_escape(v, &mut out);
-                out.push_str("\":");
-                term_to_json(term, &mut out);
-            }
-        }
-        out.push('}');
-    }
-    out.push_str("]}}");
-    out
+/// Incremental `application/sparql-results+json` serializer: the
+/// header is written at construction, each [`push`](Self::push) appends
+/// one binding row, and [`finish`](Self::finish) closes the document.
+pub struct JsonRowsWriter {
+    out: String,
+    variables: Vec<String>,
+    rows: usize,
 }
 
-/// Serialize solutions as a tab-separated table (header + rows).
-pub fn solutions_to_tsv(solutions: &Solutions) -> String {
-    let mut out = solutions.variables.join("\t");
-    out.push('\n');
-    for row in &solutions.rows {
-        let cells: Vec<String> = solutions
+impl JsonRowsWriter {
+    /// Start a result document projecting `variables`.
+    pub fn new(variables: &[String]) -> Self {
+        let mut out = String::from("{\"head\":{\"vars\":[");
+        for (i, v) in variables.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            json_escape(v, &mut out);
+            out.push('"');
+        }
+        out.push_str("]},\"results\":{\"bindings\":[");
+        JsonRowsWriter {
+            out,
+            variables: variables.to_vec(),
+            rows: 0,
+        }
+    }
+
+    /// Append one solution row.
+    pub fn push(&mut self, row: &Bindings) {
+        if self.rows > 0 {
+            self.out.push(',');
+        }
+        self.rows += 1;
+        self.out.push('{');
+        let mut first = true;
+        for v in &self.variables {
+            if let Some(term) = row.get(v) {
+                if !first {
+                    self.out.push(',');
+                }
+                first = false;
+                self.out.push('"');
+                json_escape(v, &mut self.out);
+                self.out.push_str("\":");
+                term_to_json(term, &mut self.out);
+            }
+        }
+        self.out.push('}');
+    }
+
+    /// Rows pushed so far.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// True if no row has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Close the document and return the serialized bytes.
+    pub fn finish(mut self) -> String {
+        self.out.push_str("]}}");
+        self.out
+    }
+}
+
+/// Incremental tab-separated serializer: header line at construction,
+/// one line per [`push`](Self::push).
+pub struct TsvRowsWriter {
+    out: String,
+    variables: Vec<String>,
+    rows: usize,
+}
+
+impl TsvRowsWriter {
+    /// Start a table with a header line naming `variables`.
+    pub fn new(variables: &[String]) -> Self {
+        let mut out = variables.join("\t");
+        out.push('\n');
+        TsvRowsWriter {
+            out,
+            variables: variables.to_vec(),
+            rows: 0,
+        }
+    }
+
+    /// Append one solution row (unbound variables serialize empty).
+    pub fn push(&mut self, row: &Bindings) {
+        self.rows += 1;
+        let cells: Vec<String> = self
             .variables
             .iter()
             .map(|v| row.get(v).map_or(String::new(), |t| t.to_string()))
             .collect();
-        out.push_str(&cells.join("\t"));
-        out.push('\n');
+        self.out.push_str(&cells.join("\t"));
+        self.out.push('\n');
     }
-    out
+
+    /// Rows pushed so far.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// True if no row has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Return the serialized table.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Serialize solutions as `application/sparql-results+json`: a drain of
+/// [`JsonRowsWriter`], so it matches streamed serialization byte for
+/// byte.
+pub fn solutions_to_json(solutions: &Solutions) -> String {
+    let mut w = JsonRowsWriter::new(&solutions.variables);
+    for row in &solutions.rows {
+        w.push(row);
+    }
+    w.finish()
+}
+
+/// Serialize solutions as a tab-separated table (header + rows): a
+/// drain of [`TsvRowsWriter`].
+pub fn solutions_to_tsv(solutions: &Solutions) -> String {
+    let mut w = TsvRowsWriter::new(&solutions.variables);
+    for row in &solutions.rows {
+        w.push(row);
+    }
+    w.finish()
 }
 
 #[cfg(test)]
@@ -168,6 +260,22 @@ mod tests {
         let tsv = solutions_to_tsv(&s);
         assert_eq!(tsv.lines().count(), 1 + s.len());
         assert!(tsv.starts_with("p\to\n"));
+    }
+
+    #[test]
+    fn incremental_writers_match_batch() {
+        let s = solutions();
+        let mut jw = JsonRowsWriter::new(&s.variables);
+        let mut tw = TsvRowsWriter::new(&s.variables);
+        assert!(jw.is_empty() && tw.is_empty());
+        for row in &s.rows {
+            jw.push(row);
+            tw.push(row);
+        }
+        assert_eq!(jw.len(), s.len());
+        assert_eq!(tw.len(), s.len());
+        assert_eq!(jw.finish(), solutions_to_json(&s));
+        assert_eq!(tw.finish(), solutions_to_tsv(&s));
     }
 
     #[test]

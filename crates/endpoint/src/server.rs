@@ -5,7 +5,7 @@
 
 use crate::http::{parse_request, Request, Response};
 use crate::net::{Conn, DeadlineReader};
-use crate::results::{solutions_to_json, solutions_to_tsv};
+use crate::results::{JsonRowsWriter, TsvRowsWriter};
 use provbench_obs::{Counter, Gauge, Registry, LATENCY_BUCKETS};
 use provbench_query::sparql::ast::Query;
 use provbench_query::{parse_query, EvalOptions, QueryEngine, QueryError, QueryParseError};
@@ -231,61 +231,6 @@ impl ServerConfig {
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig::new()
-    }
-}
-
-/// Concurrency and resource knobs for a served endpoint.
-///
-/// Compatibility shim for one release: convert with
-/// `ServerConfig::from(config)` or pass it directly to
-/// [`Endpoint::with_config`] / [`Endpoint::unready`], which accept
-/// `impl Into<ServerConfig>`.
-#[deprecated(note = "use the ServerConfig builder instead")]
-#[derive(Clone, Copy, Debug)]
-pub struct EndpointConfig {
-    /// See [`ServerConfig::workers`].
-    pub workers: usize,
-    /// See [`ServerConfig::queue_depth`].
-    pub queue_depth: usize,
-    /// See [`ServerConfig::timeout`].
-    pub query_timeout: Duration,
-    /// See [`ServerConfig::row_budget`].
-    pub row_budget: Option<u64>,
-    /// See [`ServerConfig::plan_cache`].
-    pub plan_cache_size: usize,
-    /// See [`ServerConfig::read_timeout`].
-    pub read_timeout: Duration,
-    /// See [`ServerConfig::debug_panic_route`].
-    pub debug_panic_route: bool,
-}
-
-#[allow(deprecated)]
-impl Default for EndpointConfig {
-    fn default() -> Self {
-        let d = ServerConfig::new();
-        EndpointConfig {
-            workers: d.workers,
-            queue_depth: d.queue_depth,
-            query_timeout: d.query_timeout,
-            row_budget: d.row_budget,
-            plan_cache_size: d.plan_cache_size,
-            read_timeout: d.read_timeout,
-            debug_panic_route: d.debug_panic_route,
-        }
-    }
-}
-
-#[allow(deprecated)]
-impl From<EndpointConfig> for ServerConfig {
-    fn from(c: EndpointConfig) -> ServerConfig {
-        ServerConfig::new()
-            .workers(c.workers)
-            .queue_depth(c.queue_depth)
-            .timeout(c.query_timeout)
-            .row_budget(c.row_budget)
-            .plan_cache(c.plan_cache_size)
-            .read_timeout(c.read_timeout)
-            .debug_panic_route(c.debug_panic_route)
     }
 }
 
@@ -767,10 +712,19 @@ impl Endpoint {
             Some(s) => format!(",\"source\":\"{}\"", escape_json(s)),
             None => String::new(),
         };
+        let rows_emitted = self
+            .metrics
+            .registry
+            .counter(
+                provbench_query::plan::ROWS_EMITTED_TOTAL,
+                "Solution rows emitted by query evaluations",
+            )
+            .get();
         Response::status(200)
             .content_type("application/json")
             .body(format!(
                 "{{\"triples\":{},\"terms\":{},\"cached_plans\":{},\"eval_jobs\":{},\
+                 \"rows_emitted_total\":{rows_emitted},\
                  \"ready\":{},\"rebuilding\":{},\"panics_total\":{},\
                  \"ingest_errors\":{},\"lint_errors\":{}{source}}}",
                 graph.len(),
@@ -873,20 +827,39 @@ impl Endpoint {
         let graph = self.graph();
         let engine = QueryEngine::with_options(&graph, self.request_options(request))
             .with_metrics(&self.metrics.registry);
-        match engine.prepare_parsed(plan).select() {
-            Ok(solutions) => {
-                let want_tsv = request.param("format") == Some("tsv")
-                    || request.accepts("text/tab-separated-values");
-                if want_tsv {
-                    Response::status(200)
-                        .content_type("text/tab-separated-values")
-                        .body(solutions_to_tsv(&solutions))
-                } else {
-                    Response::status(200)
-                        .content_type("application/sparql-results+json")
-                        .body(solutions_to_json(&solutions))
+        let prepared = engine.prepare_parsed(plan);
+        let want_tsv =
+            request.param("format") == Some("tsv") || request.accepts("text/tab-separated-values");
+        // Serialize incrementally from the streaming row iterator:
+        // each row goes straight into the serialized buffer instead of
+        // materializing the whole solution set first, and `LIMIT`ed
+        // queries stop evaluating once the limit is reached. The
+        // status line is still decided only after the stream finishes,
+        // so a mid-stream deadline or row-budget trip yields a clean
+        // 408 under the existing write-timeout machinery — never a
+        // truncated 200.
+        let result = (|| -> Result<Response, QueryError> {
+            let mut rows = prepared.rows()?;
+            Ok(if want_tsv {
+                let mut writer = TsvRowsWriter::new(rows.variables());
+                for row in &mut rows {
+                    writer.push(&row?);
                 }
-            }
+                Response::status(200)
+                    .content_type("text/tab-separated-values")
+                    .body(writer.finish())
+            } else {
+                let mut writer = JsonRowsWriter::new(rows.variables());
+                for row in &mut rows {
+                    writer.push(&row?);
+                }
+                Response::status(200)
+                    .content_type("application/sparql-results+json")
+                    .body(writer.finish())
+            })
+        })();
+        match result {
+            Ok(response) => response,
             Err(QueryError::Timeout(m)) => Response::status(408)
                 .content_type("application/json")
                 .body(format!(
@@ -1235,6 +1208,38 @@ mod tests {
     }
 
     #[test]
+    fn streamed_body_matches_materialized_serialization() {
+        // The streamed /sparql body must byte-equal serializing a full
+        // select() of the same query — the golden-body contract the CI
+        // serve-smoke also checks over HTTP.
+        let ep = endpoint();
+        let text = "PREFIX wfprov: <http://purl.org/wf4ever/wfprov#> \
+                    SELECT ?r ?t WHERE { ?r a ?t . ?r a wfprov:WorkflowRun } ORDER BY ?r";
+        let q = crate::http::url_encode(text);
+        for format in ["", "&format=tsv"] {
+            let r = ep.handle(&request(&format!(
+                "GET /sparql?query={q}{format} HTTP/1.1\r\n\r\n"
+            )));
+            assert_eq!(r.status, 200, "{}", r.body);
+            let graph = ep.graph();
+            let solutions = QueryEngine::new(&graph)
+                .prepare(text)
+                .unwrap()
+                .select()
+                .unwrap();
+            let golden = if format.is_empty() {
+                crate::results::solutions_to_json(&solutions)
+            } else {
+                crate::results::solutions_to_tsv(&solutions)
+            };
+            assert_eq!(r.body, golden);
+        }
+        // The rows the streams emitted are visible in /stats.
+        let r = ep.handle(&request("GET /stats HTTP/1.1\r\n\r\n"));
+        assert!(r.body.contains("\"rows_emitted_total\":4"), "{}", r.body);
+    }
+
+    #[test]
     fn post_raw_query_tsv() {
         let ep = endpoint();
         let body = "PREFIX wfprov: <http://purl.org/wf4ever/wfprov#> SELECT ?r WHERE { ?r a wfprov:WorkflowRun } ORDER BY ?r";
@@ -1447,20 +1452,13 @@ mod tests {
     }
 
     #[test]
-    fn endpoint_config_shim_converts() {
-        #[allow(deprecated)]
-        let legacy = EndpointConfig {
-            workers: 3,
-            queue_depth: 7,
-            ..Default::default()
-        };
-        #[allow(deprecated)]
-        let config = ServerConfig::from(legacy).build();
+    fn server_config_builder_roundtrips() {
+        let builder = ServerConfig::new().workers(3).queue_depth(7);
+        let config = builder.clone().build();
         assert_eq!(config.workers, 3);
         assert_eq!(config.queue_depth, 7);
-        // And the Into bound accepts it directly.
-        #[allow(deprecated)]
-        let ep = Endpoint::unready(legacy);
+        // The Into bound accepts the builder directly.
+        let ep = Endpoint::unready(builder);
         assert_eq!(ep.config().workers, 3);
     }
 

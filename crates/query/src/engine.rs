@@ -20,8 +20,9 @@
 //! assert_eq!(prepared.select().unwrap().len(), 1);
 //! ```
 
+use crate::plan::{self, Rows};
 use crate::sparql::ast::Query;
-use crate::sparql::eval::{self, EvalOptions, QueryError, Solutions};
+use crate::sparql::eval::{EvalOptions, QueryError, Solutions};
 use crate::sparql::parser::parse_query;
 use provbench_obs::{Registry, LATENCY_BUCKETS};
 use provbench_rdf::Graph;
@@ -30,10 +31,6 @@ use std::time::Instant;
 
 /// Histogram of query-text parse times, observed by every `prepare`.
 const PREPARE_SECONDS: &str = "provbench_query_prepare_seconds";
-/// Histogram of evaluation times, observed by every `select`/`ask`.
-const EVAL_SECONDS: &str = "provbench_query_eval_seconds";
-/// Counter of evaluations by outcome (`result="ok"|"timeout"|"error"`).
-const EVALS_TOTAL: &str = "provbench_query_evals_total";
 
 /// A query engine bound to one graph.
 ///
@@ -159,57 +156,69 @@ pub struct PreparedQuery<'g> {
 }
 
 impl<'g> PreparedQuery<'g> {
-    /// Evaluate and return the solution rows.
+    /// The registry evaluations record into.
+    fn registry(&self) -> &'g Registry {
+        match self.metrics {
+            Some(r) => r,
+            None => provbench_obs::global().as_ref(),
+        }
+    }
+
+    /// Evaluate and return the solution rows, fully materialized.
+    ///
+    /// This is exactly `rows()` collected to the end: same rows, same
+    /// order, same errors.
     pub fn select(&self) -> Result<Solutions, QueryError> {
-        self.timed(&self.options)
+        self.select_with(&self.options)
     }
 
     /// Evaluate as a boolean: true iff any solution exists. Works for
     /// `ASK` and `SELECT` forms alike.
+    ///
+    /// Routed through the streaming first-row fast path: evaluation
+    /// stops — and its scans stop — as soon as one row is produced,
+    /// so an ASK over an adversarial join costs one probe chain, not
+    /// the cross product. Serial evaluation is forced because the
+    /// parallel path materializes whole chunks eagerly.
     pub fn ask(&self) -> Result<bool, QueryError> {
-        Ok(!self.select()?.is_empty())
+        let options = self.options.with_jobs(1);
+        let mut rows = plan::rows(self.graph, &self.query, &options, Some(self.registry()))?;
+        match rows.next() {
+            Some(Ok(_)) => Ok(true),
+            Some(Err(e)) => Err(e),
+            None => Ok(false),
+        }
     }
 
     /// Evaluate with different options than the engine's (e.g. a
     /// per-request deadline on a cached plan).
     pub fn select_with(&self, options: &EvalOptions) -> Result<Solutions, QueryError> {
-        self.timed(options)
+        plan::solutions(self.graph, &self.query, options, Some(self.registry()))
     }
 
-    /// Run the evaluation, recording its latency and outcome.
-    fn timed(&self, options: &EvalOptions) -> Result<Solutions, QueryError> {
-        let registry = self
-            .metrics
-            .unwrap_or_else(|| provbench_obs::global().as_ref());
-        let start = Instant::now();
-        let result = eval::run(self.graph, &self.query, options, Some(registry));
-        registry
-            .histogram(
-                EVAL_SECONDS,
-                "Query evaluation wall-clock time",
-                LATENCY_BUCKETS,
-            )
-            .observe_duration(start.elapsed());
-        let outcome = match &result {
-            Ok(_) => "ok",
-            Err(QueryError::Timeout(_)) => "timeout",
-            Err(_) => "error",
-        };
-        registry
-            .counter_with(
-                EVALS_TOTAL,
-                "Query evaluations by outcome",
-                &[("result", outcome)],
-            )
-            .inc();
-        result
+    /// Evaluate lazily: a streaming [`Rows`] iterator over the solution
+    /// rows, pulled on demand through the physical plan.
+    ///
+    /// Dropping the iterator early abandons the remaining work — this
+    /// is how `LIMIT`-style consumers avoid paying full-evaluation
+    /// cost. A full drain is byte-identical to [`select`](Self::select)
+    /// (which is implemented as a collect over this).
+    pub fn rows(&self) -> Result<Rows<'g>, QueryError> {
+        self.rows_with(&self.options)
     }
 
-    /// The evaluation plan as indented text, with BGPs in
-    /// planner-chosen join order and per-pattern cardinality estimates
-    /// from the bound graph's statistics.
+    /// Like [`rows`](Self::rows), with per-call options (e.g. a
+    /// per-request deadline on a cached plan).
+    pub fn rows_with(&self, options: &EvalOptions) -> Result<Rows<'g>, QueryError> {
+        plan::rows(self.graph, &self.query, options, Some(self.registry()))
+    }
+
+    /// The physical operator tree as indented text: pipeline stages in
+    /// execution order, BGPs in planner-chosen join order with
+    /// per-operator cardinality estimates from the bound graph's
+    /// statistics, and pushdown annotations.
     pub fn explain(&self) -> String {
-        eval::explain_on(self.graph, &self.query, &self.options)
+        plan::explain_on(self.graph, &self.query, &self.options)
     }
 
     /// The parsed query, shareable (e.g. for a plan cache).
@@ -302,6 +311,49 @@ mod tests {
         )
         .unwrap();
         assert_eq!(QueryEngine::new(&shuffled).predicate_statistics(), stats);
+    }
+
+    #[test]
+    fn ask_uses_first_row_fast_path_on_adversarial_cross_join() {
+        let g = graph();
+        // Budget of 2 = one charged row per join level on the
+        // first-row path; the materialized cross join (4 triples
+        // self-joined, 16 rows) trips it immediately.
+        let tight = EvalOptions::default().with_row_budget(2);
+        let engine = QueryEngine::with_options(&g, tight);
+        let ask = engine.prepare("ASK { ?a ?b ?c . ?d ?e ?f }").unwrap();
+        assert!(ask.ask().unwrap());
+
+        let select = engine
+            .prepare("SELECT ?a WHERE { ?a ?b ?c . ?d ?e ?f }")
+            .unwrap();
+        match select.select() {
+            Err(QueryError::Timeout(_)) => {}
+            other => panic!("expected timeout, got {other:?}"),
+        }
+        // ask() takes the same early-exit path even on a SELECT form.
+        assert!(select.ask().unwrap());
+    }
+
+    #[test]
+    fn rows_streams_and_matches_select() {
+        let g = graph();
+        let engine = QueryEngine::new(&g);
+        let p = engine
+            .prepare("PREFIX e: <http://e/> SELECT ?r WHERE { ?r a e:Run } ORDER BY ?r")
+            .unwrap();
+        let rows = p.rows().unwrap();
+        assert_eq!(rows.variables(), ["r"]);
+        let streamed: Vec<_> = rows.map(Result::unwrap).collect();
+        let materialized = p.select().unwrap();
+        assert_eq!(streamed, materialized.rows);
+
+        // A partially-consumed iterator can be dropped mid-stream and
+        // the plan stays reusable.
+        let mut partial = p.rows().unwrap();
+        assert!(partial.next().is_some());
+        drop(partial);
+        assert_eq!(p.select().unwrap().len(), 2);
     }
 
     #[test]

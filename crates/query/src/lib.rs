@@ -36,8 +36,10 @@
 
 pub mod engine;
 pub mod exemplar;
+pub mod plan;
 pub mod sparql;
 
 pub use engine::{PreparedQuery, QueryEngine};
+pub use plan::Rows;
 pub use sparql::eval::{Bindings, EvalOptions, QueryError, Solutions};
 pub use sparql::parser::{parse_query, QueryParseError};

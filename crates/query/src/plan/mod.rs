@@ -1,0 +1,634 @@
+//! Physical query plans: lowering, streaming execution, explain.
+//!
+//! The evaluator's resolved pattern tree is lowered into a pipeline of
+//! pull-based operators ([`ops`]) rooted in a [`Rows`] iterator — the
+//! streaming half of the engine API ([`PreparedQuery::rows`] returns
+//! one; `select()` is a collect over it). Lowering preserves the
+//! planner-chosen join order of every BGP, and a full drain of the
+//! pipeline is byte-identical to the old materialize-everything
+//! evaluator — including the parallel path, which still evaluates
+//! eagerly into per-worker chunks and drains them in chunk order.
+//! What streaming adds is early termination: `LIMIT k` stops pulling
+//! (and therefore scanning) after `k` rows, and `ASK` after the first.
+//!
+//! Pipeline shape, bottom to top:
+//!
+//! ```text
+//! Seed → (Scan → IndexedJoin* | Chunks) → Filter/Optional/Union*   id space
+//!      → Project | Aggregate → Distinct → OrderBy → Slice → AskGate solution space
+//! ```
+//!
+//! Pipeline breakers — operators that must see their whole input
+//! before emitting a row — are `OrderBy`, aggregation/`GROUP BY`,
+//! `UNION` (left arm first), and `SELECT *` (its header is
+//! data-dependent). Everything else streams.
+//!
+//! [`PreparedQuery::rows`]: crate::PreparedQuery::rows
+
+pub(crate) mod ops;
+
+use crate::sparql::ast::{GraphPattern, Projection, Query, QueryForm, VarOrIri, VarOrTerm};
+use crate::sparql::eval::{
+    apply_aggregates, estimate, eval_parallel_chunks, plan_bgp, plan_tp_of_ast,
+    plan_tp_of_resolved, resolve, Bindings, EvalCtx, EvalOptions, EvalState, PlanTp, QueryError,
+    RPattern, RTriple, Resolved, Solutions, VarTable, UNBOUND,
+};
+use ops::{
+    AskGateOp, BoxIdOp, BoxSolOp, BufferedSolOp, ChunksOp, DistinctOp, FilterOp, JoinOp,
+    MaterialOp, OptionalOp, OrderByOp, ProjectOp, SeedOp, SliceOp, SpanIdOp, SpanSolOp, UnionOp,
+};
+use provbench_obs::{Registry, LATENCY_BUCKETS};
+use provbench_rdf::Graph;
+use std::collections::BTreeSet;
+use std::time::{Duration, Instant};
+
+/// Histogram of evaluation times, observed once per evaluation (at
+/// stream exhaustion, error, or drop — whichever comes first).
+pub(crate) const EVAL_SECONDS: &str = "provbench_query_eval_seconds";
+/// Counter of evaluations by outcome (`result="ok"|"timeout"|"error"`).
+pub(crate) const EVALS_TOTAL: &str = "provbench_query_evals_total";
+/// Counter of solution rows emitted by evaluations. Public so callers
+/// (the endpoint's `/stats`) can read the same series they feed.
+pub const ROWS_EMITTED_TOTAL: &str = "provbench_query_rows_emitted_total";
+/// Histogram of per-operator `next()` times, labelled by operator
+/// (`op="scan"|"join"|...`); recorded only under
+/// [`EvalOptions::operator_spans`].
+pub const OPERATOR_SECONDS: &str = "provbench_query_operator_seconds";
+
+/// Shared execution context threaded through every operator: the graph,
+/// the planner toggle (OPTIONAL/UNION subtrees re-plan their inner
+/// BGPs), the deadline/row-budget accounting, and the optional span
+/// registry.
+pub(crate) struct ExecCtx<'g> {
+    pub(crate) graph: &'g Graph,
+    pub(crate) reorder: bool,
+    pub(crate) state: EvalState<'static>,
+    pub(crate) spans: Option<&'g Registry>,
+}
+
+// ------------------------------------------------------------ lowering --
+
+/// Flatten nested groups into the sequential spine of pipeline stages,
+/// taking ownership so operators can move the subtrees in.
+fn flatten_owned(pattern: RPattern, out: &mut Vec<RPattern>) {
+    match pattern {
+        RPattern::Group(elems) => {
+            for e in elems {
+                flatten_owned(e, out);
+            }
+        }
+        other => out.push(other),
+    }
+}
+
+fn maybe_span_id<'g>(op: BoxIdOp<'g>, name: &'static str, spans: bool) -> BoxIdOp<'g> {
+    if spans {
+        Box::new(SpanIdOp::new(op, name))
+    } else {
+        op
+    }
+}
+
+fn maybe_span_sol<'g>(op: BoxSolOp<'g>, name: &'static str, spans: bool) -> BoxSolOp<'g> {
+    if spans {
+        Box::new(SpanSolOp::new(op, name))
+    } else {
+        op
+    }
+}
+
+/// Lower the resolved pattern spine into the id-space operator chain,
+/// each BGP's joins in the same planner order the recursive evaluator
+/// would pick.
+fn lower_spine<'g>(
+    pattern: RPattern,
+    graph: &'g Graph,
+    reorder: bool,
+    nvars: usize,
+    spans: bool,
+) -> BoxIdOp<'g> {
+    let mut stages = Vec::new();
+    flatten_owned(pattern, &mut stages);
+    let mut op: BoxIdOp<'g> = Box::new(SeedOp::new(nvars));
+    let mut leading = true;
+    for stage in stages {
+        match stage {
+            RPattern::Basic(tps) => {
+                let order: Vec<usize> = if reorder {
+                    let plan_tps: Vec<PlanTp> = tps
+                        .iter()
+                        .map(|tp| plan_tp_of_resolved(tp, graph))
+                        .collect();
+                    plan_bgp(&plan_tps).into_iter().map(|(i, _)| i).collect()
+                } else {
+                    (0..tps.len()).collect()
+                };
+                let mut slots: Vec<Option<RTriple>> = tps.into_iter().map(Some).collect();
+                for idx in order {
+                    let tp = slots[idx].take().expect("plan orders each pattern once");
+                    let name = if leading { "scan" } else { "join" };
+                    leading = false;
+                    op = maybe_span_id(Box::new(JoinOp::new(op, tp)), name, spans);
+                }
+            }
+            RPattern::Filter(expr) => {
+                op = maybe_span_id(Box::new(FilterOp::new(op, expr)), "filter", spans);
+            }
+            RPattern::Optional(inner) => {
+                leading = false;
+                op = maybe_span_id(Box::new(OptionalOp::new(op, *inner)), "optional", spans);
+            }
+            RPattern::Union(l, r) => {
+                leading = false;
+                op = maybe_span_id(Box::new(UnionOp::new(op, *l, *r)), "union", spans);
+            }
+            RPattern::Group(_) => unreachable!("flatten_owned removed groups"),
+        }
+    }
+    op
+}
+
+fn projection_names(query: &Query) -> Vec<String> {
+    query
+        .projections
+        .iter()
+        .map(|p| match p {
+            Projection::Var(v) => v.clone(),
+            Projection::Aggregate { alias, .. } => alias.clone(),
+        })
+        .collect()
+}
+
+fn keep_of(variables: &[String], vars: &VarTable) -> Vec<(usize, String)> {
+    variables
+        .iter()
+        .filter_map(|name| {
+            vars.index
+                .get(name.as_str())
+                .map(|&slot| (slot, name.clone()))
+        })
+        .collect()
+}
+
+struct Built<'g> {
+    cx: ExecCtx<'g>,
+    op: BoxSolOp<'g>,
+    variables: Vec<String>,
+}
+
+/// Resolve, plan and lower `query` into an executable pipeline.
+///
+/// Pipeline breakers run here, at construction: the parallel path (its
+/// chunks are evaluated eagerly on worker threads and drained in
+/// order), aggregation, and `SELECT *`'s header scan. Everything else
+/// is deferred to the first `next()` pull.
+fn build<'g>(
+    graph: &'g Graph,
+    query: &Query,
+    opts: &EvalOptions,
+    metrics: Option<&'g Registry>,
+) -> Result<Built<'g>, QueryError> {
+    let Resolved {
+        vars,
+        pattern,
+        group_by,
+        aggregates,
+    } = resolve(query, graph)?;
+    let nvars = vars.names.len();
+    let ctx = EvalCtx {
+        graph,
+        reorder: opts.reorder_patterns,
+    };
+    let mut cx = ExecCtx {
+        graph,
+        reorder: opts.reorder_patterns,
+        state: EvalState::new(opts),
+        spans: if opts.operator_spans { metrics } else { None },
+    };
+    let spans = cx.spans.is_some();
+
+    // Id-row source: the parallel chunk drain when jobs and the pattern
+    // shape allow it, else the streaming pipeline lowered from the
+    // spine. The parallel path charges its rows through its own shared
+    // cost state — exactly as before — so `cx.state` only meters the
+    // serial streaming path.
+    let source: BoxIdOp<'g> = match eval_parallel_chunks(&ctx, opts, &pattern, nvars, metrics)? {
+        Some(chunks) => maybe_span_id(Box::new(ChunksOp::new(chunks)), "chunks", spans),
+        None => lower_spine(pattern, graph, opts.reorder_patterns, nvars, spans),
+    };
+
+    let has_aggs = query.has_aggregates() || !query.group_by.is_empty();
+    let variables: Vec<String>;
+    let mut sol: BoxSolOp<'g>;
+    if query.form == QueryForm::Ask {
+        // ASK needs no decoded projection — stream empty rows and let
+        // the gate stop at the first one.
+        variables = Vec::new();
+        sol = maybe_span_sol(
+            Box::new(ProjectOp::new(source, Vec::new())),
+            "project",
+            spans,
+        );
+    } else if has_aggs {
+        // Grouping needs every input row: drain the source now.
+        let mut src = source;
+        let mut id_rows = Vec::new();
+        while let Some(r) = src.next(&mut cx)? {
+            id_rows.push(r);
+        }
+        let mut rows = apply_aggregates(&vars, &group_by, &aggregates, id_rows, graph)?;
+        variables = if query.projections.is_empty() {
+            let mut names: BTreeSet<String> = BTreeSet::new();
+            for r in &rows {
+                names.extend(r.keys().cloned());
+            }
+            names.into_iter().collect()
+        } else {
+            projection_names(query)
+        };
+        for row in &mut rows {
+            row.retain(|k, _| variables.contains(k));
+        }
+        sol = maybe_span_sol(Box::new(BufferedSolOp::new(rows)), "aggregate", spans);
+    } else if query.projections.is_empty() {
+        // SELECT *: the header (variables bound in at least one row,
+        // sorted) is data-dependent, so the id rows materialize first.
+        let mut src = source;
+        let mut id_rows = Vec::new();
+        while let Some(r) = src.next(&mut cx)? {
+            id_rows.push(r);
+        }
+        let mut bound = vec![false; nvars];
+        for r in &id_rows {
+            for (slot, &raw) in r.iter().enumerate() {
+                if raw != UNBOUND {
+                    bound[slot] = true;
+                }
+            }
+        }
+        let mut names: Vec<String> = vars
+            .names
+            .iter()
+            .enumerate()
+            .filter(|(slot, _)| bound[*slot])
+            .map(|(_, n)| n.clone())
+            .collect();
+        names.sort();
+        variables = names;
+        let keep = keep_of(&variables, &vars);
+        sol = maybe_span_sol(
+            Box::new(ProjectOp::new(Box::new(MaterialOp::new(id_rows)), keep)),
+            "project",
+            spans,
+        );
+    } else {
+        variables = projection_names(query);
+        let keep = keep_of(&variables, &vars);
+        sol = maybe_span_sol(Box::new(ProjectOp::new(source, keep)), "project", spans);
+    }
+
+    // Solution modifiers, in the same order the materializing evaluator
+    // applied them: DISTINCT → ORDER BY → OFFSET/LIMIT → ASK gate.
+    if query.distinct {
+        sol = maybe_span_sol(Box::new(DistinctOp::new(sol)), "distinct", spans);
+    }
+    if !query.order_by.is_empty() {
+        sol = maybe_span_sol(
+            Box::new(OrderByOp::new(sol, query.order_by.clone())),
+            "orderby",
+            spans,
+        );
+    }
+    if query.offset > 0 || query.limit.is_some() {
+        sol = maybe_span_sol(
+            Box::new(SliceOp::new(sol, query.offset, query.limit)),
+            "slice",
+            spans,
+        );
+    }
+    if query.form == QueryForm::Ask {
+        sol = maybe_span_sol(Box::new(AskGateOp::new(sol)), "ask", spans);
+    }
+
+    Ok(Built {
+        cx,
+        op: sol,
+        variables,
+    })
+}
+
+// ----------------------------------------------------------- execution --
+
+/// A streaming query result: the projected header plus an iterator of
+/// solution rows, pulled on demand through the physical plan.
+///
+/// Yielded by [`PreparedQuery::rows`](crate::PreparedQuery::rows).
+/// Draining it fully produces exactly the rows (and, on over-budget
+/// queries, exactly the error) that `select()` returns — `select()` is
+/// literally a collect over this iterator. Stopping early is the point:
+/// dropping a partially-consumed `Rows` abandons the remaining scans,
+/// releases the deadline/row-budget accounting that lived inside it,
+/// and still records its metrics exactly once.
+///
+/// After the first `Err` (or the end of the stream) the iterator is
+/// fused: every later `next()` returns `None`.
+pub struct Rows<'g> {
+    cx: ExecCtx<'g>,
+    op: BoxSolOp<'g>,
+    variables: Vec<String>,
+    registry: Option<&'g Registry>,
+    started: Instant,
+    emitted: u64,
+    finished: bool,
+    recorded: bool,
+}
+
+impl<'g> Rows<'g> {
+    /// The projected variable names, in projection order — available
+    /// before any row is pulled (for `SELECT *` the header was computed
+    /// at plan time).
+    pub fn variables(&self) -> &[String] {
+        &self.variables
+    }
+
+    fn finalize(&mut self, outcome: &'static str) {
+        if self.recorded {
+            return;
+        }
+        self.recorded = true;
+        if let Some(registry) = self.registry {
+            record(registry, self.started.elapsed(), outcome, self.emitted);
+        }
+    }
+}
+
+impl<'g> Iterator for Rows<'g> {
+    type Item = Result<Bindings, QueryError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.finished {
+            return None;
+        }
+        match self.op.next(&mut self.cx) {
+            Ok(Some(row)) => {
+                self.emitted += 1;
+                Some(Ok(row))
+            }
+            Ok(None) => {
+                self.finished = true;
+                self.finalize("ok");
+                None
+            }
+            Err(e) => {
+                self.finished = true;
+                self.finalize(outcome_of(&e));
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+impl<'g> Drop for Rows<'g> {
+    fn drop(&mut self) {
+        // A partially-consumed stream still records exactly once; rows
+        // that were pulled count, abandoned work does not.
+        self.finalize("ok");
+    }
+}
+
+fn outcome_of(e: &QueryError) -> &'static str {
+    match e {
+        QueryError::Timeout(_) => "timeout",
+        _ => "error",
+    }
+}
+
+fn record(registry: &Registry, elapsed: Duration, outcome: &'static str, emitted: u64) {
+    registry
+        .histogram(
+            EVAL_SECONDS,
+            "Query evaluation wall-clock time",
+            LATENCY_BUCKETS,
+        )
+        .observe_duration(elapsed);
+    registry
+        .counter_with(
+            EVALS_TOTAL,
+            "Query evaluations by outcome",
+            &[("result", outcome)],
+        )
+        .inc();
+    registry
+        .counter(
+            ROWS_EMITTED_TOTAL,
+            "Solution rows emitted by query evaluations",
+        )
+        .add(emitted);
+}
+
+/// Build the physical plan for `query` and return its streaming
+/// [`Rows`]. Metrics (evaluation latency, outcome, rows emitted) are
+/// recorded into `metrics` exactly once per call — at exhaustion,
+/// error, or drop; a failure during plan construction records here.
+pub(crate) fn rows<'g>(
+    graph: &'g Graph,
+    query: &Query,
+    opts: &EvalOptions,
+    metrics: Option<&'g Registry>,
+) -> Result<Rows<'g>, QueryError> {
+    let started = Instant::now();
+    match build(graph, query, opts, metrics) {
+        Ok(built) => Ok(Rows {
+            cx: built.cx,
+            op: built.op,
+            variables: built.variables,
+            registry: metrics,
+            started,
+            emitted: 0,
+            finished: false,
+            recorded: false,
+        }),
+        Err(e) => {
+            if let Some(registry) = metrics {
+                record(registry, started.elapsed(), outcome_of(&e), 0);
+            }
+            Err(e)
+        }
+    }
+}
+
+/// Evaluate to a fully-materialized [`Solutions`]: a collect over
+/// [`rows`]. This is the old `eval::run` contract, byte for byte.
+pub(crate) fn solutions(
+    graph: &Graph,
+    query: &Query,
+    opts: &EvalOptions,
+    metrics: Option<&Registry>,
+) -> Result<Solutions, QueryError> {
+    let mut stream = rows(graph, query, opts, metrics)?;
+    let variables = stream.variables().to_vec();
+    let mut out = Vec::new();
+    for row in &mut stream {
+        out.push(row?);
+    }
+    Ok(Solutions {
+        variables,
+        rows: out,
+    })
+}
+
+// ------------------------------------------------------------- explain --
+
+fn render_s(p: &VarOrTerm) -> String {
+    match p {
+        VarOrTerm::Var(v) => format!("?{v}"),
+        VarOrTerm::Term(t) => t.to_string(),
+    }
+}
+
+fn render_p(p: &VarOrIri) -> String {
+    match p {
+        VarOrIri::Var(v) => format!("?{v}"),
+        VarOrIri::Iri(i) => i.to_string(),
+    }
+}
+
+/// Render the physical operator tree without graph statistics (the
+/// planner falls back to structural selectivity). Prefer
+/// [`explain_on`], which annotates operators with real estimates.
+#[cfg(test)]
+pub(crate) fn explain(query: &Query, opts: &EvalOptions) -> String {
+    explain_impl(None, query, opts)
+}
+
+/// Render the physical operator tree the plan layer would execute for
+/// `query` against `graph`: pipeline stages in execution order (BGP
+/// joins in planner order, each annotated with its cardinality
+/// estimate), then the solution operators with their pushdown notes.
+pub(crate) fn explain_on(graph: &Graph, query: &Query, opts: &EvalOptions) -> String {
+    explain_impl(Some(graph), query, opts)
+}
+
+fn explain_impl(graph: Option<&Graph>, query: &Query, opts: &EvalOptions) -> String {
+    let mut out = String::new();
+    let form = match query.form {
+        QueryForm::Select => "SELECT",
+        QueryForm::Ask => "ASK",
+    };
+    out.push_str(&format!(
+        "{form} plan (planner {}):\n",
+        if opts.reorder_patterns { "on" } else { "off" }
+    ));
+    let mut leading = true;
+    render_pattern(&query.pattern, 1, &mut leading, graph, opts, &mut out);
+    let has_aggs = query.has_aggregates() || !query.group_by.is_empty();
+    if has_aggs {
+        if query.group_by.is_empty() {
+            out.push_str("  Aggregate (materializes)\n");
+        } else {
+            out.push_str(&format!(
+                "  Aggregate GroupBy {:?} (materializes)\n",
+                query.group_by
+            ));
+        }
+    }
+    if query.form == QueryForm::Select {
+        if query.projections.is_empty() && !has_aggs {
+            out.push_str("  Project * (materializes: header is data-dependent)\n");
+        } else {
+            out.push_str(&format!("  Project {:?}\n", projection_names(query)));
+        }
+    }
+    if query.distinct {
+        out.push_str("  Distinct (streamed)\n");
+    }
+    if !query.order_by.is_empty() {
+        out.push_str(&format!(
+            "  OrderBy {:?} (materializes)\n",
+            query.order_by.iter().map(|k| &k.var).collect::<Vec<_>>()
+        ));
+    }
+    if query.offset > 0 {
+        out.push_str(&format!("  Offset {}\n", query.offset));
+    }
+    if let Some(l) = query.limit {
+        if query.order_by.is_empty() && !has_aggs {
+            out.push_str(&format!(
+                "  Limit {l} (pushed: stops the scan after {l} rows)\n"
+            ));
+        } else {
+            out.push_str(&format!("  Limit {l}\n"));
+        }
+    }
+    if query.form == QueryForm::Ask {
+        out.push_str("  AskGate (first row short-circuits)\n");
+    }
+    out
+}
+
+fn render_pattern(
+    p: &GraphPattern,
+    depth: usize,
+    leading: &mut bool,
+    graph: Option<&Graph>,
+    opts: &EvalOptions,
+    out: &mut String,
+) {
+    let pad = "  ".repeat(depth);
+    match p {
+        GraphPattern::Basic(tps) => {
+            let mut names = VarTable::default();
+            let plan_tps: Vec<PlanTp> = tps
+                .iter()
+                .map(|tp| plan_tp_of_ast(tp, graph, &mut names))
+                .collect();
+            let order: Vec<(usize, u64)> = if opts.reorder_patterns {
+                plan_bgp(&plan_tps)
+            } else {
+                plan_tps
+                    .iter()
+                    .enumerate()
+                    .map(|(i, tp)| (i, estimate(tp, 0)))
+                    .collect()
+            };
+            for (idx, est) in order {
+                let tp = &tps[idx];
+                let name = if *leading { "Scan" } else { "IndexedJoin" };
+                *leading = false;
+                out.push_str(&format!(
+                    "{pad}{name} {} {} {}",
+                    render_s(&tp.subject),
+                    render_p(&tp.predicate),
+                    render_s(&tp.object),
+                ));
+                if graph.is_some() {
+                    out.push_str(&format!("  (est ~{est} rows)"));
+                }
+                out.push('\n');
+            }
+        }
+        GraphPattern::Group(elems) => {
+            // Nested groups flatten onto the pipeline spine.
+            for e in elems {
+                render_pattern(e, depth, leading, graph, opts, out);
+            }
+        }
+        GraphPattern::Optional(inner) => {
+            out.push_str(&format!("{pad}Optional (per-row probe)\n"));
+            let mut inner_leading = false;
+            render_pattern(inner, depth + 1, &mut inner_leading, graph, opts, out);
+            *leading = false;
+        }
+        GraphPattern::Union(l, r) => {
+            out.push_str(&format!("{pad}Union (drains input; left arm then right)\n"));
+            let mut arm = false;
+            render_pattern(l, depth + 1, &mut arm, graph, opts, out);
+            let mut arm = false;
+            render_pattern(r, depth + 1, &mut arm, graph, opts, out);
+            *leading = false;
+        }
+        GraphPattern::Filter(_) => {
+            out.push_str(&format!("{pad}Filter\n"));
+        }
+    }
+}

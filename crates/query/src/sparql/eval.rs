@@ -99,6 +99,11 @@ pub struct EvalOptions {
     /// at 8. Results are byte-identical for every job count — see
     /// [`EvalOptions::with_jobs`].
     pub jobs: usize,
+    /// Record a `provbench_query_operator_seconds{op=...}` observation
+    /// per physical-operator `next()` call (one span per pulled row).
+    /// Off by default: per-row timestamping is only worth paying for
+    /// when profiling a plan.
+    pub operator_spans: bool,
 }
 
 impl Default for EvalOptions {
@@ -108,6 +113,7 @@ impl Default for EvalOptions {
             deadline: None,
             row_budget: None,
             jobs: 1,
+            operator_spans: false,
         }
     }
 }
@@ -150,6 +156,13 @@ impl EvalOptions {
         self
     }
 
+    /// Record per-operator timing spans while evaluating (see
+    /// [`EvalOptions::operator_spans`]).
+    pub fn with_operator_spans(mut self) -> Self {
+        self.operator_spans = true;
+        self
+    }
+
     /// The concrete worker count `jobs` resolves to.
     pub fn effective_jobs(&self) -> usize {
         match self.jobs {
@@ -165,20 +178,20 @@ impl EvalOptions {
 // ------------------------------------------------------- resolution --
 
 /// Sentinel for an unbound slot in a compact binding row.
-const UNBOUND: u32 = u32::MAX;
+pub(crate) const UNBOUND: u32 = u32::MAX;
 
 /// A compact solution row: one `u32` term id per variable slot.
-type IdRow = Vec<u32>;
+pub(crate) type IdRow = Vec<u32>;
 
 /// Dense variable numbering for one (query, graph) evaluation.
 #[derive(Default)]
-struct VarTable {
-    names: Vec<String>,
-    index: HashMap<String, usize>,
+pub(crate) struct VarTable {
+    pub(crate) names: Vec<String>,
+    pub(crate) index: HashMap<String, usize>,
 }
 
 impl VarTable {
-    fn slot(&mut self, name: &str) -> usize {
+    pub(crate) fn slot(&mut self, name: &str) -> usize {
         if let Some(&i) = self.index.get(name) {
             return i;
         }
@@ -191,7 +204,7 @@ impl VarTable {
 
 /// A pattern position after resolution.
 #[derive(Clone, Copy, Debug, PartialEq)]
-enum RPos {
+pub(crate) enum RPos {
     /// A variable slot.
     Var(usize),
     /// A ground term the graph knows.
@@ -201,13 +214,13 @@ enum RPos {
 }
 
 #[derive(Clone, Debug)]
-struct RTriple {
-    s: RPos,
-    p: RPos,
-    o: RPos,
+pub(crate) struct RTriple {
+    pub(crate) s: RPos,
+    pub(crate) p: RPos,
+    pub(crate) o: RPos,
 }
 
-enum RPattern {
+pub(crate) enum RPattern {
     Basic(Vec<RTriple>),
     Group(Vec<RPattern>),
     Optional(Box<RPattern>),
@@ -216,7 +229,7 @@ enum RPattern {
 }
 
 /// [`Expression`] with variables resolved to slots.
-enum RExpr {
+pub(crate) enum RExpr {
     Var(usize),
     Constant(Term),
     Compare(CompareOp, Box<RExpr>, Box<RExpr>),
@@ -236,18 +249,18 @@ enum RExpr {
     Str(Box<RExpr>),
 }
 
-struct RAggregate {
-    function: AggregateFn,
-    var: Option<usize>,
-    alias: String,
+pub(crate) struct RAggregate {
+    pub(crate) function: AggregateFn,
+    pub(crate) var: Option<usize>,
+    pub(crate) alias: String,
 }
 
 /// The query compiled against one graph.
-struct Resolved {
-    vars: VarTable,
-    pattern: RPattern,
-    group_by: Vec<usize>,
-    aggregates: Vec<RAggregate>,
+pub(crate) struct Resolved {
+    pub(crate) vars: VarTable,
+    pub(crate) pattern: RPattern,
+    pub(crate) group_by: Vec<usize>,
+    pub(crate) aggregates: Vec<RAggregate>,
 }
 
 fn resolve_var_or_term(pos: &VarOrTerm, vars: &mut VarTable, graph: &Graph) -> RPos {
@@ -321,7 +334,7 @@ fn resolve_pattern(p: &GraphPattern, vars: &mut VarTable, graph: &Graph) -> RPat
     }
 }
 
-fn resolve(query: &Query, graph: &Graph) -> Result<Resolved, QueryError> {
+pub(crate) fn resolve(query: &Query, graph: &Graph) -> Result<Resolved, QueryError> {
     let mut vars = VarTable::default();
     let pattern = resolve_pattern(&query.pattern, &mut vars, graph);
     // Slots for variables that only appear outside the pattern (they
@@ -366,14 +379,14 @@ fn resolve(query: &Query, graph: &Graph) -> Result<Resolved, QueryError> {
 
 /// Planner view of one triple pattern: which slots are variables (by an
 /// arbitrary dense key) and the cardinality estimate when unbound.
-struct PlanTp {
+pub(crate) struct PlanTp {
     /// Variable key per position; `None` = ground.
-    vars: [Option<usize>; 3],
+    pub(crate) vars: [Option<usize>; 3],
     /// Estimated matches with nothing bound (predicate cardinality when
     /// the predicate is ground, graph size otherwise).
-    card: u64,
+    pub(crate) card: u64,
     /// A ground term is absent from the graph: matches nothing.
-    missing: bool,
+    pub(crate) missing: bool,
 }
 
 /// Greedy join ordering: repeatedly pick the most selective remaining
@@ -381,7 +394,7 @@ struct PlanTp {
 /// variables), smallest cardinality estimate as tie-break — then treat
 /// its variables as bound. Returns `(original index, estimate)` pairs in
 /// execution order.
-fn plan_bgp(tps: &[PlanTp]) -> Vec<(usize, u64)> {
+pub(crate) fn plan_bgp(tps: &[PlanTp]) -> Vec<(usize, u64)> {
     let mut remaining: Vec<usize> = (0..tps.len()).collect();
     let mut bound: BTreeSet<usize> = BTreeSet::new();
     let mut out = Vec::with_capacity(tps.len());
@@ -427,7 +440,7 @@ fn plan_bgp(tps: &[PlanTp]) -> Vec<(usize, u64)> {
 
 /// Cardinality estimate for a pattern given how many of its positions
 /// are bound at this point of the plan.
-fn estimate(tp: &PlanTp, bound_count: usize) -> u64 {
+pub(crate) fn estimate(tp: &PlanTp, bound_count: usize) -> u64 {
     if tp.missing {
         return 0;
     }
@@ -440,7 +453,7 @@ fn estimate(tp: &PlanTp, bound_count: usize) -> u64 {
     tp.card >> bound_count.min(2)
 }
 
-fn plan_tp_of_resolved(tp: &RTriple, graph: &Graph) -> PlanTp {
+pub(crate) fn plan_tp_of_resolved(tp: &RTriple, graph: &Graph) -> PlanTp {
     let var_of = |p: &RPos| match p {
         RPos::Var(v) => Some(*v),
         _ => None,
@@ -463,7 +476,11 @@ fn plan_tp_of_resolved(tp: &RTriple, graph: &Graph) -> PlanTp {
 /// Planner view of an AST pattern, used by [`explain`]/[`explain_on`].
 /// With a graph the estimates are real statistics; without one, ground
 /// predicates are simply assumed more selective than variable ones.
-fn plan_tp_of_ast(tp: &TriplePattern, graph: Option<&Graph>, names: &mut VarTable) -> PlanTp {
+pub(crate) fn plan_tp_of_ast(
+    tp: &TriplePattern,
+    graph: Option<&Graph>,
+    names: &mut VarTable,
+) -> PlanTp {
     let mut vars = [None, None, None];
     if let VarOrTerm::Var(v) = &tp.subject {
         vars[0] = Some(names.slot(v));
@@ -512,8 +529,8 @@ const CANCELLED_BY_PEER: &str = "cancelled: another evaluation worker failed";
 /// `DEADLINE_STRIDE` rows so `Instant::now` stays off the hot path.
 /// Workers of a parallel evaluation additionally share a [`SharedCost`]
 /// through which budget accounting and cancellation are cooperative.
-struct EvalState<'s> {
-    produced: u64,
+pub(crate) struct EvalState<'s> {
+    pub(crate) produced: u64,
     deadline: Option<Instant>,
     row_budget: Option<u64>,
     shared: Option<&'s SharedCost>,
@@ -522,7 +539,7 @@ struct EvalState<'s> {
 const DEADLINE_STRIDE: u64 = 1024;
 
 impl<'s> EvalState<'s> {
-    fn new(opts: &EvalOptions) -> Self {
+    pub(crate) fn new(opts: &EvalOptions) -> Self {
         EvalState {
             produced: 0,
             deadline: opts.deadline,
@@ -542,7 +559,7 @@ impl<'s> EvalState<'s> {
     }
 
     #[inline]
-    fn charge(&mut self) -> Result<(), QueryError> {
+    pub(crate) fn charge(&mut self) -> Result<(), QueryError> {
         self.produced += 1;
         if let Some(budget) = self.row_budget {
             let total = match self.shared {
@@ -577,15 +594,15 @@ impl<'s> EvalState<'s> {
     }
 }
 
-struct EvalCtx<'g> {
-    graph: &'g Graph,
-    reorder: bool,
+pub(crate) struct EvalCtx<'g> {
+    pub(crate) graph: &'g Graph,
+    pub(crate) reorder: bool,
 }
 
 /// Bind a scanned id into a row slot, or check consistency when the
 /// pattern repeats a variable.
 #[inline]
-fn bind_slot(row: &mut IdRow, pos: &RPos, id: TermId) -> bool {
+pub(crate) fn bind_slot(row: &mut IdRow, pos: &RPos, id: TermId) -> bool {
     match pos {
         RPos::Var(v) => {
             let raw = id.to_u32();
@@ -638,7 +655,7 @@ fn join_triple(
     Ok(out)
 }
 
-fn eval_pattern(
+pub(crate) fn eval_pattern(
     ctx: &EvalCtx<'_>,
     state: &mut EvalState<'_>,
     pattern: &RPattern,
@@ -707,12 +724,12 @@ fn eval_pattern(
 
 /// A computed expression value.
 #[derive(Clone, Debug, PartialEq)]
-enum Value {
+pub(crate) enum Value {
     Term(Term),
     Bool(bool),
 }
 
-fn slot_term<'g>(row: &IdRow, slot: usize, graph: &'g Graph) -> Option<&'g Term> {
+pub(crate) fn slot_term<'g>(row: &IdRow, slot: usize, graph: &'g Graph) -> Option<&'g Term> {
     if row[slot] == UNBOUND {
         None
     } else {
@@ -720,7 +737,7 @@ fn slot_term<'g>(row: &IdRow, slot: usize, graph: &'g Graph) -> Option<&'g Term>
     }
 }
 
-fn eval_expr(expr: &RExpr, row: &IdRow, graph: &Graph) -> Option<Value> {
+pub(crate) fn eval_expr(expr: &RExpr, row: &IdRow, graph: &Graph) -> Option<Value> {
     match expr {
         RExpr::Var(slot) => slot_term(row, *slot, graph).cloned().map(Value::Term),
         RExpr::Constant(t) => Some(Value::Term(t.clone())),
@@ -861,7 +878,7 @@ fn simple_regex_match(text: &str, pattern: &str, case_insensitive: bool) -> bool
     }
 }
 
-fn effective_boolean(v: &Value) -> Option<bool> {
+pub(crate) fn effective_boolean(v: &Value) -> Option<bool> {
     match v {
         Value::Bool(b) => Some(*b),
         Value::Term(Term::Literal(l)) => {
@@ -923,21 +940,22 @@ fn kind_rank(t: &Term) -> u8 {
 
 // --------------------------------------------------------- aggregates --
 
-fn apply_aggregates(
-    res: &Resolved,
-    query: &Query,
+pub(crate) fn apply_aggregates(
+    vars: &VarTable,
+    group_by: &[usize],
+    aggregates: &[RAggregate],
     rows: Vec<IdRow>,
     graph: &Graph,
 ) -> Result<Vec<Bindings>, QueryError> {
     // Group rows by the GROUP BY key, still in id-space.
     let mut groups: BTreeMap<Vec<u32>, Vec<IdRow>> = BTreeMap::new();
     for row in rows {
-        let key: Vec<u32> = res.group_by.iter().map(|&slot| row[slot]).collect();
+        let key: Vec<u32> = group_by.iter().map(|&slot| row[slot]).collect();
         groups.entry(key).or_default().push(row);
     }
     // With no GROUP BY but aggregates present, everything is one group —
     // but zero input rows still produce one row of zero counts.
-    if groups.is_empty() && res.group_by.is_empty() {
+    if groups.is_empty() && group_by.is_empty() {
         groups.insert(Vec::new(), Vec::new());
     }
 
@@ -950,12 +968,12 @@ fn apply_aggregates(
             .map(|&raw| (raw != UNBOUND).then(|| graph.id_to_term(TermId::from_u32(raw)).clone()))
             .collect();
         let mut out_row = Bindings::new();
-        for (&slot, term) in res.group_by.iter().zip(&decoded_key) {
+        for (&slot, term) in group_by.iter().zip(&decoded_key) {
             if let Some(t) = term {
-                out_row.insert(res.vars.names[slot].clone(), t.clone());
+                out_row.insert(vars.names[slot].clone(), t.clone());
             }
         }
-        for agg in &res.aggregates {
+        for agg in aggregates {
             let value = match (agg.function, agg.var) {
                 (AggregateFn::Count, None) => {
                     Term::Literal(provbench_rdf::Literal::integer(members.len() as i64))
@@ -1005,128 +1023,7 @@ fn apply_aggregates(
         keyed.push((decoded_key, out_row));
     }
     keyed.sort_by(|(a, _), (b, _)| a.cmp(b));
-    let _ = query;
     Ok(keyed.into_iter().map(|(_, row)| row).collect())
-}
-
-// ------------------------------------------------------------ explain --
-
-fn render_position_s(p: &VarOrTerm) -> String {
-    match p {
-        VarOrTerm::Var(v) => format!("?{v}"),
-        VarOrTerm::Term(t) => t.to_string(),
-    }
-}
-
-fn render_position_p(p: &VarOrIri) -> String {
-    match p {
-        VarOrIri::Var(v) => format!("?{v}"),
-        VarOrIri::Iri(i) => i.to_string(),
-    }
-}
-
-/// Explain the evaluation plan of a query as indented text: the pattern
-/// tree with BGPs shown in planner-chosen join order. Without a graph
-/// the planner falls back to structural selectivity (ground predicates
-/// beat variable ones); prefer [`explain_on`] — or
-/// [`PreparedQuery::explain`](crate::PreparedQuery::explain) — which
-/// annotates every pattern with its cardinality estimate from the
-/// target graph's statistics.
-#[cfg(test)]
-pub(crate) fn explain(query: &Query, opts: &EvalOptions) -> String {
-    explain_impl(None, query, opts)
-}
-
-/// Explain the evaluation plan of a query against a concrete graph:
-/// BGPs in planner-chosen join order, each pattern annotated with the
-/// planner's cardinality estimate.
-pub(crate) fn explain_on(graph: &Graph, query: &Query, opts: &EvalOptions) -> String {
-    explain_impl(Some(graph), query, opts)
-}
-
-fn explain_impl(graph: Option<&Graph>, query: &Query, opts: &EvalOptions) -> String {
-    fn walk(
-        p: &GraphPattern,
-        depth: usize,
-        graph: Option<&Graph>,
-        opts: &EvalOptions,
-        out: &mut String,
-    ) {
-        let pad = "  ".repeat(depth);
-        match p {
-            GraphPattern::Basic(tps) => {
-                let mut names = VarTable::default();
-                let plan_tps: Vec<PlanTp> = tps
-                    .iter()
-                    .map(|tp| plan_tp_of_ast(tp, graph, &mut names))
-                    .collect();
-                let order: Vec<(usize, u64)> = if opts.reorder_patterns {
-                    plan_bgp(&plan_tps)
-                } else {
-                    plan_tps
-                        .iter()
-                        .enumerate()
-                        .map(|(i, tp)| (i, estimate(tp, 0)))
-                        .collect()
-                };
-                out.push_str(&format!("{pad}BGP ({} patterns)\n", tps.len()));
-                for (idx, est) in order {
-                    let tp = &tps[idx];
-                    out.push_str(&format!(
-                        "{pad}  {} {} {}",
-                        render_position_s(&tp.subject),
-                        render_position_p(&tp.predicate),
-                        render_position_s(&tp.object),
-                    ));
-                    if graph.is_some() {
-                        out.push_str(&format!("  (est ~{est} rows)"));
-                    }
-                    out.push('\n');
-                }
-            }
-            GraphPattern::Group(elems) => {
-                out.push_str(&format!("{pad}Join\n"));
-                for e in elems {
-                    walk(e, depth + 1, graph, opts, out);
-                }
-            }
-            GraphPattern::Optional(inner) => {
-                out.push_str(&format!("{pad}LeftJoin (OPTIONAL)\n"));
-                walk(inner, depth + 1, graph, opts, out);
-            }
-            GraphPattern::Union(l, r) => {
-                out.push_str(&format!("{pad}Union\n"));
-                walk(l, depth + 1, graph, opts, out);
-                walk(r, depth + 1, graph, opts, out);
-            }
-            GraphPattern::Filter(_) => {
-                out.push_str(&format!("{pad}Filter\n"));
-            }
-        }
-    }
-    let mut out = String::new();
-    let form = match query.form {
-        QueryForm::Select => "SELECT",
-        QueryForm::Ask => "ASK",
-    };
-    out.push_str(&format!(
-        "{form} plan (planner {}):\n",
-        if opts.reorder_patterns { "on" } else { "off" }
-    ));
-    walk(&query.pattern, 1, graph, opts, &mut out);
-    if !query.group_by.is_empty() {
-        out.push_str(&format!("  GroupBy {:?}\n", query.group_by));
-    }
-    if !query.order_by.is_empty() {
-        out.push_str(&format!(
-            "  OrderBy {:?}\n",
-            query.order_by.iter().map(|k| &k.var).collect::<Vec<_>>()
-        ));
-    }
-    if let Some(l) = query.limit {
-        out.push_str(&format!("  Limit {l}\n"));
-    }
-    out
 }
 
 // ------------------------------------------------- parallel execution --
@@ -1190,30 +1087,32 @@ fn eval_chain(
     Ok(current)
 }
 
-/// Top-level pattern evaluation, parallel when the options and the
-/// pattern shape allow it.
+/// Parallel pattern evaluation, when the options and the pattern shape
+/// allow it.
 ///
 /// The parallel path evaluates the first (most selective) pattern of
 /// the leading BGP serially into a candidate slab, splits the slab into
 /// per-worker chunks, runs the remaining join chain per chunk on scoped
-/// threads, and concatenates chunk results in chunk order. Every stage
-/// downstream of the split is [`order_preserving`], so the merged
-/// output is byte-identical to serial evaluation for any job count.
-/// Deadline and row-budget enforcement is cooperative: the budget
-/// counter lives in a [`SharedCost`] and the first worker to fail
-/// cancels the rest.
+/// threads, and returns the per-chunk row slabs **in chunk order** —
+/// the caller (the plan layer's chunk-drain operator) concatenates them
+/// in that order, so the output is byte-identical to serial evaluation
+/// for any job count. Every stage downstream of the split is
+/// [`order_preserving`]. Deadline and row-budget enforcement is
+/// cooperative: the budget counter lives in a [`SharedCost`] and the
+/// first worker to fail cancels the rest.
 ///
-/// Falls back to plain serial evaluation when `jobs <= 1`, when the
-/// pattern has no splittable leading BGP (e.g. a top-level UNION), or
-/// when the candidate slab has fewer than two rows.
-fn eval_top(
+/// Returns `Ok(None)` when the parallel path does not apply — `jobs <=
+/// 1`, or the pattern has no splittable leading BGP (e.g. a top-level
+/// UNION) — and the caller should stream through the serial operator
+/// pipeline instead. A candidate slab with fewer than two rows finishes
+/// on this thread (nothing to split) but still reports `Some`.
+pub(crate) fn eval_parallel_chunks(
     ctx: &EvalCtx<'_>,
     opts: &EvalOptions,
     pattern: &RPattern,
     nvars: usize,
     metrics: Option<&Registry>,
-) -> Result<Vec<IdRow>, QueryError> {
-    let seed = vec![vec![UNBOUND; nvars]];
+) -> Result<Option<Vec<Vec<IdRow>>>, QueryError> {
     let jobs = opts.effective_jobs();
     let mut stages: Vec<&RPattern> = Vec::new();
     flatten_spine(pattern, &mut stages);
@@ -1221,9 +1120,9 @@ fn eval_top(
         && matches!(stages.first(), Some(RPattern::Basic(tps)) if !tps.is_empty())
         && stages.iter().all(|s| order_preserving(s));
     if !splittable {
-        let mut state = EvalState::new(opts);
-        return eval_pattern(ctx, &mut state, pattern, seed);
+        return Ok(None);
     }
+    let seed = vec![vec![UNBOUND; nvars]];
     let Some(RPattern::Basic(tps)) = stages.first() else {
         unreachable!("splittable checked the leading stage is a BGP");
     };
@@ -1244,7 +1143,13 @@ fn eval_top(
     if candidates.len() < 2 {
         // Nothing to split; finish on this thread (same state, same
         // chain — identical to the serial path by construction).
-        return eval_chain(ctx, &mut state, &rest_tps, rest_stages, candidates);
+        return Ok(Some(vec![eval_chain(
+            ctx,
+            &mut state,
+            &rest_tps,
+            rest_stages,
+            candidates,
+        )?]));
     }
 
     let chunk_size = candidates.len().div_ceil(jobs);
@@ -1316,157 +1221,32 @@ fn eval_top(
     if let Some(e) = first_error.lock().unwrap().take() {
         return Err(e);
     }
-    let mut out = Vec::with_capacity(chunk_results.iter().flatten().map(Vec::len).sum());
-    for rows in chunk_results {
-        // A worker only fails after recording an error (or after a peer
-        // recorded one), and the merge above returned it — so every
-        // chunk here succeeded.
-        out.extend(rows.expect("chunk failed without a recorded error"));
-    }
-    Ok(out)
+    // A worker only fails after recording an error (or after a peer
+    // recorded one), and the merge above returned it — so every chunk
+    // here succeeded.
+    Ok(Some(
+        chunk_results
+            .into_iter()
+            .map(|rows| rows.expect("chunk failed without a recorded error"))
+            .collect(),
+    ))
 }
 
 // ---------------------------------------------------------- execution --
 
-/// Execute a parsed query over a graph: the engine core every public
-/// entry point funnels into. `metrics` receives the parallel path's
-/// per-chunk timings, when set.
+/// Execute a parsed query over a graph: a thin wrapper over the
+/// physical plan layer in [`crate::plan`] (lowering, streaming
+/// operators, and the parallel chunk drain all live there), kept as
+/// the evaluator tests' materializing entry point. `metrics` receives
+/// the parallel path's per-chunk timings, when set.
+#[cfg(test)]
 pub(crate) fn run(
     graph: &Graph,
     query: &Query,
     opts: &EvalOptions,
     metrics: Option<&Registry>,
 ) -> Result<Solutions, QueryError> {
-    let res = resolve(query, graph)?;
-    let ctx = EvalCtx {
-        graph,
-        reorder: opts.reorder_patterns,
-    };
-    let nvars = res.vars.names.len();
-    let id_rows = eval_top(&ctx, opts, &res.pattern, nvars, metrics)?;
-
-    let mut rows: Vec<Bindings>;
-    let variables: Vec<String>;
-    if query.has_aggregates() || !query.group_by.is_empty() {
-        rows = apply_aggregates(&res, query, id_rows, graph)?;
-        variables = if query.projections.is_empty() {
-            let mut vars: BTreeSet<String> = BTreeSet::new();
-            for r in &rows {
-                vars.extend(r.keys().cloned());
-            }
-            vars.into_iter().collect()
-        } else {
-            query
-                .projections
-                .iter()
-                .map(|p| match p {
-                    Projection::Var(v) => v.clone(),
-                    Projection::Aggregate { alias, .. } => alias.clone(),
-                })
-                .collect()
-        };
-        for row in &mut rows {
-            row.retain(|k, _| variables.contains(k));
-        }
-    } else {
-        // Projection: decode only the projected slots.
-        variables = if query.projections.is_empty() {
-            // SELECT *: every variable bound in at least one row, sorted.
-            let mut bound = vec![false; nvars];
-            for r in &id_rows {
-                for (slot, &raw) in r.iter().enumerate() {
-                    if raw != UNBOUND {
-                        bound[slot] = true;
-                    }
-                }
-            }
-            let mut names: Vec<String> = res
-                .vars
-                .names
-                .iter()
-                .enumerate()
-                .filter(|(slot, _)| bound[*slot])
-                .map(|(_, n)| n.clone())
-                .collect();
-            names.sort();
-            names
-        } else {
-            query
-                .projections
-                .iter()
-                .map(|p| match p {
-                    Projection::Var(v) => v.clone(),
-                    Projection::Aggregate { alias, .. } => alias.clone(),
-                })
-                .collect()
-        };
-        let keep: Vec<(usize, &str)> = variables
-            .iter()
-            .filter_map(|name| {
-                res.vars
-                    .index
-                    .get(name.as_str())
-                    .map(|&slot| (slot, name.as_str()))
-            })
-            .collect();
-        rows = id_rows
-            .iter()
-            .map(|r| {
-                let mut b = Bindings::new();
-                for &(slot, name) in &keep {
-                    if let Some(t) = slot_term(r, slot, graph) {
-                        b.insert(name.to_owned(), t.clone());
-                    }
-                }
-                b
-            })
-            .collect();
-    }
-
-    if query.distinct {
-        let mut seen = BTreeSet::new();
-        rows.retain(|r| seen.insert(r.clone()));
-    }
-
-    if !query.order_by.is_empty() {
-        rows.sort_by(|a, b| {
-            for key in &query.order_by {
-                let (x, y) = (a.get(&key.var), b.get(&key.var));
-                let ord = match (x, y) {
-                    (None, None) => std::cmp::Ordering::Equal,
-                    (None, Some(_)) => std::cmp::Ordering::Less,
-                    (Some(_), None) => std::cmp::Ordering::Greater,
-                    (Some(x), Some(y)) => compare_terms(x, y).unwrap_or(std::cmp::Ordering::Equal),
-                };
-                let ord = if key.descending { ord.reverse() } else { ord };
-                if !ord.is_eq() {
-                    return ord;
-                }
-            }
-            std::cmp::Ordering::Equal
-        });
-    }
-
-    let rows: Vec<Bindings> = rows
-        .into_iter()
-        .skip(query.offset)
-        .take(query.limit.unwrap_or(usize::MAX))
-        .collect();
-
-    if query.form == QueryForm::Ask {
-        // ASK: boolean result; keep the Solutions shape (one empty row =
-        // true, no rows = false) so callers share one code path.
-        return Ok(Solutions {
-            variables: Vec::new(),
-            rows: if rows.is_empty() {
-                Vec::new()
-            } else {
-                vec![Bindings::new()]
-            },
-        });
-    }
-
-    Ok(Solutions { variables, rows })
+    crate::plan::solutions(graph, query, opts, metrics)
 }
 
 /// Execute a parsed query over a graph with default options. Crate
@@ -1480,6 +1260,7 @@ pub(crate) fn execute(graph: &Graph, query: &Query) -> Result<Solutions, QueryEr
 mod tests {
     use super::super::parser::parse_query;
     use super::*;
+    use crate::plan::{explain, explain_on};
     use provbench_rdf::{parse_turtle, Literal};
 
     fn graph() -> Graph {
@@ -1677,7 +1458,7 @@ mod tests {
         )
         .unwrap();
         let plan = explain(&q2, &EvalOptions::default());
-        for node in ["Join", "Union", "LeftJoin (OPTIONAL)", "Filter"] {
+        for node in ["IndexedJoin", "Union", "Optional", "Filter"] {
             assert!(plan.contains(node), "missing {node} in {plan}");
         }
     }

@@ -333,20 +333,26 @@ fn cmd_query(o: &Options) -> Result<(), String> {
     // `--jobs` also parallelizes evaluation; results are byte-identical
     // to a serial run whatever the count.
     let eval_opts = provbench::query::EvalOptions::default().with_jobs(o.jobs.unwrap_or(1));
-    let solutions = QueryEngine::with_options(&graph, eval_opts)
+    // Stream rows to stdout as the physical plan produces them — a
+    // LIMITed query over a huge corpus prints (and finishes) without
+    // ever materializing the full result set.
+    let prepared = QueryEngine::with_options(&graph, eval_opts)
         .prepare(&full)
-        .and_then(|p| p.select())
         .map_err(|e| query_error(&full, e))?;
-    println!("{}", solutions.variables.join("\t"));
-    for row in &solutions.rows {
-        let cells: Vec<String> = solutions
-            .variables
+    let rows = prepared.rows().map_err(|e| query_error(&full, e))?;
+    let variables = rows.variables().to_vec();
+    println!("{}", variables.join("\t"));
+    let mut count = 0usize;
+    for row in rows {
+        let row = row.map_err(|e| query_error(&full, e))?;
+        count += 1;
+        let cells: Vec<String> = variables
             .iter()
             .map(|v| row.get(v).map_or("-".into(), |t| t.to_string()))
             .collect();
         println!("{}", cells.join("\t"));
     }
-    eprintln!("{} solutions over {} triples", solutions.len(), graph.len());
+    eprintln!("{count} solutions over {} triples", graph.len());
     Ok(())
 }
 

@@ -1,0 +1,210 @@
+//! The streaming API must never change *what* a query answers.
+//!
+//! `PreparedQuery::select()` is a collect over `rows()`, and these
+//! tests pin the contract from the outside: for every exemplar query
+//! (Q1–Q6) and a batch of randomized basic graph patterns, draining the
+//! streaming iterator yields a byte-identical solution sequence to the
+//! materialized call — at jobs ∈ {1, 4}, so the parallel chunk-drain
+//! path is held to the same standard. Errors must round-trip too (a
+//! row-budget trip surfaces identically from both APIs), and dropping a
+//! partially-consumed iterator must release its deadline/row-budget
+//! accounting cleanly: per-evaluation state never leaks into the next
+//! run of the same prepared plan.
+
+use provbench::corpus::{Corpus, CorpusSpec};
+use provbench::query::exemplar::{
+    q1_sparql, q2_failed_sparql, q2_runs_sparql, q3_inputs_sparql, q3_outputs_sparql, q4_sparql,
+    q5_sparql, q6_sparql,
+};
+use provbench::query::{EvalOptions, QueryEngine, QueryError};
+use provbench::rdf::{Graph, Iri, Literal, Triple};
+use provbench::workflow::System;
+
+fn corpus() -> Corpus {
+    Corpus::generate(&CorpusSpec {
+        max_workflows: Some(70),
+        total_runs: 90,
+        failed_runs: 8,
+        ..CorpusSpec::default()
+    })
+}
+
+/// Drain `rows()` and compare against `select()` at each job count:
+/// same variables, same rows, same row order.
+fn assert_stream_matches_select(graph: &Graph, query: &str, jobs: &[usize]) {
+    for &n in jobs {
+        let engine = QueryEngine::with_options(graph, EvalOptions::default().with_jobs(n));
+        let prepared = engine
+            .prepare(query)
+            .unwrap_or_else(|e| panic!("prepare failed on {query}: {e}"));
+        let materialized = prepared
+            .select()
+            .unwrap_or_else(|e| panic!("select failed at jobs={n} on {query}: {e}"));
+        let rows = prepared
+            .rows()
+            .unwrap_or_else(|e| panic!("rows failed at jobs={n} on {query}: {e}"));
+        assert_eq!(
+            rows.variables(),
+            materialized.variables.as_slice(),
+            "variables differ at jobs={n} for {query}"
+        );
+        let streamed: Vec<_> = rows
+            .collect::<Result<_, _>>()
+            .unwrap_or_else(|e| panic!("stream failed at jobs={n} on {query}: {e}"));
+        assert_eq!(
+            streamed, materialized.rows,
+            "streamed rows differ at jobs={n} for {query}"
+        );
+    }
+}
+
+#[test]
+fn exemplar_queries_stream_identically() {
+    let corpus = corpus();
+    let graph = corpus.combined_graph();
+    let template = corpus.templates[0].1.name.clone();
+    let tav_run = Iri::new_unchecked(format!(
+        "{}workflow-run",
+        provbench::taverna::run_base_iri(&corpus.traces_of(System::Taverna).next().unwrap().run_id)
+    ));
+    let account =
+        provbench::wings::account_iri(&corpus.traces_of(System::Wings).next().unwrap().run_id);
+
+    for query in [
+        q1_sparql(),
+        q2_runs_sparql(&template),
+        q2_failed_sparql(&template),
+        q3_inputs_sparql(&template),
+        q3_outputs_sparql(&template),
+        q4_sparql(&tav_run),
+        q5_sparql(&tav_run),
+        q6_sparql(&account),
+    ] {
+        assert_stream_matches_select(&graph, &query, &[1, 4]);
+    }
+}
+
+/// A deterministic xorshift so the "random" BGPs are reproducible.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self, bound: u64) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0 % bound
+    }
+}
+
+/// A closed-vocabulary random graph, like the proptest generator's, so
+/// randomized patterns actually join.
+fn random_graph(rng: &mut Rng, triples: usize) -> Graph {
+    (0..triples)
+        .map(|_| {
+            let s = Iri::new_unchecked(format!("http://t/s{}", rng.next(8)));
+            let p = Iri::new_unchecked(format!("http://t/p{}", rng.next(4)));
+            if rng.next(2) == 0 {
+                Triple::new(s, p, Literal::integer(rng.next(10) as i64))
+            } else {
+                Triple::new(
+                    s,
+                    p,
+                    Iri::new_unchecked(format!("http://t/o{}", rng.next(10))),
+                )
+            }
+        })
+        .collect()
+}
+
+/// A random BGP of 2–4 triple patterns over a small shared variable and
+/// constant pool, occasionally decorated with DISTINCT/ORDER BY/LIMIT.
+/// Unlike the planner-equivalence suite, LIMIT without ORDER BY is fair
+/// game here: streaming and materialized evaluation share one plan, so
+/// even order-sensitive modifiers must agree byte for byte.
+fn random_query(rng: &mut Rng) -> String {
+    let vars = ["?a", "?b", "?c", "?d"];
+    let n = 2 + rng.next(3) as usize;
+    let mut body = String::new();
+    for _ in 0..n {
+        let s = vars[rng.next(3) as usize];
+        let p = match rng.next(3) {
+            0 => format!("<http://t/p{}>", rng.next(4)),
+            _ => vars[3].to_owned(), // shared predicate variable
+        };
+        let o = match rng.next(4) {
+            0 => format!("<http://t/o{}>", rng.next(10)),
+            1 => format!("{}", rng.next(10)),
+            _ => vars[rng.next(4) as usize].to_owned(),
+        };
+        body.push_str(&format!("  {s} {p} {o} .\n"));
+    }
+    let head = if rng.next(4) == 0 {
+        "SELECT DISTINCT *"
+    } else {
+        "SELECT *"
+    };
+    let tail = match rng.next(4) {
+        0 => " ORDER BY ?a".to_owned(),
+        1 => format!(" LIMIT {}", 1 + rng.next(20)),
+        _ => String::new(),
+    };
+    format!("{head} WHERE {{\n{body}}}{tail}")
+}
+
+#[test]
+fn randomized_bgps_stream_identically() {
+    let mut rng = Rng(0x5eed_cafe_f00d_0001);
+    for _ in 0..60 {
+        let size = 5 + rng.next(35) as usize;
+        let graph = random_graph(&mut rng, size);
+        for _ in 0..4 {
+            let query = random_query(&mut rng);
+            assert_stream_matches_select(&graph, &query, &[1, 4]);
+        }
+    }
+}
+
+#[test]
+fn budget_errors_surface_identically_from_both_apis() {
+    let mut rng = Rng(0x5eed_cafe_f00d_0002);
+    let graph = random_graph(&mut rng, 30);
+    let opts = EvalOptions::default().with_row_budget(3);
+    let prepared = QueryEngine::with_options(&graph, opts)
+        .prepare("SELECT ?a ?b WHERE { ?a ?p ?b . ?c ?q ?d }")
+        .unwrap();
+    let materialized = prepared.select();
+    let streamed: Result<Vec<_>, _> = prepared.rows().unwrap().collect();
+    match (materialized, streamed) {
+        (Err(QueryError::Timeout(a)), Err(QueryError::Timeout(b))) => {
+            assert_eq!(a, b, "budget errors differ between select() and rows()")
+        }
+        other => panic!("expected identical budget trips, got {other:?}"),
+    }
+}
+
+#[test]
+fn dropped_iterator_releases_budget_accounting() {
+    let mut rng = Rng(0x5eed_cafe_f00d_0003);
+    let graph = random_graph(&mut rng, 30);
+    // A budget a full cross-join drain would trip many times over, but
+    // the first row fits well inside.
+    let opts = EvalOptions::default().with_row_budget(10);
+    let prepared = QueryEngine::with_options(&graph, opts)
+        .prepare("SELECT ?a ?b WHERE { ?a ?p ?b . ?c ?q ?d } LIMIT 2")
+        .unwrap();
+    // Partially consume and drop, repeatedly: if any deadline or
+    // row-budget accounting leaked across evaluations, the later
+    // iterations (or the final full drain) would trip the budget.
+    for round in 0..20 {
+        let mut rows = prepared.rows().unwrap();
+        match rows.next() {
+            Some(Ok(_)) => {}
+            other => panic!("round {round}: expected a first row, got {other:?}"),
+        }
+        drop(rows);
+    }
+    let full = prepared
+        .select()
+        .expect("full drain after partial consumptions");
+    assert_eq!(full.len(), 2);
+}
